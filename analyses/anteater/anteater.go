@@ -1,0 +1,56 @@
+// Package anteater implements Anteater-style data-plane verification:
+// reachability questions are encoded per path as boolean satisfiability and
+// answered by the SAT ("SMT") backend — the combination of Figure 7 and the
+// Find primitive discussed in §4 of the paper ("we would have implemented a
+// verifier akin to Anteater").
+package anteater
+
+import (
+	"zen-go/nets/device"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Witness is a packet that reaches the destination, plus its path.
+type Witness struct {
+	Packet pkt.Packet
+	Path   []*device.Interface
+}
+
+// Reachable searches for any packet (with pred holding at injection) that
+// travels from the ingress interface to the destination device along any
+// simple path of at most maxHops transit devices. It solves one SAT query
+// per candidate path.
+func Reachable(from *device.Interface, to *device.Device, maxHops int,
+	pred func(zen.Value[pkt.Packet]) zen.Value[bool], opts ...zen.Option) (Witness, bool) {
+	if len(opts) == 0 {
+		opts = []zen.Option{zen.WithBackend(zen.SAT)}
+	}
+	for _, path := range device.Paths(from, to, maxHops) {
+		path := path
+		fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+			return device.ForwardPath(path, p)
+		})
+		w, ok := fn.Find(func(p zen.Value[pkt.Packet], out zen.Value[zen.Opt[pkt.Packet]]) zen.Value[bool] {
+			return zen.And(pred(p), zen.IsSome(out))
+		}, opts...)
+		if ok {
+			return Witness{Packet: w, Path: path}, true
+		}
+	}
+	return Witness{}, false
+}
+
+// VerifyIsolation proves that no packet satisfying pred can travel from
+// the ingress to the destination device (within the hop bound). It returns
+// a counterexample when isolation fails.
+func VerifyIsolation(from *device.Interface, to *device.Device, maxHops int,
+	pred func(zen.Value[pkt.Packet]) zen.Value[bool], opts ...zen.Option) (bool, Witness) {
+	w, found := Reachable(from, to, maxHops, pred, opts...)
+	return !found, w
+}
+
+// Plain restricts the search to untunneled packets.
+func Plain(p zen.Value[pkt.Packet]) zen.Value[bool] {
+	return zen.IsNone(pkt.Underlay(p))
+}

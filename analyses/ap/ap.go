@@ -1,0 +1,114 @@
+// Package ap implements Yang–Lam atomic predicates on Zen state sets: the
+// coarsest partition of the header space such that every network predicate
+// (ACL, forwarding guard, ...) is a union of partition blocks. Predicates
+// then become small integer sets, and conjunction/disjunction along paths
+// become set intersection/union — the efficiency trick behind AP Verifier
+// (the "AP" row of Table 1).
+package ap
+
+import (
+	"math/big"
+
+	"zen-go/zen"
+)
+
+// Atoms is the computed atomic-predicate universe for a collection of
+// predicates over T.
+type Atoms[T any] struct {
+	// Blocks holds the disjoint, exhaustive atomic sets.
+	Blocks []zen.StateSet[T]
+	// Of maps each input predicate (by index) to the sorted atom indices
+	// whose union it is.
+	Of [][]int
+}
+
+// Compute derives the atomic predicates of the given sets. All sets must
+// come from the same World.
+func Compute[T any](w *zen.World, preds []zen.StateSet[T]) *Atoms[T] {
+	blocks := []zen.StateSet[T]{zen.FullSet[T](w)}
+	for _, p := range preds {
+		next := make([]zen.StateSet[T], 0, len(blocks)*2)
+		for _, b := range blocks {
+			in := b.Intersect(p)
+			out := b.Minus(p)
+			if !in.IsEmpty() {
+				next = append(next, in)
+			}
+			if !out.IsEmpty() {
+				next = append(next, out)
+			}
+		}
+		blocks = next
+	}
+	a := &Atoms[T]{Blocks: blocks, Of: make([][]int, len(preds))}
+	for i, p := range preds {
+		for j, b := range blocks {
+			if b.Subset(p) {
+				a.Of[i] = append(a.Of[i], j)
+			}
+		}
+	}
+	return a
+}
+
+// NumAtoms returns the number of atomic predicates.
+func (a *Atoms[T]) NumAtoms() int { return len(a.Blocks) }
+
+// Set reconstructs a predicate's set from atom indices.
+func (a *Atoms[T]) Set(atoms []int) zen.StateSet[T] {
+	s := a.Blocks[atoms[0]].Minus(a.Blocks[atoms[0]]) // empty over same world
+	for _, i := range atoms {
+		s = s.Union(a.Blocks[i])
+	}
+	return s
+}
+
+// Intersect computes the atom representation of the conjunction of
+// predicates i and j — integer-set intersection, no BDD work.
+func (a *Atoms[T]) Intersect(x, y []int) []int {
+	out := []int{}
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			out = append(out, x[i])
+			i++
+			j++
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Union computes the atom representation of the disjunction.
+func (a *Atoms[T]) Union(x, y []int) []int {
+	out := []int{}
+	i, j := 0, 0
+	for i < len(x) || j < len(y) {
+		switch {
+		case j >= len(y) || (i < len(x) && x[i] < y[j]):
+			out = append(out, x[i])
+			i++
+		case i >= len(x) || y[j] < x[i]:
+			out = append(out, y[j])
+			j++
+		default:
+			out = append(out, x[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Count returns the number of values covered by an atom set.
+func (a *Atoms[T]) Count(atoms []int) *big.Int {
+	total := new(big.Int)
+	for _, i := range atoms {
+		total.Add(total, a.Blocks[i].Count())
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package ap_test
+
+import (
+	"math/big"
+	"testing"
+
+	"zen-go/analyses/ap"
+	"zen-go/nets/acl"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func TestAtomsPartitionHeaderSpace(t *testing.T) {
+	w := zen.NewWorld()
+	p1 := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h))
+	})
+	p2 := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return zen.EqC(pkt.Protocol(h), pkt.ProtoTCP)
+	})
+	atoms := ap.Compute(w, []zen.StateSet[pkt.Header]{p1, p2})
+
+	// Two independent predicates: 4 atoms.
+	if atoms.NumAtoms() != 4 {
+		t.Fatalf("atoms = %d, want 4", atoms.NumAtoms())
+	}
+	// Blocks are disjoint and cover everything.
+	union := zen.EmptySet[pkt.Header](w)
+	for i, b := range atoms.Blocks {
+		for j, c := range atoms.Blocks {
+			if i != j && !b.Intersect(c).IsEmpty() {
+				t.Fatal("atoms overlap")
+			}
+		}
+		union = union.Union(b)
+	}
+	if !union.IsFull() {
+		t.Fatal("atoms do not cover the space")
+	}
+	// Each predicate reconstructs exactly from its atoms.
+	if !atoms.Set(atoms.Of[0]).Equal(p1) || !atoms.Set(atoms.Of[1]).Equal(p2) {
+		t.Fatal("predicate reconstruction failed")
+	}
+}
+
+func TestNestedPredicatesFewerAtoms(t *testing.T) {
+	w := zen.NewWorld()
+	outer := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h))
+	})
+	inner := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return pkt.Pfx(10, 1, 0, 0, 16).Contains(pkt.DstIP(h))
+	})
+	atoms := ap.Compute(w, []zen.StateSet[pkt.Header]{outer, inner})
+	// Nesting gives only 3 atoms: inner, outer-minus-inner, rest.
+	if atoms.NumAtoms() != 3 {
+		t.Fatalf("atoms = %d, want 3", atoms.NumAtoms())
+	}
+}
+
+func TestAtomSetAlgebraMatchesSetAlgebra(t *testing.T) {
+	w := zen.NewWorld()
+	mk := func(pfx pkt.Prefix) zen.StateSet[pkt.Header] {
+		return zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+			return pfx.Contains(pkt.DstIP(h))
+		})
+	}
+	p1 := mk(pkt.Pfx(10, 0, 0, 0, 8))
+	p2 := mk(pkt.Pfx(10, 128, 0, 0, 9))
+	p3 := mk(pkt.Pfx(172, 16, 0, 0, 12))
+	atoms := ap.Compute(w, []zen.StateSet[pkt.Header]{p1, p2, p3})
+
+	// Conjunction via atom intersection == BDD intersection.
+	c12 := atoms.Intersect(atoms.Of[0], atoms.Of[1])
+	if !atoms.Set(c12).Equal(p1.Intersect(p2)) {
+		t.Fatal("atom intersection mismatch")
+	}
+	// p2 ⊂ p1, so p1 ∧ p2 = p2.
+	if !atoms.Set(c12).Equal(p2) {
+		t.Fatal("nested conjunction should equal the inner predicate")
+	}
+	// Disjunction via atom union == BDD union.
+	u13 := atoms.Union(atoms.Of[0], atoms.Of[2])
+	if !atoms.Set(u13).Equal(p1.Union(p3)) {
+		t.Fatal("atom union mismatch")
+	}
+	// Disjoint predicates intersect to nothing.
+	if len(atoms.Intersect(atoms.Of[0], atoms.Of[2])) != 0 {
+		t.Fatal("disjoint predicates share atoms")
+	}
+	// Counting through atoms equals direct counting.
+	if atoms.Count(atoms.Of[0]).Cmp(p1.Count()) != 0 {
+		t.Fatal("atom counting mismatch")
+	}
+}
+
+func TestACLRulesAsPredicates(t *testing.T) {
+	w := zen.NewWorld()
+	rules := []acl.Rule{
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+		{Permit: false, DstPfx: pkt.Pfx(10, 1, 0, 0, 16)},
+		{Permit: true, Protocol: pkt.ProtoUDP},
+	}
+	preds := make([]zen.StateSet[pkt.Header], len(rules))
+	for i, r := range rules {
+		r := r
+		preds[i] = zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+			return r.Matches(h)
+		})
+	}
+	atoms := ap.Compute(w, preds)
+	if atoms.NumAtoms() < 4 || atoms.NumAtoms() > 8 {
+		t.Fatalf("unexpected atom count %d", atoms.NumAtoms())
+	}
+	// Sanity: total count over all atoms = |header space| = 2^104.
+	total := new(big.Int)
+	for _, b := range atoms.Blocks {
+		total.Add(total, b.Count())
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 104)
+	if total.Cmp(want) != 0 {
+		t.Fatalf("atom counts sum to %v, want 2^104", total)
+	}
+}
+
+func TestPathReachMatchesDirectComposition(t *testing.T) {
+	w := zen.NewWorld()
+	f1 := &acl.ACL{Rules: []acl.Rule{
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+	}}
+	f2 := &acl.ACL{Rules: []acl.Rule{
+		{Permit: false, DstPfx: pkt.Pfx(10, 9, 0, 0, 16)},
+		{Permit: true},
+	}}
+	f3 := &acl.ACL{Rules: []acl.Rule{
+		{Permit: true, Protocol: pkt.ProtoTCP},
+	}}
+	pr := ap.NewPathReach(w, []*acl.ACL{f1, f2, f3})
+
+	// Composition through atoms equals direct BDD composition.
+	direct := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return zen.And(f1.Allow(h), f2.Allow(h), f3.Allow(h))
+	})
+	viaAtoms := pr.Atoms().Set(pr.Through([]*acl.ACL{f1, f2, f3}))
+	if !viaAtoms.Equal(direct) {
+		t.Fatal("atom composition disagrees with direct composition")
+	}
+
+	// Witness sanity.
+	ok, witness := pr.Reachable([]*acl.ACL{f1, f2, f3})
+	if !ok {
+		t.Fatal("some TCP packet into 10/8 minus 10.9/16 must pass")
+	}
+	if witness.DstIP>>24 != 10 || witness.Protocol != pkt.ProtoTCP {
+		t.Fatalf("witness %+v violates the chain", witness)
+	}
+	if witness.DstIP&0xFFFF0000 == pkt.IP(10, 9, 0, 0) {
+		t.Fatal("witness inside the denied /16")
+	}
+}
+
+func TestPathReachUnreachable(t *testing.T) {
+	w := zen.NewWorld()
+	f1 := &acl.ACL{Rules: []acl.Rule{{Permit: true, Protocol: pkt.ProtoTCP}}}
+	f2 := &acl.ACL{Rules: []acl.Rule{{Permit: true, Protocol: pkt.ProtoUDP}}}
+	pr := ap.NewPathReach(w, []*acl.ACL{f1, f2})
+	if ok, _ := pr.Reachable([]*acl.ACL{f1, f2}); ok {
+		t.Fatal("TCP-only then UDP-only must be unreachable")
+	}
+	if ok, _ := pr.Reachable([]*acl.ACL{f1}); !ok {
+		t.Fatal("single filter is reachable")
+	}
+}

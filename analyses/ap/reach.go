@@ -1,0 +1,71 @@
+package ap
+
+import (
+	"zen-go/nets/acl"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// This file is the AP Verifier workflow end to end: convert every filter in
+// the network to a predicate, compute the atoms once, convert each filter
+// to an integer atom set, and answer per-path reachability by intersecting
+// integer sets — no solver in the query path.
+
+// PathReach answers reachability queries over filter chains using atomic
+// predicates.
+type PathReach struct {
+	w     *zen.World
+	atoms *Atoms[pkt.Header]
+	of    map[*acl.ACL][]int
+}
+
+// NewPathReach computes the atoms of all filters appearing in the network.
+func NewPathReach(w *zen.World, filters []*acl.ACL) *PathReach {
+	preds := make([]zen.StateSet[pkt.Header], len(filters))
+	for i, f := range filters {
+		f := f
+		preds[i] = zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+			return f.Allow(h)
+		})
+	}
+	atoms := Compute(w, preds)
+	of := make(map[*acl.ACL][]int, len(filters))
+	for i, f := range filters {
+		of[f] = atoms.Of[i]
+	}
+	return &PathReach{w: w, atoms: atoms, of: of}
+}
+
+// Atoms exposes the computed universe.
+func (p *PathReach) Atoms() *Atoms[pkt.Header] { return p.atoms }
+
+// AllAtoms returns the atom set representing every header.
+func (p *PathReach) AllAtoms() []int {
+	out := make([]int, p.atoms.NumAtoms())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Through returns the atom set of headers that pass every filter on a
+// path — pure integer-set intersection, the AP Verifier query primitive.
+func (p *PathReach) Through(path []*acl.ACL) []int {
+	cur := p.AllAtoms()
+	for _, f := range path {
+		cur = p.atoms.Intersect(cur, p.of[f])
+	}
+	return cur
+}
+
+// Reachable reports whether any header survives the path, and a concrete
+// witness header when one does.
+func (p *PathReach) Reachable(path []*acl.ACL) (bool, pkt.Header) {
+	atoms := p.Through(path)
+	if len(atoms) == 0 {
+		return false, pkt.Header{}
+	}
+	set := p.atoms.Set(atoms)
+	el, _ := set.Element()
+	return true, el
+}

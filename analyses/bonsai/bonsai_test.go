@@ -1,0 +1,142 @@
+package bonsai_test
+
+import (
+	"fmt"
+	"testing"
+
+	"zen-go/analyses/bonsai"
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+)
+
+func origin() bgp.Route {
+	return bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+}
+
+// fabric builds a two-layer fabric: one origin connected to n identical
+// spines, all connected to one sink.
+func fabric(nSpines int) (*bgp.Network, *bgp.Router, *bgp.Router) {
+	n := &bgp.Network{}
+	src := n.AddRouter("SRC", 100)
+	dst := n.AddRouter("DST", 200)
+	src.Originates = true
+	src.Origin = origin()
+	for i := 0; i < nSpines; i++ {
+		sp := n.AddRouter(fmt.Sprintf("SPINE%d", i), 300)
+		n.ConnectBoth(src, sp)
+		n.ConnectBoth(sp, dst)
+	}
+	return n, src, dst
+}
+
+func TestSymmetricSpinesCollapse(t *testing.T) {
+	n, _, _ := fabric(8)
+	ab := bonsai.Compress(n)
+	// 10 routers -> 3 classes (src, dst, spines).
+	if got := ab.NumClasses(); got != 3 {
+		t.Fatalf("classes = %d, want 3", got)
+	}
+	if ab.CompressionRatio(n) < 3 {
+		t.Fatalf("compression ratio = %v, want >= 3.3", ab.CompressionRatio(n))
+	}
+	// All spines share one class.
+	spineClass := -1
+	for _, r := range n.Routers {
+		if r.Name[0] == 'S' && r.Name != "SRC" {
+			if spineClass == -1 {
+				spineClass = ab.ClassOf[r]
+			} else if ab.ClassOf[r] != spineClass {
+				t.Fatalf("spines split across classes")
+			}
+		}
+	}
+}
+
+func TestPolicyDifferenceSplitsClasses(t *testing.T) {
+	n, src, _ := fabric(4)
+	// Give ONE spine a different import policy from the source: it must
+	// land in its own class.
+	boost := &routemap.RouteMap{Clauses: []routemap.Clause{{Permit: true, SetLocalPref: 999}}}
+	var odd *bgp.Router
+	for _, s := range n.Sessions {
+		if s.From == src && s.To.Name == "SPINE2" {
+			s.Import = boost
+			odd = s.To
+		}
+	}
+	ab := bonsai.Compress(n)
+	if got := ab.NumClasses(); got != 4 {
+		t.Fatalf("classes = %d, want 4 (src, dst, spines, odd spine)", got)
+	}
+	for _, r := range n.Routers {
+		if r == odd {
+			continue
+		}
+		if r.Name != "SRC" && r.Name != "DST" && r.Name[0] == 'S' &&
+			ab.ClassOf[r] == ab.ClassOf[odd] {
+			t.Fatalf("odd spine should be alone in its class")
+		}
+	}
+}
+
+func TestIdenticalPoliciesShareSignature(t *testing.T) {
+	// Two structurally identical route maps (distinct Go values) must not
+	// split classes, thanks to hash-consed policy DAGs.
+	mk := func() *routemap.RouteMap {
+		return &routemap.RouteMap{Clauses: []routemap.Clause{
+			{Permit: true, SetLocalPref: 250},
+		}}
+	}
+	n, src, _ := fabric(4)
+	for _, s := range n.Sessions {
+		if s.From == src {
+			s.Import = mk() // fresh but identical map per session
+		}
+	}
+	ab := bonsai.Compress(n)
+	if got := ab.NumClasses(); got != 3 {
+		t.Fatalf("identical policies split classes: %d, want 3", got)
+	}
+}
+
+func TestAbstractNetworkPreservesRouting(t *testing.T) {
+	n, src, dst := fabric(6)
+	ab := bonsai.Compress(n)
+
+	concrete := bgp.Simulate(n, 16)
+	abstract := bgp.Simulate(ab.Abstract, 16)
+
+	for _, r := range []*bgp.Router{src, dst} {
+		rep := ab.Repr[ab.ClassOf[r]]
+		co, abr := concrete[r], abstract[rep]
+		if co.Ok != abr.Ok {
+			t.Fatalf("%s: reachability differs between concrete and abstract", r.Name)
+		}
+		if co.Ok && co.Val.LocalPref != abr.Val.LocalPref {
+			t.Fatalf("%s: local-pref differs: %d vs %d", r.Name, co.Val.LocalPref, abr.Val.LocalPref)
+		}
+		if co.Ok && len(co.Val.AsPath) != len(abr.Val.AsPath) {
+			t.Fatalf("%s: path length differs: %v vs %v", r.Name, co.Val.AsPath, abr.Val.AsPath)
+		}
+	}
+	// The abstract network is smaller.
+	if len(ab.Abstract.Routers) >= len(n.Routers) {
+		t.Fatal("abstraction did not shrink the network")
+	}
+}
+
+func TestSingleRouterNetwork(t *testing.T) {
+	n := &bgp.Network{}
+	r := n.AddRouter("solo", 1)
+	r.Originates = true
+	r.Origin = origin()
+	ab := bonsai.Compress(n)
+	if ab.NumClasses() != 1 {
+		t.Fatalf("classes = %d, want 1", ab.NumClasses())
+	}
+	got := bgp.Simulate(ab.Abstract, 4)
+	if !got[ab.Repr[0]].Ok {
+		t.Fatal("abstract solo router should keep its origin route")
+	}
+}

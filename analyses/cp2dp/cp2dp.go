@@ -1,0 +1,184 @@
+// Package cp2dp closes the loop between the control plane and the data
+// plane, the way Batfish does: converge the BGP control plane by
+// simulation, derive each router's concrete forwarding table from its
+// chosen route, and hand the resulting data plane to the packet-level
+// analyses (Anteater reachability, HSA set exploration).
+//
+// This is compositionality across planes: a route-map change on a BGP
+// session changes which packets a firewall five hops away ever sees, and
+// the combined pipeline makes such effects checkable.
+package cp2dp
+
+import (
+	"fmt"
+
+	"zen-go/nets/bgp"
+	"zen-go/nets/device"
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Net pairs a BGP control plane with the data plane derived from it.
+type Net struct {
+	CP *bgp.Network
+	// Device maps each BGP router to its data-plane device.
+	Device map[*bgp.Router]*device.Device
+	// Port maps each directed session to the sender-side egress
+	// interface of the underlying link.
+	Port map[*bgp.Session]*device.Interface
+	// Host is a stub edge interface per router for injecting and
+	// delivering traffic.
+	Host map[*bgp.Router]*device.Interface
+	// Chosen is the converged control-plane state.
+	Chosen map[*bgp.Router]zen.Opt[bgp.Route]
+}
+
+// Build converges the control plane and programs the data plane: every
+// router gets a route for the originated prefix toward the neighbor its
+// BGP decision selected (or its host port when it originates).
+func Build(cp *bgp.Network, maxIters int) *Net {
+	n := &Net{
+		CP:     cp,
+		Device: make(map[*bgp.Router]*device.Device, len(cp.Routers)),
+		Port:   make(map[*bgp.Session]*device.Interface, len(cp.Sessions)),
+		Host:   make(map[*bgp.Router]*device.Interface, len(cp.Routers)),
+	}
+	// Devices, host ports and link interfaces.
+	for _, r := range cp.Routers {
+		d := &device.Device{Name: r.Name}
+		n.Device[r] = d
+		n.Host[r] = d.AddInterface("host")
+	}
+	linked := map[[2]*bgp.Router]bool{}
+	for _, s := range cp.Sessions {
+		key := [2]*bgp.Router{s.From, s.To}
+		rkey := [2]*bgp.Router{s.To, s.From}
+		if linked[key] || linked[rkey] {
+			continue
+		}
+		linked[key] = true
+		a := n.Device[s.From].AddInterface("to-" + s.To.Name)
+		b := n.Device[s.To].AddInterface("to-" + s.From.Name)
+		device.Link(a, b)
+	}
+	// Resolve each directed session to the sender's egress interface.
+	for _, s := range cp.Sessions {
+		d := n.Device[s.From]
+		for _, i := range d.Interfaces {
+			if i.Peer != nil && i.Peer.Device == n.Device[s.To] {
+				n.Port[s] = i
+				break
+			}
+		}
+	}
+
+	// Converge and program.
+	n.Chosen = bgp.Simulate(cp, maxIters)
+	var prefix pkt.Prefix
+	for _, r := range cp.Routers {
+		if r.Originates {
+			prefix = pkt.Prefix{Address: r.Origin.Prefix, Length: r.Origin.PrefixLen}
+			prefix.Address &= prefix.Mask()
+		}
+	}
+	for _, r := range cp.Routers {
+		entries := []fwd.Entry{}
+		if ch := n.Chosen[r]; ch.Ok {
+			out := n.egressFor(r)
+			if out != nil {
+				entries = append(entries, fwd.Entry{Prefix: prefix, Port: out.ID})
+			}
+		}
+		n.Device[r].Table = fwd.New(entries...)
+	}
+	return n
+}
+
+// egressFor determines where the router's chosen route points: its host
+// port when it originates the winning route, otherwise the interface of
+// the session the route was learned from.
+func (n *Net) egressFor(r *bgp.Router) *device.Interface {
+	ch := n.Chosen[r]
+	if !ch.Ok {
+		return nil
+	}
+	if r.Originates && routesEqual(ch.Val, r.Origin) {
+		return n.Host[r]
+	}
+	for _, s := range r.In {
+		neighbor := n.Chosen[s.From]
+		fn := zen.Func(func(x zen.Value[zen.Opt[bgp.Route]]) zen.Value[zen.Opt[bgp.Route]] {
+			return s.Transfer(x)
+		})
+		cand := fn.Evaluate(neighbor)
+		if cand.Ok && routesEqual(cand.Val, ch.Val) {
+			// Port[s] sits on the sender; r forwards out its peer.
+			return n.Port[s].Peer
+		}
+	}
+	return nil
+}
+
+// Delivered reports whether packets for the destination prefix injected at
+// router `from` reach the originating router's host port, with a witness
+// packet. It runs Anteater-style per-path search over the derived data
+// plane.
+func (n *Net) Delivered(from, origin *bgp.Router) (bool, pkt.Packet) {
+	var prefix pkt.Prefix
+	for _, r := range n.CP.Routers {
+		if r.Originates {
+			prefix = pkt.Prefix{Address: r.Origin.Prefix, Length: r.Origin.PrefixLen}
+			prefix.Address &= prefix.Mask()
+		}
+	}
+	for _, path := range device.Paths(n.Host[from], n.Device[origin], len(n.CP.Routers)) {
+		path := path
+		fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+			return device.ForwardPath(path, p)
+		})
+		w, ok := fn.Find(func(p zen.Value[pkt.Packet], out zen.Value[zen.Opt[pkt.Packet]]) zen.Value[bool] {
+			return zen.And(
+				zen.IsNone(pkt.Underlay(p)),
+				prefix.Contains(pkt.DstIP(pkt.Overlay(p))),
+				zen.IsSome(out))
+		}, zen.WithBackend(zen.SAT))
+		if ok {
+			return true, w
+		}
+	}
+	return false, pkt.Packet{}
+}
+
+// String summarizes the derived data plane.
+func (n *Net) String() string {
+	s := ""
+	for _, r := range n.CP.Routers {
+		s += fmt.Sprintf("%s: chosen=%v entries=%d\n",
+			r.Name, n.Chosen[r].Ok, len(n.Device[r].Table.Entries))
+	}
+	return s
+}
+
+// routesEqual compares routes treating nil and empty attribute lists as
+// equal (decoding symbolic results yields empty, Go literals yield nil).
+func routesEqual(a, b bgp.Route) bool {
+	if a.Prefix != b.Prefix || a.PrefixLen != b.PrefixLen ||
+		a.LocalPref != b.LocalPref || a.Med != b.Med || a.NextHop != b.NextHop {
+		return false
+	}
+	if len(a.AsPath) != len(b.AsPath) || len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i := range a.AsPath {
+		if a.AsPath[i] != b.AsPath[i] {
+			return false
+		}
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != b.Communities[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package cp2dp_test
+
+import (
+	"testing"
+
+	"zen-go/analyses/cp2dp"
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+)
+
+func origin() bgp.Route {
+	return bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+}
+
+// square: A (origin) -- B -- D and A -- C -- D.
+func square() (*bgp.Network, *bgp.Router, *bgp.Router, *bgp.Router, *bgp.Router) {
+	n := &bgp.Network{}
+	a := n.AddRouter("A", 1)
+	b := n.AddRouter("B", 2)
+	c := n.AddRouter("C", 3)
+	d := n.AddRouter("D", 4)
+	a.Originates = true
+	a.Origin = origin()
+	n.ConnectBoth(a, b)
+	n.ConnectBoth(a, c)
+	n.ConnectBoth(b, d)
+	n.ConnectBoth(c, d)
+	return n, a, b, c, d
+}
+
+func TestDataPlaneFollowsControlPlane(t *testing.T) {
+	cp, a, b, c, d := square()
+	n := cp2dp.Build(cp, 16)
+
+	// Every router converged and got a forwarding entry.
+	for _, r := range []*bgp.Router{a, b, c, d} {
+		if !n.Chosen[r].Ok {
+			t.Fatalf("%s has no route", r.Name)
+		}
+		if len(n.Device[r].Table.Entries) != 1 {
+			t.Fatalf("%s: table has %d entries", r.Name, len(n.Device[r].Table.Entries))
+		}
+	}
+	// Packets from D reach the origin A.
+	ok, w := n.Delivered(d, a)
+	if !ok {
+		t.Fatalf("prefix traffic from D must reach A:\n%s", n)
+	}
+	if !pkt.Pfx(203, 0, 113, 0, 24).ContainsConcrete(w.Overlay.DstIP) {
+		t.Fatalf("witness %s outside the prefix", pkt.FormatIP(w.Overlay.DstIP))
+	}
+}
+
+func TestRouteMapChangeAltersDataPlane(t *testing.T) {
+	// The compositional effect across planes: denying the route on both
+	// of D's sessions leaves D's data plane without an entry, and
+	// delivery fails — found by the packet-level analysis.
+	cp, a, _, _, d := square()
+	denyAll := &routemap.RouteMap{Clauses: []routemap.Clause{{Permit: false}}}
+	for _, s := range cp.Sessions {
+		if s.To == d {
+			s.Import = denyAll
+		}
+	}
+	n := cp2dp.Build(cp, 16)
+	if n.Chosen[d].Ok {
+		t.Fatal("D should have no route after the policy change")
+	}
+	if ok, _ := n.Delivered(d, a); ok {
+		t.Fatal("delivery from D must fail without a route")
+	}
+	// Other routers are unaffected.
+	if ok, _ := n.Delivered(cpRouter(cp, "B"), a); !ok {
+		t.Fatal("B must still deliver")
+	}
+}
+
+func TestOriginDeliversLocally(t *testing.T) {
+	cp, a, _, _, _ := square()
+	n := cp2dp.Build(cp, 16)
+	// The origin's own table points at its host port.
+	if len(n.Device[a].Table.Entries) != 1 || n.Device[a].Table.Entries[0].Port != n.Host[a].ID {
+		t.Fatalf("origin should forward to its host port: %+v", n.Device[a].Table.Entries)
+	}
+}
+
+func cpRouter(n *bgp.Network, name string) *bgp.Router {
+	for _, r := range n.Routers {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package diff implements data-plane differential analysis on Zen models:
+// given two versions of the same functionality (an ACL before and after a
+// change, two forwarding tables, a device pipeline pre- and post-upgrade),
+// it computes exactly where they disagree — as a state set, a count, and
+// concrete witnesses. Differencing across arbitrary functionality is a
+// one-liner once everything speaks the same modeling language.
+package diff
+
+import (
+	"math/big"
+
+	"zen-go/zen"
+)
+
+// Report describes how two models of the same signature differ.
+type Report[I any] struct {
+	// Different is the set of inputs on which the models disagree.
+	Different zen.StateSet[I]
+	// Count is |Different|.
+	Count *big.Int
+	// Witness is a sample disagreeing input (valid when Count > 0).
+	Witness    I
+	HasWitness bool
+}
+
+// Functions compares two Zen functions pointwise using state sets
+// (requires a list-free input type).
+func Functions[I, O any](w *zen.World, a, b *zen.Fn[I, O]) Report[I] {
+	same := zen.SetOf(w, func(x zen.Value[I]) zen.Value[bool] {
+		return zen.Eq(a.Apply(x), b.Apply(x))
+	})
+	d := same.Complement()
+	rep := Report[I]{Different: d, Count: d.Count()}
+	if wit, ok := d.Element(); ok {
+		rep.Witness = wit
+		rep.HasWitness = true
+	}
+	return rep
+}
+
+// Equivalent reports whether the models agree on every input, and a
+// counterexample otherwise — solver-based (works for list-carrying types
+// too, unlike Functions).
+func Equivalent[I, O any](a, b *zen.Fn[I, O], opts ...zen.Option) (bool, I) {
+	probe := zen.Func(func(x zen.Value[I]) zen.Value[bool] {
+		return zen.Eq(a.Apply(x), b.Apply(x))
+	})
+	return probe.Verify(func(_ zen.Value[I], same zen.Value[bool]) zen.Value[bool] {
+		return same
+	}, opts...)
+}

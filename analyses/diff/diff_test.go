@@ -1,0 +1,88 @@
+package diff_test
+
+import (
+	"math/big"
+	"testing"
+
+	"zen-go/analyses/diff"
+	"zen-go/nets/acl"
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+	"zen-go/zen"
+)
+
+func TestACLChangeImpact(t *testing.T) {
+	before := &acl.ACL{Rules: []acl.Rule{
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+		{Permit: false},
+	}}
+	after := &acl.ACL{Rules: []acl.Rule{
+		{Permit: false, DstPfx: pkt.Pfx(10, 1, 0, 0, 16)}, // new carve-out
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+		{Permit: false},
+	}}
+	w := zen.NewWorld()
+	rep := diff.Functions(w, zen.Func(before.Allow), zen.Func(after.Allow))
+	// Exactly the 10.1/16 destinations change verdict: 2^16 dst * rest.
+	want := new(big.Int).Lsh(big.NewInt(1), 16+32+16+16+8)
+	if rep.Count.Cmp(want) != 0 {
+		t.Fatalf("impacted = %v, want %v", rep.Count, want)
+	}
+	if !rep.HasWitness {
+		t.Fatal("witness missing")
+	}
+	if rep.Witness.DstIP&0xFFFF0000 != pkt.IP(10, 1, 0, 0) {
+		t.Fatalf("witness %s outside the carve-out", pkt.FormatIP(rep.Witness.DstIP))
+	}
+}
+
+func TestIdenticalModelsNoDiff(t *testing.T) {
+	a := fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2})
+	b := fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 9), Port: 2},
+		fwd.Entry{Prefix: pkt.Pfx(10, 128, 0, 0, 9), Port: 2},
+	)
+	w := zen.NewWorld()
+	rep := diff.Functions(w, zen.Func(a.Forward), zen.Func(b.Forward))
+	if rep.Count.Sign() != 0 || rep.HasWitness {
+		t.Fatalf("behaviorally equal tables reported different: %v", rep.Count)
+	}
+}
+
+func TestEquivalentWithLists(t *testing.T) {
+	// Route maps carry lists; the solver-based check still works.
+	rm1 := &routemap.RouteMap{Clauses: []routemap.Clause{
+		{Permit: true, SetLocalPref: 200},
+	}}
+	rm2 := &routemap.RouteMap{Clauses: []routemap.Clause{
+		{Permit: true, SetLocalPref: 200},
+	}}
+	ok, _ := diff.Equivalent(zen.Func(rm1.Apply), zen.Func(rm2.Apply),
+		zen.WithBackend(zen.SAT), zen.WithListBound(2))
+	if !ok {
+		t.Fatal("identical route maps reported different")
+	}
+
+	rm3 := &routemap.RouteMap{Clauses: []routemap.Clause{
+		{Permit: true, SetLocalPref: 300},
+	}}
+	ok, cex := diff.Equivalent(zen.Func(rm1.Apply), zen.Func(rm3.Apply),
+		zen.WithBackend(zen.SAT), zen.WithListBound(2))
+	if ok {
+		t.Fatal("different local-prefs reported equivalent")
+	}
+	_ = cex
+}
+
+func TestRuleReorderIsInvisible(t *testing.T) {
+	// Reordering non-overlapping rules must not change behavior.
+	r1 := acl.Rule{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)}
+	r2 := acl.Rule{Permit: false, DstPfx: pkt.Pfx(20, 0, 0, 0, 8)}
+	a := &acl.ACL{Rules: []acl.Rule{r1, r2, {Permit: false}}}
+	b := &acl.ACL{Rules: []acl.Rule{r2, r1, {Permit: false}}}
+	ok, cex := diff.Equivalent(zen.Func(a.Allow), zen.Func(b.Allow))
+	if !ok {
+		t.Fatalf("disjoint reorder changed behavior at %+v", cex)
+	}
+}

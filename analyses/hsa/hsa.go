@@ -1,0 +1,226 @@
+// Package hsa implements Header Space Analysis on top of Zen's state-set
+// transformers — a direct transcription of Figure 8 in the paper. It pushes
+// sets of packets through the network's inbound/outbound transformers along
+// all paths, returning the packet sets that reach each terminal point.
+//
+// The same exploration can also run in ternary mode (HSA's original 0/1/*
+// headers) via the ternary backend; see Ternary in this package.
+package hsa
+
+import (
+	"zen-go/nets/device"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// PathSet pairs the interfaces traversed with the set of packets (as
+// originally injected) that survive the traversal, plus the set in its
+// current (possibly rewritten) form.
+type PathSet struct {
+	// Hops is the alternating ingress/egress interface sequence.
+	Hops []*device.Interface
+	// Set is the packet set as it exists after the last hop.
+	Set zen.StateSet[pkt.Packet]
+}
+
+// step is the set-level form of an Option-producing packet function
+// f: Packet -> Opt[Packet], split into the set of inputs f delivers
+// (allowed) and a same-type rewrite transformer for the delivered values.
+// Keeping the transformer at Packet -> Packet keeps its input and output
+// variables interleaved, which is what makes the mostly-identity rewrite
+// relations of real devices linear-sized.
+type step struct {
+	allowed zen.StateSet[pkt.Packet]
+	rewrite zen.Transformer[pkt.Packet, pkt.Packet]
+}
+
+func (s step) through(x zen.StateSet[pkt.Packet]) zen.StateSet[pkt.Packet] {
+	return s.rewrite.Forward(x.Intersect(s.allowed))
+}
+
+// Analysis caches per-interface transformers within one world.
+type Analysis struct {
+	w        *zen.World
+	inT      map[*device.Interface]step
+	outT     map[*device.Interface]step
+	MaxDepth int // bound on devices traversed (default 16)
+}
+
+// New prepares an analysis in the given world. Pass the network's devices
+// so the packet variable order can be fixed from every interface's model
+// before any set is built — tunneling devices copy overlay fields into
+// underlay fields, and those bits must be interleaved for the set BDDs to
+// stay small (§6 of the paper).
+func New(w *zen.World, devices ...*device.Device) *Analysis {
+	a := &Analysis{
+		w:        w,
+		inT:      make(map[*device.Interface]step),
+		outT:     make(map[*device.Interface]step),
+		MaxDepth: 16,
+	}
+	var hints []zen.OrderHint
+	for _, d := range devices {
+		for _, i := range d.Interfaces {
+			fin, fout := i.FwdIn, i.FwdOut
+			hints = append(hints,
+				zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[pkt.Packet] {
+					return zen.OptValue(fin(p))
+				}).Hint(),
+				zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[pkt.Packet] {
+					return zen.OptValue(fout(p))
+				}).Hint())
+		}
+	}
+	zen.DeclareOrder[pkt.Packet](w, hints...)
+	return a
+}
+
+func (a *Analysis) mkStep(f func(zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]]) step {
+	allowed := zen.SetOf(a.w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.IsSome(f(p))
+	})
+	rewrite := zen.NewTransformer(a.w, zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[pkt.Packet] {
+		return zen.OptValue(f(p))
+	}))
+	return step{allowed: allowed, rewrite: rewrite}
+}
+
+// inbound returns the packet-set step of FwdIn at an interface.
+func (a *Analysis) inbound(i *device.Interface) step {
+	s, ok := a.inT[i]
+	if !ok {
+		s = a.mkStep(i.FwdIn)
+		a.inT[i] = s
+	}
+	return s
+}
+
+func (a *Analysis) outbound(i *device.Interface) step {
+	s, ok := a.outT[i]
+	if !ok {
+		s = a.mkStep(i.FwdOut)
+		a.outT[i] = s
+	}
+	return s
+}
+
+// Explore is Figure 8: starting from `start` with packet set `set`, push
+// sets through the network along every path, yielding the terminal path
+// sets (paths whose frontier forwarded nowhere, or that hit MaxDepth).
+func (a *Analysis) Explore(start *device.Interface, set zen.StateSet[pkt.Packet]) []PathSet {
+	type item struct {
+		in   *device.Interface
+		hops []*device.Interface
+		set  zen.StateSet[pkt.Packet]
+	}
+	var results []PathSet
+	queue := []item{{in: start, hops: []*device.Interface{start}, set: set}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		inSet := a.inbound(cur.in).through(cur.set)
+		if inSet.IsEmpty() {
+			results = append(results, PathSet{Hops: cur.hops, Set: inSet})
+			continue
+		}
+		forwarded := false
+		for _, out := range cur.in.Device.Interfaces {
+			if out == cur.in {
+				continue
+			}
+			outSet := a.outbound(out).through(inSet)
+			if outSet.IsEmpty() {
+				continue
+			}
+			forwarded = true
+			hops := append(append([]*device.Interface(nil), cur.hops...), out)
+			if out.Peer == nil || len(hops)/2 >= a.MaxDepth {
+				// Network edge (or depth bound): the set exits here.
+				results = append(results, PathSet{Hops: hops, Set: outSet})
+				continue
+			}
+			queue = append(queue, item{
+				in:   out.Peer,
+				hops: append(hops, out.Peer),
+				set:  outSet,
+			})
+		}
+		if !forwarded {
+			results = append(results, PathSet{Hops: cur.hops, Set: inSet})
+		}
+	}
+	return results
+}
+
+// ReachableAt returns the union of packet sets that exit the network at the
+// given interface.
+func (a *Analysis) ReachableAt(start *device.Interface, set zen.StateSet[pkt.Packet], exit *device.Interface) zen.StateSet[pkt.Packet] {
+	res := zen.EmptySet[pkt.Packet](a.w)
+	for _, ps := range a.Explore(start, set) {
+		if len(ps.Hops) > 0 && ps.Hops[len(ps.Hops)-1] == exit {
+			res = res.Union(ps.Set)
+		}
+	}
+	return res
+}
+
+// Loop reports a forwarding loop: a set of packets that re-enters an
+// interface it already visited, together with the cycle of hops.
+type Loop struct {
+	// Hops is the path from injection to the repeated interface.
+	Hops []*device.Interface
+	// Set is the packet set (in its current rewritten form) that loops.
+	Set zen.StateSet[pkt.Packet]
+}
+
+// FindLoops explores from start and reports every path along which a
+// non-empty packet set revisits an ingress interface — HSA's classic
+// forwarding-loop detection. Exploration depth is bounded by MaxDepth.
+func (a *Analysis) FindLoops(start *device.Interface, set zen.StateSet[pkt.Packet]) []Loop {
+	type item struct {
+		in      *device.Interface
+		hops    []*device.Interface
+		visited map[*device.Interface]bool
+		set     zen.StateSet[pkt.Packet]
+	}
+	var loops []Loop
+	queue := []item{{
+		in:      start,
+		hops:    []*device.Interface{start},
+		visited: map[*device.Interface]bool{start: true},
+		set:     set,
+	}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		inSet := a.inbound(cur.in).through(cur.set)
+		if inSet.IsEmpty() {
+			continue
+		}
+		for _, out := range cur.in.Device.Interfaces {
+			if out == cur.in || out.Peer == nil {
+				continue
+			}
+			outSet := a.outbound(out).through(inSet)
+			if outSet.IsEmpty() {
+				continue
+			}
+			next := out.Peer
+			hops := append(append([]*device.Interface(nil), cur.hops...), out, next)
+			if cur.visited[next] {
+				loops = append(loops, Loop{Hops: hops, Set: outSet})
+				continue
+			}
+			if len(hops)/2 >= a.MaxDepth {
+				continue
+			}
+			visited := make(map[*device.Interface]bool, len(cur.visited)+1)
+			for k := range cur.visited {
+				visited[k] = true
+			}
+			visited[next] = true
+			queue = append(queue, item{in: next, hops: hops, visited: visited, set: outSet})
+		}
+	}
+	return loops
+}

@@ -1,0 +1,227 @@
+package hsa_test
+
+import (
+	"math/big"
+	"testing"
+
+	"zen-go/analyses/hsa"
+	"zen-go/nets/acl"
+	"zen-go/nets/device"
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/nets/vnet"
+	"zen-go/zen"
+)
+
+// diamond builds a two-path network:
+//
+//	     B
+//	   /   \
+//	A       D
+//	   \   /
+//	     C
+//
+// A splits traffic: 10/8 via B, everything else via C. B drops TCP port 22.
+func diamond() (in *device.Interface, exitB, exitC *device.Interface) {
+	a := &device.Device{Name: "A"}
+	ain, ab, ac := a.AddInterface("in"), a.AddInterface("b"), a.AddInterface("c")
+	b := &device.Device{Name: "B"}
+	bw, be := b.AddInterface("w"), b.AddInterface("e")
+	c := &device.Device{Name: "C"}
+	cw, ce := c.AddInterface("w"), c.AddInterface("e")
+
+	a.Table = fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: ab.ID},
+		fwd.Entry{Prefix: pkt.Pfx(0, 0, 0, 0, 0), Port: ac.ID},
+	)
+	def := func(d *device.Device, p uint8) {
+		d.Table = fwd.New(fwd.Entry{Prefix: pkt.Pfx(0, 0, 0, 0, 0), Port: p})
+	}
+	def(b, be.ID)
+	def(c, ce.ID)
+	bw.AclIn = &acl.ACL{Rules: []acl.Rule{
+		{Permit: false, DstLow: 22, DstHigh: 22, Protocol: pkt.ProtoTCP},
+		{Permit: true},
+	}}
+	device.Link(ab, bw)
+	device.Link(ac, cw)
+	return ain, be, ce
+}
+
+func TestExploreSplitsTraffic(t *testing.T) {
+	in, exitB, exitC := diamond()
+	w := zen.NewWorld()
+	a := hsa.New(w, in.Device, exitB.Device, exitC.Device)
+	// Plain packets with the canonical (zeroed) absent-underlay encoding,
+	// so set counts range over overlay headers only.
+	all := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]())
+	})
+
+	viaB := a.ReachableAt(in, all, exitB)
+	viaC := a.ReachableAt(in, all, exitC)
+
+	if viaB.IsEmpty() || viaC.IsEmpty() {
+		t.Fatal("both exits should see traffic")
+	}
+	// Everything reaching B is 10/8 and not ssh.
+	okB := viaB.Subset(zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		h := pkt.Overlay(p)
+		in10 := pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h))
+		ssh := zen.And(zen.EqC(pkt.DstPort(h), uint16(22)), zen.EqC(pkt.Protocol(h), pkt.ProtoTCP))
+		return zen.And(in10, zen.Not(ssh))
+	}))
+	if !okB {
+		t.Fatal("B-exit set should be 10/8 minus ssh")
+	}
+	// Nothing in 10/8 exits via C.
+	if !viaC.Intersect(zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(pkt.Overlay(p)))
+	})).IsEmpty() {
+		t.Fatal("no 10/8 packet should exit via C")
+	}
+	// Exact count at B: 2^24 dst hosts * rest of header, minus ssh.
+	// dst: 2^24; src 2^32; ports 2^32; proto 2^8 => total 2^96; ssh
+	// excludes dstport 22 with proto 6: 2^24 * 2^32 * 2^16 * 1 * 1.
+	total := new(big.Int).Lsh(big.NewInt(1), 96)
+	ssh := new(big.Int).Lsh(big.NewInt(1), 72)
+	want := new(big.Int).Sub(total, ssh)
+	if got := viaB.Count(); got.Cmp(want) != 0 {
+		t.Fatalf("B-exit count = %v, want %v", got, want)
+	}
+}
+
+func TestExploreFindsDroppedSets(t *testing.T) {
+	in, exitB, exitC := diamond()
+	w := zen.NewWorld()
+	a := hsa.New(w, in.Device, exitB.Device, exitC.Device)
+	// Inject only ssh-to-10/8 traffic: it must die at B, never exiting.
+	sshTo10 := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		h := pkt.Overlay(p)
+		return zen.And(
+			zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]()),
+			pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h)),
+			zen.EqC(pkt.DstPort(h), uint16(22)),
+			zen.EqC(pkt.Protocol(h), pkt.ProtoTCP))
+	})
+	for _, ps := range a.Explore(in, sshTo10) {
+		if !ps.Set.IsEmpty() && len(ps.Hops) > 2 {
+			last := ps.Hops[len(ps.Hops)-1]
+			if last.Device.Name == "B" && len(ps.Hops)%2 == 0 {
+				t.Fatalf("ssh traffic must not exit B, but %v carries %v", ps.Hops, ps.Set.Count())
+			}
+		}
+	}
+}
+
+func TestHSAOnVirtualNetwork(t *testing.T) {
+	// On the Figure 3 network with the buggy underlay ACL, HSA shows that
+	// no plain Vb-bound packet survives to U3.
+	n := vnet.Build(vnet.Config{BuggyUnderlayACL: true})
+	w := zen.NewWorld()
+	a := hsa.New(w, n.U1, n.U2, n.U3)
+	vbBound := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.And(
+			zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]()),
+			zen.EqC(pkt.DstIP(pkt.Overlay(p)), n.VbIP))
+	})
+	exit := n.Path[5] // U3:host
+	if got := a.ReachableAt(n.Path[0], vbBound, exit); !got.IsEmpty() {
+		t.Fatalf("buggy network should deliver nothing; got %v packets", got.Count())
+	}
+
+	// And on the healthy network, everything arrives.
+	n2 := vnet.Build(vnet.Config{})
+	w2 := zen.NewWorld()
+	a2 := hsa.New(w2, n2.U1, n2.U2, n2.U3)
+	vbBound2 := zen.SetOf(w2, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.And(
+			zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]()),
+			zen.EqC(pkt.DstIP(pkt.Overlay(p)), n2.VbIP))
+	})
+	got := a2.ReachableAt(n2.Path[0], vbBound2, n2.Path[5])
+	if got.Count().Cmp(vbBound2.Count()) != 0 {
+		t.Fatalf("healthy network should deliver all %v, delivered %v",
+			vbBound2.Count(), got.Count())
+	}
+}
+
+func TestTernarySimulation(t *testing.T) {
+	n := vnet.Build(vnet.Config{})
+	h := pkt.Header{DstIP: n.VbIP, SrcIP: n.VaIP, DstPort: 80, SrcPort: 1000, Protocol: pkt.ProtoTCP}
+
+	// Fully concrete: definitely delivered.
+	if got := hsa.TernaryDelivered(n.Path, h); got != hsa.Yes {
+		t.Fatalf("concrete delivery = %v, want Yes", got)
+	}
+	// Ports unknown: still definitely delivered (no port filters).
+	if got := hsa.TernaryDelivered(n.Path, h, "SrcPort", "DstPort", "SrcIP"); got != hsa.Yes {
+		t.Fatalf("wildcard-port delivery = %v, want Yes", got)
+	}
+	// Destination unknown: could be dropped (no route) — unknown.
+	if got := hsa.TernaryDelivered(n.Path, h, "DstIP"); got != hsa.Unknown {
+		t.Fatalf("wildcard-dst delivery = %v, want Unknown", got)
+	}
+	// Wrong concrete destination: definitely dropped.
+	h2 := h
+	h2.DstIP = pkt.IP(9, 9, 9, 9)
+	if got := hsa.TernaryDelivered(n.Path, h2); got != hsa.No {
+		t.Fatalf("misaddressed delivery = %v, want No", got)
+	}
+	// Buggy network: concrete packet definitely dropped (GRE filtered).
+	nb := vnet.Build(vnet.Config{BuggyUnderlayACL: true})
+	if got := hsa.TernaryDelivered(nb.Path, h); got != hsa.No {
+		t.Fatalf("buggy-network delivery = %v, want No", got)
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	// Deliberate routing loop over two links: A sends 10/8 to B on link1,
+	// B sends 10/8 back to A on link2, A sends it to B again. C is a
+	// loop-free exit for everything else.
+	a := &device.Device{Name: "A"}
+	ain, ab1, ab2, ac := a.AddInterface("in"), a.AddInterface("b1"), a.AddInterface("b2"), a.AddInterface("c")
+	b := &device.Device{Name: "B"}
+	bw1, bw2 := b.AddInterface("w1"), b.AddInterface("w2")
+	c := &device.Device{Name: "C"}
+	cw, ce := c.AddInterface("w"), c.AddInterface("e")
+
+	a.Table = fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: ab1.ID},
+		fwd.Entry{Prefix: pkt.Pfx(0, 0, 0, 0, 0), Port: ac.ID},
+	)
+	b.Table = fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: bw2.ID})
+	c.Table = fwd.New(fwd.Entry{Prefix: pkt.Pfx(0, 0, 0, 0, 0), Port: ce.ID})
+	device.Link(ab1, bw1)
+	device.Link(ab2, bw2)
+	device.Link(ac, cw)
+
+	w := zen.NewWorld()
+	an := hsa.New(w, a, b, c)
+	all := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]())
+	})
+	loops := an.FindLoops(ain, all)
+	if len(loops) == 0 {
+		t.Fatal("the A<->B loop must be detected")
+	}
+	// Every looping packet is 10/8-destined.
+	ten := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(pkt.Overlay(p)))
+	})
+	for _, l := range loops {
+		if l.Set.IsEmpty() || !l.Set.Subset(ten) {
+			t.Fatalf("loop set wrong along %v", l.Hops)
+		}
+	}
+	// And with the loop broken (B drops instead), none are reported.
+	b.Table = fwd.New()
+	w2 := zen.NewWorld()
+	an2 := hsa.New(w2, a, b, c)
+	all2 := zen.SetOf(w2, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]())
+	})
+	if got := an2.FindLoops(ain, all2); len(got) != 0 {
+		t.Fatalf("no loops expected, got %d", len(got))
+	}
+}

@@ -1,0 +1,96 @@
+package hsa
+
+import (
+	"zen-go/internal/backends"
+	"zen-go/internal/core"
+	"zen-go/internal/sym"
+	"zen-go/nets/device"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Verdict is the result of a ternary (0/1/*) check.
+type Verdict = backends.Trit
+
+// Ternary verdicts.
+const (
+	No      = backends.TritFalse
+	Yes     = backends.TritTrue
+	Unknown = backends.TritUnknown
+)
+
+// TernaryDelivered runs HSA-style ternary simulation of a packet class
+// along a path: the overlay header fields named in wildcards are unknown
+// (*), the rest take their values from h. It returns whether the class is
+// definitely delivered (Yes), definitely dropped (No), or mixed (Unknown).
+//
+// This is the "ternary simulation" backend of Figure 2: the same model
+// evaluated over Kleene logic instead of a solver.
+func TernaryDelivered(path []*device.Interface, h pkt.Header, wildcards ...string) Verdict {
+	alg := backends.NewTernary()
+	fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.IsSome(device.ForwardPath(path, p))
+	})
+
+	wc := map[string]bool{}
+	for _, w := range wildcards {
+		wc[w] = true
+	}
+	hdrType := zen.TypeOf[pkt.Header]()
+	fields := make([]*sym.Val[backends.Trit], len(hdrType.Fields))
+	for i, f := range hdrType.Fields {
+		if wc[f.Name] {
+			fields[i] = freshTernary(alg, f.Type)
+		} else {
+			fields[i] = constTernary(alg, f.Type, fieldValue(h, f.Name))
+		}
+	}
+	overlay := sym.ObjectVal(hdrType, fields...)
+
+	pktType := zen.TypeOf[pkt.Packet]()
+	underlayType := pktType.Fields[1].Type // Opt[Header]
+	underlay := sym.ObjectVal(underlayType,
+		sym.BoolVal(alg.False()), // HasValue = false: not tunneled
+		constHeaderZero(alg, underlayType.Fields[1].Type))
+	packet := sym.ObjectVal(pktType, overlay, underlay)
+
+	out := sym.Eval[backends.Trit](alg, fn.Out().Raw(),
+		sym.Env[backends.Trit]{fn.Arg().Raw().VarID: packet})
+	return out.Bit
+}
+
+func fieldValue(h pkt.Header, name string) uint64 {
+	switch name {
+	case "DstIP":
+		return uint64(h.DstIP)
+	case "SrcIP":
+		return uint64(h.SrcIP)
+	case "DstPort":
+		return uint64(h.DstPort)
+	case "SrcPort":
+		return uint64(h.SrcPort)
+	case "Protocol":
+		return uint64(h.Protocol)
+	}
+	panic("hsa: unknown header field " + name)
+}
+
+func freshTernary(alg *backends.Ternary, t *core.Type) *sym.Val[backends.Trit] {
+	bits := make([]backends.Trit, t.Width)
+	for i := range bits {
+		bits[i] = backends.TritUnknown
+	}
+	return sym.BVVal(t, bits)
+}
+
+func constTernary(alg *backends.Ternary, t *core.Type, v uint64) *sym.Val[backends.Trit] {
+	return sym.ConstBV[backends.Trit](alg, t, v)
+}
+
+func constHeaderZero(alg *backends.Ternary, t *core.Type) *sym.Val[backends.Trit] {
+	fields := make([]*sym.Val[backends.Trit], len(t.Fields))
+	for i, f := range t.Fields {
+		fields[i] = sym.ConstBV[backends.Trit](alg, f.Type, 0)
+	}
+	return sym.ObjectVal(t, fields...)
+}

@@ -1,0 +1,116 @@
+// Package minesweeper implements Minesweeper-style control-plane
+// verification on the Zen BGP model: the converged (stable) routing state
+// is encoded as a constraint system — every router's choice equals the best
+// of its candidates given its neighbors' choices — together with bounded
+// link-failure variables, and a solver searches for a stable state that
+// violates a property.
+//
+// This is the "stable path constraints" analysis of Figures 1 and 2 in the
+// paper, expressed against the common Zen model instead of a custom SMT
+// encoding.
+package minesweeper
+
+import (
+	"zen-go/nets/bgp"
+	"zen-go/zen"
+)
+
+// Result reports a found violation.
+type Result struct {
+	// Found is true when a stable state violating the property exists.
+	Found bool
+	// Chosen is the violating stable routing state.
+	Chosen map[*bgp.Router]zen.Opt[bgp.Route]
+	// FailedSessions lists the sessions failed in the violating state.
+	FailedSessions []*bgp.Session
+}
+
+// Query configures a verification question.
+type Query struct {
+	// MaxFailures bounds how many sessions the adversary may fail.
+	MaxFailures int
+	// Property must hold of every stable state; the checker searches for
+	// a stable state where it is false. It receives each router's chosen
+	// route.
+	Property func(chosen map[*bgp.Router]zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool]
+}
+
+// Check searches for a stable routing state (under at most MaxFailures
+// failed sessions) violating the property.
+func Check(n *bgp.Network, q Query, opts ...zen.Option) Result {
+	if len(opts) == 0 {
+		opts = []zen.Option{zen.WithBackend(zen.SAT)}
+	}
+	p := zen.NewProblem(opts...)
+
+	// One unknown per router: its converged choice.
+	chosen := make(map[*bgp.Router]zen.Value[zen.Opt[bgp.Route]], len(n.Routers))
+	for _, r := range n.Routers {
+		chosen[r] = zen.ProblemVar[zen.Opt[bgp.Route]](p, "chosen."+r.Name)
+	}
+
+	// One unknown per session: whether the adversary failed it. Sessions
+	// in opposite directions over one link fail independently here; pair
+	// them in the caller's topology if desired.
+	failed := make(map[*bgp.Session]zen.Value[bool], len(n.Sessions))
+	var failList []*bgp.Session
+	for _, s := range n.Sessions {
+		failed[s] = zen.ProblemVar[bool](p, "fail."+s.From.Name+">"+s.To.Name)
+		failList = append(failList, s)
+	}
+
+	// Failure budget: sum of failure indicators <= MaxFailures.
+	count := zen.Lift[uint8](0)
+	for _, s := range failList {
+		count = zen.Add(count, zen.If(failed[s], zen.Lift[uint8](1), zen.Lift[uint8](0)))
+	}
+	p.Require(zen.LeC(count, uint8(q.MaxFailures)))
+
+	// Stability: chosen(r) = SelectBest(candidates under neighbors'
+	// chosen routes and failure flags).
+	for _, r := range n.Routers {
+		neigh := make([]zen.Value[zen.Opt[bgp.Route]], len(r.In))
+		fails := make([]zen.Value[bool], len(r.In))
+		for i, s := range r.In {
+			neigh[i] = chosen[s.From]
+			fails[i] = failed[s]
+		}
+		best := bgp.SelectBest(bgp.Candidates(r, neigh, fails)...)
+		p.Require(zen.Eq(chosen[r], best))
+	}
+
+	// Violation.
+	p.Require(zen.Not(q.Property(chosen)))
+
+	if !p.Solve() {
+		return Result{}
+	}
+	res := Result{Found: true, Chosen: make(map[*bgp.Router]zen.Opt[bgp.Route])}
+	for _, r := range n.Routers {
+		res.Chosen[r] = zen.Get(p, chosen[r])
+	}
+	for _, s := range failList {
+		if zen.Get(p, failed[s]) {
+			res.FailedSessions = append(res.FailedSessions, s)
+		}
+	}
+	return res
+}
+
+// Reachable is the common property "router r has a route".
+func Reachable(r *bgp.Router) func(map[*bgp.Router]zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool] {
+	return func(chosen map[*bgp.Router]zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool] {
+		return zen.IsSome(chosen[r])
+	}
+}
+
+// AllReachable requires every router to have a route.
+func AllReachable(rs ...*bgp.Router) func(map[*bgp.Router]zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool] {
+	return func(chosen map[*bgp.Router]zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool] {
+		conds := make([]zen.Value[bool], len(rs))
+		for i, r := range rs {
+			conds[i] = zen.IsSome(chosen[r])
+		}
+		return zen.And(conds...)
+	}
+}

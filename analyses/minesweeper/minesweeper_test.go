@@ -1,0 +1,138 @@
+package minesweeper_test
+
+import (
+	"testing"
+
+	"zen-go/analyses/minesweeper"
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+)
+
+func origin() bgp.Route {
+	return bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+}
+
+// square builds A -- B -- D and A -- C -- D with A originating: D is
+// 2-connected to the origin.
+func square() (*bgp.Network, *bgp.Router, *bgp.Router) {
+	n := &bgp.Network{}
+	a := n.AddRouter("A", 1)
+	b := n.AddRouter("B", 2)
+	c := n.AddRouter("C", 3)
+	d := n.AddRouter("D", 4)
+	a.Originates = true
+	a.Origin = origin()
+	n.ConnectBoth(a, b)
+	n.ConnectBoth(a, c)
+	n.ConnectBoth(b, d)
+	n.ConnectBoth(c, d)
+	return n, a, d
+}
+
+func TestNoViolationWithoutFailures(t *testing.T) {
+	n, _, d := square()
+	res := minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 0,
+		Property:    minesweeper.Reachable(d),
+	})
+	if res.Found {
+		t.Fatalf("D must be reachable with no failures; got %+v", res.Chosen)
+	}
+}
+
+func TestSingleFailureTolerance(t *testing.T) {
+	n, _, d := square()
+	res := minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 1,
+		Property:    minesweeper.Reachable(d),
+	})
+	if res.Found {
+		t.Fatalf("D is 2-connected; one failure cannot disconnect it (failed %v)",
+			res.FailedSessions)
+	}
+}
+
+func TestTwoFailuresBreakReachability(t *testing.T) {
+	n, _, d := square()
+	res := minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 2,
+		Property:    minesweeper.Reachable(d),
+	})
+	if !res.Found {
+		t.Fatal("two failures can disconnect D (cut B->D and C->D)")
+	}
+	if len(res.FailedSessions) == 0 || len(res.FailedSessions) > 2 {
+		t.Fatalf("violation should use at most 2 failures, used %d", len(res.FailedSessions))
+	}
+	if res.Chosen[d].Ok {
+		t.Fatal("violating state should leave D routeless")
+	}
+}
+
+func TestLineSingleFailureBreaks(t *testing.T) {
+	n := &bgp.Network{}
+	r1 := n.AddRouter("R1", 1)
+	r2 := n.AddRouter("R2", 2)
+	r1.Originates = true
+	r1.Origin = origin()
+	n.ConnectBoth(r1, r2)
+	res := minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 1,
+		Property:    minesweeper.Reachable(r2),
+	})
+	if !res.Found {
+		t.Fatal("failing the only session must disconnect R2")
+	}
+}
+
+func TestPolicyInteractionViolation(t *testing.T) {
+	// B's import from A denies the route (community-based filter); C is
+	// the only working path. Zero failures: D still fine. One failure
+	// (A->C) now breaks D even though the topology is 2-connected —
+	// the classic policy-induced fragility Minesweeper finds.
+	n := &bgp.Network{}
+	a := n.AddRouter("A", 1)
+	b := n.AddRouter("B", 2)
+	c := n.AddRouter("C", 3)
+	d := n.AddRouter("D", 4)
+	a.Originates = true
+	o := origin()
+	o.Communities = []uint32{777}
+	a.Origin = o
+	denyTagged := &routemap.RouteMap{Clauses: []routemap.Clause{
+		{Permit: false, MatchCommunity: 777},
+		{Permit: true},
+	}}
+	n.Connect(a, b, nil, denyTagged)
+	n.Connect(b, a, nil, nil)
+	n.ConnectBoth(a, c)
+	n.ConnectBoth(b, d)
+	n.ConnectBoth(c, d)
+
+	res := minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 0,
+		Property:    minesweeper.Reachable(d),
+	})
+	if res.Found {
+		t.Fatal("with no failures, D reaches via C")
+	}
+	res = minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 1,
+		Property:    minesweeper.Reachable(d),
+	})
+	if !res.Found {
+		t.Fatal("one failure should break D because the B path is policy-filtered")
+	}
+}
+
+func TestAllReachableProperty(t *testing.T) {
+	n, a, d := square()
+	res := minesweeper.Check(n, minesweeper.Query{
+		MaxFailures: 0,
+		Property:    minesweeper.AllReachable(a, d),
+	})
+	if res.Found {
+		t.Fatal("everything is reachable with no failures")
+	}
+}

@@ -1,0 +1,61 @@
+// Package reach implements unbounded model checking on Zen state sets: the
+// set of states reachable under repeated application of a transformer,
+// computed to a (guaranteed, since state spaces are finite) fixpoint. This
+// is the "unbounded model checker" backend the paper's §1 lists, built on
+// TransformForward like every other set analysis.
+package reach
+
+import "zen-go/zen"
+
+// Result reports a fixpoint computation.
+type Result[T any] struct {
+	// States is the set of reachable states.
+	States zen.StateSet[T]
+	// Iterations is the number of image computations performed.
+	Iterations int
+	// Converged is false only if MaxIters stopped the loop early.
+	Converged bool
+}
+
+// Forward computes the least fixpoint of init ∪ step(·): all states
+// reachable from init in any number of steps. maxIters 0 means no bound
+// (safe: subset chains over finite spaces stabilize).
+func Forward[T any](step zen.Transformer[T, T], init zen.StateSet[T], maxIters int) Result[T] {
+	cur := init
+	for i := 0; ; i++ {
+		if maxIters > 0 && i >= maxIters {
+			return Result[T]{States: cur, Iterations: i, Converged: false}
+		}
+		next := cur.Union(step.Forward(cur))
+		if next.Equal(cur) {
+			return Result[T]{States: cur, Iterations: i + 1, Converged: true}
+		}
+		cur = next
+	}
+}
+
+// Backward computes all states that can reach `bad` in any number of
+// steps: the least fixpoint of bad ∪ step⁻¹(·). Combined with Forward it
+// answers unbounded safety queries.
+func Backward[T any](step zen.Transformer[T, T], bad zen.StateSet[T], maxIters int) Result[T] {
+	cur := bad
+	for i := 0; ; i++ {
+		if maxIters > 0 && i >= maxIters {
+			return Result[T]{States: cur, Iterations: i, Converged: false}
+		}
+		next := cur.Union(step.Reverse(cur))
+		if next.Equal(cur) {
+			return Result[T]{States: cur, Iterations: i + 1, Converged: true}
+		}
+		cur = next
+	}
+}
+
+// Safe checks the unbounded safety property "no state in bad is reachable
+// from init": it returns true with a nil witness set, or false with the
+// reachable bad states.
+func Safe[T any](step zen.Transformer[T, T], init, bad zen.StateSet[T]) (bool, zen.StateSet[T]) {
+	r := Forward(step, init, 0)
+	hit := r.States.Intersect(bad)
+	return hit.IsEmpty(), hit
+}

@@ -1,0 +1,101 @@
+package reach_test
+
+import (
+	"math/big"
+	"testing"
+
+	"zen-go/analyses/reach"
+	"zen-go/zen"
+)
+
+func TestForwardCounterReachability(t *testing.T) {
+	// step: x -> x+3 (mod 256). From {0}: reachable = multiples of gcd(3,256)=1,
+	// i.e. everything, discovered in ceil(256/1) unions but converging by
+	// doubling-free iteration in 256 steps... use x -> x+2 from {0}: the
+	// 128 even values.
+	w := zen.NewWorld()
+	step := zen.NewTransformer(w, zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 2)
+	}))
+	init := zen.SingletonSet(w, uint8(0))
+	r := reach.Forward(step, init, 0)
+	if !r.Converged {
+		t.Fatal("must converge")
+	}
+	if got := r.States.Count(); got.Cmp(big.NewInt(128)) != 0 {
+		t.Fatalf("reachable = %v, want 128 evens", got)
+	}
+	if !r.States.Contains(42) || r.States.Contains(43) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestForwardAbsorbing(t *testing.T) {
+	// step: saturating decrement; from {5}: reaches 5,4,...,0 and stays.
+	w := zen.NewWorld()
+	step := zen.NewTransformer(w, zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.If(zen.EqC(x, uint8(0)), zen.Lift[uint8](0), zen.SubC(x, 1))
+	}))
+	r := reach.Forward(step, zen.SingletonSet(w, uint8(5)), 0)
+	if got := r.States.Count(); got.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("reachable = %v, want 6", got)
+	}
+	if r.Iterations > 8 {
+		t.Fatalf("took %d iterations, expected <= 8", r.Iterations)
+	}
+}
+
+func TestBackwardMatchesForward(t *testing.T) {
+	// For x -> x+16: bad = {0}; states that can reach 0 are the multiples
+	// of 16 (mod 256).
+	w := zen.NewWorld()
+	step := zen.NewTransformer(w, zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 16)
+	}))
+	bad := zen.SingletonSet(w, uint8(0))
+	r := reach.Backward(step, bad, 0)
+	if got := r.States.Count(); got.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("backward set = %v, want 16", got)
+	}
+	if !r.States.Contains(16) || r.States.Contains(17) {
+		t.Fatal("backward membership wrong")
+	}
+}
+
+func TestSafeProperty(t *testing.T) {
+	// Saturating increment capped at 100: starting below 50, the state
+	// never exceeds 100; and 200+ is unreachable.
+	w := zen.NewWorld()
+	step := zen.NewTransformer(w, zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.If(zen.GeC(x, uint8(100)), x, zen.AddC(x, 1))
+	}))
+	init := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(x, uint8(50))
+	})
+	bad := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.GtC(x, uint8(100))
+	})
+	ok, hit := reach.Safe(step, init, bad)
+	if !ok {
+		t.Fatalf("cap should be safe; hit %v states", hit.Count())
+	}
+	// And the dual: 100 itself IS reachable.
+	r := reach.Forward(step, init, 0)
+	if !r.States.Contains(100) {
+		t.Fatal("the cap value must be reachable")
+	}
+}
+
+func TestMaxItersStopsEarly(t *testing.T) {
+	w := zen.NewWorld()
+	step := zen.NewTransformer(w, zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	}))
+	r := reach.Forward(step, zen.SingletonSet(w, uint8(0)), 3)
+	if r.Converged {
+		t.Fatal("3 iterations cannot converge a 256-cycle")
+	}
+	if got := r.States.Count(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("after 3 images: %v states, want 4", got)
+	}
+}

@@ -1,0 +1,305 @@
+// Package shapeshifter implements Shapeshifter-style abstract
+// interpretation of the control plane: the Zen BGP model is evaluated to a
+// fixpoint over Kleene ternary values (0/1/*), so every route attribute bit
+// is definitely-0, definitely-1 or unknown. The result soundly
+// over-approximates every concrete convergence, at a fraction of the cost
+// of exact analysis.
+//
+// This reuses the exact same model expressions as simulation and
+// Minesweeper — only the evaluation algebra changes, which is the paper's
+// architectural point.
+package shapeshifter
+
+import (
+	"zen-go/internal/backends"
+	"zen-go/internal/core"
+	"zen-go/internal/sym"
+	"zen-go/nets/bgp"
+	"zen-go/zen"
+)
+
+// Trit re-exports the ternary truth value.
+type Trit = backends.Trit
+
+// Ternary truth values.
+const (
+	No      = backends.TritFalse
+	Yes     = backends.TritTrue
+	Unknown = backends.TritUnknown
+)
+
+// Status summarizes a router's abstract converged route.
+type Status struct {
+	// HasRoute tells whether the router definitely has (Yes), definitely
+	// lacks (No), or may have (Unknown) a route in every convergence.
+	HasRoute Trit
+	// LocalPref and LocalPrefKnown give the known bits of the route's
+	// local preference: bit i is meaningful when LocalPrefKnown bit i is
+	// set.
+	LocalPref      uint32
+	LocalPrefKnown uint32
+}
+
+type aval = *sym.Val[Trit]
+
+// pair2 carries two candidate routes through the selection model.
+type pair2 struct {
+	A zen.Opt[bgp.Route]
+	B zen.Opt[bgp.Route]
+}
+
+// Analyzer evaluates a network abstractly.
+type Analyzer struct {
+	alg *backends.Ternary
+
+	// Model expressions, built once and evaluated ternarily many times.
+	transferFns map[*bgp.Session]*zen.Fn[zen.Opt[bgp.Route], zen.Opt[bgp.Route]]
+	betterFn    *zen.Fn[pair2, zen.Opt[bgp.Route]]
+
+	// MaxIters bounds fixpoint iteration before widening everything.
+	MaxIters int
+
+	// UnknownOriginFields names Route fields of originated routes to
+	// treat as unknown (*) — e.g. analyze for every possible Med or
+	// community assignment at once.
+	UnknownOriginFields []string
+}
+
+// New prepares an analyzer for the network.
+func New(n *bgp.Network) *Analyzer {
+	a := &Analyzer{
+		alg:         backends.NewTernary(),
+		transferFns: make(map[*bgp.Session]*zen.Fn[zen.Opt[bgp.Route], zen.Opt[bgp.Route]]),
+		MaxIters:    32,
+	}
+	for _, s := range n.Sessions {
+		s := s
+		a.transferFns[s] = zen.Func(s.Transfer)
+	}
+	a.betterFn = zen.Func(func(p zen.Value[pair2]) zen.Value[zen.Opt[bgp.Route]] {
+		return bgp.Better(
+			zen.GetField[pair2, zen.Opt[bgp.Route]](p, "A"),
+			zen.GetField[pair2, zen.Opt[bgp.Route]](p, "B"))
+	})
+	return a
+}
+
+// Analyze runs the abstract interpretation to fixpoint.
+func (a *Analyzer) Analyze(n *bgp.Network) map[*bgp.Router]Status {
+	optType := zen.TypeOf[zen.Opt[bgp.Route]]()
+
+	// Initial state: definitely no route (the concrete initial state).
+	state := make(map[*bgp.Router]aval, len(n.Routers))
+	for _, r := range n.Routers {
+		state[r] = a.constVal(optType, noneRoute())
+	}
+
+	step := func(cur map[*bgp.Router]aval, accumulate bool) (map[*bgp.Router]aval, bool) {
+		next := make(map[*bgp.Router]aval, len(n.Routers))
+		changed := false
+		for _, r := range n.Routers {
+			best := a.constVal(optType, noneRoute())
+			if r.Originates {
+				best = a.better(best, a.originVal(r.Origin))
+			}
+			for _, s := range r.In {
+				best = a.better(best, a.transfer(s, cur[s.From]))
+			}
+			v := best
+			if accumulate {
+				// Widening (list attributes to top) only in the join
+				// phase: precise list tracking is what keeps loop
+				// rejection and path-length selection exact in phase 1.
+				v = a.widen(join(a.alg, cur[r], best))
+			}
+			next[r] = v
+			if !equalVal(cur[r], v) {
+				changed = true
+			}
+		}
+		return next, changed
+	}
+
+	// Phase 1: plain Kleene iteration, which mirrors the concrete
+	// synchronous simulation and stays precise when it converges.
+	converged := false
+	for iter := 0; iter < a.MaxIters; iter++ {
+		next, changed := step(state, false)
+		state = next
+		if !changed {
+			converged = true
+			break
+		}
+	}
+	// Phase 2: if plain iteration oscillates, force convergence by
+	// accumulating joins (sound over-approximation).
+	if !converged {
+		for iter := 0; iter < a.MaxIters; iter++ {
+			next, changed := step(state, true)
+			state = next
+			if !changed {
+				break
+			}
+		}
+	}
+
+	out := make(map[*bgp.Router]Status, len(n.Routers))
+	for _, r := range n.Routers {
+		out[r] = statusOf(state[r])
+	}
+	return out
+}
+
+func (a *Analyzer) transfer(s *bgp.Session, v aval) aval {
+	fn := a.transferFns[s]
+	return sym.Eval[Trit](a.alg, fn.Out().Raw(),
+		sym.Env[Trit]{fn.Arg().Raw().VarID: v})
+}
+
+func (a *Analyzer) better(x, y aval) aval {
+	pairType := zen.TypeOf[pair2]()
+	p := sym.ObjectVal(pairType, x, y)
+	return sym.Eval[Trit](a.alg, a.betterFn.Out().Raw(),
+		sym.Env[Trit]{a.betterFn.Arg().Raw().VarID: p})
+}
+
+// join is the pointwise least upper bound, implemented as a merge under an
+// unknown condition.
+func join(alg *backends.Ternary, x, y aval) aval {
+	return sym.Ite[Trit](alg, backends.TritUnknown, x, y)
+}
+
+// widen replaces list-valued attributes (AS paths, community lists) by a
+// fully unknown bounded list, guaranteeing termination; scalar attributes
+// keep their precision. This is the attribute-abstraction trade-off
+// Shapeshifter makes.
+func (a *Analyzer) widen(v aval) aval {
+	switch v.Typ.Kind {
+	case core.KindObject:
+		fields := make([]aval, len(v.Fields))
+		for i, f := range v.Fields {
+			fields[i] = a.widen(f)
+		}
+		return sym.ObjectVal(v.Typ, fields...)
+	case core.KindList:
+		return a.topList(v.Typ, 4)
+	default:
+		return v
+	}
+}
+
+// topList is the all-unknown list of lengths 0..bound.
+func (a *Analyzer) topList(t *core.Type, bound int) aval {
+	opts := make([]sym.ListOpt[Trit], 0, bound+1)
+	for l := 0; l <= bound; l++ {
+		elems := make([]aval, l)
+		for i := range elems {
+			elems[i] = a.unknownVal(t.Elem)
+		}
+		opts = append(opts, sym.ListOpt[Trit]{Guard: backends.TritUnknown, Elems: elems})
+	}
+	return &sym.Val[Trit]{Typ: t, List: &sym.ListVal[Trit]{Opts: opts}}
+}
+
+func (a *Analyzer) unknownVal(t *core.Type) aval {
+	switch t.Kind {
+	case core.KindBool:
+		return sym.BoolVal(backends.TritUnknown)
+	case core.KindBV:
+		bits := make([]Trit, t.Width)
+		for i := range bits {
+			bits[i] = backends.TritUnknown
+		}
+		return sym.BVVal(t, bits)
+	case core.KindObject:
+		fields := make([]aval, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = a.unknownVal(f.Type)
+		}
+		return sym.ObjectVal(t, fields...)
+	case core.KindList:
+		return a.topList(t, 4)
+	}
+	panic("shapeshifter: unknown kind")
+}
+
+func (a *Analyzer) constVal(t *core.Type, v zen.Opt[bgp.Route]) aval {
+	lifted := zen.Lift(v)
+	return sym.Eval[Trit](a.alg, lifted.Raw(), sym.Env[Trit]{})
+}
+
+// originVal abstracts an originated route, replacing the configured fields
+// with unknowns.
+func (a *Analyzer) originVal(r bgp.Route) aval {
+	v := a.constVal(zen.TypeOf[zen.Opt[bgp.Route]](), someRoute(r))
+	if len(a.UnknownOriginFields) == 0 {
+		return v
+	}
+	routeType := zen.TypeOf[bgp.Route]()
+	fields := append([]aval(nil), v.Fields[1].Fields...)
+	for _, name := range a.UnknownOriginFields {
+		i := routeType.FieldIndex(name)
+		if i < 0 {
+			panic("shapeshifter: unknown Route field " + name)
+		}
+		fields[i] = a.unknownVal(routeType.Fields[i].Type)
+	}
+	route := sym.ObjectVal(routeType, fields...)
+	return sym.ObjectVal(v.Typ, v.Fields[0], route)
+}
+
+func noneRoute() zen.Opt[bgp.Route]            { return zen.Opt[bgp.Route]{} }
+func someRoute(r bgp.Route) zen.Opt[bgp.Route] { return zen.Opt[bgp.Route]{Ok: true, Val: r} }
+
+func equalVal(x, y aval) bool {
+	switch x.Typ.Kind {
+	case core.KindBool:
+		return x.Bit == y.Bit
+	case core.KindBV:
+		for i := range x.Bits {
+			if x.Bits[i] != y.Bits[i] {
+				return false
+			}
+		}
+		return true
+	case core.KindObject:
+		for i := range x.Fields {
+			if !equalVal(x.Fields[i], y.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case core.KindList:
+		if len(x.List.Opts) != len(y.List.Opts) {
+			return false
+		}
+		for i := range x.List.Opts {
+			ox, oy := x.List.Opts[i], y.List.Opts[i]
+			if ox.Guard != oy.Guard || len(ox.Elems) != len(oy.Elems) {
+				return false
+			}
+			for j := range ox.Elems {
+				if !equalVal(ox.Elems[j], oy.Elems[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	panic("shapeshifter: unknown kind")
+}
+
+func statusOf(v aval) Status {
+	st := Status{HasRoute: v.Fields[0].Bit}
+	lp := v.Fields[1].Fields[2] // Route.LocalPref (Prefix, PrefixLen, LocalPref, ...)
+	for i, b := range lp.Bits {
+		switch b {
+		case backends.TritTrue:
+			st.LocalPref |= 1 << uint(i)
+			st.LocalPrefKnown |= 1 << uint(i)
+		case backends.TritFalse:
+			st.LocalPrefKnown |= 1 << uint(i)
+		}
+	}
+	return st
+}

@@ -1,0 +1,174 @@
+package shapeshifter_test
+
+import (
+	"testing"
+
+	"zen-go/analyses/shapeshifter"
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+)
+
+func origin() bgp.Route {
+	return bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+}
+
+func TestLineDefinitelyReachable(t *testing.T) {
+	n := &bgp.Network{}
+	r1 := n.AddRouter("R1", 1)
+	r2 := n.AddRouter("R2", 2)
+	r3 := n.AddRouter("R3", 3)
+	r1.Originates = true
+	r1.Origin = origin()
+	n.ConnectBoth(r1, r2)
+	n.ConnectBoth(r2, r3)
+
+	got := shapeshifter.New(n).Analyze(n)
+	for _, r := range []*bgp.Router{r1, r2, r3} {
+		if got[r].HasRoute != shapeshifter.Yes {
+			t.Fatalf("%s: HasRoute = %v, want Yes", r.Name, got[r].HasRoute)
+		}
+	}
+	// The local-pref is known exactly along the line.
+	if got[r3].LocalPrefKnown != ^uint32(0) || got[r3].LocalPref != 100 {
+		t.Fatalf("R3 LocalPref = %d (known %x), want fully-known 100",
+			got[r3].LocalPref, got[r3].LocalPrefKnown)
+	}
+}
+
+func TestIsolatedRouterDefinitelyUnreachable(t *testing.T) {
+	n := &bgp.Network{}
+	r1 := n.AddRouter("R1", 1)
+	r2 := n.AddRouter("R2", 2)
+	iso := n.AddRouter("ISO", 9)
+	r1.Originates = true
+	r1.Origin = origin()
+	n.ConnectBoth(r1, r2)
+
+	got := shapeshifter.New(n).Analyze(n)
+	if got[iso].HasRoute != shapeshifter.No {
+		t.Fatalf("isolated router HasRoute = %v, want No", got[iso].HasRoute)
+	}
+	if got[r2].HasRoute != shapeshifter.Yes {
+		t.Fatalf("connected router HasRoute = %v, want Yes", got[r2].HasRoute)
+	}
+}
+
+func TestFilteredPathUnreachable(t *testing.T) {
+	n := &bgp.Network{}
+	r1 := n.AddRouter("R1", 1)
+	r2 := n.AddRouter("R2", 2)
+	r1.Originates = true
+	r1.Origin = origin()
+	denyAll := &routemap.RouteMap{Clauses: []routemap.Clause{{Permit: false}}}
+	n.Connect(r1, r2, denyAll, nil)
+	n.Connect(r2, r1, nil, nil)
+
+	got := shapeshifter.New(n).Analyze(n)
+	if got[r2].HasRoute != shapeshifter.No {
+		t.Fatalf("filtered router HasRoute = %v, want No", got[r2].HasRoute)
+	}
+}
+
+func TestUnknownOriginAttributePropagates(t *testing.T) {
+	// Analyze for every possible origin Med at once: reachability and
+	// LocalPref stay definite, Med is unknown everywhere downstream.
+	n := &bgp.Network{}
+	r1 := n.AddRouter("R1", 1)
+	r2 := n.AddRouter("R2", 2)
+	r1.Originates = true
+	r1.Origin = origin()
+	n.ConnectBoth(r1, r2)
+
+	an := shapeshifter.New(n)
+	an.UnknownOriginFields = []string{"Med"}
+	got := an.Analyze(n)
+	if got[r2].HasRoute != shapeshifter.Yes {
+		t.Fatalf("R2 HasRoute = %v, want Yes", got[r2].HasRoute)
+	}
+	if got[r2].LocalPrefKnown != ^uint32(0) || got[r2].LocalPref != 100 {
+		t.Fatalf("R2 LocalPref should stay fully known at 100; got %d known %x",
+			got[r2].LocalPref, got[r2].LocalPrefKnown)
+	}
+}
+
+func TestUnknownLocalPrefSelectionStaysSound(t *testing.T) {
+	// With the origin LocalPref unknown, selection between the two DAG
+	// paths cannot be resolved, but reachability is still definite.
+	n := &bgp.Network{}
+	a := n.AddRouter("A", 1)
+	b := n.AddRouter("B", 2)
+	c := n.AddRouter("C", 3)
+	d := n.AddRouter("D", 4)
+	a.Originates = true
+	a.Origin = origin()
+	n.Connect(a, b, nil, nil)
+	n.Connect(a, c, nil, nil)
+	n.Connect(b, d, nil, nil)
+	n.Connect(c, d, nil, nil)
+
+	an := shapeshifter.New(n)
+	an.UnknownOriginFields = []string{"LocalPref"}
+	got := an.Analyze(n)
+	if got[d].HasRoute != shapeshifter.Yes {
+		t.Fatalf("D HasRoute = %v, want Yes", got[d].HasRoute)
+	}
+	if got[d].LocalPrefKnown == ^uint32(0) {
+		t.Fatal("unknown origin LocalPref cannot be fully known at D")
+	}
+}
+
+func TestUnknownLocalPrefCyclicStaysSoundButImprecise(t *testing.T) {
+	// With bidirectional sessions AND an unknown LocalPref, the
+	// non-relational abstraction cannot rule out looped paths after
+	// widening, so reachability degrades to Unknown — sound (never a
+	// definite wrong answer), just imprecise.
+	n := &bgp.Network{}
+	a := n.AddRouter("A", 1)
+	b := n.AddRouter("B", 2)
+	a.Originates = true
+	a.Origin = origin()
+	n.ConnectBoth(a, b)
+
+	an := shapeshifter.New(n)
+	an.UnknownOriginFields = []string{"LocalPref"}
+	got := an.Analyze(n)
+	if got[b].HasRoute == shapeshifter.No {
+		t.Fatal("B definitely has a route; abstract must not claim definitely-none")
+	}
+}
+
+func TestAbstractSoundnessAgainstSimulation(t *testing.T) {
+	// Whatever concrete simulation converges to must be compatible with
+	// the abstract result.
+	n := &bgp.Network{}
+	r1 := n.AddRouter("R1", 1)
+	r2 := n.AddRouter("R2", 2)
+	r3 := n.AddRouter("R3", 3)
+	r4 := n.AddRouter("R4", 4)
+	r1.Originates = true
+	r1.Origin = origin()
+	n.ConnectBoth(r1, r2)
+	n.ConnectBoth(r2, r3)
+	n.ConnectBoth(r3, r4)
+	n.ConnectBoth(r1, r4)
+
+	concrete := bgp.Simulate(n, 16)
+	abstract := shapeshifter.New(n).Analyze(n)
+	for _, r := range n.Routers {
+		ab := abstract[r]
+		co := concrete[r]
+		if ab.HasRoute == shapeshifter.Yes && !co.Ok {
+			t.Fatalf("%s: abstract says definitely-route, concrete has none", r.Name)
+		}
+		if ab.HasRoute == shapeshifter.No && co.Ok {
+			t.Fatalf("%s: abstract says definitely-none, concrete has one", r.Name)
+		}
+		if co.Ok {
+			if co.Val.LocalPref&ab.LocalPrefKnown != ab.LocalPref&ab.LocalPrefKnown {
+				t.Fatalf("%s: concrete LocalPref %d conflicts with abstract known bits",
+					r.Name, co.Val.LocalPref)
+			}
+		}
+	}
+}

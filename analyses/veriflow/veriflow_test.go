@@ -1,0 +1,98 @@
+package veriflow_test
+
+import (
+	"math/big"
+	"testing"
+
+	"zen-go/analyses/veriflow"
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// noBlackHole10 requires every 10/8 destination to be forwarded somewhere.
+func noBlackHole10(h zen.Value[pkt.Header], port zen.Value[uint8]) zen.Value[bool] {
+	in10 := pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h))
+	return zen.Implies(in10, zen.Ne(port, zen.Lift[uint8](0)))
+}
+
+func TestInitialVerification(t *testing.T) {
+	w := zen.NewWorld()
+	good := fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2})
+	m := veriflow.New(w, good, noBlackHole10)
+	if ok, wit := m.Holds(); !ok {
+		t.Fatalf("invariant should hold initially; witness %+v", wit)
+	}
+}
+
+func TestUpdateIntroducesViolation(t *testing.T) {
+	w := zen.NewWorld()
+	good := fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2})
+	m := veriflow.New(w, good, noBlackHole10)
+
+	// An update that carves a /16 black hole (port 0 entries do not
+	// exist; removing coverage means LPM miss => port 0).
+	bad := fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 9), Port: 2},
+		// 10.128/9 no longer covered except a /16 island.
+		fwd.Entry{Prefix: pkt.Pfx(10, 200, 0, 0, 16), Port: 3},
+	)
+	m.Update(bad)
+	ok, wit := m.Holds()
+	if ok {
+		t.Fatal("black hole must be detected incrementally")
+	}
+	if wit.DstIP>>24 != 10 || wit.DstIP>>23 == (10<<1) {
+		// witness must be in 10.128/9 minus 10.200/16
+		if !pkt.Pfx(10, 128, 0, 0, 9).ContainsConcrete(wit.DstIP) {
+			t.Fatalf("witness %s outside the hole", pkt.FormatIP(wit.DstIP))
+		}
+	}
+	// Fix it again.
+	m.Update(good)
+	if ok, _ := m.Holds(); !ok {
+		t.Fatal("restoring the table must clear the violation")
+	}
+}
+
+func TestIncrementalAgreesWithFull(t *testing.T) {
+	w := zen.NewWorld()
+	t0 := fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2})
+	t1 := fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2},
+		fwd.Entry{Prefix: pkt.Pfx(10, 7, 0, 0, 16), Port: 0}, // null-route island
+	)
+	m := veriflow.New(w, t0, noBlackHole10)
+	m.Update(t1)
+
+	// Full recomputation for comparison.
+	full := veriflow.New(w, t1, noBlackHole10)
+	if !m.Violating().Equal(full.Violating()) {
+		t.Fatal("incremental violation set differs from full recomputation")
+	}
+	// The violation is exactly the null-routed /16.
+	want := new(big.Int).Lsh(big.NewInt(1), 16+32+16+16+8)
+	if got := m.Violating().Count(); got.Cmp(want) != 0 {
+		t.Fatalf("violating = %v, want %v", got, want)
+	}
+}
+
+func TestIncrementalTouchesOnlyChangedSpace(t *testing.T) {
+	w := zen.NewWorld()
+	t0 := fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2})
+	// The update only reroutes one /24 (port 2 -> 3).
+	t1 := fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2},
+		fwd.Entry{Prefix: pkt.Pfx(10, 1, 2, 0, 24), Port: 3},
+	)
+	m := veriflow.New(w, t0, noBlackHole10)
+	m.Update(t1)
+	if ok, _ := m.Holds(); !ok {
+		t.Fatal("rerouting must not violate the invariant")
+	}
+	// Rechecked headers = exactly the rerouted /24 slice of the space.
+	want := new(big.Int).Lsh(big.NewInt(1), 8+32+16+16+8)
+	if got := m.CheckedSinceInit(); got.Cmp(want) != 0 {
+		t.Fatalf("rechecked %v headers, want %v (one /24 slice)", got, want)
+	}
+}

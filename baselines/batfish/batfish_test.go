@@ -1,0 +1,92 @@
+package batfish_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"zen-go/baselines/batfish"
+	"zen-go/internal/figgen"
+	"zen-go/nets/acl"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func TestLineReachableSimple(t *testing.T) {
+	a := &acl.ACL{Rules: []acl.Rule{
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+		{Permit: false, DstPfx: pkt.Pfx(10, 1, 0, 0, 16)}, // shadowed
+		{Permit: true},
+	}}
+	got := batfish.New().LineReachable(a)
+	want := []bool{true, false, true, false} // last entry: implicit default unreachable (line 2 catches all)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d reachable = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestFindMatchingLastAgreesWithZen(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		a := figgen.ACL(rng, 10+rng.Intn(30))
+		// Baseline result.
+		bh, bok := batfish.New().FindMatchingLast(a)
+
+		// Zen result.
+		fn := zen.Func(a.MatchLine)
+		last := uint16(len(a.Rules) - 1)
+		zh, zok := fn.Find(func(_ zen.Value[pkt.Header], line zen.Value[uint16]) zen.Value[bool] {
+			return zen.EqC(line, last)
+		})
+		if bok != zok {
+			t.Fatalf("trial %d: baseline found=%v, zen found=%v", trial, bok, zok)
+		}
+		if !bok {
+			continue
+		}
+		// Both witnesses must actually match the last line, per the Zen
+		// model (the shared semantic reference).
+		if got := fn.Evaluate(bh); got != last {
+			t.Fatalf("trial %d: baseline witness hits line %d, want %d", trial, got, last)
+		}
+		if got := fn.Evaluate(zh); got != last {
+			t.Fatalf("trial %d: zen witness hits line %d, want %d", trial, got, last)
+		}
+	}
+}
+
+func TestRangeEncoding(t *testing.T) {
+	// Port-range rule: cross-check rule matching against the Zen model on
+	// random packets.
+	rng := rand.New(rand.NewSource(5))
+	rule := acl.Rule{Permit: true, DstLow: 1000, DstHigh: 2000, Protocol: pkt.ProtoTCP}
+	a := &acl.ACL{Rules: []acl.Rule{rule}}
+	v := batfish.New()
+	reach := v.LineReachable(a)
+	if !reach[0] || !reach[1] {
+		t.Fatal("both the rule and the default should be reachable")
+	}
+	fn := zen.Func(rule.Matches)
+	for i := 0; i < 100; i++ {
+		h := pkt.Header{
+			DstIP:    rng.Uint32(),
+			DstPort:  uint16(rng.Intn(65536)),
+			Protocol: uint8(rng.Intn(256)),
+		}
+		want := h.DstPort >= 1000 && h.DstPort <= 2000 && h.Protocol == pkt.ProtoTCP
+		if fn.Evaluate(h) != want {
+			t.Fatalf("zen model disagrees with reference at %+v", h)
+		}
+	}
+}
+
+func TestUnreachableLastLine(t *testing.T) {
+	a := &acl.ACL{Rules: []acl.Rule{
+		{Permit: true}, // catch-all first
+		{Permit: false, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+	}}
+	if _, ok := batfish.New().FindMatchingLast(a); ok {
+		t.Fatal("last line is shadowed; no packet should match it first")
+	}
+}

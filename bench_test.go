@@ -1,0 +1,206 @@
+package zenrepro
+
+// The benchmarks in this file regenerate the paper's evaluation:
+//
+//   - BenchmarkFigure10ACL_*      — Figure 10 (left): ACL verification
+//     time vs size for Zen-BDD, Zen-SMT(SAT), and the hand-optimized
+//     Batfish-style baseline.
+//   - BenchmarkFigure10RouteMap_* — Figure 10 (right): route-map
+//     verification time vs size for Zen-BDD and Zen-SMT(SAT).
+//   - BenchmarkAblation*          — the design choices DESIGN.md calls
+//     out: the variable-ordering heuristics of §6 and model compilation
+//     of §8.
+//
+// Run with: go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zen-go/baselines/batfish"
+	"zen-go/internal/figgen"
+	"zen-go/nets/acl"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+	"zen-go/zen"
+)
+
+// aclSizes mirrors the x-axis of Figure 10 (left); the paper sweeps to
+// ~15000 lines.
+var aclSizes = []int{1000, 4000, 15000}
+
+// rmSizes mirrors the x-axis of Figure 10 (right).
+var rmSizes = []int{20, 60, 100}
+
+func benchACL(b *testing.B, n int, run func(*acl.ACL)) {
+	rng := rand.New(rand.NewSource(42))
+	a := figgen.ACL(rng, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(a)
+	}
+}
+
+func zenACLFind(be zen.Backend) func(*acl.ACL) {
+	return func(a *acl.ACL) {
+		last := uint16(len(a.Rules) - 1)
+		fn := zen.Func(a.MatchLine)
+		if _, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
+			return zen.EqC(l, last)
+		}, zen.WithBackend(be)); !ok {
+			panic("catch-all line unreachable")
+		}
+	}
+}
+
+func BenchmarkFigure10ACL_ZenBDD(b *testing.B) {
+	for _, n := range aclSizes {
+		b.Run(fmt.Sprintf("lines=%d", n), func(b *testing.B) {
+			benchACL(b, n, zenACLFind(zen.BDD))
+		})
+	}
+}
+
+func BenchmarkFigure10ACL_ZenSAT(b *testing.B) {
+	for _, n := range aclSizes {
+		b.Run(fmt.Sprintf("lines=%d", n), func(b *testing.B) {
+			benchACL(b, n, zenACLFind(zen.SAT))
+		})
+	}
+}
+
+func BenchmarkFigure10ACL_Batfish(b *testing.B) {
+	for _, n := range aclSizes {
+		b.Run(fmt.Sprintf("lines=%d", n), func(b *testing.B) {
+			benchACL(b, n, func(a *acl.ACL) {
+				if _, ok := batfish.New().FindMatchingLast(a); !ok {
+					panic("catch-all line unreachable")
+				}
+			})
+		})
+	}
+}
+
+func benchRM(b *testing.B, n int, be zen.Backend) {
+	rng := rand.New(rand.NewSource(42))
+	rm := figgen.RouteMap(rng, n)
+	last := uint16(len(rm.Clauses) - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn := zen.Func(rm.MatchClause)
+		if _, ok := fn.Find(func(_ zen.Value[routemap.Route], l zen.Value[uint16]) zen.Value[bool] {
+			return zen.EqC(l, last)
+		}, zen.WithBackend(be), zen.WithListBound(routemap.Depth)); !ok {
+			panic("catch-all clause unreachable")
+		}
+	}
+}
+
+func BenchmarkFigure10RouteMap_ZenBDD(b *testing.B) {
+	for _, n := range rmSizes {
+		b.Run(fmt.Sprintf("clauses=%d", n), func(b *testing.B) { benchRM(b, n, zen.BDD) })
+	}
+}
+
+func BenchmarkFigure10RouteMap_ZenSAT(b *testing.B) {
+	for _, n := range rmSizes {
+		b.Run(fmt.Sprintf("clauses=%d", n), func(b *testing.B) { benchRM(b, n, zen.SAT) })
+	}
+}
+
+// --- Ablations ---
+
+// swapRec is a record whose transformer swaps two fields: without the
+// dataflow-interleaving ordering heuristic (§6), the swap relation must
+// remember every bit of both fields at once and blows up exponentially in
+// the width (8-bit fields keep the "off" case finishable; at 16 bits it
+// does not terminate in minutes).
+type swapRec struct {
+	A uint8
+	B uint8
+}
+
+func benchSwapTransformer(b *testing.B, heuristic bool) {
+	for i := 0; i < b.N; i++ {
+		w := zen.NewWorld()
+		w.SetOrderingHeuristic(heuristic)
+		tr := zen.NewTransformer(w, zen.Func(func(r zen.Value[swapRec]) zen.Value[swapRec] {
+			return zen.Create[swapRec](
+				zen.F("A", zen.GetField[swapRec, uint8](r, "B")),
+				zen.F("B", zen.GetField[swapRec, uint8](r, "A")))
+		}))
+		s := zen.SetOf(w, func(r zen.Value[swapRec]) zen.Value[bool] {
+			return zen.LtC(zen.GetField[swapRec, uint8](r, "A"), uint8(100))
+		})
+		if tr.Forward(s).IsEmpty() {
+			panic("image must be nonempty")
+		}
+	}
+}
+
+func BenchmarkAblationOrderingOn(b *testing.B)  { benchSwapTransformer(b, true) }
+func BenchmarkAblationOrderingOff(b *testing.B) { benchSwapTransformer(b, false) }
+
+// triple exercises the fresh-variable-space optimization: two transformers
+// with conflicting interleaving preferences over the same type.
+type triple struct {
+	A uint16
+	B uint16
+	C uint16
+}
+
+func benchConflictingTransformers(b *testing.B, freshSpaces bool) {
+	for i := 0; i < b.N; i++ {
+		w := zen.NewWorld()
+		w.SetFreshSpaces(freshSpaces)
+		t1 := zen.NewTransformer(w, zen.Func(func(r zen.Value[triple]) zen.Value[bool] {
+			return zen.Eq(zen.GetField[triple, uint16](r, "A"), zen.GetField[triple, uint16](r, "C"))
+		}))
+		t2 := zen.NewTransformer(w, zen.Func(func(r zen.Value[triple]) zen.Value[bool] {
+			return zen.Eq(zen.GetField[triple, uint16](r, "B"), zen.GetField[triple, uint16](r, "C"))
+		}))
+		full := zen.FullSet[triple](w)
+		if t1.Forward(full).IsEmpty() || t2.Forward(full).IsEmpty() {
+			panic("images must be nonempty")
+		}
+	}
+}
+
+func BenchmarkAblationVarSpacesOn(b *testing.B)  { benchConflictingTransformers(b, true) }
+func BenchmarkAblationVarSpacesOff(b *testing.B) { benchConflictingTransformers(b, false) }
+
+// Compiled vs interpreted execution of a 100-line ACL model (§8).
+func ablationACLModel() (*zen.Fn[pkt.Header, uint16], []pkt.Header) {
+	rng := rand.New(rand.NewSource(7))
+	a := figgen.ACL(rng, 100)
+	fn := zen.Func(a.MatchLine)
+	pkts := make([]pkt.Header, 256)
+	for i := range pkts {
+		pkts[i] = pkt.Header{
+			DstIP:    rng.Uint32(),
+			SrcIP:    rng.Uint32(),
+			DstPort:  uint16(rng.Intn(65536)),
+			SrcPort:  uint16(rng.Intn(65536)),
+			Protocol: uint8(rng.Intn(256)),
+		}
+	}
+	return fn, pkts
+}
+
+func BenchmarkAblationInterpreted(b *testing.B) {
+	fn, pkts := ablationACLModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Evaluate(pkts[i%len(pkts)])
+	}
+}
+
+func BenchmarkAblationCompiled(b *testing.B) {
+	fn, pkts := ablationACLModel()
+	compiled := fn.Compile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compiled(pkts[i%len(pkts)])
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"zen-go/nets/bgp"
+	"zen-go/nets/routemap"
+)
+
+// BGPConfig is the JSON control-plane description: routers, sessions and
+// named route maps.
+type BGPConfig struct {
+	RouteMaps map[string]RouteMapCfg `json:"routeMaps"`
+	Routers   []RouterCfg            `json:"routers"`
+	Sessions  []SessionCfg           `json:"sessions"`
+}
+
+// RouterCfg is one BGP speaker.
+type RouterCfg struct {
+	Name       string `json:"name"`
+	ASN        uint16 `json:"asn"`
+	Originates string `json:"originates,omitempty"` // CIDR
+	LocalPref  uint32 `json:"localPref,omitempty"`
+}
+
+// SessionCfg is a directed session with optional policies. Bidirectional
+// session pairs are written as two entries.
+type SessionCfg struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Export string `json:"export,omitempty"`
+	Import string `json:"import,omitempty"`
+	// Both adds the reverse (policy-free) session too.
+	Both bool `json:"both,omitempty"`
+}
+
+// RouteMapCfg is an ordered clause list.
+type RouteMapCfg struct {
+	Clauses []ClauseCfg `json:"clauses"`
+}
+
+// ClauseCfg mirrors routemap.Clause with JSON-friendly prefixes.
+type ClauseCfg struct {
+	Permit          bool   `json:"permit"`
+	MatchPrefix     string `json:"matchPrefix,omitempty"` // CIDR
+	MatchGE         uint8  `json:"matchGe,omitempty"`
+	MatchLE         uint8  `json:"matchLe,omitempty"`
+	MatchCommunity  uint32 `json:"matchCommunity,omitempty"`
+	MatchAsContains uint16 `json:"matchAsContains,omitempty"`
+	SetLocalPref    uint32 `json:"setLocalPref,omitempty"`
+	SetMed          uint32 `json:"setMed,omitempty"`
+	AddCommunity    uint32 `json:"addCommunity,omitempty"`
+	PrependAs       uint16 `json:"prependAs,omitempty"`
+}
+
+// LoadBGP reads and links a control-plane configuration.
+func LoadBGP(path string) (*bgp.Network, map[string]*bgp.Router, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg BGPConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return buildBGP(&cfg)
+}
+
+func buildBGP(cfg *BGPConfig) (*bgp.Network, map[string]*bgp.Router, error) {
+	maps := map[string]*routemap.RouteMap{}
+	for name, mc := range cfg.RouteMaps {
+		rm := &routemap.RouteMap{Name: name}
+		for _, cc := range mc.Clauses {
+			cl := routemap.Clause{
+				Permit:          cc.Permit,
+				MatchCommunity:  cc.MatchCommunity,
+				MatchAsContains: cc.MatchAsContains,
+				SetLocalPref:    cc.SetLocalPref,
+				SetMed:          cc.SetMed,
+				AddCommunity:    cc.AddCommunity,
+				PrependAs:       cc.PrependAs,
+			}
+			if cc.MatchPrefix != "" {
+				pfx, err := parsePrefix(cc.MatchPrefix)
+				if err != nil {
+					return nil, nil, err
+				}
+				ge, le := cc.MatchGE, cc.MatchLE
+				if ge == 0 {
+					ge = pfx.Length
+				}
+				if le == 0 {
+					le = 32
+				}
+				cl.MatchPrefixes = []routemap.PrefixMatch{{Pfx: pfx, GE: ge, LE: le}}
+			}
+			rm.Clauses = append(rm.Clauses, cl)
+		}
+		maps[name] = rm
+	}
+
+	n := &bgp.Network{}
+	byName := map[string]*bgp.Router{}
+	for _, rc := range cfg.Routers {
+		if _, dup := byName[rc.Name]; dup {
+			return nil, nil, fmt.Errorf("duplicate router %q", rc.Name)
+		}
+		r := n.AddRouter(rc.Name, rc.ASN)
+		if rc.Originates != "" {
+			pfx, err := parsePrefix(rc.Originates)
+			if err != nil {
+				return nil, nil, err
+			}
+			lp := rc.LocalPref
+			if lp == 0 {
+				lp = 100
+			}
+			r.Originates = true
+			r.Origin = bgp.Route{Prefix: pfx.Address, PrefixLen: pfx.Length, LocalPref: lp}
+		}
+		byName[rc.Name] = r
+	}
+	lookupMap := func(name string) (*routemap.RouteMap, error) {
+		if name == "" {
+			return nil, nil
+		}
+		rm, ok := maps[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown route map %q", name)
+		}
+		return rm, nil
+	}
+	for _, sc := range cfg.Sessions {
+		from, ok := byName[sc.From]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown router %q", sc.From)
+		}
+		to, ok := byName[sc.To]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown router %q", sc.To)
+		}
+		exp, err := lookupMap(sc.Export)
+		if err != nil {
+			return nil, nil, err
+		}
+		imp, err := lookupMap(sc.Import)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Connect(from, to, exp, imp)
+		if sc.Both {
+			n.Connect(to, from, nil, nil)
+		}
+	}
+	return n, byName, nil
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zen-go/nets/acl"
+	"zen-go/nets/device"
+	"zen-go/nets/fwd"
+	"zen-go/nets/gre"
+	"zen-go/nets/pkt"
+)
+
+// Config is the JSON network description consumed by zennet.
+type Config struct {
+	ACLs    map[string]ACLConfig `json:"acls"`
+	Tunnels map[string]TunnelCfg `json:"tunnels"`
+	Devices []DeviceConfig       `json:"devices"`
+}
+
+// ACLConfig is a named rule list.
+type ACLConfig struct {
+	Rules []RuleConfig `json:"rules"`
+}
+
+// RuleConfig is one ACL line.
+type RuleConfig struct {
+	Permit      bool   `json:"permit"`
+	SrcPrefix   string `json:"srcPrefix,omitempty"`
+	DstPrefix   string `json:"dstPrefix,omitempty"`
+	Protocol    uint8  `json:"protocol,omitempty"`
+	DstPortLow  uint16 `json:"dstPortLow,omitempty"`
+	DstPortHigh uint16 `json:"dstPortHigh,omitempty"`
+	SrcPortLow  uint16 `json:"srcPortLow,omitempty"`
+	SrcPortHigh uint16 `json:"srcPortHigh,omitempty"`
+}
+
+// TunnelCfg is a named GRE tunnel.
+type TunnelCfg struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// DeviceConfig is one switch/router.
+type DeviceConfig struct {
+	Name       string            `json:"name"`
+	Interfaces []InterfaceConfig `json:"interfaces"`
+	Routes     []RouteConfig     `json:"routes"`
+}
+
+// InterfaceConfig is one port.
+type InterfaceConfig struct {
+	Name     string `json:"name"`
+	Link     string `json:"link,omitempty"` // "device:intf"
+	ACLIn    string `json:"aclIn,omitempty"`
+	ACLOut   string `json:"aclOut,omitempty"`
+	GREStart string `json:"greStart,omitempty"`
+	GREEnd   string `json:"greEnd,omitempty"`
+}
+
+// RouteConfig is one forwarding entry.
+type RouteConfig struct {
+	Prefix string `json:"prefix"` // CIDR
+	Port   string `json:"port"`   // interface name
+}
+
+// Network is the loaded topology.
+type Network struct {
+	Devices map[string]*device.Device
+	ACLs    map[string]*acl.ACL
+}
+
+// Intf resolves "device:intf" to an interface.
+func (n *Network) Intf(ref string) (*device.Interface, error) {
+	parts := strings.SplitN(ref, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("interface reference %q must be device:intf", ref)
+	}
+	d, ok := n.Devices[parts[0]]
+	if !ok {
+		return nil, fmt.Errorf("unknown device %q", parts[0])
+	}
+	for _, i := range d.Interfaces {
+		if i.Name == parts[1] {
+			return i, nil
+		}
+	}
+	return nil, fmt.Errorf("device %s has no interface %q", parts[0], parts[1])
+}
+
+// Load reads and links a configuration file.
+func Load(path string) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return build(&cfg)
+}
+
+func build(cfg *Config) (*Network, error) {
+	n := &Network{Devices: map[string]*device.Device{}, ACLs: map[string]*acl.ACL{}}
+	for name, ac := range cfg.ACLs {
+		a := &acl.ACL{Name: name}
+		for _, rc := range ac.Rules {
+			r := acl.Rule{
+				Permit: rc.Permit, Protocol: rc.Protocol,
+				DstLow: rc.DstPortLow, DstHigh: rc.DstPortHigh,
+				SrcLow: rc.SrcPortLow, SrcHigh: rc.SrcPortHigh,
+			}
+			var err error
+			if r.SrcPfx, err = parsePrefix(rc.SrcPrefix); err != nil {
+				return nil, err
+			}
+			if r.DstPfx, err = parsePrefix(rc.DstPrefix); err != nil {
+				return nil, err
+			}
+			a.Rules = append(a.Rules, r)
+		}
+		n.ACLs[name] = a
+	}
+
+	tunnels := map[string]*gre.Tunnel{}
+	for name, tc := range cfg.Tunnels {
+		src, err := parseIP(tc.Src)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := parseIP(tc.Dst)
+		if err != nil {
+			return nil, err
+		}
+		tunnels[name] = &gre.Tunnel{Name: name, SrcIP: src, DstIP: dst}
+	}
+
+	// Pass 1: devices and interfaces.
+	for _, dc := range cfg.Devices {
+		if _, dup := n.Devices[dc.Name]; dup {
+			return nil, fmt.Errorf("duplicate device %q", dc.Name)
+		}
+		d := &device.Device{Name: dc.Name}
+		for _, ic := range dc.Interfaces {
+			i := d.AddInterface(ic.Name)
+			if ic.ACLIn != "" {
+				a, ok := n.ACLs[ic.ACLIn]
+				if !ok {
+					return nil, fmt.Errorf("%s:%s: unknown ACL %q", dc.Name, ic.Name, ic.ACLIn)
+				}
+				i.AclIn = a
+			}
+			if ic.ACLOut != "" {
+				a, ok := n.ACLs[ic.ACLOut]
+				if !ok {
+					return nil, fmt.Errorf("%s:%s: unknown ACL %q", dc.Name, ic.Name, ic.ACLOut)
+				}
+				i.AclOut = a
+			}
+			if ic.GREStart != "" {
+				tn, ok := tunnels[ic.GREStart]
+				if !ok {
+					return nil, fmt.Errorf("unknown tunnel %q", ic.GREStart)
+				}
+				i.GreStart = tn
+			}
+			if ic.GREEnd != "" {
+				tn, ok := tunnels[ic.GREEnd]
+				if !ok {
+					return nil, fmt.Errorf("unknown tunnel %q", ic.GREEnd)
+				}
+				i.GreEnd = tn
+			}
+		}
+		n.Devices[dc.Name] = d
+	}
+
+	// Pass 2: routes and links.
+	for _, dc := range cfg.Devices {
+		d := n.Devices[dc.Name]
+		var entries []fwd.Entry
+		for _, rc := range dc.Routes {
+			pfx, err := parsePrefix(rc.Prefix)
+			if err != nil {
+				return nil, err
+			}
+			i, err := n.Intf(dc.Name + ":" + rc.Port)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, fwd.Entry{Prefix: pfx, Port: i.ID})
+		}
+		d.Table = fwd.New(entries...)
+		for _, ic := range dc.Interfaces {
+			if ic.Link == "" {
+				continue
+			}
+			from, err := n.Intf(dc.Name + ":" + ic.Name)
+			if err != nil {
+				return nil, err
+			}
+			to, err := n.Intf(ic.Link)
+			if err != nil {
+				return nil, err
+			}
+			device.Link(from, to)
+		}
+	}
+	return n, nil
+}
+
+// parsePrefix parses "a.b.c.d/len" ("" = match-all).
+func parsePrefix(s string) (pkt.Prefix, error) {
+	if s == "" {
+		return pkt.Prefix{}, nil
+	}
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return pkt.Prefix{}, fmt.Errorf("bad prefix %q", s)
+	}
+	addr, err := parseIP(parts[0])
+	if err != nil {
+		return pkt.Prefix{}, err
+	}
+	l, err := strconv.Atoi(parts[1])
+	if err != nil || l < 0 || l > 32 {
+		return pkt.Prefix{}, fmt.Errorf("bad prefix length in %q", s)
+	}
+	p := pkt.Prefix{Address: addr, Length: uint8(l)}
+	p.Address &= p.Mask()
+	return p, nil
+}
+
+func parseIP(s string) (uint32, error) {
+	var a, b, c, d uint8
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return pkt.IP(a, b, c, d), nil
+}

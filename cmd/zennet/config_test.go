@@ -1,0 +1,128 @@
+package main
+
+import (
+	"testing"
+
+	"zen-go/analyses/anteater"
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func TestLoadDiamond(t *testing.T) {
+	n, err := Load("testdata/diamond.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Devices) != 4 {
+		t.Fatalf("devices = %d, want 4", len(n.Devices))
+	}
+	a := n.Devices["A"]
+	if a == nil || len(a.Interfaces) != 3 {
+		t.Fatalf("device A malformed: %+v", a)
+	}
+	in, err := n.Intf("A:in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	north, _ := n.Intf("A:north")
+	if north.Peer == nil || north.Peer.Device.Name != "B" {
+		t.Fatal("A:north link not established")
+	}
+	bw, _ := n.Intf("B:w")
+	if bw.AclIn == nil || len(bw.AclIn.Rules) != 2 {
+		t.Fatal("B:w ACL not attached")
+	}
+
+	// End-to-end: ssh into 10/8 is isolated from D (filtered at B).
+	ok, _ := anteater.VerifyIsolation(in, n.Devices["D"], 4,
+		func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+			h := pkt.Overlay(p)
+			return zen.And(
+				anteater.Plain(p),
+				pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h)),
+				zen.EqC(pkt.DstPort(h), uint16(22)),
+				zen.EqC(pkt.Protocol(h), pkt.ProtoTCP))
+		})
+	if !ok {
+		t.Fatal("ssh into 10/8 should be isolated in the loaded network")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("testdata/missing.json"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if _, err := parsePrefix("10.0.0.0"); err == nil {
+		t.Fatal("prefix without length should error")
+	}
+	if _, err := parsePrefix("10.0.0.0/33"); err == nil {
+		t.Fatal("overlong prefix should error")
+	}
+	if _, err := parseIP("not-an-ip"); err == nil {
+		t.Fatal("bad IP should error")
+	}
+	if p, err := parsePrefix("10.1.2.3/16"); err != nil || p.Address != pkt.IP(10, 1, 0, 0) {
+		t.Fatalf("prefix normalization: %v %v", p, err)
+	}
+	if _, err := parsePrefix(""); err != nil {
+		t.Fatal("empty prefix is match-all, not an error")
+	}
+}
+
+func TestBuildUnknownACL(t *testing.T) {
+	cfg := &Config{Devices: []DeviceConfig{{
+		Name:       "X",
+		Interfaces: []InterfaceConfig{{Name: "i", ACLIn: "nope"}},
+	}}}
+	if _, err := build(cfg); err == nil {
+		t.Fatal("unknown ACL reference should error")
+	}
+}
+
+func TestBuildDuplicateDevice(t *testing.T) {
+	cfg := &Config{Devices: []DeviceConfig{{Name: "X"}, {Name: "X"}}}
+	if _, err := build(cfg); err == nil {
+		t.Fatal("duplicate device should error")
+	}
+}
+
+func TestLoadBGPSquare(t *testing.T) {
+	n, byName, err := LoadBGP("testdata/square.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Routers) != 4 || len(n.Sessions) != 8 {
+		t.Fatalf("routers=%d sessions=%d", len(n.Routers), len(n.Sessions))
+	}
+	if !byName["A"].Originates {
+		t.Fatal("A should originate")
+	}
+	got := bgp.Simulate(n, 16)
+	if !got[byName["D"]].Ok || got[byName["D"]].Val.LocalPref != 300 {
+		t.Fatalf("D should hold the boosted route: %+v", got[byName["D"]])
+	}
+}
+
+func TestLoadBGPErrors(t *testing.T) {
+	if _, _, err := LoadBGP("testdata/missing.json"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, _, err := buildBGP(&BGPConfig{
+		Routers:  []RouterCfg{{Name: "X"}},
+		Sessions: []SessionCfg{{From: "X", To: "Y"}},
+	}); err == nil {
+		t.Fatal("unknown session endpoint must error")
+	}
+	if _, _, err := buildBGP(&BGPConfig{
+		Routers:  []RouterCfg{{Name: "X"}, {Name: "Y"}},
+		Sessions: []SessionCfg{{From: "X", To: "Y", Import: "nope"}},
+	}); err == nil {
+		t.Fatal("unknown route map must error")
+	}
+	if _, _, err := buildBGP(&BGPConfig{
+		Routers: []RouterCfg{{Name: "X"}, {Name: "X"}},
+	}); err == nil {
+		t.Fatal("duplicate router must error")
+	}
+}

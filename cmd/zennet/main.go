@@ -1,0 +1,243 @@
+// Command zennet loads a network from a JSON description and runs Zen
+// analyses on it from the command line:
+//
+//	zennet -config net.json reach -from A:in -to C          # Anteater-style reachability
+//	zennet -config net.json isolated -from A:in -to C -dst 10.1.0.0/16
+//	zennet -config net.json hsa -from A:in                  # Figure 8 exploration
+//	zennet -config net.json acl-lines -acl edge             # per-line reachability
+//	zennet -config cp.json bgp-sim                          # converge a BGP config
+//	zennet -config cp.json bgp-check -reach D -k 2          # Minesweeper failures
+//	zennet -config cp.json bgp-compress                     # Bonsai classes
+//	zennet -config cp.json bgp-abstract                     # Shapeshifter verdicts
+//
+// It exists so a network that is configuration data — not Go code — can
+// still be verified with every backend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zen-go/analyses/anteater"
+	"zen-go/analyses/bonsai"
+	"zen-go/analyses/hsa"
+	"zen-go/analyses/minesweeper"
+	"zen-go/analyses/shapeshifter"
+	"zen-go/baselines/batfish"
+	"zen-go/nets/bgp"
+	"zen-go/nets/device"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "network JSON file")
+	flag.Parse()
+	if *cfgPath == "" || flag.NArg() < 1 {
+		fail("usage: zennet -config net.json <reach|isolated|hsa|acl-lines> [args]")
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if cmd == "bgp-sim" || cmd == "bgp-check" || cmd == "bgp-compress" || cmd == "bgp-abstract" {
+		cmdBGP(*cfgPath, cmd, args)
+		return
+	}
+	net, err := Load(*cfgPath)
+	if err != nil {
+		fail("zennet: %v", err)
+	}
+	switch cmd {
+	case "reach":
+		cmdReach(net, args, false)
+	case "isolated":
+		cmdReach(net, args, true)
+	case "hsa":
+		cmdHSA(net, args)
+	case "acl-lines":
+		cmdACLLines(net, args)
+	default:
+		fail("zennet: unknown command %q", cmd)
+	}
+}
+
+func cmdReach(net *Network, args []string, wantIsolated bool) {
+	fs := flag.NewFlagSet("reach", flag.ExitOnError)
+	from := fs.String("from", "", "ingress interface (device:intf)")
+	to := fs.String("to", "", "destination device")
+	dst := fs.String("dst", "", "optional destination prefix filter (CIDR)")
+	hops := fs.Int("hops", 8, "max transit devices")
+	fs.Parse(args)
+
+	in, err := net.Intf(*from)
+	if err != nil {
+		fail("zennet: %v", err)
+	}
+	d, ok := net.Devices[*to]
+	if !ok {
+		fail("zennet: unknown device %q", *to)
+	}
+	pred := anteater.Plain
+	if *dst != "" {
+		pfx, err := parsePrefix(*dst)
+		if err != nil {
+			fail("zennet: %v", err)
+		}
+		pred = func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+			return zen.And(anteater.Plain(p), pfx.Contains(pkt.DstIP(pkt.Overlay(p))))
+		}
+	}
+	w, found := anteater.Reachable(in, d, *hops, pred)
+	if wantIsolated {
+		if found {
+			fmt.Printf("NOT ISOLATED: %s reaches %s\n", *from, *to)
+			printWitness(w)
+			os.Exit(1)
+		}
+		fmt.Printf("isolated: no matching packet from %s reaches %s\n", *from, *to)
+		return
+	}
+	if !found {
+		fmt.Printf("unreachable: no matching packet from %s reaches %s\n", *from, *to)
+		os.Exit(1)
+	}
+	fmt.Printf("reachable: %s -> %s\n", *from, *to)
+	printWitness(w)
+}
+
+func printWitness(w anteater.Witness) {
+	fmt.Printf("  witness: dst=%s src=%s dport=%d proto=%d\n",
+		pkt.FormatIP(w.Packet.Overlay.DstIP), pkt.FormatIP(w.Packet.Overlay.SrcIP),
+		w.Packet.Overlay.DstPort, w.Packet.Overlay.Protocol)
+	fmt.Print("  path:   ")
+	for i, h := range w.Path {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Print(h)
+	}
+	fmt.Println()
+}
+
+func cmdHSA(net *Network, args []string) {
+	fs := flag.NewFlagSet("hsa", flag.ExitOnError)
+	from := fs.String("from", "", "ingress interface (device:intf)")
+	fs.Parse(args)
+	in, err := net.Intf(*from)
+	if err != nil {
+		fail("zennet: %v", err)
+	}
+	w := zen.NewWorld()
+	a := hsa.New(w, devicesOf(net)...)
+	set := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+		return zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]())
+	})
+	for _, ps := range a.Explore(in, set) {
+		fmt.Printf("%-50s %v packets\n", pathString(ps), ps.Set.Count())
+	}
+}
+
+func cmdACLLines(net *Network, args []string) {
+	fs := flag.NewFlagSet("acl-lines", flag.ExitOnError)
+	name := fs.String("acl", "", "ACL name")
+	fs.Parse(args)
+	a, ok := net.ACLs[*name]
+	if !ok {
+		fail("zennet: unknown ACL %q", *name)
+	}
+	reach := batfish.New().LineReachable(a)
+	for i := range a.Rules {
+		status := "reachable"
+		if !reach[i] {
+			status = "DEAD"
+		}
+		fmt.Printf("line %3d: %s\n", i, status)
+	}
+	if reach[len(a.Rules)] {
+		fmt.Println("implicit deny: reachable")
+	} else {
+		fmt.Println("implicit deny: DEAD (some line catches everything)")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// devicesOf collects the topology's devices.
+func devicesOf(net *Network) []*device.Device {
+	out := make([]*device.Device, 0, len(net.Devices))
+	for _, d := range net.Devices {
+		out = append(out, d)
+	}
+	return out
+}
+
+// pathString renders an HSA hop sequence.
+func pathString(ps hsa.PathSet) string {
+	s := ""
+	for i, h := range ps.Hops {
+		if i > 0 {
+			s += " -> "
+		}
+		s += h.String()
+	}
+	return s
+}
+
+// cmdBGP dispatches the control-plane commands over a BGP JSON config.
+func cmdBGP(cfgPath, cmd string, args []string) {
+	n, byName, err := LoadBGP(cfgPath)
+	if err != nil {
+		fail("zennet: %v", err)
+	}
+	switch cmd {
+	case "bgp-sim":
+		got := bgp.Simulate(n, 32)
+		for _, r := range n.Routers {
+			if ch := got[r]; ch.Ok {
+				fmt.Printf("%-10s lp=%-5d path=%v\n", r.Name, ch.Val.LocalPref, ch.Val.AsPath)
+			} else {
+				fmt.Printf("%-10s NO ROUTE\n", r.Name)
+			}
+		}
+	case "bgp-check":
+		fs := flag.NewFlagSet("bgp-check", flag.ExitOnError)
+		reach := fs.String("reach", "", "router that must stay reachable")
+		k := fs.Int("k", 1, "max session failures")
+		fs.Parse(args)
+		r, ok := byName[*reach]
+		if !ok {
+			fail("zennet: unknown router %q", *reach)
+		}
+		res := minesweeper.Check(n, minesweeper.Query{
+			MaxFailures: *k, Property: minesweeper.Reachable(r),
+		})
+		if !res.Found {
+			fmt.Printf("%s stays reachable under any %d session failures\n", r.Name, *k)
+			return
+		}
+		fmt.Printf("VIOLATION: %s loses its route; failed sessions:\n", r.Name)
+		for _, s := range res.FailedSessions {
+			fmt.Printf("  %s -> %s\n", s.From.Name, s.To.Name)
+		}
+		os.Exit(1)
+	case "bgp-compress":
+		ab := bonsai.Compress(n)
+		fmt.Printf("%d routers -> %d classes (%.1fx)\n",
+			len(n.Routers), ab.NumClasses(), ab.CompressionRatio(n))
+		for i, members := range ab.Classes {
+			fmt.Printf("  class %d:", i)
+			for _, m := range members {
+				fmt.Printf(" %s", m.Name)
+			}
+			fmt.Println()
+		}
+	case "bgp-abstract":
+		got := shapeshifter.New(n).Analyze(n)
+		for _, r := range n.Routers {
+			fmt.Printf("%-10s hasRoute=%v localPrefKnown=%08x\n",
+				r.Name, got[r].HasRoute, got[r].LocalPrefKnown)
+		}
+	}
+}

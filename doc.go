@@ -1,0 +1,14 @@
+// Package zenrepro is a Go reproduction of "A General Framework for
+// Compositional Network Modeling" (Beckett & Mahajan, HotNets '20) — the
+// Zen intermediate verification language — together with every substrate
+// the paper's evaluation depends on: a BDD engine, a CDCL SAT solver,
+// state-set transformers, network models (ACLs, LPM forwarding, GRE
+// tunnels, route maps, a BGP control plane), the six Table-1 analyses, and
+// the Figure-10 benchmark harness.
+//
+// The root package holds the repository-level benchmark and experiment
+// suites; the library lives in ./zen (public API), ./nets (models),
+// ./analyses (HSA, AP, Anteater, Minesweeper, Bonsai, Shapeshifter),
+// ./baselines (hand-optimized comparisons) and ./internal (substrates).
+// See README.md, DESIGN.md and EXPERIMENTS.md.
+package zenrepro

@@ -1,0 +1,73 @@
+// Compile demonstrates §8's implementation extraction: the verified ACL
+// model is compiled into an executable Go function and compared against
+// interpretation — same results, several times faster, and by construction
+// in sync with what was verified.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"zen-go/nets/acl"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// A mid-sized filter.
+	rules := make([]acl.Rule, 0, 64)
+	for i := 0; i < 63; i++ {
+		rules = append(rules, acl.Rule{
+			Permit: i%3 != 0,
+			DstPfx: pkt.Prefix{Address: rng.Uint32() &^ 0xFFFF, Length: 16},
+		})
+	}
+	rules = append(rules, acl.Rule{Permit: true})
+	a := &acl.ACL{Name: "compiled", Rules: rules}
+
+	fn := zen.Func(a.Allow)
+
+	// First verify something about the model...
+	ok, _ := fn.Verify(func(_ zen.Value[pkt.Header], out zen.Value[bool]) zen.Value[bool] {
+		return zen.Or(out, zen.Not(out)) // trivially true: the model is total
+	})
+	fmt.Printf("model verified total: %v\n", ok)
+
+	// ...then extract the implementation from the same model.
+	compiled := fn.Compile()
+
+	pkts := make([]pkt.Header, 4096)
+	for i := range pkts {
+		pkts[i] = pkt.Header{DstIP: rng.Uint32(), DstPort: uint16(rng.Intn(65536))}
+	}
+
+	// Agreement check.
+	for _, h := range pkts[:512] {
+		if compiled(h) != fn.Evaluate(h) {
+			panic("compiled implementation diverged from the model")
+		}
+	}
+	fmt.Println("compiled implementation agrees with the model on 512 random packets")
+
+	// Throughput comparison.
+	start := time.Now()
+	for _, h := range pkts {
+		fn.Evaluate(h)
+	}
+	interp := time.Since(start)
+
+	start = time.Now()
+	for _, h := range pkts {
+		compiled(h)
+	}
+	comp := time.Since(start)
+
+	fmt.Printf("interpreted: %8v for %d packets (%.0f pkts/ms)\n",
+		interp, len(pkts), float64(len(pkts))/float64(interp.Milliseconds()+1))
+	fmt.Printf("compiled:    %8v for %d packets (%.0f pkts/ms, %.1fx faster)\n",
+		comp, len(pkts), float64(len(pkts))/float64(comp.Milliseconds()+1),
+		float64(interp)/float64(comp))
+}

@@ -1,0 +1,170 @@
+package zenrepro
+
+// Repository-level experiment tests: each one checks that a table or
+// figure of the paper regenerates with the expected qualitative result
+// (counts, winners, orderings); EXPERIMENTS.md records the measured
+// numbers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"zen-go/analyses/anteater"
+	"zen-go/analyses/ap"
+	"zen-go/analyses/bonsai"
+	"zen-go/analyses/hsa"
+	"zen-go/analyses/minesweeper"
+	"zen-go/analyses/shapeshifter"
+	"zen-go/baselines/batfish"
+	"zen-go/internal/figgen"
+	"zen-go/internal/loccount"
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+	"zen-go/nets/vnet"
+	"zen-go/zen"
+)
+
+// TestTable1Matrix proves the Zen column of Table 1: all six analyses are
+// expressible and run end-to-end in this framework.
+func TestTable1Matrix(t *testing.T) {
+	buggy := vnet.Build(vnet.Config{BuggyUnderlayACL: true})
+
+	t.Run("HSA", func(t *testing.T) {
+		w := zen.NewWorld()
+		a := hsa.New(w, buggy.U1, buggy.U2, buggy.U3)
+		set := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+			return zen.And(
+				zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]()),
+				zen.EqC(pkt.DstIP(pkt.Overlay(p)), buggy.VbIP))
+		})
+		if !a.ReachableAt(buggy.Path[0], set, buggy.Path[5]).IsEmpty() {
+			t.Fatal("HSA misses the underlay drop")
+		}
+	})
+
+	t.Run("AP", func(t *testing.T) {
+		w := zen.NewWorld()
+		preds := []zen.StateSet[pkt.Header]{
+			zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+				return pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h))
+			}),
+			zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+				return zen.EqC(pkt.Protocol(h), pkt.ProtoTCP)
+			}),
+		}
+		if got := ap.Compute(w, preds).NumAtoms(); got != 4 {
+			t.Fatalf("atoms = %d, want 4", got)
+		}
+	})
+
+	t.Run("Anteater", func(t *testing.T) {
+		isolated, _ := anteater.VerifyIsolation(buggy.Path[0], buggy.U3, 4,
+			func(p zen.Value[pkt.Packet]) zen.Value[bool] {
+				return zen.And(anteater.Plain(p), zen.EqC(pkt.DstIP(pkt.Overlay(p)), buggy.VbIP))
+			})
+		if !isolated {
+			t.Fatal("Anteater misses the underlay drop")
+		}
+	})
+
+	n, d := squareBGP()
+	t.Run("Minesweeper", func(t *testing.T) {
+		if minesweeper.Check(n, minesweeper.Query{MaxFailures: 1, Property: minesweeper.Reachable(d)}).Found {
+			t.Fatal("one failure cannot disconnect a 2-connected node")
+		}
+		if !minesweeper.Check(n, minesweeper.Query{MaxFailures: 2, Property: minesweeper.Reachable(d)}).Found {
+			t.Fatal("two failures must disconnect D")
+		}
+	})
+
+	t.Run("Bonsai", func(t *testing.T) {
+		if ab := bonsai.Compress(n); ab.NumClasses() >= len(n.Routers) {
+			t.Fatal("symmetric square should compress")
+		}
+	})
+
+	t.Run("Shapeshifter", func(t *testing.T) {
+		if got := shapeshifter.New(n).Analyze(n); got[d].HasRoute != shapeshifter.Yes {
+			t.Fatalf("D should definitely have a route, got %v", got[d].HasRoute)
+		}
+	})
+}
+
+func squareBGP() (*bgp.Network, *bgp.Router) {
+	n := &bgp.Network{}
+	a := n.AddRouter("A", 1)
+	b := n.AddRouter("B", 2)
+	c := n.AddRouter("C", 3)
+	d := n.AddRouter("D", 4)
+	a.Originates = true
+	a.Origin = bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+	n.ConnectBoth(a, b)
+	n.ConnectBoth(a, c)
+	n.ConnectBoth(b, d)
+	n.ConnectBoth(c, d)
+	return n, d
+}
+
+// TestTable2LinesOfCode checks the modeling-effort claim: every model stays
+// within the same order of magnitude as the paper's C# counts and far below
+// the custom-tool encodings the paper compares against.
+func TestTable2LinesOfCode(t *testing.T) {
+	rows := []struct {
+		file     string
+		paper    int // Zen C# LoC from Table 2
+		existing int // smallest "existing system" count from Table 2
+	}{
+		{"nets/acl/acl.go", 28, 500},
+		{"nets/fwd/fwd.go", 18, 900},
+		{"nets/routemap/routemap.go", 75, 1000},
+		{"nets/gre/gre.go", 21, 200},
+	}
+	for _, r := range rows {
+		n, err := loccount.File(r.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 3*r.paper {
+			t.Errorf("%s: %d lines, more than 3x the paper's %d", r.file, n, r.paper)
+		}
+		if n >= r.existing {
+			t.Errorf("%s: %d lines, not below the existing system's %d", r.file, n, r.existing)
+		}
+	}
+}
+
+// TestFigure10Correctness checks the semantic core of the Figure 10
+// benchmark at small scale: all three ACL verifiers find witnesses that
+// actually match the last line, and both route-map backends agree.
+func TestFigure10Correctness(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	a := figgen.ACL(rng, 200)
+	last := uint16(len(a.Rules) - 1)
+	fn := zen.Func(a.MatchLine)
+
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		h, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
+			return zen.EqC(l, last)
+		}, zen.WithBackend(be))
+		if !ok || fn.Evaluate(h) != last {
+			t.Fatalf("%v: bad witness", be)
+		}
+	}
+	bh, ok := batfish.New().FindMatchingLast(a)
+	if !ok || fn.Evaluate(bh) != last {
+		t.Fatal("baseline: bad witness")
+	}
+
+	rm := figgen.RouteMap(rng, 30)
+	lastC := uint16(len(rm.Clauses) - 1)
+	rfn := zen.Func(rm.MatchClause)
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		r, ok := rfn.Find(func(_ zen.Value[routemap.Route], l zen.Value[uint16]) zen.Value[bool] {
+			return zen.EqC(l, lastC)
+		}, zen.WithBackend(be), zen.WithListBound(routemap.Depth))
+		if !ok || rfn.Evaluate(r) != lastC {
+			t.Fatalf("%v: bad route-map witness", be)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module zen-go
+
+go 1.22

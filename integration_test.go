@@ -1,0 +1,185 @@
+package zenrepro
+
+// The enterprise-edge integration test: an inside host's packet is
+// source-NATed, conntrack-filtered, GRE-tunneled across a transit network,
+// and decapsulated at a remote site — four independently written models
+// composed by ordinary function calls (the paper's central claim), then
+// verified end to end with both solver backends.
+
+import (
+	"testing"
+
+	"zen-go/nets/acl"
+	"zen-go/nets/firewall"
+	"zen-go/nets/gre"
+	"zen-go/nets/nat"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// edge is the composed pipeline configuration.
+type edge struct {
+	nat    *nat.NAT
+	fw     *firewall.Firewall
+	tunnel *gre.Tunnel
+	filter *acl.ACL // transit filter applied to the tunneled packet
+}
+
+func newEdge(transitDropsGRE bool) *edge {
+	e := &edge{
+		nat: &nat.NAT{Rules: []nat.Rule{{
+			Kind: nat.SNAT, Match: pkt.Pfx(192, 168, 0, 0, 16),
+			NewAddr: pkt.IP(198, 51, 100, 1), PortBase: 20000, LowBits: 8,
+		}}},
+		fw: &firewall.Firewall{InsidePfx: pkt.Pfx(192, 168, 0, 0, 16)},
+		tunnel: &gre.Tunnel{
+			Name: "site-a-to-b", SrcIP: pkt.IP(203, 0, 113, 1), DstIP: pkt.IP(203, 0, 113, 2),
+		},
+	}
+	rules := []acl.Rule{{Permit: true}}
+	if transitDropsGRE {
+		rules = []acl.Rule{
+			{Permit: false, Protocol: pkt.ProtoGRE},
+			{Permit: true},
+		}
+	}
+	e.filter = &acl.ACL{Name: "transit", Rules: rules}
+	return e
+}
+
+// egress composes: NAT -> conntrack -> encapsulate -> transit filter ->
+// decapsulate. The result is None whenever any stage drops.
+func (e *edge) egress(h zen.Value[pkt.Header]) zen.Value[zen.Opt[pkt.Header]] {
+	// 1. Source NAT.
+	translated := e.nat.Apply(h)
+
+	// 2. Stateful firewall, outbound direction (always allowed, tracked).
+	st := e.fw.Outbound(zen.NilList[firewall.Flow](), translated)
+	allowed := zen.GetField[firewall.Result, bool](st, "Allowed")
+
+	// 3. GRE encapsulation toward the remote site.
+	p := zen.Create[pkt.Packet](
+		zen.F("Overlay", translated),
+		zen.F("Underlay", zen.None[pkt.Header]()))
+	tunneled := e.tunnel.Encap(p)
+
+	// 4. Transit filter sees the OUTER header.
+	outer := zen.OptValue(pkt.Underlay(tunneled))
+	pass := e.filter.Allow(outer)
+
+	// 5. Remote decapsulation recovers the overlay.
+	delivered := pkt.Overlay(e.tunnel.Decap(tunneled))
+
+	ok := zen.And(allowed, pass)
+	return zen.If(ok, zen.Some(delivered), zen.None[pkt.Header]())
+}
+
+func TestIntegrationHealthyEdgeDeliversTranslated(t *testing.T) {
+	e := newEdge(false)
+	fn := zen.Func(e.egress)
+
+	// Concrete smoke test.
+	in := pkt.Header{
+		SrcIP: pkt.IP(192, 168, 0, 42), DstIP: pkt.IP(8, 8, 8, 8),
+		SrcPort: 5555, DstPort: 443, Protocol: pkt.ProtoTCP,
+	}
+	out := fn.Evaluate(in)
+	if !out.Ok {
+		t.Fatal("healthy edge must deliver")
+	}
+	if out.Val.SrcIP != pkt.IP(198, 51, 100, 1) || out.Val.SrcPort != 20042 {
+		t.Fatalf("NAT not applied end to end: %+v", out.Val)
+	}
+	if out.Val.DstIP != in.DstIP {
+		t.Fatal("destination must survive the pipeline")
+	}
+
+	// Verified for ALL inside packets, on both backends: delivery holds
+	// and the source is always the NAT pool address.
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		ok, cex := fn.Verify(func(h zen.Value[pkt.Header], out zen.Value[zen.Opt[pkt.Header]]) zen.Value[bool] {
+			inside := pkt.Pfx(192, 168, 0, 0, 16).Contains(pkt.SrcIP(h))
+			delivered := zen.IsSome(out)
+			pooled := zen.EqC(zen.GetField[pkt.Header, uint32](zen.OptValue(out), "SrcIP"),
+				pkt.IP(198, 51, 100, 1))
+			return zen.Implies(inside, zen.And(delivered, pooled))
+		}, zen.WithBackend(be))
+		if !ok {
+			t.Fatalf("%v: end-to-end NAT property violated by %+v", be, cex)
+		}
+	}
+}
+
+func TestIntegrationTransitFilterKillsTunnel(t *testing.T) {
+	// The §2 bug at a richer composition: a transit filter that drops GRE
+	// silently black-holes the whole edge — every inside packet dies.
+	e := newEdge(true)
+	fn := zen.Func(e.egress)
+	ok, _ := fn.Verify(func(h zen.Value[pkt.Header], out zen.Value[zen.Opt[pkt.Header]]) zen.Value[bool] {
+		return zen.IsNone(out)
+	}, zen.WithBackend(zen.SAT))
+	if !ok {
+		t.Fatal("GRE-dropping transit must black-hole everything")
+	}
+	// The per-stage views still look fine: the NAT translates, the
+	// firewall allows outbound, the filter permits ordinary traffic.
+	plainOK := zen.Func(func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return e.filter.Allow(h)
+	})
+	if !plainOK.Evaluate(pkt.Header{DstIP: 1, Protocol: pkt.ProtoTCP}) {
+		t.Fatal("the transit filter permits ordinary TCP — the bug is compositional")
+	}
+}
+
+func TestIntegrationReturnPathRequiresConntrack(t *testing.T) {
+	// The reverse direction: an inbound packet is accepted only when it
+	// answers the (translated) outbound flow. Composing NAT with the
+	// firewall catches a classic deployment mistake: conntrack must see
+	// post-NAT addresses.
+	e := newEdge(false)
+	fn := zen.Func2(func(outH zen.Value[pkt.Header], inH zen.Value[pkt.Header]) zen.Value[bool] {
+		// Outbound: translate then track.
+		translated := e.nat.Apply(outH)
+		st := e.fw.Outbound(zen.NilList[firewall.Flow](), translated)
+		state := zen.GetField[firewall.Result, firewall.State](st, "State")
+		// Inbound: checked against the tracked (translated) flow.
+		in := e.fw.Inbound(state, inH)
+		return zen.GetField[firewall.Result, bool](in, "Allowed")
+	})
+
+	// For every outbound packet from inside, the exact reverse of its
+	// TRANSLATED form is accepted...
+	ok, a, b := fn.Verify(func(outH, inH zen.Value[pkt.Header], accepted zen.Value[bool]) zen.Value[bool] {
+		inside := pkt.Pfx(192, 168, 0, 0, 16).Contains(pkt.SrcIP(outH))
+		translated := e.nat.Apply(outH)
+		isReply := zen.And(
+			zen.Eq(pkt.SrcIP(inH), pkt.DstIP(translated)),
+			zen.Eq(pkt.DstIP(inH), pkt.SrcIP(translated)),
+			zen.Eq(pkt.SrcPort(inH), pkt.DstPort(translated)),
+			zen.Eq(pkt.DstPort(inH), pkt.SrcPort(translated)),
+			zen.Eq(pkt.Protocol(inH), pkt.Protocol(translated)))
+		return zen.Implies(zen.And(inside, isReply), accepted)
+	}, zen.WithBackend(zen.SAT))
+	if !ok {
+		t.Fatalf("translated reply must be accepted; cex out=%+v in=%+v", a, b)
+	}
+
+	// ...and a reply addressed to the PRE-NAT inside address is NOT (the
+	// firewall tracks post-NAT flows) — found as a concrete witness.
+	outW, _, found := fn.Find(func(outH, inH zen.Value[pkt.Header], accepted zen.Value[bool]) zen.Value[bool] {
+		inside := pkt.Pfx(192, 168, 0, 0, 16).Contains(pkt.SrcIP(outH))
+		naive := zen.And(
+			zen.Eq(pkt.SrcIP(inH), pkt.DstIP(outH)),
+			zen.Eq(pkt.DstIP(inH), pkt.SrcIP(outH)), // pre-NAT address!
+			zen.Eq(pkt.SrcPort(inH), pkt.DstPort(outH)),
+			zen.Eq(pkt.DstPort(inH), pkt.SrcPort(outH)),
+			zen.Eq(pkt.Protocol(inH), pkt.Protocol(outH)))
+		return zen.And(inside, naive, zen.Not(accepted))
+	}, zen.WithBackend(zen.SAT))
+	if !found {
+		t.Fatal("a naive pre-NAT reply that gets dropped must exist")
+	}
+	if outW.SrcIP>>16 != uint32(192)<<8|168 {
+		t.Fatalf("witness outbound %s not from inside", pkt.FormatIP(outW.SrcIP))
+	}
+}

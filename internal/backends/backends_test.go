@@ -1,0 +1,185 @@
+package backends
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zen-go/internal/sat"
+)
+
+// TestTernaryKleeneLaws checks the algebra is a faithful Kleene logic: any
+// completion of the unknowns is consistent with the three-valued result.
+func TestTernaryKleeneLaws(t *testing.T) {
+	alg := NewTernary()
+	trits := []Trit{TritFalse, TritTrue, TritUnknown}
+	// consistent(t, b): boolean b is a possible completion of trit t.
+	consistent := func(tv Trit, b bool) bool {
+		switch tv {
+		case TritTrue:
+			return b
+		case TritFalse:
+			return !b
+		}
+		return true
+	}
+	bools := []bool{false, true}
+	for _, x := range trits {
+		for _, y := range trits {
+			for _, xb := range bools {
+				if !consistent(x, xb) {
+					continue
+				}
+				for _, yb := range bools {
+					if !consistent(y, yb) {
+						continue
+					}
+					if !consistent(alg.And(x, y), xb && yb) {
+						t.Fatalf("And(%v,%v) inconsistent with %v&&%v", x, y, xb, yb)
+					}
+					if !consistent(alg.Or(x, y), xb || yb) {
+						t.Fatalf("Or(%v,%v) inconsistent", x, y)
+					}
+					if !consistent(alg.Xor(x, y), xb != yb) {
+						t.Fatalf("Xor(%v,%v) inconsistent", x, y)
+					}
+				}
+				if !consistent(alg.Not(x), !xb) {
+					t.Fatalf("Not(%v) inconsistent", x)
+				}
+			}
+		}
+	}
+	// Ite over all trit triples: consistent with every completion.
+	for _, c := range trits {
+		for _, a := range trits {
+			for _, b := range trits {
+				got := alg.Ite(c, a, b)
+				for _, cb := range bools {
+					if !consistent(c, cb) {
+						continue
+					}
+					for _, ab := range bools {
+						if !consistent(a, ab) {
+							continue
+						}
+						for _, bb := range bools {
+							if !consistent(b, bb) {
+								continue
+							}
+							want := bb
+							if cb {
+								want = ab
+							}
+							if !consistent(got, want) {
+								t.Fatalf("Ite(%v,%v,%v)=%v inconsistent with completion", c, a, b, got)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTritJoin(t *testing.T) {
+	if TritJoin(TritTrue, TritTrue) != TritTrue {
+		t.Fatal("join of equals")
+	}
+	if TritJoin(TritTrue, TritFalse) != TritUnknown {
+		t.Fatal("join of different")
+	}
+	if TritJoin(TritUnknown, TritTrue) != TritUnknown {
+		t.Fatal("join with unknown")
+	}
+}
+
+func TestTritString(t *testing.T) {
+	if TritFalse.String() != "0" || TritTrue.String() != "1" || TritUnknown.String() != "*" {
+		t.Fatal("trit rendering")
+	}
+}
+
+// TestSATGatesEquisatisfiable: the Tseitin gates preserve semantics — for
+// random formulas the gate literal agrees with the formula under every
+// model.
+func TestSATGatesSemantics(t *testing.T) {
+	err := quick.Check(func(va, vb, vc bool) bool {
+		s := NewSAT()
+		a, b, c := s.Fresh("a"), s.Fresh("b"), s.Fresh("c")
+		g := s.Or(s.And(a, b), s.Xor(b.Not(), c))
+		want := (va && vb) || (!vb != vc)
+
+		// Pin the inputs and check g must take the expected value.
+		s.S.AddClause(pin(a, va))
+		s.S.AddClause(pin(b, vb))
+		s.S.AddClause(pin(c, vc))
+		if !s.Solve(g) == want {
+			return false
+		}
+		if s.Solve(g.Not()) == want {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pin(l sat.Lit, v bool) sat.Lit {
+	if v {
+		return l
+	}
+	return l.Not()
+}
+
+func TestSATConstShortCircuits(t *testing.T) {
+	s := NewSAT()
+	a := s.Fresh("a")
+	if s.And(s.True(), a) != a || s.And(a, s.True()) != a {
+		t.Fatal("And identity")
+	}
+	if !s.IsFalse(s.And(s.False(), a)) {
+		t.Fatal("And annihilator")
+	}
+	if s.Or(s.False(), a) != a {
+		t.Fatal("Or identity")
+	}
+	if !s.IsTrue(s.Or(s.True(), a)) {
+		t.Fatal("Or annihilator")
+	}
+	if !s.IsFalse(s.Xor(a, a)) || !s.IsTrue(s.Xor(a, a.Not())) {
+		t.Fatal("Xor folds")
+	}
+	if s.Ite(s.True(), a, s.False()) != a {
+		t.Fatal("Ite fold")
+	}
+	if !s.IsFalse(s.And(a, a.Not())) {
+		t.Fatal("contradiction fold")
+	}
+}
+
+func TestBDDBackendModelRoundTrip(t *testing.T) {
+	b := NewBDD()
+	x, y := b.Fresh("x"), b.Fresh("y")
+	f := b.And(x, b.Not(y))
+	if !b.Solve(f) {
+		t.Fatal("satisfiable")
+	}
+	if !b.BitValue(x) || b.BitValue(y) {
+		t.Fatal("model wrong")
+	}
+	if b.Solve(b.And(f, y)) {
+		t.Fatal("x && !y && y must be unsat")
+	}
+}
+
+func TestBDDOrderHook(t *testing.T) {
+	b := NewBDD()
+	b.Order = func(i int, name string) int { return 10 - i }
+	r1 := b.Fresh("a") // level 10
+	r2 := b.Fresh("b") // level 9
+	if b.Man.Level(r1) != 10 || b.Man.Level(r2) != 9 {
+		t.Fatal("order hook ignored")
+	}
+}

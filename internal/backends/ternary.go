@@ -1,0 +1,197 @@
+package backends
+
+import "zen-go/internal/sym"
+
+// Trit is a Kleene three-valued truth value: false, true, or unknown. It is
+// the value domain of the ternary-simulation backend (HSA-style 0/1/*
+// reasoning and Shapeshifter-style abstract interpretation).
+type Trit uint8
+
+// Ternary truth values.
+const (
+	TritFalse Trit = iota
+	TritTrue
+	TritUnknown
+)
+
+// String renders the trit as 0, 1 or *.
+func (t Trit) String() string {
+	switch t {
+	case TritFalse:
+		return "0"
+	case TritTrue:
+		return "1"
+	default:
+		return "*"
+	}
+}
+
+// Ternary implements sym.Algebra over Kleene three-valued logic. Fresh
+// variables are unknown (*). Evaluating a model under this algebra is
+// ternary simulation: outputs that come out 0 or 1 hold for every
+// completion of the unknown inputs.
+type Ternary struct{}
+
+// NewTernary returns the ternary backend (stateless).
+func NewTernary() *Ternary { return &Ternary{} }
+
+// True etc. implement sym.Algebra[Trit] with Kleene semantics.
+func (Ternary) True() Trit  { return TritTrue }
+func (Ternary) False() Trit { return TritFalse }
+
+func (Ternary) Not(x Trit) Trit {
+	switch x {
+	case TritFalse:
+		return TritTrue
+	case TritTrue:
+		return TritFalse
+	}
+	return TritUnknown
+}
+
+func (Ternary) And(x, y Trit) Trit {
+	if x == TritFalse || y == TritFalse {
+		return TritFalse
+	}
+	if x == TritTrue && y == TritTrue {
+		return TritTrue
+	}
+	return TritUnknown
+}
+
+func (t Ternary) Or(x, y Trit) Trit {
+	return t.Not(t.And(t.Not(x), t.Not(y)))
+}
+
+func (t Ternary) Xor(x, y Trit) Trit {
+	if x == TritUnknown || y == TritUnknown {
+		return TritUnknown
+	}
+	if x == y {
+		return TritFalse
+	}
+	return TritTrue
+}
+
+func (t Ternary) Ite(c, a, b Trit) Trit {
+	switch c {
+	case TritTrue:
+		return a
+	case TritFalse:
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return TritUnknown
+}
+
+// Fresh returns an unknown value.
+func (Ternary) Fresh(string) Trit { return TritUnknown }
+
+func (Ternary) IsTrue(x Trit) bool  { return x == TritTrue }
+func (Ternary) IsFalse(x Trit) bool { return x == TritFalse }
+
+var _ sym.Algebra[Trit] = Ternary{}
+
+// TritJoin returns the least upper bound of two trits in the information
+// order (x ⊔ x = x, otherwise *). Abstract interpreters use it to merge
+// abstract states across iterations.
+func TritJoin(a, b Trit) Trit {
+	if a == b {
+		return a
+	}
+	return TritUnknown
+}
+
+// Counter is a cost-model backend: evaluating a model under it counts the
+// boolean gates the symbolic encoding would need, without building
+// anything. It doubles as the reference example for adding new backends —
+// any type implementing sym.Algebra plugs into the same evaluator.
+type Counter struct {
+	Gates int
+	Vars  int
+}
+
+// CBit is the Counter's value domain: only constants are distinguished,
+// so constant folding inside the evaluator behaves realistically.
+type CBit uint8
+
+// Counter bit values.
+const (
+	CFalse CBit = iota
+	CTrue
+	COpaque
+)
+
+func (c *Counter) True() CBit  { return CTrue }
+func (c *Counter) False() CBit { return CFalse }
+
+func (c *Counter) Not(x CBit) CBit {
+	switch x {
+	case CTrue:
+		return CFalse
+	case CFalse:
+		return CTrue
+	}
+	return COpaque
+}
+
+func (c *Counter) And(x, y CBit) CBit {
+	if x == CFalse || y == CFalse {
+		return CFalse
+	}
+	if x == CTrue {
+		return y
+	}
+	if y == CTrue {
+		return x
+	}
+	c.Gates++
+	return COpaque
+}
+
+func (c *Counter) Or(x, y CBit) CBit {
+	return c.Not(c.And(c.Not(x), c.Not(y)))
+}
+
+func (c *Counter) Xor(x, y CBit) CBit {
+	if x == CTrue {
+		return c.Not(y)
+	}
+	if x == CFalse {
+		return y
+	}
+	if y == CTrue {
+		return c.Not(x)
+	}
+	if y == CFalse {
+		return x
+	}
+	c.Gates++
+	return COpaque
+}
+
+func (c *Counter) Ite(cond, a, b CBit) CBit {
+	if cond == CTrue {
+		return a
+	}
+	if cond == CFalse {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	c.Gates += 2
+	return COpaque
+}
+
+func (c *Counter) Fresh(string) CBit {
+	c.Vars++
+	return COpaque
+}
+
+func (c *Counter) IsTrue(x CBit) bool  { return x == CTrue }
+func (c *Counter) IsFalse(x CBit) bool { return x == CFalse }
+
+var _ sym.Algebra[CBit] = (*Counter)(nil)

@@ -1,0 +1,152 @@
+package compilejit
+
+import (
+	"math/rand"
+	"testing"
+
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+)
+
+var u8 = core.BV(8, false)
+
+// randExpr builds a random scalar expression over two u8 inputs.
+func randExpr(b *core.Builder, rng *rand.Rand, x, y *core.Node, depth int) *core.Node {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return x
+		case 1:
+			return y
+		default:
+			return b.BVConst(u8, uint64(rng.Intn(256)))
+		}
+	}
+	a := randExpr(b, rng, x, y, depth-1)
+	c := randExpr(b, rng, x, y, depth-1)
+	switch rng.Intn(7) {
+	case 0:
+		return b.Add(a, c)
+	case 1:
+		return b.Sub(a, c)
+	case 2:
+		return b.Mul(a, c)
+	case 3:
+		return b.BXor(a, c)
+	case 4:
+		return b.If(b.Lt(a, c), a, c)
+	case 5:
+		return b.BOr(b.Shl(a, 1), b.Shr(c, 1))
+	default:
+		return b.If(b.Eq(a, c), b.BNot(a), c)
+	}
+}
+
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		b := core.NewBuilder()
+		x := b.Var(u8, "x")
+		y := b.Var(u8, "y")
+		expr := randExpr(b, rng, x, y, 4)
+		prog := Compile(expr, x, y)
+		for i := 0; i < 32; i++ {
+			xv := uint64(rng.Intn(256))
+			yv := uint64(rng.Intn(256))
+			got := prog.Run(interp.BV(u8, xv), interp.BV(u8, yv))
+			want := interp.Eval(expr, interp.Env{
+				x.VarID: interp.BV(u8, xv), y.VarID: interp.BV(u8, yv)})
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: compiled=%v interp=%v at x=%d y=%d",
+					trial, got, want, xv, yv)
+			}
+		}
+	}
+}
+
+func TestCompiledSharedDAGEvaluatesOnce(t *testing.T) {
+	// 2^30-deep sharing must compile to a linear program.
+	b := core.NewBuilder()
+	u64 := core.BV(64, false)
+	x := b.Var(u64, "x")
+	e := x
+	for i := 0; i < 30; i++ {
+		e = b.Add(e, e)
+	}
+	prog := Compile(e, x)
+	if got := prog.Run(interp.BV(u64, 1)); got.U != 1<<30 {
+		t.Fatalf("got %d, want 2^30", got.U)
+	}
+	if len(prog.instrs) > 40 {
+		t.Fatalf("shared DAG compiled to %d instructions; sharing lost", len(prog.instrs))
+	}
+}
+
+func TestCompiledNestedLists(t *testing.T) {
+	b := core.NewBuilder()
+	lt := core.List(u8)
+	l := b.Var(lt, "l")
+	// Sum with nested case up to depth 4.
+	var sum func(n *core.Node, d int) *core.Node
+	sum = func(n *core.Node, d int) *core.Node {
+		if d == 0 {
+			return b.BVConst(u8, 0)
+		}
+		return b.ListCase(n, b.BVConst(u8, 0), func(h, tl *core.Node) *core.Node {
+			return b.Add(h, sum(tl, d-1))
+		})
+	}
+	prog := Compile(sum(l, 4), l)
+	in := interp.List(lt, interp.BV(u8, 1), interp.BV(u8, 2), interp.BV(u8, 3))
+	if got := prog.Run(in); got.U != 6 {
+		t.Fatalf("sum = %d, want 6", got.U)
+	}
+	if got := prog.Run(interp.List(lt)); got.U != 0 {
+		t.Fatalf("empty sum = %d, want 0", got.U)
+	}
+}
+
+func TestCompiledObjects(t *testing.T) {
+	b := core.NewBuilder()
+	hdr := core.Object("H", core.Field{Name: "A", Type: u8}, core.Field{Name: "B", Type: core.Bool()})
+	o := b.Var(hdr, "o")
+	expr := b.WithField(o, 0, b.Add(b.GetField(o, 0), b.BVConst(u8, 1)))
+	prog := Compile(expr, o)
+	in := interp.Object(hdr, interp.BV(u8, 9), interp.Bool(true))
+	got := prog.Run(in)
+	if got.Fields[0].U != 10 || !got.Fields[1].B {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCompileUnboundVarPanics(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compile(b.Add(x, x)) // x not declared as input
+}
+
+func BenchmarkCompiledVsInterp(b *testing.B) {
+	bb := core.NewBuilder()
+	rng := rand.New(rand.NewSource(4))
+	x := bb.Var(u8, "x")
+	y := bb.Var(u8, "y")
+	expr := randExpr(bb, rng, x, y, 8)
+	prog := Compile(expr, x, y)
+	xv, yv := interp.BV(u8, 5), interp.BV(u8, 77)
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prog.Run(xv, yv)
+		}
+	})
+	b.Run("interp", func(b *testing.B) {
+		env := interp.Env{x.VarID: xv, y.VarID: yv}
+		for i := 0; i < b.N; i++ {
+			interp.Eval(expr, env)
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeConstructors(t *testing.T) {
+	if Bool().String() != "bool" {
+		t.Fatal("bool type string")
+	}
+	if BV(32, false).String() != "ubv32" || BV(16, true).String() != "ibv16" {
+		t.Fatal("bv type strings")
+	}
+	if BV(8, false) != BV(8, false) {
+		t.Fatal("BV types are not cached")
+	}
+	o := Object("Hdr", Field{"A", BV(8, false)}, Field{"B", Bool()})
+	if o.FieldIndex("B") != 1 || o.FieldIndex("X") != -1 {
+		t.Fatal("FieldIndex broken")
+	}
+	l := List(BV(8, false))
+	if !strings.Contains(l.String(), "ubv8") {
+		t.Fatal("list type string")
+	}
+	opt := Option(BV(4, false))
+	if opt.FieldIndex("HasValue") != 0 || opt.FieldIndex("Value") != 1 {
+		t.Fatal("Option layout wrong")
+	}
+	p := Pair(Bool(), BV(8, false))
+	if p.FieldIndex("Item1") != 0 || p.FieldIndex("Item2") != 1 {
+		t.Fatal("Pair layout wrong")
+	}
+}
+
+func TestTypeBVPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BV(0) should panic")
+		}
+	}()
+	BV(0, false)
+}
+
+func TestNumBits(t *testing.T) {
+	o := Object("X", Field{"A", BV(8, false)}, Field{"B", Bool()})
+	if got := o.NumBits(0); got != 9 {
+		t.Fatalf("NumBits = %d, want 9", got)
+	}
+	l := List(BV(4, false))
+	// bound 3: 3 presence bits + 3 elements * 4 bits
+	if got := l.NumBits(3); got != 15 {
+		t.Fatalf("list NumBits = %d, want 15", got)
+	}
+}
+
+func TestSignedHelpers(t *testing.T) {
+	t8 := BV(8, true)
+	if t8.ToSigned(0xFF) != -1 {
+		t.Fatal("ToSigned(-1) wrong")
+	}
+	if t8.ToSigned(0x7F) != 127 {
+		t.Fatal("ToSigned(127) wrong")
+	}
+	if t8.Mask(0x1FF) != 0xFF {
+		t.Fatal("Mask wrong")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	x := b.Var(u8, "x")
+	e1 := b.Add(x, b.BVConst(u8, 1))
+	e2 := b.Add(x, b.BVConst(u8, 1))
+	if e1 != e2 {
+		t.Fatal("identical expressions not shared")
+	}
+	if b.Add(x, b.BVConst(u8, 2)) == e1 {
+		t.Fatal("distinct expressions shared")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	c := func(v uint64) *Node { return b.BVConst(u8, v) }
+	if b.Add(c(200), c(100)).UVal != 44 { // wraparound
+		t.Fatal("Add fold")
+	}
+	if b.Sub(c(1), c(2)).UVal != 255 {
+		t.Fatal("Sub fold")
+	}
+	if b.Mul(c(16), c(16)).UVal != 0 {
+		t.Fatal("Mul fold")
+	}
+	if b.BAnd(c(0xF0), c(0x3C)).UVal != 0x30 {
+		t.Fatal("BAnd fold")
+	}
+	if b.BOr(c(0xF0), c(0x0F)).UVal != 0xFF {
+		t.Fatal("BOr fold")
+	}
+	if b.BXor(c(0xFF), c(0x0F)).UVal != 0xF0 {
+		t.Fatal("BXor fold")
+	}
+	if b.BNot(c(0)).UVal != 0xFF {
+		t.Fatal("BNot fold")
+	}
+	if b.Shl(c(1), 4).UVal != 16 || b.Shr(c(16), 4).UVal != 1 {
+		t.Fatal("shift fold")
+	}
+	if b.Shl(c(1), 9).UVal != 0 {
+		t.Fatal("overshift fold")
+	}
+	if !b.Eq(c(3), c(3)).BVal || b.Eq(c(3), c(4)).BVal {
+		t.Fatal("Eq fold")
+	}
+	if !b.Lt(c(3), c(4)).BVal || b.Lt(c(4), c(3)).BVal {
+		t.Fatal("Lt fold")
+	}
+	i8 := BV(8, true)
+	if !b.Lt(b.BVConst(i8, 0xFF), b.BVConst(i8, 1)).BVal {
+		t.Fatal("signed Lt fold: -1 < 1 should hold")
+	}
+}
+
+func TestBooleanSimplification(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(Bool(), "x")
+	tr, fa := b.BoolConst(true), b.BoolConst(false)
+	if b.And(x, tr) != x || b.And(tr, x) != x {
+		t.Fatal("And identity")
+	}
+	if b.And(x, fa) != fa || b.Or(x, tr) != tr {
+		t.Fatal("And/Or annihilator")
+	}
+	if b.Or(x, fa) != x {
+		t.Fatal("Or identity")
+	}
+	if b.And(x, x) != x || b.Or(x, x) != x {
+		t.Fatal("idempotence")
+	}
+	if b.Not(b.Not(x)) != x {
+		t.Fatal("double negation")
+	}
+	if !b.Eq(x, x).BVal {
+		t.Fatal("Eq(x,x) should fold to true")
+	}
+}
+
+func TestIfSimplification(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	c := b.Var(Bool(), "c")
+	x := b.Var(u8, "x")
+	y := b.Var(u8, "y")
+	if b.If(b.BoolConst(true), x, y) != x {
+		t.Fatal("If(true) fold")
+	}
+	if b.If(b.BoolConst(false), x, y) != y {
+		t.Fatal("If(false) fold")
+	}
+	if b.If(c, x, x) != x {
+		t.Fatal("If same-branch fold")
+	}
+	// Boolean-result If folds into connectives.
+	p, q := b.Var(Bool(), "p"), b.Var(Bool(), "q")
+	if b.If(c, b.BoolConst(true), b.BoolConst(false)) != c {
+		t.Fatal("If(c, true, false) != c")
+	}
+	if b.If(c, b.BoolConst(false), b.BoolConst(true)) != b.Not(c) {
+		t.Fatal("If(c, false, true) != !c")
+	}
+	if b.If(c, p, b.BoolConst(false)) != b.And(c, p) {
+		t.Fatal("If(c, p, false) != c&&p")
+	}
+	if b.If(c, b.BoolConst(true), q) != b.Or(c, q) {
+		t.Fatal("If(c, true, q) != c||q")
+	}
+}
+
+func TestObjectOps(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	hdr := Object("Hdr", Field{"A", u8}, Field{"B", Bool()})
+	a := b.Var(u8, "a")
+	fl := b.Var(Bool(), "f")
+	o := b.Create(hdr, a, fl)
+	if b.GetField(o, 0) != a || b.GetField(o, 1) != fl {
+		t.Fatal("GetField on Create should project directly")
+	}
+	o2 := b.WithField(o, 0, b.BVConst(u8, 7))
+	if b.GetField(o2, 0).UVal != 7 || b.GetField(o2, 1) != fl {
+		t.Fatal("WithField on Create should rebuild")
+	}
+	// GetField pushes through If.
+	c := b.Var(Bool(), "c")
+	merged := b.If(c, o, o2)
+	if b.GetField(merged, 0) != b.If(c, a, b.BVConst(u8, 7)) {
+		t.Fatal("GetField should push through If")
+	}
+	// On a truly opaque object (an input variable), GetField/WithField
+	// produce proper nodes.
+	opaque := b.Var(hdr, "o")
+	g := b.GetField(opaque, 0)
+	if g.Op != OpGetField {
+		t.Fatal("expected OpGetField node")
+	}
+	w := b.WithField(opaque, 1, b.BoolConst(true))
+	if w.Op != OpWithField {
+		t.Fatal("expected OpWithField node")
+	}
+	if b.GetField(w, 1).Op != OpConst {
+		t.Fatal("GetField of just-set field should fold through WithField")
+	}
+	if b.GetField(w, 0) != g {
+		t.Fatal("GetField of other field should skip WithField")
+	}
+}
+
+func TestListOps(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	lt := List(u8)
+	nilL := b.ListNil(lt)
+	l1 := b.ListCons(b.BVConst(u8, 1), nilL)
+	// Case on known-nil and known-cons folds immediately.
+	got := b.ListCase(nilL, b.BVConst(u8, 99), func(h, t *Node) *Node { return h })
+	if got.UVal != 99 {
+		t.Fatal("ListCase on nil should pick empty branch")
+	}
+	got = b.ListCase(l1, b.BVConst(u8, 99), func(h, t *Node) *Node { return h })
+	if got.UVal != 1 {
+		t.Fatal("ListCase on cons should pick cons branch")
+	}
+	// Case on an opaque list produces a binder node.
+	c := b.Var(Bool(), "c")
+	opaque := b.If(c, nilL, l1)
+	n := b.ListCase(opaque, b.BVConst(u8, 0), func(h, t *Node) *Node { return h })
+	if n.Op != OpListCase || len(n.Bound) != 2 {
+		t.Fatal("ListCase node malformed")
+	}
+	if n.Bound[0].Type != u8 || n.Bound[1].Type.Kind != KindList {
+		t.Fatal("ListCase binder types wrong")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	b := NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add of mismatched widths should panic")
+		}
+	}()
+	b.Add(b.Var(BV(8, false), "x"), b.Var(BV(16, false), "y"))
+}
+
+func TestAdapt(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	lt := List(Pair(u8, u8))
+	mt := List(Pair(u8, u8)) // "map" representation
+	e := b.ListNil(lt)
+	a := b.Adapt(mt, e)
+	if a.Op != OpAdapt || !a.Type.Same(mt) {
+		t.Fatal("Adapt node malformed")
+	}
+}
+
+// Property: constant folding of Add agrees with machine arithmetic.
+func TestAddFoldQuick(t *testing.T) {
+	b := NewBuilder()
+	u16 := BV(16, false)
+	err := quick.Check(func(x, y uint16) bool {
+		n := b.Add(b.BVConst(u16, uint64(x)), b.BVConst(u16, uint64(y)))
+		return n.Op == OpConst && uint16(n.UVal) == x+y
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarAllocation(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var(Bool(), "x")
+	y := b.Var(Bool(), "y")
+	if x.VarID == y.VarID {
+		t.Fatal("variables must have distinct IDs")
+	}
+	if x == y {
+		t.Fatal("variables must be distinct nodes")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the node as a depth-limited s-expression for diagnostics.
+// Shared sub-DAGs print repeatedly (use Dot for structure-preserving
+// output).
+func (n *Node) String() string {
+	var b strings.Builder
+	writeNode(&b, n, 6)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, depth int) {
+	switch n.Op {
+	case OpConst:
+		if n.Type.Kind == KindBool {
+			fmt.Fprintf(b, "%v", n.BVal)
+		} else if n.Type.Signed {
+			fmt.Fprintf(b, "%d", n.Type.ToSigned(n.UVal))
+		} else {
+			fmt.Fprintf(b, "%d", n.UVal)
+		}
+		return
+	case OpVar:
+		fmt.Fprintf(b, "%s#%d", n.Name, n.VarID)
+		return
+	}
+	if depth == 0 {
+		b.WriteString("(...)")
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(n.Op.String())
+	switch n.Op {
+	case OpGetField, OpWithField:
+		base := n.Kids[0].Type
+		fmt.Fprintf(b, " .%s", base.Fields[n.Index].Name)
+	case OpShl, OpShr:
+		fmt.Fprintf(b, " %d", n.Index)
+	}
+	for _, k := range n.Kids {
+		b.WriteByte(' ')
+		writeNode(b, k, depth-1)
+	}
+	b.WriteByte(')')
+}
+
+// Dot renders the DAG rooted at n in Graphviz dot syntax, preserving
+// sharing (one graph node per DAG node).
+func Dot(n *Node) string {
+	var b strings.Builder
+	b.WriteString("digraph zen {\n  node [shape=box, fontsize=10];\n")
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		label := n.Op.String()
+		switch n.Op {
+		case OpConst:
+			if n.Type.Kind == KindBool {
+				label = fmt.Sprintf("%v", n.BVal)
+			} else {
+				label = fmt.Sprintf("%d", n.UVal)
+			}
+		case OpVar:
+			label = fmt.Sprintf("%s#%d", n.Name, n.VarID)
+		case OpGetField, OpWithField:
+			label = fmt.Sprintf("%s .%s", n.Op, n.Kids[0].Type.Fields[n.Index].Name)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID(), label)
+		for i, k := range n.Kids {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\"];\n", n.ID(), k.ID(), i)
+			walk(k)
+		}
+	}
+	walk(n)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes a DAG for diagnostics and model-size reporting.
+type Stats struct {
+	Nodes int // distinct DAG nodes
+	Depth int // longest root-to-leaf path
+	Vars  int // distinct variables
+}
+
+// Measure computes DAG statistics.
+func Measure(n *Node) Stats {
+	depth := make(map[*Node]int)
+	vars := make(map[int32]bool)
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if d, ok := depth[n]; ok {
+			return d
+		}
+		if n.Op == OpVar {
+			vars[n.VarID] = true
+		}
+		d := 0
+		for _, k := range n.Kids {
+			if kd := walk(k); kd > d {
+				d = kd
+			}
+		}
+		depth[n] = d + 1
+		return d + 1
+	}
+	root := walk(n)
+	return Stats{Nodes: len(depth), Depth: root, Vars: len(vars)}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeString(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	x := b.Var(u8, "x")
+	e := b.If(b.Lt(x, b.BVConst(u8, 10)), b.Add(x, b.BVConst(u8, 1)), x)
+	s := e.String()
+	for _, want := range []string{"if", "lt", "x#", "10", "add"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+	if b.BoolConst(true).String() != "true" {
+		t.Fatal("bool const string")
+	}
+	i8 := BV(8, true)
+	if b.BVConst(i8, 0xFF).String() != "-1" {
+		t.Fatal("signed const string")
+	}
+}
+
+func TestNodeStringDepthLimit(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	e := b.Var(u8, "x")
+	for i := 0; i < 20; i++ {
+		e = b.Add(e, b.BVConst(u8, 1))
+	}
+	if !strings.Contains(e.String(), "(...)") {
+		t.Fatal("deep expressions should truncate")
+	}
+}
+
+func TestFieldOpsString(t *testing.T) {
+	b := NewBuilder()
+	hdr := Object("H", Field{"A", BV(8, false)}, Field{"B", Bool()})
+	o := b.Var(hdr, "o")
+	g := b.GetField(o, 1)
+	if !strings.Contains(g.String(), ".B") {
+		t.Fatalf("GetField string %q missing field name", g.String())
+	}
+	sh := b.Shl(b.Var(BV(8, false), "y"), 3)
+	if !strings.Contains(sh.String(), "shl 3") {
+		t.Fatalf("shift string %q", sh.String())
+	}
+}
+
+func TestDot(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	x := b.Var(u8, "x")
+	shared := b.Add(x, x)
+	e := b.Mul(shared, shared)
+	dot := Dot(e)
+	if !strings.HasPrefix(dot, "digraph zen {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("dot framing wrong")
+	}
+	// Sharing preserved: the add node appears once as a definition.
+	if strings.Count(dot, "label=\"add\"") != 1 {
+		t.Fatalf("shared node duplicated in dot:\n%s", dot)
+	}
+	if strings.Count(dot, "label=\"mul\"") != 1 {
+		t.Fatal("mul node missing")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	b := NewBuilder()
+	u8 := BV(8, false)
+	x := b.Var(u8, "x")
+	y := b.Var(u8, "y")
+	e := b.Add(b.Add(x, y), b.BVConst(u8, 1))
+	st := Measure(e)
+	if st.Vars != 2 {
+		t.Fatalf("vars = %d", st.Vars)
+	}
+	if st.Depth != 3 {
+		t.Fatalf("depth = %d, want 3", st.Depth)
+	}
+	if st.Nodes != 5 { // x, y, add, const, add
+		t.Fatalf("nodes = %d, want 5", st.Nodes)
+	}
+	// Sharing: doubling chain has linear node count.
+	e2 := x
+	for i := 0; i < 10; i++ {
+		e2 = b.Add(e2, e2)
+	}
+	if st2 := Measure(e2); st2.Nodes != 11 {
+		t.Fatalf("shared chain nodes = %d, want 11", st2.Nodes)
+	}
+}

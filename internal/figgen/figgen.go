@@ -1,0 +1,80 @@
+// Package figgen generates the random workloads of the paper's Figure 10:
+// random ACLs and random route maps of configurable size, with a final
+// catch-all line so that "find an input matching the last line" requires
+// analyzing the whole object.
+package figgen
+
+import (
+	"math/rand"
+
+	"zen-go/nets/acl"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+)
+
+// ACL generates a random ACL with n lines. Lines match random /8-/28
+// destination (and sometimes source) prefixes, occasional port ranges and
+// protocols; the last line is a catch-all permit, reachable only by
+// packets that match none of the previous lines.
+func ACL(rng *rand.Rand, n int) *acl.ACL {
+	rules := make([]acl.Rule, 0, n)
+	for i := 0; i < n-1; i++ {
+		r := acl.Rule{Permit: rng.Intn(2) == 0}
+		r.DstPfx = randPrefix(rng)
+		if rng.Intn(3) == 0 {
+			r.SrcPfx = randPrefix(rng)
+		}
+		if rng.Intn(4) == 0 {
+			lo := uint16(rng.Intn(60000))
+			r.DstLow, r.DstHigh = lo, lo+uint16(rng.Intn(1000))
+		}
+		if rng.Intn(3) == 0 {
+			r.Protocol = []uint8{pkt.ProtoICMP, pkt.ProtoTCP, pkt.ProtoUDP}[rng.Intn(3)]
+		}
+		rules = append(rules, r)
+	}
+	rules = append(rules, acl.Rule{Permit: true}) // catch-all last line
+	return &acl.ACL{Name: "random", Rules: rules}
+}
+
+func randPrefix(rng *rand.Rand) pkt.Prefix {
+	length := uint8(8 + rng.Intn(21)) // /8../28
+	addr := rng.Uint32()
+	p := pkt.Prefix{Address: addr, Length: length}
+	p.Address &= p.Mask()
+	return p
+}
+
+// RouteMap generates a random route map with n clauses. Clauses match on
+// random prefix ranges, community tags and AS numbers, and set attributes;
+// the final clause is a catch-all permit.
+func RouteMap(rng *rand.Rand, n int) *routemap.RouteMap {
+	clauses := make([]routemap.Clause, 0, n)
+	for i := 0; i < n-1; i++ {
+		c := routemap.Clause{Permit: rng.Intn(3) != 0}
+		switch rng.Intn(3) {
+		case 0:
+			ge := uint8(8 + rng.Intn(16))
+			c.MatchPrefixes = []routemap.PrefixMatch{{
+				Pfx: randPrefix(rng), GE: ge, LE: ge + uint8(rng.Intn(8)),
+			}}
+		case 1:
+			c.MatchCommunity = uint32(1 + rng.Intn(1000))
+		default:
+			c.MatchAsContains = uint16(1 + rng.Intn(64000))
+		}
+		if c.Permit {
+			switch rng.Intn(4) {
+			case 0:
+				c.SetLocalPref = uint32(100 + rng.Intn(400))
+			case 1:
+				c.AddCommunity = uint32(1 + rng.Intn(1000))
+			case 2:
+				c.PrependAs = uint16(1 + rng.Intn(64000))
+			}
+		}
+		clauses = append(clauses, c)
+	}
+	clauses = append(clauses, routemap.Clause{Permit: true})
+	return &routemap.RouteMap{Name: "random", Clauses: clauses}
+}

@@ -1,0 +1,47 @@
+package figgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestACLDeterministicPerSeed(t *testing.T) {
+	a1 := ACL(rand.New(rand.NewSource(9)), 50)
+	a2 := ACL(rand.New(rand.NewSource(9)), 50)
+	if len(a1.Rules) != 50 || len(a2.Rules) != 50 {
+		t.Fatalf("sizes: %d, %d", len(a1.Rules), len(a2.Rules))
+	}
+	for i := range a1.Rules {
+		if a1.Rules[i] != a2.Rules[i] {
+			t.Fatalf("rule %d differs across identical seeds", i)
+		}
+	}
+	// Last line is the catch-all permit.
+	last := a1.Rules[len(a1.Rules)-1]
+	if !last.Permit || last.DstPfx.Length != 0 || last.Protocol != 0 {
+		t.Fatalf("last line must be catch-all permit: %+v", last)
+	}
+}
+
+func TestRouteMapShape(t *testing.T) {
+	rm := RouteMap(rand.New(rand.NewSource(3)), 30)
+	if len(rm.Clauses) != 30 {
+		t.Fatalf("clauses = %d", len(rm.Clauses))
+	}
+	last := rm.Clauses[len(rm.Clauses)-1]
+	if !last.Permit || len(last.MatchPrefixes) != 0 ||
+		last.MatchCommunity != 0 || last.MatchAsContains != 0 {
+		t.Fatalf("last clause must be catch-all: %+v", last)
+	}
+	// Prefixes are normalized.
+	for i, c := range rm.Clauses {
+		for _, pm := range c.MatchPrefixes {
+			if pm.Pfx.Address&^pm.Pfx.Mask() != 0 {
+				t.Fatalf("clause %d prefix not normalized: %+v", i, pm.Pfx)
+			}
+			if pm.GE > pm.LE {
+				t.Fatalf("clause %d GE>LE", i)
+			}
+		}
+	}
+}

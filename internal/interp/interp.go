@@ -1,0 +1,256 @@
+// Package interp is Zen's concrete evaluation backend: it executes an
+// expression DAG on concrete values. This is the "simulation" analysis of
+// the paper (§4): because models are ordinary host-language functions over
+// the DAG, simulating a packet or route through a model is just evaluation.
+package interp
+
+import (
+	"fmt"
+
+	"zen-go/internal/core"
+)
+
+// Value is a concrete Zen value.
+//
+// Exactly one representation is active, determined by Type.Kind:
+// booleans use B, bitvectors use U (raw bits masked to width), objects use
+// Fields (in type order), and lists use Elems.
+type Value struct {
+	Type   *core.Type
+	B      bool
+	U      uint64
+	Fields []*Value
+	Elems  []*Value
+}
+
+// Bool returns a concrete boolean value.
+func Bool(v bool) *Value { return &Value{Type: core.Bool(), B: v} }
+
+// BV returns a concrete bitvector value of type t.
+func BV(t *core.Type, v uint64) *Value { return &Value{Type: t, U: t.Mask(v)} }
+
+// Object returns a concrete object value.
+func Object(t *core.Type, fields ...*Value) *Value {
+	if len(fields) != len(t.Fields) {
+		panic("interp: wrong number of fields")
+	}
+	return &Value{Type: t, Fields: fields}
+}
+
+// List returns a concrete list value.
+func List(t *core.Type, elems ...*Value) *Value {
+	return &Value{Type: t, Elems: elems}
+}
+
+// Equal reports deep equality of two values of the same type.
+func (v *Value) Equal(o *Value) bool {
+	switch v.Type.Kind {
+	case core.KindBool:
+		return v.B == o.B
+	case core.KindBV:
+		return v.U == o.U
+	case core.KindObject:
+		for i := range v.Fields {
+			if !v.Fields[i].Equal(o.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case core.KindList:
+		if len(v.Elems) != len(o.Elems) {
+			return false
+		}
+		for i := range v.Elems {
+			if !v.Elems[i].Equal(o.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	panic("interp: unknown kind")
+}
+
+// String renders the value for diagnostics.
+func (v *Value) String() string {
+	switch v.Type.Kind {
+	case core.KindBool:
+		return fmt.Sprintf("%v", v.B)
+	case core.KindBV:
+		if v.Type.Signed {
+			return fmt.Sprintf("%d", v.Type.ToSigned(v.U))
+		}
+		return fmt.Sprintf("%d", v.U)
+	case core.KindObject:
+		s := v.Type.TypeName + "{"
+		for i, f := range v.Fields {
+			if i > 0 {
+				s += ", "
+			}
+			s += v.Type.Fields[i].Name + ": " + f.String()
+		}
+		return s + "}"
+	case core.KindList:
+		s := "["
+		for i, e := range v.Elems {
+			if i > 0 {
+				s += ", "
+			}
+			s += e.String()
+		}
+		return s + "]"
+	}
+	panic("interp: unknown kind")
+}
+
+// Env binds symbolic variable IDs to concrete values.
+type Env map[int32]*Value
+
+// Eval evaluates the node under the environment. Evaluation is memoized per
+// binding scope, so shared sub-DAGs are evaluated once.
+func Eval(n *core.Node, env Env) *Value {
+	e := &evaluator{env: env, memo: make(map[*core.Node]*Value)}
+	return e.eval(n)
+}
+
+type evaluator struct {
+	env  Env
+	memo map[*core.Node]*Value
+}
+
+func (e *evaluator) eval(n *core.Node) *Value {
+	if v, ok := e.memo[n]; ok {
+		return v
+	}
+	v := e.evalUncached(n)
+	e.memo[n] = v
+	return v
+}
+
+func (e *evaluator) evalUncached(n *core.Node) *Value {
+	switch n.Op {
+	case core.OpConst:
+		if n.Type.Kind == core.KindBool {
+			return Bool(n.BVal)
+		}
+		return BV(n.Type, n.UVal)
+	case core.OpVar:
+		v, ok := e.env[n.VarID]
+		if !ok {
+			panic(fmt.Sprintf("interp: unbound variable %s#%d", n.Name, n.VarID))
+		}
+		return v
+	case core.OpNot:
+		return Bool(!e.eval(n.Kids[0]).B)
+	case core.OpAnd:
+		// Short-circuit to match host-language expectations.
+		if !e.eval(n.Kids[0]).B {
+			return Bool(false)
+		}
+		return Bool(e.eval(n.Kids[1]).B)
+	case core.OpOr:
+		if e.eval(n.Kids[0]).B {
+			return Bool(true)
+		}
+		return Bool(e.eval(n.Kids[1]).B)
+	case core.OpEq:
+		return Bool(e.eval(n.Kids[0]).Equal(e.eval(n.Kids[1])))
+	case core.OpLt:
+		x, y := e.eval(n.Kids[0]), e.eval(n.Kids[1])
+		t := x.Type
+		if t.Signed {
+			return Bool(t.ToSigned(x.U) < t.ToSigned(y.U))
+		}
+		return Bool(x.U < y.U)
+	case core.OpAdd:
+		x, y := e.eval(n.Kids[0]), e.eval(n.Kids[1])
+		return BV(n.Type, x.U+y.U)
+	case core.OpSub:
+		x, y := e.eval(n.Kids[0]), e.eval(n.Kids[1])
+		return BV(n.Type, x.U-y.U)
+	case core.OpMul:
+		x, y := e.eval(n.Kids[0]), e.eval(n.Kids[1])
+		return BV(n.Type, x.U*y.U)
+	case core.OpBAnd:
+		return BV(n.Type, e.eval(n.Kids[0]).U&e.eval(n.Kids[1]).U)
+	case core.OpBOr:
+		return BV(n.Type, e.eval(n.Kids[0]).U|e.eval(n.Kids[1]).U)
+	case core.OpBXor:
+		return BV(n.Type, e.eval(n.Kids[0]).U^e.eval(n.Kids[1]).U)
+	case core.OpBNot:
+		return BV(n.Type, ^e.eval(n.Kids[0]).U)
+	case core.OpShl:
+		if n.Index >= n.Type.Width {
+			return BV(n.Type, 0)
+		}
+		return BV(n.Type, e.eval(n.Kids[0]).U<<uint(n.Index))
+	case core.OpShr:
+		if n.Index >= n.Type.Width {
+			return BV(n.Type, 0)
+		}
+		return BV(n.Type, e.eval(n.Kids[0]).U>>uint(n.Index))
+	case core.OpIf:
+		if e.eval(n.Kids[0]).B {
+			return e.eval(n.Kids[1])
+		}
+		return e.eval(n.Kids[2])
+	case core.OpCreate:
+		fields := make([]*Value, len(n.Kids))
+		for i, k := range n.Kids {
+			fields[i] = e.eval(k)
+		}
+		return Object(n.Type, fields...)
+	case core.OpGetField:
+		return e.eval(n.Kids[0]).Fields[n.Index]
+	case core.OpWithField:
+		o := e.eval(n.Kids[0])
+		fields := append([]*Value(nil), o.Fields...)
+		fields[n.Index] = e.eval(n.Kids[1])
+		return Object(n.Type, fields...)
+	case core.OpListNil:
+		return List(n.Type)
+	case core.OpListCons:
+		head := e.eval(n.Kids[0])
+		tail := e.eval(n.Kids[1])
+		elems := make([]*Value, 0, len(tail.Elems)+1)
+		elems = append(elems, head)
+		elems = append(elems, tail.Elems...)
+		return List(n.Type, elems...)
+	case core.OpListCase:
+		list := e.eval(n.Kids[0])
+		if len(list.Elems) == 0 {
+			return e.eval(n.Kids[1])
+		}
+		// Evaluate the cons branch in a child scope binding head/tail.
+		child := &evaluator{env: e.env.extend(
+			n.Bound[0].VarID, list.Elems[0],
+			n.Bound[1].VarID, List(n.Kids[0].Type, list.Elems[1:]...),
+		), memo: make(map[*core.Node]*Value)}
+		return child.eval(n.Kids[2])
+	case core.OpAdapt:
+		inner := e.eval(n.Kids[0])
+		out := *inner
+		out.Type = n.Type
+		return &out
+	case core.OpCast:
+		x := e.eval(n.Kids[0])
+		v := x.U
+		if x.Type.Signed {
+			v = uint64(x.Type.ToSigned(v))
+		}
+		return BV(n.Type, v)
+	}
+	panic("interp: unhandled op " + n.Op.String())
+}
+
+// extend returns a copy of the environment with additional (id, value)
+// pairs, given as alternating arguments.
+func (env Env) extend(pairs ...any) Env {
+	out := make(Env, len(env)+len(pairs)/2)
+	for k, v := range env {
+		out[k] = v
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		out[pairs[i].(int32)] = pairs[i+1].(*Value)
+	}
+	return out
+}

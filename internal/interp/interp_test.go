@@ -1,0 +1,209 @@
+package interp
+
+import (
+	"testing"
+
+	"zen-go/internal/core"
+)
+
+var u8 = core.BV(8, false)
+
+func TestScalarEval(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	y := b.Var(u8, "y")
+	env := Env{x.VarID: BV(u8, 200), y.VarID: BV(u8, 100)}
+
+	cases := []struct {
+		name string
+		node *core.Node
+		want uint64
+	}{
+		{"add-wrap", b.Add(x, y), 44},
+		{"sub", b.Sub(x, y), 100},
+		{"sub-wrap", b.Sub(y, x), 156},
+		{"mul-wrap", b.Mul(x, y), (200 * 100) % 256},
+		{"band", b.BAnd(x, y), 200 & 100},
+		{"bor", b.BOr(x, y), 200 | 100},
+		{"bxor", b.BXor(x, y), 200 ^ 100},
+		{"bnot", b.BNot(x), 55},
+		{"shl", b.Shl(x, 1), (200 << 1) % 256},
+		{"shr", b.Shr(x, 3), 200 >> 3},
+	}
+	for _, tc := range cases {
+		if got := Eval(tc.node, env); got.U != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.name, got.U, tc.want)
+		}
+	}
+}
+
+func TestBoolEval(t *testing.T) {
+	b := core.NewBuilder()
+	p := b.Var(core.Bool(), "p")
+	q := b.Var(core.Bool(), "q")
+	for _, pv := range []bool{false, true} {
+		for _, qv := range []bool{false, true} {
+			env := Env{p.VarID: Bool(pv), q.VarID: Bool(qv)}
+			if Eval(b.And(p, q), env).B != (pv && qv) {
+				t.Fatal("and")
+			}
+			if Eval(b.Or(p, q), env).B != (pv || qv) {
+				t.Fatal("or")
+			}
+			if Eval(b.Not(p), env).B != !pv {
+				t.Fatal("not")
+			}
+			if Eval(b.Eq(p, q), env).B != (pv == qv) {
+				t.Fatal("eq")
+			}
+		}
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	b := core.NewBuilder()
+	i8 := core.BV(8, true)
+	x := b.Var(i8, "x")
+	y := b.Var(i8, "y")
+	env := Env{x.VarID: BV(i8, 0xFF), y.VarID: BV(i8, 1)} // x = -1
+	if !Eval(b.Lt(x, y), env).B {
+		t.Fatal("-1 < 1 signed should hold")
+	}
+	u := core.BV(8, false)
+	xu, yu := b.Var(u, "xu"), b.Var(u, "yu")
+	envU := Env{xu.VarID: BV(u, 0xFF), yu.VarID: BV(u, 1)}
+	if Eval(b.Lt(xu, yu), envU).B {
+		t.Fatal("255 < 1 unsigned should not hold")
+	}
+}
+
+func TestIfEval(t *testing.T) {
+	b := core.NewBuilder()
+	c := b.Var(core.Bool(), "c")
+	n := b.If(c, b.BVConst(u8, 1), b.BVConst(u8, 2))
+	if Eval(n, Env{c.VarID: Bool(true)}).U != 1 {
+		t.Fatal("then branch")
+	}
+	if Eval(n, Env{c.VarID: Bool(false)}).U != 2 {
+		t.Fatal("else branch")
+	}
+}
+
+func TestObjectEval(t *testing.T) {
+	b := core.NewBuilder()
+	hdr := core.Object("Hdr", core.Field{Name: "A", Type: u8}, core.Field{Name: "B", Type: core.Bool()})
+	c := b.Var(core.Bool(), "c")
+	o1 := b.Create(hdr, b.BVConst(u8, 1), b.BoolConst(true))
+	o2 := b.Create(hdr, b.BVConst(u8, 2), b.BoolConst(false))
+	opaque := b.If(c, o1, o2)
+	g := b.GetField(opaque, 0)
+	if Eval(g, Env{c.VarID: Bool(true)}).U != 1 {
+		t.Fatal("GetField eval")
+	}
+	w := b.WithField(opaque, 0, b.BVConst(u8, 9))
+	got := Eval(b.GetField(w, 0), Env{c.VarID: Bool(false)})
+	if got.U != 9 {
+		t.Fatal("WithField eval")
+	}
+	// Equality of objects.
+	eq := b.Eq(opaque, o1)
+	if !Eval(eq, Env{c.VarID: Bool(true)}).B {
+		t.Fatal("object equality (same)")
+	}
+	if Eval(eq, Env{c.VarID: Bool(false)}).B {
+		t.Fatal("object equality (different)")
+	}
+}
+
+func TestListEval(t *testing.T) {
+	b := core.NewBuilder()
+	lt := core.List(u8)
+	c := b.Var(core.Bool(), "c")
+	l0 := b.ListNil(lt)
+	l2 := b.ListCons(b.BVConst(u8, 10), b.ListCons(b.BVConst(u8, 20), l0))
+	opaque := b.If(c, l0, l2)
+
+	// Sum the list with nested cases (depth 2).
+	var sum func(l *core.Node, depth int) *core.Node
+	sum = func(l *core.Node, depth int) *core.Node {
+		if depth == 0 {
+			return b.BVConst(u8, 0)
+		}
+		return b.ListCase(l, b.BVConst(u8, 0), func(h, tl *core.Node) *core.Node {
+			return b.Add(h, sum(tl, depth-1))
+		})
+	}
+	n := sum(opaque, 3)
+	if got := Eval(n, Env{c.VarID: Bool(false)}).U; got != 30 {
+		t.Fatalf("list sum = %d, want 30", got)
+	}
+	if got := Eval(n, Env{c.VarID: Bool(true)}).U; got != 0 {
+		t.Fatalf("empty list sum = %d, want 0", got)
+	}
+	// List equality.
+	if !Eval(b.Eq(opaque, l2), Env{c.VarID: Bool(false)}).B {
+		t.Fatal("list equality")
+	}
+	if Eval(b.Eq(opaque, l2), Env{c.VarID: Bool(true)}).B {
+		t.Fatal("nil vs cons equality")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// And/Or must not need the right operand when the left decides, as
+	// long as the right operand still evaluates safely; here we check the
+	// result only (all Zen expressions are total).
+	b := core.NewBuilder()
+	p := b.Var(core.Bool(), "p")
+	q := b.Var(core.Bool(), "q")
+	n := b.And(p, q)
+	if Eval(n, Env{p.VarID: Bool(false), q.VarID: Bool(true)}).B {
+		t.Fatal("false && q must be false")
+	}
+}
+
+func TestUnboundPanics(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbound variable")
+		}
+	}()
+	Eval(x, Env{})
+}
+
+func TestValueString(t *testing.T) {
+	hdr := core.Object("Hdr", core.Field{Name: "A", Type: u8})
+	v := Object(hdr, BV(u8, 3))
+	if v.String() != "Hdr{A: 3}" {
+		t.Fatalf("String = %q", v.String())
+	}
+	i8 := core.BV(8, true)
+	if BV(i8, 0xFF).String() != "-1" {
+		t.Fatal("signed string")
+	}
+	lt := core.List(u8)
+	if List(lt, BV(u8, 1), BV(u8, 2)).String() != "[1, 2]" {
+		t.Fatal("list string")
+	}
+	if Bool(true).String() != "true" {
+		t.Fatal("bool string")
+	}
+}
+
+func TestMemoizationSharing(t *testing.T) {
+	// A deeply shared DAG must evaluate in linear time; 40 doublings would
+	// be 2^40 work without memoization.
+	b := core.NewBuilder()
+	u64 := core.BV(64, false)
+	x := b.Var(u64, "x")
+	e := x
+	for i := 0; i < 40; i++ {
+		e = b.Add(e, e)
+	}
+	got := Eval(e, Env{x.VarID: BV(u64, 1)})
+	if got.U != 1<<40 {
+		t.Fatalf("got %d, want 2^40", got.U)
+	}
+}

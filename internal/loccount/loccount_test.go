@@ -1,0 +1,64 @@
+package loccount
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCountsCode(t *testing.T) {
+	p := write(t, `package x
+
+// a comment
+func F() int {
+	return 1 // trailing comments still count the line
+}
+`)
+	n, err := File(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // package, func, return, closing brace
+		t.Fatalf("count = %d, want 4", n)
+	}
+}
+
+func TestBlockComments(t *testing.T) {
+	p := write(t, `package x
+/*
+many
+lines
+*/
+var A = 1
+/* inline */ var B = 2
+`)
+	n, err := File(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// package, var A, the line with code after an inline block comment
+	if n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+}
+
+func TestFilesSumsAndErrors(t *testing.T) {
+	p1 := write(t, "package x\nvar A = 1\n")
+	p2 := write(t, "package y\nvar B = 2\nvar C = 3\n")
+	n, err := Files(p1, p2)
+	if err != nil || n != 5 {
+		t.Fatalf("Files = %d, %v", n, err)
+	}
+	if _, err := Files(p1, filepath.Join(t.TempDir(), "missing.go")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,348 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLit(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Fatal("positive literal broken")
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Fatal("negation broken")
+	}
+	if n.Not() != l {
+		t.Fatal("double negation broken")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if s.Solve() != Sat {
+		t.Fatal("single unit clause should be sat")
+	}
+	if !s.Model(a) {
+		t.Fatal("model should assign a=true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	ok := s.AddClause(MkLit(a, true))
+	if ok && s.Solve() != Unsat {
+		t.Fatal("a AND !a should be unsat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("adding empty clause should return false")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("empty clause should make formula unsat")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Fatal("tautology should be accepted")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("tautology-only formula should be sat")
+	}
+}
+
+func TestXorChain(t *testing.T) {
+	// x0 xor x1 = 1, x1 xor x2 = 1, ..., forces alternating assignment.
+	s := New()
+	const n = 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := vars[i], vars[i+1]
+		// a xor b: (a|b) & (!a|!b)
+		s.AddClause(MkLit(a, false), MkLit(b, false))
+		s.AddClause(MkLit(a, true), MkLit(b, true))
+	}
+	s.AddClause(MkLit(vars[0], false)) // x0 = true
+	if s.Solve() != Sat {
+		t.Fatal("xor chain should be sat")
+	}
+	for i := range vars {
+		want := i%2 == 0
+		if s.Model(vars[i]) != want {
+			t.Fatalf("x%d = %v, want %v", i, s.Model(vars[i]), want)
+		}
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n), a classic unsat family.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(v[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n+1, n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want Unsat", n+1, n, got)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if s.Solve() != Sat {
+		t.Fatal("PHP(5,5) should be sat")
+	}
+}
+
+// bruteForce checks satisfiability of a CNF over nVars by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) (bool, []bool) {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseOK := false
+			for _, l := range cl {
+				val := mask&(1<<l.Var()) != 0
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					clauseOK = true
+					break
+				}
+			}
+			if !clauseOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			a := make([]bool, nVars)
+			for i := range a {
+				a[i] = mask&(1<<i) != 0
+			}
+			return true, a
+		}
+	}
+	return false, nil
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 3 + rng.Intn(10)
+		nClauses := 1 + rng.Intn(5*nVars)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		wantSat, _ := bruteForce(nVars, cnf)
+
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		topOK := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				topOK = false
+				break
+			}
+		}
+		got := Unsat
+		if topOK {
+			got = s.Solve()
+		}
+		if (got == Sat) != wantSat {
+			t.Fatalf("trial %d: solver=%v brute=%v (vars=%d clauses=%v)",
+				trial, got, wantSat, nVars, cnf)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies the formula.
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					val := s.Model(l.Var())
+					if l.Neg() {
+						val = !val
+					}
+					if val {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model does not satisfy clause %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	// a -> b
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	if s.Solve(MkLit(a, false), MkLit(b, true)) != Unsat {
+		t.Fatal("assuming a and !b should be unsat")
+	}
+	if s.Solve(MkLit(a, false)) != Sat {
+		t.Fatal("assuming a should be sat")
+	}
+	if !s.Model(b) {
+		t.Fatal("b must be true when a assumed")
+	}
+	// Solver remains usable without assumptions.
+	if s.Solve() != Sat {
+		t.Fatal("formula should be sat without assumptions")
+	}
+}
+
+func TestIncrementalAddBetweenSolves(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	if s.Solve() != Sat {
+		t.Fatal("should be sat")
+	}
+	s.AddClause(MkLit(a, true))
+	s.AddClause(MkLit(b, true))
+	if s.Solve() != Unsat {
+		t.Fatal("should be unsat after adding blocking units")
+	}
+}
+
+func TestSolveTwiceStable(t *testing.T) {
+	s := New()
+	vars := make([]int, 8)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	pigeonhole(s, 4, 4)
+	if s.Solve() != Sat || s.Solve() != Sat {
+		t.Fatal("repeated solve changed result")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 8, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+func BenchmarkRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		const nVars = 60
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < int(4.0*nVars); c++ {
+			s.AddClause(
+				MkLit(rng.Intn(nVars), rng.Intn(2) == 1),
+				MkLit(rng.Intn(nVars), rng.Intn(2) == 1),
+				MkLit(rng.Intn(nVars), rng.Intn(2) == 1))
+		}
+		s.Solve()
+	}
+}
+
+// FuzzSolverAgainstBruteForce decodes fuzzer bytes as a small CNF and
+// cross-checks the CDCL result with exhaustive enumeration.
+func FuzzSolverAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0x56})
+	f.Add([]byte{0xFF, 0x00, 0xAB, 0xCD, 0xEF})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nVars = 6
+		var cnf [][]Lit
+		for i := 0; i+1 < len(data) && len(cnf) < 24; i += 2 {
+			width := 1 + int(data[i]%3)
+			var cl []Lit
+			seed := int(data[i])<<8 | int(data[i+1])
+			for j := 0; j < width; j++ {
+				v := (seed >> (j * 4)) % nVars
+				neg := (seed>>(j*4+3))&1 == 1
+				cl = append(cl, MkLit(v, neg))
+			}
+			cnf = append(cnf, cl)
+		}
+		wantSat, _ := bruteForce(nVars, cnf)
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		got := Unsat
+		if ok {
+			got = s.Solve()
+		}
+		if (got == Sat) != wantSat {
+			t.Fatalf("solver=%v brute=%v cnf=%v", got, wantSat, cnf)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package stateset
+
+import (
+	"zen-go/internal/core"
+)
+
+// This file implements the variable-ordering machinery of §6 of the paper:
+//
+//   - equality grouping: input bits that the model compares for equality
+//     or order are interleaved;
+//   - dataflow grouping (same-type transformers): input bits whose values
+//     the model copies to a different bit position of the output are
+//     interleaved with the bits at that position, so mostly-identity
+//     rewrite relations (tunnel encapsulation, field copies) stay
+//     linear-sized;
+//   - group satisfaction: a transformer reuses the canonical region when
+//     its groups are already co-located there, and otherwise receives a
+//     fresh variable space converted to at runtime by BDD substitution.
+
+// analyzeGroups returns the union-find of input-bit groups implied by the
+// expression, or nil when no grouping constraint was found.
+func analyzeGroups(expr *core.Node, varID int32, inType *core.Type) *unionFind {
+	bits := inType.NumBits(0)
+	uf := newUnionFind(bits)
+	found := false
+
+	seen := make(map[*core.Node]bool)
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Op == core.OpEq || n.Op == core.OpLt {
+			offA, widthA, okA := projection(n.Kids[0], varID)
+			offB, widthB, okB := projection(n.Kids[1], varID)
+			if okA && okB && offA != offB {
+				w := widthA
+				if widthB < w {
+					w = widthB
+				}
+				for i := 0; i < w; i++ {
+					if uf.find(offA+i) != uf.find(offB+i) {
+						uf.union(offA+i, offB+i)
+						found = true
+					}
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(expr)
+
+	// Dataflow grouping applies when the expression produces a value of
+	// the input type: bits copied across positions should be interleaved.
+	if expr.Type.Same(inType) {
+		if dataflow(expr, 0, varID, uf, make(map[flowKey]bool)) {
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return uf
+}
+
+type flowKey struct {
+	n   *core.Node
+	off int
+}
+
+// dataflow walks the output structure of the expression; when output bits
+// [outOff, ...) take their value from input bits at a different offset, it
+// unions them. Returns whether any non-identity flow was found.
+func dataflow(n *core.Node, outOff int, varID int32, uf *unionFind, seen map[flowKey]bool) bool {
+	k := flowKey{n, outOff}
+	if seen[k] {
+		return false
+	}
+	seen[k] = true
+
+	if off, width, ok := projection(n, varID); ok {
+		found := false
+		for i := 0; i < width; i++ {
+			if off+i != outOff+i && uf.find(off+i) != uf.find(outOff+i) {
+				uf.union(off+i, outOff+i)
+				found = true
+			}
+		}
+		return found
+	}
+	switch n.Op {
+	case core.OpIf:
+		a := dataflow(n.Kids[1], outOff, varID, uf, seen)
+		b := dataflow(n.Kids[2], outOff, varID, uf, seen)
+		return a || b
+	case core.OpCreate:
+		found := false
+		off := outOff
+		for i, kid := range n.Kids {
+			if dataflow(kid, off, varID, uf, seen) {
+				found = true
+			}
+			off += n.Type.Fields[i].Type.NumBits(0)
+		}
+		return found
+	case core.OpWithField:
+		// The base object flows through (over-approximating the replaced
+		// field region), and the new value flows into its field slot.
+		found := dataflow(n.Kids[0], outOff, varID, uf, seen)
+		fieldOff := outOff
+		for i := 0; i < n.Index; i++ {
+			fieldOff += n.Type.Fields[i].Type.NumBits(0)
+		}
+		if dataflow(n.Kids[1], fieldOff, varID, uf, seen) {
+			found = true
+		}
+		return found
+	}
+	return false
+}
+
+// permFromGroups emits bits in type order, flushing a bit's whole group on
+// first encounter so grouped bits are interleaved.
+func permFromGroups(uf *unionFind, bits int) []int {
+	perm := make([]int, bits)
+	emitted := make([]bool, bits)
+	groups := make(map[int][]int)
+	for b := 0; b < bits; b++ {
+		groups[uf.find(b)] = append(groups[uf.find(b)], b)
+	}
+	rank := 0
+	for b := 0; b < bits; b++ {
+		if emitted[b] {
+			continue
+		}
+		for _, m := range groups[uf.find(b)] {
+			perm[m] = rank
+			rank++
+			emitted[m] = true
+		}
+	}
+	return perm
+}
+
+// groupsSatisfiedBy reports whether every group is already co-located in
+// the region's order: the span its members occupy is at most a small
+// constant factor of the group size.
+func groupsSatisfiedBy(uf *unionFind, reg *Region) bool {
+	groups := make(map[int][]int)
+	for b := 0; b < reg.bits; b++ {
+		r := uf.find(b)
+		groups[r] = append(groups[r], b)
+	}
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		lo, hi := reg.perm[members[0]], reg.perm[members[0]]
+		for _, m := range members[1:] {
+			if reg.perm[m] < lo {
+				lo = reg.perm[m]
+			}
+			if reg.perm[m] > hi {
+				hi = reg.perm[m]
+			}
+		}
+		if hi-lo+1 > 4*len(members) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeGroups unions src's groups into dst.
+func mergeGroups(dst, src *unionFind) {
+	for b := range src.parent {
+		r := src.find(b)
+		if r != b {
+			dst.union(b, r)
+		}
+	}
+}
+
+// EnsureOrderedRegion creates the canonical region for a type using the
+// grouping constraints of the given expressions (each over its input
+// variable ID). It is a no-op when the region already exists: call it
+// before building sets or transformers of the type.
+func (w *World) EnsureOrderedRegion(t *core.Type, exprs []*core.Node, varIDs []int32) {
+	if _, ok := w.regions[t.String()]; ok {
+		return
+	}
+	if w.DisableOrderingHeuristic {
+		w.Region(t)
+		return
+	}
+	bits := t.NumBits(0)
+	merged := newUnionFind(bits)
+	any := false
+	for i, e := range exprs {
+		if uf := analyzeGroups(e, varIDs[i], t); uf != nil {
+			mergeGroups(merged, uf)
+			any = true
+		}
+	}
+	if !any {
+		w.Region(t)
+		return
+	}
+	w.regionWithPerm(t, permFromGroups(merged, bits), t.String())
+}

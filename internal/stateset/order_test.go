@@ -1,0 +1,159 @@
+package stateset
+
+import (
+	"testing"
+
+	"zen-go/internal/core"
+)
+
+func rec3() *core.Type {
+	u8 := core.BV(8, false)
+	return core.Object("R",
+		core.Field{Name: "A", Type: u8},
+		core.Field{Name: "B", Type: u8},
+		core.Field{Name: "C", Type: u8})
+}
+
+func TestAnalyzeGroupsEquality(t *testing.T) {
+	b := core.NewBuilder()
+	typ := rec3()
+	v := b.Var(typ, "r")
+	expr := b.Eq(b.GetField(v, 0), b.GetField(v, 2)) // A == C
+	uf := analyzeGroups(expr, v.VarID, typ)
+	if uf == nil {
+		t.Fatal("equality must produce groups")
+	}
+	// Bit i of A (offset i) groups with bit i of C (offset 16+i).
+	for i := 0; i < 8; i++ {
+		if uf.find(i) != uf.find(16+i) {
+			t.Fatalf("A bit %d not grouped with C bit %d", i, i)
+		}
+		if uf.find(i) == uf.find(8+i) {
+			t.Fatalf("B bit %d wrongly grouped", i)
+		}
+	}
+}
+
+func TestAnalyzeGroupsNoConstraint(t *testing.T) {
+	b := core.NewBuilder()
+	typ := rec3()
+	v := b.Var(typ, "r")
+	// Comparison against a constant groups nothing.
+	expr := b.Eq(b.GetField(v, 0), b.BVConst(core.BV(8, false), 7))
+	if analyzeGroups(expr, v.VarID, typ) != nil {
+		t.Fatal("constant comparison should not constrain the order")
+	}
+}
+
+func TestDataflowGroups(t *testing.T) {
+	b := core.NewBuilder()
+	typ := rec3()
+	v := b.Var(typ, "r")
+	// Output copies C into the A slot: create R{A: r.C, B: r.B, C: r.C}.
+	expr := b.Create(typ, b.GetField(v, 2), b.GetField(v, 1), b.GetField(v, 2))
+	uf := analyzeGroups(expr, v.VarID, typ)
+	if uf == nil {
+		t.Fatal("cross-position copy must produce groups")
+	}
+	for i := 0; i < 8; i++ {
+		if uf.find(i) != uf.find(16+i) {
+			t.Fatalf("copied bit %d not grouped", i)
+		}
+	}
+}
+
+func TestPermFromGroupsInterleaves(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 4) // bits 0 and 4 adjacent
+	perm := permFromGroups(uf, 6)
+	if d := perm[4] - perm[0]; d != 1 && d != -1 {
+		t.Fatalf("grouped bits not adjacent: perm=%v", perm)
+	}
+	// perm is a permutation.
+	seen := make([]bool, 6)
+	for _, p := range perm {
+		if p < 0 || p >= 6 || seen[p] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestGroupsSatisfiedBy(t *testing.T) {
+	w := NewWorld()
+	u2 := core.BV(2, false)
+	narrow := core.Object("N",
+		core.Field{Name: "A", Type: u2},
+		core.Field{Name: "B", Type: u2})
+	regN := w.Region(narrow) // identity order, 4 bits
+	// Pairing bit i of A with bit i of B spans 3 ranks <= 4*2: satisfied.
+	ufN := newUnionFind(4)
+	ufN.union(0, 2)
+	ufN.union(1, 3)
+	if !groupsSatisfiedBy(ufN, regN) {
+		t.Fatal("narrow adjacent fields should satisfy the identity order")
+	}
+	// Wide fields: each {i, 16+i} pair spans 17 ranks > 4*2: unsatisfied,
+	// so the transformer forks a fresh interleaved space.
+	typ := rec3()
+	reg := w.Region(typ)
+	ufAC := newUnionFind(24)
+	for i := 0; i < 8; i++ {
+		ufAC.union(i, 16+i)
+	}
+	if groupsSatisfiedBy(ufAC, reg) {
+		t.Fatal("distant groups should NOT satisfy the identity order")
+	}
+	// And an interleaved canonical order satisfies the same groups.
+	perm := permFromGroups(ufAC, 24)
+	regI := w.regionWithPerm(typ, perm, "R#interleaved-test")
+	if !groupsSatisfiedBy(ufAC, regI) {
+		t.Fatal("interleaved order must satisfy its own groups")
+	}
+}
+
+func TestRegionLayout(t *testing.T) {
+	w := NewWorld()
+	typ := rec3()
+	reg := w.Region(typ)
+	if reg.bits != 24 {
+		t.Fatalf("bits = %d", reg.bits)
+	}
+	// In/out levels pair up adjacently.
+	for i := 0; i < reg.bits; i++ {
+		if reg.outLvl[i] != reg.inLvls[i]+1 {
+			t.Fatalf("bit %d: in=%d out=%d not adjacent", i, reg.inLvls[i], reg.outLvl[i])
+		}
+	}
+	// Same type returns the same region; another type gets fresh levels.
+	if w.Region(typ) != reg {
+		t.Fatal("region not cached")
+	}
+	other := w.Region(core.BV(8, false))
+	if other.base < reg.base+2*reg.bits {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestEnsureOrderedRegionIsNoOpWhenPresent(t *testing.T) {
+	w := NewWorld()
+	typ := rec3()
+	first := w.Region(typ)
+	b := core.NewBuilder()
+	v := b.Var(typ, "r")
+	expr := b.Eq(b.GetField(v, 0), b.GetField(v, 2))
+	w.EnsureOrderedRegion(typ, []*core.Node{expr}, []int32{v.VarID})
+	if w.Region(typ) != first {
+		t.Fatal("existing region must not be replaced")
+	}
+}
+
+func TestMustListFree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("list-carrying type must be rejected")
+		}
+	}()
+	w := NewWorld()
+	w.Region(core.List(core.BV(8, false)))
+}

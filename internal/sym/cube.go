@@ -1,0 +1,128 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+
+	"zen-go/internal/core"
+)
+
+// Cube is a partially specified value: a concrete shape where each
+// bitvector leaf knows some bits (Mask) and leaves the rest wild, and each
+// boolean leaf is true, false or unknown. It is the classic HSA wildcard
+// header, generalized over Zen types.
+type Cube struct {
+	Typ *core.Type
+
+	// KindBool: Known reports whether B is meaningful.
+	Known bool
+	B     bool
+
+	// KindBV: Value holds the known bits selected by Mask.
+	Value uint64
+	Mask  uint64
+
+	// KindObject
+	Fields []*Cube
+}
+
+// DecodeCube reconstructs a cube from a partial model: bitOf returns 1, 0,
+// or -1 (don't care) for each fresh bit. Lists are not supported (state
+// sets are list-free).
+func (in *Input[B]) DecodeCube(bitOf func(B) int8) *Cube {
+	return in.dec.decodeCube(bitOf)
+}
+
+func (d *decoder[B]) decodeCube(bitOf func(B) int8) *Cube {
+	switch d.typ.Kind {
+	case core.KindBool:
+		c := &Cube{Typ: d.typ}
+		if v := bitOf(d.bit); v >= 0 {
+			c.Known, c.B = true, v == 1
+		}
+		return c
+	case core.KindBV:
+		c := &Cube{Typ: d.typ}
+		for i, b := range d.bits {
+			switch bitOf(b) {
+			case 1:
+				c.Value |= 1 << uint(i)
+				c.Mask |= 1 << uint(i)
+			case 0:
+				c.Mask |= 1 << uint(i)
+			}
+		}
+		return c
+	case core.KindObject:
+		fields := make([]*Cube, len(d.fields))
+		for i, f := range d.fields {
+			fields[i] = f.decodeCube(bitOf)
+		}
+		return &Cube{Typ: d.typ, Fields: fields}
+	}
+	panic("sym: cube decoding requires list-free types")
+}
+
+// String renders the cube: exact decimals for fully known leaves, a
+// value/mask pair in hex for partially known ones, and * for fully wild
+// leaves.
+func (c *Cube) String() string {
+	switch c.Typ.Kind {
+	case core.KindBool:
+		if !c.Known {
+			return "*"
+		}
+		return fmt.Sprintf("%v", c.B)
+	case core.KindBV:
+		full := c.Typ.MaxUint()
+		switch c.Mask {
+		case full:
+			return fmt.Sprintf("%d", c.Value)
+		case 0:
+			return "*"
+		default:
+			return fmt.Sprintf("0x%X/0x%X", c.Value, c.Mask)
+		}
+	case core.KindObject:
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, f := range c.Fields {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Typ.Fields[i].Name)
+			b.WriteByte('=')
+			b.WriteString(f.String())
+		}
+		b.WriteByte('}')
+		return b.String()
+	}
+	return "?"
+}
+
+// CountWild returns the number of unknown decision bits — each cube covers
+// 2^CountWild concrete values.
+func (c *Cube) CountWild() int {
+	switch c.Typ.Kind {
+	case core.KindBool:
+		if c.Known {
+			return 0
+		}
+		return 1
+	case core.KindBV:
+		wild := 0
+		for i := 0; i < c.Typ.Width; i++ {
+			if c.Mask&(1<<uint(i)) == 0 {
+				wild++
+			}
+		}
+		return wild
+	case core.KindObject:
+		n := 0
+		for _, f := range c.Fields {
+			n += f.CountWild()
+		}
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,323 @@
+package sym
+
+import (
+	"fmt"
+
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+)
+
+// Env binds variable IDs to symbolic values.
+type Env[B comparable] map[int32]*Val[B]
+
+// Eval translates the expression DAG into a symbolic value over the given
+// algebra, under an environment binding every input variable. Shared
+// sub-DAGs are translated once per binding scope.
+func Eval[B comparable](alg Algebra[B], n *core.Node, env Env[B]) *Val[B] {
+	e := &evaluator[B]{alg: alg, env: env, memo: make(map[*core.Node]*Val[B])}
+	return e.eval(n)
+}
+
+type evaluator[B comparable] struct {
+	alg  Algebra[B]
+	env  Env[B]
+	memo map[*core.Node]*Val[B]
+}
+
+func (e *evaluator[B]) eval(n *core.Node) *Val[B] {
+	if v, ok := e.memo[n]; ok {
+		return v
+	}
+	v := e.evalUncached(n)
+	e.memo[n] = v
+	return v
+}
+
+func (e *evaluator[B]) eval2(n *core.Node) ([]B, []B) {
+	a := e.eval(n.Kids[0])
+	b := e.eval(n.Kids[1])
+	return a.Bits, b.Bits
+}
+
+func (e *evaluator[B]) evalUncached(n *core.Node) *Val[B] {
+	alg := e.alg
+	switch n.Op {
+	case core.OpConst:
+		if n.Type.Kind == core.KindBool {
+			if n.BVal {
+				return BoolVal(alg.True())
+			}
+			return BoolVal(alg.False())
+		}
+		return ConstBV(alg, n.Type, n.UVal)
+	case core.OpVar:
+		v, ok := e.env[n.VarID]
+		if !ok {
+			panic(fmt.Sprintf("sym: unbound variable %s#%d", n.Name, n.VarID))
+		}
+		return v
+	case core.OpNot:
+		return BoolVal(alg.Not(e.eval(n.Kids[0]).Bit))
+	case core.OpAnd:
+		a := e.eval(n.Kids[0]).Bit
+		if alg.IsFalse(a) {
+			return BoolVal(a)
+		}
+		return BoolVal(alg.And(a, e.eval(n.Kids[1]).Bit))
+	case core.OpOr:
+		a := e.eval(n.Kids[0]).Bit
+		if alg.IsTrue(a) {
+			return BoolVal(a)
+		}
+		return BoolVal(alg.Or(a, e.eval(n.Kids[1]).Bit))
+	case core.OpEq:
+		return BoolVal(Eq(alg, e.eval(n.Kids[0]), e.eval(n.Kids[1])))
+	case core.OpLt:
+		a, b := e.eval2(n)
+		return BoolVal(Lt(alg, n.Kids[0].Type, a, b))
+	case core.OpAdd:
+		a, b := e.eval2(n)
+		return BVVal(n.Type, Add(alg, a, b))
+	case core.OpSub:
+		a, b := e.eval2(n)
+		return BVVal(n.Type, Sub(alg, a, b))
+	case core.OpMul:
+		a, b := e.eval2(n)
+		return BVVal(n.Type, Mul(alg, a, b))
+	case core.OpBAnd, core.OpBOr, core.OpBXor:
+		a, b := e.eval2(n)
+		out := make([]B, len(a))
+		for i := range out {
+			switch n.Op {
+			case core.OpBAnd:
+				out[i] = alg.And(a[i], b[i])
+			case core.OpBOr:
+				out[i] = alg.Or(a[i], b[i])
+			default:
+				out[i] = alg.Xor(a[i], b[i])
+			}
+		}
+		return BVVal(n.Type, out)
+	case core.OpBNot:
+		a := e.eval(n.Kids[0]).Bits
+		out := make([]B, len(a))
+		for i := range out {
+			out[i] = alg.Not(a[i])
+		}
+		return BVVal(n.Type, out)
+	case core.OpShl:
+		return BVVal(n.Type, Shl(alg, e.eval(n.Kids[0]).Bits, n.Index))
+	case core.OpShr:
+		return BVVal(n.Type, Shr(alg, e.eval(n.Kids[0]).Bits, n.Index))
+	case core.OpIf:
+		c := e.eval(n.Kids[0]).Bit
+		if alg.IsTrue(c) {
+			return e.eval(n.Kids[1])
+		}
+		if alg.IsFalse(c) {
+			return e.eval(n.Kids[2])
+		}
+		return Ite(alg, c, e.eval(n.Kids[1]), e.eval(n.Kids[2]))
+	case core.OpCreate:
+		fields := make([]*Val[B], len(n.Kids))
+		for i, k := range n.Kids {
+			fields[i] = e.eval(k)
+		}
+		return ObjectVal(n.Type, fields...)
+	case core.OpGetField:
+		return e.eval(n.Kids[0]).Fields[n.Index]
+	case core.OpWithField:
+		o := e.eval(n.Kids[0])
+		fields := append([]*Val[B](nil), o.Fields...)
+		fields[n.Index] = e.eval(n.Kids[1])
+		return ObjectVal(n.Type, fields...)
+	case core.OpListNil:
+		return NilList(alg, n.Type)
+	case core.OpListCase:
+		return e.evalListCase(n)
+	case core.OpListCons:
+		return Cons(e.eval(n.Kids[0]), e.eval(n.Kids[1]))
+	case core.OpAdapt:
+		inner := e.eval(n.Kids[0])
+		out := *inner
+		out.Typ = n.Type
+		return &out
+	case core.OpCast:
+		x := e.eval(n.Kids[0])
+		w := n.Type.Width
+		out := make([]B, w)
+		ext := alg.False()
+		if n.Kids[0].Type.Signed {
+			ext = x.Bits[len(x.Bits)-1]
+		}
+		for i := 0; i < w; i++ {
+			if i < len(x.Bits) {
+				out[i] = x.Bits[i]
+			} else {
+				out[i] = ext
+			}
+		}
+		return BVVal(n.Type, out)
+	}
+	panic("sym: unhandled op " + n.Op.String())
+}
+
+// evalListCase evaluates a list elimination by expanding each length
+// alternative of the guarded union separately (the cons branch sees a tail
+// of one fixed shape per alternative) and merging the results.
+func (e *evaluator[B]) evalListCase(n *core.Node) *Val[B] {
+	alg := e.alg
+	list := e.eval(n.Kids[0])
+	var res *Val[B]
+	for _, opt := range list.List.Opts {
+		if alg.IsFalse(opt.Guard) {
+			continue
+		}
+		var v *Val[B]
+		if len(opt.Elems) == 0 {
+			v = e.eval(n.Kids[1])
+		} else {
+			tail := &Val[B]{
+				Typ:  n.Kids[0].Type,
+				List: &ListVal[B]{Opts: []ListOpt[B]{{Guard: alg.True(), Elems: opt.Elems[1:]}}},
+			}
+			child := &evaluator[B]{
+				alg:  alg,
+				env:  extend(e.env, n.Bound[0].VarID, opt.Elems[0], n.Bound[1].VarID, tail),
+				memo: make(map[*core.Node]*Val[B]),
+			}
+			v = child.eval(n.Kids[2])
+		}
+		if res == nil {
+			res = v
+		} else {
+			res = Ite(alg, opt.Guard, v, res)
+		}
+	}
+	if res == nil {
+		// All alternatives were impossible; the value is irrelevant, so
+		// use the empty branch.
+		res = e.eval(n.Kids[1])
+	}
+	return res
+}
+
+func extend[B comparable](env Env[B], id1 int32, v1 *Val[B], id2 int32, v2 *Val[B]) Env[B] {
+	out := make(Env[B], len(env)+2)
+	for k, v := range env {
+		out[k] = v
+	}
+	out[id1] = v1
+	out[id2] = v2
+	return out
+}
+
+// Input is a freshly allocated symbolic value together with enough
+// bookkeeping to decode a solver model back into a concrete value.
+type Input[B comparable] struct {
+	Val *Val[B]
+	dec *decoder[B]
+}
+
+type decoder[B comparable] struct {
+	typ      *core.Type
+	bit      B
+	bits     []B
+	fields   []*decoder[B]
+	presence []B // list: presence[i] = "length > i"
+	elems    []*decoder[B]
+}
+
+// Fresh allocates an unconstrained symbolic value of type t. Lists are
+// bounded to listBound elements.
+func Fresh[B comparable](alg Algebra[B], t *core.Type, listBound int, name string) *Input[B] {
+	v, d := fresh(alg, t, listBound, name)
+	return &Input[B]{Val: v, dec: d}
+}
+
+func fresh[B comparable](alg Algebra[B], t *core.Type, bound int, name string) (*Val[B], *decoder[B]) {
+	switch t.Kind {
+	case core.KindBool:
+		b := alg.Fresh(name)
+		return BoolVal(b), &decoder[B]{typ: t, bit: b}
+	case core.KindBV:
+		// Allocate most-significant bit first: solvers that derive
+		// variable order from allocation order (the BDD backend) then
+		// test high bits first, which keeps unions of prefixes and
+		// ranges — the bread and butter of network models — compact.
+		bits := make([]B, t.Width)
+		for i := t.Width - 1; i >= 0; i-- {
+			bits[i] = alg.Fresh(fmt.Sprintf("%s[%d]", name, i))
+		}
+		return BVVal(t, bits), &decoder[B]{typ: t, bits: bits}
+	case core.KindObject:
+		fields := make([]*Val[B], len(t.Fields))
+		decs := make([]*decoder[B], len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i], decs[i] = fresh(alg, f.Type, bound, name+"."+f.Name)
+		}
+		return ObjectVal(t, fields...), &decoder[B]{typ: t, fields: decs}
+	case core.KindList:
+		presence := make([]B, bound)
+		elems := make([]*Val[B], bound)
+		decs := make([]*decoder[B], bound)
+		for i := 0; i < bound; i++ {
+			presence[i] = alg.Fresh(fmt.Sprintf("%s.len>%d", name, i))
+			elems[i], decs[i] = fresh(alg, t.Elem, bound, fmt.Sprintf("%s[%d]", name, i))
+		}
+		opts := make([]ListOpt[B], 0, bound+1)
+		prefix := alg.True()
+		for l := 0; l <= bound; l++ {
+			g := prefix
+			if l < bound {
+				g = alg.And(prefix, alg.Not(presence[l]))
+				prefix = alg.And(prefix, presence[l])
+			}
+			opts = append(opts, ListOpt[B]{Guard: g, Elems: elems[:l]})
+		}
+		v := &Val[B]{Typ: t, List: &ListVal[B]{Opts: opts}}
+		return v, &decoder[B]{typ: t, presence: presence, elems: decs}
+	}
+	panic("sym: unknown kind")
+}
+
+// Decode reconstructs a concrete value from a model, given a function that
+// reports the model value of each fresh bit.
+func (in *Input[B]) Decode(bitValue func(B) bool) *interp.Value {
+	return in.dec.decode(bitValue)
+}
+
+func (d *decoder[B]) decode(bitValue func(B) bool) *interp.Value {
+	switch d.typ.Kind {
+	case core.KindBool:
+		return interp.Bool(bitValue(d.bit))
+	case core.KindBV:
+		var u uint64
+		for i, b := range d.bits {
+			if bitValue(b) {
+				u |= 1 << uint(i)
+			}
+		}
+		return interp.BV(d.typ, u)
+	case core.KindObject:
+		fields := make([]*interp.Value, len(d.fields))
+		for i, f := range d.fields {
+			fields[i] = f.decode(bitValue)
+		}
+		return interp.Object(d.typ, fields...)
+	case core.KindList:
+		n := 0
+		for _, p := range d.presence {
+			if !bitValue(p) {
+				break
+			}
+			n++
+		}
+		elems := make([]*interp.Value, n)
+		for i := 0; i < n; i++ {
+			elems[i] = d.elems[i].decode(bitValue)
+		}
+		return interp.List(d.typ, elems...)
+	}
+	panic("sym: unknown kind")
+}

@@ -1,0 +1,269 @@
+package sym_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"zen-go/internal/backends"
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+	"zen-go/internal/sym"
+)
+
+var u8 = core.BV(8, false)
+
+// randExpr builds a random u8-valued expression over two u8 variables and
+// one bool variable.
+func randExpr(b *core.Builder, rng *rand.Rand, x, y, p *core.Node, depth int) *core.Node {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return x
+		case 1:
+			return y
+		default:
+			return b.BVConst(u8, uint64(rng.Intn(256)))
+		}
+	}
+	a := randExpr(b, rng, x, y, p, depth-1)
+	c := randExpr(b, rng, x, y, p, depth-1)
+	switch rng.Intn(8) {
+	case 0:
+		return b.Add(a, c)
+	case 1:
+		return b.Sub(a, c)
+	case 2:
+		return b.Mul(a, c)
+	case 3:
+		return b.BAnd(a, c)
+	case 4:
+		return b.BOr(a, c)
+	case 5:
+		return b.BXor(a, c)
+	case 6:
+		return b.If(b.Lt(a, c), a, c)
+	default:
+		return b.If(p, a, c)
+	}
+}
+
+// checkSolverAgainstInterp evaluates expr symbolically with fresh inputs,
+// constrains the result to equal the interpreter's output on a concrete
+// input, solves, and confirms the output is forced (negation unsat).
+func checkSolverAgainstInterp[B comparable](t *testing.T, alg sym.Solver[B], b *core.Builder,
+	expr, x, y, p *core.Node, xv, yv uint64, pv bool) {
+	t.Helper()
+	want := interp.Eval(expr, interp.Env{
+		x.VarID: interp.BV(u8, xv),
+		y.VarID: interp.BV(u8, yv),
+		p.VarID: interp.Bool(pv),
+	})
+
+	inX := sym.Fresh(alg, u8, 0, "x")
+	inY := sym.Fresh(alg, u8, 0, "y")
+	inP := sym.Fresh(alg, core.Bool(), 0, "p")
+	env := sym.Env[B]{x.VarID: inX.Val, y.VarID: inY.Val, p.VarID: inP.Val}
+	out := sym.Eval(alg, expr, env)
+
+	cond := sym.Eq(alg, inX.Val, sym.ConstBV(alg, u8, xv))
+	cond = alg.And(cond, sym.Eq(alg, inY.Val, sym.ConstBV(alg, u8, yv)))
+	pc := alg.True()
+	if !pv {
+		pc = alg.False()
+	}
+	cond = alg.And(cond, alg.Not(alg.Xor(inP.Val.Bit, pc)))
+	eqOut := sym.Eq(alg, out, sym.ConstBV(alg, u8, want.U))
+	if !alg.Solve(alg.And(cond, eqOut)) {
+		t.Fatalf("inputs (%d,%d,%v) with output %d should be satisfiable", xv, yv, pv, want.U)
+	}
+	if got := inX.Decode(alg.BitValue); got.U != xv {
+		t.Fatalf("decoded x = %d, want %d", got.U, xv)
+	}
+	if alg.Solve(alg.And(cond, alg.Not(eqOut))) {
+		t.Fatalf("inputs (%d,%d,%v) with output != %d must be unsat", xv, yv, pv, want.U)
+	}
+}
+
+func TestBDDSolverMatchesInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		b := core.NewBuilder()
+		x, y, p := b.Var(u8, "x"), b.Var(u8, "y"), b.Var(core.Bool(), "p")
+		expr := randExpr(b, rng, x, y, p, 3)
+		checkSolverAgainstInterp(t, backends.NewBDD(), b, expr, x, y, p,
+			uint64(rng.Intn(256)), uint64(rng.Intn(256)), rng.Intn(2) == 1)
+	}
+}
+
+func TestSATSolverMatchesInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		b := core.NewBuilder()
+		x, y, p := b.Var(u8, "x"), b.Var(u8, "y"), b.Var(core.Bool(), "p")
+		expr := randExpr(b, rng, x, y, p, 3)
+		checkSolverAgainstInterp(t, backends.NewSAT(), b, expr, x, y, p,
+			uint64(rng.Intn(256)), uint64(rng.Intn(256)), rng.Intn(2) == 1)
+	}
+}
+
+func TestTernaryEvalConcreteInputs(t *testing.T) {
+	// With fully concrete inputs, ternary simulation must agree exactly
+	// with the interpreter.
+	rng := rand.New(rand.NewSource(13))
+	alg := backends.NewTernary()
+	for trial := 0; trial < 50; trial++ {
+		b := core.NewBuilder()
+		x, y, p := b.Var(u8, "x"), b.Var(u8, "y"), b.Var(core.Bool(), "p")
+		expr := randExpr(b, rng, x, y, p, 3)
+		xv, yv, pv := uint64(rng.Intn(256)), uint64(rng.Intn(256)), rng.Intn(2) == 1
+		want := interp.Eval(expr, interp.Env{
+			x.VarID: interp.BV(u8, xv), y.VarID: interp.BV(u8, yv), p.VarID: interp.Bool(pv)})
+		pc := backends.TritFalse
+		if pv {
+			pc = backends.TritTrue
+		}
+		env := sym.Env[backends.Trit]{
+			x.VarID: sym.ConstBV[backends.Trit](alg, u8, xv),
+			y.VarID: sym.ConstBV[backends.Trit](alg, u8, yv),
+			p.VarID: sym.BoolVal(pc),
+		}
+		out := sym.Eval[backends.Trit](alg, expr, env)
+		var got uint64
+		for i, bit := range out.Bits {
+			switch bit {
+			case backends.TritTrue:
+				got |= 1 << uint(i)
+			case backends.TritUnknown:
+				t.Fatalf("trial %d: concrete inputs produced unknown bit", trial)
+			}
+		}
+		if got != want.U {
+			t.Fatalf("trial %d: ternary=%d interp=%d", trial, got, want.U)
+		}
+	}
+}
+
+func TestTernaryUnknownPropagation(t *testing.T) {
+	alg := backends.NewTernary()
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	in := sym.Fresh[backends.Trit](alg, u8, 0, "x")
+
+	// x & 0x00 == 0 regardless of unknown x.
+	expr := b.Eq(b.BAnd(x, b.BVConst(u8, 0)), b.BVConst(u8, 0))
+	out := sym.Eval[backends.Trit](alg, expr, sym.Env[backends.Trit]{x.VarID: in.Val})
+	if out.Bit != backends.TritTrue {
+		t.Fatalf("x&0 == 0 should be definitely true, got %v", out.Bit)
+	}
+	// x == x folds to true in the builder already; the evaluator must
+	// agree even via fresh unknowns on both operand positions.
+	expr2 := b.Eq(x, x)
+	out2 := sym.Eval[backends.Trit](alg, expr2, sym.Env[backends.Trit]{x.VarID: in.Val})
+	if out2.Bit != backends.TritTrue {
+		t.Fatalf("x == x should be true, got %v", out2.Bit)
+	}
+	// The low bit of an unknown x is unknown.
+	expr3 := b.Eq(b.BAnd(x, b.BVConst(u8, 1)), b.BVConst(u8, 1))
+	out3 := sym.Eval[backends.Trit](alg, expr3, sym.Env[backends.Trit]{x.VarID: in.Val})
+	if out3.Bit != backends.TritUnknown {
+		t.Fatalf("x&1 == 1 should be unknown, got %v", out3.Bit)
+	}
+}
+
+// sumList builds a bounded-recursion sum over a list expression.
+func sumList(b *core.Builder, l *core.Node, depth int) *core.Node {
+	if depth == 0 {
+		return b.BVConst(u8, 0)
+	}
+	return b.ListCase(l, b.BVConst(u8, 0), func(h, tl *core.Node) *core.Node {
+		return b.Add(h, sumList(b, tl, depth-1))
+	})
+}
+
+func testFindListSum[B comparable](t *testing.T, alg sym.Solver[B]) {
+	t.Helper()
+	b := core.NewBuilder()
+	lt := core.List(u8)
+	listVar := b.Var(lt, "l")
+	expr := b.Eq(sumList(b, listVar, 5), b.BVConst(u8, 42))
+
+	in := sym.Fresh(alg, lt, 4, "l")
+	out := sym.Eval(alg, expr, sym.Env[B]{listVar.VarID: in.Val})
+	if !alg.Solve(out.Bit) {
+		t.Fatal("a list summing to 42 must exist")
+	}
+	model := in.Decode(alg.BitValue)
+	var sum uint64
+	for _, e := range model.Elems {
+		sum += e.U
+	}
+	if sum%256 != 42 {
+		t.Fatalf("decoded list %v sums to %d, want 42", model, sum%256)
+	}
+}
+
+func TestFindListSumBDD(t *testing.T) { testFindListSum(t, backends.NewBDD()) }
+func TestFindListSumSAT(t *testing.T) { testFindListSum(t, backends.NewSAT()) }
+
+func testFindListExactLength[B comparable](t *testing.T, alg sym.Solver[B]) {
+	t.Helper()
+	b := core.NewBuilder()
+	lt := core.List(u8)
+	listVar := b.Var(lt, "l")
+	// Require length exactly 2 and both elements equal to 7, via equality
+	// with a concrete list.
+	want := b.ListCons(b.BVConst(u8, 7), b.ListCons(b.BVConst(u8, 7), b.ListNil(lt)))
+	expr := b.Eq(listVar, want)
+
+	in := sym.Fresh(alg, lt, 4, "l")
+	out := sym.Eval(alg, expr, sym.Env[B]{listVar.VarID: in.Val})
+	if !alg.Solve(out.Bit) {
+		t.Fatal("list [7,7] must be found")
+	}
+	model := in.Decode(alg.BitValue)
+	if len(model.Elems) != 2 || model.Elems[0].U != 7 || model.Elems[1].U != 7 {
+		t.Fatalf("decoded %v, want [7, 7]", model)
+	}
+}
+
+func TestFindListExactLengthBDD(t *testing.T) { testFindListExactLength(t, backends.NewBDD()) }
+func TestFindListExactLengthSAT(t *testing.T) { testFindListExactLength(t, backends.NewSAT()) }
+
+func testObjectSolve[B comparable](t *testing.T, alg sym.Solver[B]) {
+	t.Helper()
+	b := core.NewBuilder()
+	u16 := core.BV(16, false)
+	hdr := core.Object("Hdr",
+		core.Field{Name: "Dst", Type: u16},
+		core.Field{Name: "Flag", Type: core.Bool()})
+	h := b.Var(hdr, "h")
+	expr := b.And(b.Eq(b.GetField(h, 0), b.BVConst(u16, 0xBEEF)), b.GetField(h, 1))
+
+	in := sym.Fresh(alg, hdr, 0, "h")
+	out := sym.Eval(alg, expr, sym.Env[B]{h.VarID: in.Val})
+	if !alg.Solve(out.Bit) {
+		t.Fatal("expected satisfiable")
+	}
+	model := in.Decode(alg.BitValue)
+	if model.Fields[0].U != 0xBEEF || !model.Fields[1].B {
+		t.Fatalf("decoded %v, want Dst=0xBEEF Flag=true", model)
+	}
+}
+
+func TestObjectSolveBDD(t *testing.T) { testObjectSolve(t, backends.NewBDD()) }
+func TestObjectSolveSAT(t *testing.T) { testObjectSolve(t, backends.NewSAT()) }
+
+func TestSATXorGateSharing(t *testing.T) {
+	alg := backends.NewSAT()
+	a := alg.Fresh("a")
+	b := alg.Fresh("b")
+	g1 := alg.Xor(a, b)
+	g2 := alg.Xor(b, a)
+	if g1 != g2 {
+		t.Fatal("xor gates should be structurally shared")
+	}
+	g3 := alg.Xor(a.Not(), b)
+	if g3 != g1.Not() {
+		t.Fatal("xor polarity normalization broken")
+	}
+}

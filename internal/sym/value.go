@@ -1,0 +1,303 @@
+package sym
+
+import (
+	"fmt"
+
+	"zen-go/internal/core"
+)
+
+// Val is a symbolic value over algebra values of type B. Exactly one
+// representation is active, according to Typ.Kind.
+type Val[B comparable] struct {
+	Typ    *core.Type
+	Bit    B         // KindBool
+	Bits   []B       // KindBV, little-endian (index 0 = least significant)
+	Fields []*Val[B] // KindObject
+	List   *ListVal[B]
+}
+
+// ListVal is a guarded union of list shapes: the list has the elements of
+// Opts[i] exactly when Opts[i].Guard holds. Guards are mutually exclusive
+// and exhaustive, and lengths are strictly increasing across Opts.
+type ListVal[B comparable] struct {
+	Opts []ListOpt[B]
+}
+
+// ListOpt is one length alternative of a symbolic list.
+type ListOpt[B comparable] struct {
+	Guard B
+	Elems []*Val[B]
+}
+
+// BoolVal wraps an algebra value as a symbolic boolean.
+func BoolVal[B comparable](b B) *Val[B] { return &Val[B]{Typ: core.Bool(), Bit: b} }
+
+// BVVal wraps bits as a symbolic bitvector of type t.
+func BVVal[B comparable](t *core.Type, bits []B) *Val[B] {
+	if len(bits) != t.Width {
+		panic("sym: bit width mismatch")
+	}
+	return &Val[B]{Typ: t, Bits: bits}
+}
+
+// ConstBV builds a constant bitvector in the algebra.
+func ConstBV[B comparable](alg Algebra[B], t *core.Type, v uint64) *Val[B] {
+	bits := make([]B, t.Width)
+	for i := range bits {
+		if v&(1<<uint(i)) != 0 {
+			bits[i] = alg.True()
+		} else {
+			bits[i] = alg.False()
+		}
+	}
+	return BVVal(t, bits)
+}
+
+// ObjectVal builds a symbolic object.
+func ObjectVal[B comparable](t *core.Type, fields ...*Val[B]) *Val[B] {
+	if len(fields) != len(t.Fields) {
+		panic("sym: wrong number of fields")
+	}
+	return &Val[B]{Typ: t, Fields: fields}
+}
+
+// NilList builds the symbolic empty list.
+func NilList[B comparable](alg Algebra[B], t *core.Type) *Val[B] {
+	return &Val[B]{Typ: t, List: &ListVal[B]{Opts: []ListOpt[B]{{Guard: alg.True()}}}}
+}
+
+// Cons prepends a symbolic head to a symbolic list.
+func Cons[B comparable](head, tail *Val[B]) *Val[B] {
+	opts := make([]ListOpt[B], len(tail.List.Opts))
+	for i, o := range tail.List.Opts {
+		elems := make([]*Val[B], 0, len(o.Elems)+1)
+		elems = append(elems, head)
+		elems = append(elems, o.Elems...)
+		opts[i] = ListOpt[B]{Guard: o.Guard, Elems: elems}
+	}
+	return &Val[B]{Typ: tail.Typ, List: &ListVal[B]{Opts: opts}}
+}
+
+// Ite merges two symbolic values of the same type under condition c.
+func Ite[B comparable](alg Algebra[B], c B, a, b *Val[B]) *Val[B] {
+	if alg.IsTrue(c) {
+		return a
+	}
+	if alg.IsFalse(c) {
+		return b
+	}
+	switch a.Typ.Kind {
+	case core.KindBool:
+		return BoolVal(alg.Ite(c, a.Bit, b.Bit))
+	case core.KindBV:
+		bits := make([]B, len(a.Bits))
+		for i := range bits {
+			bits[i] = alg.Ite(c, a.Bits[i], b.Bits[i])
+		}
+		return BVVal(a.Typ, bits)
+	case core.KindObject:
+		fields := make([]*Val[B], len(a.Fields))
+		for i := range fields {
+			fields[i] = Ite(alg, c, a.Fields[i], b.Fields[i])
+		}
+		return ObjectVal(a.Typ, fields...)
+	case core.KindList:
+		return &Val[B]{Typ: a.Typ, List: mergeLists(alg, c, a.List, b.List)}
+	}
+	panic("sym: unknown kind")
+}
+
+func mergeLists[B comparable](alg Algebra[B], c B, a, b *ListVal[B]) *ListVal[B] {
+	// Walk both sorted-by-length option lists.
+	var opts []ListOpt[B]
+	i, j := 0, 0
+	for i < len(a.Opts) || j < len(b.Opts) {
+		switch {
+		case j >= len(b.Opts) || (i < len(a.Opts) && len(a.Opts[i].Elems) < len(b.Opts[j].Elems)):
+			o := a.Opts[i]
+			g := alg.And(c, o.Guard)
+			if !alg.IsFalse(g) {
+				opts = append(opts, ListOpt[B]{Guard: g, Elems: o.Elems})
+			}
+			i++
+		case i >= len(a.Opts) || len(b.Opts[j].Elems) < len(a.Opts[i].Elems):
+			o := b.Opts[j]
+			g := alg.And(alg.Not(c), o.Guard)
+			if !alg.IsFalse(g) {
+				opts = append(opts, ListOpt[B]{Guard: g, Elems: o.Elems})
+			}
+			j++
+		default: // same length: merge element-wise
+			oa, ob := a.Opts[i], b.Opts[j]
+			g := alg.Ite(c, oa.Guard, ob.Guard)
+			if !alg.IsFalse(g) {
+				elems := make([]*Val[B], len(oa.Elems))
+				for k := range elems {
+					elems[k] = Ite(alg, c, oa.Elems[k], ob.Elems[k])
+				}
+				opts = append(opts, ListOpt[B]{Guard: g, Elems: elems})
+			}
+			i++
+			j++
+		}
+	}
+	if len(opts) == 0 {
+		// Both sides impossible under their guards; keep a degenerate
+		// empty option to preserve the exhaustiveness invariant shape.
+		opts = []ListOpt[B]{{Guard: alg.False()}}
+	}
+	return &ListVal[B]{Opts: opts}
+}
+
+// Eq returns the symbolic equality of two values of the same type.
+func Eq[B comparable](alg Algebra[B], a, b *Val[B]) B {
+	switch a.Typ.Kind {
+	case core.KindBool:
+		return alg.Not(alg.Xor(a.Bit, b.Bit))
+	case core.KindBV:
+		r := alg.True()
+		for i := range a.Bits {
+			r = alg.And(r, alg.Not(alg.Xor(a.Bits[i], b.Bits[i])))
+			if alg.IsFalse(r) {
+				return r
+			}
+		}
+		return r
+	case core.KindObject:
+		r := alg.True()
+		for i := range a.Fields {
+			r = alg.And(r, Eq(alg, a.Fields[i], b.Fields[i]))
+			if alg.IsFalse(r) {
+				return r
+			}
+		}
+		return r
+	case core.KindList:
+		r := alg.False()
+		for _, oa := range a.List.Opts {
+			for _, ob := range b.List.Opts {
+				if len(oa.Elems) != len(ob.Elems) {
+					continue
+				}
+				g := alg.And(oa.Guard, ob.Guard)
+				for k := range oa.Elems {
+					if alg.IsFalse(g) {
+						break
+					}
+					g = alg.And(g, Eq(alg, oa.Elems[k], ob.Elems[k]))
+				}
+				r = alg.Or(r, g)
+			}
+		}
+		return r
+	}
+	panic("sym: unknown kind")
+}
+
+// Ult returns the unsigned less-than of two bitvectors.
+func Ult[B comparable](alg Algebra[B], a, b []B) B {
+	r := alg.False()
+	for i := 0; i < len(a); i++ { // LSB to MSB; the most significant difference wins
+		r = alg.Ite(alg.Xor(a[i], b[i]), b[i], r)
+	}
+	return r
+}
+
+// Lt returns less-than with the signedness of type t.
+func Lt[B comparable](alg Algebra[B], t *core.Type, a, b []B) B {
+	if !t.Signed {
+		return Ult(alg, a, b)
+	}
+	// Signed comparison: flip the sign bits and compare unsigned.
+	n := len(a)
+	a2 := append(append([]B(nil), a[:n-1]...), alg.Not(a[n-1]))
+	b2 := append(append([]B(nil), b[:n-1]...), alg.Not(b[n-1]))
+	return Ult(alg, a2, b2)
+}
+
+// Add returns the sum of two bitvectors (wraparound).
+func Add[B comparable](alg Algebra[B], a, b []B) []B {
+	out := make([]B, len(a))
+	carry := alg.False()
+	for i := range a {
+		s := alg.Xor(a[i], b[i])
+		out[i] = alg.Xor(s, carry)
+		carry = alg.Or(alg.And(a[i], b[i]), alg.And(s, carry))
+	}
+	return out
+}
+
+// Sub returns the difference of two bitvectors (wraparound).
+func Sub[B comparable](alg Algebra[B], a, b []B) []B {
+	// a - b = a + ~b + 1
+	nb := make([]B, len(b))
+	for i := range b {
+		nb[i] = alg.Not(b[i])
+	}
+	out := make([]B, len(a))
+	carry := alg.True()
+	for i := range a {
+		s := alg.Xor(a[i], nb[i])
+		out[i] = alg.Xor(s, carry)
+		carry = alg.Or(alg.And(a[i], nb[i]), alg.And(s, carry))
+	}
+	return out
+}
+
+// Mul returns the product of two bitvectors (wraparound, shift-and-add).
+func Mul[B comparable](alg Algebra[B], a, b []B) []B {
+	n := len(a)
+	acc := make([]B, n)
+	for i := range acc {
+		acc[i] = alg.False()
+	}
+	shifted := append([]B(nil), a...)
+	for i := 0; i < n; i++ {
+		// acc += shifted & b[i]
+		if !alg.IsFalse(b[i]) {
+			masked := make([]B, n)
+			for j := range masked {
+				masked[j] = alg.And(shifted[j], b[i])
+			}
+			acc = Add(alg, acc, masked)
+		}
+		// shifted <<= 1
+		if i+1 < n {
+			copy(shifted[1:], shifted[:n-1])
+			shifted[0] = alg.False()
+		}
+	}
+	return acc
+}
+
+// Shl shifts left by a constant amount.
+func Shl[B comparable](alg Algebra[B], a []B, amount int) []B {
+	n := len(a)
+	out := make([]B, n)
+	for i := range out {
+		if i >= amount {
+			out[i] = a[i-amount]
+		} else {
+			out[i] = alg.False()
+		}
+	}
+	return out
+}
+
+// Shr logically shifts right by a constant amount.
+func Shr[B comparable](alg Algebra[B], a []B, amount int) []B {
+	n := len(a)
+	out := make([]B, n)
+	for i := range out {
+		if i+amount < n {
+			out[i] = a[i+amount]
+		} else {
+			out[i] = alg.False()
+		}
+	}
+	return out
+}
+
+func (v *Val[B]) String() string {
+	return fmt.Sprintf("sym<%s>", v.Typ)
+}

@@ -1,0 +1,95 @@
+// Package testgen implements Zen's test-input generation (§8 of the
+// paper): symbolic-execution style enumeration of the branch paths of a
+// model, so a solver can produce one concrete input per reachable path —
+// e.g. one packet per ACL rule.
+package testgen
+
+import "zen-go/internal/core"
+
+// Constraint fixes the truth value of one branch condition.
+type Constraint struct {
+	Cond *core.Node
+	Val  bool
+}
+
+// Path is a conjunction of branch constraints identifying one execution
+// path through the model's conditional spine.
+type Path []Constraint
+
+// Paths enumerates the branch paths of the expression's conditional spine:
+// the tree of If (and list-case) decisions reached from the root through
+// result positions. Conditions themselves are treated as opaque formulas.
+// Enumeration is depth-first and stops after max paths (0 = no limit).
+func Paths(root *core.Node, max int) []Path {
+	var out []Path
+	var cur Path
+	var rec func(n *core.Node) bool
+	rec = func(n *core.Node) bool {
+		if max > 0 && len(out) >= max {
+			return false
+		}
+		switch n.Op {
+		case core.OpIf:
+			cur = append(cur, Constraint{Cond: n.Kids[0], Val: true})
+			ok := rec(n.Kids[1])
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+			cur = append(cur, Constraint{Cond: n.Kids[0], Val: false})
+			ok = rec(n.Kids[2])
+			cur = cur[:len(cur)-1]
+			return ok
+		case core.OpListCase:
+			// Treat the two list shapes as a branch over emptiness. The
+			// cons branch contains binders handled by the solver at
+			// evaluation time; here only the spine matters, so descend
+			// into both result branches without a constraint on head.
+			if !rec(n.Kids[1]) {
+				return false
+			}
+			return rec(n.Kids[2])
+		default:
+			out = append(out, append(Path(nil), cur...))
+			return true
+		}
+	}
+	rec(root)
+	return out
+}
+
+// Conjunction builds the boolean expression for a path.
+func Conjunction(b *core.Builder, p Path) *core.Node {
+	cond := b.BoolConst(true)
+	for _, c := range p {
+		term := c.Cond
+		if !c.Val {
+			term = b.Not(term)
+		}
+		cond = b.And(cond, term)
+	}
+	return cond
+}
+
+// Conditions returns the distinct branch conditions in the expression
+// (useful for condition-coverage generation on models whose path count
+// explodes).
+func Conditions(root *core.Node) []*core.Node {
+	seen := make(map[*core.Node]bool)
+	var conds []*core.Node
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Op == core.OpIf {
+			conds = append(conds, n.Kids[0])
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(root)
+	return conds
+}

@@ -1,0 +1,107 @@
+package testgen
+
+import (
+	"testing"
+
+	"zen-go/internal/core"
+)
+
+var u8 = core.BV(8, false)
+
+func chain(b *core.Builder, x *core.Node, n int) *core.Node {
+	out := b.BVConst(u8, uint64(n))
+	for i := n - 1; i >= 0; i-- {
+		out = b.If(b.Eq(x, b.BVConst(u8, uint64(i))), b.BVConst(u8, uint64(i)), out)
+	}
+	return out
+}
+
+func TestPathsOfChain(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	root := chain(b, x, 4)
+	paths := Paths(root, 0)
+	if len(paths) != 5 {
+		t.Fatalf("paths = %d, want 5", len(paths))
+	}
+	// Path i has i+1 constraints (i negations + 1 assertion), except the
+	// last which is all negations.
+	for i, p := range paths {
+		want := i + 1
+		if i == len(paths)-1 {
+			want = 4
+		}
+		if len(p) != want {
+			t.Fatalf("path %d has %d constraints, want %d", i, len(p), want)
+		}
+	}
+	// First path asserts the first condition true.
+	if !paths[0][0].Val {
+		t.Fatal("first path should assert the first branch")
+	}
+	// Last path negates everything.
+	for _, c := range paths[len(paths)-1] {
+		if c.Val {
+			t.Fatal("fallthrough path should negate every branch")
+		}
+	}
+}
+
+func TestPathsRespectsMax(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	root := chain(b, x, 10)
+	if got := len(Paths(root, 3)); got != 3 {
+		t.Fatalf("bounded paths = %d, want 3", got)
+	}
+}
+
+func TestPathsNoBranches(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	paths := Paths(b.Add(x, x), 0)
+	if len(paths) != 1 || len(paths[0]) != 0 {
+		t.Fatalf("branch-free expression should have one empty path, got %v", paths)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	b := core.NewBuilder()
+	p := b.Var(core.Bool(), "p")
+	q := b.Var(core.Bool(), "q")
+	path := Path{{Cond: p, Val: true}, {Cond: q, Val: false}}
+	got := Conjunction(b, path)
+	want := b.And(p, b.Not(q))
+	if got != want {
+		t.Fatal("conjunction built wrong expression")
+	}
+	if Conjunction(b, nil).Op != core.OpConst {
+		t.Fatal("empty path should be the true constant")
+	}
+}
+
+func TestConditions(t *testing.T) {
+	b := core.NewBuilder()
+	x := b.Var(u8, "x")
+	root := chain(b, x, 3)
+	conds := Conditions(root)
+	if len(conds) != 3 {
+		t.Fatalf("conditions = %d, want 3", len(conds))
+	}
+}
+
+func TestPathsThroughListCase(t *testing.T) {
+	b := core.NewBuilder()
+	lt := core.List(u8)
+	l := b.Var(lt, "l")
+	c := b.Var(core.Bool(), "c")
+	// case l of [] -> if c then 0 else 1 | h:t -> 2
+	root := b.ListCase(l,
+		b.If(c, b.BVConst(u8, 0), b.BVConst(u8, 1)),
+		func(h, tl *core.Node) *core.Node { return b.BVConst(u8, 2) })
+	paths := Paths(root, 0)
+	// Both list shapes are explored: the empty branch splits on c.
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d, want 3", len(paths))
+	}
+}

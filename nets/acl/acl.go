@@ -1,0 +1,76 @@
+// Package acl models router access control lists in Zen: a prioritized
+// list of permit/deny rules matching on the 5-tuple. It corresponds to the
+// "Access Control Lists" row of Table 2 in the paper.
+package acl
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Rule is one ACL line. Zero-valued match fields are wildcards: a zero
+// prefix matches every address, and PortLow=PortHigh=0 matches every port.
+type Rule struct {
+	Permit   bool
+	SrcPfx   pkt.Prefix
+	DstPfx   pkt.Prefix
+	SrcLow   uint16
+	SrcHigh  uint16
+	DstLow   uint16
+	DstHigh  uint16
+	Protocol uint8 // 0 = any
+}
+
+// ACL is a prioritized rule list with an implicit deny at the end.
+type ACL struct {
+	Name  string
+	Rules []Rule
+}
+
+// Matches is the Zen model of one rule matching a header.
+func (r Rule) Matches(h zen.Value[pkt.Header]) zen.Value[bool] {
+	conds := []zen.Value[bool]{
+		r.SrcPfx.Contains(pkt.SrcIP(h)),
+		r.DstPfx.Contains(pkt.DstIP(h)),
+	}
+	if r.SrcLow != 0 || r.SrcHigh != 0 {
+		sp := pkt.SrcPort(h)
+		conds = append(conds, zen.GeC(sp, r.SrcLow), zen.LeC(sp, r.SrcHigh))
+	}
+	if r.DstLow != 0 || r.DstHigh != 0 {
+		dp := pkt.DstPort(h)
+		conds = append(conds, zen.GeC(dp, r.DstLow), zen.LeC(dp, r.DstHigh))
+	}
+	if r.Protocol != 0 {
+		conds = append(conds, zen.EqC(pkt.Protocol(h), r.Protocol))
+	}
+	return zen.And(conds...)
+}
+
+// Allow is the Zen model of ACL evaluation: first matching rule decides;
+// no match means deny.
+func (a *ACL) Allow(h zen.Value[pkt.Header]) zen.Value[bool] {
+	return a.allow(h, 0)
+}
+
+func (a *ACL) allow(h zen.Value[pkt.Header], i int) zen.Value[bool] {
+	if i >= len(a.Rules) {
+		return zen.False() // implicit deny
+	}
+	r := a.Rules[i]
+	return zen.If(r.Matches(h), zen.Lift(r.Permit), a.allow(h, i+1))
+}
+
+// MatchLine returns the index of the first matching line, or
+// len(Rules) when nothing matches ("line tracking" in Figure 10). The
+// result is a 16-bit value, so ACLs of up to 65535 lines are supported.
+func (a *ACL) MatchLine(h zen.Value[pkt.Header]) zen.Value[uint16] {
+	return a.matchLine(h, 0)
+}
+
+func (a *ACL) matchLine(h zen.Value[pkt.Header], i int) zen.Value[uint16] {
+	if i >= len(a.Rules) {
+		return zen.Lift(uint16(len(a.Rules)))
+	}
+	return zen.If(a.Rules[i].Matches(h), zen.Lift(uint16(i)), a.matchLine(h, i+1))
+}

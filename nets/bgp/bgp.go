@@ -1,0 +1,234 @@
+// Package bgp models a small eBGP control plane in Zen: routers originate
+// routes for a destination prefix, exchange them over policy-filtered
+// sessions (export/import route maps, AS-path prepending, loop rejection),
+// and select best routes by local preference then AS-path length.
+//
+// The same Zen model drives four analyses: concrete simulation (Batfish
+// style), stable-path constraint solving (Minesweeper, analyses/minesweeper),
+// abstraction by partition refinement (Bonsai, analyses/bonsai), and ternary
+// abstract interpretation (Shapeshifter, analyses/shapeshifter).
+package bgp
+
+import (
+	"zen-go/nets/routemap"
+	"zen-go/zen"
+)
+
+// Route re-exports the BGP route record.
+type Route = routemap.Route
+
+// Router is a BGP speaker.
+type Router struct {
+	Name string
+	ASN  uint16
+
+	// Originates marks this router as originating Origin for the
+	// network's destination prefix.
+	Originates bool
+	Origin     Route
+
+	// In holds the sessions delivering routes to this router.
+	In []*Session
+}
+
+// Session is a directed policy-filtered eBGP adjacency.
+type Session struct {
+	From, To *Router
+	Export   *routemap.RouteMap // applied at From (nil = permit all)
+	Import   *routemap.RouteMap // applied at To (nil = permit all)
+}
+
+// Network is a set of routers and directed sessions for one destination.
+type Network struct {
+	Routers  []*Router
+	Sessions []*Session
+}
+
+// AddRouter creates a router.
+func (n *Network) AddRouter(name string, asn uint16) *Router {
+	r := &Router{Name: name, ASN: asn}
+	n.Routers = append(n.Routers, r)
+	return r
+}
+
+// Connect adds the directed session from -> to with optional policies.
+func (n *Network) Connect(from, to *Router, export, imp *routemap.RouteMap) *Session {
+	s := &Session{From: from, To: to, Export: export, Import: imp}
+	to.In = append(to.In, s)
+	n.Sessions = append(n.Sessions, s)
+	return s
+}
+
+// ConnectBoth adds unpoliced sessions in both directions.
+func (n *Network) ConnectBoth(a, b *Router) (*Session, *Session) {
+	return n.Connect(a, b, nil, nil), n.Connect(b, a, nil, nil)
+}
+
+// Transfer is the Zen model of a route crossing the session: export policy
+// at the sender, AS prepending, loop rejection and import policy at the
+// receiver. None stays None.
+//
+// Modeling simplification: LOCAL_PREF is carried across sessions (real
+// eBGP resets it at AS boundaries unless set by import policy). Policies
+// that set it explicitly behave identically either way.
+func (s *Session) Transfer(r zen.Value[zen.Opt[Route]]) zen.Value[zen.Opt[Route]] {
+	if s.Export != nil {
+		r = zen.OptAndThen(r, s.Export.Apply)
+	}
+	// Prepend the sender's ASN.
+	r = zen.OptMap(r, func(rt zen.Value[Route]) zen.Value[Route] {
+		path := zen.GetField[Route, []uint16](rt, "AsPath")
+		return zen.WithField(rt, "AsPath", zen.Cons(zen.Lift(s.From.ASN), path))
+	})
+	// Loop rejection: the receiver discards routes carrying its own ASN.
+	r = zen.OptAndThen(r, func(rt zen.Value[Route]) zen.Value[zen.Opt[Route]] {
+		path := zen.GetField[Route, []uint16](rt, "AsPath")
+		looped := zen.Contains(path, routemap.Depth+1, zen.Lift(s.To.ASN))
+		return zen.If(looped, zen.None[Route](), zen.Some(rt))
+	})
+	if s.Import != nil {
+		r = zen.OptAndThen(r, s.Import.Apply)
+	}
+	return r
+}
+
+// Better is the Zen model of BGP preference between two candidate routes:
+// any route beats none; higher LocalPref wins; then shorter AS path.
+//
+// The result's presence is factored out of the attribute comparison
+// (present iff either candidate is present): concretely equivalent to the
+// nested-conditional form, but strictly more precise under ternary
+// evaluation, where an unresolvable attribute comparison must not make
+// reachability itself unknown.
+func Better(a, b zen.Value[zen.Opt[Route]]) zen.Value[zen.Opt[Route]] {
+	av, bv := zen.OptValue(a), zen.OptValue(b)
+	alp := zen.GetField[Route, uint32](av, "LocalPref")
+	blp := zen.GetField[Route, uint32](bv, "LocalPref")
+	alen := zen.Length(zen.GetField[Route, []uint16](av, "AsPath"), routemap.Depth+1)
+	blen := zen.Length(zen.GetField[Route, []uint16](bv, "AsPath"), routemap.Depth+1)
+	attrsWin := zen.Or(
+		zen.Gt(alp, blp),
+		zen.And(zen.Eq(alp, blp), zen.Le(alen, blen)))
+	pick := zen.And(zen.IsSome(a), zen.Or(zen.IsNone(b), attrsWin))
+	present := zen.Or(zen.IsSome(a), zen.IsSome(b))
+	return zen.If(present, zen.Some(zen.If(pick, av, bv)), zen.None[Route]())
+}
+
+// SelectBest folds Better over candidates (None when empty).
+func SelectBest(cands ...zen.Value[zen.Opt[Route]]) zen.Value[zen.Opt[Route]] {
+	best := zen.None[Route]()
+	for _, c := range cands {
+		best = Better(best, c)
+	}
+	return best
+}
+
+// Candidates is the Zen model of everything router r may choose from,
+// given expressions for each neighbor's current choice (indexed like r.In)
+// and an optional per-session failure flag.
+func Candidates(r *Router, neighborChoice []zen.Value[zen.Opt[Route]], failed []zen.Value[bool]) []zen.Value[zen.Opt[Route]] {
+	var cands []zen.Value[zen.Opt[Route]]
+	if r.Originates {
+		cands = append(cands, zen.Some(zen.Lift(r.Origin)))
+	}
+	for i, s := range r.In {
+		c := s.Transfer(neighborChoice[i])
+		if failed != nil {
+			c = zen.If(failed[i], zen.None[Route](), c)
+		}
+		cands = append(cands, c)
+	}
+	return cands
+}
+
+// Simulate computes the routers' converged choices by synchronous
+// iteration of the Zen model on concrete values — the Batfish-style
+// concrete-simulation analysis. It returns the fixpoint (or the state
+// after maxIters rounds).
+func Simulate(n *Network, maxIters int) map[*Router]zen.Opt[Route] {
+	chosen := make(map[*Router]zen.Opt[Route], len(n.Routers))
+	for _, r := range n.Routers {
+		chosen[r] = zen.Opt[Route]{}
+	}
+	step := stepFunc(n)
+	for iter := 0; iter < maxIters; iter++ {
+		next := step(chosen)
+		stable := true
+		for _, r := range n.Routers {
+			if !routeEq(next[r], chosen[r]) {
+				stable = false
+			}
+		}
+		chosen = next
+		if stable {
+			break
+		}
+	}
+	return chosen
+}
+
+// stepFunc builds, once, a Zen function per router mapping the vector of
+// neighbor choices to the router's new best route, and returns a concrete
+// synchronous step using those functions.
+func stepFunc(n *Network) func(map[*Router]zen.Opt[Route]) map[*Router]zen.Opt[Route] {
+	type routerFn = *zen.Fn[[]zen.Opt[Route], zen.Opt[Route]]
+	fns := make(map[*Router]routerFn, len(n.Routers))
+	for _, r := range n.Routers {
+		r := r
+		fns[r] = zen.Func(func(neigh zen.Value[[]zen.Opt[Route]]) zen.Value[zen.Opt[Route]] {
+			// Destructure the list into per-session values.
+			choices := make([]zen.Value[zen.Opt[Route]], len(r.In))
+			rest := neigh
+			for i := range r.In {
+				h := zen.Head(rest)
+				choices[i] = zen.If(zen.IsSome(h), zen.OptValue(h), zen.None[Route]())
+				rest = tail(rest)
+			}
+			return SelectBest(Candidates(r, choices, nil)...)
+		})
+	}
+	return func(cur map[*Router]zen.Opt[Route]) map[*Router]zen.Opt[Route] {
+		next := make(map[*Router]zen.Opt[Route], len(cur))
+		for _, r := range n.Routers {
+			neigh := make([]zen.Opt[Route], len(r.In))
+			for i, s := range r.In {
+				neigh[i] = cur[s.From]
+			}
+			next[r] = fns[r].Evaluate(neigh)
+		}
+		return next
+	}
+}
+
+// tail drops the head of a list expression (empty stays empty).
+func tail[T any](l zen.Value[[]T]) zen.Value[[]T] {
+	return zen.Match(l,
+		func() zen.Value[[]T] { return zen.NilList[T]() },
+		func(_ zen.Value[T], t zen.Value[[]T]) zen.Value[[]T] { return t })
+}
+
+func routeEq(a, b zen.Opt[Route]) bool {
+	if a.Ok != b.Ok {
+		return false
+	}
+	if !a.Ok {
+		return true
+	}
+	if a.Val.Prefix != b.Val.Prefix || a.Val.PrefixLen != b.Val.PrefixLen ||
+		a.Val.LocalPref != b.Val.LocalPref || a.Val.Med != b.Val.Med ||
+		a.Val.NextHop != b.Val.NextHop || len(a.Val.AsPath) != len(b.Val.AsPath) ||
+		len(a.Val.Communities) != len(b.Val.Communities) {
+		return false
+	}
+	for i := range a.Val.AsPath {
+		if a.Val.AsPath[i] != b.Val.AsPath[i] {
+			return false
+		}
+	}
+	for i := range a.Val.Communities {
+		if a.Val.Communities[i] != b.Val.Communities[i] {
+			return false
+		}
+	}
+	return true
+}

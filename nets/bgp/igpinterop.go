@@ -1,0 +1,91 @@
+package bgp
+
+import (
+	"sort"
+
+	"zen-go/nets/igp"
+	"zen-go/zen"
+)
+
+// This file models the BGP⇄IGP interaction: real BGP breaks ties after
+// local-pref and AS-path length by the IGP metric to the route's next hop
+// ("hot-potato routing"). It is the poster child for compositional
+// modeling — two control planes whose interaction creates behavior neither
+// exhibits alone — and costs a page on top of the existing models.
+
+// IGPView gives a router's IGP distance to each known next-hop address.
+type IGPView struct {
+	// Costs maps next-hop IP -> IGP metric; unknown next hops resolve to
+	// igp.Infinity (the route is unusable).
+	Costs map[uint32]uint16
+}
+
+// MetricTo is the Zen model of next-hop resolution: an if-chain over the
+// (concrete) IGP view.
+func (v *IGPView) MetricTo(nextHop zen.Value[uint32]) zen.Value[uint16] {
+	out := zen.Lift(igp.Infinity)
+	// Deterministic iteration order for reproducible DAGs.
+	addrs := make([]uint32, 0, len(v.Costs))
+	for a := range v.Costs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for i := len(addrs) - 1; i >= 0; i-- {
+		a := addrs[i]
+		out = zen.If(zen.EqC(nextHop, a), zen.Lift(v.Costs[a]), out)
+	}
+	return out
+}
+
+// BetterWithIGP extends Better with the hot-potato step: equal local-pref
+// and equal path length fall through to the lower IGP metric to the next
+// hop. Routes whose next hop does not resolve lose to ones that do.
+func BetterWithIGP(view *IGPView, a, b zen.Value[zen.Opt[Route]]) zen.Value[zen.Opt[Route]] {
+	av, bv := zen.OptValue(a), zen.OptValue(b)
+	alp := zen.GetField[Route, uint32](av, "LocalPref")
+	blp := zen.GetField[Route, uint32](bv, "LocalPref")
+	alen := listLen(av)
+	blen := listLen(bv)
+	am := view.MetricTo(zen.GetField[Route, uint32](av, "NextHop"))
+	bm := view.MetricTo(zen.GetField[Route, uint32](bv, "NextHop"))
+
+	aWins := zen.Or(
+		zen.Gt(alp, blp),
+		zen.And(zen.Eq(alp, blp), zen.Lt(alen, blen)),
+		zen.And(zen.Eq(alp, blp), zen.Eq(alen, blen), zen.Le(am, bm)))
+	aUsable := zen.Ne(am, zen.Lift(igp.Infinity))
+	bUsable := zen.Ne(bm, zen.Lift(igp.Infinity))
+
+	pick := zen.And(zen.IsSome(a), zen.Or(
+		zen.IsNone(b),
+		zen.And(zen.Not(bUsable), aUsable),
+		zen.And(zen.Eq(aUsable, bUsable), aWins)))
+	present := zen.Or(zen.IsSome(a), zen.IsSome(b))
+	return zen.If(present, zen.Some(zen.If(pick, av, bv)), zen.None[Route]())
+}
+
+func listLen(r zen.Value[Route]) zen.Value[uint8] {
+	return zen.Length(zen.GetField[Route, []uint16](r, "AsPath"), 4)
+}
+
+// SelectBestWithIGP folds BetterWithIGP over candidates.
+func SelectBestWithIGP(view *IGPView, cands ...zen.Value[zen.Opt[Route]]) zen.Value[zen.Opt[Route]] {
+	best := zen.None[Route]()
+	for _, c := range cands {
+		best = BetterWithIGP(view, best, c)
+	}
+	return best
+}
+
+// ViewFromIGP builds a router's IGP view from a converged IGP network: the
+// distance to each (router, loopback address) pair. nextHopAddr maps IGP
+// routers to the addresses BGP routes use as next hops.
+func ViewFromIGP(dist map[*igp.Router]uint16, nextHopAddr map[*igp.Router]uint32) *IGPView {
+	v := &IGPView{Costs: make(map[uint32]uint16, len(nextHopAddr))}
+	for r, addr := range nextHopAddr {
+		if d, ok := dist[r]; ok {
+			v.Costs[addr] = d
+		}
+	}
+	return v
+}

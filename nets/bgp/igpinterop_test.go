@@ -1,0 +1,123 @@
+package bgp_test
+
+import (
+	"testing"
+
+	"zen-go/nets/bgp"
+	"zen-go/nets/igp"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// hotPotatoSetup builds the classic interaction scenario: router R hears
+// the same prefix from two egress routers N1 and N2 with identical BGP
+// attributes; only the IGP distance to the next hop differentiates them.
+func hotPotatoSetup(n1Cost, n2Cost uint16) (*bgp.IGPView, zen.Value[zen.Opt[bgp.Route]], zen.Value[zen.Opt[bgp.Route]]) {
+	// IGP: R -- N1 (n1Cost), R -- M -- N2 (1 + n2Cost-1 folded into one
+	// link for simplicity).
+	ig := &igp.Network{}
+	r := ig.AddRouter("R")
+	n1 := ig.AddRouter("N1")
+	n2 := ig.AddRouter("N2")
+	r.Dest = true // distances TO r == costs FROM r (symmetric links)
+	ig.Connect(r, n1, n1Cost)
+	ig.Connect(r, n2, n2Cost)
+	dist := igp.Simulate(ig, 10)
+
+	n1Addr := pkt.IP(10, 0, 0, 1)
+	n2Addr := pkt.IP(10, 0, 0, 2)
+	view := bgp.ViewFromIGP(dist, map[*igp.Router]uint32{n1: n1Addr, n2: n2Addr})
+
+	mk := func(nh uint32) zen.Value[zen.Opt[bgp.Route]] {
+		return zen.Some(zen.Lift(bgp.Route{
+			Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24,
+			LocalPref: 100, NextHop: nh, AsPath: []uint16{65001},
+		}))
+	}
+	return view, mk(n1Addr), mk(n2Addr)
+}
+
+func evalBest(view *bgp.IGPView, a, b zen.Value[zen.Opt[bgp.Route]]) zen.Opt[bgp.Route] {
+	fn := zen.Func(func(_ zen.Value[bool]) zen.Value[zen.Opt[bgp.Route]] {
+		return bgp.SelectBestWithIGP(view, a, b)
+	})
+	return fn.Evaluate(false)
+}
+
+func TestHotPotatoPrefersNearerExit(t *testing.T) {
+	view, viaN1, viaN2 := hotPotatoSetup(5, 2)
+	best := evalBest(view, viaN1, viaN2)
+	if !best.Ok || best.Val.NextHop != pkt.IP(10, 0, 0, 2) {
+		t.Fatalf("should exit via the nearer N2: %+v", best)
+	}
+}
+
+func TestIGPFailureFlipsBGPChoice(t *testing.T) {
+	// The compositional effect: an IGP-level change flips a BGP-level
+	// decision even though no BGP attribute changed.
+	view, viaN1, viaN2 := hotPotatoSetup(5, 2)
+	if best := evalBest(view, viaN1, viaN2); best.Val.NextHop != pkt.IP(10, 0, 0, 2) {
+		t.Fatalf("baseline should pick N2: %+v", best)
+	}
+	// "Fail" the short link: rebuild the IGP with N2 now far away.
+	view2, viaN1b, viaN2b := hotPotatoSetup(5, 900)
+	best := evalBest(view2, viaN1b, viaN2b)
+	if !best.Ok || best.Val.NextHop != pkt.IP(10, 0, 0, 1) {
+		t.Fatalf("after IGP change, BGP should exit via N1: %+v", best)
+	}
+}
+
+func TestUnresolvableNextHopLoses(t *testing.T) {
+	view, viaN1, _ := hotPotatoSetup(5, 2)
+	ghost := zen.Some(zen.Lift(bgp.Route{
+		Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24,
+		LocalPref: 500, // better on attributes...
+		NextHop:   pkt.IP(99, 99, 99, 99),
+		AsPath:    []uint16{65001},
+	}))
+	best := evalBest(view, ghost, viaN1)
+	if !best.Ok || best.Val.NextHop != pkt.IP(10, 0, 0, 1) {
+		t.Fatalf("unresolvable next hop must lose despite higher LP: %+v", best)
+	}
+}
+
+func TestHotPotatoTieFallsBackDeterministically(t *testing.T) {
+	view, viaN1, viaN2 := hotPotatoSetup(3, 3)
+	best := evalBest(view, viaN1, viaN2)
+	if !best.Ok {
+		t.Fatal("some route must win")
+	}
+	// Le(am, bm) on equal metrics keeps the first candidate.
+	if best.Val.NextHop != pkt.IP(10, 0, 0, 1) {
+		t.Fatalf("equal metrics should keep the first candidate: %+v", best)
+	}
+}
+
+func TestHotPotatoSymbolicWitness(t *testing.T) {
+	// Solver integration: find a next-hop whose IGP metric makes it win
+	// against a fixed 3-cost alternative.
+	view, viaN1, _ := hotPotatoSetup(3, 1)
+	fn := zen.Func(func(nh zen.Value[uint32]) zen.Value[zen.Opt[bgp.Route]] {
+		cand := zen.Some(zen.Create[bgp.Route](
+			zen.FC("Prefix", pkt.IP(203, 0, 113, 0)),
+			zen.FC("PrefixLen", uint8(24)),
+			zen.FC("LocalPref", uint32(100)),
+			zen.FC("Med", uint32(0)),
+			zen.F("NextHop", nh),
+			zen.FC("AsPath", []uint16{65001}),
+			zen.FC("Communities", []uint32(nil)),
+		))
+		return bgp.SelectBestWithIGP(view, viaN1, cand)
+	})
+	nh, ok := fn.Find(func(nh zen.Value[uint32], out zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool] {
+		return zen.And(
+			zen.Ne(nh, zen.Lift(pkt.IP(10, 0, 0, 1))), // genuinely a different exit
+			zen.Eq(zen.GetField[bgp.Route, uint32](zen.OptValue(out), "NextHop"), nh))
+	}, zen.WithBackend(zen.SAT), zen.WithListBound(2))
+	if !ok {
+		t.Fatal("a winning next hop must exist (the 1-cost exit)")
+	}
+	if nh != pkt.IP(10, 0, 0, 2) {
+		t.Fatalf("witness next hop %s, want the 1-cost exit", pkt.FormatIP(nh))
+	}
+}

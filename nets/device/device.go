@@ -1,0 +1,172 @@
+// Package device composes the per-interface packet-processing pipeline of
+// Figures 6 and 7 in the paper: inbound ACL + decapsulation, then
+// forwarding + outbound ACL + encapsulation, plus path-level forwarding and
+// a topology of devices and links.
+//
+// Composition is just Go function calls over Zen values — the paper's
+// point: once each piece (acl, fwd, gre) is a Zen model, their combination
+// is one too, and every backend applies to it.
+package device
+
+import (
+	"fmt"
+
+	"zen-go/nets/acl"
+	"zen-go/nets/fwd"
+	"zen-go/nets/gre"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Interface is a device port with its inbound/outbound policy, matching the
+// Intf of Figure 6.
+type Interface struct {
+	Device   *Device
+	ID       uint8 // port number on the device; never 0 (0 = drop)
+	Name     string
+	AclIn    *acl.ACL    // nil = permit all
+	AclOut   *acl.ACL    // nil = permit all
+	GreStart *gre.Tunnel // encapsulate on egress
+	GreEnd   *gre.Tunnel // decapsulate on ingress
+	Peer     *Interface  // link to the neighboring interface
+}
+
+// Device is a switch/router with a forwarding table over its interfaces.
+type Device struct {
+	Name       string
+	Table      *fwd.Table
+	Interfaces []*Interface
+}
+
+// AddInterface creates an interface with the next free port number.
+func (d *Device) AddInterface(name string) *Interface {
+	i := &Interface{Device: d, ID: uint8(len(d.Interfaces) + 1), Name: name}
+	d.Interfaces = append(d.Interfaces, i)
+	return i
+}
+
+// Intf returns the interface with the given port ID.
+func (d *Device) Intf(id uint8) *Interface {
+	for _, i := range d.Interfaces {
+		if i.ID == id {
+			return i
+		}
+	}
+	return nil
+}
+
+// Link connects two interfaces bidirectionally.
+func Link(a, b *Interface) {
+	a.Peer = b
+	b.Peer = a
+}
+
+// String names the interface as device:port.
+func (i *Interface) String() string {
+	return fmt.Sprintf("%s:%s", i.Device.Name, i.Name)
+}
+
+// allow evaluates an optional ACL against the packet's active header.
+func allow(a *acl.ACL, p zen.Value[pkt.Packet]) zen.Value[bool] {
+	if a == nil {
+		return zen.True()
+	}
+	return a.Allow(pkt.ActiveHeader(p))
+}
+
+// FwdIn is the inbound half of Figure 6: apply the inbound ACL, then any
+// tunnel decapsulation. A dropped packet is None.
+func (i *Interface) FwdIn(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+	ok := allow(i.AclIn, p)
+	var decap zen.Value[pkt.Packet]
+	if i.GreEnd != nil {
+		// Only decapsulate traffic tunneled to this endpoint (the
+		// terminating address of the tunnel ending here).
+		u := pkt.Underlay(p)
+		here := zen.And(zen.IsSome(u),
+			zen.EqC(zen.GetField[pkt.Header, uint32](zen.OptValue(u), "DstIP"), i.GreEnd.DstIP))
+		decap = zen.If(here, i.GreEnd.Decap(p), p)
+	} else {
+		decap = p
+	}
+	return zen.If(ok, zen.Some(decap), zen.None[pkt.Packet]())
+}
+
+// FwdOut is the outbound half of Figure 6: the forwarding table must pick
+// this interface, the outbound ACL must permit the packet, and any tunnel
+// start encapsulates it.
+func (i *Interface) FwdOut(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+	port := i.Device.Table.Forward(pkt.ActiveHeader(p))
+	ok := allow(i.AclOut, p)
+	encap := p
+	if i.GreStart != nil {
+		encap = i.GreStart.Encap(p)
+	}
+	out := zen.If(ok, zen.Some(encap), zen.None[pkt.Packet]())
+	return zen.If(zen.EqC(port, i.ID), out, zen.None[pkt.Packet]())
+}
+
+// ForwardPath models a packet traversing a path of interfaces (Figure 7):
+// the packet enters path[0], is forwarded out path[1], crosses the link
+// into path[2], and so on. The path alternates ingress and egress
+// interfaces of successive devices. The result is None if the packet is
+// dropped anywhere.
+func ForwardPath(path []*Interface, p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+	x := zen.Some(p)
+	for k := 0; k+1 < len(path); k += 2 {
+		in, out := path[k], path[k+1]
+		if in.Device != out.Device {
+			panic("device: path must alternate ingress/egress pairs per device")
+		}
+		x = zen.OptAndThen(x, in.FwdIn)
+		x = zen.OptAndThen(x, out.FwdOut)
+	}
+	return x
+}
+
+// Hop processes a packet through one device: in through `in`, out through
+// whichever interface the table selects; the result maps each egress
+// interface to the packet value it would emit. Used by HSA-style
+// explorations.
+func Hop(in *Interface, p zen.Value[pkt.Packet]) map[*Interface]zen.Value[zen.Opt[pkt.Packet]] {
+	res := make(map[*Interface]zen.Value[zen.Opt[pkt.Packet]])
+	entered := in.FwdIn(p)
+	for _, out := range in.Device.Interfaces {
+		if out == in {
+			continue
+		}
+		res[out] = zen.OptAndThen(entered, out.FwdOut)
+	}
+	return res
+}
+
+// Paths enumerates the simple transit paths from an ingress interface to a
+// destination device, as alternating ingress/egress pairs of the transit
+// devices, up to maxHops transit devices. A packet that survives
+// ForwardPath(path) arrives at the destination's ingress — it is delivered.
+// Used by Anteater-style per-path analyses.
+func Paths(from *Interface, to *Device, maxHops int) [][]*Interface {
+	var out [][]*Interface
+	visited := map[*Device]bool{}
+	var rec func(in *Interface, path []*Interface)
+	rec = func(in *Interface, path []*Interface) {
+		d := in.Device
+		if d == to {
+			out = append(out, append([]*Interface(nil), path...))
+			return
+		}
+		if visited[d] || len(path)/2 >= maxHops {
+			return
+		}
+		visited[d] = true
+		defer func() { visited[d] = false }()
+		for _, eg := range d.Interfaces {
+			if eg == in || eg.Peer == nil {
+				continue
+			}
+			rec(eg.Peer, append(append([]*Interface(nil), path...), in, eg))
+		}
+	}
+	rec(from, nil)
+	return out
+}

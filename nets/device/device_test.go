@@ -1,0 +1,141 @@
+package device_test
+
+import (
+	"testing"
+
+	"zen-go/nets/acl"
+	"zen-go/nets/device"
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// line builds a three-device chain A - B - C with default routes east.
+func line() (*device.Device, *device.Device, *device.Device, []*device.Interface) {
+	a := &device.Device{Name: "A"}
+	aw, ae := a.AddInterface("w"), a.AddInterface("e")
+	b := &device.Device{Name: "B"}
+	bw, be := b.AddInterface("w"), b.AddInterface("e")
+	c := &device.Device{Name: "C"}
+	cw, ce := c.AddInterface("w"), c.AddInterface("e")
+	east := func(d *device.Device, p uint8) {
+		d.Table = fwd.New(fwd.Entry{Prefix: pkt.Pfx(0, 0, 0, 0, 0), Port: p})
+	}
+	east(a, ae.ID)
+	east(b, be.ID)
+	east(c, ce.ID)
+	device.Link(ae, bw)
+	device.Link(be, cw)
+	return a, b, c, []*device.Interface{aw, ae, bw, be, cw, ce}
+}
+
+func plain(dst uint32) pkt.Packet {
+	return pkt.Packet{Overlay: pkt.Header{DstIP: dst, Protocol: pkt.ProtoTCP}}
+}
+
+func TestForwardPathDelivers(t *testing.T) {
+	_, _, _, path := line()
+	fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+		return device.ForwardPath(path, p)
+	})
+	if out := fn.Evaluate(plain(pkt.IP(1, 2, 3, 4))); !out.Ok {
+		t.Fatal("default route chain should deliver")
+	}
+}
+
+func TestForwardPathACLDrop(t *testing.T) {
+	_, b, _, path := line()
+	b.Intf(1).AclIn = &acl.ACL{Rules: []acl.Rule{
+		{Permit: false, DstPfx: pkt.Pfx(9, 0, 0, 0, 8)},
+		{Permit: true},
+	}}
+	fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+		return device.ForwardPath(path, p)
+	})
+	if out := fn.Evaluate(plain(pkt.IP(9, 1, 1, 1))); out.Ok {
+		t.Fatal("9/8 should be dropped at B")
+	}
+	if out := fn.Evaluate(plain(pkt.IP(8, 1, 1, 1))); !out.Ok {
+		t.Fatal("8/8 should pass")
+	}
+	// Symbolically: exactly the 9/8 packets die.
+	w, found := fn.Find(func(p zen.Value[pkt.Packet], out zen.Value[zen.Opt[pkt.Packet]]) zen.Value[bool] {
+		return zen.And(zen.IsNone(out), zen.IsNone(pkt.Underlay(p)))
+	})
+	if !found {
+		t.Fatal("must find a dropped packet")
+	}
+	if w.Overlay.DstIP>>24 != 9 {
+		t.Fatalf("dropped witness %s should be in 9/8", pkt.FormatIP(w.Overlay.DstIP))
+	}
+}
+
+func TestFwdOutRequiresTableSelection(t *testing.T) {
+	a := &device.Device{Name: "A"}
+	a.AddInterface("w")
+	e := a.AddInterface("e")
+	a.Table = fwd.New(fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: e.ID})
+	fn := zen.Func(e.FwdOut)
+	if out := fn.Evaluate(plain(pkt.IP(10, 1, 1, 1))); !out.Ok {
+		t.Fatal("routed packet should exit east")
+	}
+	if out := fn.Evaluate(plain(pkt.IP(11, 1, 1, 1))); out.Ok {
+		t.Fatal("unrouted packet must not exit east")
+	}
+}
+
+func TestHopFansOutToTableChoice(t *testing.T) {
+	a := &device.Device{Name: "A"}
+	w := a.AddInterface("w")
+	e1 := a.AddInterface("e1")
+	e2 := a.AddInterface("e2")
+	a.Table = fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: e1.ID},
+		fwd.Entry{Prefix: pkt.Pfx(20, 0, 0, 0, 8), Port: e2.ID},
+	)
+	hop := device.Hop(w, zen.Lift(plain(pkt.IP(10, 1, 1, 1))))
+	eval := func(v zen.Value[zen.Opt[pkt.Packet]]) bool {
+		return zen.Func(func(zen.Value[bool]) zen.Value[zen.Opt[pkt.Packet]] {
+			return v
+		}).Evaluate(false).Ok
+	}
+	if !eval(hop[e1]) || eval(hop[e2]) {
+		t.Fatal("hop should emit only on e1 for 10/8")
+	}
+}
+
+func TestPathsEnumeration(t *testing.T) {
+	a, _, c, path := line()
+	_ = path
+	got := device.Paths(a.Intf(1), c, 4)
+	if len(got) != 1 {
+		t.Fatalf("expected exactly one path A->C, got %d", len(got))
+	}
+	if len(got[0]) != 4 {
+		t.Fatalf("path should have two in/out pairs (A, B), got %d entries", len(got[0]))
+	}
+	// No path from A to an unreachable island.
+	island := &device.Device{Name: "X"}
+	island.AddInterface("i")
+	if n := len(device.Paths(a.Intf(1), island, 4)); n != 0 {
+		t.Fatalf("expected no paths to island, got %d", n)
+	}
+}
+
+func TestPathsRespectMaxHops(t *testing.T) {
+	a, _, c, _ := line()
+	if n := len(device.Paths(a.Intf(1), c, 1)); n != 0 {
+		t.Fatalf("2-transit path must be pruned at maxHops=1, got %d", n)
+	}
+}
+
+func TestInterfaceString(t *testing.T) {
+	a := &device.Device{Name: "A"}
+	w := a.AddInterface("w")
+	if w.String() != "A:w" {
+		t.Fatalf("String = %s", w.String())
+	}
+	if a.Intf(99) != nil {
+		t.Fatal("unknown port must be nil")
+	}
+}

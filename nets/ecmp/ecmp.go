@@ -1,0 +1,101 @@
+// Package ecmp models equal-cost multipath forwarding in Zen: a forwarding
+// entry may map a prefix to a group of ports, and a per-flow hash of the
+// 5-tuple selects the member. Flow affinity (same flow, same port) and
+// balance questions become symbolic queries.
+package ecmp
+
+import (
+	"sort"
+
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Group maps a prefix to its equal-cost output ports (1..8 members).
+type Group struct {
+	Prefix pkt.Prefix
+	Ports  []uint8
+}
+
+// Table is an ECMP forwarding table, longest prefix first.
+type Table struct {
+	Groups []Group
+}
+
+// New builds a table sorted by descending prefix length.
+func New(groups ...Group) *Table {
+	t := &Table{Groups: append([]Group(nil), groups...)}
+	sort.SliceStable(t.Groups, func(i, j int) bool {
+		return t.Groups[i].Prefix.Length > t.Groups[j].Prefix.Length
+	})
+	for _, g := range t.Groups {
+		if len(g.Ports) == 0 || len(g.Ports) > 8 {
+			panic("ecmp: group must have 1..8 ports")
+		}
+	}
+	return t
+}
+
+// Hash is the Zen model of the flow hash: a xor-fold of the 5-tuple. It is
+// symmetric-free (directional) and deterministic per flow.
+func Hash(h zen.Value[pkt.Header]) zen.Value[uint32] {
+	x := zen.BitXor(pkt.DstIP(h), zen.Mul(pkt.SrcIP(h), zen.Lift[uint32](0x9E3779B1)))
+	ports := zen.BitOr(
+		zen.Shl(zen.Cast[uint16, uint32](pkt.SrcPort(h)), 16),
+		zen.Cast[uint16, uint32](pkt.DstPort(h)))
+	x = zen.BitXor(x, zen.Mul(ports, zen.Lift[uint32](0x85EBCA77)))
+	x = zen.BitXor(x, zen.Cast[uint8, uint32](pkt.Protocol(h)))
+	// Final avalanche.
+	x = zen.BitXor(x, zen.Shr(x, 16))
+	return zen.Mul(x, zen.Lift[uint32](0xC2B2AE3D))
+}
+
+// selectPort picks a group member by hash. Member counts are tiny, so the
+// modulo is an if-chain over hash mod-by-subtraction on the low bits.
+func selectPort(g Group, h zen.Value[pkt.Header]) zen.Value[uint8] {
+	n := len(g.Ports)
+	if n == 1 {
+		return zen.Lift(g.Ports[0])
+	}
+	// Use the top 3 hash bits reduced modulo n (n <= 8): build the
+	// selector as a comparison chain over the 3-bit value.
+	sel := zen.Cast[uint32, uint8](zen.Shr(Hash(h), 29))
+	out := zen.Lift(g.Ports[n-1])
+	for i := n - 2; i >= 0; i-- {
+		// bucket i covers sel values congruent to i mod n.
+		cond := zen.False()
+		for v := i; v < 8; v += n {
+			cond = zen.Or(cond, zen.EqC(sel, uint8(v)))
+		}
+		out = zen.If(cond, zen.Lift(g.Ports[i]), out)
+	}
+	return out
+}
+
+// Forward is the Zen model of ECMP forwarding: the longest matching
+// group's hash-selected port, or 0 when no group matches.
+func (t *Table) Forward(h zen.Value[pkt.Header]) zen.Value[uint8] {
+	out := zen.Lift(uint8(0))
+	for i := len(t.Groups) - 1; i >= 0; i-- {
+		g := t.Groups[i]
+		out = zen.If(g.Prefix.Contains(pkt.DstIP(h)), selectPort(g, h), out)
+	}
+	return out
+}
+
+// MemberOf reports whether port is a member of the group matching the
+// header (false when nothing matches).
+func (t *Table) MemberOf(h zen.Value[pkt.Header], port uint8) zen.Value[bool] {
+	out := zen.False()
+	for i := len(t.Groups) - 1; i >= 0; i-- {
+		g := t.Groups[i]
+		member := zen.False()
+		for _, p := range g.Ports {
+			if p == port {
+				member = zen.True()
+			}
+		}
+		out = zen.If(g.Prefix.Contains(pkt.DstIP(h)), member, out)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package firewall models a stateful (connection-tracking) firewall in
+// Zen — the "stateful dataplanes" functionality of the paper's related work
+// (VMN, NetSMC) expressed in the common language. The firewall sits between
+// an inside and an outside network: outside-originated traffic is admitted
+// only when it belongs to a connection previously initiated from inside.
+//
+// State is explicit — a bounded list of tracked flows — so bounded model
+// checking of stateful properties is just Find/Problem over (state, packet)
+// sequences, and no custom middlebox solver is needed.
+package firewall
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Flow identifies a tracked connection (as seen from inside).
+type Flow struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// State is the firewall's connection table, newest first. Symbolic
+// analyses bound its length like any Zen list.
+type State = []Flow
+
+// Depth bounds connection-table recursion in symbolic analyses.
+const Depth = 3
+
+// Firewall is a stateful filter with an optional static allowlist for
+// unsolicited inbound traffic (e.g. a published server).
+type Firewall struct {
+	Name string
+	// InsidePfx is the protected network.
+	InsidePfx pkt.Prefix
+	// AllowInbound lists destination ports open to unsolicited outside
+	// traffic.
+	AllowInbound []uint16
+}
+
+// flowOf extracts the connection identity of an outbound header.
+func flowOf(h zen.Value[pkt.Header]) zen.Value[Flow] {
+	return zen.Create[Flow](
+		zen.F("SrcIP", pkt.SrcIP(h)),
+		zen.F("DstIP", pkt.DstIP(h)),
+		zen.F("SrcPort", pkt.SrcPort(h)),
+		zen.F("DstPort", pkt.DstPort(h)),
+		zen.F("Proto", pkt.Protocol(h)),
+	)
+}
+
+// reverseFlowOf extracts the connection an inbound header would answer.
+func reverseFlowOf(h zen.Value[pkt.Header]) zen.Value[Flow] {
+	return zen.Create[Flow](
+		zen.F("SrcIP", pkt.DstIP(h)),
+		zen.F("DstIP", pkt.SrcIP(h)),
+		zen.F("SrcPort", pkt.DstPort(h)),
+		zen.F("DstPort", pkt.SrcPort(h)),
+		zen.F("Proto", pkt.Protocol(h)),
+	)
+}
+
+// Result is the firewall's verdict plus its successor state.
+type Result struct {
+	Allowed bool
+	State   State
+}
+
+// Outbound is the Zen model of an inside-to-outside packet: always
+// allowed, and its flow is recorded.
+func (f *Firewall) Outbound(state zen.Value[State], h zen.Value[pkt.Header]) zen.Value[Result] {
+	fl := flowOf(h)
+	known := zen.Contains(state, Depth, fl)
+	next := zen.If(known, state, zen.Cons(fl, state))
+	return zen.Create[Result](
+		zen.F("Allowed", zen.True()),
+		zen.F("State", next),
+	)
+}
+
+// Inbound is the Zen model of an outside-to-inside packet: allowed when it
+// answers a tracked connection or targets an allowlisted port. State is
+// unchanged (this model does not track outside-initiated flows).
+func (f *Firewall) Inbound(state zen.Value[State], h zen.Value[pkt.Header]) zen.Value[Result] {
+	established := zen.Contains(state, Depth, reverseFlowOf(h))
+	static := zen.False()
+	for _, port := range f.AllowInbound {
+		static = zen.Or(static, zen.EqC(pkt.DstPort(h), port))
+	}
+	return zen.Create[Result](
+		zen.F("Allowed", zen.Or(established, static)),
+		zen.F("State", state),
+	)
+}
+
+// Event is one packet arrival in a bounded trace: direction plus header.
+type Event struct {
+	FromInside bool
+	Header     pkt.Header
+}
+
+// Trace is a bounded sequence of packet arrivals.
+type Trace = []Event
+
+// RunTrace is the Zen model of the firewall processing a trace from an
+// empty connection table; it returns the verdict of the FINAL event.
+// Bounded model checking of stateful properties quantifies over symbolic
+// traces of fixed length, exactly like NetSMC-style checkers.
+func (f *Firewall) RunTrace(tr zen.Value[Trace], steps int) zen.Value[bool] {
+	state := zen.NilList[Flow]()
+	verdict := zen.False()
+	rest := tr
+	for i := 0; i < steps; i++ {
+		ev := zen.Head(rest)
+		present := zen.IsSome(ev)
+		e := zen.OptValue(ev)
+		dir := zen.GetField[Event, bool](e, "FromInside")
+		h := zen.GetField[Event, pkt.Header](e, "Header")
+		out := f.Outbound(state, h)
+		in := f.Inbound(state, h)
+		res := zen.If(dir, out, in)
+		allowed := zen.GetField[Result, bool](res, "Allowed")
+		nextState := zen.GetField[Result, State](res, "State")
+		state = zen.If(present, nextState, state)
+		verdict = zen.If(present, allowed, verdict)
+		rest = zen.Match(rest,
+			func() zen.Value[Trace] { return zen.NilList[Event]() },
+			func(_ zen.Value[Event], t zen.Value[Trace]) zen.Value[Trace] { return t })
+	}
+	return verdict
+}

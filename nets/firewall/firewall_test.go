@@ -1,0 +1,148 @@
+package firewall_test
+
+import (
+	"testing"
+
+	"zen-go/nets/firewall"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func fw() *firewall.Firewall {
+	return &firewall.Firewall{
+		Name:      "edge",
+		InsidePfx: pkt.Pfx(192, 168, 0, 0, 16),
+	}
+}
+
+func TestOutboundAlwaysAllowedAndTracked(t *testing.T) {
+	f := fw()
+	fn := zen.Func(func(h zen.Value[pkt.Header]) zen.Value[firewall.Result] {
+		return f.Outbound(zen.NilList[firewall.Flow](), h)
+	})
+	out := fn.Evaluate(pkt.Header{
+		SrcIP: pkt.IP(192, 168, 0, 5), DstIP: pkt.IP(8, 8, 8, 8),
+		SrcPort: 5000, DstPort: 443, Protocol: pkt.ProtoTCP,
+	})
+	if !out.Allowed {
+		t.Fatal("outbound must be allowed")
+	}
+	if len(out.State) != 1 || out.State[0].DstIP != pkt.IP(8, 8, 8, 8) {
+		t.Fatalf("flow not tracked: %+v", out.State)
+	}
+}
+
+func TestInboundReplyAllowed(t *testing.T) {
+	f := fw()
+	state := firewall.State{{
+		SrcIP: pkt.IP(192, 168, 0, 5), DstIP: pkt.IP(8, 8, 8, 8),
+		SrcPort: 5000, DstPort: 443, Proto: pkt.ProtoTCP,
+	}}
+	fn := zen.Func(func(h zen.Value[pkt.Header]) zen.Value[firewall.Result] {
+		return f.Inbound(zen.Lift(state), h)
+	})
+	reply := pkt.Header{
+		SrcIP: pkt.IP(8, 8, 8, 8), DstIP: pkt.IP(192, 168, 0, 5),
+		SrcPort: 443, DstPort: 5000, Protocol: pkt.ProtoTCP,
+	}
+	if !fn.Evaluate(reply).Allowed {
+		t.Fatal("reply to tracked flow must be allowed")
+	}
+	// A near-miss (wrong port) is blocked.
+	miss := reply
+	miss.DstPort = 5001
+	if fn.Evaluate(miss).Allowed {
+		t.Fatal("non-matching inbound must be blocked")
+	}
+}
+
+func TestStaticAllowlist(t *testing.T) {
+	f := fw()
+	f.AllowInbound = []uint16{443}
+	fn := zen.Func(func(h zen.Value[pkt.Header]) zen.Value[firewall.Result] {
+		return f.Inbound(zen.NilList[firewall.Flow](), h)
+	})
+	if !fn.Evaluate(pkt.Header{DstPort: 443}).Allowed {
+		t.Fatal("allowlisted port must be open")
+	}
+	if fn.Evaluate(pkt.Header{DstPort: 80}).Allowed {
+		t.Fatal("other ports must be closed")
+	}
+}
+
+// TestNoUnsolicitedInboundBMC is the NetSMC-style stateful property: over
+// ALL traces of length 3 with a closed firewall, no final inbound packet is
+// accepted unless an earlier outbound packet opened its connection.
+func TestNoUnsolicitedInboundBMC(t *testing.T) {
+	f := fw() // no allowlist
+	const steps = 3
+	fn := zen.Func(func(tr zen.Value[firewall.Trace]) zen.Value[bool] {
+		return f.RunTrace(tr, steps)
+	})
+	// Violation: the final event is inbound and accepted, yet NO earlier
+	// event was the matching outbound.
+	tr, found := fn.Find(func(tr zen.Value[firewall.Trace], accepted zen.Value[bool]) zen.Value[bool] {
+		lastInbound := lastEventInbound(tr, steps)
+		noOpener := zen.Not(anyOpener(tr, steps))
+		return zen.And(accepted, lastInbound, noOpener)
+	}, zen.WithBackend(zen.SAT), zen.WithListBound(steps))
+	if found {
+		t.Fatalf("unsolicited inbound accepted in trace %+v", tr)
+	}
+}
+
+// TestSolicitedInboundWitness: the positive side — there IS a trace where
+// an outbound opener makes a later inbound reply acceptable.
+func TestSolicitedInboundWitness(t *testing.T) {
+	f := fw()
+	const steps = 2
+	fn := zen.Func(func(tr zen.Value[firewall.Trace]) zen.Value[bool] {
+		return f.RunTrace(tr, steps)
+	})
+	tr, found := fn.Find(func(tr zen.Value[firewall.Trace], accepted zen.Value[bool]) zen.Value[bool] {
+		return zen.And(
+			accepted,
+			lastEventInbound(tr, steps),
+			zen.EqC(zen.Length(tr, steps+1), uint8(steps)))
+	}, zen.WithBackend(zen.SAT), zen.WithListBound(steps))
+	if !found {
+		t.Fatal("an opener+reply trace must exist")
+	}
+	if len(tr) != steps || !tr[0].FromInside || tr[1].FromInside {
+		t.Fatalf("witness should be outbound-then-inbound: %+v", tr)
+	}
+	// The reply must reverse the opener's flow.
+	if tr[0].Header.SrcIP != tr[1].Header.DstIP || tr[0].Header.DstPort != tr[1].Header.SrcPort {
+		t.Fatalf("witness reply does not reverse the opener: %+v", tr)
+	}
+}
+
+// lastEventInbound: the last present event of the bounded trace is inbound.
+func lastEventInbound(tr zen.Value[firewall.Trace], steps int) zen.Value[bool] {
+	res := zen.False()
+	rest := tr
+	for i := 0; i < steps; i++ {
+		ev := zen.Head(rest)
+		present := zen.IsSome(ev)
+		dir := zen.GetField[firewall.Event, bool](zen.OptValue(ev), "FromInside")
+		isLast := zen.And(present, zen.IsEmpty(tailOf(rest)))
+		res = zen.If(isLast, zen.Not(dir), res)
+		rest = tailOf(rest)
+	}
+	return res
+}
+
+// anyOpener: some event is outbound (which would track a flow).
+func anyOpener(tr zen.Value[firewall.Trace], steps int) zen.Value[bool] {
+	return zen.AnyMatch(tr, steps, func(e zen.Value[firewall.Event]) zen.Value[bool] {
+		return zen.GetField[firewall.Event, bool](e, "FromInside")
+	})
+}
+
+func tailOf(l zen.Value[firewall.Trace]) zen.Value[firewall.Trace] {
+	return zen.Match(l,
+		func() zen.Value[firewall.Trace] { return zen.NilList[firewall.Event]() },
+		func(_ zen.Value[firewall.Event], t zen.Value[firewall.Trace]) zen.Value[firewall.Trace] {
+			return t
+		})
+}

@@ -1,0 +1,49 @@
+// Package fwd models longest-prefix-match packet forwarding in Zen — the
+// Forward function of Figure 4 in the paper and the "LPM-based Forwarding"
+// row of Table 2.
+package fwd
+
+import (
+	"sort"
+
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Entry maps a destination prefix to an output port. Port 0 is the null
+// interface (drop).
+type Entry struct {
+	Prefix pkt.Prefix
+	Port   uint8
+}
+
+// Table is a forwarding table. Construct with New so entries are kept in
+// descending prefix-length order, which makes first-match equal to
+// longest-prefix match.
+type Table struct {
+	Entries []Entry
+}
+
+// New builds a forwarding table, sorting entries by descending prefix
+// length (stable, so insertion order breaks ties).
+func New(entries ...Entry) *Table {
+	t := &Table{Entries: append([]Entry(nil), entries...)}
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		return t.Entries[i].Prefix.Length > t.Entries[j].Prefix.Length
+	})
+	return t
+}
+
+// Forward is the Zen model of LPM forwarding: the port of the first
+// (longest) matching entry, or 0 (null interface) when none matches.
+func (t *Table) Forward(h zen.Value[pkt.Header]) zen.Value[uint8] {
+	return t.forward(h, 0)
+}
+
+func (t *Table) forward(h zen.Value[pkt.Header], i int) zen.Value[uint8] {
+	if i >= len(t.Entries) {
+		return zen.Lift(uint8(0)) // null interface
+	}
+	e := t.Entries[i]
+	return zen.If(e.Prefix.Contains(pkt.DstIP(h)), zen.Lift(e.Port), t.forward(h, i+1))
+}

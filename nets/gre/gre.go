@@ -1,0 +1,45 @@
+// Package gre models IP GRE tunneling in Zen: encapsulation adds an
+// underlay header derived from the tunnel endpoints; decapsulation strips
+// it. This is Figure 5 of the paper and the "IP GRE tunnels" row of
+// Table 2.
+package gre
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Tunnel is a configured GRE tunnel between two underlay addresses. A nil
+// *Tunnel on an interface means no tunnel starts/ends there.
+type Tunnel struct {
+	Name  string
+	SrcIP uint32
+	DstIP uint32
+}
+
+// Encap is the Zen model of encapsulation: wrap the packet in an underlay
+// header addressed to the tunnel destination, copying the ports and
+// carrying protocol 47 (GRE). A nil tunnel passes the packet through.
+func (t *Tunnel) Encap(p zen.Value[pkt.Packet]) zen.Value[pkt.Packet] {
+	if t == nil {
+		return p
+	}
+	o := pkt.Overlay(p)
+	u := pkt.MakeHeader(
+		zen.Lift(t.DstIP),
+		zen.Lift(t.SrcIP),
+		pkt.DstPort(o),
+		pkt.SrcPort(o),
+		zen.Lift(pkt.ProtoGRE),
+	)
+	return pkt.WithUnderlay(p, zen.Some(u))
+}
+
+// Decap is the Zen model of decapsulation: strip the underlay header. A nil
+// tunnel passes the packet through.
+func (t *Tunnel) Decap(p zen.Value[pkt.Packet]) zen.Value[pkt.Packet] {
+	if t == nil {
+		return p
+	}
+	return pkt.WithUnderlay(p, zen.None[pkt.Header]())
+}

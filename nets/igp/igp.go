@@ -1,0 +1,201 @@
+// Package igp models a link-state/distance-vector interior gateway
+// protocol (OSPF/EIGRP-flavored shortest paths) in Zen — the paper's
+// introduction names EIGRP as functionality no tool covers; here it costs a
+// page of model code and inherits every backend.
+//
+// Routers exchange distances to a destination over weighted links and pick
+// the minimum-cost neighbor. Convergence is synchronous Bellman-Ford; the
+// same Zen expressions also drive stable-state constraint solving with link
+// failures (Minesweeper-style, via zen.Problem).
+package igp
+
+import (
+	"zen-go/zen"
+)
+
+// Infinity marks an unreachable destination. Link costs are kept well
+// below it so bounded sums cannot overflow into valid costs.
+const Infinity = uint16(0xFFFF)
+
+// MaxCost bounds a single link's cost.
+const MaxCost = uint16(1000)
+
+// Router is an IGP speaker.
+type Router struct {
+	Name string
+	// Dest marks the destination router (distance 0).
+	Dest bool
+	// In lists the links delivering distance advertisements here.
+	In []*Link
+}
+
+// Link is a directed adjacency with a cost.
+type Link struct {
+	From, To *Router
+	Cost     uint16
+}
+
+// Network is the IGP topology for one destination.
+type Network struct {
+	Routers []*Router
+	Links   []*Link
+}
+
+// AddRouter creates a router.
+func (n *Network) AddRouter(name string) *Router {
+	r := &Router{Name: name}
+	n.Routers = append(n.Routers, r)
+	return r
+}
+
+// Connect adds links in both directions with the same cost.
+func (n *Network) Connect(a, b *Router, cost uint16) (*Link, *Link) {
+	if cost == 0 || cost > MaxCost {
+		panic("igp: cost must be in 1..MaxCost")
+	}
+	ab := &Link{From: a, To: b, Cost: cost}
+	ba := &Link{From: b, To: a, Cost: cost}
+	b.In = append(b.In, ab)
+	a.In = append(a.In, ba)
+	n.Links = append(n.Links, ab, ba)
+	return ab, ba
+}
+
+// Advertise is the Zen model of a distance crossing a link: cost is added
+// unless the neighbor is unreachable.
+func (l *Link) Advertise(d zen.Value[uint16]) zen.Value[uint16] {
+	return zen.If(zen.EqC(d, Infinity),
+		zen.Lift(Infinity),
+		zen.Add(d, zen.Lift(l.Cost)))
+}
+
+// Min is the Zen model of distance preference.
+func Min(a, b zen.Value[uint16]) zen.Value[uint16] {
+	return zen.If(zen.Lt(a, b), a, b)
+}
+
+// Best is the Zen model of a router's distance given its neighbors'
+// distances (indexed like r.In) and optional per-link failure flags.
+func Best(r *Router, neigh []zen.Value[uint16], failed []zen.Value[bool]) zen.Value[uint16] {
+	best := zen.Lift(Infinity)
+	if r.Dest {
+		best = zen.Lift(uint16(0))
+	}
+	for i, l := range r.In {
+		adv := l.Advertise(neigh[i])
+		if failed != nil {
+			adv = zen.If(failed[i], zen.Lift(Infinity), adv)
+		}
+		best = Min(best, adv)
+	}
+	return best
+}
+
+// Simulate converges the network by synchronous iteration of the Zen model
+// on concrete values, returning each router's distance.
+func Simulate(n *Network, maxIters int) map[*Router]uint16 {
+	dist := make(map[*Router]uint16, len(n.Routers))
+	for _, r := range n.Routers {
+		dist[r] = Infinity
+	}
+	fns := make(map[*Router]*zen.Fn[[]uint16, uint16], len(n.Routers))
+	for _, r := range n.Routers {
+		r := r
+		fns[r] = zen.Func(func(neigh zen.Value[[]uint16]) zen.Value[uint16] {
+			vals := make([]zen.Value[uint16], len(r.In))
+			rest := neigh
+			for i := range r.In {
+				h := zen.Head(rest)
+				vals[i] = zen.If(zen.IsSome(h), zen.OptValue(h), zen.Lift(Infinity))
+				rest = zen.Match(rest,
+					func() zen.Value[[]uint16] { return zen.NilList[uint16]() },
+					func(_ zen.Value[uint16], t zen.Value[[]uint16]) zen.Value[[]uint16] { return t })
+			}
+			return Best(r, vals, nil)
+		})
+	}
+	for it := 0; it < maxIters; it++ {
+		next := make(map[*Router]uint16, len(dist))
+		stable := true
+		for _, r := range n.Routers {
+			neigh := make([]uint16, len(r.In))
+			for i, l := range r.In {
+				neigh[i] = dist[l.From]
+			}
+			next[r] = fns[r].Evaluate(neigh)
+			if next[r] != dist[r] {
+				stable = false
+			}
+		}
+		dist = next
+		if stable {
+			break
+		}
+	}
+	return dist
+}
+
+// CheckResult reports a stable IGP state violating a property.
+type CheckResult struct {
+	Found       bool
+	Dist        map[*Router]uint16
+	FailedLinks []*Link
+}
+
+// Check searches for a stable distance assignment, under at most
+// maxFailures failed links, violating the property — the Minesweeper
+// construction applied to an IGP. With strictly positive costs the Bellman
+// fixed-point equations admit no finite ghost cycles (a cycle would need
+// its cost sum ≡ 0 mod 2^16, impossible below ~65 links of MaxCost), so
+// stability constraints alone characterize shortest paths on the
+// laptop-scale topologies this models.
+func Check(n *Network, maxFailures int,
+	property func(map[*Router]zen.Value[uint16]) zen.Value[bool]) CheckResult {
+	p := zen.NewProblem(zen.WithBackend(zen.SAT))
+	dist := make(map[*Router]zen.Value[uint16], len(n.Routers))
+	for _, r := range n.Routers {
+		dist[r] = zen.ProblemVar[uint16](p, "dist."+r.Name)
+	}
+	failed := make(map[*Link]zen.Value[bool], len(n.Links))
+	for _, l := range n.Links {
+		failed[l] = zen.ProblemVar[bool](p, "fail."+l.From.Name+">"+l.To.Name)
+	}
+	// Failure budget.
+	count := zen.Lift[uint8](0)
+	for _, l := range n.Links {
+		count = zen.Add(count, zen.If(failed[l], zen.Lift[uint8](1), zen.Lift[uint8](0)))
+	}
+	p.Require(zen.LeC(count, uint8(maxFailures)))
+
+	for _, r := range n.Routers {
+		neigh := make([]zen.Value[uint16], len(r.In))
+		fails := make([]zen.Value[bool], len(r.In))
+		for i, l := range r.In {
+			neigh[i] = dist[l.From]
+			fails[i] = failed[l]
+		}
+		p.Require(zen.Eq(dist[r], Best(r, neigh, fails)))
+	}
+	p.Require(zen.Not(property(dist)))
+
+	if !p.Solve() {
+		return CheckResult{}
+	}
+	res := CheckResult{Found: true, Dist: make(map[*Router]uint16)}
+	for _, r := range n.Routers {
+		res.Dist[r] = zen.Get(p, dist[r])
+	}
+	for _, l := range n.Links {
+		if zen.Get(p, failed[l]) {
+			res.FailedLinks = append(res.FailedLinks, l)
+		}
+	}
+	return res
+}
+
+// Reachable is the property "router r has a finite distance".
+func Reachable(r *Router) func(map[*Router]zen.Value[uint16]) zen.Value[bool] {
+	return func(dist map[*Router]zen.Value[uint16]) zen.Value[bool] {
+		return zen.Ne(dist[r], zen.Lift(Infinity))
+	}
+}

@@ -1,0 +1,120 @@
+package igp_test
+
+import (
+	"testing"
+
+	"zen-go/nets/igp"
+	"zen-go/zen"
+)
+
+// diamondNet: D --1-- A --3-- C, D --1-- B --1-- C  (C is destination).
+func diamondNet() (*igp.Network, *igp.Router, *igp.Router, *igp.Router, *igp.Router) {
+	n := &igp.Network{}
+	a := n.AddRouter("A")
+	b := n.AddRouter("B")
+	c := n.AddRouter("C")
+	d := n.AddRouter("D")
+	c.Dest = true
+	n.Connect(d, a, 1)
+	n.Connect(d, b, 1)
+	n.Connect(a, c, 3)
+	n.Connect(b, c, 1)
+	return n, a, b, c, d
+}
+
+func TestSimulateShortestPaths(t *testing.T) {
+	n, a, b, c, d := diamondNet()
+	dist := igp.Simulate(n, 10)
+	if dist[c] != 0 {
+		t.Fatalf("destination distance = %d", dist[c])
+	}
+	if dist[b] != 1 || dist[a] != 3 {
+		t.Fatalf("A=%d (want 3), B=%d (want 1)", dist[a], dist[b])
+	}
+	if dist[d] != 2 { // via B: 1+1 beats via A: 1+3
+		t.Fatalf("D=%d, want 2 via B", dist[d])
+	}
+}
+
+func TestSimulateUnreachable(t *testing.T) {
+	n := &igp.Network{}
+	c := n.AddRouter("C")
+	c.Dest = true
+	iso := n.AddRouter("ISO")
+	dist := igp.Simulate(n, 5)
+	if dist[iso] != igp.Infinity {
+		t.Fatalf("isolated router should be at infinity, got %d", dist[iso])
+	}
+}
+
+func TestCheckAgreesWithSimulation(t *testing.T) {
+	// With zero failures, the stable-state encoding must agree with
+	// simulation on every distance (uniqueness of shortest paths as
+	// solutions of the Bellman equations).
+	n, _, _, _, d := diamondNet()
+	sim := igp.Simulate(n, 10)
+	res := igp.Check(n, 0, func(dist map[*igp.Router]zen.Value[uint16]) zen.Value[bool] {
+		cond := zen.True()
+		for r, v := range sim {
+			cond = zen.And(cond, zen.EqC(dist[r], v))
+		}
+		return cond
+	})
+	if res.Found {
+		t.Fatalf("a stable state differing from simulation exists: %v", res.Dist)
+	}
+	_ = d
+}
+
+func TestCheckFailureTolerance(t *testing.T) {
+	n, _, _, _, d := diamondNet()
+	// D is 2-connected: one failure cannot disconnect it.
+	if res := igp.Check(n, 1, igp.Reachable(d)); res.Found {
+		t.Fatalf("one failure disconnected D: failed %d links, dist=%v",
+			len(res.FailedLinks), res.Dist)
+	}
+	// Two failures can (cut both of D's links).
+	res := igp.Check(n, 2, igp.Reachable(d))
+	if !res.Found {
+		t.Fatal("two failures should disconnect D")
+	}
+	if res.Dist[d] != igp.Infinity {
+		t.Fatalf("violating state should leave D at infinity, got %d", res.Dist[d])
+	}
+}
+
+func TestCheckBoundedStretch(t *testing.T) {
+	// Property: under any single failure, D's distance stays <= 4
+	// (the worst detour D--A--C costs 1+3).
+	n, _, _, _, d := diamondNet()
+	res := igp.Check(n, 1, func(dist map[*igp.Router]zen.Value[uint16]) zen.Value[bool] {
+		return zen.LeC(dist[d], uint16(4))
+	})
+	if res.Found {
+		t.Fatalf("single failure stretched D beyond 4: %v (failed %v)", res.Dist, res.FailedLinks)
+	}
+	// But <= 3 is violated when B-C fails (detour costs 4).
+	res = igp.Check(n, 1, func(dist map[*igp.Router]zen.Value[uint16]) zen.Value[bool] {
+		return zen.LeC(dist[d], uint16(3))
+	})
+	if !res.Found {
+		t.Fatal("stretch bound 3 should be violated by failing B-C")
+	}
+}
+
+func TestEqualCostPathsSimulate(t *testing.T) {
+	n := &igp.Network{}
+	a := n.AddRouter("A")
+	b := n.AddRouter("B")
+	c := n.AddRouter("C")
+	dst := n.AddRouter("DST")
+	dst.Dest = true
+	n.Connect(a, b, 2)
+	n.Connect(a, c, 2)
+	n.Connect(b, dst, 2)
+	n.Connect(c, dst, 2)
+	dist := igp.Simulate(n, 10)
+	if dist[a] != 4 {
+		t.Fatalf("A = %d, want 4 over either equal path", dist[a])
+	}
+}

@@ -1,0 +1,111 @@
+// Package mpls models MPLS label switching in Zen: packets carry a label
+// stack (a bounded Zen list) and label-switched routers push, swap and pop
+// labels according to their label tables. It is a data-plane functionality
+// whose natural state is list-shaped, exercising the parts of the language
+// that custom packet tools handle poorly — and the reason the framework's
+// SAT backend earns its keep (Figure 10 right).
+package mpls
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Packet is an IP header under a stack of MPLS labels (top of stack at the
+// head of the list).
+type Packet struct {
+	IP     pkt.Header
+	Labels []uint32 // 20-bit labels
+}
+
+// Depth bounds symbolic label-stack recursion.
+const Depth = 3
+
+// OpKind is a label operation.
+type OpKind uint8
+
+// Label operations.
+const (
+	Swap OpKind = iota // replace the top label
+	Push               // push an additional label
+	Pop                // remove the top label
+)
+
+// Entry maps an incoming top label to an action and output port.
+type Entry struct {
+	Match    uint32 // incoming top-of-stack label
+	Action   OpKind
+	NewLabel uint32 // Swap/Push operand
+	Port     uint8
+}
+
+// Table is an LSR's label forwarding table.
+type Table struct {
+	Name    string
+	Entries []Entry
+}
+
+// Result of processing a packet at an LSR.
+type Result struct {
+	Packet Packet
+	Port   uint8 // 0 = drop (no matching entry / empty stack)
+}
+
+// top returns the top label (meaningful only when the stack is nonempty).
+func top(p zen.Value[Packet]) (zen.Value[zen.Opt[uint32]], zen.Value[[]uint32]) {
+	labels := zen.GetField[Packet, []uint32](p, "Labels")
+	return zen.Head(labels), labels
+}
+
+// Process is the Zen model of one LSR: match the top label, apply the
+// operation, emit on the entry's port. Packets with an empty stack or an
+// unknown label are dropped.
+func (t *Table) Process(p zen.Value[Packet]) zen.Value[Result] {
+	topLabel, labels := top(p)
+	drop := zen.Create[Result](zen.F("Packet", p), zen.FC("Port", uint8(0)))
+
+	out := drop
+	for i := len(t.Entries) - 1; i >= 0; i-- {
+		e := t.Entries[i]
+		matched := zen.And(
+			zen.IsSome(topLabel),
+			zen.EqC(zen.OptValue(topLabel), e.Match))
+		var newLabels zen.Value[[]uint32]
+		switch e.Action {
+		case Swap:
+			newLabels = zen.Cons(zen.Lift(e.NewLabel), tailOf(labels))
+		case Push:
+			newLabels = zen.Cons(zen.Lift(e.NewLabel), labels)
+		case Pop:
+			newLabels = tailOf(labels)
+		}
+		hit := zen.Create[Result](
+			zen.F("Packet", zen.WithField(p, "Labels", newLabels)),
+			zen.FC("Port", e.Port))
+		out = zen.If(matched, hit, out)
+	}
+	return out
+}
+
+func tailOf(l zen.Value[[]uint32]) zen.Value[[]uint32] {
+	return zen.Match(l,
+		func() zen.Value[[]uint32] { return zen.NilList[uint32]() },
+		func(_ zen.Value[uint32], t zen.Value[[]uint32]) zen.Value[[]uint32] { return t })
+}
+
+// LSP is a label-switched path: an ordered list of LSR tables. ProcessPath
+// threads a packet through them, stopping with port 0 on any drop.
+func ProcessPath(tables []*Table, p zen.Value[Packet]) zen.Value[Result] {
+	cur := p
+	alive := zen.True()
+	lastPort := zen.Lift(uint8(0))
+	for _, t := range tables {
+		res := t.Process(cur)
+		port := zen.GetField[Result, uint8](res, "Port")
+		ok := zen.Ne(port, zen.Lift(uint8(0)))
+		cur = zen.If(zen.And(alive, ok), zen.GetField[Result, Packet](res, "Packet"), cur)
+		lastPort = zen.If(alive, port, zen.Lift(uint8(0)))
+		alive = zen.And(alive, ok)
+	}
+	return zen.Create[Result](zen.F("Packet", cur), zen.F("Port", lastPort))
+}

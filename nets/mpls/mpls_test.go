@@ -1,0 +1,100 @@
+package mpls_test
+
+import (
+	"testing"
+
+	"zen-go/nets/mpls"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// lsp builds a 3-hop label-switched path: ingress pushes 100->swap 200,
+// transit swaps 200->300, egress pops.
+func lsp() []*mpls.Table {
+	ingress := &mpls.Table{Name: "in", Entries: []mpls.Entry{
+		{Match: 100, Action: mpls.Swap, NewLabel: 200, Port: 1},
+	}}
+	transit := &mpls.Table{Name: "mid", Entries: []mpls.Entry{
+		{Match: 200, Action: mpls.Swap, NewLabel: 300, Port: 2},
+	}}
+	egress := &mpls.Table{Name: "out", Entries: []mpls.Entry{
+		{Match: 300, Action: mpls.Pop, Port: 3},
+	}}
+	return []*mpls.Table{ingress, transit, egress}
+}
+
+func TestLabelSwitchedPath(t *testing.T) {
+	fn := zen.Func(func(p zen.Value[mpls.Packet]) zen.Value[mpls.Result] {
+		return mpls.ProcessPath(lsp(), p)
+	})
+	in := mpls.Packet{IP: pkt.Header{DstIP: 1}, Labels: []uint32{100}}
+	out := fn.Evaluate(in)
+	if out.Port != 3 {
+		t.Fatalf("packet should exit the egress on port 3, got %d", out.Port)
+	}
+	if len(out.Packet.Labels) != 0 {
+		t.Fatalf("stack should be empty after pop, got %v", out.Packet.Labels)
+	}
+	if out.Packet.IP.DstIP != 1 {
+		t.Fatal("inner IP must be untouched")
+	}
+	// Wrong label: dropped at ingress.
+	if out := fn.Evaluate(mpls.Packet{Labels: []uint32{999}}); out.Port != 0 {
+		t.Fatalf("unknown label should drop, got port %d", out.Port)
+	}
+	// Empty stack: dropped.
+	if out := fn.Evaluate(mpls.Packet{}); out.Port != 0 {
+		t.Fatal("unlabeled packet should drop")
+	}
+}
+
+func TestPushGrowsStack(t *testing.T) {
+	tab := &mpls.Table{Entries: []mpls.Entry{
+		{Match: 7, Action: mpls.Push, NewLabel: 8, Port: 1},
+	}}
+	fn := zen.Func(tab.Process)
+	out := fn.Evaluate(mpls.Packet{Labels: []uint32{7, 9}})
+	if len(out.Packet.Labels) != 3 || out.Packet.Labels[0] != 8 || out.Packet.Labels[1] != 7 {
+		t.Fatalf("push result %v", out.Packet.Labels)
+	}
+}
+
+func TestFindLabelForDelivery(t *testing.T) {
+	// The solver derives which ingress label a sender must use so the
+	// packet exits the LSP — label-space reachability, list-valued.
+	fn := zen.Func(func(p zen.Value[mpls.Packet]) zen.Value[mpls.Result] {
+		return mpls.ProcessPath(lsp(), p)
+	})
+	for _, be := range []zen.Backend{zen.SAT, zen.BDD} {
+		p, ok := fn.Find(func(in zen.Value[mpls.Packet], out zen.Value[mpls.Result]) zen.Value[bool] {
+			return zen.EqC(zen.GetField[mpls.Result, uint8](out, "Port"), uint8(3))
+		}, zen.WithBackend(be), zen.WithListBound(mpls.Depth))
+		if !ok {
+			t.Fatalf("%v: a deliverable packet must exist", be)
+		}
+		if len(p.Labels) == 0 || p.Labels[0] != 100 {
+			t.Fatalf("%v: witness labels %v should start with 100", be, p.Labels)
+		}
+		if got := fn.Evaluate(p); got.Port != 3 {
+			t.Fatalf("%v: witness does not replay (port %d)", be, got.Port)
+		}
+	}
+}
+
+func TestVerifyStackDepthInvariant(t *testing.T) {
+	// Along this LSP no operation ever leaves more than 2 labels if the
+	// input had at most 1 — push is absent from the path.
+	fn := zen.Func(func(p zen.Value[mpls.Packet]) zen.Value[mpls.Result] {
+		return mpls.ProcessPath(lsp(), p)
+	})
+	ok, cex := fn.Verify(func(in zen.Value[mpls.Packet], out zen.Value[mpls.Result]) zen.Value[bool] {
+		inLabels := zen.GetField[mpls.Packet, []uint32](in, "Labels")
+		outLabels := zen.GetField[mpls.Packet, []uint32](zen.GetField[mpls.Result, mpls.Packet](out, "Packet"), "Labels")
+		short := zen.LeC(zen.Length(inLabels, mpls.Depth+1), uint8(1))
+		stillShort := zen.LeC(zen.Length(outLabels, mpls.Depth+1), uint8(2))
+		return zen.Implies(short, stillShort)
+	}, zen.WithBackend(zen.SAT), zen.WithListBound(mpls.Depth))
+	if !ok {
+		t.Fatalf("stack-depth invariant violated by %+v", cex)
+	}
+}

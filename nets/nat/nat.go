@@ -1,0 +1,97 @@
+// Package nat models network address translation in Zen — the packet
+// transformations named in the paper's introduction and the "Middleboxes"
+// box of Figure 2. Source NAT rewrites inside source addresses to a pool
+// address on the way out; destination NAT rewrites published addresses to
+// inside servers on the way in.
+//
+// Because the model is a Zen function, translation properties (collisions,
+// reversibility, hairpinning) become Find/Verify queries instead of custom
+// middlebox reasoning.
+package nat
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Kind distinguishes source from destination translation.
+type Kind uint8
+
+// Translation kinds.
+const (
+	SNAT Kind = iota // rewrite source address when it matches
+	DNAT             // rewrite destination address when it matches
+)
+
+// Rule is one translation entry: packets whose relevant address falls in
+// Match are rewritten to NewAddr. PortBase, when nonzero, additionally
+// rewrites the relevant port to PortBase plus the low bits of the original
+// address — a simplified port-overload (PAT) behavior that makes distinct
+// inside hosts distinguishable.
+type Rule struct {
+	Kind     Kind
+	Match    pkt.Prefix
+	NewAddr  uint32
+	PortBase uint16
+	LowBits  uint8 // how many low address bits fold into the port (PAT)
+}
+
+// NAT is an ordered rule list; the first matching rule translates, and
+// untranslated packets pass through unchanged.
+type NAT struct {
+	Name  string
+	Rules []Rule
+}
+
+// matches reports whether the rule applies to the header.
+func (r Rule) matches(h zen.Value[pkt.Header]) zen.Value[bool] {
+	if r.Kind == SNAT {
+		return r.Match.Contains(pkt.SrcIP(h))
+	}
+	return r.Match.Contains(pkt.DstIP(h))
+}
+
+// rewrite is the Zen model of one rule's rewrite.
+func (r Rule) rewrite(h zen.Value[pkt.Header]) zen.Value[pkt.Header] {
+	if r.Kind == SNAT {
+		out := zen.WithField(h, "SrcIP", zen.Lift(r.NewAddr))
+		if r.PortBase != 0 {
+			out = zen.WithField(out, "SrcPort", r.patPort(pkt.SrcIP(h)))
+		}
+		return out
+	}
+	out := zen.WithField(h, "DstIP", zen.Lift(r.NewAddr))
+	if r.PortBase != 0 {
+		out = zen.WithField(out, "DstPort", r.patPort(pkt.DstIP(h)))
+	}
+	return out
+}
+
+// patPort folds the low address bits into the port space.
+func (r Rule) patPort(addr zen.Value[uint32]) zen.Value[uint16] {
+	mask := uint32(1)<<uint(r.LowBits) - 1
+	low := zen.BitAndC(addr, mask)
+	return zen.Add(zen.Lift(r.PortBase), zen.Cast[uint32, uint16](low))
+}
+
+// Apply is the Zen model of the NAT: first matching rule rewrites.
+func (n *NAT) Apply(h zen.Value[pkt.Header]) zen.Value[pkt.Header] {
+	return n.applyFrom(h, 0)
+}
+
+func (n *NAT) applyFrom(h zen.Value[pkt.Header], i int) zen.Value[pkt.Header] {
+	if i >= len(n.Rules) {
+		return h // untranslated traffic passes through
+	}
+	r := n.Rules[i]
+	return zen.If(r.matches(h), r.rewrite(h), n.applyFrom(h, i+1))
+}
+
+// Translates reports whether any rule applies to the header.
+func (n *NAT) Translates(h zen.Value[pkt.Header]) zen.Value[bool] {
+	hit := zen.False()
+	for _, r := range n.Rules {
+		hit = zen.Or(hit, r.matches(h))
+	}
+	return hit
+}

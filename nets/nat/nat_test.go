@@ -1,0 +1,150 @@
+package nat_test
+
+import (
+	"testing"
+
+	"zen-go/nets/nat"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func snat() *nat.NAT {
+	return &nat.NAT{Name: "egress", Rules: []nat.Rule{
+		{Kind: nat.SNAT, Match: pkt.Pfx(192, 168, 0, 0, 16), NewAddr: pkt.IP(203, 0, 113, 1), PortBase: 10000, LowBits: 8},
+		{Kind: nat.DNAT, Match: pkt.Pfx(203, 0, 113, 0, 24), NewAddr: pkt.IP(192, 168, 0, 10)},
+	}}
+}
+
+func TestSNATRewritesSource(t *testing.T) {
+	fn := zen.Func(snat().Apply)
+	h := pkt.Header{SrcIP: pkt.IP(192, 168, 0, 42), DstIP: pkt.IP(8, 8, 8, 8), SrcPort: 5555}
+	out := fn.Evaluate(h)
+	if out.SrcIP != pkt.IP(203, 0, 113, 1) {
+		t.Fatalf("SrcIP = %s, want 203.0.113.1", pkt.FormatIP(out.SrcIP))
+	}
+	if out.SrcPort != 10000+42 {
+		t.Fatalf("SrcPort = %d, want %d (PAT folds host bits)", out.SrcPort, 10000+42)
+	}
+	if out.DstIP != h.DstIP {
+		t.Fatal("destination must be untouched")
+	}
+}
+
+func TestDNATRewritesDestination(t *testing.T) {
+	fn := zen.Func(snat().Apply)
+	h := pkt.Header{SrcIP: pkt.IP(8, 8, 8, 8), DstIP: pkt.IP(203, 0, 113, 7)}
+	out := fn.Evaluate(h)
+	if out.DstIP != pkt.IP(192, 168, 0, 10) {
+		t.Fatalf("DstIP = %s, want 192.168.0.10", pkt.FormatIP(out.DstIP))
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	fn := zen.Func(snat().Apply)
+	h := pkt.Header{SrcIP: pkt.IP(8, 8, 8, 8), DstIP: pkt.IP(9, 9, 9, 9), SrcPort: 1}
+	if out := fn.Evaluate(h); out != h {
+		t.Fatalf("untranslated traffic changed: %+v", out)
+	}
+}
+
+func TestPATDistinguishesHosts(t *testing.T) {
+	// With 8 low bits folded into the port, two inside hosts differing
+	// only in the low byte never collide after translation. Verified for
+	// all pairs symbolically via a two-host problem.
+	n := snat()
+	p := zen.NewProblem(zen.WithBackend(zen.SAT))
+	h1 := zen.ProblemVar[pkt.Header](p, "h1")
+	h2 := zen.ProblemVar[pkt.Header](p, "h2")
+	inside := pkt.Pfx(192, 168, 0, 0, 16)
+	sameLow24 := func(a, b zen.Value[uint32]) zen.Value[bool] {
+		return zen.Eq(zen.BitAndC(a, uint32(0xFFFFFF00)), zen.BitAndC(b, uint32(0xFFFFFF00)))
+	}
+	p.Require(inside.Contains(pkt.SrcIP(h1)))
+	p.Require(inside.Contains(pkt.SrcIP(h2)))
+	p.Require(sameLow24(pkt.SrcIP(h1), pkt.SrcIP(h2))) // same /24, differ in last byte
+	p.Require(zen.Ne(pkt.SrcIP(h1), pkt.SrcIP(h2)))
+	o1 := n.Apply(h1)
+	o2 := n.Apply(h2)
+	// Violation: identical translated (addr, port) pairs.
+	p.Require(zen.Eq(pkt.SrcIP(o1), pkt.SrcIP(o2)))
+	p.Require(zen.Eq(pkt.SrcPort(o1), pkt.SrcPort(o2)))
+	if p.Solve() {
+		t.Fatalf("PAT collision found: %+v vs %+v", zen.Get(p, h1), zen.Get(p, h2))
+	}
+}
+
+func TestSNATCollisionAcrossSubnets(t *testing.T) {
+	// Hosts that differ only above the folded bits DO collide — NAT loses
+	// information; Find produces a concrete witness pair.
+	n := snat()
+	p := zen.NewProblem(zen.WithBackend(zen.SAT))
+	h1 := zen.ProblemVar[pkt.Header](p, "h1")
+	h2 := zen.ProblemVar[pkt.Header](p, "h2")
+	inside := pkt.Pfx(192, 168, 0, 0, 16)
+	p.Require(inside.Contains(pkt.SrcIP(h1)))
+	p.Require(inside.Contains(pkt.SrcIP(h2)))
+	p.Require(zen.Ne(pkt.SrcIP(h1), pkt.SrcIP(h2)))
+	o1 := n.Apply(h1)
+	o2 := n.Apply(h2)
+	p.Require(zen.Eq(pkt.SrcIP(o1), pkt.SrcIP(o2)))
+	p.Require(zen.Eq(pkt.SrcPort(o1), pkt.SrcPort(o2)))
+	if !p.Solve() {
+		t.Fatal("hosts in different /24s must collide after 8-bit PAT")
+	}
+	a, b := zen.Get(p, h1), zen.Get(p, h2)
+	if a.SrcIP&0xFF != b.SrcIP&0xFF {
+		t.Fatalf("witnesses %s vs %s should share the folded byte",
+			pkt.FormatIP(a.SrcIP), pkt.FormatIP(b.SrcIP))
+	}
+}
+
+func TestTranslatesPredicateAndSetCounting(t *testing.T) {
+	n := snat()
+	w := zen.NewWorld()
+	translated := zen.SolutionSet(w, zen.Func(n.Translates))
+	// Translated headers: src in 192.168/16 (2^16 srcs) OR dst in
+	// 203.0.113/24 (2^8 dsts).
+	srcSet := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return pkt.Pfx(192, 168, 0, 0, 16).Contains(pkt.SrcIP(h))
+	})
+	dstSet := zen.SetOf(w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
+		return pkt.Pfx(203, 0, 113, 0, 24).Contains(pkt.DstIP(h))
+	})
+	if !translated.Equal(srcSet.Union(dstSet)) {
+		t.Fatal("Translates set should be the union of both match sets")
+	}
+}
+
+func TestCastSemantics(t *testing.T) {
+	// The Cast operator introduced for PAT: truncation and extensions.
+	down := zen.Func(func(x zen.Value[uint32]) zen.Value[uint16] {
+		return zen.Cast[uint32, uint16](x)
+	})
+	if got := down.Evaluate(0x12345678); got != 0x5678 {
+		t.Fatalf("truncate = %x, want 5678", got)
+	}
+	up := zen.Func(func(x zen.Value[uint8]) zen.Value[uint32] {
+		return zen.Cast[uint8, uint32](x)
+	})
+	if got := up.Evaluate(0xFF); got != 0xFF {
+		t.Fatalf("zero-extend = %x, want ff", got)
+	}
+	sup := zen.Func(func(x zen.Value[int8]) zen.Value[int32] {
+		return zen.Cast[int8, int32](x)
+	})
+	if got := sup.Evaluate(-2); got != -2 {
+		t.Fatalf("sign-extend = %d, want -2", got)
+	}
+	// Symbolic agreement on both backends.
+	fn := zen.Func(func(x zen.Value[uint32]) zen.Value[bool] {
+		return zen.EqC(zen.Cast[uint32, uint8](x), uint8(0xAB))
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		x, ok := fn.Find(func(_ zen.Value[uint32], out zen.Value[bool]) zen.Value[bool] {
+			return out
+		}, zen.WithBackend(be))
+		if !ok || uint8(x) != 0xAB {
+			t.Fatalf("%v: cast witness %x", be, x)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package pipeline models a P4-style programmable match-action pipeline in
+// Zen: a sequence of tables, each matching selected header fields (exact,
+// ternary, or longest-prefix) and executing actions that rewrite fields,
+// set the egress port, or drop. The paper's introduction names programmable
+// NICs and switches as the frontier that outruns custom verification tools;
+// a generic pipeline model brings them into the common framework.
+package pipeline
+
+import (
+	"sort"
+
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// FieldID selects a header field for matching or rewriting.
+type FieldID uint8
+
+// Matchable/rewritable fields.
+const (
+	FDstIP FieldID = iota
+	FSrcIP
+	FDstPort
+	FSrcPort
+	FProto
+)
+
+// MatchKind is a P4 match type.
+type MatchKind uint8
+
+// Match kinds.
+const (
+	Exact MatchKind = iota
+	Ternary
+	LPM
+)
+
+// Match is one field condition of a table entry.
+type Match struct {
+	Field FieldID
+	Kind  MatchKind
+	Value uint64
+	Mask  uint64 // Ternary: arbitrary mask; LPM: prefix length in low 6 bits
+}
+
+// ActionKind is what an entry does on hit.
+type ActionKind uint8
+
+// Actions.
+const (
+	Forward ActionKind = iota // set egress port
+	Modify                    // rewrite a field, continue to next table
+	Drop
+)
+
+// Action is a table entry's effect.
+type Action struct {
+	Kind  ActionKind
+	Port  uint8   // Forward
+	Field FieldID // Modify
+	Value uint64  // Modify
+}
+
+// Entry pairs matches (all must hold) with an action and a priority
+// (higher wins).
+type Entry struct {
+	Priority int
+	Matches  []Match
+	Action   Action
+}
+
+// Table is one match-action stage with a default action on miss.
+type Table struct {
+	Name    string
+	Entries []Entry
+	Default Action
+}
+
+// State threads a packet through the pipeline.
+type State struct {
+	Header  pkt.Header
+	Port    uint8 // egress choice so far (0 = undecided/drop)
+	Dropped bool
+	Done    bool // a Forward/Drop action ends the pipeline
+}
+
+// field projects a header field as a uniform 64-bit value.
+func field(h zen.Value[pkt.Header], f FieldID) zen.Value[uint64] {
+	switch f {
+	case FDstIP:
+		return zen.Cast[uint32, uint64](pkt.DstIP(h))
+	case FSrcIP:
+		return zen.Cast[uint32, uint64](pkt.SrcIP(h))
+	case FDstPort:
+		return zen.Cast[uint16, uint64](pkt.DstPort(h))
+	case FSrcPort:
+		return zen.Cast[uint16, uint64](pkt.SrcPort(h))
+	case FProto:
+		return zen.Cast[uint8, uint64](pkt.Protocol(h))
+	}
+	panic("pipeline: unknown field")
+}
+
+// setField rewrites a header field from a 64-bit value (truncating).
+func setField(h zen.Value[pkt.Header], f FieldID, v zen.Value[uint64]) zen.Value[pkt.Header] {
+	switch f {
+	case FDstIP:
+		return zen.WithField(h, "DstIP", zen.Cast[uint64, uint32](v))
+	case FSrcIP:
+		return zen.WithField(h, "SrcIP", zen.Cast[uint64, uint32](v))
+	case FDstPort:
+		return zen.WithField(h, "DstPort", zen.Cast[uint64, uint16](v))
+	case FSrcPort:
+		return zen.WithField(h, "SrcPort", zen.Cast[uint64, uint16](v))
+	case FProto:
+		return zen.WithField(h, "Protocol", zen.Cast[uint64, uint8](v))
+	}
+	panic("pipeline: unknown field")
+}
+
+func fieldWidth(f FieldID) int {
+	switch f {
+	case FDstIP, FSrcIP:
+		return 32
+	case FDstPort, FSrcPort:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// matches is the Zen condition for one entry.
+func (e Entry) matches(h zen.Value[pkt.Header]) zen.Value[bool] {
+	conds := []zen.Value[bool]{}
+	for _, m := range e.Matches {
+		fv := field(h, m.Field)
+		switch m.Kind {
+		case Exact:
+			conds = append(conds, zen.EqC(fv, m.Value))
+		case Ternary:
+			conds = append(conds, zen.EqC(zen.BitAndC(fv, m.Mask), m.Value&m.Mask))
+		case LPM:
+			w := fieldWidth(m.Field)
+			l := int(m.Mask & 63)
+			var mask uint64
+			if l > 0 {
+				mask = ((1 << uint(l)) - 1) << uint(w-l)
+			}
+			conds = append(conds, zen.EqC(zen.BitAndC(fv, mask), m.Value&mask))
+		}
+	}
+	return zen.And(conds...)
+}
+
+// applyAction executes an action on a state whose table hit it.
+func applyAction(a Action, s zen.Value[State]) zen.Value[State] {
+	h := zen.GetField[State, pkt.Header](s, "Header")
+	switch a.Kind {
+	case Forward:
+		s = zen.WithField(s, "Port", zen.Lift(a.Port))
+		return zen.WithField(s, "Done", zen.True())
+	case Drop:
+		s = zen.WithField(s, "Dropped", zen.True())
+		return zen.WithField(s, "Done", zen.True())
+	case Modify:
+		return zen.WithField(s, "Header", setField(h, a.Field, zen.Lift(a.Value)))
+	}
+	panic("pipeline: unknown action")
+}
+
+// Apply is the Zen model of one table: highest-priority matching entry
+// fires; the default action fires on miss. Finished states pass through.
+func (t *Table) Apply(s zen.Value[State]) zen.Value[State] {
+	h := zen.GetField[State, pkt.Header](s, "Header")
+	// Sort entries by ascending priority so higher priorities, applied
+	// later in the fold, win.
+	entries := append([]Entry(nil), t.Entries...)
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Priority < entries[j].Priority })
+	out := applyAction(t.Default, s)
+	for _, e := range entries {
+		out = zen.If(e.matches(h), applyAction(e.Action, s), out)
+	}
+	done := zen.GetField[State, bool](s, "Done")
+	return zen.If(done, s, out)
+}
+
+// Run threads a fresh state for the header through every table.
+func Run(tables []*Table, h zen.Value[pkt.Header]) zen.Value[State] {
+	s := zen.Create[State](
+		zen.F("Header", h),
+		zen.FC("Port", uint8(0)),
+		zen.FC("Dropped", false),
+		zen.FC("Done", false),
+	)
+	for _, t := range tables {
+		s = t.Apply(s)
+	}
+	return s
+}
+
+// Egress is the Zen model of the pipeline's final verdict: the chosen port,
+// or 0 when dropped or undecided.
+func Egress(tables []*Table, h zen.Value[pkt.Header]) zen.Value[uint8] {
+	s := Run(tables, h)
+	dropped := zen.GetField[State, bool](s, "Dropped")
+	return zen.If(dropped, zen.Lift(uint8(0)), zen.GetField[State, uint8](s, "Port"))
+}

@@ -1,0 +1,151 @@
+// Package pkt defines the packet and header models shared by the network
+// components in this repository — the Go analogue of the paper's Header and
+// Packet classes (Figure 4): an IPv4-style 5-tuple header, and a packet
+// carrying an overlay header plus an optional underlay (tunnel) header.
+package pkt
+
+import (
+	"fmt"
+
+	"zen-go/zen"
+)
+
+// Header is an IPv4-style 5-tuple header.
+type Header struct {
+	DstIP    uint32
+	SrcIP    uint32
+	DstPort  uint16
+	SrcPort  uint16
+	Protocol uint8
+}
+
+// Packet carries an overlay header and, when tunneled, an underlay header
+// (Figure 4, line 9 of the paper).
+type Packet struct {
+	Overlay  Header
+	Underlay zen.Opt[Header]
+}
+
+// Protocol numbers used throughout the examples.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+	ProtoGRE  uint8 = 47
+)
+
+// IP builds an IPv4 address from dotted-quad components.
+func IP(a, b, c, d uint8) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// FormatIP renders an address in dotted-quad form.
+func FormatIP(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Prefix is an IPv4 prefix (address plus length).
+type Prefix struct {
+	Address uint32
+	Length  uint8
+}
+
+// Pfx builds a prefix, normalizing the address to its network part.
+func Pfx(a, b, c, d uint8, length uint8) Prefix {
+	p := Prefix{Address: IP(a, b, c, d), Length: length}
+	p.Address &= p.Mask()
+	return p
+}
+
+// Mask returns the prefix's network mask.
+func (p Prefix) Mask() uint32 {
+	if p.Length == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint32(p.Length))
+}
+
+// String renders the prefix in CIDR form.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", FormatIP(p.Address), p.Length)
+}
+
+// ContainsConcrete reports whether the concrete address is in the prefix.
+func (p Prefix) ContainsConcrete(ip uint32) bool {
+	return ip&p.Mask() == p.Address
+}
+
+// Contains is the Zen model of prefix matching: whether a symbolic address
+// falls within the (concrete) prefix. The mask computation happens in Go,
+// exactly like the paper's Matches function (Figure 4, line 19).
+func (p Prefix) Contains(ip zen.Value[uint32]) zen.Value[bool] {
+	return zen.EqC(zen.BitAndC(ip, p.Mask()), p.Address)
+}
+
+// --- Zen accessors for Header ---
+
+// DstIP projects the destination address of a symbolic header.
+func DstIP(h zen.Value[Header]) zen.Value[uint32] {
+	return zen.GetField[Header, uint32](h, "DstIP")
+}
+
+// SrcIP projects the source address.
+func SrcIP(h zen.Value[Header]) zen.Value[uint32] {
+	return zen.GetField[Header, uint32](h, "SrcIP")
+}
+
+// DstPort projects the destination port.
+func DstPort(h zen.Value[Header]) zen.Value[uint16] {
+	return zen.GetField[Header, uint16](h, "DstPort")
+}
+
+// SrcPort projects the source port.
+func SrcPort(h zen.Value[Header]) zen.Value[uint16] {
+	return zen.GetField[Header, uint16](h, "SrcPort")
+}
+
+// Protocol projects the protocol number.
+func Protocol(h zen.Value[Header]) zen.Value[uint8] {
+	return zen.GetField[Header, uint8](h, "Protocol")
+}
+
+// --- Zen accessors for Packet ---
+
+// Overlay projects the overlay header of a symbolic packet.
+func Overlay(p zen.Value[Packet]) zen.Value[Header] {
+	return zen.GetField[Packet, Header](p, "Overlay")
+}
+
+// Underlay projects the optional underlay header.
+func Underlay(p zen.Value[Packet]) zen.Value[zen.Opt[Header]] {
+	return zen.GetField[Packet, zen.Opt[Header]](p, "Underlay")
+}
+
+// ActiveHeader returns the header the network routes on: the underlay
+// header when present (the packet is tunneled), otherwise the overlay
+// header.
+func ActiveHeader(p zen.Value[Packet]) zen.Value[Header] {
+	u := Underlay(p)
+	return zen.If(zen.IsSome(u), zen.OptValue(u), Overlay(p))
+}
+
+// WithOverlay replaces the overlay header.
+func WithOverlay(p zen.Value[Packet], h zen.Value[Header]) zen.Value[Packet] {
+	return zen.WithField(p, "Overlay", h)
+}
+
+// WithUnderlay replaces the underlay header.
+func WithUnderlay(p zen.Value[Packet], h zen.Value[zen.Opt[Header]]) zen.Value[Packet] {
+	return zen.WithField(p, "Underlay", h)
+}
+
+// MakeHeader assembles a symbolic header from field values.
+func MakeHeader(dstIP, srcIP zen.Value[uint32], dstPort, srcPort zen.Value[uint16], proto zen.Value[uint8]) zen.Value[Header] {
+	return zen.Create[Header](
+		zen.F("DstIP", dstIP),
+		zen.F("SrcIP", srcIP),
+		zen.F("DstPort", dstPort),
+		zen.F("SrcPort", srcPort),
+		zen.F("Protocol", proto),
+	)
+}

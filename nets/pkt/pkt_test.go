@@ -1,0 +1,92 @@
+package pkt_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func TestIPHelpers(t *testing.T) {
+	ip := pkt.IP(10, 1, 2, 3)
+	if ip != 0x0A010203 {
+		t.Fatalf("IP = %x", ip)
+	}
+	if pkt.FormatIP(ip) != "10.1.2.3" {
+		t.Fatalf("FormatIP = %s", pkt.FormatIP(ip))
+	}
+}
+
+func TestPrefixNormalization(t *testing.T) {
+	p := pkt.Pfx(10, 1, 2, 3, 16) // host bits must be cleared
+	if p.Address != pkt.IP(10, 1, 0, 0) {
+		t.Fatalf("prefix not normalized: %s", p)
+	}
+	if p.String() != "10.1.0.0/16" {
+		t.Fatalf("String = %s", p)
+	}
+	if pkt.Pfx(0, 0, 0, 0, 0).Mask() != 0 {
+		t.Fatal("zero-length mask must be 0")
+	}
+	if pkt.Pfx(1, 2, 3, 4, 32).Mask() != 0xFFFFFFFF {
+		t.Fatal("/32 mask must be all ones")
+	}
+}
+
+func TestPrefixContainsQuick(t *testing.T) {
+	// Property: symbolic Contains agrees with concrete ContainsConcrete.
+	p := pkt.Pfx(172, 16, 0, 0, 12)
+	fn := zen.Func(func(ip zen.Value[uint32]) zen.Value[bool] {
+		return p.Contains(ip)
+	})
+	err := quick.Check(func(ip uint32) bool {
+		return fn.Evaluate(ip) == p.ContainsConcrete(ip)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveHeader(t *testing.T) {
+	fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[uint32] {
+		return zen.GetField[pkt.Header, uint32](pkt.ActiveHeader(p), "DstIP")
+	})
+	plain := pkt.Packet{Overlay: pkt.Header{DstIP: 1}}
+	if fn.Evaluate(plain) != 1 {
+		t.Fatal("plain packet should route on overlay")
+	}
+	tunneled := pkt.Packet{
+		Overlay:  pkt.Header{DstIP: 1},
+		Underlay: zen.Opt[pkt.Header]{Ok: true, Val: pkt.Header{DstIP: 2}},
+	}
+	if fn.Evaluate(tunneled) != 2 {
+		t.Fatal("tunneled packet should route on underlay")
+	}
+}
+
+func TestHeaderAccessors(t *testing.T) {
+	h := pkt.Header{DstIP: 1, SrcIP: 2, DstPort: 3, SrcPort: 4, Protocol: 5}
+	fn := zen.Func(func(v zen.Value[pkt.Header]) zen.Value[bool] {
+		return zen.And(
+			zen.EqC(pkt.DstIP(v), uint32(1)),
+			zen.EqC(pkt.SrcIP(v), uint32(2)),
+			zen.EqC(pkt.DstPort(v), uint16(3)),
+			zen.EqC(pkt.SrcPort(v), uint16(4)),
+			zen.EqC(pkt.Protocol(v), uint8(5)),
+		)
+	})
+	if !fn.Evaluate(h) {
+		t.Fatal("accessors disagree with struct fields")
+	}
+}
+
+func TestMakeHeaderRoundTrip(t *testing.T) {
+	fn := zen.Func(func(h zen.Value[pkt.Header]) zen.Value[pkt.Header] {
+		return pkt.MakeHeader(pkt.DstIP(h), pkt.SrcIP(h), pkt.DstPort(h), pkt.SrcPort(h), pkt.Protocol(h))
+	})
+	in := pkt.Header{DstIP: 9, SrcIP: 8, DstPort: 7, SrcPort: 6, Protocol: 5}
+	if got := fn.Evaluate(in); got != in {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package routemap models vendor-style BGP route maps in Zen: ordered
+// clauses that match on prefix lists, community lists and AS paths, and
+// that set route attributes on permit. This is the "Route Map Filters" row
+// of Table 2 in the paper; unlike the Minesweeper/Bonsai encodings it
+// replaces, the same model drives both the BDD and the SAT backend.
+package routemap
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Route is a BGP route advertisement.
+type Route struct {
+	Prefix      uint32
+	PrefixLen   uint8
+	LocalPref   uint32
+	Med         uint32
+	NextHop     uint32
+	AsPath      []uint16
+	Communities []uint32
+}
+
+// Depth bounds the symbolic length of AS paths and community lists, like
+// the maximum-list-length parameter of the paper's Find.
+const Depth = 3
+
+// PrefixMatch is a prefix-list entry: the route's prefix must fall inside
+// Pfx and its length must lie in [GE, LE].
+type PrefixMatch struct {
+	Pfx pkt.Prefix
+	GE  uint8
+	LE  uint8
+}
+
+// Clause is one route-map stanza: match conditions (all must hold; empty
+// lists match anything) and, on permit, attribute updates.
+type Clause struct {
+	Permit bool
+
+	MatchPrefixes   []PrefixMatch // any-of
+	MatchCommunity  uint32        // 0 = no community condition
+	MatchAsContains uint16        // 0 = no AS-path condition
+
+	SetLocalPref uint32 // 0 = leave unchanged
+	SetMed       uint32 // 0 = leave unchanged
+	AddCommunity uint32 // 0 = none
+	PrependAs    uint16 // 0 = none
+	SetNextHop   uint32 // 0 = leave unchanged
+}
+
+// RouteMap is an ordered list of clauses with an implicit deny at the end.
+type RouteMap struct {
+	Name    string
+	Clauses []Clause
+}
+
+// field projections
+func routeField[F any](r zen.Value[Route], name string) zen.Value[F] {
+	return zen.GetField[Route, F](r, name)
+}
+
+// Matches is the Zen model of a clause's match conditions.
+func (c Clause) Matches(r zen.Value[Route]) zen.Value[bool] {
+	conds := []zen.Value[bool]{}
+	if len(c.MatchPrefixes) > 0 {
+		pfx := routeField[uint32](r, "Prefix")
+		plen := routeField[uint8](r, "PrefixLen")
+		any := zen.False()
+		for _, pm := range c.MatchPrefixes {
+			any = zen.Or(any, zen.And(
+				pm.Pfx.Contains(pfx),
+				zen.GeC(plen, pm.GE),
+				zen.LeC(plen, pm.LE)))
+		}
+		conds = append(conds, any)
+	}
+	if c.MatchCommunity != 0 {
+		comms := routeField[[]uint32](r, "Communities")
+		conds = append(conds, zen.Contains(comms, Depth, zen.Lift(c.MatchCommunity)))
+	}
+	if c.MatchAsContains != 0 {
+		path := routeField[[]uint16](r, "AsPath")
+		conds = append(conds, zen.Contains(path, Depth, zen.Lift(c.MatchAsContains)))
+	}
+	return zen.And(conds...)
+}
+
+// apply is the Zen model of a permit clause's set actions.
+func (c Clause) apply(r zen.Value[Route]) zen.Value[Route] {
+	if c.SetLocalPref != 0 {
+		r = zen.WithField(r, "LocalPref", zen.Lift(c.SetLocalPref))
+	}
+	if c.SetMed != 0 {
+		r = zen.WithField(r, "Med", zen.Lift(c.SetMed))
+	}
+	if c.SetNextHop != 0 {
+		r = zen.WithField(r, "NextHop", zen.Lift(c.SetNextHop))
+	}
+	if c.AddCommunity != 0 {
+		comms := routeField[[]uint32](r, "Communities")
+		r = zen.WithField(r, "Communities", zen.Cons(zen.Lift(c.AddCommunity), comms))
+	}
+	if c.PrependAs != 0 {
+		path := routeField[[]uint16](r, "AsPath")
+		r = zen.WithField(r, "AsPath", zen.Cons(zen.Lift(c.PrependAs), path))
+	}
+	return r
+}
+
+// Apply is the Zen model of route-map evaluation: the first matching clause
+// decides; a permit applies its actions, a deny (and no match) drops the
+// route.
+func (rm *RouteMap) Apply(r zen.Value[Route]) zen.Value[zen.Opt[Route]] {
+	return rm.applyFrom(r, 0)
+}
+
+func (rm *RouteMap) applyFrom(r zen.Value[Route], i int) zen.Value[zen.Opt[Route]] {
+	if i >= len(rm.Clauses) {
+		return zen.None[Route]() // implicit deny
+	}
+	c := rm.Clauses[i]
+	var hit zen.Value[zen.Opt[Route]]
+	if c.Permit {
+		hit = zen.Some(c.apply(r))
+	} else {
+		hit = zen.None[Route]()
+	}
+	return zen.If(c.Matches(r), hit, rm.applyFrom(r, i+1))
+}
+
+// MatchClause returns the index of the first matching clause, or
+// len(Clauses) when none matches (line tracking for Figure 10).
+func (rm *RouteMap) MatchClause(r zen.Value[Route]) zen.Value[uint16] {
+	return rm.matchFrom(r, 0)
+}
+
+func (rm *RouteMap) matchFrom(r zen.Value[Route], i int) zen.Value[uint16] {
+	if i >= len(rm.Clauses) {
+		return zen.Lift(uint16(len(rm.Clauses)))
+	}
+	return zen.If(rm.Clauses[i].Matches(r), zen.Lift(uint16(i)), rm.matchFrom(r, i+1))
+}

@@ -1,0 +1,140 @@
+package routemap_test
+
+import (
+	"testing"
+
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+	"zen-go/zen"
+)
+
+func sampleMap() *routemap.RouteMap {
+	return &routemap.RouteMap{Name: "to-peer", Clauses: []routemap.Clause{
+		{ // deny long prefixes from customer space
+			Permit:        false,
+			MatchPrefixes: []routemap.PrefixMatch{{Pfx: pkt.Pfx(10, 0, 0, 0, 8), GE: 25, LE: 32}},
+		},
+		{ // prefer routes tagged 100: bump local-pref
+			Permit:         true,
+			MatchCommunity: 100,
+			SetLocalPref:   200,
+			AddCommunity:   999,
+		},
+		{ // drop anything that traversed AS 666
+			Permit:          false,
+			MatchAsContains: 666,
+		},
+		{ // default: permit with prepend
+			Permit:    true,
+			PrependAs: 65000,
+		},
+	}}
+}
+
+func TestRouteMapSimulation(t *testing.T) {
+	rm := sampleMap()
+	fn := zen.Func(rm.Apply)
+
+	// Long customer prefix: denied by clause 0.
+	out := fn.Evaluate(routemap.Route{Prefix: pkt.IP(10, 1, 0, 0), PrefixLen: 26})
+	if out.Ok {
+		t.Fatal("long customer prefix should be denied")
+	}
+	// Tagged route: local-pref set, community added.
+	out = fn.Evaluate(routemap.Route{
+		Prefix: pkt.IP(8, 8, 0, 0), PrefixLen: 16, LocalPref: 100,
+		Communities: []uint32{100},
+	})
+	if !out.Ok || out.Val.LocalPref != 200 {
+		t.Fatalf("tagged route mishandled: %+v", out)
+	}
+	if len(out.Val.Communities) != 2 || out.Val.Communities[0] != 999 {
+		t.Fatalf("community not added: %+v", out.Val.Communities)
+	}
+	// Route through AS 666: denied by clause 2.
+	out = fn.Evaluate(routemap.Route{
+		Prefix: pkt.IP(8, 8, 0, 0), PrefixLen: 16, AsPath: []uint16{3356, 666},
+	})
+	if out.Ok {
+		t.Fatal("AS 666 route should be denied")
+	}
+	// Anything else: permitted with prepend.
+	out = fn.Evaluate(routemap.Route{
+		Prefix: pkt.IP(8, 8, 0, 0), PrefixLen: 16, AsPath: []uint16{3356},
+	})
+	if !out.Ok || len(out.Val.AsPath) != 2 || out.Val.AsPath[0] != 65000 {
+		t.Fatalf("default clause mishandled: %+v", out)
+	}
+}
+
+func TestRouteMapFindLastClause(t *testing.T) {
+	// The Figure 10 (right) verification task: find a route matching the
+	// last clause, requiring reasoning about all earlier clauses
+	// (including list-valued attributes).
+	rm := sampleMap()
+	fn := zen.Func(rm.MatchClause)
+	last := uint16(len(rm.Clauses) - 1)
+	for _, be := range []zen.Backend{zen.SAT, zen.BDD} {
+		r, ok := fn.Find(func(_ zen.Value[routemap.Route], c zen.Value[uint16]) zen.Value[bool] {
+			return zen.EqC(c, last)
+		}, zen.WithBackend(be), zen.WithListBound(routemap.Depth))
+		if !ok {
+			t.Fatalf("%v: a route must reach the final clause", be)
+		}
+		if got := fn.Evaluate(r); got != last {
+			t.Fatalf("%v: witness hits clause %d, want %d", be, got, last)
+		}
+	}
+}
+
+func TestRouteMapDenyAllUnreachable(t *testing.T) {
+	// A clause after a catch-all permit is dead; Find must prove it.
+	rm := &routemap.RouteMap{Clauses: []routemap.Clause{
+		{Permit: true}, // matches everything
+		{Permit: false, MatchCommunity: 7},
+	}}
+	fn := zen.Func(rm.MatchClause)
+	_, ok := fn.Find(func(_ zen.Value[routemap.Route], c zen.Value[uint16]) zen.Value[bool] {
+		return zen.EqC(c, uint16(1))
+	}, zen.WithBackend(zen.SAT))
+	if ok {
+		t.Fatal("clause after catch-all must be unreachable")
+	}
+}
+
+func TestRouteMapVerifyInvariant(t *testing.T) {
+	// Every route the map emits carries AS 65000 or had community 100.
+	rm := sampleMap()
+	fn := zen.Func(rm.Apply)
+	ok, cex := fn.Verify(func(r zen.Value[routemap.Route], out zen.Value[zen.Opt[routemap.Route]]) zen.Value[bool] {
+		emitted := zen.IsSome(out)
+		prepended := zen.Contains(
+			zen.GetField[routemap.Route, []uint16](zen.OptValue(out), "AsPath"),
+			routemap.Depth+1, zen.Lift[uint16](65000))
+		tagged := zen.Contains(
+			zen.GetField[routemap.Route, []uint32](r, "Communities"),
+			routemap.Depth, zen.Lift[uint32](100))
+		return zen.Implies(emitted, zen.Or(prepended, tagged))
+	}, zen.WithBackend(zen.SAT))
+	if !ok {
+		t.Fatalf("invariant must hold; cex %+v", cex)
+	}
+}
+
+func TestPrefixMatchGELE(t *testing.T) {
+	rm := &routemap.RouteMap{Clauses: []routemap.Clause{
+		{Permit: true, MatchPrefixes: []routemap.PrefixMatch{
+			{Pfx: pkt.Pfx(10, 0, 0, 0, 8), GE: 16, LE: 24},
+		}},
+	}}
+	fn := zen.Func(rm.Apply)
+	if out := fn.Evaluate(routemap.Route{Prefix: pkt.IP(10, 5, 0, 0), PrefixLen: 16}); !out.Ok {
+		t.Fatal("/16 in range should match")
+	}
+	if out := fn.Evaluate(routemap.Route{Prefix: pkt.IP(10, 5, 0, 0), PrefixLen: 25}); out.Ok {
+		t.Fatal("/25 out of range should not match")
+	}
+	if out := fn.Evaluate(routemap.Route{Prefix: pkt.IP(11, 5, 0, 0), PrefixLen: 16}); out.Ok {
+		t.Fatal("outside 10/8 should not match")
+	}
+}

@@ -1,0 +1,124 @@
+// Package vnet builds the paper's running example (Figure 3): a
+// virtualized network where overlay endpoints Va and Vb communicate across
+// an underlay U1-U2-U3 through a GRE tunnel. It exists to demonstrate
+// compositional verification — finding bugs at the overlay/underlay
+// boundary that per-layer verification misses (§2).
+package vnet
+
+import (
+	"zen-go/nets/acl"
+	"zen-go/nets/device"
+	"zen-go/nets/fwd"
+	"zen-go/nets/gre"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// Network is the Figure 3 topology.
+type Network struct {
+	U1, U2, U3 *device.Device
+
+	// VaIP and VbIP are the overlay endpoint addresses; U1IP and U3IP the
+	// tunnel endpoints.
+	VaIP, VbIP, U1IP, U3IP uint32
+
+	// Path is the interface path a packet from Va to Vb takes:
+	// (U1.host, U1.east), (U2.west, U2.east), (U3.west, U3.host).
+	Path []*device.Interface
+}
+
+// Config carries the knobs of the example network.
+type Config struct {
+	// BuggyUnderlayACL, when set, installs a packet filter on U2 that
+	// drops GRE traffic — the cross-layer bug of §2: the underlay looks
+	// healthy for ordinary traffic and the overlay looks healthy assuming
+	// perfect transport, but tunneled overlay packets die at U2.
+	BuggyUnderlayACL bool
+}
+
+// Build constructs the network.
+func Build(cfg Config) *Network {
+	n := &Network{
+		VaIP: pkt.IP(192, 168, 0, 1),
+		VbIP: pkt.IP(192, 168, 0, 2),
+		U1IP: pkt.IP(10, 0, 0, 1),
+		U3IP: pkt.IP(10, 0, 0, 3),
+	}
+
+	tunnel := &gre.Tunnel{Name: "gre-u1-u3", SrcIP: n.U1IP, DstIP: n.U3IP}
+	tunnelBack := &gre.Tunnel{Name: "gre-u3-u1", SrcIP: n.U3IP, DstIP: n.U1IP}
+
+	// U1: overlay traffic to Vb goes out east, tunneled to U3.
+	n.U1 = &device.Device{Name: "U1"}
+	u1host := n.U1.AddInterface("host") // port 1, towards Va
+	u1east := n.U1.AddInterface("east") // port 2, towards U2
+	n.U1.Table = fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(192, 168, 0, 2, 32), Port: u1east.ID},
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 3, 32), Port: u1east.ID},
+		fwd.Entry{Prefix: pkt.Pfx(192, 168, 0, 1, 32), Port: u1host.ID},
+	)
+	u1east.GreStart = tunnel   // encapsulate Vb-bound overlay traffic
+	u1east.GreEnd = tunnelBack // decapsulate returning traffic (dst U1)
+
+	// U2: pure underlay transit.
+	n.U2 = &device.Device{Name: "U2"}
+	u2west := n.U2.AddInterface("west")
+	u2east := n.U2.AddInterface("east")
+	n.U2.Table = fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 3, 32), Port: u2east.ID},
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 1, 32), Port: u2west.ID},
+		// The underlay also routes overlay prefixes east so that
+		// untunneled overlay traffic would flow; the overlay, however,
+		// always tunnels.
+		fwd.Entry{Prefix: pkt.Pfx(192, 168, 0, 0, 24), Port: u2east.ID},
+	)
+	if cfg.BuggyUnderlayACL {
+		// The §2 bug: an underlay filter that drops "unexpected" protocol
+		// 47 (GRE) traffic while permitting everything else.
+		u2west.AclIn = &acl.ACL{Name: "u2-in", Rules: []acl.Rule{
+			{Permit: false, Protocol: pkt.ProtoGRE},
+			{Permit: true},
+		}}
+	}
+
+	// U3: tunnel endpoint; decapsulates and delivers to Vb.
+	n.U3 = &device.Device{Name: "U3"}
+	u3west := n.U3.AddInterface("west")
+	u3host := n.U3.AddInterface("host")
+	n.U3.Table = fwd.New(
+		fwd.Entry{Prefix: pkt.Pfx(192, 168, 0, 2, 32), Port: u3host.ID},
+		fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 1, 32), Port: u3west.ID},
+	)
+	u3west.GreEnd = tunnel // decapsulate Vb-bound traffic (dst U3)
+	u3west.GreStart = tunnelBack
+
+	device.Link(u1east, u2west)
+	device.Link(u2east, u3west)
+
+	n.Path = []*device.Interface{u1host, u1east, u2west, u2east, u3west, u3host}
+	return n
+}
+
+// VaToVb models the full journey of a packet from Va to Vb: U1
+// encapsulates on egress, U2 transits, U3 decapsulates and delivers.
+func (n *Network) VaToVb(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+	return device.ForwardPath(n.Path, p)
+}
+
+// OverlayOnly models the overlay's view: Va reaches Vb directly over a
+// virtual link assumed perfect (what per-layer overlay verification sees).
+func (n *Network) OverlayOnly(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+	dst := zen.GetField[pkt.Header, uint32](pkt.Overlay(p), "DstIP")
+	return zen.If(zen.EqC(dst, n.VbIP), zen.Some(p), zen.None[pkt.Packet]())
+}
+
+// UnderlayOnly models the underlay's view: a bare (non-tunneled) IP header
+// transiting U2 — what per-layer underlay verification exercises if it
+// never generates GRE packets.
+func (n *Network) UnderlayOnly(h zen.Value[pkt.Header]) zen.Value[zen.Opt[pkt.Header]] {
+	p := zen.Create[pkt.Packet](
+		zen.F("Overlay", h),
+		zen.F("Underlay", zen.None[pkt.Header]()))
+	out := device.ForwardPath([]*device.Interface{n.Path[2], n.Path[3]}, p)
+	return zen.OptMap(out, pkt.Overlay)
+}

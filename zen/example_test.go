@@ -1,0 +1,102 @@
+package zen_test
+
+import (
+	"fmt"
+
+	"zen-go/zen"
+)
+
+// A Zen model is an ordinary Go function over Value wrappers; Func turns it
+// into an analyzable object.
+func ExampleFunc() {
+	classify := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.If(zen.LtC(x, uint8(10)), zen.Lift[uint8](0),
+			zen.If(zen.LtC(x, uint8(100)), zen.Lift[uint8](1), zen.Lift[uint8](2)))
+	})
+	fmt.Println(classify.Evaluate(5), classify.Evaluate(50), classify.Evaluate(200))
+	// Output: 0 1 2
+}
+
+// Find searches the whole input space for a witness of a predicate.
+func ExampleFn_Find() {
+	square := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Mul(x, x)
+	})
+	root, ok := square.Find(func(x zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.And(zen.EqC(out, uint8(49)), zen.LtC(x, uint8(16)))
+	})
+	fmt.Println(ok, root)
+	// Output: true 7
+}
+
+// Verify proves a property for every input, or returns a counterexample.
+func ExampleFn_Verify() {
+	mask := zen.Func(func(x zen.Value[uint16]) zen.Value[uint16] {
+		return zen.BitAndC(x, 0x00FF)
+	})
+	ok, _ := mask.Verify(func(_ zen.Value[uint16], out zen.Value[uint16]) zen.Value[bool] {
+		return zen.LtC(out, uint16(256))
+	})
+	fmt.Println(ok)
+	// Output: true
+}
+
+// State sets reason about all values at once: exact counting, membership
+// and wildcard-cube rendering.
+func ExampleStateSet() {
+	w := zen.NewWorld()
+	highNibble := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.EqC(zen.BitAndC(x, 0xF0), uint8(0xA0))
+	})
+	fmt.Println(highNibble.Count(), highNibble.Contains(0xAB), highNibble.Cubes(0)[0])
+	// Output: 16 true 0xA0/0xF0
+}
+
+// Transformers compute images and preimages of functions over sets.
+func ExampleTransformer() {
+	w := zen.NewWorld()
+	double := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Add(x, x)
+	})
+	tr := zen.NewTransformer(w, double)
+	small := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(x, uint8(4))
+	})
+	img := tr.Forward(small)
+	fmt.Println(img.Count(), img.Contains(6), img.Contains(5))
+	// Output: 4 true false
+}
+
+// Problem solves constraint systems over several unknowns.
+func ExampleProblem() {
+	p := zen.NewProblem()
+	x := zen.ProblemVar[uint8](p, "x")
+	y := zen.ProblemVar[uint8](p, "y")
+	p.Require(zen.Eq(zen.Mul(x, y), zen.Lift[uint8](63)))
+	p.Require(zen.GtC(x, uint8(1)))
+	p.Require(zen.Gt(y, x))
+	ok := p.Solve()
+	xv, yv := zen.Get(p, x), zen.Get(p, y)
+	fmt.Println(ok, uint8(xv*yv) == 63 && xv > 1 && yv > xv)
+	// Output: true true
+}
+
+// GenerateInputs produces one input per reachable branch path (§8).
+func ExampleFn_GenerateInputs() {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.If(zen.LtC(x, uint8(128)), zen.Lift[uint8](1), zen.Lift[uint8](2))
+	})
+	inputs := fn.GenerateInputs(zen.GenOptions{})
+	fmt.Println(len(inputs))
+	// Output: 2
+}
+
+// Compile extracts a fast executable implementation from the model (§8).
+func ExampleFn_Compile() {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.BitXor(x, zen.Lift[uint8](0xFF))
+	})
+	not := fn.Compile()
+	fmt.Println(not(0x0F))
+	// Output: 240
+}

@@ -1,0 +1,187 @@
+package zen
+
+import (
+	"reflect"
+
+	"zen-go/internal/backends"
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+	"zen-go/internal/sym"
+)
+
+// Backend selects the solver used for symbolic analyses.
+type Backend int
+
+// Available solver backends.
+const (
+	// BDD solves with binary decision diagrams.
+	BDD Backend = iota
+	// SAT solves by bit-blasting to CNF and running CDCL search — the
+	// analogue of the paper's SMT(bitvector) backend.
+	SAT
+)
+
+func (b Backend) String() string {
+	if b == BDD {
+		return "bdd"
+	}
+	return "sat"
+}
+
+// Options configures symbolic analyses.
+type Options struct {
+	// Backend is the solver used (default BDD).
+	Backend Backend
+	// ListBound bounds the length of symbolic lists (default 3), like the
+	// maximum-list-length parameter of the paper's Find.
+	ListBound int
+}
+
+// Option mutates analysis options.
+type Option func(*Options)
+
+// WithBackend selects the solver backend.
+func WithBackend(b Backend) Option { return func(o *Options) { o.Backend = b } }
+
+// WithListBound bounds symbolic list lengths.
+func WithListBound(k int) Option { return func(o *Options) { o.ListBound = k } }
+
+func buildOptions(opts []Option) Options {
+	o := Options{Backend: BDD, ListBound: 3}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Fn is a Zen function from I to O (the paper's ZenFunction). It records
+// the expression DAG produced by applying the model function to a symbolic
+// argument; every analysis operates on that DAG.
+type Fn[I, O any] struct {
+	arg Value[I]
+	out Value[O]
+	f   func(Value[I]) Value[O]
+}
+
+// Func builds a Zen function from a model written as a Go function over
+// Values. The model is invoked once, with a symbolic argument, to build the
+// DAG.
+func Func[I, O any](f func(Value[I]) Value[O]) *Fn[I, O] {
+	arg := Symbolic[I]("arg")
+	return &Fn[I, O]{arg: arg, out: f(arg), f: f}
+}
+
+// Arg returns the symbolic parameter of the function.
+func (fn *Fn[I, O]) Arg() Value[I] { return fn.arg }
+
+// Out returns the symbolic result DAG of the function.
+func (fn *Fn[I, O]) Out() Value[O] { return fn.out }
+
+// Apply builds the application of the model to a new argument expression.
+func (fn *Fn[I, O]) Apply(x Value[I]) Value[O] { return fn.f(x) }
+
+// Evaluate runs the model on a concrete input (simulation).
+func (fn *Fn[I, O]) Evaluate(x I) O {
+	env := interp.Env{fn.arg.n.VarID: liftValue(reflectValue(x))}
+	v := interp.Eval(fn.out.n, env)
+	rt := reflect.TypeOf((*O)(nil)).Elem()
+	return toGo(v, rt).Interface().(O)
+}
+
+// Find searches for an input such that pred(input, output) holds,
+// mirroring the paper's f.Find((in, out) => ...). It returns the witness
+// and true, or the zero value and false if no input exists (within list
+// bounds).
+func (fn *Fn[I, O]) Find(pred func(Value[I], Value[O]) Value[bool], opts ...Option) (I, bool) {
+	o := buildOptions(opts)
+	cond := pred(fn.arg, fn.out)
+	if o.Backend == SAT {
+		return findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound)
+	}
+	return findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound)
+}
+
+// Verify checks that property(input, output) holds for every input. It
+// returns true when the property is valid, or false plus a counterexample.
+func (fn *Fn[I, O]) Verify(property func(Value[I], Value[O]) Value[bool], opts ...Option) (bool, I) {
+	cex, found := fn.Find(func(i Value[I], o Value[O]) Value[bool] {
+		return Not(property(i, o))
+	}, opts...)
+	return !found, cex
+}
+
+func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound int) (I, bool) {
+	var zero I
+	in := sym.Fresh(alg, TypeOf[I](), bound, "in")
+	out := sym.Eval(alg, cond, sym.Env[B]{varID: in.Val})
+	if !alg.Solve(out.Bit) {
+		return zero, false
+	}
+	iv := in.Decode(alg.BitValue)
+	rt := reflect.TypeOf((*I)(nil)).Elem()
+	return toGo(iv, rt).Interface().(I), true
+}
+
+// FindAll invokes yield for successive distinct witnesses of pred, up to
+// max (or until exhausted). It re-solves with blocking constraints, like
+// repeated Find calls in the paper's API.
+func (fn *Fn[I, O]) FindAll(pred func(Value[I], Value[O]) Value[bool], max int, opts ...Option) []I {
+	o := buildOptions(opts)
+	cond := pred(fn.arg, fn.out)
+	if o.Backend == SAT {
+		return findAllWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max)
+	}
+	return findAllWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max)
+}
+
+func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound, max int) []I {
+	in := sym.Fresh(alg, TypeOf[I](), bound, "in")
+	out := sym.Eval(alg, cond, sym.Env[B]{varID: in.Val})
+	rt := reflect.TypeOf((*I)(nil)).Elem()
+	var results []I
+	constraint := out.Bit
+	for len(results) < max {
+		if !alg.Solve(constraint) {
+			break
+		}
+		iv := in.Decode(alg.BitValue)
+		results = append(results, toGo(iv, rt).Interface().(I))
+		// Block this model: the input must differ somewhere.
+		blocked := blockModel(alg, in.Val, iv)
+		constraint = alg.And(constraint, blocked)
+	}
+	return results
+}
+
+// blockModel returns the constraint "input != model".
+func blockModel[B comparable](alg sym.Algebra[B], v *sym.Val[B], model *interp.Value) B {
+	lifted := constSym(alg, model)
+	return alg.Not(sym.Eq(alg, v, lifted))
+}
+
+// constSym lifts a concrete interpreter value into a constant symbolic
+// value in the algebra.
+func constSym[B comparable](alg sym.Algebra[B], v *interp.Value) *sym.Val[B] {
+	switch v.Type.Kind {
+	case core.KindBool:
+		if v.B {
+			return sym.BoolVal(alg.True())
+		}
+		return sym.BoolVal(alg.False())
+	case core.KindBV:
+		return sym.ConstBV(alg, v.Type, v.U)
+	case core.KindObject:
+		fields := make([]*sym.Val[B], len(v.Fields))
+		for i, f := range v.Fields {
+			fields[i] = constSym(alg, f)
+		}
+		return sym.ObjectVal(v.Type, fields...)
+	case core.KindList:
+		l := sym.NilList(alg, v.Type)
+		for i := len(v.Elems) - 1; i >= 0; i-- {
+			l = sym.Cons(constSym(alg, v.Elems[i]), l)
+		}
+		return l
+	}
+	panic("zen: unsupported kind")
+}

@@ -1,0 +1,84 @@
+package zen
+
+import (
+	"reflect"
+
+	"zen-go/internal/backends"
+	"zen-go/internal/compilejit"
+	"zen-go/internal/interp"
+	"zen-go/internal/sym"
+)
+
+// Fn2 is a two-argument Zen function, for relational models and properties
+// (two packets through one NAT, two routes through one policy, two network
+// snapshots). It mirrors the paper's multi-parameter ZenFunction.
+type Fn2[A, B, O any] struct {
+	argA Value[A]
+	argB Value[B]
+	out  Value[O]
+	f    func(Value[A], Value[B]) Value[O]
+}
+
+// Func2 builds a two-argument Zen function.
+func Func2[A, B, O any](f func(Value[A], Value[B]) Value[O]) *Fn2[A, B, O] {
+	a := Symbolic[A]("arg0")
+	b := Symbolic[B]("arg1")
+	return &Fn2[A, B, O]{argA: a, argB: b, out: f(a, b), f: f}
+}
+
+// Apply builds the application to new argument expressions.
+func (fn *Fn2[A, B, O]) Apply(a Value[A], b Value[B]) Value[O] { return fn.f(a, b) }
+
+// Evaluate runs the model on concrete inputs.
+func (fn *Fn2[A, B, O]) Evaluate(a A, b B) O {
+	env := interp.Env{
+		fn.argA.n.VarID: liftValue(reflectValue(a)),
+		fn.argB.n.VarID: liftValue(reflectValue(b)),
+	}
+	v := interp.Eval(fn.out.n, env)
+	rt := reflect.TypeOf((*O)(nil)).Elem()
+	return toGo(v, rt).Interface().(O)
+}
+
+// Find searches for an input pair satisfying pred(a, b, output).
+func (fn *Fn2[A, B, O]) Find(pred func(Value[A], Value[B], Value[O]) Value[bool], opts ...Option) (A, B, bool) {
+	o := buildOptions(opts)
+	cond := pred(fn.argA, fn.argB, fn.out)
+	if o.Backend == SAT {
+		return find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound)
+	}
+	return find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound)
+}
+
+// Verify checks a property over all input pairs.
+func (fn *Fn2[A, B, O]) Verify(property func(Value[A], Value[B], Value[O]) Value[bool], opts ...Option) (bool, A, B) {
+	a, b, found := fn.Find(func(x Value[A], y Value[B], o Value[O]) Value[bool] {
+		return Not(property(x, y, o))
+	}, opts...)
+	return !found, a, b
+}
+
+func find2With[A, B any, Bit comparable](alg sym.Solver[Bit], cond *coreNode, idA, idB int32, bound int) (A, B, bool) {
+	var zeroA A
+	var zeroB B
+	inA := sym.Fresh(alg, TypeOf[A](), bound, "a")
+	inB := sym.Fresh(alg, TypeOf[B](), bound, "b")
+	out := sym.Eval(alg, cond, sym.Env[Bit]{idA: inA.Val, idB: inB.Val})
+	if !alg.Solve(out.Bit) {
+		return zeroA, zeroB, false
+	}
+	rta := reflect.TypeOf((*A)(nil)).Elem()
+	rtb := reflect.TypeOf((*B)(nil)).Elem()
+	return toGo(inA.Decode(alg.BitValue), rta).Interface().(A),
+		toGo(inB.Decode(alg.BitValue), rtb).Interface().(B), true
+}
+
+// Compile extracts an executable two-argument implementation.
+func (fn *Fn2[A, B, O]) Compile() func(A, B) O {
+	prog := compilejit.Compile(fn.out.n, fn.argA.n, fn.argB.n)
+	rt := reflect.TypeOf((*O)(nil)).Elem()
+	return func(a A, b B) O {
+		v := prog.Run(liftValue(reflectValue(a)), liftValue(reflectValue(b)))
+		return toGo(v, rt).Interface().(O)
+	}
+}

@@ -1,0 +1,95 @@
+package zen_test
+
+import (
+	"testing"
+
+	"zen-go/zen"
+)
+
+func TestFunc2Evaluate(t *testing.T) {
+	add := zen.Func2(func(a, b zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Add(a, b)
+	})
+	if got := add.Evaluate(3, 4); got != 7 {
+		t.Fatalf("Evaluate = %d", got)
+	}
+	if got := add.Evaluate(200, 100); got != 44 {
+		t.Fatalf("wraparound = %d", got)
+	}
+}
+
+func TestFunc2Find(t *testing.T) {
+	mul := zen.Func2(func(a, b zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Mul(a, b)
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		a, b, ok := mul.Find(func(x, y zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+			return zen.And(
+				zen.EqC(out, uint8(143)), // 11 * 13
+				zen.GtC(x, uint8(1)),
+				zen.GtC(y, uint8(1)))
+		}, zen.WithBackend(be))
+		if !ok {
+			t.Fatalf("%v: factoring 143 must succeed", be)
+		}
+		if uint8(a*b) != 143 || a <= 1 || b <= 1 {
+			t.Fatalf("%v: bad factors %d * %d", be, a, b)
+		}
+	}
+}
+
+func TestFunc2Verify(t *testing.T) {
+	xor := zen.Func2(func(a, b zen.Value[uint16]) zen.Value[uint16] {
+		return zen.BitXor(a, b)
+	})
+	ok, _, _ := xor.Verify(func(a, b zen.Value[uint16], out zen.Value[uint16]) zen.Value[bool] {
+		// xor is self-inverse: (a^b)^b == a
+		return zen.Eq(zen.BitXor(out, b), a)
+	})
+	if !ok {
+		t.Fatal("xor self-inverse must hold")
+	}
+	ok, a, b := xor.Verify(func(a, b zen.Value[uint16], out zen.Value[uint16]) zen.Value[bool] {
+		return zen.Ne(out, zen.Lift[uint16](0)) // fails when a == b
+	})
+	if ok {
+		t.Fatal("property must fail")
+	}
+	if a != b {
+		t.Fatalf("counterexample %d, %d should be equal", a, b)
+	}
+}
+
+func TestFunc2Compile(t *testing.T) {
+	f := zen.Func2(func(a, b zen.Value[uint16]) zen.Value[uint16] {
+		return zen.If(zen.Lt(a, b), zen.Sub(b, a), zen.Sub(a, b))
+	})
+	dist := f.Compile()
+	cases := [][3]uint16{{3, 10, 7}, {10, 3, 7}, {5, 5, 0}}
+	for _, c := range cases {
+		if got := dist(c[0], c[1]); got != c[2] {
+			t.Fatalf("dist(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+		if got := f.Evaluate(c[0], c[1]); got != c[2] {
+			t.Fatalf("Evaluate disagrees at %v", c)
+		}
+	}
+}
+
+func TestFunc2MixedTypes(t *testing.T) {
+	sel := zen.Func2(func(flag zen.Value[bool], x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.If(flag, x, zen.Lift[uint8](0))
+	})
+	if got := sel.Evaluate(true, 9); got != 9 {
+		t.Fatalf("got %d", got)
+	}
+	if got := sel.Evaluate(false, 9); got != 0 {
+		t.Fatalf("got %d", got)
+	}
+	flag, x, ok := sel.Find(func(f zen.Value[bool], x zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.EqC(out, uint8(42))
+	}, zen.WithBackend(zen.SAT))
+	if !ok || !flag || x != 42 {
+		t.Fatalf("find: flag=%v x=%d ok=%v", flag, x, ok)
+	}
+}

@@ -1,0 +1,156 @@
+package zen
+
+// NilList returns the empty list of element type T.
+func NilList[T any]() Value[[]T] {
+	return Value[[]T]{n: build.ListNil(TypeOf[[]T]())}
+}
+
+// Cons prepends head to tail.
+func Cons[T any](head Value[T], tail Value[[]T]) Value[[]T] {
+	return Value[[]T]{n: build.ListCons(head.n, tail.n)}
+}
+
+// Match eliminates a list: empty() supplies the result for the empty list;
+// cons(head, tail) for a non-empty one. This is the `case` form of the Zen
+// abstract syntax. Recursive uses must bound their own depth (symbolic
+// lists are finite; see the Bound option of Find).
+func Match[T, R any](l Value[[]T], empty func() Value[R], cons func(Value[T], Value[[]T]) Value[R]) Value[R] {
+	n := build.ListCase(l.n, empty().n, func(h, t *coreNode) *coreNode {
+		return cons(Value[T]{n: h}, Value[[]T]{n: t}).n
+	})
+	return Value[R]{n: n}
+}
+
+// Fold reduces the first `depth` elements of the list right-to-left:
+// f(e0, f(e1, ... f(e_{depth-1}, zero))). Elements beyond depth are ignored
+// (symbolic analyses bound list lengths anyway).
+func Fold[T, R any](l Value[[]T], depth int, zero Value[R], f func(Value[T], Value[R]) Value[R]) Value[R] {
+	if depth == 0 {
+		return zero
+	}
+	return Match(l,
+		func() Value[R] { return zero },
+		func(h Value[T], t Value[[]T]) Value[R] {
+			return f(h, Fold(t, depth-1, zero, f))
+		})
+}
+
+// AnyMatch reports whether any of the first depth elements satisfies pred.
+func AnyMatch[T any](l Value[[]T], depth int, pred func(Value[T]) Value[bool]) Value[bool] {
+	return Fold(l, depth, False(), func(h Value[T], acc Value[bool]) Value[bool] {
+		return Or(pred(h), acc)
+	})
+}
+
+// AllMatch reports whether all of the first depth elements satisfy pred.
+func AllMatch[T any](l Value[[]T], depth int, pred func(Value[T]) Value[bool]) Value[bool] {
+	return Fold(l, depth, True(), func(h Value[T], acc Value[bool]) Value[bool] {
+		return And(pred(h), acc)
+	})
+}
+
+// Contains reports whether the list contains x among its first depth
+// elements.
+func Contains[T any](l Value[[]T], depth int, x Value[T]) Value[bool] {
+	return AnyMatch(l, depth, func(e Value[T]) Value[bool] { return Eq(e, x) })
+}
+
+// Length returns the list length as a uint8, counting at most depth
+// elements.
+func Length[T any](l Value[[]T], depth int) Value[uint8] {
+	return Fold(l, depth, Lift[uint8](0), func(_ Value[T], acc Value[uint8]) Value[uint8] {
+		return AddC(acc, 1)
+	})
+}
+
+// IsEmpty reports whether the list is empty.
+func IsEmpty[T any](l Value[[]T]) Value[bool] {
+	return Match(l,
+		func() Value[bool] { return True() },
+		func(Value[T], Value[[]T]) Value[bool] { return False() })
+}
+
+// Head returns the first element if present.
+func Head[T any](l Value[[]T]) Value[Opt[T]] {
+	return Match(l,
+		func() Value[Opt[T]] { return None[T]() },
+		func(h Value[T], _ Value[[]T]) Value[Opt[T]] { return Some(h) })
+}
+
+// MapList applies f to the first depth elements, preserving list structure.
+func MapList[T, U any](l Value[[]T], depth int, f func(Value[T]) Value[U]) Value[[]U] {
+	if depth == 0 {
+		return NilList[U]()
+	}
+	return Match(l,
+		func() Value[[]U] { return NilList[U]() },
+		func(h Value[T], t Value[[]T]) Value[[]U] {
+			return Cons(f(h), MapList(t, depth-1, f))
+		})
+}
+
+// Append returns l1 followed by l2, traversing at most depth elements
+// of l1.
+func Append[T any](l1 Value[[]T], depth int, l2 Value[[]T]) Value[[]T] {
+	if depth == 0 {
+		return l2
+	}
+	return Match(l1,
+		func() Value[[]T] { return l2 },
+		func(h Value[T], t Value[[]T]) Value[[]T] {
+			return Cons(h, Append(t, depth-1, l2))
+		})
+}
+
+// Take returns the first n elements (traversing at most depth).
+func Take[T any](l Value[[]T], depth, n int) Value[[]T] {
+	if n == 0 || depth == 0 {
+		return NilList[T]()
+	}
+	return Match(l,
+		func() Value[[]T] { return NilList[T]() },
+		func(h Value[T], t Value[[]T]) Value[[]T] {
+			return Cons(h, Take(t, depth-1, n-1))
+		})
+}
+
+// Drop removes the first n elements (traversing at most depth).
+func Drop[T any](l Value[[]T], depth, n int) Value[[]T] {
+	if n == 0 || depth == 0 {
+		return l
+	}
+	return Match(l,
+		func() Value[[]T] { return NilList[T]() },
+		func(_ Value[T], t Value[[]T]) Value[[]T] {
+			return Drop(t, depth-1, n-1)
+		})
+}
+
+// Reverse reverses the first depth elements.
+func Reverse[T any](l Value[[]T], depth int) Value[[]T] {
+	acc := NilList[T]()
+	rest := l
+	for i := 0; i < depth; i++ {
+		h := Head(rest)
+		acc = If(IsSome(h), Cons(OptValue(h), acc), acc)
+		rest = Match(rest,
+			func() Value[[]T] { return NilList[T]() },
+			func(_ Value[T], t Value[[]T]) Value[[]T] { return t })
+	}
+	return acc
+}
+
+// Nth returns the element at index i (0-based) if present.
+func Nth[T any](l Value[[]T], depth, i int) Value[Opt[T]] {
+	if depth == 0 {
+		return None[T]()
+	}
+	return Match(l,
+		func() Value[Opt[T]] { return None[T]() },
+		func(h Value[T], t Value[[]T]) Value[Opt[T]] {
+			if i == 0 {
+				return Some(h)
+			}
+			return Nth(t, depth-1, i-1)
+		})
+}

@@ -1,0 +1,43 @@
+package zen
+
+import "zen-go/internal/core"
+
+type coreNode = core.Node
+
+// KV is a key-value pair. Zen dictionaries are association lists of pairs
+// with the most recent binding at the head, exactly as the paper describes
+// dictionaries being implemented via `adapt` (§5).
+type KV[K, V any] struct {
+	Key K
+	Val V
+}
+
+// EmptyMap returns a dictionary with no bindings.
+func EmptyMap[K, V any]() Value[[]KV[K, V]] {
+	return NilList[KV[K, V]]()
+}
+
+// MapSet adds or overrides a binding (newest wins on lookup).
+func MapSet[K, V any](m Value[[]KV[K, V]], k Value[K], v Value[V]) Value[[]KV[K, V]] {
+	return Cons(Create[KV[K, V]](F("Key", k), F("Val", v)), m)
+}
+
+// MapGet looks up a key among the first depth bindings.
+func MapGet[K, V any](m Value[[]KV[K, V]], depth int, k Value[K]) Value[Opt[V]] {
+	if depth == 0 {
+		return None[V]()
+	}
+	return Match(m,
+		func() Value[Opt[V]] { return None[V]() },
+		func(h Value[KV[K, V]], t Value[[]KV[K, V]]) Value[Opt[V]] {
+			key := GetField[KV[K, V], K](h, "Key")
+			val := GetField[KV[K, V], V](h, "Val")
+			return If(Eq(key, k), Some(val), MapGet(t, depth-1, k))
+		})
+}
+
+// MapContainsKey reports whether a key is bound among the first depth
+// bindings.
+func MapContainsKey[K, V any](m Value[[]KV[K, V]], depth int, k Value[K]) Value[bool] {
+	return IsSome(MapGet(m, depth, k))
+}

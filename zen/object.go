@@ -1,0 +1,79 @@
+package zen
+
+import (
+	"fmt"
+	"reflect"
+
+	"zen-go/internal/core"
+)
+
+func reflectValue[T any](v T) reflect.Value { return reflect.ValueOf(&v).Elem() }
+
+// GetField projects field `name` of type F out of an object value. The
+// field must exist on S with Zen type matching F; violations panic at model
+// construction time, mirroring the paper's runtime-checked C# embedding.
+func GetField[S, F any](o Value[S], name string) Value[F] {
+	t := TypeOf[S]()
+	i := t.FieldIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("zen: type %s has no field %q", t, name))
+	}
+	n := build.GetField(o.n, i)
+	want := TypeOf[F]()
+	if !n.Type.Same(want) {
+		panic(fmt.Sprintf("zen: field %s.%s has type %s, not %s", t, name, n.Type, want))
+	}
+	return Value[F]{n: n}
+}
+
+// WithField returns o with field `name` replaced by v.
+func WithField[S, F any](o Value[S], name string, v Value[F]) Value[S] {
+	t := TypeOf[S]()
+	i := t.FieldIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("zen: type %s has no field %q", t, name))
+	}
+	return Value[S]{n: build.WithField(o.n, i, v.n)}
+}
+
+// FieldValue names a field for Create.
+type FieldValue struct {
+	Name string
+	node *core.Node
+}
+
+// F pairs a field name with its value for Create.
+func F[T any](name string, v Value[T]) FieldValue {
+	return FieldValue{Name: name, node: v.n}
+}
+
+// FC pairs a field name with a concrete value for Create.
+func FC[T any](name string, v T) FieldValue {
+	return FieldValue{Name: name, node: liftNode(build, reflectValue(v))}
+}
+
+// Create builds an object of struct type S from named field values. Every
+// field of S must be given exactly once, in any order.
+func Create[S any](fields ...FieldValue) Value[S] {
+	t := TypeOf[S]()
+	if t.Kind != core.KindObject {
+		panic("zen: Create requires a struct type")
+	}
+	kids := make([]*core.Node, len(t.Fields))
+	for _, f := range fields {
+		i := t.FieldIndex(f.Name)
+		if i < 0 {
+			panic(fmt.Sprintf("zen: type %s has no field %q", t, f.Name))
+		}
+		if kids[i] != nil {
+			panic(fmt.Sprintf("zen: duplicate field %q", f.Name))
+		}
+		kids[i] = f.node
+	}
+	for i, k := range kids {
+		if k == nil {
+			panic(fmt.Sprintf("zen: Create %s: missing field %q", t, t.Fields[i].Name))
+		}
+	}
+	return Value[S]{n: build.Create(t, kids...)}
+}

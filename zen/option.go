@@ -1,0 +1,45 @@
+package zen
+
+// Opt is Zen's option type: a value of type T that may be absent. Following
+// the paper (§5), options are implemented as an object with a flag and a
+// value field, so they need no special support in the backends.
+type Opt[T any] struct {
+	Ok  bool
+	Val T
+}
+
+// Some wraps a present value.
+func Some[T any](v Value[T]) Value[Opt[T]] {
+	return Create[Opt[T]](F("Ok", True()), F("Val", v))
+}
+
+// None is the absent value; its payload is a zeroed placeholder.
+func None[T any]() Value[Opt[T]] {
+	t := TypeOf[T]()
+	return Create[Opt[T]](F("Ok", False()),
+		FieldValue{Name: "Val", node: zeroNode(build, t)})
+}
+
+// IsSome reports whether the option holds a value.
+func IsSome[T any](o Value[Opt[T]]) Value[bool] {
+	return GetField[Opt[T], bool](o, "Ok")
+}
+
+// IsNone reports whether the option is absent.
+func IsNone[T any](o Value[Opt[T]]) Value[bool] { return Not(IsSome(o)) }
+
+// OptValue projects the payload; meaningful only under IsSome.
+func OptValue[T any](o Value[Opt[T]]) Value[T] {
+	return GetField[Opt[T], T](o, "Val")
+}
+
+// OptMap applies f to the payload when present.
+func OptMap[T, U any](o Value[Opt[T]], f func(Value[T]) Value[U]) Value[Opt[U]] {
+	return If(IsSome(o), Some(f(OptValue(o))), None[U]())
+}
+
+// OptAndThen applies a possibly-failing f to the payload when present
+// (monadic bind).
+func OptAndThen[T, U any](o Value[Opt[T]], f func(Value[T]) Value[Opt[U]]) Value[Opt[U]] {
+	return If(IsSome(o), f(OptValue(o)), None[U]())
+}

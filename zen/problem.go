@@ -1,0 +1,95 @@
+package zen
+
+import (
+	"reflect"
+
+	"zen-go/internal/backends"
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+	"zen-go/internal/sym"
+)
+
+// Problem is a multi-variable constraint-solving session: declare symbolic
+// variables with Var, add constraints with Require, then Solve and read
+// back models with Get. It generalizes Fn.Find to constraint systems over
+// several unknowns — the style of encoding Minesweeper uses for stable
+// routing solutions.
+type Problem struct {
+	opts    Options
+	vars    []*core.Node
+	cond    Value[bool]
+	model   map[int32]*interp.Value
+	blocked []func() // deferred blocking constraints for NextModel
+}
+
+// NewProblem returns an empty problem.
+func NewProblem(opts ...Option) *Problem {
+	return &Problem{opts: buildOptions(opts), cond: True()}
+}
+
+// ProblemVar declares a fresh unknown of type T in the problem.
+func ProblemVar[T any](p *Problem, name string) Value[T] {
+	v := Symbolic[T](name)
+	p.vars = append(p.vars, v.n)
+	return v
+}
+
+// Require conjoins a constraint.
+func (p *Problem) Require(c Value[bool]) { p.cond = And(p.cond, c) }
+
+// Solve searches for an assignment to every declared variable satisfying
+// all constraints.
+func (p *Problem) Solve() bool {
+	if p.opts.Backend == SAT {
+		return solveProblem(p, backends.NewSAT())
+	}
+	return solveProblem(p, backends.NewBDD())
+}
+
+func solveProblem[B comparable](p *Problem, alg sym.Solver[B]) bool {
+	env := sym.Env[B]{}
+	inputs := make(map[int32]*sym.Input[B], len(p.vars))
+	for _, v := range p.vars {
+		in := sym.Fresh(alg, v.Type, p.opts.ListBound, v.Name)
+		env[v.VarID] = in.Val
+		inputs[v.VarID] = in
+	}
+	out := sym.Eval(alg, p.cond.n, env)
+	if !alg.Solve(out.Bit) {
+		return false
+	}
+	p.model = make(map[int32]*interp.Value, len(inputs))
+	for id, in := range inputs {
+		p.model[id] = in.Decode(alg.BitValue)
+	}
+	return true
+}
+
+// Get reads a variable's value from the last model. It panics if Solve has
+// not succeeded or v was not declared via ProblemVar.
+func Get[T any](p *Problem, v Value[T]) T {
+	if p.model == nil {
+		panic("zen: Get before a successful Solve")
+	}
+	mv, ok := p.model[v.n.VarID]
+	if !ok {
+		panic("zen: Get of an undeclared variable")
+	}
+	rt := reflect.TypeOf((*T)(nil)).Elem()
+	return toGo(mv, rt).Interface().(T)
+}
+
+// Eval evaluates an arbitrary expression under the last model (variables
+// not declared in the problem must not occur).
+func EvalUnderModel[T any](p *Problem, e Value[T]) T {
+	if p.model == nil {
+		panic("zen: EvalUnderModel before a successful Solve")
+	}
+	env := interp.Env{}
+	for id, v := range p.model {
+		env[id] = v
+	}
+	v := interp.Eval(e.n, env)
+	rt := reflect.TypeOf((*T)(nil)).Elem()
+	return toGo(v, rt).Interface().(T)
+}

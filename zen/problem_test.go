@@ -1,0 +1,104 @@
+package zen_test
+
+import (
+	"testing"
+
+	"zen-go/zen"
+)
+
+func TestProblemBasicSolve(t *testing.T) {
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		p := zen.NewProblem(zen.WithBackend(be))
+		x := zen.ProblemVar[uint8](p, "x")
+		y := zen.ProblemVar[uint8](p, "y")
+		p.Require(zen.Eq(zen.Add(x, y), zen.Lift[uint8](10)))
+		p.Require(zen.Lt(x, y))
+		if !p.Solve() {
+			t.Fatalf("%v: x+y=10 with x<y must be solvable", be)
+		}
+		xv, yv := zen.Get(p, x), zen.Get(p, y)
+		if xv+yv != 10 || xv >= yv {
+			t.Fatalf("%v: bad model x=%d y=%d", be, xv, yv)
+		}
+	}
+}
+
+func TestProblemUnsat(t *testing.T) {
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		p := zen.NewProblem(zen.WithBackend(be))
+		x := zen.ProblemVar[uint8](p, "x")
+		p.Require(zen.LtC(x, uint8(5)))
+		p.Require(zen.GtC(x, uint8(5)))
+		if p.Solve() {
+			t.Fatalf("%v: contradiction should be unsat", be)
+		}
+	}
+}
+
+func TestProblemStructVars(t *testing.T) {
+	type Pt struct {
+		X uint8
+		Y uint8
+	}
+	p := zen.NewProblem(zen.WithBackend(zen.SAT))
+	a := zen.ProblemVar[Pt](p, "a")
+	b := zen.ProblemVar[Pt](p, "b")
+	// a and b are reflections of each other and lie on the diagonal band.
+	p.Require(zen.Eq(zen.GetField[Pt, uint8](a, "X"), zen.GetField[Pt, uint8](b, "Y")))
+	p.Require(zen.Eq(zen.GetField[Pt, uint8](a, "Y"), zen.GetField[Pt, uint8](b, "X")))
+	p.Require(zen.GtC(zen.GetField[Pt, uint8](a, "X"), uint8(200)))
+	if !p.Solve() {
+		t.Fatal("should be solvable")
+	}
+	av, bv := zen.Get(p, a), zen.Get(p, b)
+	if av.X != bv.Y || av.Y != bv.X || av.X <= 200 {
+		t.Fatalf("bad model a=%+v b=%+v", av, bv)
+	}
+}
+
+func TestProblemEvalUnderModel(t *testing.T) {
+	p := zen.NewProblem()
+	x := zen.ProblemVar[uint8](p, "x")
+	p.Require(zen.EqC(x, uint8(41)))
+	if !p.Solve() {
+		t.Fatal("must solve")
+	}
+	got := zen.EvalUnderModel(p, zen.AddC(x, 1))
+	if got != 42 {
+		t.Fatalf("EvalUnderModel = %d, want 42", got)
+	}
+}
+
+func TestProblemGetBeforeSolvePanics(t *testing.T) {
+	p := zen.NewProblem()
+	x := zen.ProblemVar[uint8](p, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	zen.Get(p, x)
+}
+
+func TestProblemListVar(t *testing.T) {
+	p := zen.NewProblem(zen.WithBackend(zen.SAT), zen.WithListBound(4))
+	l := zen.ProblemVar[[]uint8](p, "l")
+	p.Require(zen.EqC(zen.Length(l, 5), uint8(3)))
+	p.Require(zen.Contains(l, 4, zen.Lift[uint8](9)))
+	if !p.Solve() {
+		t.Fatal("must solve")
+	}
+	lv := zen.Get(p, l)
+	if len(lv) != 3 {
+		t.Fatalf("length = %d, want 3 (%v)", len(lv), lv)
+	}
+	found := false
+	for _, e := range lv {
+		if e == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("9 missing from %v", lv)
+	}
+}

@@ -1,0 +1,313 @@
+package zen_test
+
+import (
+	"math/big"
+	"testing"
+
+	"zen-go/zen"
+)
+
+func TestStateSetBasics(t *testing.T) {
+	w := zen.NewWorld()
+	lo := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(x, uint8(10))
+	})
+	hi := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.GeC(x, uint8(250))
+	})
+	if got := lo.Count(); got.Cmp(big.NewInt(10)) != 0 {
+		t.Fatalf("lo count = %v, want 10", got)
+	}
+	if got := hi.Count(); got.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("hi count = %v, want 6", got)
+	}
+	u := lo.Union(hi)
+	if got := u.Count(); got.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("union count = %v, want 16", got)
+	}
+	if !lo.Intersect(hi).IsEmpty() {
+		t.Fatal("lo ∩ hi should be empty")
+	}
+	if !lo.Subset(u) || !hi.Subset(u) {
+		t.Fatal("subset broken")
+	}
+	if got := u.Complement().Count(); got.Cmp(big.NewInt(240)) != 0 {
+		t.Fatalf("complement count = %v, want 240", got)
+	}
+	if !lo.Contains(3) || lo.Contains(10) {
+		t.Fatal("contains broken")
+	}
+	e, ok := lo.Element()
+	if !ok || e >= 10 {
+		t.Fatalf("element = %d, %v", e, ok)
+	}
+	if !zen.EmptySet[uint8](w).IsEmpty() || !zen.FullSet[uint8](w).IsFull() {
+		t.Fatal("empty/full broken")
+	}
+	if !zen.SingletonSet(w, uint8(7)).Contains(7) {
+		t.Fatal("singleton broken")
+	}
+	if got := zen.SingletonSet(w, uint8(7)).Count(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("singleton count = %v", got)
+	}
+}
+
+func TestStateSetStructCount(t *testing.T) {
+	type Flow struct {
+		Src uint8
+		Dst uint8
+	}
+	w := zen.NewWorld()
+	s := zen.SetOf(w, func(f zen.Value[Flow]) zen.Value[bool] {
+		return zen.EqC(zen.GetField[Flow, uint8](f, "Src"), uint8(1))
+	})
+	if got := s.Count(); got.Cmp(big.NewInt(256)) != 0 {
+		t.Fatalf("count = %v, want 256", got)
+	}
+	el, ok := s.Element()
+	if !ok || el.Src != 1 {
+		t.Fatalf("element = %+v", el)
+	}
+}
+
+func TestTransformerForwardReverse(t *testing.T) {
+	w := zen.NewWorld()
+	inc := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+	tr := zen.NewTransformer(w, inc)
+
+	s := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(x, uint8(4)) // {0,1,2,3}
+	})
+	img := tr.Forward(s) // {1,2,3,4}
+	if got := img.Count(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("image count = %v, want 4", got)
+	}
+	if !img.Contains(1) || !img.Contains(4) || img.Contains(0) {
+		t.Fatal("image contents wrong")
+	}
+	pre := tr.Reverse(img) // {0,1,2,3}
+	if !pre.Equal(s) {
+		t.Fatal("reverse of forward should recover the set (injective f)")
+	}
+}
+
+func TestTransformerNonInjective(t *testing.T) {
+	w := zen.NewWorld()
+	mask := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.BitAndC(x, 0xF0)
+	})
+	tr := zen.NewTransformer(w, mask)
+	full := zen.FullSet[uint8](w)
+	img := tr.Forward(full)
+	if got := img.Count(); got.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("image of full set = %v, want 16", got)
+	}
+	// Preimage of one output bucket is its 16 sources.
+	one := zen.SingletonSet(w, uint8(0x30))
+	pre := tr.Reverse(one)
+	if got := pre.Count(); got.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("preimage count = %v, want 16", got)
+	}
+	if !pre.Contains(0x35) || pre.Contains(0x45) {
+		t.Fatal("preimage contents wrong")
+	}
+}
+
+func TestTransformerTypeChanging(t *testing.T) {
+	type Flow struct {
+		Src uint8
+		Dst uint8
+	}
+	w := zen.NewWorld()
+	project := zen.Func(func(f zen.Value[Flow]) zen.Value[uint8] {
+		return zen.GetField[Flow, uint8](f, "Dst")
+	})
+	tr := zen.NewTransformer(w, project)
+	s := zen.SetOf(w, func(f zen.Value[Flow]) zen.Value[bool] {
+		return zen.LtC(zen.GetField[Flow, uint8](f, "Dst"), uint8(3))
+	})
+	img := tr.Forward(s)
+	if got := img.Count(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("projected image = %v, want 3", got)
+	}
+	pre := tr.Reverse(zen.SingletonSet(w, uint8(2)))
+	if got := pre.Count(); got.Cmp(big.NewInt(256)) != 0 {
+		t.Fatalf("preimage = %v, want 256 (any Src)", got)
+	}
+}
+
+func TestTransformerOptionOutput(t *testing.T) {
+	// Packet-filter-style transformer: drop (None) when low nibble is 0,
+	// else rewrite. Mirrors FwdIn/FwdOut-style models returning options.
+	w := zen.NewWorld()
+	f := zen.Func(func(x zen.Value[uint8]) zen.Value[zen.Opt[uint8]] {
+		low := zen.BitAndC(x, 0x0F)
+		return zen.If(zen.EqC(low, uint8(0)), zen.None[uint8](), zen.Some(low))
+	})
+	tr := zen.NewTransformer(w, f)
+	full := zen.FullSet[uint8](w)
+	img := tr.Forward(full)
+
+	someSet := zen.SetOf(w, func(o zen.Value[zen.Opt[uint8]]) zen.Value[bool] {
+		return zen.IsSome(o)
+	})
+	delivered := img.Intersect(someSet)
+	// Outputs are Some(1..15): 15 values.
+	if got := delivered.Count(); got.Cmp(big.NewInt(15)) != 0 {
+		t.Fatalf("delivered count = %v, want 15", got)
+	}
+	dropped := tr.Reverse(someSet.Complement())
+	if got := dropped.Count(); got.Cmp(big.NewInt(16)) != 0 {
+		t.Fatalf("dropped-source count = %v, want 16 (multiples of 16)", got)
+	}
+}
+
+func TestSolutionSet(t *testing.T) {
+	w := zen.NewWorld()
+	fn := zen.Func(func(x zen.Value[uint16]) zen.Value[bool] {
+		return zen.EqC(zen.BitAndC(x, 0xFF00), uint16(0xAB00))
+	})
+	s := zen.SolutionSet(w, fn)
+	if got := s.Count(); got.Cmp(big.NewInt(256)) != 0 {
+		t.Fatalf("solution count = %v, want 256", got)
+	}
+	if !s.Contains(0xAB12) || s.Contains(0xAC12) {
+		t.Fatal("solution membership wrong")
+	}
+}
+
+func TestOrderingHeuristicFreshSpace(t *testing.T) {
+	type Pair struct {
+		A uint8
+		B uint8
+		C uint8
+	}
+	w := zen.NewWorld()
+	// First transformer compares A with C: its interleaved order becomes
+	// canonical for Pair.
+	t1 := zen.NewTransformer(w, zen.Func(func(p zen.Value[Pair]) zen.Value[bool] {
+		return zen.Eq(zen.GetField[Pair, uint8](p, "A"), zen.GetField[Pair, uint8](p, "C"))
+	}))
+	if t1.UsesFreshSpace() {
+		t.Fatal("first transformer should define the canonical order, not fork")
+	}
+	// Second transformer compares B with C: conflicting preference gets a
+	// fresh space with runtime conversion.
+	t2 := zen.NewTransformer(w, zen.Func(func(p zen.Value[Pair]) zen.Value[bool] {
+		return zen.Eq(zen.GetField[Pair, uint8](p, "B"), zen.GetField[Pair, uint8](p, "C"))
+	}))
+	if !t2.UsesFreshSpace() {
+		t.Fatal("conflicting transformer should get a fresh variable space")
+	}
+	// Both must still compute correct images.
+	full := zen.FullSet[Pair](w)
+	img1 := t1.Forward(full)
+	img2 := t2.Forward(full)
+	if !img1.Contains(true) || !img1.Contains(false) {
+		t.Fatal("t1 image wrong")
+	}
+	if !img2.Contains(true) || !img2.Contains(false) {
+		t.Fatal("t2 image wrong")
+	}
+	// Reverse images partition correctly: |A==C| = 2^16.
+	pre := t1.Reverse(zen.SingletonSet(w, true))
+	if got := pre.Count(); got.Cmp(big.NewInt(1<<16)) != 0 {
+		t.Fatalf("t1 true-preimage = %v, want 65536", got)
+	}
+	pre2 := t2.Reverse(zen.SingletonSet(w, true))
+	if got := pre2.Count(); got.Cmp(big.NewInt(1<<16)) != 0 {
+		t.Fatalf("t2 true-preimage = %v, want 65536", got)
+	}
+}
+
+func TestTransformerComposition(t *testing.T) {
+	// forward through two transformers equals forward through the
+	// composed function.
+	w := zen.NewWorld()
+	f := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] { return zen.AddC(x, 3) })
+	g := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] { return zen.BitAndC(x, 0x7F) })
+	fg := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return g.Apply(f.Apply(x))
+	})
+	tf := zen.NewTransformer(w, f)
+	tg := zen.NewTransformer(w, g)
+	tfg := zen.NewTransformer(w, fg)
+
+	s := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.GtC(x, uint8(100))
+	})
+	two := tg.Forward(tf.Forward(s))
+	one := tfg.Forward(s)
+	if !two.Equal(one) {
+		t.Fatal("composition of transformers disagrees with transformer of composition")
+	}
+}
+
+func TestAblationTogglesStillCorrect(t *testing.T) {
+	type Pair struct {
+		A uint8
+		C uint8
+	}
+	for _, cfg := range []struct {
+		name            string
+		ordering, fresh bool
+	}{
+		{"both-on", true, true},
+		{"no-ordering", false, true},
+		{"no-fresh", true, false},
+	} {
+		w := zen.NewWorld()
+		w.SetOrderingHeuristic(cfg.ordering)
+		w.SetFreshSpaces(cfg.fresh)
+		tr := zen.NewTransformer(w, zen.Func(func(p zen.Value[Pair]) zen.Value[bool] {
+			return zen.Eq(zen.GetField[Pair, uint8](p, "A"), zen.GetField[Pair, uint8](p, "C"))
+		}))
+		pre := tr.Reverse(zen.SingletonSet(w, true))
+		if got := pre.Count(); got.Cmp(big.NewInt(256)) != 0 {
+			t.Fatalf("%s: |A==C| = %v, want 256", cfg.name, got)
+		}
+	}
+}
+
+func TestCubesRenderSet(t *testing.T) {
+	w := zen.NewWorld()
+	s := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.EqC(zen.BitAndC(x, 0xF0), uint8(0xA0)) // 0xA0..0xAF
+	})
+	cubes := s.Cubes(0)
+	if len(cubes) != 1 {
+		t.Fatalf("cubes = %v, want a single wildcard cube", cubes)
+	}
+	if cubes[0] != "0xA0/0xF0" {
+		t.Fatalf("cube = %q, want 0xA0/0xF0", cubes[0])
+	}
+	// A singleton renders as an exact value.
+	one := zen.SingletonSet(w, uint8(7))
+	if got := one.Cubes(0); len(got) != 1 || got[0] != "7" {
+		t.Fatalf("singleton cube = %v", got)
+	}
+	// Struct cubes carry field names.
+	type Flow struct {
+		Src uint8
+		Dst uint8
+	}
+	fs := zen.SetOf(w, func(f zen.Value[Flow]) zen.Value[bool] {
+		return zen.EqC(zen.GetField[Flow, uint8](f, "Src"), uint8(3))
+	})
+	got := fs.Cubes(0)
+	if len(got) != 1 || got[0] != "{Src=3, Dst=*}" {
+		t.Fatalf("struct cube = %v", got)
+	}
+	// max bounds the enumeration.
+	two := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.Or(zen.EqC(x, uint8(1)), zen.EqC(x, uint8(200)))
+	})
+	if got := two.Cubes(1); len(got) != 1 {
+		t.Fatalf("bounded cubes = %v", got)
+	}
+	if got := two.Cubes(0); len(got) != 2 {
+		t.Fatalf("full cubes = %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package zen_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zen-go/zen"
+)
+
+func TestTypeOfShapes(t *testing.T) {
+	if zen.TypeOf[bool]().String() != "bool" {
+		t.Fatal("bool mapping")
+	}
+	if zen.TypeOf[uint32]().String() != "ubv32" || zen.TypeOf[int16]().String() != "ibv16" {
+		t.Fatal("integer mapping")
+	}
+	type Inner struct{ A uint8 }
+	type Outer struct {
+		X Inner
+		Y []uint16
+	}
+	s := zen.TypeOf[Outer]().String()
+	if s != "{X:{A:ubv8},Y:list[ubv16]}" {
+		t.Fatalf("struct mapping = %s", s)
+	}
+}
+
+func TestTypeOfUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("float should be rejected")
+		}
+	}()
+	zen.TypeOf[float64]()
+}
+
+func TestTypeOfUnexportedFieldPanics(t *testing.T) {
+	type bad struct {
+		A uint8
+		b uint8 //lint:ignore U1000 deliberately unexported
+	}
+	_ = bad{}.b
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unexported field should be rejected")
+		}
+	}()
+	zen.TypeOf[bad]()
+}
+
+func TestLiftEvaluateIdentityQuick(t *testing.T) {
+	type Rec struct {
+		A uint32
+		B int16
+		C bool
+		L []uint8
+	}
+	id := zen.Func(func(r zen.Value[Rec]) zen.Value[Rec] { return r })
+	err := quick.Check(func(a uint32, b int16, c bool, l []uint8) bool {
+		if len(l) > 6 {
+			l = l[:6]
+		}
+		in := Rec{A: a, B: b, C: c, L: l}
+		out := id.Evaluate(in)
+		if out.A != in.A || out.B != in.B || out.C != in.C || len(out.L) != len(in.L) {
+			return false
+		}
+		for i := range in.L {
+			if out.L[i] != in.L[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicCastBothBackends(t *testing.T) {
+	// Narrow-then-widen loses the high bits; verified symbolically.
+	fn := zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+		return zen.Cast[uint16, uint32](zen.Cast[uint32, uint16](x))
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		ok, _ := fn.Verify(func(x zen.Value[uint32], out zen.Value[uint32]) zen.Value[bool] {
+			return zen.Eq(out, zen.BitAndC(x, 0xFFFF))
+		}, zen.WithBackend(be))
+		if !ok {
+			t.Fatalf("%v: cast round-trip law failed", be)
+		}
+	}
+	// Sign extension: int8 -> int16 preserves signed order.
+	ext := zen.Func(func(x zen.Value[int8]) zen.Value[int16] {
+		return zen.Cast[int8, int16](x)
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		ok, cex := ext.Verify(func(x zen.Value[int8], out zen.Value[int16]) zen.Value[bool] {
+			neg := zen.LtC(x, int8(0))
+			negOut := zen.LtC(out, int16(0))
+			return zen.Eq(neg, negOut)
+		}, zen.WithBackend(be))
+		if !ok {
+			t.Fatalf("%v: sign extension broke sign at %d", be, cex)
+		}
+	}
+}

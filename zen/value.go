@@ -1,0 +1,161 @@
+package zen
+
+import (
+	"zen-go/internal/core"
+)
+
+// build is the package-wide expression builder. All Values in a process
+// share it, so structurally equal expressions are pointer-equal.
+var build = core.NewBuilder()
+
+// Builder exposes the underlying expression builder for advanced
+// integrations (custom analyses walking the DAG).
+func Builder() *core.Builder { return build }
+
+// Value is a Zen value of Go type T — the analogue of the paper's Zen<T>.
+// It wraps a node of the expression DAG and may be symbolic, concrete, or a
+// mix. The zero Value is invalid; construct via Lift, Symbolic, or the
+// operators in this package.
+type Value[T any] struct {
+	n *core.Node
+}
+
+// Raw exposes the underlying DAG node (opaque outside this module).
+func (v Value[T]) Raw() *core.Node { return v.n }
+
+// wrap asserts the node's type matches T and wraps it.
+func wrap[T any](n *core.Node) Value[T] {
+	want := TypeOf[T]()
+	if !n.Type.Same(want) {
+		panic("zen: internal type mismatch: node has " + n.Type.String() + ", want " + want.String())
+	}
+	return Value[T]{n: n}
+}
+
+// Wrap adopts a raw DAG node as a Value[T], checking the type matches.
+// It is the inverse of Raw and intended for analyses that construct
+// expressions directly on the builder.
+func Wrap[T any](n *core.Node) Value[T] { return wrap[T](n) }
+
+// Lift converts a concrete Go value into a (constant) Zen value.
+func Lift[T any](v T) Value[T] {
+	return Value[T]{n: liftNode(build, reflectValue(v))}
+}
+
+// Symbolic returns a fresh unconstrained symbolic value of type T.
+// Analyses treat it as an input to solve for.
+func Symbolic[T any](name ...string) Value[T] {
+	nm := "in"
+	if len(name) > 0 {
+		nm = name[0]
+	}
+	return Value[T]{n: build.Var(TypeOf[T](), nm)}
+}
+
+// --- Booleans ---
+
+// True and False are the boolean constants.
+func True() Value[bool]  { return Value[bool]{n: build.BoolConst(true)} }
+func False() Value[bool] { return Value[bool]{n: build.BoolConst(false)} }
+
+// Not returns the negation of a.
+func Not(a Value[bool]) Value[bool] { return Value[bool]{n: build.Not(a.n)} }
+
+// And returns the conjunction of the operands (true when empty).
+func And(vs ...Value[bool]) Value[bool] {
+	n := build.BoolConst(true)
+	for _, v := range vs {
+		n = build.And(n, v.n)
+	}
+	return Value[bool]{n: n}
+}
+
+// Or returns the disjunction of the operands (false when empty).
+func Or(vs ...Value[bool]) Value[bool] {
+	n := build.BoolConst(false)
+	for _, v := range vs {
+		n = build.Or(n, v.n)
+	}
+	return Value[bool]{n: n}
+}
+
+// Implies returns the implication a -> b.
+func Implies(a, b Value[bool]) Value[bool] {
+	return Or(Not(a), b)
+}
+
+// --- Comparisons ---
+
+// Eq returns structural equality of two values of any Zen type.
+func Eq[T any](a, b Value[T]) Value[bool] { return Value[bool]{n: build.Eq(a.n, b.n)} }
+
+// EqC compares a value against a concrete constant.
+func EqC[T any](a Value[T], c T) Value[bool] { return Eq(a, Lift(c)) }
+
+// Ne returns structural inequality.
+func Ne[T any](a, b Value[T]) Value[bool] { return Not(Eq(a, b)) }
+
+// Lt returns a < b (signedness follows T).
+func Lt[T Integer](a, b Value[T]) Value[bool] { return Value[bool]{n: build.Lt(a.n, b.n)} }
+
+// Le returns a <= b.
+func Le[T Integer](a, b Value[T]) Value[bool] { return Or(Lt(a, b), Eq(a, b)) }
+
+// Gt returns a > b.
+func Gt[T Integer](a, b Value[T]) Value[bool] { return Lt(b, a) }
+
+// Ge returns a >= b.
+func Ge[T Integer](a, b Value[T]) Value[bool] { return Le(b, a) }
+
+// LtC, LeC, GtC, GeC compare against concrete constants.
+func LtC[T Integer](a Value[T], c T) Value[bool] { return Lt(a, Lift(c)) }
+func LeC[T Integer](a Value[T], c T) Value[bool] { return Le(a, Lift(c)) }
+func GtC[T Integer](a Value[T], c T) Value[bool] { return Gt(a, Lift(c)) }
+func GeC[T Integer](a Value[T], c T) Value[bool] { return Ge(a, Lift(c)) }
+
+// --- Arithmetic and bitwise operations (wraparound semantics) ---
+
+// Add returns a + b.
+func Add[T Integer](a, b Value[T]) Value[T] { return Value[T]{n: build.Add(a.n, b.n)} }
+
+// Sub returns a - b.
+func Sub[T Integer](a, b Value[T]) Value[T] { return Value[T]{n: build.Sub(a.n, b.n)} }
+
+// Mul returns a * b.
+func Mul[T Integer](a, b Value[T]) Value[T] { return Value[T]{n: build.Mul(a.n, b.n)} }
+
+// BitAnd returns a & b.
+func BitAnd[T Integer](a, b Value[T]) Value[T] { return Value[T]{n: build.BAnd(a.n, b.n)} }
+
+// BitOr returns a | b.
+func BitOr[T Integer](a, b Value[T]) Value[T] { return Value[T]{n: build.BOr(a.n, b.n)} }
+
+// BitXor returns a ^ b.
+func BitXor[T Integer](a, b Value[T]) Value[T] { return Value[T]{n: build.BXor(a.n, b.n)} }
+
+// BitNot returns ^a.
+func BitNot[T Integer](a Value[T]) Value[T] { return Value[T]{n: build.BNot(a.n)} }
+
+// Shl returns a << k for a constant shift k.
+func Shl[T Integer](a Value[T], k int) Value[T] { return Value[T]{n: build.Shl(a.n, k)} }
+
+// Shr returns a >> k (logical) for a constant shift k.
+func Shr[T Integer](a Value[T], k int) Value[T] { return Value[T]{n: build.Shr(a.n, k)} }
+
+// AddC, SubC, BitAndC convenience forms with a concrete right operand.
+func AddC[T Integer](a Value[T], c T) Value[T]    { return Add(a, Lift(c)) }
+func SubC[T Integer](a Value[T], c T) Value[T]    { return Sub(a, Lift(c)) }
+func BitAndC[T Integer](a Value[T], c T) Value[T] { return BitAnd(a, Lift(c)) }
+
+// Cast converts between integer widths: truncation when narrowing,
+// sign-extension when F is signed, zero-extension otherwise.
+func Cast[F, T Integer](v Value[F]) Value[T] {
+	return Value[T]{n: build.Cast(v.n, TypeOf[T]())}
+}
+
+// --- Control flow ---
+
+// If returns "if c then t else f".
+func If[T any](c Value[bool], t, f Value[T]) Value[T] {
+	return Value[T]{n: build.If(c.n, t.n, f.n)}
+}

@@ -1,0 +1,437 @@
+package zen_test
+
+import (
+	"testing"
+
+	"zen-go/zen"
+)
+
+type Header struct {
+	DstIP    uint32
+	SrcIP    uint32
+	DstPort  uint16
+	SrcPort  uint16
+	Protocol uint8
+}
+
+func TestLiftEvaluateRoundTrip(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+	if got := fn.Evaluate(41); got != 42 {
+		t.Fatalf("Evaluate = %d, want 42", got)
+	}
+	if got := fn.Evaluate(255); got != 0 {
+		t.Fatalf("wraparound Evaluate = %d, want 0", got)
+	}
+}
+
+func TestEvaluateStruct(t *testing.T) {
+	fn := zen.Func(func(h zen.Value[Header]) zen.Value[bool] {
+		dst := zen.GetField[Header, uint32](h, "DstIP")
+		proto := zen.GetField[Header, uint8](h, "Protocol")
+		return zen.And(zen.EqC(dst, uint32(0x0A000001)), zen.EqC(proto, uint8(6)))
+	})
+	if !fn.Evaluate(Header{DstIP: 0x0A000001, Protocol: 6}) {
+		t.Fatal("matching header should evaluate true")
+	}
+	if fn.Evaluate(Header{DstIP: 0x0A000002, Protocol: 6}) {
+		t.Fatal("non-matching header should evaluate false")
+	}
+}
+
+func TestEvaluateSignedArithmetic(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[int8]) zen.Value[bool] {
+		return zen.LtC(x, int8(0))
+	})
+	if !fn.Evaluate(-5) || fn.Evaluate(5) {
+		t.Fatal("signed comparison broken")
+	}
+}
+
+func TestFindBothBackends(t *testing.T) {
+	fn := zen.Func(func(h zen.Value[Header]) zen.Value[bool] {
+		dst := zen.GetField[Header, uint32](h, "DstIP")
+		masked := zen.BitAndC(dst, uint32(0xFFFF0000))
+		return zen.EqC(masked, uint32(0x0A0A0000))
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		h, ok := fn.Find(func(_ zen.Value[Header], out zen.Value[bool]) zen.Value[bool] {
+			return out
+		}, zen.WithBackend(be))
+		if !ok {
+			t.Fatalf("%v: expected a witness", be)
+		}
+		if h.DstIP&0xFFFF0000 != 0x0A0A0000 {
+			t.Fatalf("%v: witness %x does not satisfy the predicate", be, h.DstIP)
+		}
+		if !fn.Evaluate(h) {
+			t.Fatalf("%v: Evaluate disagrees with Find", be)
+		}
+	}
+}
+
+func TestFindUnsat(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.And(zen.LtC(x, uint8(5)), zen.GtC(x, uint8(10)))
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		if _, ok := fn.Find(func(_ zen.Value[uint8], out zen.Value[bool]) zen.Value[bool] {
+			return out
+		}, zen.WithBackend(be)); ok {
+			t.Fatalf("%v: x<5 && x>10 must be unsat", be)
+		}
+	}
+}
+
+func TestVerify(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.BitAndC(x, 0x0F)
+	})
+	ok, _ := fn.Verify(func(_ zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(out, uint8(16))
+	})
+	if !ok {
+		t.Fatal("x & 0x0F < 16 must be valid")
+	}
+	valid, cex := fn.Verify(func(_ zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(out, uint8(15))
+	})
+	if valid {
+		t.Fatal("x & 0x0F < 15 must have a counterexample")
+	}
+	if cex&0x0F != 15 {
+		t.Fatalf("counterexample %d does not refute the property", cex)
+	}
+}
+
+func TestFindAllDistinct(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(x, uint8(4))
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		xs := fn.FindAll(func(_ zen.Value[uint8], out zen.Value[bool]) zen.Value[bool] {
+			return out
+		}, 10, zen.WithBackend(be))
+		if len(xs) != 4 {
+			t.Fatalf("%v: got %d witnesses, want 4 (%v)", be, len(xs), xs)
+		}
+		seen := map[uint8]bool{}
+		for _, x := range xs {
+			if x >= 4 || seen[x] {
+				t.Fatalf("%v: bad witness set %v", be, xs)
+			}
+			seen[x] = true
+		}
+	}
+}
+
+func TestOptionSemantics(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[zen.Opt[uint8]] {
+		return zen.If(zen.LtC(x, uint8(100)), zen.Some(zen.AddC(x, 1)), zen.None[uint8]())
+	})
+	got := fn.Evaluate(5)
+	if !got.Ok || got.Val != 6 {
+		t.Fatalf("Evaluate = %+v, want Some(6)", got)
+	}
+	got = fn.Evaluate(200)
+	if got.Ok {
+		t.Fatalf("Evaluate = %+v, want None", got)
+	}
+	// Find an input that yields None.
+	x, ok := fn.Find(func(_ zen.Value[uint8], out zen.Value[zen.Opt[uint8]]) zen.Value[bool] {
+		return zen.IsNone(out)
+	})
+	if !ok || x < 100 {
+		t.Fatalf("Find None witness = %d, %v", x, ok)
+	}
+}
+
+func TestOptMapAndThen(t *testing.T) {
+	fn := zen.Func(func(o zen.Value[zen.Opt[uint8]]) zen.Value[zen.Opt[uint8]] {
+		doubled := zen.OptMap(o, func(v zen.Value[uint8]) zen.Value[uint8] {
+			return zen.Add(v, v)
+		})
+		return zen.OptAndThen(doubled, func(v zen.Value[uint8]) zen.Value[zen.Opt[uint8]] {
+			return zen.If(zen.EqC(v, uint8(0)), zen.None[uint8](), zen.Some(v))
+		})
+	})
+	if got := fn.Evaluate(zen.Opt[uint8]{Ok: true, Val: 21}); !got.Ok || got.Val != 42 {
+		t.Fatalf("got %+v, want Some(42)", got)
+	}
+	if got := fn.Evaluate(zen.Opt[uint8]{Ok: false}); got.Ok {
+		t.Fatalf("None should stay None, got %+v", got)
+	}
+	if got := fn.Evaluate(zen.Opt[uint8]{Ok: true, Val: 0}); got.Ok {
+		t.Fatalf("0 should map to None, got %+v", got)
+	}
+}
+
+func TestListEvaluate(t *testing.T) {
+	fn := zen.Func(func(l zen.Value[[]uint8]) zen.Value[uint8] {
+		return zen.Fold(l, 8, zen.Lift[uint8](0),
+			func(h zen.Value[uint8], acc zen.Value[uint8]) zen.Value[uint8] {
+				return zen.Add(h, acc)
+			})
+	})
+	if got := fn.Evaluate([]uint8{1, 2, 3, 4}); got != 10 {
+		t.Fatalf("sum = %d, want 10", got)
+	}
+	if got := fn.Evaluate(nil); got != 0 {
+		t.Fatalf("empty sum = %d, want 0", got)
+	}
+}
+
+func TestListFind(t *testing.T) {
+	fn := zen.Func(func(l zen.Value[[]uint8]) zen.Value[bool] {
+		return zen.Contains(l, 4, zen.Lift[uint8](42))
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		l, ok := fn.Find(func(_ zen.Value[[]uint8], out zen.Value[bool]) zen.Value[bool] {
+			return out
+		}, zen.WithBackend(be), zen.WithListBound(3))
+		if !ok {
+			t.Fatalf("%v: expected list containing 42", be)
+		}
+		found := false
+		for _, e := range l {
+			if e == 42 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%v: witness %v does not contain 42", be, l)
+		}
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	fn := zen.Func(func(l zen.Value[[]uint8]) zen.Value[uint8] {
+		return zen.Length(l, 8)
+	})
+	if got := fn.Evaluate([]uint8{9, 9, 9}); got != 3 {
+		t.Fatalf("Length = %d", got)
+	}
+	fn2 := zen.Func(func(l zen.Value[[]uint8]) zen.Value[bool] {
+		return zen.IsEmpty(l)
+	})
+	if !fn2.Evaluate(nil) || fn2.Evaluate([]uint8{1}) {
+		t.Fatal("IsEmpty broken")
+	}
+	fn3 := zen.Func(func(l zen.Value[[]uint8]) zen.Value[zen.Opt[uint8]] {
+		return zen.Head(l)
+	})
+	if got := fn3.Evaluate([]uint8{7, 8}); !got.Ok || got.Val != 7 {
+		t.Fatalf("Head = %+v", got)
+	}
+	fn4 := zen.Func(func(l zen.Value[[]uint8]) zen.Value[[]uint8] {
+		return zen.MapList(l, 8, func(x zen.Value[uint8]) zen.Value[uint8] { return zen.AddC(x, 1) })
+	})
+	got := fn4.Evaluate([]uint8{1, 2})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("MapList = %v", got)
+	}
+	fn5 := zen.Func(func(l zen.Value[[]uint8]) zen.Value[[]uint8] {
+		return zen.Append(l, 8, zen.Lift([]uint8{9}))
+	})
+	got = fn5.Evaluate([]uint8{1})
+	if len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Fatalf("Append = %v", got)
+	}
+}
+
+func TestMapSemantics(t *testing.T) {
+	type M = []zen.KV[uint8, uint16]
+	fn := zen.Func(func(m zen.Value[M]) zen.Value[zen.Opt[uint16]] {
+		return zen.MapGet(m, 4, zen.Lift[uint8](7))
+	})
+	m := M{{Key: 7, Val: 700}, {Key: 8, Val: 800}}
+	if got := fn.Evaluate(m); !got.Ok || got.Val != 700 {
+		t.Fatalf("MapGet = %+v", got)
+	}
+	if got := fn.Evaluate(M{{Key: 8, Val: 800}}); got.Ok {
+		t.Fatalf("missing key returned %+v", got)
+	}
+	// Newest binding wins.
+	fn2 := zen.Func(func(m zen.Value[M]) zen.Value[zen.Opt[uint16]] {
+		m2 := zen.MapSet(m, zen.Lift[uint8](7), zen.Lift[uint16](999))
+		return zen.MapGet(m2, 4, zen.Lift[uint8](7))
+	})
+	if got := fn2.Evaluate(m); !got.Ok || got.Val != 999 {
+		t.Fatalf("MapSet override = %+v", got)
+	}
+}
+
+func TestCreateAndWithField(t *testing.T) {
+	fn := zen.Func(func(h zen.Value[Header]) zen.Value[Header] {
+		return zen.WithField(h, "Protocol", zen.Lift[uint8](17))
+	})
+	got := fn.Evaluate(Header{DstIP: 1, Protocol: 6})
+	if got.Protocol != 17 || got.DstIP != 1 {
+		t.Fatalf("WithField = %+v", got)
+	}
+
+	fn2 := zen.Func(func(_ zen.Value[bool]) zen.Value[Header] {
+		return zen.Create[Header](
+			zen.FC("DstIP", uint32(8)),
+			zen.FC("SrcIP", uint32(9)),
+			zen.FC("DstPort", uint16(80)),
+			zen.FC("SrcPort", uint16(1234)),
+			zen.FC("Protocol", uint8(6)),
+		)
+	})
+	h := fn2.Evaluate(false)
+	if h.DstIP != 8 || h.DstPort != 80 {
+		t.Fatalf("Create = %+v", h)
+	}
+}
+
+func TestCreatePanicsOnMissingField(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing field")
+		}
+	}()
+	zen.Create[Header](zen.FC("DstIP", uint32(1)))
+}
+
+func TestGetFieldPanicsOnWrongType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong field type")
+		}
+	}()
+	h := zen.Symbolic[Header]()
+	zen.GetField[Header, uint16](h, "DstIP") // DstIP is uint32
+}
+
+func TestImpliesAndComparisons(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.Implies(zen.GeC(x, uint8(10)), zen.GtC(x, uint8(9)))
+	})
+	ok, _ := fn.Verify(func(_ zen.Value[uint8], out zen.Value[bool]) zen.Value[bool] {
+		return out
+	})
+	if !ok {
+		t.Fatal("x>=10 -> x>9 must be valid")
+	}
+}
+
+func TestNestedStructs(t *testing.T) {
+	type Packet struct {
+		Overlay  Header
+		Underlay zen.Opt[Header]
+	}
+	fn := zen.Func(func(p zen.Value[Packet]) zen.Value[bool] {
+		u := zen.GetField[Packet, zen.Opt[Header]](p, "Underlay")
+		return zen.IsSome(u)
+	})
+	if fn.Evaluate(Packet{}) {
+		t.Fatal("zero packet has no underlay")
+	}
+	if !fn.Evaluate(Packet{Underlay: zen.Opt[Header]{Ok: true}}) {
+		t.Fatal("packet with underlay should report true")
+	}
+	p, ok := fn.Find(func(_ zen.Value[Packet], out zen.Value[bool]) zen.Value[bool] {
+		return out
+	})
+	if !ok || !p.Underlay.Ok {
+		t.Fatalf("Find = %+v, %v", p, ok)
+	}
+}
+
+func TestListTakeDropReverseNth(t *testing.T) {
+	fnTake := zen.Func(func(l zen.Value[[]uint8]) zen.Value[[]uint8] {
+		return zen.Take(l, 8, 2)
+	})
+	if got := fnTake.Evaluate([]uint8{1, 2, 3}); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Take = %v", got)
+	}
+	if got := fnTake.Evaluate([]uint8{9}); len(got) != 1 {
+		t.Fatalf("short Take = %v", got)
+	}
+
+	fnDrop := zen.Func(func(l zen.Value[[]uint8]) zen.Value[[]uint8] {
+		return zen.Drop(l, 8, 2)
+	})
+	if got := fnDrop.Evaluate([]uint8{1, 2, 3, 4}); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("Drop = %v", got)
+	}
+	if got := fnDrop.Evaluate([]uint8{1}); len(got) != 0 {
+		t.Fatalf("over-Drop = %v", got)
+	}
+
+	fnRev := zen.Func(func(l zen.Value[[]uint8]) zen.Value[[]uint8] {
+		return zen.Reverse(l, 8)
+	})
+	if got := fnRev.Evaluate([]uint8{1, 2, 3}); len(got) != 3 || got[0] != 3 || got[2] != 1 {
+		t.Fatalf("Reverse = %v", got)
+	}
+	// Reverse twice is identity (within the depth bound).
+	fnRev2 := zen.Func(func(l zen.Value[[]uint8]) zen.Value[bool] {
+		return zen.Eq(zen.Reverse(zen.Reverse(l, 4), 4), l)
+	})
+	ok, _ := fnRev2.Verify(func(_ zen.Value[[]uint8], out zen.Value[bool]) zen.Value[bool] {
+		return out
+	}, zen.WithBackend(zen.SAT), zen.WithListBound(3))
+	if !ok {
+		t.Fatal("reverse∘reverse must be identity for bounded lists")
+	}
+
+	fnNth := zen.Func(func(l zen.Value[[]uint8]) zen.Value[zen.Opt[uint8]] {
+		return zen.Nth(l, 8, 2)
+	})
+	if got := fnNth.Evaluate([]uint8{5, 6, 7, 8}); !got.Ok || got.Val != 7 {
+		t.Fatalf("Nth = %+v", got)
+	}
+	if got := fnNth.Evaluate([]uint8{5}); got.Ok {
+		t.Fatalf("out-of-range Nth = %+v", got)
+	}
+}
+
+func TestMapContainsKey(t *testing.T) {
+	type M = []zen.KV[uint8, uint16]
+	fn := zen.Func(func(m zen.Value[M]) zen.Value[bool] {
+		return zen.MapContainsKey(m, 4, zen.Lift[uint8](7))
+	})
+	if !fn.Evaluate(M{{Key: 7, Val: 1}}) || fn.Evaluate(M{{Key: 8, Val: 1}}) {
+		t.Fatal("MapContainsKey broken")
+	}
+	// Symbolically: find a map binding key 7 to 0xBEEF.
+	fn2 := zen.Func(func(m zen.Value[M]) zen.Value[zen.Opt[uint16]] {
+		return zen.MapGet(m, 3, zen.Lift[uint8](7))
+	})
+	m, ok := fn2.Find(func(_ zen.Value[M], out zen.Value[zen.Opt[uint16]]) zen.Value[bool] {
+		return zen.And(zen.IsSome(out), zen.EqC(zen.OptValue(out), uint16(0xBEEF)))
+	}, zen.WithBackend(zen.SAT), zen.WithListBound(2))
+	if !ok {
+		t.Fatal("binding must be findable")
+	}
+	found := false
+	for _, kv := range m {
+		if kv.Key == 7 && kv.Val == 0xBEEF {
+			found = true
+			break
+		}
+		if kv.Key == 7 {
+			break // earlier binding shadows; Find must not produce this
+		}
+	}
+	if !found {
+		t.Fatalf("witness map %v lacks the binding", m)
+	}
+}
+
+func TestEmptyMapAndBuilderAccess(t *testing.T) {
+	type M = []zen.KV[uint8, uint8]
+	fn := zen.Func(func(_ zen.Value[bool]) zen.Value[bool] {
+		return zen.IsEmpty(zen.EmptyMap[uint8, uint8]())
+	})
+	if !fn.Evaluate(false) {
+		t.Fatal("EmptyMap must be empty")
+	}
+	if zen.Builder() == nil {
+		t.Fatal("Builder must be exposed")
+	}
+	var _ M
+}
