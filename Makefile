@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# check is the full hygiene gate: gofmt, vet, build, race-enabled tests.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -42,22 +42,41 @@ func benchACL(b *testing.B, n int, run func(*acl.ACL)) {
 	}
 }
 
-func zenACLFind(be zen.Backend) func(*acl.ACL) {
+func zenACLFind(be zen.Backend, st *zen.Stats) func(*acl.ACL) {
 	return func(a *acl.ACL) {
 		last := uint16(len(a.Rules) - 1)
 		fn := zen.Func(a.MatchLine)
 		if _, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
 			return zen.EqC(l, last)
-		}, zen.WithBackend(be)); !ok {
+		}, zen.WithBackend(be), zen.WithStats(st)); !ok {
 			panic("catch-all line unreachable")
 		}
+	}
+}
+
+// reportBackendMetrics turns collected solver telemetry into per-op custom
+// benchmark metrics, so `go test -bench` output shows how much symbolic
+// work each configuration did alongside its wall time.
+func reportBackendMetrics(b *testing.B, st *zen.Stats) {
+	s := st.Snapshot()
+	n := float64(b.N)
+	if s.BDD.Nodes > 0 {
+		b.ReportMetric(float64(s.BDD.Nodes)/n, "bdd-nodes/op")
+		b.ReportMetric(100*s.BDD.CacheHitRate(), "bdd-cache-hit-%")
+	}
+	if s.SAT.Clauses > 0 {
+		b.ReportMetric(float64(s.SAT.Clauses)/n, "sat-clauses/op")
+		b.ReportMetric(float64(s.SAT.Conflicts)/n, "sat-conflicts/op")
+		b.ReportMetric(float64(s.SAT.Propagations)/n, "sat-props/op")
 	}
 }
 
 func BenchmarkFigure10ACL_ZenBDD(b *testing.B) {
 	for _, n := range aclSizes {
 		b.Run(fmt.Sprintf("lines=%d", n), func(b *testing.B) {
-			benchACL(b, n, zenACLFind(zen.BDD))
+			var st zen.Stats
+			benchACL(b, n, zenACLFind(zen.BDD, &st))
+			reportBackendMetrics(b, &st)
 		})
 	}
 }
@@ -65,7 +84,9 @@ func BenchmarkFigure10ACL_ZenBDD(b *testing.B) {
 func BenchmarkFigure10ACL_ZenSAT(b *testing.B) {
 	for _, n := range aclSizes {
 		b.Run(fmt.Sprintf("lines=%d", n), func(b *testing.B) {
-			benchACL(b, n, zenACLFind(zen.SAT))
+			var st zen.Stats
+			benchACL(b, n, zenACLFind(zen.SAT, &st))
+			reportBackendMetrics(b, &st)
 		})
 	}
 }
@@ -86,15 +107,18 @@ func benchRM(b *testing.B, n int, be zen.Backend) {
 	rng := rand.New(rand.NewSource(42))
 	rm := figgen.RouteMap(rng, n)
 	last := uint16(len(rm.Clauses) - 1)
+	var st zen.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fn := zen.Func(rm.MatchClause)
 		if _, ok := fn.Find(func(_ zen.Value[routemap.Route], l zen.Value[uint16]) zen.Value[bool] {
 			return zen.EqC(l, last)
-		}, zen.WithBackend(be), zen.WithListBound(routemap.Depth)); !ok {
+		}, zen.WithBackend(be), zen.WithListBound(routemap.Depth), zen.WithStats(&st)); !ok {
 			panic("catch-all clause unreachable")
 		}
 	}
+	b.StopTimer()
+	reportBackendMetrics(b, &st)
 }
 
 func BenchmarkFigure10RouteMap_ZenBDD(b *testing.B) {

@@ -13,12 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"zen-go/baselines/batfish"
 	"zen-go/internal/figgen"
+	"zen-go/internal/obs"
 	"zen-go/nets/pkt"
 	"zen-go/nets/routemap"
 	"zen-go/zen"
@@ -29,7 +31,17 @@ func main() {
 	rmSizes := flag.String("rm-sizes", "20,40,60,80,100", "route map clause counts")
 	runs := flag.Int("runs", 3, "repetitions per data point (mean reported)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	stats := flag.Bool("stats", false, "print solver telemetry after the sweep")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/zenstats, expvar and pprof on this address during the sweep")
 	flag.Parse()
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zenfig10: debug server: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "zenfig10: debug server on http://%s/debug/zenstats\n", addr)
+	}
 
 	fmt.Println("# Figure 10 (left): ACL verification, time in ms")
 	fmt.Println("lines,zen_bdd_ms,zen_sat_ms,batfish_ms")
@@ -53,6 +65,10 @@ func main() {
 	fmt.Println("# Expected shapes (paper): ACLs - BDD comparable to the hand-")
 	fmt.Println("# optimized baseline and competitive with SAT; route maps - SAT")
 	fmt.Println("# clearly faster than BDD (list-heavy models favor SMT).")
+
+	if *stats {
+		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+	}
 }
 
 func parseSizes(s string) []int {

@@ -12,6 +12,10 @@
 //
 // It exists so a network that is configuration data — not Go code — can
 // still be verified with every backend.
+//
+// The global flags -stats (print a solver-telemetry report to stderr after
+// the analysis) and -debug-addr (serve /debug/zenstats, expvar and pprof
+// over HTTP while the analysis runs) expose the observability layer.
 package main
 
 import (
@@ -25,22 +29,36 @@ import (
 	"zen-go/analyses/minesweeper"
 	"zen-go/analyses/shapeshifter"
 	"zen-go/baselines/batfish"
+	"zen-go/internal/obs"
 	"zen-go/nets/bgp"
 	"zen-go/nets/device"
 	"zen-go/nets/pkt"
 	"zen-go/zen"
 )
 
+// showStats mirrors the -stats flag; finish prints the telemetry report
+// before any exit path when it is set.
+var showStats bool
+
 func main() {
 	cfgPath := flag.String("config", "", "network JSON file")
+	flag.BoolVar(&showStats, "stats", false, "print solver telemetry after the analysis")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/zenstats, expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *cfgPath == "" || flag.NArg() < 1 {
 		fail("usage: zennet -config net.json <reach|isolated|hsa|acl-lines> [args]")
 	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fail("zennet: debug server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "zennet: debug server on http://%s/debug/zenstats\n", addr)
+	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	if cmd == "bgp-sim" || cmd == "bgp-check" || cmd == "bgp-compress" || cmd == "bgp-abstract" {
 		cmdBGP(*cfgPath, cmd, args)
-		return
+		finish(0)
 	}
 	net, err := Load(*cfgPath)
 	if err != nil {
@@ -58,6 +76,15 @@ func main() {
 	default:
 		fail("zennet: unknown command %q", cmd)
 	}
+	finish(0)
+}
+
+// finish prints the telemetry report when -stats is set, then exits.
+func finish(code int) {
+	if showStats {
+		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+	}
+	os.Exit(code)
 }
 
 func cmdReach(net *Network, args []string, wantIsolated bool) {
@@ -91,14 +118,14 @@ func cmdReach(net *Network, args []string, wantIsolated bool) {
 		if found {
 			fmt.Printf("NOT ISOLATED: %s reaches %s\n", *from, *to)
 			printWitness(w)
-			os.Exit(1)
+			finish(1)
 		}
 		fmt.Printf("isolated: no matching packet from %s reaches %s\n", *from, *to)
 		return
 	}
 	if !found {
 		fmt.Printf("unreachable: no matching packet from %s reaches %s\n", *from, *to)
-		os.Exit(1)
+		finish(1)
 	}
 	fmt.Printf("reachable: %s -> %s\n", *from, *to)
 	printWitness(w)
@@ -221,7 +248,7 @@ func cmdBGP(cfgPath, cmd string, args []string) {
 		for _, s := range res.FailedSessions {
 			fmt.Printf("  %s -> %s\n", s.From.Name, s.To.Name)
 		}
-		os.Exit(1)
+		finish(1)
 	case "bgp-compress":
 		ab := bonsai.Compress(n)
 		fmt.Printf("%d routers -> %d classes (%.1fx)\n",

@@ -6,6 +6,7 @@ package backends
 
 import (
 	"zen-go/internal/bdd"
+	"zen-go/internal/obs"
 	"zen-go/internal/sat"
 	"zen-go/internal/sym"
 )
@@ -90,7 +91,20 @@ func (b *BDD) BitValue(x bdd.Ref) bool {
 	return b.model[level] == 1
 }
 
-var _ sym.Solver[bdd.Ref] = (*BDD)(nil)
+// ReportInto harvests the manager's counters into a telemetry snapshot,
+// implementing obs.Reporter.
+func (b *BDD) ReportInto(s *obs.Snapshot) {
+	ms := b.Man.Stats()
+	s.BDD.Nodes += int64(ms.Nodes)
+	s.BDD.CacheHits += ms.CacheHits
+	s.BDD.CacheMisses += ms.CacheMiss
+	s.BDD.UniqueHits += ms.UniqueHits
+}
+
+var (
+	_ sym.Solver[bdd.Ref] = (*BDD)(nil)
+	_ obs.Reporter        = (*BDD)(nil)
+)
 
 // SAT is the bit-blasting backend: boolean structure is encoded into CNF
 // with the Tseitin transformation over a CDCL solver. This mirrors the
@@ -241,4 +255,20 @@ func (s *SAT) BitValue(x sat.Lit) bool {
 	return v
 }
 
-var _ sym.Solver[sat.Lit] = (*SAT)(nil)
+// ReportInto harvests the CDCL solver's counters into a telemetry
+// snapshot, implementing obs.Reporter.
+func (s *SAT) ReportInto(snap *obs.Snapshot) {
+	st := s.S.Stats()
+	snap.SAT.Vars += int64(st.Vars)
+	snap.SAT.Clauses += int64(st.Clauses)
+	snap.SAT.Learned += int64(st.Learned)
+	snap.SAT.Decisions += st.Decisions
+	snap.SAT.Propagations += st.Propagations
+	snap.SAT.Conflicts += st.Conflicts
+	snap.SAT.Restarts += st.Restarts
+}
+
+var (
+	_ sym.Solver[sat.Lit] = (*SAT)(nil)
+	_ obs.Reporter        = (*SAT)(nil)
+)

@@ -52,11 +52,13 @@ const (
 	opConstrain
 )
 
-// Stats reports internal counters, used by benchmarks and ablations.
+// Stats reports internal counters, used by benchmarks, ablations and the
+// telemetry layer (internal/obs).
 type Stats struct {
-	Nodes     int // allocated nonterminal nodes
-	CacheHits int64
-	CacheMiss int64
+	Nodes      int // allocated nonterminal nodes
+	CacheHits  int64
+	CacheMiss  int64
+	UniqueHits int64 // unique-table lookups that found an existing node
 }
 
 // Manager owns a collection of shared BDD nodes over a growable set of
@@ -114,6 +116,7 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 	}
 	k := nodeKey{level, low, high}
 	if r, ok := m.unique[k]; ok {
+		m.stats.UniqueHits++
 		return r
 	}
 	r := Ref(len(m.level))

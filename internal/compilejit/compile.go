@@ -43,6 +43,12 @@ func Compile(node *core.Node, vars ...*core.Node) *Program {
 	return &Program{instrs: c.instrs, numRegs: c.next, varRegs: c.varRegs, result: res}
 }
 
+// NumInstrs returns the number of compiled instructions (telemetry).
+func (p *Program) NumInstrs() int { return len(p.instrs) }
+
+// NumRegs returns the number of registers the program uses (telemetry).
+func (p *Program) NumRegs() int { return p.numRegs }
+
 // Run executes the program on concrete inputs.
 func (p *Program) Run(inputs ...*interp.Value) *interp.Value {
 	regs := make([]*interp.Value, p.numRegs)

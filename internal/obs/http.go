@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the Global telemetry aggregate as the expvar
+// variable "zenstats" (visible on /debug/vars). Safe to call repeatedly.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("zenstats", expvar.Func(func() any {
+			return Global().Snapshot()
+		}))
+	})
+}
+
+// Handler serves the Global telemetry aggregate as JSON.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		snap := Global().Snapshot()
+		_ = enc.Encode(&snap)
+	})
+}
+
+// DebugMux returns a mux exposing the standard debug surface:
+// /debug/zenstats (JSON telemetry), /debug/vars (expvar, including the
+// zenstats variable), and /debug/pprof/*.
+func DebugMux() *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/zenstats", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer serves DebugMux on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound address (useful with ":0").
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, DebugMux()) }()
+	return ln.Addr().String(), nil
+}

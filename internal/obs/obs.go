@@ -1,0 +1,315 @@
+// Package obs is Zen's zero-dependency telemetry layer: counters, phase
+// timers and pluggable tracing for every analysis backend.
+//
+// The paper's architecture routes one model through many solvers
+// (interpretation, BDD, SAT, state sets, compilation), so performance work
+// needs visibility into what each backend actually did — how large the
+// expression DAG was, how the analysis time split across DAG build /
+// symbolic evaluation / solving / decoding, how many BDD nodes were
+// allocated and with what cache hit rate, how many clauses, decisions and
+// conflicts the CDCL search spent. This package is the single vocabulary
+// for those measurements:
+//
+//   - Snapshot is a plain, copyable record of counters and phase timings.
+//   - Stats is a mutex-guarded accumulator of Snapshots; analyses attach
+//     one via zen.WithStats and read it back after the call.
+//   - Tracer/Span is the pluggable tracing hook: each analysis opens a
+//     span and emits one event per phase.
+//   - Rec is the per-analysis recorder used by instrumentation sites; it
+//     merges into the attached Stats and the process-wide Global aggregate
+//     when closed.
+//
+// Instrumentation is designed to cost nothing when unobserved: per-
+// operation hot paths (BDD mk/Ite, SAT propagation) keep their own cheap
+// native counters that are only harvested once per analysis, and the
+// expensive DAG measurement runs only when a Stats is attached. The Global
+// aggregate is exposed to expvar and an optional /debug/zenstats endpoint
+// (see http.go).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DAGStats summarizes the expression DAG of an analysis, as computed by
+// core.Measure. Merging keeps the maximum (the largest DAG analyzed).
+type DAGStats struct {
+	Nodes int64 `json:"nodes"`
+	Depth int64 `json:"depth"`
+	Vars  int64 `json:"vars"`
+}
+
+// BDDStats are cumulative counters harvested from BDD managers.
+type BDDStats struct {
+	// Nodes is the number of allocated nonterminal BDD nodes.
+	Nodes int64 `json:"nodes"`
+	// CacheHits and CacheMisses count lookups in the operation
+	// (ITE/quantification) memo cache.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// UniqueHits counts unique-table lookups that found an existing node
+	// (the complement of Nodes, which counts the misses that allocated).
+	UniqueHits int64 `json:"unique_hits"`
+}
+
+// CacheHitRate returns the fraction of operation-cache lookups that hit,
+// or 0 when no lookups were recorded.
+func (b BDDStats) CacheHitRate() float64 {
+	total := b.CacheHits + b.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.CacheHits) / float64(total)
+}
+
+// UniqueHitRate returns the fraction of unique-table lookups that found an
+// existing node, or 0 when no lookups were recorded.
+func (b BDDStats) UniqueHitRate() float64 {
+	total := b.UniqueHits + b.Nodes
+	if total == 0 {
+		return 0
+	}
+	return float64(b.UniqueHits) / float64(total)
+}
+
+// SATStats are cumulative counters harvested from CDCL solvers.
+type SATStats struct {
+	Vars         int64 `json:"vars"`
+	Clauses      int64 `json:"clauses"`
+	Learned      int64 `json:"learned"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+}
+
+// CompileStats count model compilations (§8).
+type CompileStats struct {
+	Compiles     int64 `json:"compiles"`
+	Instructions int64 `json:"instructions"`
+	Registers    int64 `json:"registers"`
+}
+
+// StateSetStats count state-set transformer activity (§4/§6).
+type StateSetStats struct {
+	Transformers int64 `json:"transformers"`
+	FreshSpaces  int64 `json:"fresh_spaces"`
+	Forwards     int64 `json:"forwards"`
+	Reverses     int64 `json:"reverses"`
+}
+
+// PhaseTiming is the accumulated wall time of one named analysis phase
+// ("build", "symeval", "solve", "decode", ...).
+type PhaseTiming struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// Snapshot is a plain, copyable record of telemetry. The zero value is
+// empty; snapshots merge additively (except DAG, which keeps the maximum).
+type Snapshot struct {
+	// Analyses counts completed analyses (Find, Verify, Solve, ...).
+	Analyses int64 `json:"analyses"`
+	// AnalysesBy breaks Analyses down by backend name ("bdd", "sat",
+	// "interp", "compile", "stateset").
+	AnalysesBy map[string]int64 `json:"analyses_by,omitempty"`
+	// Solves counts solver invocations; Sat counts those that returned a
+	// model (FindAll and NextModel solve repeatedly within one analysis).
+	Solves int64 `json:"solves"`
+	Sat    int64 `json:"sat"`
+
+	Phases   []PhaseTiming `json:"phases,omitempty"`
+	DAG      DAGStats      `json:"dag"`
+	BDD      BDDStats      `json:"bdd"`
+	SAT      SATStats      `json:"sat_solver"`
+	Compile  CompileStats  `json:"compile"`
+	StateSet StateSetStats `json:"stateset"`
+}
+
+// Phase returns the accumulated timing of the named phase.
+func (s *Snapshot) Phase(name string) (PhaseTiming, bool) {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseTiming{}, false
+}
+
+func (s *Snapshot) addPhase(name string, d time.Duration, n int64) {
+	for i := range s.Phases {
+		if s.Phases[i].Name == name {
+			s.Phases[i].Count += n
+			s.Phases[i].Total += d
+			return
+		}
+	}
+	s.Phases = append(s.Phases, PhaseTiming{Name: name, Count: n, Total: d})
+}
+
+func (s *Snapshot) merge(o *Snapshot) {
+	s.Analyses += o.Analyses
+	for k, v := range o.AnalysesBy {
+		if s.AnalysesBy == nil {
+			s.AnalysesBy = make(map[string]int64)
+		}
+		s.AnalysesBy[k] += v
+	}
+	s.Solves += o.Solves
+	s.Sat += o.Sat
+	for _, p := range o.Phases {
+		s.addPhase(p.Name, p.Total, p.Count)
+	}
+	if o.DAG.Nodes > s.DAG.Nodes {
+		s.DAG = o.DAG
+	}
+	s.BDD.Nodes += o.BDD.Nodes
+	s.BDD.CacheHits += o.BDD.CacheHits
+	s.BDD.CacheMisses += o.BDD.CacheMisses
+	s.BDD.UniqueHits += o.BDD.UniqueHits
+	s.SAT.Vars += o.SAT.Vars
+	s.SAT.Clauses += o.SAT.Clauses
+	s.SAT.Learned += o.SAT.Learned
+	s.SAT.Decisions += o.SAT.Decisions
+	s.SAT.Propagations += o.SAT.Propagations
+	s.SAT.Conflicts += o.SAT.Conflicts
+	s.SAT.Restarts += o.SAT.Restarts
+	s.Compile.Compiles += o.Compile.Compiles
+	s.Compile.Instructions += o.Compile.Instructions
+	s.Compile.Registers += o.Compile.Registers
+	s.StateSet.Transformers += o.StateSet.Transformers
+	s.StateSet.FreshSpaces += o.StateSet.FreshSpaces
+	s.StateSet.Forwards += o.StateSet.Forwards
+	s.StateSet.Reverses += o.StateSet.Reverses
+}
+
+func (s *Snapshot) clone() Snapshot {
+	c := *s
+	if s.AnalysesBy != nil {
+		c.AnalysesBy = make(map[string]int64, len(s.AnalysesBy))
+		for k, v := range s.AnalysesBy {
+			c.AnalysesBy[k] = v
+		}
+	}
+	c.Phases = append([]PhaseTiming(nil), s.Phases...)
+	return c
+}
+
+// String renders the snapshot as a compact human-readable report. Sections
+// with no activity are omitted.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "zen stats: %d analyses", s.Analyses)
+	if len(s.AnalysesBy) > 0 {
+		names := make([]string, 0, len(s.AnalysesBy))
+		for k := range s.AnalysesBy {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, k := range names {
+			parts[i] = fmt.Sprintf("%s %d", k, s.AnalysesBy[k])
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, ", %d solves (%d sat)\n", s.Solves, s.Sat)
+	if len(s.Phases) > 0 {
+		parts := make([]string, len(s.Phases))
+		for i, p := range s.Phases {
+			parts[i] = fmt.Sprintf("%s %v×%d", p.Name, p.Total.Round(time.Microsecond), p.Count)
+		}
+		fmt.Fprintf(&b, "  phases:   %s\n", strings.Join(parts, " · "))
+	}
+	if s.DAG.Nodes > 0 {
+		fmt.Fprintf(&b, "  dag:      %d nodes, depth %d, %d vars (largest analyzed)\n",
+			s.DAG.Nodes, s.DAG.Depth, s.DAG.Vars)
+	}
+	if s.BDD.Nodes > 0 || s.BDD.CacheHits+s.BDD.CacheMisses > 0 {
+		fmt.Fprintf(&b, "  bdd:      %d nodes, cache %.1f%% hit (%d hits / %d misses), unique-table %.1f%% hit\n",
+			s.BDD.Nodes, 100*s.BDD.CacheHitRate(), s.BDD.CacheHits, s.BDD.CacheMisses,
+			100*s.BDD.UniqueHitRate())
+	}
+	if s.SAT.Vars > 0 {
+		fmt.Fprintf(&b, "  sat:      %d vars, %d clauses (+%d learned), %d decisions, %d propagations, %d conflicts, %d restarts\n",
+			s.SAT.Vars, s.SAT.Clauses, s.SAT.Learned, s.SAT.Decisions,
+			s.SAT.Propagations, s.SAT.Conflicts, s.SAT.Restarts)
+	}
+	if s.Compile.Compiles > 0 {
+		fmt.Fprintf(&b, "  compile:  %d programs, %d instructions, %d registers\n",
+			s.Compile.Compiles, s.Compile.Instructions, s.Compile.Registers)
+	}
+	if s.StateSet.Transformers > 0 || s.StateSet.Forwards > 0 || s.StateSet.Reverses > 0 {
+		fmt.Fprintf(&b, "  stateset: %d transformers (%d fresh-space), %d forward, %d reverse\n",
+			s.StateSet.Transformers, s.StateSet.FreshSpaces,
+			s.StateSet.Forwards, s.StateSet.Reverses)
+	}
+	return b.String()
+}
+
+// Stats is a thread-safe accumulator of analysis telemetry. The zero value
+// is ready to use; attach one to an analysis with zen.WithStats and read
+// it back with Snapshot after the call returns. One Stats may be shared by
+// many analyses (and many goroutines); snapshots merge into it.
+type Stats struct {
+	mu sync.Mutex
+	s  Snapshot
+}
+
+// Snapshot returns a copy of everything recorded so far. Safe to call
+// concurrently with ongoing analyses; nil-safe (returns a zero Snapshot).
+func (st *Stats) Snapshot() Snapshot {
+	if st == nil {
+		return Snapshot{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.s.clone()
+}
+
+// Phase returns the accumulated timing of the named phase.
+func (st *Stats) Phase(name string) (PhaseTiming, bool) {
+	if st == nil {
+		return PhaseTiming{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.s.Phase(name)
+}
+
+// String renders a human-readable report of the recorded telemetry.
+func (st *Stats) String() string {
+	s := st.Snapshot()
+	return s.String()
+}
+
+// Reset clears all recorded telemetry.
+func (st *Stats) Reset() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s = Snapshot{}
+}
+
+// Merge adds a snapshot into the accumulator.
+func (st *Stats) Merge(s *Snapshot) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.s.merge(s)
+}
+
+// global is the process-wide aggregate every analysis merges into; it backs
+// the expvar/zenstats exposition.
+var global Stats
+
+// Global returns the process-wide telemetry aggregate.
+func Global() *Stats { return &global }

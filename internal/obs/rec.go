@@ -1,0 +1,143 @@
+package obs
+
+import "time"
+
+// Reporter is implemented by solver backends that can dump their internal
+// counters into a Snapshot (see backends.BDD and backends.SAT).
+type Reporter interface {
+	ReportInto(*Snapshot)
+}
+
+// Rec records one analysis: instrumentation sites create one with Begin,
+// time their phases with Phase, harvest backend counters with
+// ReportBackend, and close it with End, which merges the record into the
+// attached Stats (if any) and the process-wide Global aggregate.
+//
+// A nil *Rec is valid and inert, so callers on fully-disabled fast paths
+// may skip Begin entirely and still call the methods.
+type Rec struct {
+	out     *Stats
+	span    Span
+	backend string
+	s       Snapshot
+}
+
+// Begin opens a record for one analysis on the named backend. out may be
+// nil (telemetry still flows to the Global aggregate); tr may be nil (no
+// span is opened).
+func Begin(out *Stats, tr Tracer, backend, analysis string) *Rec {
+	r := &Rec{out: out, backend: backend}
+	r.s.Analyses = 1
+	if tr != nil {
+		r.span = tr.StartSpan(analysis + "/" + backend)
+	}
+	return r
+}
+
+var noop = func() {}
+
+// Phase starts timing the named phase and returns the function that stops
+// it. Phases may recur within one analysis (e.g. one solve per model in
+// FindAll); their durations and counts accumulate.
+func (r *Rec) Phase(name string) func() {
+	if r == nil {
+		return noop
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		r.s.addPhase(name, d, 1)
+		if r.span != nil {
+			r.span.Event(name, d)
+		}
+	}
+}
+
+// Event emits an ad-hoc span event (a no-op without a tracer).
+func (r *Rec) Event(name string, args ...any) {
+	if r != nil && r.span != nil {
+		r.span.Event(name, args...)
+	}
+}
+
+// SetDAG records the expression-DAG measurements of the analysis.
+func (r *Rec) SetDAG(nodes, depth, vars int) {
+	if r == nil {
+		return
+	}
+	r.s.DAG = DAGStats{Nodes: int64(nodes), Depth: int64(depth), Vars: int64(vars)}
+}
+
+// CountSolve records one solver invocation and its outcome.
+func (r *Rec) CountSolve(sat bool) {
+	if r == nil {
+		return
+	}
+	r.s.Solves++
+	if sat {
+		r.s.Sat++
+	}
+}
+
+// ReportBackend harvests internal counters from a backend that implements
+// Reporter (a no-op for backends that don't).
+func (r *Rec) ReportBackend(alg any) {
+	if r == nil {
+		return
+	}
+	if rep, ok := alg.(Reporter); ok {
+		rep.ReportInto(&r.s)
+	}
+}
+
+// AddBDD accumulates BDD counters (used by the state-set world, which
+// harvests deltas from its long-lived manager).
+func (r *Rec) AddBDD(d BDDStats) {
+	if r == nil {
+		return
+	}
+	r.s.BDD.Nodes += d.Nodes
+	r.s.BDD.CacheHits += d.CacheHits
+	r.s.BDD.CacheMisses += d.CacheMisses
+	r.s.BDD.UniqueHits += d.UniqueHits
+}
+
+// AddCompile accumulates model-compilation counters.
+func (r *Rec) AddCompile(d CompileStats) {
+	if r == nil {
+		return
+	}
+	r.s.Compile.Compiles += d.Compiles
+	r.s.Compile.Instructions += d.Instructions
+	r.s.Compile.Registers += d.Registers
+}
+
+// AddStateSet accumulates state-set transformer counters.
+func (r *Rec) AddStateSet(d StateSetStats) {
+	if r == nil {
+		return
+	}
+	r.s.StateSet.Transformers += d.Transformers
+	r.s.StateSet.FreshSpaces += d.FreshSpaces
+	r.s.StateSet.Forwards += d.Forwards
+	r.s.StateSet.Reverses += d.Reverses
+}
+
+// End closes the span and merges the record into the attached Stats and
+// the Global aggregate. End must be called exactly once.
+func (r *Rec) End() {
+	if r == nil {
+		return
+	}
+	if r.span != nil {
+		r.span.End()
+		r.span = nil
+	}
+	if r.backend != "" {
+		r.s.AnalysesBy = map[string]int64{r.backend: 1}
+	}
+	global.Merge(&r.s)
+	if r.out != nil && r.out != &global {
+		r.out.Merge(&r.s)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer is the pluggable tracing hook: each analysis opens one span named
+// "<analysis>/<backend>" (e.g. "find/bdd") and emits one event per phase
+// with its duration. Implementations must be safe for concurrent use.
+type Tracer interface {
+	StartSpan(name string) Span
+}
+
+// Span is one traced analysis. Event is called once per phase (and for
+// ad-hoc markers like path counts); End closes the span.
+type Span interface {
+	Event(name string, args ...any)
+	End()
+}
+
+// WriterTracer logs spans and events as indented lines to W, one analysis
+// per block — a minimal human-readable trace sink.
+type WriterTracer struct {
+	W io.Writer
+
+	mu sync.Mutex
+}
+
+// StartSpan begins a logged span.
+func (t *WriterTracer) StartSpan(name string) Span {
+	t.mu.Lock()
+	fmt.Fprintf(t.W, "span %s\n", name)
+	t.mu.Unlock()
+	return &writerSpan{t: t, name: name, start: time.Now()}
+}
+
+type writerSpan struct {
+	t     *WriterTracer
+	name  string
+	start time.Time
+}
+
+func (s *writerSpan) Event(name string, args ...any) {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if len(args) == 0 {
+		fmt.Fprintf(s.t.W, "  %s\n", name)
+		return
+	}
+	fmt.Fprintf(s.t.W, "  %s: %v\n", name, args)
+}
+
+func (s *writerSpan) End() {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	fmt.Fprintf(s.t.W, "end %s (%v)\n", s.name, time.Since(s.start).Round(time.Microsecond))
+}
+
+// TraceEvent is one record captured by CollectTracer. Span start and end
+// are recorded as events named "start" and "end".
+type TraceEvent struct {
+	Span string
+	Name string
+	Args []any
+}
+
+// CollectTracer records spans and events in memory, for tests and for
+// programmatic inspection of an analysis.
+type CollectTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// StartSpan begins a recorded span.
+func (t *CollectTracer) StartSpan(name string) Span {
+	t.record(TraceEvent{Span: name, Name: "start"})
+	return &collectSpan{t: t, name: name}
+}
+
+// Events returns a copy of everything recorded so far.
+func (t *CollectTracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+func (t *CollectTracer) record(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+type collectSpan struct {
+	t    *CollectTracer
+	name string
+}
+
+func (s *collectSpan) Event(name string, args ...any) {
+	s.t.record(TraceEvent{Span: s.name, Name: name, Args: args})
+}
+
+func (s *collectSpan) End() {
+	s.t.record(TraceEvent{Span: s.name, Name: "end"})
+}

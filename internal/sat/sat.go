@@ -93,6 +93,12 @@ type Solver struct {
 	conflicts int64
 	numVars   int
 
+	// search counters for the telemetry layer (internal/obs)
+	decisions    int64
+	propagations int64
+	restarts     int64
+	added        int64 // problem (non-learned) clauses retained, incl. units
+
 	// unsat becomes true if a top-level contradiction was added.
 	unsat bool
 
@@ -131,6 +137,32 @@ func (s *Solver) NumVars() int { return s.numVars }
 
 // NumConflicts returns the number of conflicts encountered so far.
 func (s *Solver) NumConflicts() int64 { return s.conflicts }
+
+// Stats reports cumulative search counters for telemetry: problem size
+// (variables, retained problem clauses, live learned clauses) and search
+// effort (decisions, propagated assignments, conflicts, restarts).
+type Stats struct {
+	Vars         int
+	Clauses      int
+	Learned      int
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+}
+
+// Stats returns a snapshot of the solver's counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Vars:         s.numVars,
+		Clauses:      int(s.added),
+		Learned:      s.numLearned,
+		Decisions:    s.decisions,
+		Propagations: s.propagations,
+		Conflicts:    s.conflicts,
+		Restarts:     s.restarts,
+	}
+}
 
 func (s *Solver) value(l Lit) lbool {
 	a := s.assign[l.Var()]
@@ -190,9 +222,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			s.unsat = true
 			return false
 		}
+		s.added++
 		return true
 	}
 	s.attach(norm, false)
+	s.added++
 	return true
 }
 
@@ -227,6 +261,7 @@ func (s *Solver) propagate() clauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		s.propagations++
 		np := p.Not()
 		ws := s.watches[np]
 		j := 0
@@ -473,6 +508,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			if s.conflicts-conflictsAtStart > budget {
 				restart++
+				s.restarts++
 				budget += 100 * luby(restart)
 				s.cancelUntil(s.baseLevel(len(assumptions)))
 			}
@@ -498,6 +534,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if next == -1 {
 			return Sat
 		}
+		s.decisions++
 		s.trailLk = append(s.trailLk, int32(len(s.trail)))
 		s.enqueue(next, nilClause)
 	}

@@ -21,6 +21,7 @@ import (
 	"zen-go/internal/bdd"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
+	"zen-go/internal/obs"
 	"zen-go/internal/sym"
 )
 
@@ -37,6 +38,33 @@ type World struct {
 	// Heuristics toggles (exposed for the ablation benchmarks).
 	DisableOrderingHeuristic bool
 	DisableFreshSpaces       bool
+
+	// Obs and Tracer, when non-nil, receive telemetry for every
+	// transformer build and transform executed in this world.
+	Obs    *obs.Stats
+	Tracer obs.Tracer
+
+	// lastBDD is the manager-counter snapshot at the previous harvest;
+	// per-operation records report the delta since then.
+	lastBDD bdd.Stats
+}
+
+// begin opens a telemetry record for one world operation.
+func (w *World) begin(op string) *obs.Rec {
+	return obs.Begin(w.Obs, w.Tracer, "stateset", op)
+}
+
+// harvest adds the BDD-manager counter delta since the last harvest to the
+// record, so concurrent-free sequential ops partition the manager's work.
+func (w *World) harvest(r *obs.Rec) {
+	s := w.man.Stats()
+	r.AddBDD(obs.BDDStats{
+		Nodes:       int64(s.Nodes - w.lastBDD.Nodes),
+		CacheHits:   s.CacheHits - w.lastBDD.CacheHits,
+		CacheMisses: s.CacheMiss - w.lastBDD.CacheMiss,
+		UniqueHits:  s.UniqueHits - w.lastBDD.UniqueHits,
+	})
+	w.lastBDD = s
 }
 
 // NewWorld returns an empty World.
@@ -187,8 +215,17 @@ func (w *World) Full(t *core.Type) Set {
 // FromPredicate builds the set {x | pred(x)} from a boolean-valued
 // expression over the input variable varID.
 func (w *World) FromPredicate(t *core.Type, expr *core.Node, varID int32) Set {
+	rec := w.begin("set")
+	defer rec.End()
+	if w.Obs != nil {
+		m := core.Measure(expr)
+		rec.SetDAG(m.Nodes, m.Depth, m.Vars)
+	}
 	reg := w.Region(t)
+	stop := rec.Phase("symeval")
 	out := sym.Eval[bdd.Ref](w.alg, expr, sym.Env[bdd.Ref]{varID: reg.inVal})
+	stop()
+	w.harvest(rec)
 	return Set{w: w, reg: reg, ref: out.Bit}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"zen-go/internal/bdd"
 	"zen-go/internal/core"
+	"zen-go/internal/obs"
 	"zen-go/internal/sym"
 )
 
@@ -25,6 +26,18 @@ type Transformer struct {
 func (w *World) Transformer(expr *core.Node, varID int32, inType, outType *core.Type) *Transformer {
 	mustListFree(inType)
 	mustListFree(outType)
+
+	rec := w.begin("transformer")
+	defer rec.End()
+	if w.Obs != nil {
+		m := core.Measure(expr)
+		rec.SetDAG(m.Nodes, m.Depth, m.Vars)
+	}
+	stop := rec.Phase("build")
+	defer func() {
+		stop()
+		w.harvest(rec)
+	}()
 
 	// Variable-ordering heuristic (§6): group input bits the model
 	// compares for equality/order or copies across positions.
@@ -64,6 +77,12 @@ func (w *World) Transformer(expr *core.Node, varID int32, inType, outType *core.
 		y := w.man.Var(out.outLvl[j])
 		rel = w.man.And(rel, w.man.Iff(y, bits[j]))
 	}
+	ss := obs.StateSetStats{Transformers: 1}
+	if priv != nil {
+		ss.FreshSpaces = 1
+	}
+	rec.AddStateSet(ss)
+	rec.Event("fresh-space", priv != nil)
 	return &Transformer{w: w, canonIn: canon, privIn: priv,
 		out: out, rel: rel, usedPerm: inRegion.perm}
 }
@@ -92,6 +111,9 @@ func (t *Transformer) Forward(s Set) Set {
 	if s.reg != t.canonIn {
 		panic("stateset: Forward set has wrong type")
 	}
+	rec := t.w.begin("forward")
+	defer rec.End()
+	stop := rec.Phase("forward")
 	cur := s.ref
 	in := t.canonIn
 	if t.privIn != nil {
@@ -101,6 +123,9 @@ func (t *Transformer) Forward(s Set) Set {
 	}
 	img := t.w.man.AndExists(cur, t.rel, in.inVarSet())
 	img = t.w.man.Replace(img, t.out.outToIn())
+	stop()
+	rec.AddStateSet(obs.StateSetStats{Forwards: 1})
+	t.w.harvest(rec)
 	return Set{w: t.w, reg: t.out, ref: img}
 }
 
@@ -109,12 +134,18 @@ func (t *Transformer) Reverse(s Set) Set {
 	if s.reg != t.out {
 		panic("stateset: Reverse set has wrong type")
 	}
+	rec := t.w.begin("reverse")
+	defer rec.End()
+	stop := rec.Phase("reverse")
 	shifted := t.w.man.Replace(s.ref, t.out.inToOut())
 	pre := t.w.man.AndExists(t.rel, shifted, t.out.outVarSet())
 	if t.privIn != nil {
 		// Substitute back into the canonical space.
 		pre = t.w.man.Substitute(pre, spaceMap(t.privIn, t.canonIn))
 	}
+	stop()
+	rec.AddStateSet(obs.StateSetStats{Reverses: 1})
+	t.w.harvest(rec)
 	return Set{w: t.w, reg: t.canonIn, ref: pre}
 }
 

@@ -6,6 +6,7 @@ import (
 	"zen-go/internal/backends"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
+	"zen-go/internal/obs"
 	"zen-go/internal/sym"
 )
 
@@ -35,6 +36,12 @@ type Options struct {
 	// ListBound bounds the length of symbolic lists (default 3), like the
 	// maximum-list-length parameter of the paper's Find.
 	ListBound int
+	// Stats, when non-nil, accumulates per-analysis telemetry: phase
+	// timings, DAG measurements, and backend counters.
+	Stats *Stats
+	// Tracer, when non-nil, receives one span per analysis with one event
+	// per phase.
+	Tracer Tracer
 }
 
 // Option mutates analysis options.
@@ -46,6 +53,14 @@ func WithBackend(b Backend) Option { return func(o *Options) { o.Backend = b } }
 // WithListBound bounds symbolic list lengths.
 func WithListBound(k int) Option { return func(o *Options) { o.ListBound = k } }
 
+// WithStats attaches a telemetry accumulator to the analysis. The same
+// Stats may be shared across analyses (and backends); read it back with
+// Snapshot or String after the call.
+func WithStats(st *Stats) Option { return func(o *Options) { o.Stats = st } }
+
+// WithTracer attaches a tracing hook to the analysis.
+func WithTracer(tr Tracer) Option { return func(o *Options) { o.Tracer = tr } }
+
 func buildOptions(opts []Option) Options {
 	o := Options{Backend: BDD, ListBound: 3}
 	for _, f := range opts {
@@ -54,13 +69,41 @@ func buildOptions(opts []Option) Options {
 	return o
 }
 
+// buildOptionsFrom folds defaults, then base options, then call options.
+func buildOptionsFrom(base, call []Option) Options {
+	o := Options{Backend: BDD, ListBound: 3}
+	for _, f := range base {
+		f(&o)
+	}
+	for _, f := range call {
+		f(&o)
+	}
+	return o
+}
+
+// begin opens a telemetry record for one analysis under these options.
+func (o *Options) begin(analysis string) *obs.Rec {
+	return obs.Begin(o.Stats, o.Tracer, o.Backend.String(), analysis)
+}
+
+// measureDAG records DAG statistics when a Stats is attached. The measure
+// walks the whole DAG, so it is skipped on the un-instrumented fast path.
+func (o *Options) measureDAG(rec *obs.Rec, n *core.Node) {
+	if o.Stats == nil {
+		return
+	}
+	m := core.Measure(n)
+	rec.SetDAG(m.Nodes, m.Depth, m.Vars)
+}
+
 // Fn is a Zen function from I to O (the paper's ZenFunction). It records
 // the expression DAG produced by applying the model function to a symbolic
 // argument; every analysis operates on that DAG.
 type Fn[I, O any] struct {
-	arg Value[I]
-	out Value[O]
-	f   func(Value[I]) Value[O]
+	arg  Value[I]
+	out  Value[O]
+	f    func(Value[I]) Value[O]
+	opts []Option // defaults applied before per-call options (see Use)
 }
 
 // Func builds a Zen function from a model written as a Go function over
@@ -69,6 +112,24 @@ type Fn[I, O any] struct {
 func Func[I, O any](f func(Value[I]) Value[O]) *Fn[I, O] {
 	arg := Symbolic[I]("arg")
 	return &Fn[I, O]{arg: arg, out: f(arg), f: f}
+}
+
+// Use attaches default options to the function, applied before any
+// per-call options of subsequent analyses. It is the way to observe
+// analyses that take no option parameter (Evaluate, Compile):
+//
+//	var st zen.Stats
+//	fn := zen.Func(model).Use(zen.WithStats(&st))
+//
+// Use returns fn for chaining.
+func (fn *Fn[I, O]) Use(opts ...Option) *Fn[I, O] {
+	fn.opts = append(fn.opts, opts...)
+	return fn
+}
+
+// options folds the function's default options with per-call options.
+func (fn *Fn[I, O]) options(call []Option) Options {
+	return buildOptionsFrom(fn.opts, call)
 }
 
 // Arg returns the symbolic parameter of the function.
@@ -80,8 +141,24 @@ func (fn *Fn[I, O]) Out() Value[O] { return fn.out }
 // Apply builds the application of the model to a new argument expression.
 func (fn *Fn[I, O]) Apply(x Value[I]) Value[O] { return fn.f(x) }
 
-// Evaluate runs the model on a concrete input (simulation).
+// Evaluate runs the model on a concrete input (simulation). Evaluation is
+// instrumented only when the function carries attached Stats or Tracer
+// options (see Use): it is the hot concrete path, and the nil-check keeps
+// it free of telemetry overhead otherwise.
 func (fn *Fn[I, O]) Evaluate(x I) O {
+	if len(fn.opts) > 0 {
+		if o := fn.options(nil); o.Stats != nil || o.Tracer != nil {
+			rec := obs.Begin(o.Stats, o.Tracer, "interp", "evaluate")
+			defer rec.End()
+			o.measureDAG(rec, fn.out.n)
+			defer rec.Phase("interp")()
+			return fn.evaluate(x)
+		}
+	}
+	return fn.evaluate(x)
+}
+
+func (fn *Fn[I, O]) evaluate(x I) O {
 	env := interp.Env{fn.arg.n.VarID: liftValue(reflectValue(x))}
 	v := interp.Eval(fn.out.n, env)
 	rt := reflect.TypeOf((*O)(nil)).Elem()
@@ -93,12 +170,17 @@ func (fn *Fn[I, O]) Evaluate(x I) O {
 // and true, or the zero value and false if no input exists (within list
 // bounds).
 func (fn *Fn[I, O]) Find(pred func(Value[I], Value[O]) Value[bool], opts ...Option) (I, bool) {
-	o := buildOptions(opts)
+	o := fn.options(opts)
+	rec := o.begin("find")
+	defer rec.End()
+	stop := rec.Phase("build")
 	cond := pred(fn.arg, fn.out)
+	stop()
+	o.measureDAG(rec, cond.n)
 	if o.Backend == SAT {
-		return findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound)
+		return findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, rec)
 	}
-	return findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound)
+	return findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, rec)
 }
 
 // Verify checks that property(input, output) holds for every input. It
@@ -110,13 +192,22 @@ func (fn *Fn[I, O]) Verify(property func(Value[I], Value[O]) Value[bool], opts .
 	return !found, cex
 }
 
-func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound int) (I, bool) {
+func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound int, rec *obs.Rec) (I, bool) {
 	var zero I
+	stop := rec.Phase("symeval")
 	in := sym.Fresh(alg, TypeOf[I](), bound, "in")
 	out := sym.Eval(alg, cond, sym.Env[B]{varID: in.Val})
-	if !alg.Solve(out.Bit) {
+	stop()
+	stop = rec.Phase("solve")
+	ok := alg.Solve(out.Bit)
+	stop()
+	rec.CountSolve(ok)
+	rec.ReportBackend(alg)
+	if !ok {
 		return zero, false
 	}
+	stop = rec.Phase("decode")
+	defer stop()
 	iv := in.Decode(alg.BitValue)
 	rt := reflect.TypeOf((*I)(nil)).Elem()
 	return toGo(iv, rt).Interface().(I), true
@@ -126,30 +217,45 @@ func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int
 // max (or until exhausted). It re-solves with blocking constraints, like
 // repeated Find calls in the paper's API.
 func (fn *Fn[I, O]) FindAll(pred func(Value[I], Value[O]) Value[bool], max int, opts ...Option) []I {
-	o := buildOptions(opts)
+	o := fn.options(opts)
+	rec := o.begin("findall")
+	defer rec.End()
+	stop := rec.Phase("build")
 	cond := pred(fn.arg, fn.out)
+	stop()
+	o.measureDAG(rec, cond.n)
 	if o.Backend == SAT {
-		return findAllWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max)
+		return findAllWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max, rec)
 	}
-	return findAllWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max)
+	return findAllWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max, rec)
 }
 
-func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound, max int) []I {
+func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound, max int, rec *obs.Rec) []I {
+	stop := rec.Phase("symeval")
 	in := sym.Fresh(alg, TypeOf[I](), bound, "in")
 	out := sym.Eval(alg, cond, sym.Env[B]{varID: in.Val})
+	stop()
 	rt := reflect.TypeOf((*I)(nil)).Elem()
 	var results []I
 	constraint := out.Bit
 	for len(results) < max {
-		if !alg.Solve(constraint) {
+		stop = rec.Phase("solve")
+		ok := alg.Solve(constraint)
+		stop()
+		rec.CountSolve(ok)
+		if !ok {
 			break
 		}
+		stop = rec.Phase("decode")
 		iv := in.Decode(alg.BitValue)
 		results = append(results, toGo(iv, rt).Interface().(I))
 		// Block this model: the input must differ somewhere.
 		blocked := blockModel(alg, in.Val, iv)
 		constraint = alg.And(constraint, blocked)
+		stop()
 	}
+	rec.ReportBackend(alg)
+	rec.Event("models", len(results))
 	return results
 }
 

@@ -4,8 +4,8 @@ import (
 	"reflect"
 
 	"zen-go/internal/backends"
-	"zen-go/internal/compilejit"
 	"zen-go/internal/interp"
+	"zen-go/internal/obs"
 	"zen-go/internal/sym"
 )
 
@@ -43,11 +43,16 @@ func (fn *Fn2[A, B, O]) Evaluate(a A, b B) O {
 // Find searches for an input pair satisfying pred(a, b, output).
 func (fn *Fn2[A, B, O]) Find(pred func(Value[A], Value[B], Value[O]) Value[bool], opts ...Option) (A, B, bool) {
 	o := buildOptions(opts)
+	rec := o.begin("find2")
+	defer rec.End()
+	stop := rec.Phase("build")
 	cond := pred(fn.argA, fn.argB, fn.out)
+	stop()
+	o.measureDAG(rec, cond.n)
 	if o.Backend == SAT {
-		return find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound)
+		return find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, rec)
 	}
-	return find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound)
+	return find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, rec)
 }
 
 // Verify checks a property over all input pairs.
@@ -58,15 +63,24 @@ func (fn *Fn2[A, B, O]) Verify(property func(Value[A], Value[B], Value[O]) Value
 	return !found, a, b
 }
 
-func find2With[A, B any, Bit comparable](alg sym.Solver[Bit], cond *coreNode, idA, idB int32, bound int) (A, B, bool) {
+func find2With[A, B any, Bit comparable](alg sym.Solver[Bit], cond *coreNode, idA, idB int32, bound int, rec *obs.Rec) (A, B, bool) {
 	var zeroA A
 	var zeroB B
+	stop := rec.Phase("symeval")
 	inA := sym.Fresh(alg, TypeOf[A](), bound, "a")
 	inB := sym.Fresh(alg, TypeOf[B](), bound, "b")
 	out := sym.Eval(alg, cond, sym.Env[Bit]{idA: inA.Val, idB: inB.Val})
-	if !alg.Solve(out.Bit) {
+	stop()
+	stop = rec.Phase("solve")
+	ok := alg.Solve(out.Bit)
+	stop()
+	rec.CountSolve(ok)
+	rec.ReportBackend(alg)
+	if !ok {
 		return zeroA, zeroB, false
 	}
+	stop = rec.Phase("decode")
+	defer stop()
 	rta := reflect.TypeOf((*A)(nil)).Elem()
 	rtb := reflect.TypeOf((*B)(nil)).Elem()
 	return toGo(inA.Decode(alg.BitValue), rta).Interface().(A),
@@ -75,7 +89,7 @@ func find2With[A, B any, Bit comparable](alg sym.Solver[Bit], cond *coreNode, id
 
 // Compile extracts an executable two-argument implementation.
 func (fn *Fn2[A, B, O]) Compile() func(A, B) O {
-	prog := compilejit.Compile(fn.out.n, fn.argA.n, fn.argB.n)
+	prog := compileProgram(buildOptions(nil), fn.out.n, fn.argA.n, fn.argB.n)
 	rt := reflect.TypeOf((*O)(nil)).Elem()
 	return func(a A, b B) O {
 		v := prog.Run(liftValue(reflectValue(a)), liftValue(reflectValue(b)))

@@ -1,0 +1,106 @@
+package zen
+
+import (
+	"testing"
+
+	"zen-go/internal/obs"
+)
+
+// These tests live inside package zen to reach the unexported option
+// plumbing (buildOptions, buildOptionsFrom, Fn.options).
+
+func TestBuildOptionsDefaults(t *testing.T) {
+	o := buildOptions(nil)
+	if o.Backend != BDD {
+		t.Fatalf("default backend = %v, want BDD", o.Backend)
+	}
+	if o.ListBound != 3 {
+		t.Fatalf("default list bound = %d, want 3", o.ListBound)
+	}
+	if o.Stats != nil || o.Tracer != nil {
+		t.Fatal("defaults must not attach telemetry")
+	}
+}
+
+func TestBuildOptionsComposition(t *testing.T) {
+	var st Stats
+	var tr CollectTracer
+	o := buildOptions([]Option{
+		WithBackend(SAT),
+		WithListBound(5),
+		WithStats(&st),
+		WithTracer(&tr),
+	})
+	if o.Backend != SAT {
+		t.Fatalf("backend = %v, want SAT", o.Backend)
+	}
+	if o.ListBound != 5 {
+		t.Fatalf("list bound = %d, want 5", o.ListBound)
+	}
+	if o.Stats != &st {
+		t.Fatal("stats not attached")
+	}
+	if o.Tracer != Tracer(&tr) {
+		t.Fatal("tracer not attached")
+	}
+}
+
+func TestBuildOptionsLaterWins(t *testing.T) {
+	o := buildOptions([]Option{WithBackend(SAT), WithBackend(BDD), WithListBound(2), WithListBound(7)})
+	if o.Backend != BDD || o.ListBound != 7 {
+		t.Fatalf("later option must win: got backend=%v bound=%d", o.Backend, o.ListBound)
+	}
+}
+
+func TestBuildOptionsFromBaseThenCall(t *testing.T) {
+	var base, call Stats
+	// Call options fold after base options, so the call's choice wins.
+	o := buildOptionsFrom(
+		[]Option{WithBackend(SAT), WithStats(&base), WithListBound(9)},
+		[]Option{WithStats(&call)},
+	)
+	if o.Backend != SAT {
+		t.Fatalf("backend = %v, want SAT from base", o.Backend)
+	}
+	if o.ListBound != 9 {
+		t.Fatalf("list bound = %d, want 9 from base", o.ListBound)
+	}
+	if o.Stats != &call {
+		t.Fatal("call stats must override base stats")
+	}
+}
+
+func TestFnUseFoldsBeforeCallOptions(t *testing.T) {
+	var st Stats
+	fn := Func(func(x Value[uint8]) Value[uint8] { return x }).
+		Use(WithBackend(SAT), WithStats(&st))
+	o := fn.options(nil)
+	if o.Backend != SAT || o.Stats != &st {
+		t.Fatalf("Use options not applied: %+v", o)
+	}
+	o = fn.options([]Option{WithBackend(BDD)})
+	if o.Backend != BDD {
+		t.Fatalf("call option must override Use: %v", o.Backend)
+	}
+	if o.Stats != &st {
+		t.Fatal("Use stats must survive call options")
+	}
+}
+
+func TestOptionsNilFastPath(t *testing.T) {
+	// A nil *Rec (the fully-disabled fast path) must make every recorder
+	// method a safe no-op.
+	var rec *obs.Rec
+	stop := rec.Phase("solve")
+	stop()
+	rec.CountSolve(true)
+	rec.ReportBackend(nil)
+	rec.SetDAG(1, 2, 3)
+	rec.Event("x", 1)
+	rec.End()
+
+	// And measureDAG must skip the DAG walk entirely when no Stats is
+	// attached — n is nil here, so walking would panic.
+	o := buildOptions(nil)
+	o.measureDAG(nil, nil)
+}

@@ -13,13 +13,14 @@ import (
 // variables with Var, add constraints with Require, then Solve and read
 // back models with Get. It generalizes Fn.Find to constraint systems over
 // several unknowns — the style of encoding Minesweeper uses for stable
-// routing solutions.
+// routing solutions. After a successful Solve, NextModel enumerates
+// further distinct models.
 type Problem struct {
-	opts    Options
-	vars    []*core.Node
-	cond    Value[bool]
-	model   map[int32]*interp.Value
-	blocked []func() // deferred blocking constraints for NextModel
+	opts  Options
+	vars  []*core.Node
+	cond  Value[bool]
+	model map[int32]*interp.Value
+	next  func() bool // re-solve with a blocking constraint (NextModel)
 }
 
 // NewProblem returns an empty problem.
@@ -46,7 +47,22 @@ func (p *Problem) Solve() bool {
 	return solveProblem(p, backends.NewBDD())
 }
 
+// NextModel searches for a model distinct from the current one (differing
+// in at least one declared variable), replacing the model read by Get. It
+// returns false when no further model exists; the previous model then
+// remains readable. NextModel panics if Solve has not succeeded.
+func (p *Problem) NextModel() bool {
+	if p.next == nil {
+		panic("zen: NextModel before a successful Solve")
+	}
+	return p.next()
+}
+
 func solveProblem[B comparable](p *Problem, alg sym.Solver[B]) bool {
+	rec := p.opts.begin("problem")
+	defer rec.End()
+	p.opts.measureDAG(rec, p.cond.n)
+	stop := rec.Phase("symeval")
 	env := sym.Env[B]{}
 	inputs := make(map[int32]*sym.Input[B], len(p.vars))
 	for _, v := range p.vars {
@@ -55,14 +71,54 @@ func solveProblem[B comparable](p *Problem, alg sym.Solver[B]) bool {
 		inputs[v.VarID] = in
 	}
 	out := sym.Eval(alg, p.cond.n, env)
-	if !alg.Solve(out.Bit) {
+	stop()
+	constraint := out.Bit
+	stop = rec.Phase("solve")
+	ok := alg.Solve(constraint)
+	stop()
+	rec.CountSolve(ok)
+	rec.ReportBackend(alg)
+	if !ok {
 		return false
 	}
-	p.model = make(map[int32]*interp.Value, len(inputs))
-	for id, in := range inputs {
-		p.model[id] = in.Decode(alg.BitValue)
+	stop = rec.Phase("decode")
+	p.model = decodeModel(inputs, alg.BitValue)
+	stop()
+	// Arm NextModel: each call conjoins "some variable differs from the
+	// current model" (reusing blockModel) and re-solves incrementally on
+	// the same solver.
+	p.next = func() bool {
+		rec := p.opts.begin("nextmodel")
+		defer rec.End()
+		stop := rec.Phase("symeval")
+		differs := alg.False()
+		for id, in := range inputs {
+			differs = alg.Or(differs, blockModel(alg, in.Val, p.model[id]))
+		}
+		constraint = alg.And(constraint, differs)
+		stop()
+		stop = rec.Phase("solve")
+		ok := alg.Solve(constraint)
+		stop()
+		rec.CountSolve(ok)
+		rec.ReportBackend(alg)
+		if !ok {
+			return false
+		}
+		stop = rec.Phase("decode")
+		p.model = decodeModel(inputs, alg.BitValue)
+		stop()
+		return true
 	}
 	return true
+}
+
+func decodeModel[B comparable](inputs map[int32]*sym.Input[B], bit func(B) bool) map[int32]*interp.Value {
+	m := make(map[int32]*interp.Value, len(inputs))
+	for id, in := range inputs {
+		m[id] = in.Decode(bit)
+	}
+	return m
 }
 
 // Get reads a variable's value from the last model. It panics if Solve has

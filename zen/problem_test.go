@@ -102,3 +102,75 @@ func TestProblemListVar(t *testing.T) {
 		t.Fatalf("9 missing from %v", lv)
 	}
 }
+
+func TestProblemNextModelEnumerates(t *testing.T) {
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		p := zen.NewProblem(zen.WithBackend(be))
+		x := zen.ProblemVar[uint8](p, "x")
+		p.Require(zen.LtC(x, uint8(3)))
+		if !p.Solve() {
+			t.Fatalf("%v: x<3 must be solvable", be)
+		}
+		seen := map[uint8]bool{zen.Get(p, x): true}
+		for p.NextModel() {
+			v := zen.Get(p, x)
+			if v >= 3 {
+				t.Fatalf("%v: model x=%d violates x<3", be, v)
+			}
+			if seen[v] {
+				t.Fatalf("%v: model x=%d repeated", be, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("%v: enumerated %d models, want 3 (%v)", be, len(seen), seen)
+		}
+		// The last successful model stays readable after exhaustion.
+		if v := zen.Get(p, x); !seen[v] {
+			t.Fatalf("%v: post-exhaustion Get returned unseen x=%d", be, v)
+		}
+		// And further calls keep reporting exhaustion.
+		if p.NextModel() {
+			t.Fatalf("%v: NextModel after exhaustion returned true", be)
+		}
+	}
+}
+
+func TestProblemNextModelMultiVar(t *testing.T) {
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		p := zen.NewProblem(zen.WithBackend(be))
+		x := zen.ProblemVar[uint8](p, "x")
+		y := zen.ProblemVar[uint8](p, "y")
+		p.Require(zen.Eq(zen.Add(x, y), zen.Lift[uint8](1)))
+		if !p.Solve() {
+			t.Fatalf("%v: x+y=1 must be solvable", be)
+		}
+		type pair struct{ x, y uint8 }
+		seen := map[pair]bool{{zen.Get(p, x), zen.Get(p, y)}: true}
+		for p.NextModel() {
+			pr := pair{zen.Get(p, x), zen.Get(p, y)}
+			if pr.x+pr.y != 1 {
+				t.Fatalf("%v: model %v violates x+y=1", be, pr)
+			}
+			if seen[pr] {
+				t.Fatalf("%v: model %v repeated", be, pr)
+			}
+			seen[pr] = true
+		}
+		// uint8 wraparound: x+y = 1 (mod 256) has 256 solutions.
+		if len(seen) != 256 {
+			t.Fatalf("%v: enumerated %d models, want 256", be, len(seen))
+		}
+	}
+}
+
+func TestProblemNextModelBeforeSolvePanics(t *testing.T) {
+	p := zen.NewProblem()
+	zen.ProblemVar[uint8](p, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.NextModel()
+}

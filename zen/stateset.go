@@ -13,8 +13,16 @@ type World struct {
 	w *stateset.World
 }
 
-// NewWorld returns a fresh state-set world.
-func NewWorld() *World { return &World{w: stateset.NewWorld()} }
+// NewWorld returns a fresh state-set world. Options WithStats and
+// WithTracer attach telemetry to every set and transformer operation of
+// the world (other options are ignored: worlds are BDD-only and list-free).
+func NewWorld(opts ...Option) *World {
+	o := buildOptions(opts)
+	w := stateset.NewWorld()
+	w.Obs = o.Stats
+	w.Tracer = o.Tracer
+	return &World{w: w}
+}
 
 // Internal returns the underlying state-set world for analyses that need
 // raw BDD access (e.g. atomic predicates).

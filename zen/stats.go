@@ -1,0 +1,51 @@
+package zen
+
+import (
+	"io"
+
+	"zen-go/internal/obs"
+)
+
+// Stats accumulates analysis telemetry: phase timings (DAG build, symbolic
+// evaluation, solving, decoding), expression-DAG measurements, BDD node
+// counts and cache hit rates, and SAT clause/decision/propagation/conflict
+// counters. Attach one with WithStats:
+//
+//	var st zen.Stats
+//	fn.Find(pred, zen.WithBackend(zen.SAT), zen.WithStats(&st))
+//	fmt.Print(st.String())
+//
+// The zero value is ready to use; one Stats may be shared by analyses on
+// different backends. Stats is safe for concurrent use.
+type Stats = obs.Stats
+
+// StatsSnapshot is a plain copy of collected telemetry, as returned by
+// (*Stats).Snapshot.
+type StatsSnapshot = obs.Snapshot
+
+// PhaseTiming is the accumulated wall time of one named analysis phase.
+type PhaseTiming = obs.PhaseTiming
+
+// Tracer is the pluggable tracing hook: each analysis opens one span (e.g.
+// "find/bdd") and emits one event per phase. Attach with WithTracer.
+type Tracer = obs.Tracer
+
+// Span is one traced analysis (see Tracer).
+type Span = obs.Span
+
+// CollectTracer records spans and events in memory — useful in tests and
+// for programmatic inspection.
+type CollectTracer = obs.CollectTracer
+
+// TraceEvent is one record captured by a CollectTracer.
+type TraceEvent = obs.TraceEvent
+
+// NewWriterTracer returns a Tracer that logs spans and phase events as
+// indented lines to w.
+func NewWriterTracer(w io.Writer) Tracer { return &obs.WriterTracer{W: w} }
+
+// GlobalStats returns the process-wide telemetry aggregate, which every
+// analysis feeds regardless of attached Stats. It backs the expvar
+// "zenstats" variable and the /debug/zenstats endpoint of the command-line
+// tools.
+func GlobalStats() *Stats { return obs.Global() }
