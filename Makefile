@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench fuzz
 
 all: build
 
@@ -25,3 +25,11 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# fuzz runs long native differential-fuzzing campaigns (see internal/fuzz).
+# Override FUZZTIME for longer hunts: make fuzz FUZZTIME=10m
+FUZZTIME ?= 2m
+fuzz:
+	$(GO) test ./internal/fuzz -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fuzz -run '^$$' -fuzz '^FuzzListHeavy$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fuzz -run '^$$' -fuzz '^FuzzWide$$' -fuzztime $(FUZZTIME)

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders types and expression DAGs back into Go source over the
+// Builder API. It is the output format of the differential fuzzer's
+// shrinker (internal/fuzz): a minimized failing expression is printed as a
+// compilable snippet that can be pasted into a regression test verbatim.
+//
+// Printing is fully inline (no locals for shared sub-DAGs): shrunk repros
+// are small, and rebuilding the printed expression through a Builder
+// re-establishes sharing via hash-consing, so semantics are unchanged.
+
+// GoType renders a type as a Go expression constructing it via this
+// package's type constructors.
+func GoType(t *Type) string {
+	switch t.Kind {
+	case KindBool:
+		return "core.Bool()"
+	case KindBV:
+		return fmt.Sprintf("core.BV(%d, %v)", t.Width, t.Signed)
+	case KindObject:
+		var b strings.Builder
+		fmt.Fprintf(&b, "core.Object(%q", t.TypeName)
+		for _, f := range t.Fields {
+			fmt.Fprintf(&b, ", core.Field{Name: %q, Type: %s}", f.Name, GoType(f.Type))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case KindList:
+		return "core.List(" + GoType(t.Elem) + ")"
+	}
+	panic("core: unknown kind")
+}
+
+// GoExpr renders the DAG rooted at n as a Go expression over a Builder
+// named b. names maps free variable nodes to Go identifiers; variables
+// bound by OpListCase are named automatically inside the emitted closure.
+// The result compiles in any scope with `b *core.Builder` and the named
+// variables in scope.
+func GoExpr(n *Node, names map[*Node]string) string {
+	p := &goPrinter{names: make(map[*Node]string, len(names))}
+	for k, v := range names {
+		p.names[k] = v
+	}
+	var b strings.Builder
+	p.write(&b, n)
+	return b.String()
+}
+
+type goPrinter struct {
+	names   map[*Node]string
+	binders int
+}
+
+func (p *goPrinter) write(b *strings.Builder, n *Node) {
+	switch n.Op {
+	case OpConst:
+		if n.Type.Kind == KindBool {
+			fmt.Fprintf(b, "b.BoolConst(%v)", n.BVal)
+		} else {
+			fmt.Fprintf(b, "b.BVConst(%s, %#x)", GoType(n.Type), n.UVal)
+		}
+	case OpVar:
+		name, ok := p.names[n]
+		if !ok {
+			panic(fmt.Sprintf("core: GoExpr: unbound variable %s#%d", n.Name, n.VarID))
+		}
+		b.WriteString(name)
+	case OpNot:
+		p.call(b, "Not", n.Kids...)
+	case OpAnd:
+		p.call(b, "And", n.Kids...)
+	case OpOr:
+		p.call(b, "Or", n.Kids...)
+	case OpEq:
+		p.call(b, "Eq", n.Kids...)
+	case OpLt:
+		p.call(b, "Lt", n.Kids...)
+	case OpAdd:
+		p.call(b, "Add", n.Kids...)
+	case OpSub:
+		p.call(b, "Sub", n.Kids...)
+	case OpMul:
+		p.call(b, "Mul", n.Kids...)
+	case OpBAnd:
+		p.call(b, "BAnd", n.Kids...)
+	case OpBOr:
+		p.call(b, "BOr", n.Kids...)
+	case OpBXor:
+		p.call(b, "BXor", n.Kids...)
+	case OpBNot:
+		p.call(b, "BNot", n.Kids...)
+	case OpShl, OpShr:
+		method := "Shl"
+		if n.Op == OpShr {
+			method = "Shr"
+		}
+		fmt.Fprintf(b, "b.%s(", method)
+		p.write(b, n.Kids[0])
+		fmt.Fprintf(b, ", %d)", n.Index)
+	case OpIf:
+		p.call(b, "If", n.Kids...)
+	case OpCreate:
+		fmt.Fprintf(b, "b.Create(%s", GoType(n.Type))
+		for _, k := range n.Kids {
+			b.WriteString(", ")
+			p.write(b, k)
+		}
+		b.WriteByte(')')
+	case OpGetField:
+		b.WriteString("b.GetField(")
+		p.write(b, n.Kids[0])
+		fmt.Fprintf(b, ", %d)", n.Index)
+	case OpWithField:
+		b.WriteString("b.WithField(")
+		p.write(b, n.Kids[0])
+		fmt.Fprintf(b, ", %d, ", n.Index)
+		p.write(b, n.Kids[1])
+		b.WriteByte(')')
+	case OpListNil:
+		fmt.Fprintf(b, "b.ListNil(%s)", GoType(n.Type))
+	case OpListCons:
+		p.call(b, "ListCons", n.Kids...)
+	case OpListCase:
+		p.binders++
+		head := fmt.Sprintf("h%d", p.binders)
+		tail := fmt.Sprintf("t%d", p.binders)
+		b.WriteString("b.ListCase(")
+		p.write(b, n.Kids[0])
+		b.WriteString(", ")
+		p.write(b, n.Kids[1])
+		fmt.Fprintf(b, ", func(%s, %s *core.Node) *core.Node { return ", head, tail)
+		p.names[n.Bound[0]] = head
+		p.names[n.Bound[1]] = tail
+		p.write(b, n.Kids[2])
+		delete(p.names, n.Bound[0])
+		delete(p.names, n.Bound[1])
+		b.WriteString(" })")
+	case OpAdapt:
+		fmt.Fprintf(b, "b.Adapt(%s, ", GoType(n.Type))
+		p.write(b, n.Kids[0])
+		b.WriteByte(')')
+	case OpCast:
+		b.WriteString("b.Cast(")
+		p.write(b, n.Kids[0])
+		fmt.Fprintf(b, ", %s)", GoType(n.Type))
+	default:
+		panic("core: GoExpr: unhandled op " + n.Op.String())
+	}
+}
+
+func (p *goPrinter) call(b *strings.Builder, method string, kids ...*Node) {
+	fmt.Fprintf(b, "b.%s(", method)
+	for i, k := range kids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		p.write(b, k)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,346 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zen-go/internal/backends"
+	"zen-go/internal/compilejit"
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+	"zen-go/internal/stateset"
+	"zen-go/internal/sym"
+)
+
+// Divergence kinds reported by the oracle.
+const (
+	KindSatDisagree    = "sat-disagree"    // BDD and SAT disagree on satisfiability
+	KindCountDisagree  = "count-disagree"  // backends enumerate different model counts
+	KindUnsoundModel   = "unsound-model"   // a returned model does not satisfy the predicate
+	KindDuplicateModel = "duplicate-model" // model enumeration returned the same input twice
+	KindCompileDiverge = "compile-diverge" // compiled output differs from interpreted output
+	KindStateSetEmpty  = "stateset-empty"  // set emptiness contradicts the solvers
+	KindStateSetModel  = "stateset-model"  // a solver model is missing from the predicate's set
+	KindStateSetCount  = "stateset-count"  // exact set count contradicts exhausted enumeration
+	KindReverseDiverge = "reverse-diverge" // TransformReverse({true}) differs from the solution set
+	KindForwardDiverge = "forward-diverge" // TransformForward of a singleton is not {f(x)}
+	KindBackendPanic   = "backend-panic"   // a backend crashed on a well-typed expression
+)
+
+// CheckConfig configures one differential check.
+type CheckConfig struct {
+	// ListBound is the symbolic list-length bound (the paper's Find
+	// parameter) used by all solver paths.
+	ListBound int
+	// MaxModels caps FindAll-parity enumeration per backend.
+	MaxModels int
+	// ConcreteTrials is the number of random concrete inputs run through
+	// interpreter vs compiled program.
+	ConcreteTrials int
+	// StateSet enables the state-set transformer cross-check (list-free
+	// expressions only; skipped automatically otherwise).
+	StateSet bool
+	// MaxStateSetBits skips the state-set path for wider input types
+	// (exact counting over huge spaces is still fine, but region setup
+	// cost scales with bits; 0 means no limit).
+	MaxStateSetBits int
+}
+
+// DefaultCheckConfig returns the campaign default oracle settings.
+func DefaultCheckConfig() CheckConfig {
+	return CheckConfig{ListBound: 2, MaxModels: 4, ConcreteTrials: 4, StateSet: true, MaxStateSetBits: 48}
+}
+
+// Divergence describes one cross-backend disagreement. Expr and In identify
+// the failing query; Detail is human-readable context.
+type Divergence struct {
+	Kind   string
+	Detail string
+	Expr   *core.Node
+	In     *core.Node
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("%s: %s\n  expr: %s", d.Kind, d.Detail, d.Expr)
+}
+
+// Check runs the boolean expression expr over the single input variable in
+// through every execution path and cross-validates them:
+//
+//   - interpreted vs compiled output on random concrete inputs,
+//   - BDD vs SAT satisfiability and (capped) model counts,
+//   - every returned model concretely satisfies expr under interpretation
+//     and compiled execution,
+//   - state-set emptiness/containment/count and TransformForward/Reverse
+//     against direct solving (list-free expressions).
+//
+// It returns nil when all paths agree, or the first divergence found. rng
+// drives concrete input choice only; solver paths are deterministic.
+func Check(expr, in *core.Node, cfg CheckConfig, rng *rand.Rand) *Divergence {
+	if expr.Type.Kind != core.KindBool {
+		panic("fuzz: Check requires a boolean expression")
+	}
+	fail := func(kind, format string, args ...any) *Divergence {
+		return &Divergence{Kind: kind, Detail: fmt.Sprintf(format, args...), Expr: expr, In: in}
+	}
+
+	// Path 1+2: interpretation vs compiled execution on concrete inputs.
+	prog, div := compileChecked(expr, in)
+	if div != nil {
+		return div.fill(expr, in)
+	}
+	var concrete []*interp.Value
+	for i := 0; i < cfg.ConcreteTrials; i++ {
+		concrete = append(concrete, RandValue(rng, in.Type, cfg.ListBound))
+	}
+	for _, x := range concrete {
+		if d := checkCompiled(expr, in, prog, x); d != nil {
+			return d.fill(expr, in)
+		}
+	}
+
+	// Path 3+4: BDD and SAT find/findall with model-soundness checking.
+	bddRes := enumerate(func() anySolver { return wrapSolver(backends.NewBDD()) }, expr, in, prog, cfg)
+	if bddRes.div != nil {
+		return bddRes.div.fill(expr, in)
+	}
+	satRes := enumerate(func() anySolver { return wrapSolver(backends.NewSAT()) }, expr, in, prog, cfg)
+	if satRes.div != nil {
+		return satRes.div.fill(expr, in)
+	}
+	if bddRes.sat != satRes.sat {
+		return fail(KindSatDisagree, "bdd sat=%v, sat sat=%v (bound %d)", bddRes.sat, satRes.sat, cfg.ListBound)
+	}
+	if bddRes.exhausted && len(satRes.models) > len(bddRes.models) {
+		return fail(KindCountDisagree, "bdd exhausted at %d models, sat found %d", len(bddRes.models), len(satRes.models))
+	}
+	if satRes.exhausted && len(bddRes.models) > len(satRes.models) {
+		return fail(KindCountDisagree, "sat exhausted at %d models, bdd found %d", len(satRes.models), len(bddRes.models))
+	}
+
+	// Path 5: state-set transformers (exact over the whole space).
+	if cfg.StateSet && listFree(expr) && listFreeType(in.Type) &&
+		(cfg.MaxStateSetBits == 0 || in.Type.NumBits(cfg.ListBound) <= cfg.MaxStateSetBits) {
+		if d := checkStateSet(expr, in, bddRes, concrete[0], prog); d != nil {
+			return d.fill(expr, in)
+		}
+	}
+	return nil
+}
+
+func (d *Divergence) fill(expr, in *core.Node) *Divergence {
+	if d.Expr == nil {
+		d.Expr, d.In = expr, in
+	}
+	return d
+}
+
+// --- compiled vs interpreted ---
+
+func compileChecked(expr, in *core.Node) (prog *compilejit.Program, div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("compile panicked: %v", r)}
+		}
+	}()
+	return compilejit.Compile(expr, in), nil
+}
+
+func checkCompiled(expr, in *core.Node, prog *compilejit.Program, x *interp.Value) (div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("concrete run panicked on %s: %v", x, r)}
+		}
+	}()
+	want := interp.Eval(expr, interp.Env{in.VarID: x}).B
+	got := prog.Run(x).B
+	if got != want {
+		return &Divergence{Kind: KindCompileDiverge,
+			Detail: fmt.Sprintf("input %s: interpreted=%v compiled=%v", x, want, got)}
+	}
+	return nil
+}
+
+// --- solver enumeration ---
+
+// anySolver erases the algebra's bit type so BDD and SAT enumeration share
+// one driver.
+type anySolver interface {
+	eval(expr, in *core.Node, bound int)
+	solve() bool
+	decode() *interp.Value
+	block(model *interp.Value)
+}
+
+type erasedSolver[B comparable] struct {
+	alg        sym.Solver[B]
+	input      *sym.Input[B]
+	constraint B
+}
+
+func wrapSolver[B comparable](alg sym.Solver[B]) anySolver { return &erasedSolver[B]{alg: alg} }
+
+func (s *erasedSolver[B]) eval(expr, in *core.Node, bound int) {
+	s.input = sym.Fresh(s.alg, in.Type, bound, "in")
+	out := sym.Eval(s.alg, expr, sym.Env[B]{in.VarID: s.input.Val})
+	s.constraint = out.Bit
+}
+
+func (s *erasedSolver[B]) solve() bool           { return s.alg.Solve(s.constraint) }
+func (s *erasedSolver[B]) decode() *interp.Value { return s.input.Decode(s.alg.BitValue) }
+func (s *erasedSolver[B]) block(m *interp.Value) {
+	blocked := s.alg.Not(sym.Eq(s.alg, s.input.Val, constVal(s.alg, m)))
+	s.constraint = s.alg.And(s.constraint, blocked)
+}
+
+type enumResult struct {
+	sat       bool
+	models    []*interp.Value
+	exhausted bool
+	div       *Divergence
+}
+
+// enumerate finds up to cfg.MaxModels distinct models, checking each for
+// soundness under interpretation and compiled execution.
+func enumerate(mk func() anySolver, expr, in *core.Node, prog *compilejit.Program, cfg CheckConfig) (res enumResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("solver panicked: %v", r)}
+		}
+	}()
+	s := mk()
+	s.eval(expr, in, cfg.ListBound)
+	for len(res.models) < cfg.MaxModels {
+		if !s.solve() {
+			res.exhausted = true
+			break
+		}
+		res.sat = true
+		m := s.decode()
+		// Oracle (b): the model must concretely satisfy the predicate.
+		if !interp.Eval(expr, interp.Env{in.VarID: m}).B {
+			res.div = &Divergence{Kind: KindUnsoundModel, Detail: fmt.Sprintf("model %s evaluates to false", m)}
+			return res
+		}
+		if !prog.Run(m).B {
+			res.div = &Divergence{Kind: KindCompileDiverge, Detail: fmt.Sprintf("model %s satisfies interpreted but not compiled predicate", m)}
+			return res
+		}
+		for _, prev := range res.models {
+			if prev.Equal(m) {
+				res.div = &Divergence{Kind: KindDuplicateModel, Detail: fmt.Sprintf("model %s returned twice", m)}
+				return res
+			}
+		}
+		res.models = append(res.models, m)
+		s.block(m)
+	}
+	return res
+}
+
+// constVal lifts a concrete interpreter value into a constant symbolic
+// value (for model blocking).
+func constVal[B comparable](alg sym.Algebra[B], v *interp.Value) *sym.Val[B] {
+	switch v.Type.Kind {
+	case core.KindBool:
+		if v.B {
+			return sym.BoolVal(alg.True())
+		}
+		return sym.BoolVal(alg.False())
+	case core.KindBV:
+		return sym.ConstBV(alg, v.Type, v.U)
+	case core.KindObject:
+		fields := make([]*sym.Val[B], len(v.Fields))
+		for i, f := range v.Fields {
+			fields[i] = constVal(alg, f)
+		}
+		return sym.ObjectVal(v.Type, fields...)
+	case core.KindList:
+		l := sym.NilList(alg, v.Type)
+		for i := len(v.Elems) - 1; i >= 0; i-- {
+			l = sym.Cons(constVal(alg, v.Elems[i]), l)
+		}
+		return l
+	}
+	panic("fuzz: unknown kind")
+}
+
+// --- state sets ---
+
+func checkStateSet(expr, in *core.Node, solved enumResult, x *interp.Value, prog *compilejit.Program) (div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("stateset panicked: %v", r)}
+		}
+	}()
+	w := stateset.NewWorld()
+	set := w.FromPredicate(in.Type, expr, in.VarID)
+	if set.IsEmpty() == solved.sat {
+		return &Divergence{Kind: KindStateSetEmpty,
+			Detail: fmt.Sprintf("set empty=%v but solvers sat=%v", set.IsEmpty(), solved.sat)}
+	}
+	for _, m := range solved.models {
+		if !set.Contains(m) {
+			return &Divergence{Kind: KindStateSetModel, Detail: fmt.Sprintf("model %s not in predicate set", m)}
+		}
+	}
+	if solved.exhausted && set.Count().Int64() != int64(len(solved.models)) {
+		return &Divergence{Kind: KindStateSetCount,
+			Detail: fmt.Sprintf("set count %s, enumeration exhausted at %d", set.Count(), len(solved.models))}
+	}
+
+	// TransformReverse({true}) is by definition the predicate's solution
+	// set; TransformForward({x}) is exactly {f(x)}.
+	tr := w.Transformer(expr, in.VarID, in.Type, core.Bool())
+	pre := tr.Reverse(w.Singleton(interp.Bool(true)))
+	if !pre.Equal(set) {
+		return &Divergence{Kind: KindReverseDiverge,
+			Detail: fmt.Sprintf("Reverse({true}) count %s != solution set count %s", pre.Count(), set.Count())}
+	}
+	fw := tr.Forward(w.Singleton(x))
+	y := interp.Eval(expr, interp.Env{in.VarID: x})
+	if !fw.Contains(y) || fw.Count().Int64() != 1 {
+		return &Divergence{Kind: KindForwardDiverge,
+			Detail: fmt.Sprintf("Forward({%s}) count %s, contains f(x)=%v", x, fw.Count(), fw.Contains(y))}
+	}
+	return nil
+}
+
+// --- helpers ---
+
+func listFreeType(t *core.Type) bool {
+	switch t.Kind {
+	case core.KindList:
+		return false
+	case core.KindObject:
+		for _, f := range t.Fields {
+			if !listFreeType(f.Type) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// listFree reports whether no node of the DAG has a list type (the
+// state-set backend is list-free by design).
+func listFree(n *core.Node) bool {
+	seen := make(map[*core.Node]bool)
+	var walk func(n *core.Node) bool
+	walk = func(n *core.Node) bool {
+		if seen[n] {
+			return true
+		}
+		seen[n] = true
+		if n.Type.Kind == core.KindList {
+			return false
+		}
+		for _, k := range n.Kids {
+			if !walk(k) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(n)
+}

@@ -1,0 +1,47 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"zen-go/internal/core"
+)
+
+// RequireAgreement runs the full differential oracle on expr over input
+// variable in and fails the test on any divergence. It is the single call a
+// checked-in shrunk repro makes, so regression tests stay one-liners over
+// the printed expression.
+func RequireAgreement(t testingTB, expr, in *core.Node, bound int) {
+	t.Helper()
+	cfg := DefaultCheckConfig()
+	cfg.ListBound = bound
+	if d := Check(expr, in, cfg, deterministicRNG(0)); d != nil {
+		t.Fatalf("cross-backend divergence: %v", d)
+	}
+}
+
+// testingTB is the subset of testing.TB the repro helper needs (avoids
+// importing testing into non-test code).
+type testingTB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// ReproSource renders a shrunk divergence as a complete, compilable Go test
+// function. Paste it into a _test.go of a package importing internal/core
+// and internal/fuzz, and it re-checks the exact failing query.
+func ReproSource(testName string, expr, in *core.Node, bound int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Test%s is a shrunk cross-backend divergence found by zenfuzz.\n", testName)
+	fmt.Fprintf(&b, "// Query: %s\n", expr)
+	fmt.Fprintf(&b, "func Test%s(t *testing.T) {\n", testName)
+	b.WriteString("\tb := core.NewBuilder()\n")
+	// The input variable is emitted even when the shrinker eliminated
+	// every reference: the solver paths still bind it.
+	fmt.Fprintf(&b, "\tin := b.Var(%s, %q)\n", core.GoType(in.Type), "in")
+	names := map[*core.Node]string{in: "in"}
+	fmt.Fprintf(&b, "\texpr := %s\n", core.GoExpr(expr, names))
+	fmt.Fprintf(&b, "\tfuzz.RequireAgreement(t, expr, in, %d)\n", bound)
+	b.WriteString("}\n")
+	return b.String()
+}

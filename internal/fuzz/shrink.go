@@ -1,0 +1,240 @@
+package fuzz
+
+import (
+	"sort"
+
+	"zen-go/internal/core"
+)
+
+// Shrink greedily minimizes a failing boolean expression: it repeatedly
+// tries semantic simplifications — replacing a node by one of its same-typed
+// children, a conditional by either branch, a cons by its tail, any node by
+// a zero constant — and keeps the smallest rewrite for which failing still
+// returns true. maxTries bounds the number of candidate evaluations (each
+// runs the full oracle).
+//
+// The result is a minimal (under these rewrites) expression reproducing the
+// divergence, ready for core.GoExpr / ReproSource.
+func Shrink(b *core.Builder, expr *core.Node, failing func(*core.Node) bool, maxTries int) *core.Node {
+	cur := expr
+	tries := 0
+	for {
+		improved := false
+		for _, cand := range candidates(b, cur) {
+			if tries >= maxTries {
+				return cur
+			}
+			if core.Measure(cand).Nodes >= core.Measure(cur).Nodes {
+				continue
+			}
+			tries++
+			if failing(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates returns candidate rewrites of root, biggest reduction first.
+func candidates(b *core.Builder, root *core.Node) []*core.Node {
+	var out []*core.Node
+	// Most aggressive first: the whole query collapsed to a constant
+	// (catches oracle bugs and trivializable divergences cheaply).
+	out = append(out, b.BoolConst(false), b.BoolConst(true))
+
+	type target struct {
+		n    *core.Node
+		size int
+	}
+	var targets []target
+	seen := make(map[*core.Node]bool)
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		targets = append(targets, target{n, core.Measure(n).Nodes})
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(root)
+	// Replace big subtrees first so successful shrinks cut deep.
+	sort.SliceStable(targets, func(i, j int) bool { return targets[i].size > targets[j].size })
+
+	for _, t := range targets {
+		n := t.n
+		for _, r := range replacements(b, n) {
+			if r == n {
+				continue
+			}
+			out = append(out, replaceNode(b, root, n, r))
+		}
+	}
+	return out
+}
+
+// replacements lists smaller same-typed stand-ins for a node.
+func replacements(b *core.Builder, n *core.Node) []*core.Node {
+	var out []*core.Node
+	switch n.Op {
+	case core.OpIf:
+		out = append(out, n.Kids[1], n.Kids[2])
+	case core.OpListCase:
+		out = append(out, n.Kids[1]) // the empty branch shares the result type
+	case core.OpListCons:
+		out = append(out, n.Kids[1]) // drop the head
+	case core.OpNot, core.OpBNot, core.OpAdapt, core.OpCast:
+		if n.Kids[0].Type.Same(n.Type) {
+			out = append(out, n.Kids[0])
+		}
+	default:
+		for _, k := range n.Kids {
+			if k.Type.Same(n.Type) {
+				out = append(out, k)
+			}
+		}
+	}
+	if n.Op != core.OpConst && (n.Op != core.OpListNil || len(out) > 0) {
+		out = append(out, zeroNode(b, n.Type))
+	}
+	return out
+}
+
+// zeroNode builds the all-zero constant of a type.
+func zeroNode(b *core.Builder, t *core.Type) *core.Node {
+	switch t.Kind {
+	case core.KindBool:
+		return b.BoolConst(false)
+	case core.KindBV:
+		return b.BVConst(t, 0)
+	case core.KindObject:
+		fields := make([]*core.Node, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = zeroNode(b, f.Type)
+		}
+		return b.Create(t, fields...)
+	case core.KindList:
+		return b.ListNil(t)
+	}
+	panic("fuzz: unknown kind")
+}
+
+// replaceNode rebuilds root with every occurrence of target replaced by
+// repl, re-running the builder's local simplifications along the way.
+func replaceNode(b *core.Builder, root, target, repl *core.Node) *core.Node {
+	r := &rebuilder{b: b, target: target, repl: repl, memo: make(map[*core.Node]*core.Node)}
+	return r.walk(root)
+}
+
+type rebuilder struct {
+	b            *core.Builder
+	target, repl *core.Node
+	binders      map[*core.Node]*core.Node // old ListCase binder -> new
+	memo         map[*core.Node]*core.Node
+}
+
+func (r *rebuilder) walk(n *core.Node) *core.Node {
+	if v, ok := r.memo[n]; ok {
+		return v
+	}
+	v := r.rebuild(n)
+	r.memo[n] = v
+	return v
+}
+
+func (r *rebuilder) rebuild(n *core.Node) *core.Node {
+	if n == r.target {
+		// Rebuild the replacement too: it may reference binders being
+		// remapped in this scope. It cannot contain the target (it is a
+		// strict descendant or a fresh constant), so disabling the check
+		// cannot recurse.
+		saved := r.target
+		r.target = nil
+		v := r.rebuild(r.repl)
+		r.target = saved
+		return v
+	}
+	b := r.b
+	switch n.Op {
+	case core.OpConst:
+		if n.Type.Kind == core.KindBool {
+			return b.BoolConst(n.BVal)
+		}
+		return b.BVConst(n.Type, n.UVal)
+	case core.OpVar:
+		if m, ok := r.binders[n]; ok {
+			return m
+		}
+		return n
+	case core.OpNot:
+		return b.Not(r.walk(n.Kids[0]))
+	case core.OpAnd:
+		return b.And(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpOr:
+		return b.Or(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpEq:
+		return b.Eq(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpLt:
+		return b.Lt(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpAdd:
+		return b.Add(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpSub:
+		return b.Sub(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpMul:
+		return b.Mul(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpBAnd:
+		return b.BAnd(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpBOr:
+		return b.BOr(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpBXor:
+		return b.BXor(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpBNot:
+		return b.BNot(r.walk(n.Kids[0]))
+	case core.OpShl:
+		return b.Shl(r.walk(n.Kids[0]), n.Index)
+	case core.OpShr:
+		return b.Shr(r.walk(n.Kids[0]), n.Index)
+	case core.OpIf:
+		return b.If(r.walk(n.Kids[0]), r.walk(n.Kids[1]), r.walk(n.Kids[2]))
+	case core.OpCreate:
+		kids := make([]*core.Node, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = r.walk(k)
+		}
+		return b.Create(n.Type, kids...)
+	case core.OpGetField:
+		return b.GetField(r.walk(n.Kids[0]), n.Index)
+	case core.OpWithField:
+		return b.WithField(r.walk(n.Kids[0]), n.Index, r.walk(n.Kids[1]))
+	case core.OpListNil:
+		return b.ListNil(n.Type)
+	case core.OpListCons:
+		return b.ListCons(r.walk(n.Kids[0]), r.walk(n.Kids[1]))
+	case core.OpListCase:
+		list := r.walk(n.Kids[0])
+		empty := r.walk(n.Kids[1])
+		return b.ListCase(list, empty, func(head, tail *core.Node) *core.Node {
+			child := &rebuilder{
+				b: r.b, target: r.target, repl: r.repl,
+				binders: map[*core.Node]*core.Node{n.Bound[0]: head, n.Bound[1]: tail},
+				memo:    make(map[*core.Node]*core.Node),
+			}
+			for k, v := range r.binders {
+				child.binders[k] = v
+			}
+			return child.walk(n.Kids[2])
+		})
+	case core.OpAdapt:
+		return b.Adapt(n.Type, r.walk(n.Kids[0]))
+	case core.OpCast:
+		return b.Cast(r.walk(n.Kids[0]), n.Type)
+	}
+	panic("fuzz: unhandled op " + n.Op.String())
+}

@@ -1,0 +1,24 @@
+package fuzz_test
+
+// This file is the compiled twin of testdata/shrink_repro.golden: the test
+// body below is pasted verbatim from ReproSource output, proving that
+// shrunk repros printed by the campaign compile and run as standalone
+// regression tests. TestShrinkInjectedDivergence keeps the golden in sync;
+// if it drifts, regenerate with `go test ./internal/fuzz -update` and paste
+// the new body here.
+
+import (
+	"testing"
+
+	"zen-go/internal/core"
+	"zen-go/internal/fuzz"
+)
+
+// TestShrunkInjected is a shrunk cross-backend divergence found by zenfuzz.
+// Query: (lt 0 (case in#1 0 -4601951))
+func TestShrunkInjected(t *testing.T) {
+	b := core.NewBuilder()
+	in := b.Var(core.List(core.Object("Obj1", core.Field{Name: "F0", Type: core.Bool()}, core.Field{Name: "F1", Type: core.BV(64, true)})), "in")
+	expr := b.Lt(b.BVConst(core.BV(24, true), 0x0), b.ListCase(in, b.BVConst(core.BV(24, true), 0x0), func(h1, t1 *core.Node) *core.Node { return b.BVConst(core.BV(24, true), 0xb9c7a1) }))
+	fuzz.RequireAgreement(t, expr, in, 2)
+}

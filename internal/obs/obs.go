@@ -102,6 +102,16 @@ type StateSetStats struct {
 	Reverses     int64 `json:"reverses"`
 }
 
+// FuzzStats count differential-fuzzing campaign activity (internal/fuzz).
+type FuzzStats struct {
+	// Execs counts generated queries pushed through the full oracle.
+	Execs int64 `json:"execs"`
+	// Divergences counts oracle failures (cross-backend disagreements).
+	Divergences int64 `json:"divergences"`
+	// Shrinks counts oracle re-runs spent minimizing divergences.
+	Shrinks int64 `json:"shrinks"`
+}
+
 // PhaseTiming is the accumulated wall time of one named analysis phase
 // ("build", "symeval", "solve", "decode", ...).
 type PhaseTiming struct {
@@ -129,6 +139,7 @@ type Snapshot struct {
 	SAT      SATStats      `json:"sat_solver"`
 	Compile  CompileStats  `json:"compile"`
 	StateSet StateSetStats `json:"stateset"`
+	Fuzz     FuzzStats     `json:"fuzz"`
 }
 
 // Phase returns the accumulated timing of the named phase.
@@ -186,6 +197,9 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.StateSet.FreshSpaces += o.StateSet.FreshSpaces
 	s.StateSet.Forwards += o.StateSet.Forwards
 	s.StateSet.Reverses += o.StateSet.Reverses
+	s.Fuzz.Execs += o.Fuzz.Execs
+	s.Fuzz.Divergences += o.Fuzz.Divergences
+	s.Fuzz.Shrinks += o.Fuzz.Shrinks
 }
 
 func (s *Snapshot) clone() Snapshot {
@@ -247,6 +261,10 @@ func (s *Snapshot) String() string {
 		fmt.Fprintf(&b, "  stateset: %d transformers (%d fresh-space), %d forward, %d reverse\n",
 			s.StateSet.Transformers, s.StateSet.FreshSpaces,
 			s.StateSet.Forwards, s.StateSet.Reverses)
+	}
+	if s.Fuzz.Execs > 0 {
+		fmt.Fprintf(&b, "  fuzz:     %d execs, %d divergences, %d shrink steps\n",
+			s.Fuzz.Execs, s.Fuzz.Divergences, s.Fuzz.Shrinks)
 	}
 	return b.String()
 }

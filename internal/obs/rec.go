@@ -123,6 +123,16 @@ func (r *Rec) AddStateSet(d StateSetStats) {
 	r.s.StateSet.Reverses += d.Reverses
 }
 
+// AddFuzz accumulates differential-fuzzing campaign counters.
+func (r *Rec) AddFuzz(d FuzzStats) {
+	if r == nil {
+		return
+	}
+	r.s.Fuzz.Execs += d.Execs
+	r.s.Fuzz.Divergences += d.Divergences
+	r.s.Fuzz.Shrinks += d.Shrinks
+}
+
 // End closes the span and merges the record into the attached Stats and
 // the Global aggregate. End must be called exactly once.
 func (r *Rec) End() {

@@ -1,0 +1,82 @@
+package gre_test
+
+import (
+	"testing"
+
+	"zen-go/nets/gre"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func tunnel() *gre.Tunnel {
+	return &gre.Tunnel{Name: "gre0", SrcIP: pkt.IP(10, 0, 0, 1), DstIP: pkt.IP(10, 0, 0, 2)}
+}
+
+func TestEncapAddsUnderlay(t *testing.T) {
+	tun := tunnel()
+	fn := zen.Func(tun.Encap)
+	p := pkt.Packet{Overlay: pkt.Header{
+		DstIP: pkt.IP(172, 16, 2, 9), SrcIP: pkt.IP(172, 16, 1, 5),
+		DstPort: 80, SrcPort: 4242, Protocol: pkt.ProtoTCP,
+	}}
+	out := fn.Evaluate(p)
+	if !out.Underlay.Ok {
+		t.Fatal("encap added no underlay header")
+	}
+	u := out.Underlay.Val
+	if u.DstIP != tun.DstIP || u.SrcIP != tun.SrcIP {
+		t.Fatalf("underlay endpoints %s -> %s, want tunnel endpoints",
+			pkt.FormatIP(u.SrcIP), pkt.FormatIP(u.DstIP))
+	}
+	if u.Protocol != pkt.ProtoGRE {
+		t.Fatalf("underlay protocol %d, want GRE (47)", u.Protocol)
+	}
+	if out.Overlay != p.Overlay {
+		t.Fatal("encap must not touch the overlay header")
+	}
+}
+
+func TestNilTunnelPassesThrough(t *testing.T) {
+	var tun *gre.Tunnel
+	fn := zen.Func(tun.Encap)
+	p := pkt.Packet{Overlay: pkt.Header{DstIP: 1, SrcIP: 2}}
+	if out := fn.Evaluate(p); out != p {
+		t.Fatalf("nil tunnel changed the packet: %+v", out)
+	}
+}
+
+// TestDecapEncapRoundTripBothBackends verifies on each solver backend that
+// decapsulation undoes encapsulation for every packet: the overlay header
+// survives untouched and the underlay is gone.
+func TestDecapEncapRoundTripBothBackends(t *testing.T) {
+	tun := tunnel()
+	for _, tc := range []struct {
+		name    string
+		backend zen.Backend
+	}{
+		{"bdd", zen.BDD},
+		{"sat", zen.SAT},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fn := zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[pkt.Packet] {
+				return tun.Decap(tun.Encap(p))
+			})
+			ok, cex := fn.Verify(func(p zen.Value[pkt.Packet], out zen.Value[pkt.Packet]) zen.Value[bool] {
+				return zen.And(
+					zen.Eq(pkt.Overlay(out), pkt.Overlay(p)),
+					zen.IsNone(pkt.Underlay(out)))
+			}, zen.WithBackend(tc.backend))
+			if !ok {
+				t.Fatalf("decap∘encap is not identity on the overlay: %+v", cex)
+			}
+		})
+	}
+}
+
+// TestGRESelfCheck cross-validates the tunnel model through the
+// differential harness.
+func TestGRESelfCheck(t *testing.T) {
+	if err := zen.Func(tunnel().Encap).SelfCheck(6, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,4 +23,13 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== zenfuzz smoke (deterministic differential campaign)"
+go run ./cmd/zenfuzz -n 2000 -seed 1 -progress 0
+
+echo "== go test -fuzz (10s per target)"
+for target in FuzzDifferential FuzzListHeavy FuzzWide; do
+    echo "-- $target"
+    go test ./internal/fuzz -run '^$' -fuzz "^${target}\$" -fuzztime 10s
+done
+
 echo "ok: all checks passed"

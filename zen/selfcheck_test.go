@@ -1,0 +1,67 @@
+package zen_test
+
+import (
+	"strings"
+	"testing"
+
+	"zen-go/zen"
+)
+
+func TestSelfCheckScalarModel(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Add(zen.Mul(x, zen.Lift[uint8](3)), zen.Lift[uint8](7))
+	})
+	if err := fn.SelfCheck(8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfCheckPredicateModel(t *testing.T) {
+	// Boolean output triggers the full differential oracle.
+	fn := zen.Func(func(x zen.Value[uint16]) zen.Value[bool] {
+		return zen.And(zen.LtC(x, 1000), zen.EqC(zen.BitAnd(x, zen.Lift[uint16](3)), 1))
+	})
+	if err := fn.SelfCheck(4, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfCheckStructModel(t *testing.T) {
+	type Packet struct {
+		Src  uint8
+		Dst  uint8
+		Drop bool
+	}
+	fn := zen.Func(func(p zen.Value[Packet]) zen.Value[Packet] {
+		swapped := zen.WithField(p, "Src", zen.GetField[Packet, uint8](p, "Dst"))
+		return zen.WithField(swapped, "Drop", zen.EqC(zen.GetField[Packet, uint8](p, "Src"), 0))
+	})
+	if err := fn.SelfCheck(6, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfCheckTelemetry(t *testing.T) {
+	var st zen.Stats
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[bool] { return zen.LtC(x, 10) })
+	if err := fn.SelfCheck(2, 4, zen.WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.String(), "analyses") {
+		t.Fatalf("selfcheck recorded no telemetry: %s", st.String())
+	}
+	snap := st.Snapshot()
+	if snap.Analyses == 0 {
+		t.Fatalf("selfcheck recorded zero analyses")
+	}
+}
+
+func TestSelfCheckDeterministic(t *testing.T) {
+	// Same seed, same verdict and same telemetry-relevant work.
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] { return zen.BitXor(x, zen.Lift[uint8](0xff)) })
+	for i := 0; i < 2; i++ {
+		if err := fn.SelfCheck(5, 99); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
