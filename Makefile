@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench fuzz
+.PHONY: all build test race vet fmt lint check bench fuzz
 
 all: build
 
@@ -18,6 +18,13 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# lint runs both static-analysis layers: zenlint over the expression DAGs
+# of every registered model, and zenvet over the Go source that builds
+# them. Both exit non-zero on unsuppressed findings.
+lint:
+	$(GO) run ./cmd/zenlint
+	$(GO) run ./cmd/zenvet
 
 # check is the full hygiene gate: gofmt, vet, build, race-enabled tests.
 check:

@@ -1,0 +1,13 @@
+package ap
+
+import "zen-go/zen"
+
+func init() {
+	// The kind of predicate the atomic-predicate computation partitions:
+	// an interval of the value space.
+	zen.RegisterModel("analyses/ap.interval-predicate", func() zen.Lintable {
+		return zen.Func(func(x zen.Value[uint8]) zen.Value[bool] {
+			return zen.And(zen.GeC(x, uint8(16)), zen.LtC(x, uint8(64)))
+		})
+	})
+}

@@ -1,0 +1,20 @@
+package bonsai
+
+import (
+	"zen-go/nets/bgp"
+	"zen-go/zen"
+)
+
+func init() {
+	// The abstraction preserves route selection, so the model checked on
+	// the compressed network is the same selection function.
+	zen.RegisterModel("analyses/bonsai.abstract-select", func() zen.Lintable {
+		return zen.Func2(func(a, b zen.Value[zen.Opt[bgp.Route]]) zen.Value[zen.Opt[bgp.Route]] {
+			return bgp.SelectBest(a, b)
+		})
+	},
+		// ZL201: SelectBest compares route attributes only after both
+		// options passed their IsSome guards, so the Opt default arm is
+		// intentionally unreachable.
+		"ZL201")
+}

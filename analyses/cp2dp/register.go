@@ -1,0 +1,27 @@
+package cp2dp
+
+import (
+	"zen-go/nets/bgp"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	// The data plane derived from a converged line network R1 - R2 - R3:
+	// the registered model is R2's derived forwarding table.
+	zen.RegisterModel("analyses/cp2dp.derived-forward", func() zen.Lintable {
+		cp := &bgp.Network{}
+		r1 := cp.AddRouter("R1", 65001)
+		r2 := cp.AddRouter("R2", 65002)
+		r3 := cp.AddRouter("R3", 65003)
+		r1.Originates = true
+		r1.Origin = bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+		cp.ConnectBoth(r1, r2)
+		cp.ConnectBoth(r2, r3)
+		net := Build(cp, 10)
+		return zen.Func(net.Device[r2].Table.Forward)
+	},
+		// ZL401: the derived table is an LPM table — it forwards on DstIP
+		// and wildcards the rest (same acceptance as nets/fwd.forward).
+		"ZL401")
+}

@@ -1,0 +1,28 @@
+package diff
+
+import (
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	// The disagreement condition Equivalent solves: two tables that differ
+	// on one more-specific route.
+	zen.RegisterModel("analyses/diff.disagreement", func() zen.Lintable {
+		t1 := fwd.New(
+			fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 1},
+		)
+		t2 := fwd.New(
+			fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 1},
+			fwd.Entry{Prefix: pkt.Pfx(10, 9, 0, 0, 16), Port: 2},
+		)
+		return zen.Func(func(h zen.Value[pkt.Header]) zen.Value[bool] {
+			return zen.Ne(t1.Forward(h), t2.Forward(h))
+		})
+	},
+		// ZL401: both tables route on DstIP alone, so disagreement cannot
+		// depend on the other header fields — leaving them free is what
+		// lets Find pick any witness packet.
+		"ZL401")
+}

@@ -1,0 +1,24 @@
+package hsa
+
+import (
+	"zen-go/nets/device"
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	// The per-hop transfer function header-space exploration pushes sets
+	// through: one device's inbound-filter + forward + outbound step.
+	zen.RegisterModel("analyses/hsa.transfer", func() zen.Lintable {
+		a := &device.Device{Name: "A"}
+		aw, ae := a.AddInterface("w"), a.AddInterface("e")
+		a.Table = fwd.New(
+			fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: ae.ID},
+			fwd.Entry{Prefix: pkt.Pfx(192, 168, 0, 0, 16), Port: aw.ID},
+		)
+		return zen.Func(func(p zen.Value[pkt.Packet]) zen.Value[zen.Opt[pkt.Packet]] {
+			return device.ForwardPath([]*device.Interface{aw, ae}, p)
+		})
+	})
+}

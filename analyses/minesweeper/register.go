@@ -1,0 +1,16 @@
+package minesweeper
+
+import (
+	"zen-go/nets/bgp"
+	"zen-go/zen"
+)
+
+func init() {
+	// The stable-selection constraint Check encodes per router: the chosen
+	// route is at least as good as every candidate.
+	zen.RegisterModel("analyses/minesweeper.stability", func() zen.Lintable {
+		return zen.Func2(func(best, cand zen.Value[zen.Opt[bgp.Route]]) zen.Value[bool] {
+			return zen.Eq(bgp.Better(best, cand), best)
+		})
+	})
+}

@@ -1,0 +1,13 @@
+package reach
+
+import "zen-go/zen"
+
+func init() {
+	// A representative step function for fixpoint reachability: a
+	// saturating decrement.
+	zen.RegisterModel("analyses/reach.step", func() zen.Lintable {
+		return zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+			return zen.If(zen.EqC(x, uint8(0)), zen.Lift[uint8](0), zen.SubC(x, 1))
+		})
+	})
+}

@@ -1,0 +1,19 @@
+package shapeshifter
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+	"zen-go/zen"
+)
+
+func init() {
+	// The concrete policy-transfer function the abstract interpreter
+	// over-approximates: an export route-map applied to a route.
+	zen.RegisterModel("analyses/shapeshifter.policy-transfer", func() zen.Lintable {
+		rm := &routemap.RouteMap{Name: "export", Clauses: []routemap.Clause{
+			{Permit: false, MatchPrefixes: []routemap.PrefixMatch{{Pfx: pkt.Pfx(10, 0, 0, 0, 8), GE: 25, LE: 32}}},
+			{Permit: true, PrependAs: 65000},
+		}}
+		return zen.Func(rm.Apply)
+	})
+}

@@ -1,0 +1,28 @@
+package veriflow
+
+import (
+	"zen-go/nets/fwd"
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	// The violation condition the monitor re-checks per update: a header
+	// whose forwarding decision breaks the invariant (here: no blackhole
+	// inside the covered prefix).
+	zen.RegisterModel("analyses/veriflow.no-blackhole", func() zen.Lintable {
+		t := fwd.New(
+			fwd.Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 1},
+			fwd.Entry{Prefix: pkt.Pfx(10, 1, 0, 0, 16), Port: 2},
+		)
+		return zen.Func(func(h zen.Value[pkt.Header]) zen.Value[bool] {
+			return zen.Implies(
+				pkt.Pfx(10, 0, 0, 0, 8).Contains(pkt.DstIP(h)),
+				zen.Ne(t.Forward(h), zen.Lift(uint8(0))))
+		})
+	},
+		// ZL401: the invariant is over DstIP-based forwarding; the other
+		// header fields stay free so the check covers all packets in the
+		// equivalence class.
+		"ZL401")
+}

@@ -1,0 +1,106 @@
+// Command zenlint runs the static model analyzer over every registered
+// Zen model (nets/... and analyses/...) and reports structured
+// diagnostics: well-formedness violations, dead branches, missed sharing,
+// unread input fields, and solver-cost hazards with per-backend severity.
+//
+// Usage:
+//
+//	zenlint [-json] [-stats] [-suppressed] [-model glob]
+//
+// The exit status is 1 when any unsuppressed finding is reported, so the
+// command can gate CI (scripts/check.sh runs it). Findings a model has
+// deliberately accepted are suppressed at registration time
+// (zen.RegisterModel allow-list) and shown only with -suppressed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+
+	"zen-go/zen"
+
+	// Every package that registers models with zen.RegisterModel.
+	_ "zen-go/analyses/anteater"
+	_ "zen-go/analyses/ap"
+	_ "zen-go/analyses/bonsai"
+	_ "zen-go/analyses/cp2dp"
+	_ "zen-go/analyses/diff"
+	_ "zen-go/analyses/hsa"
+	_ "zen-go/analyses/minesweeper"
+	_ "zen-go/analyses/reach"
+	_ "zen-go/analyses/shapeshifter"
+	_ "zen-go/analyses/veriflow"
+	_ "zen-go/nets/acl"
+	_ "zen-go/nets/bgp"
+	_ "zen-go/nets/device"
+	_ "zen-go/nets/ecmp"
+	_ "zen-go/nets/firewall"
+	_ "zen-go/nets/fwd"
+	_ "zen-go/nets/gre"
+	_ "zen-go/nets/igp"
+	_ "zen-go/nets/mpls"
+	_ "zen-go/nets/nat"
+	_ "zen-go/nets/pipeline"
+	_ "zen-go/nets/pkt"
+	_ "zen-go/nets/routemap"
+	_ "zen-go/nets/vnet"
+	_ "zen-go/nets/vxlan"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON report per model")
+	stats := flag.Bool("stats", false, "print lint telemetry counters after the run")
+	showSuppressed := flag.Bool("suppressed", false, "also show findings suppressed by model allow-lists")
+	modelGlob := flag.String("model", "", "only lint models whose name matches this glob")
+	flag.Parse()
+
+	var st zen.Stats
+	reports := zen.LintRegistered(zen.WithStats(&st))
+
+	findings, suppressed, linted := 0, 0, 0
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, r := range reports {
+		if *modelGlob != "" {
+			if ok, _ := path.Match(*modelGlob, r.Name); !ok {
+				continue
+			}
+		}
+		linted++
+		findings += len(r.Findings)
+		suppressed += len(r.Suppressed)
+		if *jsonOut {
+			if !*showSuppressed {
+				r.Suppressed = nil
+			}
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, "zenlint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		for _, d := range r.Findings {
+			fmt.Printf("%s: %s\n", r.Name, d)
+		}
+		if *showSuppressed {
+			for _, d := range r.Suppressed {
+				fmt.Printf("%s: [suppressed] %s\n", r.Name, d)
+			}
+		}
+	}
+
+	if !*jsonOut {
+		fmt.Printf("zenlint: %d models, %d findings, %d suppressed\n",
+			linted, findings, suppressed)
+	}
+	if *stats {
+		snap := st.Snapshot()
+		fmt.Fprint(os.Stderr, snap.String())
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+// Command zenvet vets host-language model code: Go source that builds
+// Zen models. It catches the mistakes the embedding cannot prevent —
+// native == / != on zen.Value operands (ZV001), host control flow over
+// symbolic comparisons in model functions (ZV002), discarded symbolic
+// results (ZV003), and solver extraction inside model functions (ZV004).
+// Suppress a finding with `//lint:allow ZV00x` on the same line or the
+// line above.
+//
+// Usage:
+//
+//	zenvet [-json] [-suppressed] [packages]
+//
+// Packages default to the model trees (./nets/... ./analyses/...
+// ./examples/...). The checker is stdlib-only (go/parser + go/types over
+// `go list -export` data), so it runs standalone rather than as a
+// `go vet -vettool` plugin — that protocol needs golang.org/x/tools.
+// Exit status is 1 when any unsuppressed finding is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zen-go/internal/lint/zenvet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	showSuppressed := flag.Bool("suppressed", false, "also show findings silenced by lint:allow")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./nets/...", "./analyses/...", "./examples/..."}
+	}
+	pkgs, err := zenvet.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zenvet:", err)
+		os.Exit(2)
+	}
+
+	var kept, suppressed []zenvet.Finding
+	for _, p := range pkgs {
+		k, s := zenvet.Check(p)
+		kept = append(kept, k...)
+		suppressed = append(suppressed, s...)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Findings   []zenvet.Finding `json:"findings"`
+			Suppressed []zenvet.Finding `json:"suppressed,omitempty"`
+		}{Findings: kept}
+		if *showSuppressed {
+			out.Suppressed = suppressed
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "zenvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range kept {
+			fmt.Println(f)
+		}
+		if *showSuppressed {
+			for _, f := range suppressed {
+				fmt.Printf("[suppressed] %s\n", f)
+			}
+		}
+		fmt.Printf("zenvet: %d packages, %d findings, %d suppressed\n",
+			len(pkgs), len(kept), len(suppressed))
+	}
+	if len(kept) > 0 {
+		os.Exit(1)
+	}
+}

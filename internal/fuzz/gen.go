@@ -17,6 +17,7 @@ import (
 
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
+	"zen-go/internal/lint"
 )
 
 // Config bounds the random generator.
@@ -240,11 +241,12 @@ func (g *Gen) genBV(t *core.Type, depth int) *core.Node {
 	case 1:
 		return g.B.Sub(g.gen(t, depth-1), g.gen(t, depth-1))
 	case 2:
-		// Symbolic multiplication is quadratic in width for SAT and
-		// exponential for BDDs — even multiplication by an arbitrary odd
-		// constant blows up the variable ordering at 32 bits. Keep it to
-		// narrow vectors; wider types fall through to addition.
-		if t.Width <= 8 {
+		// Wide symbolic multiplication is a known blowup shape; the
+		// rationale lives in the shared cost-pattern table
+		// (lint.CostWideMul), which also drives the lint advisor that
+		// flags the same shape in user models. Narrow vectors only;
+		// wider types fall through to addition.
+		if t.Width <= lint.MulFriendlyWidth {
 			return g.B.Mul(g.gen(t, depth-1), g.gen(t, depth-1))
 		}
 		return g.B.Add(g.gen(t, depth-1), g.constOf(t))
@@ -259,12 +261,13 @@ func (g *Gen) genBV(t *core.Type, depth int) *core.Node {
 	case 7:
 		// Shift amounts deliberately reach width+1 to probe the
 		// shift-out-of-range edge in every backend. On wide vectors only
-		// edge amounts are drawn: a mid-range shift under arithmetic links
-		// bit i to bit i+k for large k, which is exponential for the BDD
-		// backend (same reason multiplication is banned there).
+		// edge amounts are drawn: mid-range shifts there are a known BDD
+		// blowup shape — see lint.CostMidShift in the shared cost-pattern
+		// table, which keeps this generator and the lint advisor agreed
+		// on where "safe" ends.
 		var amt int
-		if t.Width > 24 {
-			edges := []int{0, 1, t.Width - 1, t.Width, t.Width + 1}
+		if t.Width > lint.WideShiftWidth {
+			edges := lint.ShiftEdgeAmounts(t.Width)
 			amt = edges[g.rng.Intn(len(edges))]
 		} else {
 			amt = g.rng.Intn(t.Width + 2)

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"zen-go/internal/backends"
+	"zen-go/internal/core"
+)
+
+// DeadBranch finds conditionals with a branch that can never be taken:
+// along every path that reaches the conditional, the enclosing branch
+// conditions already decide its condition. The Builder folds syntactically
+// constant conditions at build time; what survives to this analyzer is
+// semantic deadness — a condition that repeats (or contradicts, or is
+// absorbed by) an enclosing one. Conditions are evaluated in Kleene
+// three-valued logic (reusing the ternary backend): path assumptions seed
+// known trits, boolean structure propagates them, and a branch whose
+// condition comes out 0 or 1 — rather than * — is dead on that path for
+// every completion of the inputs.
+//
+// Because the DAG is hash-consed, one conditional node can sit in many
+// contexts (the Opt idiom re-uses If(ok, val, default) everywhere), so a
+// branch is reported only when NO reachable context leaves it live: the
+// walk accumulates per-branch liveness across contexts and reports the
+// never-live branches at the end.
+var DeadBranch = &Analyzer{
+	Name:  "deadbranch",
+	Doc:   "unreachable conditional branches via ternary constant propagation",
+	Codes: []string{"ZL201"},
+	Run:   runDeadBranch,
+}
+
+// deadBudget bounds the walk: branchy nodes may be revisited once per
+// distinct path context, and the linter is best-effort beyond the budget.
+const deadBudget = 1 << 20
+
+func runDeadBranch(p *Pass) {
+	d := &deadWalker{
+		p:       p,
+		alg:     backends.Ternary{},
+		branchy: markBranchy(p.Root),
+		visited: make(map[*core.Node]bool),
+		live:    make(map[*core.Node]*[2]bool),
+		budget:  deadBudget,
+	}
+	d.walk(p.Root, make(map[*core.Node]backends.Trit))
+	if d.budget <= 0 {
+		return // walk truncated: liveness is incomplete, stay silent
+	}
+	// Report in deterministic order.
+	var ifs []*core.Node
+	for n := range d.live {
+		ifs = append(ifs, n)
+	}
+	sortNodesByID(ifs)
+	for _, n := range ifs {
+		lv := d.live[n]
+		if !lv[0] {
+			d.report(n, "then")
+		}
+		if !lv[1] {
+			d.report(n, "else")
+		}
+	}
+}
+
+type deadWalker struct {
+	p       *Pass
+	alg     backends.Ternary
+	branchy map[*core.Node]bool     // subtree contains an OpIf
+	visited map[*core.Node]bool     // non-contextual visit memo
+	live    map[*core.Node]*[2]bool // per reachable If: {then, else} seen live
+	budget  int
+}
+
+func (d *deadWalker) markLive(n *core.Node, branch int) *[2]bool {
+	lv := d.live[n]
+	if lv == nil {
+		lv = new([2]bool)
+		d.live[n] = lv
+	}
+	if branch >= 0 {
+		lv[branch] = true
+	}
+	return lv
+}
+
+func (d *deadWalker) walk(n *core.Node, assume map[*core.Node]backends.Trit) {
+	if d.budget <= 0 {
+		return
+	}
+	d.budget--
+	if !d.branchy[n] {
+		return // no conditionals below: nothing to find
+	}
+	// Branchy nodes are revisited per path context (assumptions differ),
+	// except when no assumptions are active — then once is enough, and the
+	// assumption-free visit marks every branch below live.
+	if len(assume) == 0 {
+		if d.visited[n] {
+			return
+		}
+		d.visited[n] = true
+	}
+	if n.Op != core.OpIf {
+		for _, k := range n.Kids {
+			d.walk(k, assume)
+		}
+		return
+	}
+	cond := n.Kids[0]
+	switch d.eval(cond, assume) {
+	case backends.TritTrue:
+		d.markLive(n, 0)
+		d.walk(cond, assume)
+		d.walk(n.Kids[1], assumeWith(assume, cond, backends.TritTrue))
+	case backends.TritFalse:
+		d.markLive(n, 1)
+		d.walk(cond, assume)
+		d.walk(n.Kids[2], assumeWith(assume, cond, backends.TritFalse))
+	default:
+		d.markLive(n, 0)
+		d.markLive(n, 1)
+		d.walk(cond, assume)
+		d.walk(n.Kids[1], assumeWith(assume, cond, backends.TritTrue))
+		d.walk(n.Kids[2], assumeWith(assume, cond, backends.TritFalse))
+	}
+}
+
+func (d *deadWalker) report(ifNode *core.Node, which string) {
+	d.p.Reportf("ZL201", SevWarn, ifNode,
+		"the branch can be removed, or the enclosing condition is wrong",
+		"%s-branch is dead in every context: condition %s is always decided by enclosing branch conditions",
+		which, d.p.ExprString(ifNode.Kids[0]))
+}
+
+// eval computes the condition's trit under the assumptions, propagating
+// through boolean structure with Kleene semantics. Memoized per call (the
+// assumption set is fixed for one evaluation), so it is linear in the DAG.
+func (d *deadWalker) eval(n *core.Node, assume map[*core.Node]backends.Trit) backends.Trit {
+	memo := make(map[*core.Node]backends.Trit)
+	var ev func(n *core.Node) backends.Trit
+	ev = func(n *core.Node) backends.Trit {
+		if t, ok := assume[n]; ok {
+			return t
+		}
+		if t, ok := memo[n]; ok {
+			return t
+		}
+		t := backends.TritUnknown
+		switch n.Op {
+		case core.OpConst:
+			if n.Type.Kind == core.KindBool {
+				if n.BVal {
+					t = backends.TritTrue
+				} else {
+					t = backends.TritFalse
+				}
+			}
+		case core.OpNot:
+			t = d.alg.Not(ev(n.Kids[0]))
+		case core.OpAnd:
+			t = d.alg.And(ev(n.Kids[0]), ev(n.Kids[1]))
+		case core.OpOr:
+			t = d.alg.Or(ev(n.Kids[0]), ev(n.Kids[1]))
+		case core.OpEq:
+			if n.Kids[0].Type.Kind == core.KindBool {
+				a, b := ev(n.Kids[0]), ev(n.Kids[1])
+				if a != backends.TritUnknown && b != backends.TritUnknown {
+					t = d.alg.Not(d.alg.Xor(a, b))
+				}
+			}
+		case core.OpIf:
+			if n.Type.Kind == core.KindBool {
+				t = d.alg.Ite(ev(n.Kids[0]), ev(n.Kids[1]), ev(n.Kids[2]))
+			}
+		}
+		memo[n] = t
+		return t
+	}
+	return ev(n)
+}
+
+// assumeWith extends the assumption set with cond=v, pushing the
+// assumption into the condition's boolean structure: assuming an And true
+// assumes both conjuncts, assuming an Or false refutes both disjuncts, and
+// assuming a Not flips through it.
+func assumeWith(assume map[*core.Node]backends.Trit, cond *core.Node, v backends.Trit) map[*core.Node]backends.Trit {
+	out := make(map[*core.Node]backends.Trit, len(assume)+1)
+	for k, t := range assume {
+		out[k] = t
+	}
+	var set func(n *core.Node, v backends.Trit)
+	set = func(n *core.Node, v backends.Trit) {
+		if old, ok := out[n]; ok && old == v {
+			return // already known; avoids re-descending shared structure
+		}
+		out[n] = v
+		switch n.Op {
+		case core.OpNot:
+			set(n.Kids[0], (backends.Ternary{}).Not(v))
+		case core.OpAnd:
+			if v == backends.TritTrue {
+				set(n.Kids[0], v)
+				set(n.Kids[1], v)
+			}
+		case core.OpOr:
+			if v == backends.TritFalse {
+				set(n.Kids[0], v)
+				set(n.Kids[1], v)
+			}
+		}
+	}
+	set(cond, v)
+	return out
+}
+
+// markBranchy computes, for every node, whether its subtree contains a
+// conditional worth descending for.
+func markBranchy(root *core.Node) map[*core.Node]bool {
+	m := make(map[*core.Node]bool)
+	var walk func(n *core.Node) bool
+	walk = func(n *core.Node) bool {
+		if b, ok := m[n]; ok {
+			return b
+		}
+		m[n] = false // acyclic: pre-set breaks nothing but repeat lookups
+		b := n.Op == core.OpIf
+		for _, k := range n.Kids {
+			if walk(k) {
+				b = true
+			}
+		}
+		m[n] = b
+		return b
+	}
+	walk(root)
+	return m
+}

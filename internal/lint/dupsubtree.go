@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"sort"
+
+	"zen-go/internal/core"
+)
+
+// DupSubtree finds structurally identical subtrees that are distinct DAG
+// nodes — missed sharing. Hash-consing makes this impossible for ordinary
+// operators, so surviving duplicates are (alpha-equivalent) list
+// eliminations: ListCase allocates fresh binders on every call and is
+// never interned, so building the same Match/Fold/Head expression twice
+// (for example once per rule in an unrolled loop) re-creates the whole
+// subtree each time. Every copy is re-encoded by every backend; hoisting
+// the expression into a shared local restores sharing.
+var DupSubtree = &Analyzer{
+	Name:  "dupsubtree",
+	Doc:   "structurally identical subtrees built without sharing",
+	Codes: []string{"ZL301"},
+	Run:   runDupSubtree,
+}
+
+// minDupNodes is the smallest subtree worth reporting; re-building a
+// tiny expression is noise.
+const minDupNodes = 5
+
+// maxDupReports bounds report volume per model.
+const maxDupReports = 10
+
+func runDupSubtree(p *Pass) {
+	f := newFingerprinter(p.Root)
+	f.visit(p.Root, nil)
+
+	// Group pointer-distinct nodes by fingerprint. Only alpha-insensitive
+	// duplicates matter, and they can only involve case/binder structure;
+	// everything else is interned by the Builder.
+	classes := make(map[uint64][]*core.Node)
+	for n, fp := range f.fps {
+		if f.size[n] >= minDupNodes {
+			classes[fp] = append(classes[fp], n)
+		}
+	}
+	type class struct {
+		nodes []*core.Node
+		size  int
+	}
+	var dups []class
+	for _, ns := range classes {
+		if len(ns) < 2 {
+			continue
+		}
+		sortNodesByID(ns)
+		dups = append(dups, class{nodes: ns, size: f.size[ns[0]]})
+	}
+	// Largest first; descendants of a reported duplicate are covered, so
+	// only maximal duplicated subtrees are reported.
+	sort.Slice(dups, func(i, j int) bool {
+		if dups[i].size != dups[j].size {
+			return dups[i].size > dups[j].size
+		}
+		return dups[i].nodes[0].ID() < dups[j].nodes[0].ID()
+	})
+	covered := make(map[*core.Node]bool)
+	reports := 0
+	for _, c := range dups {
+		all := true
+		for _, n := range c.nodes {
+			if !covered[n] {
+				all = false
+			}
+		}
+		if all {
+			continue
+		}
+		if reports++; reports > maxDupReports {
+			break
+		}
+		for _, n := range c.nodes {
+			cover(n, covered)
+		}
+		p.Reportf("ZL301", SevInfo, c.nodes[0],
+			"hoist the expression into a local and reuse it; list eliminations are never hash-consed",
+			"%d structurally identical subtrees of ~%d nodes built separately (missed sharing)",
+			len(c.nodes), c.size)
+	}
+}
+
+func cover(n *core.Node, covered map[*core.Node]bool) {
+	if covered[n] {
+		return
+	}
+	covered[n] = true
+	for _, k := range n.Kids {
+		cover(k, covered)
+	}
+}
+
+// fingerprinter computes structural fingerprints modulo alpha-renaming of
+// list-case binders: two eliminations of the same list with the same
+// branch structure fingerprint equally even though their binders are
+// distinct variables. Binders are labeled by de Bruijn position, so a
+// fingerprint is context-independent exactly when the subtree has no free
+// binders — only those fingerprints are recorded and compared.
+type fingerprinter struct {
+	free map[*core.Node]map[*core.Node]bool // free binders per node
+	fps  map[*core.Node]uint64              // closed (binder-free) nodes only
+	size map[*core.Node]int                 // memoized expression size
+}
+
+func newFingerprinter(root *core.Node) *fingerprinter {
+	f := &fingerprinter{
+		free: freeBinderSets(root),
+		fps:  make(map[*core.Node]uint64),
+		size: make(map[*core.Node]int),
+	}
+	f.measure(root)
+	return f
+}
+
+// measure computes memoized expression sizes (shared nodes re-counted per
+// occurrence, capped): a cheap proxy for how much work re-encoding the
+// subtree costs a backend.
+func (f *fingerprinter) measure(n *core.Node) int {
+	if s, ok := f.size[n]; ok {
+		return s
+	}
+	s := 1
+	for _, k := range n.Kids {
+		s += f.measure(k)
+		if s > 1<<30 {
+			s = 1 << 30
+		}
+	}
+	f.size[n] = s
+	return s
+}
+
+// binderCtx maps in-scope binders to de Bruijn labels.
+type binderCtx struct {
+	up    *binderCtx
+	vars  []*core.Node
+	depth int
+}
+
+func (c *binderCtx) lookup(v *core.Node) (depth, idx int, ok bool) {
+	for ; c != nil; c = c.up {
+		for i, b := range c.vars {
+			if b == v {
+				return c.depth, i, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func fnvMix(h uint64, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for _, c := range s {
+		h = fnvMix(h, uint64(c))
+	}
+	return h
+}
+
+// visit fingerprints n under the binder context. Closed subtrees hit the
+// memo; open ones (free binders) are recomputed per context, which is
+// bounded by the nesting depth of cases.
+func (f *fingerprinter) visit(n *core.Node, ctx *binderCtx) uint64 {
+	if fp, ok := f.fps[n]; ok {
+		return fp
+	}
+	h := uint64(14695981039346656037)
+	h = fnvMix(h, uint64(n.Op))
+	h = fnvString(h, n.Type.String())
+	h = fnvMix(h, uint64(n.Index))
+	if n.BVal {
+		h = fnvMix(h, 1)
+	}
+	h = fnvMix(h, n.UVal)
+	switch n.Op {
+	case core.OpVar:
+		if d, i, ok := ctx.lookup(n); ok {
+			h = fnvMix(h, 1<<32|uint64(d)<<8|uint64(i))
+		} else {
+			h = fnvMix(h, uint64(n.VarID))
+		}
+	case core.OpListCase:
+		h = fnvMix(h, f.visit(n.Kids[0], ctx))
+		h = fnvMix(h, f.visit(n.Kids[1], ctx))
+		depth := 0
+		if ctx != nil {
+			depth = ctx.depth + 1
+		}
+		h = fnvMix(h, f.visit(n.Kids[2], &binderCtx{up: ctx, vars: n.Bound, depth: depth}))
+	default:
+		for _, k := range n.Kids {
+			h = fnvMix(h, f.visit(k, ctx))
+		}
+	}
+	if len(f.free[n]) == 0 {
+		f.fps[n] = h
+	}
+	return h
+}
+
+// freeBinderSets computes, bottom-up, the set of free (unbound-here)
+// case binders for every node in the DAG.
+func freeBinderSets(root *core.Node) map[*core.Node]map[*core.Node]bool {
+	binders := binderSet(root)
+	free := make(map[*core.Node]map[*core.Node]bool)
+	var walk func(n *core.Node) map[*core.Node]bool
+	walk = func(n *core.Node) map[*core.Node]bool {
+		if f, ok := free[n]; ok {
+			return f
+		}
+		f := make(map[*core.Node]bool)
+		free[n] = f
+		if n.Op == core.OpVar {
+			if binders[n] {
+				f[n] = true
+			}
+			return f
+		}
+		for i, k := range n.Kids {
+			for v := range walk(k) {
+				if n.Op == core.OpListCase && i == 2 {
+					bound := false
+					for _, b := range n.Bound {
+						if v == b {
+							bound = true
+						}
+					}
+					if bound {
+						continue
+					}
+				}
+				f[v] = true
+			}
+		}
+		return f
+	}
+	walk(root)
+	return free
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"sort"
+
+	"zen-go/internal/core"
+)
+
+// UnusedInput reports input fields the model never reads. The symbolic
+// argument is the model's entire interface to the outside world, so a
+// field that influences nothing is either dead weight in the input type
+// (it still costs decision bits in every solver query) or — more often — a
+// forgotten match condition: the ACL that never looks at the protocol
+// field verifies vacuously for every protocol.
+var UnusedInput = &Analyzer{
+	Name:  "unusedinput",
+	Doc:   "input fields the model never reads",
+	Codes: []string{"ZL401", "ZL402"},
+	Run:   runUnusedInput,
+}
+
+func runUnusedInput(p *Pass) {
+	arg := p.Arg
+	if arg == nil {
+		return
+	}
+	reach := reachable(p.Root)
+	if !reach[arg] {
+		p.Reportf("ZL402", SevWarn, p.Root,
+			"a model that ignores its input is constant; check the argument is the value being modeled",
+			"model never reads its input %s", arg.Name)
+		return
+	}
+	if arg.Type.Kind != core.KindObject {
+		return // scalar and list inputs are all-or-nothing, covered above
+	}
+
+	// Paths of pure projection chains rooted at the argument.
+	paths := map[*core.Node]string{arg: arg.Name}
+	var extend func(n *core.Node)
+	extend = func(n *core.Node) {
+		if n.Op != core.OpGetField {
+			return
+		}
+		base, ok := paths[n.Kids[0]]
+		if !ok {
+			return
+		}
+		if _, done := paths[n]; done {
+			return
+		}
+		paths[n] = base + "." + n.Kids[0].Type.Fields[n.Index].Name
+	}
+	// Projection nodes appear in dependency order within a DFS as long as
+	// we seed parents before kids; do a fixpoint-free top-down pass.
+	order := topoOrder(p.Root)
+	for _, n := range order {
+		extend(n)
+	}
+
+	// A projection consumed by anything but a further GetField is an
+	// opaque use: the whole sub-object flows into the model there.
+	used := make(map[string]bool)
+	for _, n := range order {
+		for _, k := range n.Kids {
+			path, ok := paths[k]
+			if !ok {
+				continue
+			}
+			if n.Op == core.OpGetField {
+				continue
+			}
+			used[path] = true
+		}
+	}
+	if path, ok := paths[p.Root]; ok {
+		used[path] = true
+	}
+	if used[arg.Name] {
+		return // the whole input flows somewhere opaque: all fields live
+	}
+
+	// Walk the input type; report maximal unread subtrees.
+	var unused []string
+	var visit func(path string, t *core.Type)
+	visit = func(path string, t *core.Type) {
+		if used[path] {
+			return
+		}
+		anyBelow := false
+		prefix := path + "."
+		for u := range used {
+			if len(u) > len(prefix) && u[:len(prefix)] == prefix {
+				anyBelow = true
+				break
+			}
+		}
+		if !anyBelow {
+			unused = append(unused, path)
+			return
+		}
+		for _, f := range t.Fields {
+			visit(path+"."+f.Name, f.Type)
+		}
+	}
+	for _, f := range arg.Type.Fields {
+		visit(arg.Name+"."+f.Name, f.Type)
+	}
+	sort.Strings(unused)
+	for _, path := range unused {
+		p.Reportf("ZL401", SevInfo, arg,
+			"drop the field from the input type or add the missing condition",
+			"input field %s is never read by the model", path)
+	}
+}
+
+// reachable returns the set of nodes reachable from root.
+func reachable(root *core.Node) map[*core.Node]bool {
+	seen := make(map[*core.Node]bool)
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(root)
+	return seen
+}
+
+// topoOrder returns nodes in parent-before-child order (reverse
+// post-order of the DFS).
+func topoOrder(root *core.Node) []*core.Node {
+	var post []*core.Node
+	seen := make(map[*core.Node]bool)
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, k := range n.Kids {
+			walk(k)
+		}
+		post = append(post, n)
+	}
+	walk(root)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

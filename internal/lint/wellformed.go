@@ -1,0 +1,202 @@
+package lint
+
+import "zen-go/internal/core"
+
+// WellFormed checks structural invariants of the DAG: operand and result
+// type agreement per operator, payload sanity (field indices, shift
+// amounts, constant normalization), and lexical scoping of list-case
+// binders. Builder-constructed DAGs satisfy all of these by construction;
+// the analyzer exists for DAGs assembled or mutated through zen.Wrap /
+// Raw by custom analyses, where a malformed node would otherwise surface
+// as a panic (or silent garbage) deep inside a solver backend.
+var WellFormed = &Analyzer{
+	Name:  "wellformed",
+	Doc:   "type and scope consistency of the expression DAG",
+	Codes: []string{"ZL101", "ZL102", "ZL103", "ZL104"},
+	Run:   runWellFormed,
+}
+
+func runWellFormed(p *Pass) {
+	w := &wfWalker{p: p, seen: make(map[*core.Node]bool)}
+	w.walk(p.Root)
+	// Scope check: a binder free at the root has escaped its case.
+	for _, v := range freeBinders(p.Root) {
+		p.Reportf("ZL102", SevError, v, "build the value inside the case's cons closure",
+			"list-case binder %s#%d escapes its binding case", v.Name, v.VarID)
+	}
+}
+
+type wfWalker struct {
+	p    *Pass
+	seen map[*core.Node]bool
+}
+
+func (w *wfWalker) badType(n *core.Node, format string, args ...any) {
+	w.p.Reportf("ZL101", SevError, n, "rebuild the node through the Builder, which checks operand types", format, args...)
+}
+
+func (w *wfWalker) walk(n *core.Node) {
+	if w.seen[n] {
+		return
+	}
+	w.seen[n] = true
+	w.check(n)
+	for _, k := range n.Kids {
+		w.walk(k)
+	}
+}
+
+func (w *wfWalker) check(n *core.Node) {
+	bool_ := core.Bool()
+	switch n.Op {
+	case core.OpConst:
+		if n.Type.Kind == core.KindBV && n.UVal != n.Type.Mask(n.UVal) {
+			w.p.Reportf("ZL103", SevError, n, "mask constants to the type width (Builder.BVConst does)",
+				"constant %#x not normalized to %d-bit width", n.UVal, n.Type.Width)
+		}
+	case core.OpNot, core.OpAnd, core.OpOr:
+		for _, k := range n.Kids {
+			if !k.Type.Same(bool_) {
+				w.badType(n, "%s operand has type %s, want bool", n.Op, k.Type)
+			}
+		}
+		if !n.Type.Same(bool_) {
+			w.badType(n, "%s result has type %s, want bool", n.Op, n.Type)
+		}
+	case core.OpEq:
+		if !n.Kids[0].Type.Same(n.Kids[1].Type) {
+			w.badType(n, "eq operands differ: %s vs %s", n.Kids[0].Type, n.Kids[1].Type)
+		}
+		if !n.Type.Same(bool_) {
+			w.badType(n, "eq result has type %s, want bool", n.Type)
+		}
+	case core.OpLt:
+		if n.Kids[0].Type.Kind != core.KindBV || !n.Kids[0].Type.Same(n.Kids[1].Type) {
+			w.badType(n, "lt operands must be one bitvector type, got %s vs %s", n.Kids[0].Type, n.Kids[1].Type)
+		}
+	case core.OpAdd, core.OpSub, core.OpMul, core.OpBAnd, core.OpBOr, core.OpBXor:
+		if n.Type.Kind != core.KindBV {
+			w.badType(n, "%s result has type %s, want bitvector", n.Op, n.Type)
+			break
+		}
+		for _, k := range n.Kids {
+			if !k.Type.Same(n.Type) {
+				w.badType(n, "%s operand has type %s, want %s (width consistency)", n.Op, k.Type, n.Type)
+			}
+		}
+	case core.OpBNot:
+		if n.Type.Kind != core.KindBV || !n.Kids[0].Type.Same(n.Type) {
+			w.badType(n, "bnot operand %s does not match result %s", n.Kids[0].Type, n.Type)
+		}
+	case core.OpShl, core.OpShr:
+		if n.Type.Kind != core.KindBV || !n.Kids[0].Type.Same(n.Type) {
+			w.badType(n, "%s operand %s does not match result %s", n.Op, n.Kids[0].Type, n.Type)
+		}
+		if n.Index < 0 {
+			w.p.Reportf("ZL104", SevError, n, "", "negative shift amount %d", n.Index)
+		}
+	case core.OpIf:
+		if !n.Kids[0].Type.Same(bool_) {
+			w.badType(n, "if condition has type %s, want bool", n.Kids[0].Type)
+		}
+		if !n.Kids[1].Type.Same(n.Type) || !n.Kids[2].Type.Same(n.Type) {
+			w.badType(n, "if branches %s / %s do not match result %s",
+				n.Kids[1].Type, n.Kids[2].Type, n.Type)
+		}
+	case core.OpCreate:
+		if n.Type.Kind != core.KindObject || len(n.Kids) != len(n.Type.Fields) {
+			w.badType(n, "create of %s has %d values for %d fields", n.Type, len(n.Kids), len(n.Type.Fields))
+			break
+		}
+		for i, k := range n.Kids {
+			if !k.Type.Same(n.Type.Fields[i].Type) {
+				w.badType(n, "create field %s has type %s, want %s",
+					n.Type.Fields[i].Name, k.Type, n.Type.Fields[i].Type)
+			}
+		}
+	case core.OpGetField:
+		o := n.Kids[0].Type
+		if o.Kind != core.KindObject || n.Index < 0 || n.Index >= len(o.Fields) {
+			w.p.Reportf("ZL104", SevError, n, "", "get-field index %d out of range for %s", n.Index, o)
+			break
+		}
+		if !n.Type.Same(o.Fields[n.Index].Type) {
+			w.badType(n, "get of field %s has type %s, want %s", o.Fields[n.Index].Name, n.Type, o.Fields[n.Index].Type)
+		}
+	case core.OpWithField:
+		o := n.Kids[0].Type
+		if o.Kind != core.KindObject || n.Index < 0 || n.Index >= len(o.Fields) {
+			w.p.Reportf("ZL104", SevError, n, "", "with-field index %d out of range for %s", n.Index, o)
+			break
+		}
+		if !n.Type.Same(o) || !n.Kids[1].Type.Same(o.Fields[n.Index].Type) {
+			w.badType(n, "with-field %s: value type %s, want %s", o.Fields[n.Index].Name, n.Kids[1].Type, o.Fields[n.Index].Type)
+		}
+	case core.OpListNil:
+		if n.Type.Kind != core.KindList || len(n.Kids) != 0 {
+			w.badType(n, "nil list has type %s", n.Type)
+		}
+	case core.OpListCons:
+		if n.Type.Kind != core.KindList || !n.Kids[1].Type.Same(n.Type) || !n.Kids[0].Type.Same(n.Type.Elem) {
+			w.badType(n, "cons of %s onto %s does not make %s", n.Kids[0].Type, n.Kids[1].Type, n.Type)
+		}
+	case core.OpListCase:
+		if n.Kids[0].Type.Kind != core.KindList {
+			w.badType(n, "case subject has type %s, want list", n.Kids[0].Type)
+			break
+		}
+		if !n.Kids[1].Type.Same(n.Type) || !n.Kids[2].Type.Same(n.Type) {
+			w.badType(n, "case branches %s / %s do not match result %s", n.Kids[1].Type, n.Kids[2].Type, n.Type)
+		}
+		if len(n.Bound) != 2 ||
+			!n.Bound[0].Type.Same(n.Kids[0].Type.Elem) || !n.Bound[1].Type.Same(n.Kids[0].Type) {
+			w.badType(n, "case binders do not match list type %s", n.Kids[0].Type)
+		}
+	case core.OpCast:
+		if n.Type.Kind != core.KindBV || n.Kids[0].Type.Kind != core.KindBV {
+			w.badType(n, "cast between %s and %s, want bitvectors", n.Kids[0].Type, n.Type)
+		}
+	}
+}
+
+// binderSet collects every variable bound by some list case in the DAG.
+func binderSet(root *core.Node) map[*core.Node]bool {
+	binders := make(map[*core.Node]bool)
+	seen := make(map[*core.Node]bool)
+	var walk func(n *core.Node)
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, b := range n.Bound {
+			binders[b] = true
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(root)
+	return binders
+}
+
+// freeBinders returns case binders that are free (unbound) at the root, in
+// deterministic order. A lexically well-scoped DAG has none: every binder
+// occurrence sits under the case that introduced it, which removes it from
+// the free set on the way up (freeBinderSets in dupsubtree.go).
+func freeBinders(root *core.Node) []*core.Node {
+	var out []*core.Node
+	for v := range freeBinderSets(root)[root] {
+		out = append(out, v)
+	}
+	sortNodesByID(out)
+	return out
+}
+
+func sortNodesByID(ns []*core.Node) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].ID() < ns[j-1].ID(); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}

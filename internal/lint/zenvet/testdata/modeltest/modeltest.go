@@ -1,0 +1,109 @@
+// Package modeltest is the zenvet test corpus: every mistake the checker
+// catches, next to the correct form of the same code. Each expected
+// finding is marked with a `// want CODE` comment on the same line; lines
+// marked `// allowed CODE` carry a lint:allow directive and must be
+// suppressed, not reported.
+package modeltest
+
+import "zen-go/zen"
+
+// BadEquality compares symbolic values with the host operator.
+func BadEquality(a, b zen.Value[uint8]) bool {
+	return a == b // want ZV001
+}
+
+// BadInequality uses the host != on one symbolic operand.
+func BadInequality(a zen.Value[uint8]) bool {
+	return a != zen.Lift[uint8](0) // want ZV001
+}
+
+// GoodEquality is the symbolic form of the same comparison.
+func GoodEquality(a, b zen.Value[uint8]) zen.Value[bool] {
+	return zen.Eq(a, b)
+}
+
+// BadBranch steers model construction with host control flow over a
+// symbolic comparison. The == inside the condition is claimed by ZV002
+// and must not also be reported as ZV001.
+func BadBranch(a, b zen.Value[uint8]) zen.Value[uint8] {
+	if a == b { // want ZV002
+		return a
+	}
+	return b
+}
+
+// BadSwitch does the same through a tagless switch.
+func BadSwitch(a, b zen.Value[uint8]) zen.Value[uint8] {
+	switch {
+	case a == b: // want ZV002
+		return a
+	default:
+		return b
+	}
+}
+
+// GoodBranch keeps the conditional inside the model.
+func GoodBranch(a, b zen.Value[uint8]) zen.Value[uint8] {
+	return zen.If(zen.Eq(a, b), a, b)
+}
+
+// hostBranch branches on concrete values only: no symbolic operand, no
+// finding, even inside a model function.
+func hostBranch(a zen.Value[uint8], limit int) zen.Value[uint8] {
+	if limit > 3 {
+		return zen.AddC(a, 1)
+	}
+	return a
+}
+
+// BadDiscard builds a symbolic value and drops it.
+func BadDiscard(a, b zen.Value[uint8]) zen.Value[uint8] {
+	zen.Add(a, b) // want ZV003
+	return a
+}
+
+// GoodUse assigns the result.
+func GoodUse(a, b zen.Value[uint8]) zen.Value[uint8] {
+	sum := zen.Add(a, b)
+	return sum
+}
+
+// BadExtract runs the interpreter while the model is being built.
+func BadExtract(a zen.Value[uint8]) zen.Value[uint8] {
+	double := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+	_ = double.Evaluate(1) // want ZV004
+	return a
+}
+
+// GoodExtract extracts outside any model function: fine.
+func GoodExtract() uint8 {
+	double := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Add(x, x)
+	})
+	return double.Evaluate(21)
+}
+
+// GoodDriver takes a predicate over symbolic values but no symbolic
+// values themselves: it is a solver driver, not a model function, and
+// extraction is its job.
+func GoodDriver(pred func(zen.Value[uint8]) zen.Value[bool]) (uint8, bool) {
+	id := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] { return x })
+	return id.Find(func(in, out zen.Value[uint8]) zen.Value[bool] {
+		return pred(in)
+	})
+}
+
+// AllowedEquality documents a deliberate identity comparison: after
+// hash-consing, pointer equality of two roots proves the models are the
+// same function, which is exactly what this helper checks.
+func AllowedEquality(a, b zen.Value[uint8]) bool {
+	//lint:allow ZV001
+	return a == b // allowed ZV001
+}
+
+// AllowedInline suppresses on the same line.
+func AllowedInline(a, b zen.Value[uint8]) bool {
+	return a != b //lint:allow ZV001 -- allowed ZV001
+}

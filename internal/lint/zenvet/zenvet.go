@@ -1,0 +1,469 @@
+// Package zenvet is a vet-style static checker for host-language model
+// code: Go source that builds Zen models. The Zen embedding cannot stop
+// the host language from treating symbolic values as plain Go values —
+// zen.Value[T] is an ordinary comparable struct — so a handful of very
+// natural mistakes compile cleanly and silently produce wrong models:
+//
+//	ZV001  native == / != on zen.Value operands. Compares DAG node
+//	       identity (pointer equality after hash-consing), not symbolic
+//	       equality. Use zen.Eq / zen.Ne. Ordered comparisons (<, <=, …)
+//	       do not type-check on structs, so only equality can go wrong.
+//	ZV002  if / switch on a symbolic comparison inside a model function.
+//	       Host control flow is evaluated once at build time; the branch
+//	       is not part of the model. Use zen.If.
+//	ZV003  discarded zen.Value result. Zen expressions are pure; an
+//	       expression statement that builds one and drops it is dead
+//	       code, usually a forgotten assignment.
+//	ZV004  concrete extraction (Evaluate / Find / Verify / FindAll /
+//	       GenerateInputs / Compile / CompileRaw) inside a model
+//	       function. Running the solver while the model is being built
+//	       bakes one concrete answer into the DAG.
+//
+// Findings are suppressed by a `//lint:allow ZV00x` comment on the same
+// line or the line above — the same directive zenlint's DAG-level layer
+// honors in model registrations.
+//
+// The checker is built on go/parser + go/types only: dependencies are
+// resolved from compiler export data located via `go list -export`, so it
+// needs no third-party loader (notably not golang.org/x/tools, which also
+// means the go/analysis unitchecker protocol used by `go vet -vettool` is
+// out of reach; cmd/zenvet runs standalone instead).
+package zenvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic, positioned in Go source.
+type Finding struct {
+	Pos  token.Position `json:"pos"`
+	Code string         `json:"code"`
+	Msg  string         `json:"msg"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Code, f.Msg)
+}
+
+// Package is one type-checked target package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load lists the packages matching patterns (relative to dir), parses
+// their sources, and type-checks them against compiler export data for
+// their dependencies. Test files are not loaded (GoFiles excludes them).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, af)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path: t.ImportPath, Fset: fset, Files: files, Info: info, Pkg: pkg,
+		})
+	}
+	return pkgs, nil
+}
+
+// extractors are the zen-package functions that run a solver or
+// interpreter to pull a concrete answer out of a model (ZV004).
+var extractors = map[string]bool{
+	"Evaluate":       true,
+	"Find":           true,
+	"Verify":         true,
+	"FindAll":        true,
+	"GenerateInputs": true,
+	"Compile":        true,
+	"CompileRaw":     true,
+}
+
+// Check runs every zenvet check over the package and returns the kept
+// findings and the ones silenced by //lint:allow directives, both sorted
+// by position.
+func Check(p *Package) (kept, suppressed []Finding) {
+	c := &checker{p: p, allow: allowDirectives(p)}
+	for _, f := range p.Files {
+		c.file(f)
+	}
+	sortFindings(c.kept)
+	sortFindings(c.suppressed)
+	return c.kept, c.suppressed
+}
+
+type checker struct {
+	p          *Package
+	kept       []Finding
+	suppressed []Finding
+	// modelDepth tracks how many enclosing funcs are model functions.
+	modelDepth int
+	// claimed marks comparisons already reported as ZV002 so the ZV001
+	// walk does not double-report them.
+	claimed map[ast.Node]bool
+	allow   map[allowKey]bool
+}
+
+type allowKey struct {
+	file string
+	line int
+	code string
+}
+
+// allowDirectives scans the comments of every file for
+// `//lint:allow CODE[ CODE...]` and records the codes against the
+// directive's line.
+func allowDirectives(p *Package) map[allowKey]bool {
+	m := make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, code := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == ',' || r == '\t'
+				}) {
+					m[allowKey{pos.Filename, pos.Line, code}] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (c *checker) report(pos token.Pos, code, format string, args ...any) {
+	position := c.p.Fset.Position(pos)
+	f := Finding{Pos: position, Code: code, Msg: fmt.Sprintf(format, args...)}
+	if c.allow[allowKey{position.Filename, position.Line, code}] ||
+		c.allow[allowKey{position.Filename, position.Line - 1, code}] {
+		c.suppressed = append(c.suppressed, f)
+		return
+	}
+	c.kept = append(c.kept, f)
+}
+
+func (c *checker) file(f *ast.File) {
+	c.claimed = make(map[ast.Node]bool)
+	c.walk(f)
+}
+
+// walk descends the file keeping track of whether the current scope is a
+// model function (a func whose signature mentions zen.Value).
+func (c *checker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		c.walkFunc(n.Type, n.Body)
+		return
+	case *ast.FuncLit:
+		c.walkFunc(n.Type, n.Body)
+		return
+	case *ast.IfStmt:
+		c.checkBranch(n.Cond, n.Pos(), "if")
+	case *ast.SwitchStmt:
+		c.checkSwitch(n)
+	case *ast.BinaryExpr:
+		c.checkCompare(n)
+	case *ast.ExprStmt:
+		c.checkDiscard(n)
+	case *ast.CallExpr:
+		c.checkExtract(n)
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		c.walk(child)
+		return false
+	})
+}
+
+func (c *checker) walkFunc(ft *ast.FuncType, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	model := c.signatureMentionsValue(ft)
+	if model {
+		c.modelDepth++
+	}
+	c.walk(body)
+	if model {
+		c.modelDepth--
+	}
+}
+
+func (c *checker) signatureMentionsValue(ft *ast.FuncType) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			if tv, ok := c.p.Info.Types[field.Type]; ok && isModelType(tv.Type) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(ft.Params) || check(ft.Results)
+}
+
+// checkCompare reports ZV001: a native equality on zen.Value operands.
+func (c *checker) checkCompare(n *ast.BinaryExpr) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	if !c.isValue(n.X) && !c.isValue(n.Y) {
+		return
+	}
+	if c.claimed[n] {
+		return
+	}
+	subst := "zen.Eq"
+	if n.Op == token.NEQ {
+		subst = "zen.Ne"
+	}
+	c.report(n.OpPos, "ZV001",
+		"native %s on zen.Value operands compares DAG node identity, not symbolic equality; use %s",
+		n.Op, subst)
+}
+
+// checkBranch reports ZV002: host control flow over a symbolic comparison
+// inside a model function. The comparison itself is claimed so ZV001 does
+// not fire a second time on the same mistake.
+func (c *checker) checkBranch(cond ast.Expr, pos token.Pos, kind string) {
+	if c.modelDepth == 0 || cond == nil {
+		return
+	}
+	cmp := c.symbolicComparison(cond)
+	if cmp == nil {
+		return
+	}
+	c.claimed[cmp] = true
+	c.report(pos, "ZV002",
+		"%s on a symbolic comparison runs once at model-build time, so the branch is not part of the model; use zen.If",
+		kind)
+}
+
+func (c *checker) checkSwitch(n *ast.SwitchStmt) {
+	if c.modelDepth == 0 {
+		return
+	}
+	// switch v { case w: } on zen.Value tag compares identities per case.
+	if n.Tag != nil && c.isValue(n.Tag) {
+		c.report(n.Pos(), "ZV002",
+			"switch on a zen.Value tag compares DAG node identity per case and selects a branch at model-build time; use zen.If or zen.Select")
+		return
+	}
+	if n.Tag == nil {
+		for _, clause := range n.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				if cmp := c.symbolicComparison(e); cmp != nil {
+					c.claimed[cmp] = true
+					c.report(cc.Pos(), "ZV002",
+						"switch case on a symbolic comparison runs once at model-build time, so the branch is not part of the model; use zen.If")
+				}
+			}
+		}
+	}
+}
+
+// symbolicComparison returns the first native equality over zen.Value
+// operands inside e, or nil.
+func (c *checker) symbolicComparison(e ast.Expr) *ast.BinaryExpr {
+	var found *ast.BinaryExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if b, ok := n.(*ast.BinaryExpr); ok && (b.Op == token.EQL || b.Op == token.NEQ) {
+			if c.isValue(b.X) || c.isValue(b.Y) {
+				found = b
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkDiscard reports ZV003: an expression statement whose value is a
+// zen.Value. Zen expressions are pure, so the statement does nothing.
+func (c *checker) checkDiscard(n *ast.ExprStmt) {
+	tv, ok := c.p.Info.Types[n.X]
+	if !ok {
+		return
+	}
+	if isZenValue(tv.Type) {
+		c.report(n.Pos(), "ZV003",
+			"result of type %s is discarded; Zen expressions are pure, so this statement builds a value and drops it",
+			types.TypeString(tv.Type, types.RelativeTo(c.p.Pkg)))
+	}
+}
+
+// checkExtract reports ZV004: a concrete-extraction call inside a model
+// function.
+func (c *checker) checkExtract(n *ast.CallExpr) {
+	if c.modelDepth == 0 {
+		return
+	}
+	sel, ok := n.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := c.p.Info.Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !extractors[fn.Name()] {
+		return
+	}
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "/zen") {
+		return
+	}
+	c.report(n.Pos(), "ZV004",
+		"%s inside a model function runs the solver while the model is being built, baking one concrete answer into the DAG; extract outside the model",
+		fn.Name())
+}
+
+func (c *checker) isValue(e ast.Expr) bool {
+	tv, ok := c.p.Info.Types[e]
+	return ok && isZenValue(tv.Type)
+}
+
+// isZenValue reports whether t is zen.Value[T] for some T.
+func isZenValue(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Value" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/zen")
+}
+
+// isModelType reports whether a parameter or result of this type makes
+// its function a model function: the type is zen.Value, possibly behind
+// slices, arrays, or pointers. A func type that merely mentions zen.Value
+// (a predicate parameter) does NOT count — functions taking predicates
+// are solver drivers, and running extraction there is their whole job.
+func isModelType(t types.Type) bool {
+	switch u := types.Unalias(t).(type) {
+	case *types.Slice:
+		return isModelType(u.Elem())
+	case *types.Array:
+		return isModelType(u.Elem())
+	case *types.Pointer:
+		return isModelType(u.Elem())
+	}
+	return isZenValue(t)
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+}

@@ -1,0 +1,134 @@
+package zenvet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expectations reads the `// want CODE` and `// allowed CODE` markers out
+// of the test corpus. Keys are "line:CODE".
+func expectations(t *testing.T, file string) (want, allowed map[string]bool) {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want = make(map[string]bool)
+	allowed = make(map[string]bool)
+	wantRe := regexp.MustCompile(`// want (ZV\d+)`)
+	allowedRe := regexp.MustCompile(`(?:// |-- )allowed (ZV\d+)`)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+			want[fmt.Sprintf("%d:%s", line, m[1])] = true
+		}
+		if m := allowedRe.FindStringSubmatch(sc.Text()); m != nil {
+			allowed[fmt.Sprintf("%d:%s", line, m[1])] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want, allowed
+}
+
+func TestCheckCorpus(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/modeltest")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	kept, suppressed := Check(pkgs[0])
+
+	src, err := filepath.Abs(filepath.Join("testdata", "modeltest", "modeltest.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, allowed := expectations(t, src)
+	if len(want) == 0 || len(allowed) == 0 {
+		t.Fatalf("corpus has no markers (want=%d allowed=%d)", len(want), len(allowed))
+	}
+
+	got := make(map[string]bool)
+	for _, f := range kept {
+		if f.Pos.Filename != src {
+			t.Errorf("finding outside corpus: %s", f)
+			continue
+		}
+		key := fmt.Sprintf("%d:%s", f.Pos.Line, f.Code)
+		if got[key] {
+			t.Errorf("duplicate finding %s: %s", key, f)
+		}
+		got[key] = true
+		if !want[key] {
+			t.Errorf("unexpected finding %s: %s", key, f)
+		}
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing finding %s", key)
+		}
+	}
+
+	gotSup := make(map[string]bool)
+	for _, f := range suppressed {
+		gotSup[fmt.Sprintf("%d:%s", f.Pos.Line, f.Code)] = true
+	}
+	for key := range allowed {
+		if !gotSup[key] {
+			t.Errorf("finding %s was not suppressed by lint:allow", key)
+		}
+		if got[key] {
+			t.Errorf("finding %s reported despite lint:allow", key)
+		}
+	}
+	if len(suppressed) != len(allowed) {
+		t.Errorf("suppressed %d findings, want %d", len(suppressed), len(allowed))
+	}
+}
+
+// TestEveryCodeCovered keeps the corpus honest: each check must have at
+// least one positive case.
+func TestEveryCodeCovered(t *testing.T) {
+	src := filepath.Join("testdata", "modeltest", "modeltest.go")
+	want, _ := expectations(t, src)
+	for _, code := range []string{"ZV001", "ZV002", "ZV003", "ZV004"} {
+		found := false
+		for key := range want {
+			if strings.HasSuffix(key, code) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("corpus has no positive case for %s", code)
+		}
+	}
+}
+
+// TestRepoModelsClean is the repo-wide gate: the packages zenvet is meant
+// to protect must be free of findings (or carry explicit lint:allow
+// directives).
+func TestRepoModelsClean(t *testing.T) {
+	pkgs, err := Load(".", "zen-go/nets/...", "zen-go/analyses/...", "zen-go/examples/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern drift?", len(pkgs))
+	}
+	for _, p := range pkgs {
+		kept, _ := Check(p)
+		for _, f := range kept {
+			t.Errorf("%s: %s", p.Path, f)
+		}
+	}
+}

@@ -112,6 +112,16 @@ type FuzzStats struct {
 	Shrinks int64 `json:"shrinks"`
 }
 
+// LintStats count static-analyzer activity (internal/lint).
+type LintStats struct {
+	// Models counts models analyzed.
+	Models int64 `json:"models"`
+	// Findings counts diagnostics reported (after suppression).
+	Findings int64 `json:"findings"`
+	// Suppressed counts diagnostics filtered by allow-lists.
+	Suppressed int64 `json:"suppressed"`
+}
+
 // PhaseTiming is the accumulated wall time of one named analysis phase
 // ("build", "symeval", "solve", "decode", ...).
 type PhaseTiming struct {
@@ -140,6 +150,7 @@ type Snapshot struct {
 	Compile  CompileStats  `json:"compile"`
 	StateSet StateSetStats `json:"stateset"`
 	Fuzz     FuzzStats     `json:"fuzz"`
+	Lint     LintStats     `json:"lint"`
 }
 
 // Phase returns the accumulated timing of the named phase.
@@ -200,6 +211,9 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.Fuzz.Execs += o.Fuzz.Execs
 	s.Fuzz.Divergences += o.Fuzz.Divergences
 	s.Fuzz.Shrinks += o.Fuzz.Shrinks
+	s.Lint.Models += o.Lint.Models
+	s.Lint.Findings += o.Lint.Findings
+	s.Lint.Suppressed += o.Lint.Suppressed
 }
 
 func (s *Snapshot) clone() Snapshot {
@@ -265,6 +279,10 @@ func (s *Snapshot) String() string {
 	if s.Fuzz.Execs > 0 {
 		fmt.Fprintf(&b, "  fuzz:     %d execs, %d divergences, %d shrink steps\n",
 			s.Fuzz.Execs, s.Fuzz.Divergences, s.Fuzz.Shrinks)
+	}
+	if s.Lint.Models > 0 {
+		fmt.Fprintf(&b, "  lint:     %d models, %d findings, %d suppressed\n",
+			s.Lint.Models, s.Lint.Findings, s.Lint.Suppressed)
 	}
 	return b.String()
 }

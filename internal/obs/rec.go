@@ -133,6 +133,16 @@ func (r *Rec) AddFuzz(d FuzzStats) {
 	r.s.Fuzz.Shrinks += d.Shrinks
 }
 
+// AddLint accumulates static-analyzer counters.
+func (r *Rec) AddLint(d LintStats) {
+	if r == nil {
+		return
+	}
+	r.s.Lint.Models += d.Models
+	r.s.Lint.Findings += d.Findings
+	r.s.Lint.Suppressed += d.Suppressed
+}
+
 // End closes the span and merges the record into the attached Stats and
 // the Global aggregate. End must be called exactly once.
 func (r *Rec) End() {

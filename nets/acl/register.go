@@ -1,0 +1,30 @@
+package acl
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+// registered is the representative ACL scanned by zenlint: deny ICMP into
+// the corp prefix, block privileged source ports, allow web, default-deny
+// corp, allow the rest. Every header field is exercised so the lint models
+// stay ZL401-clean.
+func registered() *ACL {
+	return &ACL{Name: "edge", Rules: []Rule{
+		{Permit: false, DstPfx: pkt.Pfx(10, 0, 0, 0, 8), Protocol: pkt.ProtoICMP},
+		{Permit: false, DstPfx: pkt.Pfx(10, 0, 0, 0, 8), SrcLow: 1, SrcHigh: 1023},
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8), DstLow: 80, DstHigh: 80},
+		{Permit: true, DstPfx: pkt.Pfx(10, 0, 0, 0, 8), DstLow: 443, DstHigh: 443},
+		{Permit: false, DstPfx: pkt.Pfx(10, 0, 0, 0, 8)},
+		{Permit: true},
+	}}
+}
+
+func init() {
+	zen.RegisterModel("nets/acl.allow", func() zen.Lintable {
+		return zen.Func(registered().Allow)
+	})
+	zen.RegisterModel("nets/acl.match-line", func() zen.Lintable {
+		return zen.Func(registered().MatchLine)
+	})
+}

@@ -1,0 +1,9 @@
+package bgp
+
+import "zen-go/zen"
+
+func init() {
+	zen.RegisterModel("nets/bgp.better", func() zen.Lintable {
+		return zen.Func2(Better)
+	})
+}

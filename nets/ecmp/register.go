@@ -1,0 +1,23 @@
+package ecmp
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	// ZL501/ZL502: the five-tuple hash deliberately mixes with wide
+	// multiplies and mid-range shifts (that is what makes it a hash).
+	// These models are meant for the SAT backend; the advisor's per-backend
+	// severities say exactly that, so the findings are accepted.
+	zen.RegisterModel("nets/ecmp.hash", func() zen.Lintable {
+		return zen.Func(Hash)
+	}, "ZL501", "ZL502")
+	zen.RegisterModel("nets/ecmp.forward", func() zen.Lintable {
+		t := New(
+			Group{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Ports: []uint8{1, 2, 3, 4}},
+			Group{Prefix: pkt.Pfx(10, 1, 0, 0, 16), Ports: []uint8{5}},
+		)
+		return zen.Func(t.Forward)
+	}, "ZL501", "ZL502")
+}

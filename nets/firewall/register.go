@@ -1,0 +1,18 @@
+package firewall
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	fw := func() *Firewall {
+		return &Firewall{Name: "edge", InsidePfx: pkt.Pfx(192, 168, 0, 0, 16)}
+	}
+	zen.RegisterModel("nets/firewall.outbound", func() zen.Lintable {
+		return zen.Func2(fw().Outbound)
+	})
+	zen.RegisterModel("nets/firewall.inbound", func() zen.Lintable {
+		return zen.Func2(fw().Inbound)
+	})
+}

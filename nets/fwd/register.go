@@ -1,0 +1,21 @@
+package fwd
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	zen.RegisterModel("nets/fwd.forward", func() zen.Lintable {
+		t := New(
+			Entry{Prefix: pkt.Pfx(0, 0, 0, 0, 0), Port: 1},
+			Entry{Prefix: pkt.Pfx(10, 0, 0, 0, 8), Port: 2},
+			Entry{Prefix: pkt.Pfx(10, 1, 0, 0, 16), Port: 3},
+			Entry{Prefix: pkt.Pfx(10, 1, 2, 0, 24), Port: 4},
+		)
+		return zen.Func(t.Forward)
+	},
+		// ZL401: longest-prefix matching reads only DstIP; the other
+		// header fields are wildcards by definition of an LPM table.
+		"ZL401")
+}

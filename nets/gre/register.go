@@ -1,0 +1,18 @@
+package gre
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	tun := func() *Tunnel {
+		return &Tunnel{Name: "gre0", SrcIP: pkt.IP(10, 0, 0, 1), DstIP: pkt.IP(10, 0, 0, 2)}
+	}
+	zen.RegisterModel("nets/gre.encap", func() zen.Lintable {
+		return zen.Func(tun().Encap)
+	})
+	zen.RegisterModel("nets/gre.decap", func() zen.Lintable {
+		return zen.Func(tun().Decap)
+	})
+}

@@ -1,0 +1,23 @@
+package igp
+
+import "zen-go/zen"
+
+func init() {
+	zen.RegisterModel("nets/igp.best", func() zen.Lintable {
+		// Diamond D -- A -- C / D -- B -- C; the registered model is D's
+		// distance selection over symbolic neighbor distances.
+		n := &Network{}
+		a := n.AddRouter("A")
+		b := n.AddRouter("B")
+		c := n.AddRouter("C")
+		d := n.AddRouter("D")
+		c.Dest = true
+		n.Connect(d, a, 1)
+		n.Connect(d, b, 1)
+		n.Connect(a, c, 3)
+		n.Connect(b, c, 1)
+		return zen.Func2(func(da, db zen.Value[uint16]) zen.Value[uint16] {
+			return Best(d, []zen.Value[uint16]{da, db}, []zen.Value[bool]{zen.False(), zen.False()})
+		})
+	})
+}

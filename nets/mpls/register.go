@@ -1,0 +1,25 @@
+package mpls
+
+import "zen-go/zen"
+
+func init() {
+	zen.RegisterModel("nets/mpls.process-path", func() zen.Lintable {
+		ingress := &Table{Name: "in", Entries: []Entry{
+			{Match: 100, Action: Swap, NewLabel: 200, Port: 1},
+		}}
+		transit := &Table{Name: "mid", Entries: []Entry{
+			{Match: 200, Action: Swap, NewLabel: 300, Port: 2},
+		}}
+		egress := &Table{Name: "out", Entries: []Entry{
+			{Match: 300, Action: Pop, Port: 3},
+		}}
+		lsp := []*Table{ingress, transit, egress}
+		return zen.Func(func(p zen.Value[Packet]) zen.Value[Result] {
+			return ProcessPath(lsp, p)
+		})
+	},
+		// ZL201: along a single LSP each hop's label lookup is decided by
+		// the previous hop's swap, and Opt label values are extracted only
+		// under their IsSome guards — the deadness is the point of an LSP.
+		"ZL201")
+}

@@ -1,0 +1,25 @@
+package nat
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func registered() *NAT {
+	return &NAT{Name: "egress", Rules: []Rule{
+		{Kind: SNAT, Match: pkt.Pfx(192, 168, 0, 0, 16), NewAddr: pkt.IP(203, 0, 113, 1), PortBase: 10000, LowBits: 8},
+		{Kind: DNAT, Match: pkt.Pfx(203, 0, 113, 0, 24), NewAddr: pkt.IP(192, 168, 0, 10)},
+	}}
+}
+
+func init() {
+	zen.RegisterModel("nets/nat.apply", func() zen.Lintable {
+		return zen.Func(registered().Apply)
+	})
+	zen.RegisterModel("nets/nat.translates", func() zen.Lintable {
+		return zen.Func(registered().Translates)
+	},
+		// ZL401: whether a packet is translated depends only on its
+		// addresses; ports and protocol matter to Apply, not Translates.
+		"ZL401")
+}

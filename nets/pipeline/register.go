@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func registered() []*Table {
+	rewrite := &Table{
+		Name: "vip",
+		Entries: []Entry{{
+			Priority: 1,
+			Matches:  []Match{{Field: FDstIP, Kind: Exact, Value: uint64(pkt.IP(10, 0, 0, 100))}},
+			Action:   Action{Kind: Modify, Field: FDstIP, Value: uint64(pkt.IP(10, 1, 0, 7))},
+		}},
+		Default: Action{Kind: Modify, Field: FProto, Value: 6},
+	}
+	route := &Table{
+		Name: "route",
+		Entries: []Entry{
+			{
+				Priority: 24,
+				Matches:  []Match{{Field: FDstIP, Kind: LPM, Value: uint64(pkt.IP(10, 1, 0, 0)), Mask: 24}},
+				Action:   Action{Kind: Forward, Port: 2},
+			},
+			{
+				Priority: 8,
+				Matches:  []Match{{Field: FDstIP, Kind: LPM, Value: uint64(pkt.IP(10, 0, 0, 0)), Mask: 8}},
+				Action:   Action{Kind: Forward, Port: 1},
+			},
+		},
+		Default: Action{Kind: Drop},
+	}
+	return []*Table{rewrite, route}
+}
+
+func init() {
+	zen.RegisterModel("nets/pipeline.egress", func() zen.Lintable {
+		tables := registered()
+		return zen.Func(func(h zen.Value[pkt.Header]) zen.Value[uint8] {
+			return Egress(tables, h)
+		})
+	},
+		// ZL401: the registered pipeline matches and rewrites DstIP (and
+		// sets Proto) only; remaining header fields pass through unread.
+		"ZL401")
+}

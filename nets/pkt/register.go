@@ -1,0 +1,12 @@
+package pkt
+
+import "zen-go/zen"
+
+func init() {
+	zen.RegisterModel("nets/pkt.prefix-contains", func() zen.Lintable {
+		p := Pfx(10, 0, 0, 0, 8)
+		return zen.Func(func(ip zen.Value[uint32]) zen.Value[bool] {
+			return p.Contains(ip)
+		})
+	})
+}

@@ -1,0 +1,27 @@
+package routemap
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func registered() *RouteMap {
+	return &RouteMap{Name: "to-peer", Clauses: []Clause{
+		{Permit: false, MatchPrefixes: []PrefixMatch{{Pfx: pkt.Pfx(10, 0, 0, 0, 8), GE: 25, LE: 32}}},
+		{Permit: true, MatchCommunity: 100, SetLocalPref: 200, AddCommunity: 999},
+		{Permit: false, MatchAsContains: 666},
+		{Permit: true, PrependAs: 65000},
+	}}
+}
+
+func init() {
+	zen.RegisterModel("nets/routemap.apply", func() zen.Lintable {
+		return zen.Func(registered().Apply)
+	})
+	zen.RegisterModel("nets/routemap.match-clause", func() zen.Lintable {
+		return zen.Func(registered().MatchClause)
+	},
+		// ZL401: clause matching reads only the route attributes the
+		// registered map matches on; Apply (linted above) reads the rest.
+		"ZL401")
+}

@@ -1,0 +1,23 @@
+package vnet
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	// ZL201: the overlay pipeline extracts Opt values (encap results,
+	// gateway lookups) only under their IsSome guards, so the Opt default
+	// arms are intentionally unreachable; later gateway checks repeat the
+	// encap conditions and are decided by them.
+	zen.RegisterModel("nets/vnet.va-to-vb", func() zen.Lintable {
+		n := Build(Config{})
+		return zen.Func(n.VaToVb)
+	}, "ZL201")
+	zen.RegisterModel("nets/vnet.underlay-only", func() zen.Lintable {
+		n := Build(Config{})
+		return zen.Func(func(h zen.Value[pkt.Header]) zen.Value[zen.Opt[pkt.Header]] {
+			return n.UnderlayOnly(h)
+		})
+	}, "ZL201")
+}

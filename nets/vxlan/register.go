@@ -1,0 +1,27 @@
+package vxlan
+
+import (
+	"zen-go/nets/pkt"
+	"zen-go/zen"
+)
+
+func init() {
+	zen.RegisterModel("nets/vxlan.deliver", func() zen.Lintable {
+		left := &VTEP{Name: "L", Addr: pkt.IP(10, 0, 0, 1), Peers: []PeerEntry{
+			{TenantPfx: pkt.Pfx(172, 16, 2, 0, 24), Remote: pkt.IP(10, 0, 0, 2)},
+		}}
+		right := &VTEP{Name: "R", Addr: pkt.IP(10, 0, 0, 2), Peers: []PeerEntry{
+			{TenantPfx: pkt.Pfx(172, 16, 1, 0, 24), Remote: pkt.IP(10, 0, 0, 1)},
+		}}
+		f := &Fabric{Left: left, Right: right, TenantA: 100, TenantB: 200}
+		segA := Segment{VNI: f.TenantA, VTEPAddr: left.Addr}
+		segARemote := Segment{VNI: f.TenantA, VTEPAddr: right.Addr}
+		return zen.Func(func(fr zen.Value[Frame]) zen.Value[zen.Opt[pkt.Header]] {
+			return f.Deliver(segA, segARemote, f.Left, f.Right, fr)
+		})
+	},
+		// ZL401: the input frame's encap metadata (Encapped/Outer/VNI) is
+		// written by the ingress VTEP during Deliver, never read from the
+		// tenant-originated input.
+		"ZL401")
+}

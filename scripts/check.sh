@@ -1,7 +1,8 @@
 #!/bin/sh
-# check.sh — the repo's full hygiene gate: formatting, vet, build, and the
-# test suite under the race detector. Run from anywhere; `make check` is an
-# alias.
+# check.sh — the repo's full hygiene gate: formatting, vet, build, both
+# static-analysis layers (zenlint on model DAGs, zenvet on model source),
+# and the test suite under the race detector. Run from anywhere;
+# `make check` is an alias.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +20,12 @@ go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+echo "== zenlint (DAG-level model analysis over all registered models)"
+go run ./cmd/zenlint
+
+echo "== zenvet (host-language model code checks)"
+go run ./cmd/zenvet
 
 echo "== go test -race ./..."
 go test -race ./...

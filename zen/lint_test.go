@@ -1,0 +1,108 @@
+package zen_test
+
+import (
+	"testing"
+
+	"zen-go/zen"
+)
+
+type lintHdr struct {
+	Src  uint32
+	Dst  uint32
+	Port uint16
+}
+
+func TestFnLintUnusedField(t *testing.T) {
+	fn := zen.Func(func(h zen.Value[lintHdr]) zen.Value[bool] {
+		return zen.Eq(zen.GetField[lintHdr, uint32](h, "Src"), zen.Lift(uint32(10)))
+	})
+	diags := fn.Lint()
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Code)
+	}
+	want := map[string]bool{}
+	for _, d := range diags {
+		want[d.Code] = true
+	}
+	if !want["ZL401"] {
+		t.Fatalf("want ZL401 for unread fields, got %v", got)
+	}
+}
+
+func TestFnLintCleanModel(t *testing.T) {
+	fn := zen.Func(func(h zen.Value[lintHdr]) zen.Value[bool] {
+		return zen.And(
+			zen.Eq(zen.GetField[lintHdr, uint32](h, "Src"), zen.Lift(uint32(10))),
+			zen.And(
+				zen.Eq(zen.GetField[lintHdr, uint32](h, "Dst"), zen.Lift(uint32(20))),
+				zen.Lt(zen.GetField[lintHdr, uint16](h, "Port"), zen.Lift(uint16(1024)))))
+	})
+	if diags := fn.Lint(); len(diags) != 0 {
+		t.Fatalf("clean model reported %v", diags)
+	}
+}
+
+func TestFnLintStats(t *testing.T) {
+	var st zen.Stats
+	fn := zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+		return zen.Mul(x, x)
+	})
+	diags := fn.Lint(zen.WithStats(&st))
+	if len(diags) == 0 {
+		t.Fatal("wide square should report ZL501")
+	}
+	s := st.Snapshot()
+	if s.Lint.Models != 1 || s.Lint.Findings != int64(len(diags)) {
+		t.Fatalf("lint stats not recorded: %+v", s.Lint)
+	}
+	if s.AnalysesBy["lint"] != 1 {
+		t.Fatalf("lint analysis not counted: %v", s.AnalysesBy)
+	}
+}
+
+func TestFn2Lint(t *testing.T) {
+	fn := zen.Func2(func(a, b zen.Value[uint16]) zen.Value[bool] {
+		return zen.Lt(a, b)
+	})
+	if diags := fn.Lint(); len(diags) != 0 {
+		t.Fatalf("clean relation reported %v", diags)
+	}
+	ignoresB := zen.Func2(func(a, b zen.Value[uint16]) zen.Value[bool] {
+		return zen.Eq(a, zen.Lift(uint16(7)))
+	})
+	diags := ignoresB.Lint()
+	found := false
+	for _, d := range diags {
+		if d.Code == "ZL402" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want ZL402 for ignored second argument, got %v", diags)
+	}
+}
+
+func TestRegistrySuppression(t *testing.T) {
+	zen.RegisterModel("linttest/wide-square", func() zen.Lintable {
+		return zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+			return zen.Mul(x, x)
+		})
+	}, "ZL501")
+	var report *zen.ModelReport
+	for _, r := range zen.LintRegistered() {
+		if r.Name == "linttest/wide-square" {
+			rr := r
+			report = &rr
+		}
+	}
+	if report == nil {
+		t.Fatal("registered model not linted")
+	}
+	if len(report.Findings) != 0 {
+		t.Fatalf("allow-listed code still reported: %v", report.Findings)
+	}
+	if len(report.Suppressed) == 0 {
+		t.Fatal("suppressed findings not surfaced")
+	}
+}
