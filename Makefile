@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench fuzz
+.PHONY: all build test race vet fmt lint check bench fuzz serve-smoke
 
 all: build
 
@@ -29,6 +29,12 @@ lint:
 # check is the full hygiene gate: gofmt, vet, build, race-enabled tests.
 check:
 	sh scripts/check.sh
+
+# serve-smoke exercises the zend verification service end to end: model
+# listing, cached repeat query, deadline-expired query, batch, and a
+# clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

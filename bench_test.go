@@ -14,12 +14,15 @@ package zenrepro
 // Run with: go test -bench=. -benchmem .
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"zen-go/baselines/batfish"
 	"zen-go/internal/figgen"
+	"zen-go/internal/serve"
 	"zen-go/nets/acl"
 	"zen-go/nets/pkt"
 	"zen-go/nets/routemap"
@@ -227,4 +230,93 @@ func BenchmarkAblationCompiled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		compiled(pkts[i%len(pkts)])
 	}
+}
+
+// --- Service-path benchmarks (internal/serve): what a query costs through
+// the verification service, cold vs cached, and under parallel clients.
+
+func serveFindReq(v uint64) *serve.Request {
+	return &serve.Request{
+		Model: "demo/add8",
+		Kind:  "find",
+		Predicate: json.RawMessage(fmt.Sprintf(
+			`{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":%d}}}`, v)),
+	}
+}
+
+// reportServeMetrics surfaces the service's cache effectiveness as
+// custom benchmark metrics.
+func reportServeMetrics(b *testing.B, s *serve.Server) {
+	st := s.Stats()
+	b.ReportMetric(100*st.CacheHitRate, "cache-hit-%")
+	if st.Coalesced > 0 {
+		b.ReportMetric(float64(st.Coalesced)/float64(b.N), "coalesced/op")
+	}
+}
+
+// BenchmarkServeQueryCold measures the full service path with caching
+// disabled: predicate compile, fingerprint, pool dispatch, solve, decode.
+func BenchmarkServeQueryCold(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 1, Queue: 1 << 16, CacheSize: -1})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	req := serveFindReq(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := s.Do(ctx, req); res.Status != "sat" || res.Cached {
+			b.Fatalf("cold query: %q cached=%v (%s)", res.Status, res.Cached, res.Error)
+		}
+	}
+	b.StopTimer()
+	reportServeMetrics(b, s)
+}
+
+// BenchmarkServeQueryCached measures a repeated identical query: after
+// the first solve every iteration is an LRU hit with zero solver work.
+func BenchmarkServeQueryCached(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 1, Queue: 1 << 16})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	req := serveFindReq(7)
+	if res := s.Do(ctx, req); res.Status != "sat" {
+		b.Fatalf("prime query: %q (%s)", res.Status, res.Error)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := s.Do(ctx, req); !res.Cached {
+			b.Fatalf("expected a cache hit")
+		}
+	}
+	b.StopTimer()
+	reportServeMetrics(b, s)
+}
+
+// BenchmarkServeParallelClients measures throughput with many client
+// goroutines issuing a small working set of queries: after warmup the
+// mix is nearly all cache hits, so this exercises lookup and counter
+// contention rather than the solver.
+func BenchmarkServeParallelClients(b *testing.B) {
+	s := serve.New(serve.Config{Workers: 4, Queue: 1 << 16})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	reqs := make([]*serve.Request, 16)
+	for i := range reqs {
+		reqs[i] = serveFindReq(uint64(i))
+		if res := s.Do(ctx, reqs[i]); res.Status != "sat" {
+			b.Fatalf("warmup %d: %q (%s)", i, res.Status, res.Error)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			res := s.Do(ctx, reqs[i%len(reqs)])
+			if res.Status != "sat" {
+				b.Fatalf("parallel query: %q (%s)", res.Status, res.Error)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	reportServeMetrics(b, s)
 }

@@ -1,0 +1,98 @@
+// Command zend serves the zen model registry as a verification service:
+// a long-running daemon answering Find/FindAll/Verify/Evaluate queries
+// against registered models over HTTP/JSON, with a bounded solver worker
+// pool, per-request deadlines, an LRU result cache, singleflight
+// deduplication, and load shedding under overload.
+//
+//	zend -addr localhost:8347
+//	curl localhost:8347/v1/models
+//	curl -d '{"model":"demo/add8","kind":"find","predicate":{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":7}}}}' localhost:8347/v1/query
+//	curl localhost:8347/v1/stats
+//
+// SIGINT/SIGTERM drain in-flight queries (bounded by -drain) before
+// exit; a second signal exits immediately. The query encoding is
+// documented in docs/serve.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zen-go/internal/serve"
+	"zen-go/zen"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "localhost:8347", "listen address (use :0 for a random port)")
+		workers        = flag.Int("workers", 4, "concurrent solver executions")
+		queue          = flag.Int("queue", 16, "queued executions before shedding with 429")
+		cacheSize      = flag.Int("cache", 256, "result cache entries (0 disables)")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "deadline for queries that set no timeout_ms (0 = none)")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on per-query timeout_ms (0 = no cap)")
+		drain          = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
+		stats          = flag.Bool("stats", false, "print solver telemetry on exit")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zend: %v\n", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	// The bound address goes to stdout on its own line so scripts starting
+	// zend with -addr :0 can read the port.
+	fmt.Printf("zend: serving on http://%s (models: /v1/models, queries: /v1/query)\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "zend: %v\n", err)
+		os.Exit(2)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "zend: %v received, draining (again to force quit)\n", sig)
+	}
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "zend: second signal, exiting now")
+		os.Exit(130)
+	}()
+
+	ctx, cancelFn := context.WithTimeout(context.Background(), *drain)
+	defer cancelFn()
+	code := 0
+	// Stop intake first (new queries get 503/connection refused), then
+	// let queued and running queries finish under the drain budget.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "zend: http drain: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "zend: solver drain: %v\n", err)
+		code = 1
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+	}
+	fmt.Fprintln(os.Stderr, "zend: bye")
+	os.Exit(code)
+}

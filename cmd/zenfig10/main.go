@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,6 +27,13 @@ import (
 	"zen-go/zen"
 )
 
+// exitCancelled is the exit code when -timeout cuts the sweep short.
+const exitCancelled = 3
+
+// sweepCtx bounds every solver call of the sweep; -timeout arms a
+// deadline on it.
+var sweepCtx = context.Background()
+
 func main() {
 	aclSizes := flag.String("acl-sizes", "1000,2000,4000,8000,15000", "ACL line counts")
 	rmSizes := flag.String("rm-sizes", "20,40,60,80,100", "route map clause counts")
@@ -33,15 +41,43 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	stats := flag.Bool("stats", false, "print solver telemetry after the sweep")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/zenstats, expvar and pprof on this address during the sweep")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (exit code 3)")
 	flag.Parse()
+	var debugShutdown func(time.Duration)
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
+		addr, shutdown, err := obs.StartDebugServer(*debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zenfig10: debug server: %v\n", err)
 			os.Exit(2)
 		}
+		debugShutdown = shutdown
 		fmt.Fprintf(os.Stderr, "zenfig10: debug server on http://%s/debug/zenstats\n", addr)
 	}
+	if *timeout > 0 {
+		var cancelFn context.CancelFunc
+		sweepCtx, cancelFn = context.WithTimeout(sweepCtx, *timeout)
+		defer cancelFn()
+	}
+	// A deadline cut mid-solve surfaces as a *zen.CancelledError panic;
+	// report the partial sweep and exit 3.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ce, ok := r.(*zen.CancelledError)
+		if !ok {
+			panic(r)
+		}
+		fmt.Fprintf(os.Stderr, "zenfig10: %v (partial results above)\n", ce)
+		if *stats {
+			fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+		}
+		if debugShutdown != nil {
+			debugShutdown(2 * time.Second)
+		}
+		os.Exit(exitCancelled)
+	}()
 
 	fmt.Println("# Figure 10 (left): ACL verification, time in ms")
 	fmt.Println("lines,zen_bdd_ms,zen_sat_ms,batfish_ms")
@@ -69,6 +105,9 @@ func main() {
 	if *stats {
 		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
 	}
+	if debugShutdown != nil {
+		debugShutdown(2 * time.Second)
+	}
 }
 
 func parseSizes(s string) []int {
@@ -84,10 +123,15 @@ func parseSizes(s string) []int {
 }
 
 // measure reports the mean wall time of fn in milliseconds across runs,
-// with a fresh deterministic workload per run.
+// with a fresh deterministic workload per run. The deadline is also
+// checked between runs so concrete baselines (which never poll a
+// context) still stop at run boundaries.
 func measure(runs int, fn func(*rand.Rand), seed int64) float64 {
 	total := time.Duration(0)
 	for i := 0; i < runs; i++ {
+		if err := sweepCtx.Err(); err != nil {
+			panic(&zen.CancelledError{Err: err})
+		}
 		rng := rand.New(rand.NewSource(seed + int64(i)))
 		start := time.Now()
 		fn(rng)
@@ -102,7 +146,7 @@ func aclFind(rng *rand.Rand, n int, be zen.Backend) {
 	fn := zen.Func(a.MatchLine)
 	if _, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
 		return zen.EqC(l, last)
-	}, zen.WithBackend(be)); !ok {
+	}, zen.WithBackend(be), zen.WithContext(sweepCtx)); !ok {
 		panic("catch-all last line must be reachable")
 	}
 }
@@ -120,7 +164,7 @@ func rmFind(rng *rand.Rand, n int, be zen.Backend) {
 	fn := zen.Func(rm.MatchClause)
 	if _, ok := fn.Find(func(_ zen.Value[routemap.Route], l zen.Value[uint16]) zen.Value[bool] {
 		return zen.EqC(l, last)
-	}, zen.WithBackend(be), zen.WithListBound(routemap.Depth)); !ok {
+	}, zen.WithBackend(be), zen.WithListBound(routemap.Depth), zen.WithContext(sweepCtx)); !ok {
 		panic("catch-all last clause must be reachable")
 	}
 }

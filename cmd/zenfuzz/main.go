@@ -8,10 +8,13 @@
 //
 //	zenfuzz -n 5000 -seed 1 -stats
 //
-// Exit status is 1 when any divergence was found, 0 otherwise.
+// Exit status is 1 when any divergence was found, 0 otherwise; 3 when
+// -timeout expired before the campaign finished (partial findings are
+// still reported).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +23,9 @@ import (
 	"zen-go/internal/fuzz"
 	"zen-go/internal/obs"
 )
+
+// exitDeadline is the exit code when -timeout cuts the campaign short.
+const exitDeadline = 3
 
 func main() {
 	var (
@@ -35,8 +41,16 @@ func main() {
 		stop     = flag.Bool("stop", false, "stop at the first divergence")
 		stats    = flag.Bool("stats", false, "print telemetry after the campaign")
 		progress = flag.Int("progress", 500, "print throughput every N queries (0 = off)")
+		timeout  = flag.Duration("timeout", 0, "stop the campaign after this long (exit code 3)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelFn context.CancelFunc
+		ctx, cancelFn = context.WithTimeout(ctx, *timeout)
+		defer cancelFn()
+	}
 
 	gcfg := fuzz.DefaultConfig()
 	if *depth > 0 {
@@ -77,7 +91,7 @@ func main() {
 		}
 	}
 
-	findings := c.Run()
+	findings, runErr := c.RunContext(ctx)
 	elapsed := time.Since(start)
 
 	for _, f := range findings {
@@ -93,6 +107,10 @@ func main() {
 		snap.Fuzz.Divergences, snap.Fuzz.Shrinks)
 	if *stats {
 		fmt.Print(st.String())
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "zenfuzz: campaign stopped early: %v\n", runErr)
+		os.Exit(exitDeadline)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

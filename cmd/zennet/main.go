@@ -19,9 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"zen-go/analyses/anteater"
 	"zen-go/analyses/bonsai"
@@ -40,19 +44,73 @@ import (
 // before any exit path when it is set.
 var showStats bool
 
+// debugShutdown drains the -debug-addr server before exit (nil without
+// the flag); drainTimeout bounds that drain.
+var debugShutdown func(time.Duration)
+
+const drainTimeout = 2 * time.Second
+
+// exitCancelled is the exit code for an analysis cut by -timeout or a
+// signal, distinct from "property violated" (1) and "usage/load error"
+// (2).
+const exitCancelled = 3
+
+// rootCtx bounds every solver call of the process; analyses receive it
+// via zen.WithContext.
+var rootCtx = context.Background()
+
 func main() {
 	cfgPath := flag.String("config", "", "network JSON file")
 	flag.BoolVar(&showStats, "stats", false, "print solver telemetry after the analysis")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/zenstats, expvar and pprof on this address (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this long (exit code 3)")
 	flag.Parse()
 	if *cfgPath == "" || flag.NArg() < 1 {
 		fail("usage: zennet -config net.json <reach|isolated|hsa|acl-lines> [args]")
 	}
+
+	// Solver calls below run under rootCtx: -timeout arms a deadline and
+	// SIGINT/SIGTERM cancel it, so both stop the solver loops cooperatively
+	// and reach the drain-and-exit path instead of killing the process
+	// mid-solve. A second signal exits immediately.
+	var cancelRoot context.CancelFunc = func() {}
+	if *timeout > 0 {
+		rootCtx, cancelRoot = context.WithTimeout(rootCtx, *timeout)
+	} else {
+		rootCtx, cancelRoot = context.WithCancel(rootCtx)
+	}
+	defer cancelRoot()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "zennet: signal received, cancelling analysis (again to force quit)")
+		cancelRoot()
+		<-sigc
+		os.Exit(exitCancelled)
+	}()
+	// A cancelled analysis surfaces as a *zen.CancelledError panic from
+	// whatever solver loop was running; convert it to exit code 3 after
+	// draining the debug server.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ce, ok := r.(*zen.CancelledError)
+		if !ok {
+			panic(r)
+		}
+		fmt.Fprintf(os.Stderr, "zennet: %v\n", ce)
+		finish(exitCancelled)
+	}()
+
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr)
+		addr, shutdown, err := obs.StartDebugServer(*debugAddr)
 		if err != nil {
 			fail("zennet: debug server: %v", err)
 		}
+		debugShutdown = shutdown
 		fmt.Fprintf(os.Stderr, "zennet: debug server on http://%s/debug/zenstats\n", addr)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
@@ -79,10 +137,14 @@ func main() {
 	finish(0)
 }
 
-// finish prints the telemetry report when -stats is set, then exits.
+// finish prints the telemetry report when -stats is set and drains the
+// debug server, then exits.
 func finish(code int) {
 	if showStats {
 		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+	}
+	if debugShutdown != nil {
+		debugShutdown(drainTimeout)
 	}
 	os.Exit(code)
 }
@@ -113,7 +175,10 @@ func cmdReach(net *Network, args []string, wantIsolated bool) {
 			return zen.And(anteater.Plain(p), pfx.Contains(pkt.DstIP(pkt.Overlay(p))))
 		}
 	}
-	w, found := anteater.Reachable(in, d, *hops, pred)
+	// Reachable defaults to the SAT backend when no options are given;
+	// keep that choice explicit now that the context option is threaded.
+	w, found := anteater.Reachable(in, d, *hops, pred,
+		zen.WithBackend(zen.SAT), zen.WithContext(rootCtx))
 	if wantIsolated {
 		if found {
 			fmt.Printf("NOT ISOLATED: %s reaches %s\n", *from, *to)
@@ -153,7 +218,7 @@ func cmdHSA(net *Network, args []string) {
 	if err != nil {
 		fail("zennet: %v", err)
 	}
-	w := zen.NewWorld()
+	w := zen.NewWorld(zen.WithContext(rootCtx))
 	a := hsa.New(w, devicesOf(net)...)
 	set := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
 		return zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]())
@@ -237,9 +302,11 @@ func cmdBGP(cfgPath, cmd string, args []string) {
 		if !ok {
 			fail("zennet: unknown router %q", *reach)
 		}
+		// Check defaults to the SAT backend when no options are given;
+		// keep that choice explicit now that the context option is threaded.
 		res := minesweeper.Check(n, minesweeper.Query{
 			MaxFailures: *k, Property: minesweeper.Reachable(r),
-		})
+		}, zen.WithBackend(zen.SAT), zen.WithContext(rootCtx))
 		if !res.Found {
 			fmt.Printf("%s stays reachable under any %d session failures\n", r.Name, *k)
 			return

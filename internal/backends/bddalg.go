@@ -6,10 +6,19 @@ package backends
 
 import (
 	"zen-go/internal/bdd"
+	"zen-go/internal/cancel"
 	"zen-go/internal/obs"
 	"zen-go/internal/sat"
 	"zen-go/internal/sym"
 )
+
+// Interruptible is implemented by backends that support cooperative
+// cancellation. Arming a check makes subsequent solver work poll it
+// periodically and unwind with cancel.Abort when it fails; the caller
+// must recover the abort (see cancel.Trap).
+type Interruptible interface {
+	SetInterrupt(cancel.Check)
+}
 
 // BDD is the binary-decision-diagram backend. Fresh variables receive
 // consecutive BDD levels unless a VarOrder hook assigns them explicitly.
@@ -91,6 +100,10 @@ func (b *BDD) BitValue(x bdd.Ref) bool {
 	return b.model[level] == 1
 }
 
+// SetInterrupt arms a cancellation check on the underlying manager,
+// implementing Interruptible.
+func (b *BDD) SetInterrupt(chk cancel.Check) { b.Man.SetInterrupt(chk) }
+
 // ReportInto harvests the manager's counters into a telemetry snapshot,
 // implementing obs.Reporter.
 func (b *BDD) ReportInto(s *obs.Snapshot) {
@@ -104,6 +117,7 @@ func (b *BDD) ReportInto(s *obs.Snapshot) {
 var (
 	_ sym.Solver[bdd.Ref] = (*BDD)(nil)
 	_ obs.Reporter        = (*BDD)(nil)
+	_ Interruptible       = (*BDD)(nil)
 )
 
 // SAT is the bit-blasting backend: boolean structure is encoded into CNF
@@ -241,9 +255,27 @@ func (s *SAT) Ite(c, t, f sat.Lit) sat.Lit {
 }
 
 // Solve checks satisfiability of the constraint together with all Tseitin
-// clauses added so far.
+// clauses added so far. An interrupted search panics with cancel.Abort
+// rather than returning false: "no witness yet" must never masquerade as
+// "no witness exists" (a Verify would report vacuous validity).
 func (s *SAT) Solve(constraint sat.Lit) bool {
-	return s.S.Solve(constraint) == sat.Sat
+	st := s.S.Solve(constraint)
+	if st == sat.Unknown {
+		if err := s.S.InterruptErr(); err != nil {
+			panic(cancel.Abort{Err: err})
+		}
+	}
+	return st == sat.Sat
+}
+
+// SetInterrupt arms a cancellation check on the underlying CDCL solver,
+// implementing Interruptible.
+func (s *SAT) SetInterrupt(chk cancel.Check) {
+	if chk == nil {
+		s.S.Interrupt = nil
+		return
+	}
+	s.S.Interrupt = chk
 }
 
 // BitValue reports the model value of a literal after a successful Solve.
@@ -271,4 +303,5 @@ func (s *SAT) ReportInto(snap *obs.Snapshot) {
 var (
 	_ sym.Solver[sat.Lit] = (*SAT)(nil)
 	_ obs.Reporter        = (*SAT)(nil)
+	_ Interruptible       = (*SAT)(nil)
 )

@@ -15,6 +15,8 @@ package bdd
 import (
 	"fmt"
 	"math/big"
+
+	"zen-go/internal/cancel"
 )
 
 // Ref identifies a BDD node within its Manager. The zero value is the
@@ -80,6 +82,39 @@ type Manager struct {
 
 	countCache map[Ref]*big.Int
 	countVars  int
+
+	// interrupt, when armed, is polled every pollInterval cache misses in
+	// the recursive apply loops; it unwinds via cancel.Abort.
+	interrupt cancel.Check
+	pollGas   int
+}
+
+// pollInterval is the number of cache misses between interrupt polls. A
+// miss is the unit of real work in the apply loops (hits return
+// immediately), so gating on misses bounds cancellation latency by a
+// constant amount of node construction.
+const pollInterval = 1 << 10
+
+// SetInterrupt arms (or, with nil, disarms) a cancellation check polled
+// periodically inside Ite, quantification, and rename recursions. When
+// the check reports an error the operation panics with cancel.Abort; the
+// caller that armed the interrupt must recover it (see cancel.Trap). The
+// manager's tables remain valid after an abort — the computation is
+// merely incomplete — so a long-lived manager survives cancelled queries.
+func (m *Manager) SetInterrupt(chk cancel.Check) {
+	m.interrupt = chk
+	m.pollGas = pollInterval
+}
+
+// poll burns one unit of gas and checks the interrupt when it runs out.
+func (m *Manager) poll() {
+	if m.interrupt == nil {
+		return
+	}
+	if m.pollGas--; m.pollGas <= 0 {
+		m.pollGas = pollInterval
+		m.interrupt.Point()
+	}
 }
 
 // New returns a Manager with capacity hints for the given number of
@@ -200,6 +235,7 @@ func (m *Manager) Ite(f, g, h Ref) Ref {
 		return r
 	}
 	m.stats.CacheMiss++
+	m.poll()
 	top := m.level[f]
 	if m.level[g] < top {
 		top = m.level[g]
@@ -274,6 +310,7 @@ func (m *Manager) exists(r Ref, vars VarSet, epoch Ref) Ref {
 		return res
 	}
 	m.stats.CacheMiss++
+	m.poll()
 	lo := m.exists(m.low[r], vars, epoch)
 	hi := m.exists(m.high[r], vars, epoch)
 	var res Ref
@@ -326,6 +363,7 @@ func (m *Manager) andExists(a, b Ref, vars VarSet, epoch Ref) Ref {
 		return res
 	}
 	m.stats.CacheMiss++
+	m.poll()
 	top := m.level[a]
 	if m.level[b] < top {
 		top = m.level[b]
@@ -397,6 +435,7 @@ func (m *Manager) replace(r Ref, mp []int32, epoch Ref) Ref {
 		return res
 	}
 	m.stats.CacheMiss++
+	m.poll()
 	lo := m.replace(m.low[r], mp, epoch)
 	hi := m.replace(m.high[r], mp, epoch)
 	res := m.mk(mp[m.level[r]], lo, hi)
@@ -439,6 +478,7 @@ func (m *Manager) substitute(r Ref, mp []int32, epoch Ref) Ref {
 		return res
 	}
 	m.stats.CacheMiss++
+	m.poll()
 	lo := m.substitute(m.low[r], mp, epoch)
 	hi := m.substitute(m.high[r], mp, epoch)
 	g := m.Var(int(mp[m.level[r]]))

@@ -1,0 +1,71 @@
+// Package cancel carries cooperative cancellation through the solver
+// stack. Solvers are deep recursive computations (the BDD apply loops) or
+// tight search loops (CDCL); neither can thread a context.Context through
+// every frame without distorting the code, and neither can afford a
+// channel receive per step. The scheme here is the classic
+// counter-gated poll + panic unwind:
+//
+//   - An analysis boundary (zen.Find and friends) derives a Check from
+//     its context and arms the backends with it.
+//   - Hot loops call Check.Point every ~2^10 units of work. When the
+//     context has died, Point panics with Abort, unwinding the solver
+//     recursion in one bound.
+//   - The boundary recovers the Abort with Trap and converts it into an
+//     ordinary error return.
+//
+// Abort is an implementation detail of this module: it must never escape
+// an exported API. Every entry point that arms an interrupt is
+// responsible for trapping it.
+package cancel
+
+import "context"
+
+// Check reports whether the computation should stop: nil means keep
+// going, a non-nil error is the cancellation cause (typically
+// context.Canceled or context.DeadlineExceeded). A nil Check means
+// "never cancelled" and is the zero-cost default everywhere.
+type Check func() error
+
+// FromContext derives a Check from a context. It returns nil — the
+// free-running default — when ctx is nil or can never be cancelled, so
+// un-deadlined callers pay nothing at solver poll points.
+func FromContext(ctx context.Context) Check {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() error { return ctx.Err() }
+}
+
+// Abort is the panic value raised at a poll point when the Check reports
+// cancellation. It unwinds solver recursion; Trap converts it back into
+// an error at the analysis boundary.
+type Abort struct{ Err error }
+
+// Point polls the check and panics with Abort when the computation
+// should stop. Callers gate it behind a work counter; the nil receiver
+// makes the un-armed path a single comparison.
+func (c Check) Point() {
+	if c == nil {
+		return
+	}
+	if err := c(); err != nil {
+		panic(Abort{Err: err})
+	}
+}
+
+// Trap is the boundary recover: deferred by analysis entry points, it
+// converts an in-flight Abort into *err and re-raises any other panic.
+//
+//	func (fn *Fn[I, O]) FindCtx(...) (w I, ok bool, err error) {
+//		defer cancel.Trap(&err)
+//		...
+//	}
+func Trap(err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case Abort:
+		*err = r.Err
+	default:
+		panic(r)
+	}
+}

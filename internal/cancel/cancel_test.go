@@ -1,0 +1,62 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestFromContextBackground(t *testing.T) {
+	if chk := FromContext(context.Background()); chk != nil {
+		t.Fatalf("background context must yield a nil Check")
+	}
+	if chk := FromContext(nil); chk != nil {
+		t.Fatalf("nil context must yield a nil Check")
+	}
+}
+
+func TestNilCheckPoint(t *testing.T) {
+	var chk Check
+	chk.Point() // must not panic
+}
+
+func TestPointPanicsAfterCancel(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	chk := FromContext(ctx)
+	if chk == nil {
+		t.Fatalf("cancellable context must yield a non-nil Check")
+	}
+	chk.Point() // live context: no panic
+
+	cancelFn()
+	var err error
+	func() {
+		defer Trap(&err)
+		chk.Point()
+		t.Fatalf("Point must panic after cancel")
+	}()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("trapped err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrapPassesOtherPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic must pass through Trap, got %v", r)
+		}
+	}()
+	var err error
+	defer Trap(&err)
+	panic("boom")
+}
+
+func TestTrapNoPanic(t *testing.T) {
+	err := errors.New("sentinel")
+	func() {
+		defer Trap(&err)
+	}()
+	if err == nil || err.Error() != "sentinel" {
+		t.Fatalf("Trap must leave *err alone without a panic, got %v", err)
+	}
+}

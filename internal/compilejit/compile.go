@@ -12,6 +12,7 @@ package compilejit
 import (
 	"fmt"
 
+	"zen-go/internal/cancel"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
 )
@@ -56,6 +57,34 @@ func (p *Program) Run(inputs ...*interp.Value) *interp.Value {
 		regs[p.varRegs[i]] = in
 	}
 	for _, ins := range p.instrs {
+		ins(regs)
+	}
+	return regs[p.result]
+}
+
+// runGas is the number of instructions between cancellation polls in
+// RunCheck. Instructions are pre-dispatched closures, so the stride is
+// wider than the evaluators'.
+const runGas = 1 << 12
+
+// RunCheck is Run with a cancellation check polled every runGas
+// instructions; a nil check falls back to the unpolled loop. Programs are
+// straight-line but can be large (every list alternative is unrolled), so
+// batch drivers over many inputs stay responsive.
+func (p *Program) RunCheck(chk cancel.Check, inputs ...*interp.Value) *interp.Value {
+	if chk == nil {
+		return p.Run(inputs...)
+	}
+	regs := make([]*interp.Value, p.numRegs)
+	for i, in := range inputs {
+		regs[p.varRegs[i]] = in
+	}
+	gas := runGas
+	for _, ins := range p.instrs {
+		if gas--; gas <= 0 {
+			gas = runGas
+			chk.Point()
+		}
 		ins(regs)
 	}
 	return regs[p.result]

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -75,6 +76,16 @@ func RunOne(seed int64, gcfg Config, ccfg CheckConfig) (expr, in *core.Node, g *
 
 // Run executes the campaign and returns all findings (shrunk when enabled).
 func (c *Campaign) Run() []Finding {
+	findings, _ := c.RunContext(context.Background())
+	return findings
+}
+
+// RunContext is Run bounded by a context: the deadline is checked between
+// iterations, and an expired context stops the campaign early, returning
+// the findings accumulated so far together with the context's error.
+// Individual query checks are not interrupted mid-solve — fuzz queries are
+// small by construction — so the response latency is one iteration.
+func (c *Campaign) RunContext(ctx context.Context) ([]Finding, error) {
 	if c.MaxShrinkTries == 0 {
 		c.MaxShrinkTries = 400
 	}
@@ -82,7 +93,12 @@ func (c *Campaign) Run() []Finding {
 	stop := rec.Phase("campaign")
 	var findings []Finding
 	var counters obs.FuzzStats
+	var runErr error
 	for i := 0; i < c.N; i++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		seed := IterSeed(c.Seed, i)
 		expr, in, g, div := RunOne(seed, c.Gen, c.Check)
 		counters.Execs++
@@ -105,7 +121,7 @@ func (c *Campaign) Run() []Finding {
 	stop()
 	rec.AddFuzz(counters)
 	rec.End()
-	return findings
+	return findings, runErr
 }
 
 // shrinkFinding minimizes a divergence, requiring candidates to fail with

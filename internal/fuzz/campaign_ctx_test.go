@@ -1,0 +1,39 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunContextStopsEarly: an expired context stops the campaign at an
+// iteration boundary and reports the cut via the returned error (the
+// CLIs translate it to exit code 3).
+func TestRunContextStopsEarly(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	c := &Campaign{Seed: 1, N: 1 << 20, Gen: DefaultConfig(), Check: DefaultCheckConfig()}
+	start := time.Now()
+	findings, err := c.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("%d findings from a dead-on-arrival campaign", len(findings))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled campaign still took %v", elapsed)
+	}
+}
+
+// TestRunContextCompletes: a live context leaves the campaign unchanged.
+func TestRunContextCompletes(t *testing.T) {
+	c := &Campaign{Seed: 1, N: 20, Gen: DefaultConfig(), Check: DefaultCheckConfig()}
+	findings, err := c.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected divergences: %d", len(findings))
+	}
+}

@@ -7,6 +7,7 @@ package interp
 import (
 	"fmt"
 
+	"zen-go/internal/cancel"
 	"zen-go/internal/core"
 )
 
@@ -108,18 +109,36 @@ type Env map[int32]*Value
 // Eval evaluates the node under the environment. Evaluation is memoized per
 // binding scope, so shared sub-DAGs are evaluated once.
 func Eval(n *core.Node, env Env) *Value {
-	e := &evaluator{env: env, memo: make(map[*core.Node]*Value)}
+	return EvalCheck(n, env, nil)
+}
+
+// EvalCheck is Eval with a cancellation check polled every evalGas
+// uncached node evaluations. A nil check costs one comparison per node.
+func EvalCheck(n *core.Node, env Env, chk cancel.Check) *Value {
+	e := &evaluator{env: env, memo: make(map[*core.Node]*Value), chk: chk, gas: evalGas}
 	return e.eval(n)
 }
+
+// evalGas is the number of uncached evaluations between cancellation
+// polls.
+const evalGas = 1 << 10
 
 type evaluator struct {
 	env  Env
 	memo map[*core.Node]*Value
+	chk  cancel.Check
+	gas  int
 }
 
 func (e *evaluator) eval(n *core.Node) *Value {
 	if v, ok := e.memo[n]; ok {
 		return v
+	}
+	if e.chk != nil {
+		if e.gas--; e.gas <= 0 {
+			e.gas = evalGas
+			e.chk.Point()
+		}
 	}
 	v := e.evalUncached(n)
 	e.memo[n] = v
@@ -224,7 +243,7 @@ func (e *evaluator) evalUncached(n *core.Node) *Value {
 		child := &evaluator{env: e.env.extend(
 			n.Bound[0].VarID, list.Elems[0],
 			n.Bound[1].VarID, List(n.Kids[0].Type, list.Elems[1:]...),
-		), memo: make(map[*core.Node]*Value)}
+		), memo: make(map[*core.Node]*Value), chk: e.chk, gas: evalGas}
 		return child.eval(n.Kids[2])
 	case core.OpAdapt:
 		inner := e.eval(n.Kids[0])

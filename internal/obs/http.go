@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 var publishOnce sync.Once
@@ -49,12 +51,22 @@ func DebugMux() *http.ServeMux {
 }
 
 // StartDebugServer serves DebugMux on addr (e.g. "localhost:6060") in a
-// background goroutine and returns the bound address (useful with ":0").
-func StartDebugServer(addr string) (string, error) {
+// background goroutine. It returns the bound address (useful with ":0")
+// and a shutdown function that gracefully drains in-flight debug requests
+// for up to the given timeout before closing the listener; callers wire
+// it into their signal handling so Ctrl-C does not cut a pprof download
+// mid-body.
+func StartDebugServer(addr string) (string, func(timeout time.Duration), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	go func() { _ = http.Serve(ln, DebugMux()) }()
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: DebugMux()}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown := func(timeout time.Duration) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), shutdown, nil
 }

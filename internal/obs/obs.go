@@ -112,6 +112,41 @@ type FuzzStats struct {
 	Shrinks int64 `json:"shrinks"`
 }
 
+// ServeStats count verification-service activity (internal/serve): query
+// traffic, result-cache effectiveness, singleflight coalescing, and load
+// shedding. Latency quantiles live in the server itself (they are not
+// additive); these counters are what merges meaningfully across
+// processes and snapshots.
+type ServeStats struct {
+	// Queries counts queries accepted for execution (cache hits and
+	// coalesced waits included; shed requests are not).
+	Queries int64 `json:"queries"`
+	// CacheHits and CacheMisses count result-cache lookups for cacheable
+	// queries.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Coalesced counts queries that waited on an identical in-flight
+	// query instead of executing (singleflight followers).
+	Coalesced int64 `json:"coalesced"`
+	// Shed counts queries rejected because the queue was full or the
+	// server was draining.
+	Shed int64 `json:"shed"`
+	// Cancelled counts queries cut by deadline or client cancellation.
+	Cancelled int64 `json:"cancelled"`
+	// Errors counts queries that failed to parse or execute.
+	Errors int64 `json:"errors"`
+}
+
+// CacheHitRate returns the fraction of result-cache lookups that hit, or
+// 0 when no lookups were recorded.
+func (s ServeStats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
 // LintStats count static-analyzer activity (internal/lint).
 type LintStats struct {
 	// Models counts models analyzed.
@@ -151,6 +186,7 @@ type Snapshot struct {
 	StateSet StateSetStats `json:"stateset"`
 	Fuzz     FuzzStats     `json:"fuzz"`
 	Lint     LintStats     `json:"lint"`
+	Serve    ServeStats    `json:"serve"`
 }
 
 // Phase returns the accumulated timing of the named phase.
@@ -214,6 +250,13 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.Lint.Models += o.Lint.Models
 	s.Lint.Findings += o.Lint.Findings
 	s.Lint.Suppressed += o.Lint.Suppressed
+	s.Serve.Queries += o.Serve.Queries
+	s.Serve.CacheHits += o.Serve.CacheHits
+	s.Serve.CacheMisses += o.Serve.CacheMisses
+	s.Serve.Coalesced += o.Serve.Coalesced
+	s.Serve.Shed += o.Serve.Shed
+	s.Serve.Cancelled += o.Serve.Cancelled
+	s.Serve.Errors += o.Serve.Errors
 }
 
 func (s *Snapshot) clone() Snapshot {
@@ -283,6 +326,12 @@ func (s *Snapshot) String() string {
 	if s.Lint.Models > 0 {
 		fmt.Fprintf(&b, "  lint:     %d models, %d findings, %d suppressed\n",
 			s.Lint.Models, s.Lint.Findings, s.Lint.Suppressed)
+	}
+	if s.Serve.Queries > 0 || s.Serve.Shed > 0 {
+		fmt.Fprintf(&b, "  serve:    %d queries, cache %.1f%% hit (%d hits / %d misses), %d coalesced, %d shed, %d cancelled, %d errors\n",
+			s.Serve.Queries, 100*s.Serve.CacheHitRate(), s.Serve.CacheHits,
+			s.Serve.CacheMisses, s.Serve.Coalesced, s.Serve.Shed,
+			s.Serve.Cancelled, s.Serve.Errors)
 	}
 	return b.String()
 }

@@ -2,6 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -140,4 +143,35 @@ func TestHandlerServesJSON(t *testing.T) {
 	if snap.Solves < 1 || snap.Analyses < 1 {
 		t.Fatalf("global snapshot not reflected: %+v", snap)
 	}
+}
+
+func TestStartDebugServerGracefulShutdown(t *testing.T) {
+	addr, shutdown, err := StartDebugServer("localhost:0")
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/zenstats")
+	if err != nil {
+		t.Fatalf("GET zenstats: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("zenstats status %d", resp.StatusCode)
+	}
+
+	// Shutdown drains and closes the listener: subsequent connections
+	// must be refused.
+	done := make(chan struct{})
+	go func() { shutdown(5 * time.Second); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("shutdown did not return")
+	}
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatalf("listener still accepting after shutdown")
+	}
+	// shutdown is idempotent.
+	shutdown(time.Second)
 }

@@ -108,7 +108,26 @@ type Solver struct {
 
 	// MaxConflicts optionally bounds the search; 0 means unbounded.
 	MaxConflicts int64
+
+	// Interrupt, when non-nil, is polled periodically during search (at
+	// every conflict and every few thousand propagation rounds). When it
+	// returns an error, Solve stops with Unknown and InterruptErr reports
+	// the cause. The solver remains usable: clauses learned before the
+	// interrupt are kept and a later Solve resumes from them.
+	Interrupt func() error
+
+	interruptErr error
 }
+
+// interruptGas is the number of quiet search-loop iterations (no
+// conflict) between Interrupt polls.
+const interruptGas = 1 << 12
+
+// InterruptErr returns the cause of the last Unknown result due to an
+// Interrupt, or nil if the last Solve was not interrupted. It is reset at
+// every Solve call, so Unknown results can be told apart: MaxConflicts
+// exhaustion leaves it nil.
+func (s *Solver) InterruptErr() error { return s.interruptErr }
 
 // New returns an empty solver.
 func New() *Solver {
@@ -468,6 +487,7 @@ func luby(i int64) int64 {
 // Solve determines satisfiability under the given assumptions. When the
 // result is Sat, Model reports the satisfying assignment.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.interruptErr = nil
 	if s.unsat {
 		return Unsat
 	}
@@ -480,11 +500,32 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	restart := int64(1)
 	budget := 100 * luby(restart)
 	conflictsAtStart := s.conflicts
+	gas := interruptGas
 
 	for {
+		// Poll the interrupt at every conflict (below) and every
+		// interruptGas quiet iterations, so both conflict-heavy and
+		// propagation-heavy searches stay responsive to cancellation.
+		if s.Interrupt != nil {
+			if gas--; gas <= 0 {
+				gas = interruptGas
+				if err := s.Interrupt(); err != nil {
+					s.interruptErr = err
+					s.cancelUntil(0)
+					return Unknown
+				}
+			}
+		}
 		confl := s.propagate()
 		if confl != nilClause {
 			s.conflicts++
+			if s.Interrupt != nil {
+				if err := s.Interrupt(); err != nil {
+					s.interruptErr = err
+					s.cancelUntil(0)
+					return Unknown
+				}
+			}
 			if s.decisionLevel() == 0 {
 				s.unsat = true
 				return Unsat

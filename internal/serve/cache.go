@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"zen-go/internal/core"
+	"zen-go/zen"
+)
+
+// queryKey is the canonical fingerprint of a solver query. The predicate
+// is identified by its DAG node pointer: the global builder hash-conses,
+// so structurally identical predicates — whatever JSON spelling they
+// arrived in — share one pointer, and distinct predicates never collide
+// (two different DAGs are two different interned nodes). The remaining
+// fields capture everything else that changes the answer.
+type queryKey struct {
+	model   string
+	kind    queryKind
+	backend zen.Backend
+	cond    *core.Node
+	max     int
+	bound   int
+}
+
+type queryKind uint8
+
+const (
+	kindFind queryKind = iota
+	kindFindAll
+	kindVerify
+	kindEvaluate
+)
+
+func (k queryKind) String() string {
+	switch k {
+	case kindFind:
+		return "find"
+	case kindFindAll:
+		return "findall"
+	case kindVerify:
+		return "verify"
+	case kindEvaluate:
+		return "evaluate"
+	}
+	return "?"
+}
+
+// lruCache is a mutex-guarded LRU over completed query responses.
+// Cancelled and failed queries are never inserted, so a hit is always a
+// full answer.
+type lruCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	m   map[queryKey]*list.Element
+}
+
+type lruEntry struct {
+	key queryKey
+	res *Response
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[queryKey]*list.Element)}
+}
+
+func (c *lruCache) get(k queryKey) (*Response, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) put(k queryKey, res *Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&lruEntry{key: k, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,157 @@
+// Package serve is the verification service behind cmd/zend: it exposes
+// the zen.RegisterModel registry over HTTP/JSON, running Find, FindAll,
+// Verify, and Evaluate queries against named models on a bounded worker
+// pool with per-request deadlines, an LRU result cache, singleflight
+// deduplication of identical in-flight queries, and load shedding when
+// the queue is full.
+//
+// Queries never see Go types: predicates arrive as a small JSON AST,
+// compile to DAG nodes in the global hash-consed builder (so structurally
+// identical predicates are pointer-identical, which is what the cache is
+// keyed on), and run through zen's raw query layer. docs/serve.md
+// documents the encoding.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+)
+
+// encodeValue renders a concrete value as its JSON shape: booleans as
+// booleans, bitvectors as numbers (signed types as their signed reading),
+// objects as {field: value}, lists as arrays.
+func encodeValue(v *interp.Value) any {
+	switch v.Type.Kind {
+	case core.KindBool:
+		return v.B
+	case core.KindBV:
+		if v.Type.Signed {
+			return v.Type.ToSigned(v.U)
+		}
+		return v.U
+	case core.KindObject:
+		m := make(map[string]any, len(v.Fields))
+		for i, f := range v.Fields {
+			m[v.Type.Fields[i].Name] = encodeValue(f)
+		}
+		return m
+	case core.KindList:
+		out := make([]any, len(v.Elems))
+		for i, e := range v.Elems {
+			out[i] = encodeValue(e)
+		}
+		return out
+	}
+	return nil
+}
+
+// decodeValue parses a JSON value against an expected type. Numbers are
+// read as exact decimals, so full-width uint64 values survive the trip.
+func decodeValue(t *core.Type, raw json.RawMessage) (*interp.Value, error) {
+	switch t.Kind {
+	case core.KindBool:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return nil, fmt.Errorf("want a %s, got %s", t, raw)
+		}
+		return interp.Bool(b), nil
+	case core.KindBV:
+		var num json.Number
+		if err := json.Unmarshal(raw, &num); err != nil {
+			return nil, fmt.Errorf("want a %s number, got %s", t, raw)
+		}
+		u, err := parseBV(t, num.String())
+		if err != nil {
+			return nil, err
+		}
+		return interp.BV(t, u), nil
+	case core.KindObject:
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			return nil, fmt.Errorf("want a %s object, got %s", t, raw)
+		}
+		v := &interp.Value{Type: t, Fields: make([]*interp.Value, len(t.Fields))}
+		for i, f := range t.Fields {
+			fraw, ok := fields[f.Name]
+			if !ok {
+				return nil, fmt.Errorf("object %s: missing field %q", t, f.Name)
+			}
+			fv, err := decodeValue(f.Type, fraw)
+			if err != nil {
+				return nil, fmt.Errorf("field %q: %w", f.Name, err)
+			}
+			v.Fields[i] = fv
+			delete(fields, f.Name)
+		}
+		for name := range fields {
+			return nil, fmt.Errorf("object %s: unknown field %q", t, name)
+		}
+		return v, nil
+	case core.KindList:
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return nil, fmt.Errorf("want a %s array, got %s", t, raw)
+		}
+		v := &interp.Value{Type: t, Elems: make([]*interp.Value, len(elems))}
+		for i, eraw := range elems {
+			ev, err := decodeValue(t.Elem, eraw)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			v.Elems[i] = ev
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("cannot decode values of type %s", t)
+}
+
+// parseBV parses a decimal literal into the raw bits of a bitvector type,
+// rejecting values outside the type's range instead of silently wrapping.
+func parseBV(t *core.Type, s string) (uint64, error) {
+	if t.Signed {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("want a %s integer, got %q", t, s)
+		}
+		u := t.Mask(uint64(n))
+		if t.ToSigned(u) != n {
+			return 0, fmt.Errorf("%s out of range for %s", s, t)
+		}
+		return u, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a %s integer, got %q", t, s)
+	}
+	if t.Mask(n) != n {
+		return 0, fmt.Errorf("%s out of range for %s", s, t)
+	}
+	return n, nil
+}
+
+// typeDesc renders a type for the /v1/models listing.
+func typeDesc(t *core.Type) any {
+	switch t.Kind {
+	case core.KindBool:
+		return "bool"
+	case core.KindBV:
+		return t.String()
+	case core.KindObject:
+		fields := make([]map[string]any, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = map[string]any{"name": f.Name, "type": typeDesc(f.Type)}
+		}
+		d := map[string]any{"kind": "object", "fields": fields}
+		if t.TypeName != "" {
+			d["name"] = t.TypeName
+		}
+		return d
+	case core.KindList:
+		return map[string]any{"kind": "list", "elem": typeDesc(t.Elem)}
+	}
+	return "unknown"
+}

@@ -1,0 +1,22 @@
+package serve
+
+import "zen-go/zen"
+
+// Demo models for smoke tests and first contact with the service: a
+// model the solver answers instantly and one whose BDD analysis is
+// expensive enough to exercise deadlines (squaring a 32-bit value
+// symbolically builds a shift-add multiplier whose BDD blows up). They
+// register here — not in a nets/ package — so only processes linking the
+// service see them; zenlint's registry scan does not.
+func init() {
+	zen.RegisterModel("demo/add8", func() zen.Lintable {
+		return zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+			return zen.AddC(x, 1)
+		})
+	})
+	zen.RegisterModel("demo/square32", func() zen.Lintable {
+		return zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+			return zen.Mul(x, x)
+		})
+	})
+}

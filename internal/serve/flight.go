@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates identical in-flight queries: the first request
+// for a key becomes the leader and runs the solver; requests arriving
+// while it runs become followers and share the leader's answer.
+//
+// Cancellation is refcounted. The execution runs under its own context,
+// detached from any single client's: each waiting request (leader
+// included) holds a reference, a request whose context dies drops its
+// reference and leaves, and when the last reference is gone the execution
+// context is cancelled so the solver stops. A follower therefore cannot
+// be killed by the leader's client hanging up, and an abandoned query
+// does not burn a worker at 100% CPU with nobody listening.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[queryKey]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed when res is set
+	res     *Response
+	waiters int
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[queryKey]*flightCall)}
+}
+
+// do runs exec for key, coalescing with an identical in-flight call.
+// start launches the execution (on the worker pool); it returns false
+// when the work could not be enqueued (shed), in which case do reports
+// shed=true. The returned coalesced flag is true when this request waited
+// on a call started by an earlier one.
+func (g *flightGroup) do(ctx context.Context, key queryKey,
+	start func(execCtx context.Context, deliver func(*Response)) bool,
+) (res *Response, coalesced, shed bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, key, c, true)
+	}
+	execCtx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	deliver := func(r *Response) {
+		g.mu.Lock()
+		c.res = r
+		delete(g.m, key) // later identical queries start fresh (or hit the cache)
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}
+	if !start(execCtx, deliver) {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		cancel()
+		return nil, false, true, nil
+	}
+	return g.wait(ctx, key, c, false)
+}
+
+// wait blocks until the call completes or the request's own context dies,
+// dropping the reference in the latter case.
+func (g *flightGroup) wait(ctx context.Context, key queryKey, c *flightCall, coalesced bool) (*Response, bool, bool, error) {
+	select {
+	case <-c.done:
+		return c.res, coalesced, false, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		abandon := c.waiters == 0
+		if abandon {
+			// Nobody is listening anymore: stop the solver. The entry stays
+			// in the map until deliver runs, so a new identical request
+			// arriving in this window waits for the cancelled result rather
+			// than racing a second execution; it will observe the
+			// cancellation and can simply retry.
+		}
+		g.mu.Unlock()
+		if abandon {
+			c.cancel()
+		}
+		return nil, coalesced, false, ctx.Err()
+	}
+}

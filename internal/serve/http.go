@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"zen-go/internal/obs"
+)
+
+// maxBatch bounds /v1/batch fan-out per request.
+const maxBatch = 64
+
+// Handler returns the service's HTTP surface:
+//
+//	GET  /v1/models   model registry listing with argument/result types
+//	POST /v1/query    one Request -> one Response
+//	POST /v1/batch    {"queries": [Request...]} -> {"results": [Response...]}
+//	GET  /v1/stats    service counters and latency quantiles
+//	GET  /healthz     200 while serving, 503 while draining
+//	     /debug/...   the standard obs debug surface (zenstats, expvar, pprof)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/debug/", obs.DebugMux())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ModelInfo is one /v1/models entry.
+type ModelInfo struct {
+	Name string `json:"name"`
+	// Args lists the argument types (refs "in"/"in0".. in predicates).
+	Args []any `json:"args"`
+	// Out is the result type (ref "out" in predicates).
+	Out any `json:"out"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	out := make([]ModelInfo, 0, len(s.names))
+	for _, name := range s.names {
+		m := s.models[name].queryable()
+		if m == nil {
+			continue // registered but not queryable; zenlint-only
+		}
+		info := ModelInfo{Name: name, Out: typeDesc(m.QueryOut().Type)}
+		for _, a := range m.QueryArgs() {
+			info.Args = append(info.Args, typeDesc(a.Type))
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "bad request: " + err.Error()})
+		return
+	}
+	res := s.Do(r.Context(), &req)
+	writeJSON(w, res.HTTPStatus(), res)
+}
+
+// BatchRequest and BatchResponse wrap /v1/batch traffic.
+type BatchRequest struct {
+	Queries []Request `json:"queries"`
+}
+
+type BatchResponse struct {
+	Results []*Response `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "bad request: " + err.Error()})
+		return
+	}
+	if len(batch.Queries) > maxBatch {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "batch too large"})
+		return
+	}
+	res := s.DoBatch(r.Context(), batch.Queries)
+	writeJSON(w, http.StatusOK, &BatchResponse{Results: res})
+}
+
+// DoBatch runs the queries concurrently (each contends for the worker
+// pool like any other request) and returns the responses in order.
+func (s *Server) DoBatch(ctx context.Context, reqs []Request) []*Response {
+	out := make([]*Response, len(reqs))
+	done := make(chan int)
+	for i := range reqs {
+		go func(i int) {
+			out[i] = s.Do(ctx, &reqs[i])
+			done <- i
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}

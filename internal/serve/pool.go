@@ -1,0 +1,66 @@
+package serve
+
+import "sync"
+
+// workerPool bounds solver concurrency and memory: a fixed number of
+// workers drain a bounded queue, and a submit against a full queue fails
+// immediately so the caller can shed the request (429) instead of growing
+// an unbounded backlog under overload.
+type workerPool struct {
+	mu       sync.RWMutex // held for read by submit, for write by drain
+	tasks    chan func()
+	wg       sync.WaitGroup
+	draining bool
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &workerPool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues f, failing fast when the queue is full or the pool is
+// draining.
+func (p *workerPool) submit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining {
+		return false
+	}
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// queued reports the current queue depth (excluding running tasks).
+func (p *workerPool) queued() int { return len(p.tasks) }
+
+// drain stops intake and blocks until queued and running tasks finish.
+// In-flight solver work is bounded by each query's own deadline, so the
+// caller typically races drain against a drain deadline.
+func (p *workerPool) drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zen-go/internal/core"
+	"zen-go/zen"
+)
+
+// predJSON is the predicate AST of a query: a boolean combination of
+// comparisons over paths into the model's arguments and result. Exactly
+// one field must be set per node.
+//
+//	{"all": [p, ...]}                          conjunction
+//	{"any": [p, ...]}                          disjunction
+//	{"not": p}                                 negation
+//	{"cmp": {"lhs": t, "op": "eq", "rhs": t}}  comparison
+//	{"ref": "out.HasValue"}                    boolean path used directly
+type predJSON struct {
+	All []predJSON `json:"all,omitempty"`
+	Any []predJSON `json:"any,omitempty"`
+	Not *predJSON  `json:"not,omitempty"`
+	Cmp *cmpJSON   `json:"cmp,omitempty"`
+	Ref string     `json:"ref,omitempty"`
+}
+
+// cmpJSON compares two terms; op is one of eq, ne, lt, le, gt, ge.
+// Ordering follows the signedness of the referenced type.
+type cmpJSON struct {
+	Lhs termJSON `json:"lhs"`
+	Op  string   `json:"op"`
+	Rhs termJSON `json:"rhs"`
+}
+
+// termJSON is a comparison operand: a path reference or a literal. A
+// literal's type is taken from the ref on the other side, so at least one
+// side of every comparison must be a ref.
+type termJSON struct {
+	Ref string          `json:"ref,omitempty"`
+	Lit json.RawMessage `json:"lit,omitempty"`
+}
+
+// resolver maps path references onto a model's DAG. Bases are "out" and
+// "in" (or "in0", "in1", ... positionally); segments after a dot select
+// object fields by name.
+type resolver struct {
+	args []*core.Node
+	out  *core.Node
+}
+
+func (r *resolver) resolve(path string) (*core.Node, error) {
+	segs := strings.Split(path, ".")
+	var n *core.Node
+	switch base := segs[0]; {
+	case base == "out":
+		n = r.out
+	case base == "in" && len(r.args) == 1:
+		n = r.args[0]
+	case strings.HasPrefix(base, "in"):
+		i, err := strconv.Atoi(base[2:])
+		if err != nil || i < 0 || i >= len(r.args) {
+			return nil, fmt.Errorf("unknown ref base %q (model has %d arguments)", base, len(r.args))
+		}
+		n = r.args[i]
+	default:
+		return nil, fmt.Errorf("unknown ref base %q (want \"out\", \"in\", or \"inN\")", base)
+	}
+	b := zen.Builder()
+	for _, seg := range segs[1:] {
+		if n.Type.Kind != core.KindObject {
+			return nil, fmt.Errorf("ref %q: %s is not an object", path, n.Type)
+		}
+		idx := -1
+		for i, f := range n.Type.Fields {
+			if f.Name == seg {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("ref %q: type %s has no field %q", path, n.Type, seg)
+		}
+		n = b.GetField(n, idx)
+	}
+	return n, nil
+}
+
+// compilePredicate builds the boolean DAG of a JSON predicate against a
+// model. The builder hash-conses, so structurally identical predicates —
+// however their JSON was formatted — compile to the same node pointer;
+// that pointer is the query's cache fingerprint.
+func compilePredicate(raw json.RawMessage, r *resolver) (n *core.Node, err error) {
+	// Builder constructors panic on type mismatches (comparing a bool to a
+	// list, ...); surface those as request errors, not a dead worker.
+	defer func() {
+		if rec := recover(); rec != nil {
+			n, err = nil, fmt.Errorf("predicate does not type-check: %v", rec)
+		}
+	}()
+	var p predJSON
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("predicate: %w", err)
+	}
+	return compilePred(&p, r)
+}
+
+func compilePred(p *predJSON, r *resolver) (*core.Node, error) {
+	b := zen.Builder()
+	set := 0
+	if p.All != nil {
+		set++
+	}
+	if p.Any != nil {
+		set++
+	}
+	if p.Not != nil {
+		set++
+	}
+	if p.Cmp != nil {
+		set++
+	}
+	if p.Ref != "" {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("predicate node must set exactly one of all/any/not/cmp/ref")
+	}
+	switch {
+	case p.All != nil:
+		n := b.BoolConst(true)
+		for i := range p.All {
+			k, err := compilePred(&p.All[i], r)
+			if err != nil {
+				return nil, err
+			}
+			n = b.And(n, k)
+		}
+		return n, nil
+	case p.Any != nil:
+		n := b.BoolConst(false)
+		for i := range p.Any {
+			k, err := compilePred(&p.Any[i], r)
+			if err != nil {
+				return nil, err
+			}
+			n = b.Or(n, k)
+		}
+		return n, nil
+	case p.Not != nil:
+		k, err := compilePred(p.Not, r)
+		if err != nil {
+			return nil, err
+		}
+		return b.Not(k), nil
+	case p.Ref != "":
+		n, err := r.resolve(p.Ref)
+		if err != nil {
+			return nil, err
+		}
+		if n.Type.Kind != core.KindBool {
+			return nil, fmt.Errorf("ref %q used as a predicate but has type %s", p.Ref, n.Type)
+		}
+		return n, nil
+	}
+	return compileCmp(p.Cmp, r)
+}
+
+func compileCmp(c *cmpJSON, r *resolver) (*core.Node, error) {
+	lhs, rhs, err := resolveOperands(c, r)
+	if err != nil {
+		return nil, err
+	}
+	b := zen.Builder()
+	switch c.Op {
+	case "eq":
+		return b.Eq(lhs, rhs), nil
+	case "ne":
+		return b.Not(b.Eq(lhs, rhs)), nil
+	case "lt":
+		return b.Lt(lhs, rhs), nil
+	case "le":
+		return b.Or(b.Lt(lhs, rhs), b.Eq(lhs, rhs)), nil
+	case "gt":
+		return b.Lt(rhs, lhs), nil
+	case "ge":
+		return b.Not(b.Lt(lhs, rhs)), nil
+	}
+	return nil, fmt.Errorf("unknown comparison op %q (want eq/ne/lt/le/gt/ge)", c.Op)
+}
+
+// resolveOperands resolves both sides of a comparison, typing any literal
+// side by the ref side.
+func resolveOperands(c *cmpJSON, r *resolver) (lhs, rhs *core.Node, err error) {
+	if c.Lhs.Ref != "" {
+		if lhs, err = r.resolve(c.Lhs.Ref); err != nil {
+			return nil, nil, err
+		}
+	}
+	if c.Rhs.Ref != "" {
+		if rhs, err = r.resolve(c.Rhs.Ref); err != nil {
+			return nil, nil, err
+		}
+	}
+	if lhs == nil && rhs == nil {
+		return nil, nil, fmt.Errorf("cmp: at least one side must be a ref (literals have no type of their own)")
+	}
+	if lhs == nil {
+		if lhs, err = literal(rhs.Type, c.Lhs.Lit); err != nil {
+			return nil, nil, err
+		}
+	}
+	if rhs == nil {
+		if rhs, err = literal(lhs.Type, c.Rhs.Lit); err != nil {
+			return nil, nil, err
+		}
+	}
+	return lhs, rhs, nil
+}
+
+// literal decodes a JSON literal at the given type and lifts it into the
+// global builder as a constant DAG.
+func literal(t *core.Type, raw json.RawMessage) (*core.Node, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("cmp term must set ref or lit")
+	}
+	v, err := decodeValue(t, raw)
+	if err != nil {
+		return nil, fmt.Errorf("lit: %w", err)
+	}
+	return zen.LiftRaw(v), nil
+}
+
+// decodeArgs parses the concrete argument values of an evaluate query.
+func decodeArgs(args []*core.Node, raws []json.RawMessage) (zen.RawModel, error) {
+	if len(raws) != len(args) {
+		return nil, fmt.Errorf("model takes %d arguments, got %d", len(args), len(raws))
+	}
+	env := make(zen.RawModel, len(args))
+	for i, a := range args {
+		v, err := decodeValue(a.Type, raws[i])
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i, err)
+		}
+		env[a.VarID] = v
+	}
+	return env, nil
+}

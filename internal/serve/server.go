@@ -1,0 +1,569 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zen-go/internal/core"
+	"zen-go/internal/obs"
+	"zen-go/zen"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrent solver executions (default 4).
+	Workers int
+	// Queue bounds executions waiting for a worker; a query arriving with
+	// the queue full is shed with HTTP 429 (default 16).
+	Queue int
+	// CacheSize bounds the LRU result cache in entries; 0 disables
+	// caching (default 256).
+	CacheSize int
+	// DefaultTimeout applies to queries that do not set timeout_ms;
+	// zero means no deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-query timeout_ms requests; zero means no cap.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Queue == 0 {
+		c.Queue = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	return c
+}
+
+// Request is one query against a registered model.
+type Request struct {
+	// Model names a zen.RegisterModel entry (see /v1/models).
+	Model string `json:"model"`
+	// Kind is "find", "findall", "verify", or "evaluate".
+	Kind string `json:"kind"`
+	// Backend is "bdd" (default) or "sat".
+	Backend string `json:"backend,omitempty"`
+	// Predicate is the condition for find/findall/verify; see predJSON.
+	Predicate json.RawMessage `json:"predicate,omitempty"`
+	// Args are the concrete argument values for evaluate.
+	Args []json.RawMessage `json:"args,omitempty"`
+	// Max bounds findall enumeration (default 10).
+	Max int `json:"max,omitempty"`
+	// ListBound bounds symbolic list lengths (default zen's).
+	ListBound int `json:"list_bound,omitempty"`
+	// TimeoutMS bounds this query's solve time.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Response is the outcome of one query.
+type Response struct {
+	// Status is "sat", "unsat", "valid", "invalid", "ok", "cancelled",
+	// "shed", "draining", or "error".
+	Status string `json:"status"`
+	// Model is the witness of a sat find (or the counterexample of an
+	// invalid verify), keyed "in" (one argument) or "in0", "in1", ....
+	Model map[string]any `json:"model,omitempty"`
+	// Models are the findall witnesses.
+	Models []map[string]any `json:"models,omitempty"`
+	// Value is the evaluate result.
+	Value any `json:"value,omitempty"`
+	// Solves counts solver invocations this answer cost when it was
+	// computed; a cached answer repeats the original count.
+	Solves int64 `json:"solves"`
+	// Cached and Coalesced report how the answer was obtained.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// ElapsedMS is this request's wall time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Error carries the failure detail for cancelled/error statuses.
+	Error string `json:"error,omitempty"`
+
+	httpStatus int
+}
+
+// HTTPStatus returns the HTTP status code the response is served with.
+func (r *Response) HTTPStatus() int {
+	if r.httpStatus == 0 {
+		return http.StatusOK
+	}
+	return r.httpStatus
+}
+
+// modelEntry lazily builds a registered model: DAG construction can be
+// expensive, so it happens on first use and is shared afterwards.
+type modelEntry struct {
+	name  string
+	build func() zen.Lintable
+	once  sync.Once
+	q     zen.Queryable // nil when the model is not queryable
+}
+
+func (e *modelEntry) queryable() zen.Queryable {
+	e.once.Do(func() {
+		if q, ok := e.build().(zen.Queryable); ok {
+			e.q = q
+		}
+	})
+	return e.q
+}
+
+// Server executes queries against the model registry. Create one with
+// New, serve it with Handler, and stop it with Shutdown.
+type Server struct {
+	cfg    Config
+	models map[string]*modelEntry
+	names  []string // sorted
+	pool   *workerPool
+	cache  *lruCache
+	flight *flightGroup
+	lat    *latencyRing
+
+	draining atomic.Bool
+
+	queries   atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+	coalesced atomic.Int64
+	shed      atomic.Int64
+	cancelled atomic.Int64
+	errors    atomic.Int64
+
+	// onExec, when non-nil, observes every solver execution actually
+	// started (cache hits and coalesced waits bypass it). Test hook.
+	onExec func(queryKey)
+}
+
+// New builds a server over the current zen.RegisterModel registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		models: make(map[string]*modelEntry),
+		pool:   newWorkerPool(cfg.Workers, cfg.Queue),
+		cache:  newLRU(cfg.CacheSize),
+		flight: newFlightGroup(),
+		lat:    newLatencyRing(1024),
+	}
+	for _, m := range zen.RegisteredModels() {
+		s.models[m.Name] = &modelEntry{name: m.Name, build: m.Build}
+		s.names = append(s.names, m.Name)
+	}
+	sort.Strings(s.names)
+	publishExpvar(s)
+	return s
+}
+
+// Shutdown drains the server: new queries are rejected with 503, and
+// queued plus in-flight queries run to completion (each bounded by its
+// own deadline) until ctx expires, at which point Shutdown returns the
+// context's error with work still draining in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do executes one query. It is the direct (non-HTTP) entry point; the
+// HTTP handlers decode into a Request and call it.
+func (s *Server) Do(ctx context.Context, req *Request) *Response {
+	start := time.Now()
+	res := s.do(ctx, req)
+	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.publish(res)
+	return res
+}
+
+func (s *Server) do(ctx context.Context, req *Request) *Response {
+	if s.draining.Load() {
+		return &Response{Status: "draining", Error: "server is shutting down", httpStatus: http.StatusServiceUnavailable}
+	}
+	q, resErr := s.prepare(req)
+	if resErr != nil {
+		return resErr
+	}
+	ctx, cancelFn := q.bound(ctx, s.cfg)
+	defer cancelFn()
+
+	if q.key.kind == kindEvaluate {
+		// Interpreter-speed, concrete-input queries: pooled for fairness
+		// but neither cached nor coalesced (their identity lives in the
+		// argument values, not in a predicate DAG).
+		return s.runPooled(ctx, q)
+	}
+	if res, ok := s.cache.get(q.key); ok {
+		s.cacheHits.Add(1)
+		hit := *res
+		hit.Cached = true
+		return &hit
+	}
+	s.cacheMiss.Add(1)
+	res, coalesced, shedded, err := s.flight.do(ctx, q.key, func(execCtx context.Context, deliver func(*Response)) bool {
+		return s.pool.submit(func() {
+			r := s.execute(execCtx, q)
+			if r.Status != "cancelled" && r.Status != "error" {
+				s.cache.put(q.key, r)
+			}
+			deliver(r)
+		})
+	})
+	if shedded {
+		return &Response{Status: "shed", Error: "queue full", httpStatus: http.StatusTooManyRequests}
+	}
+	if err != nil {
+		// This request stopped waiting; the execution may still finish for
+		// other waiters (or was cancelled if this was the last one).
+		return &Response{Status: "cancelled", Error: err.Error()}
+	}
+	out := *res
+	out.Coalesced = coalesced
+	return &out
+}
+
+// query is a parsed, compiled request.
+type query struct {
+	key     queryKey
+	entry   *modelEntry
+	cond    *core.Node // find/findall/verify condition (pre-negated for verify)
+	env     zen.RawModel
+	timeout time.Duration
+}
+
+func (q *query) bound(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
+	d := q.timeout
+	if d == 0 {
+		d = cfg.DefaultTimeout
+	}
+	if cfg.MaxTimeout > 0 && (d == 0 || d > cfg.MaxTimeout) {
+		d = cfg.MaxTimeout
+	}
+	if d == 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// prepare resolves the model and compiles the request into its canonical
+// query; the second return is a ready error response when it is invalid.
+func (s *Server) prepare(req *Request) (*query, *Response) {
+	fail := func(status int, format string, args ...any) (*query, *Response) {
+		s.errors.Add(1)
+		return nil, &Response{Status: "error", Error: fmt.Sprintf(format, args...), httpStatus: status}
+	}
+	entry, ok := s.models[req.Model]
+	if !ok {
+		return fail(http.StatusNotFound, "unknown model %q", req.Model)
+	}
+	m := entry.queryable()
+	if m == nil {
+		return fail(http.StatusBadRequest, "model %q is not queryable", req.Model)
+	}
+	var backend zen.Backend
+	switch req.Backend {
+	case "", "bdd":
+		backend = zen.BDD
+	case "sat":
+		backend = zen.SAT
+	default:
+		return fail(http.StatusBadRequest, "unknown backend %q (want bdd or sat)", req.Backend)
+	}
+	q := &query{
+		entry:   entry,
+		timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
+	q.key = queryKey{model: req.Model, backend: backend, max: req.Max, bound: req.ListBound}
+	switch req.Kind {
+	case "find", "findall", "verify":
+		if req.Kind == "find" {
+			q.key.kind, q.key.max = kindFind, 1
+		} else if req.Kind == "findall" {
+			q.key.kind = kindFindAll
+			if q.key.max <= 0 {
+				q.key.max = 10
+			}
+		} else {
+			q.key.kind, q.key.max = kindVerify, 1
+		}
+		if len(req.Predicate) == 0 {
+			return fail(http.StatusBadRequest, "%s query needs a predicate", req.Kind)
+		}
+		r := &resolver{args: m.QueryArgs(), out: m.QueryOut()}
+		cond, err := compilePredicate(req.Predicate, r)
+		if err != nil {
+			return fail(http.StatusBadRequest, "%v", err)
+		}
+		if q.key.kind == kindVerify {
+			// A verify searches for a counterexample; valid means none exists.
+			cond = zen.Builder().Not(cond)
+		}
+		q.cond = cond
+		q.key.cond = cond
+	case "evaluate":
+		q.key.kind = kindEvaluate
+		env, err := decodeArgs(m.QueryArgs(), req.Args)
+		if err != nil {
+			return fail(http.StatusBadRequest, "%v", err)
+		}
+		q.env = env
+	default:
+		return fail(http.StatusBadRequest, "unknown kind %q (want find/findall/verify/evaluate)", req.Kind)
+	}
+	return q, nil
+}
+
+// runPooled executes q on the worker pool without cache or coalescing
+// (evaluate queries).
+func (s *Server) runPooled(ctx context.Context, q *query) *Response {
+	done := make(chan *Response, 1)
+	ok := s.pool.submit(func() { done <- s.execute(ctx, q) })
+	if !ok {
+		return &Response{Status: "shed", Error: "queue full", httpStatus: http.StatusTooManyRequests}
+	}
+	select {
+	case res := <-done:
+		return res
+	case <-ctx.Done():
+		// The worker still runs to its own ctx check; nobody reads done
+		// (buffered), so it exits cleanly.
+		return &Response{Status: "cancelled", Error: ctx.Err().Error()}
+	}
+}
+
+// execute runs the solver for a prepared query. It runs on a worker
+// goroutine under the execution context (see flightGroup).
+func (s *Server) execute(ctx context.Context, q *query) *Response {
+	if s.onExec != nil {
+		s.onExec(q.key)
+	}
+	start := time.Now()
+	st := &zen.Stats{}
+	opts := []zen.Option{zen.WithBackend(q.key.backend), zen.WithStats(st)}
+	if q.key.bound > 0 {
+		opts = append(opts, zen.WithListBound(q.key.bound))
+	}
+	m := q.entry.queryable()
+	args := m.QueryArgs()
+	res := &Response{}
+	var err error
+	switch q.key.kind {
+	case kindFind:
+		var model zen.RawModel
+		var found bool
+		model, found, err = zen.FindRaw(ctx, q.cond, args, opts...)
+		if found {
+			res.Status, res.Model = "sat", encodeModel(args, model)
+		} else {
+			res.Status = "unsat"
+		}
+	case kindFindAll:
+		var models []zen.RawModel
+		models, err = zen.FindAllRaw(ctx, q.cond, args, q.key.max, opts...)
+		res.Status = "unsat"
+		if len(models) > 0 {
+			res.Status = "sat"
+			res.Models = make([]map[string]any, len(models))
+			for i, model := range models {
+				res.Models[i] = encodeModel(args, model)
+			}
+		}
+	case kindVerify:
+		var model zen.RawModel
+		var found bool
+		model, found, err = zen.FindRaw(ctx, q.cond, args, opts...)
+		if found {
+			res.Status, res.Model = "invalid", encodeModel(args, model)
+		} else {
+			res.Status = "valid"
+		}
+	case kindEvaluate:
+		var v any
+		out, everr := zen.EvaluateRaw(ctx, m.QueryOut(), q.env)
+		if everr == nil {
+			v = encodeValue(out)
+		}
+		err = everr
+		res.Status, res.Value = "ok", v
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return &Response{Status: "cancelled", Error: err.Error()}
+		}
+		return &Response{Status: "error", Error: err.Error(), httpStatus: http.StatusInternalServerError}
+	}
+	res.Solves = st.Snapshot().Solves
+	s.lat.record(time.Since(start))
+	return res
+}
+
+// encodeModel renders a solver model with positional argument keys.
+func encodeModel(args []*core.Node, m zen.RawModel) map[string]any {
+	out := make(map[string]any, len(args))
+	for i, a := range args {
+		out[argName(i, len(args))] = encodeValue(m[a.VarID])
+	}
+	return out
+}
+
+func argName(i, n int) string {
+	if n == 1 {
+		return "in"
+	}
+	return fmt.Sprintf("in%d", i)
+}
+
+// publish folds one finished request into the server counters and the
+// process-wide telemetry aggregate, so /debug/zenstats and expvar show
+// service activity next to solver activity.
+func (s *Server) publish(res *Response) {
+	var d obs.ServeStats
+	switch res.Status {
+	case "shed", "draining":
+		s.shed.Add(1)
+		d.Shed = 1
+	case "cancelled":
+		s.queries.Add(1)
+		s.cancelled.Add(1)
+		d.Queries, d.Cancelled = 1, 1
+	case "error":
+		s.queries.Add(1)
+		s.errors.Add(1)
+		d.Queries, d.Errors = 1, 1
+	default:
+		s.queries.Add(1)
+		d.Queries = 1
+	}
+	if res.Cached {
+		d.CacheHits = 1
+	} else if res.Status != "shed" && res.Status != "draining" && res.Status != "error" {
+		// The miss counter tracked at lookup time covers flight followers
+		// too; here we only mirror into the global aggregate.
+		d.CacheMisses = 1
+	}
+	if res.Coalesced {
+		s.coalesced.Add(1)
+		d.Coalesced = 1
+	}
+	obs.Global().Merge(&obs.Snapshot{Serve: d})
+}
+
+// Stats is the service's self-reported state, served on /v1/stats and
+// published as the expvar "zenserve".
+type Stats struct {
+	Queries      int64   `json:"queries"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheLen     int     `json:"cache_len"`
+	Coalesced    int64   `json:"coalesced"`
+	Shed         int64   `json:"shed"`
+	Cancelled    int64   `json:"cancelled"`
+	Errors       int64   `json:"errors"`
+	QueueDepth   int     `json:"queue_depth"`
+	Workers      int     `json:"workers"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	Draining     bool    `json:"draining"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	p50, p99 := s.lat.quantiles()
+	hits, misses := s.cacheHits.Load(), s.cacheMiss.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return Stats{
+		Queries:      s.queries.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheHitRate: rate,
+		CacheLen:     s.cache.len(),
+		Coalesced:    s.coalesced.Load(),
+		Shed:         s.shed.Load(),
+		Cancelled:    s.cancelled.Load(),
+		Errors:       s.errors.Load(),
+		QueueDepth:   s.pool.queued(),
+		Workers:      s.cfg.Workers,
+		P50MS:        p50,
+		P99MS:        p99,
+		Draining:     s.draining.Load(),
+	}
+}
+
+// latencyRing keeps the last N solve latencies for quantile estimates
+// (latencies are not additive, so they live here rather than in obs).
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]time.Duration, n)} }
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *latencyRing) quantiles() (p50, p99 float64) {
+	r.mu.Lock()
+	sample := append([]time.Duration(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sample)-1))
+		return float64(sample[i].Microseconds()) / 1000
+	}
+	return at(0.50), at(0.99)
+}
+
+// expvarServer holds the server published as the "zenserve" expvar;
+// expvar names are process-global and cannot be republished, so the
+// variable reads through this pointer (tests creating several servers
+// observe the most recent one).
+var (
+	expvarServer atomic.Pointer[Server]
+	expvarOnce   sync.Once
+)
+
+func publishExpvar(s *Server) {
+	expvarServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("zenserve", expvar.Func(func() any {
+			if srv := expvarServer.Load(); srv != nil {
+				return srv.Stats()
+			}
+			return nil
+		}))
+	})
+}

@@ -3,6 +3,7 @@ package sym
 import (
 	"fmt"
 
+	"zen-go/internal/cancel"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
 )
@@ -14,19 +15,40 @@ type Env[B comparable] map[int32]*Val[B]
 // algebra, under an environment binding every input variable. Shared
 // sub-DAGs are translated once per binding scope.
 func Eval[B comparable](alg Algebra[B], n *core.Node, env Env[B]) *Val[B] {
-	e := &evaluator[B]{alg: alg, env: env, memo: make(map[*core.Node]*Val[B])}
+	return EvalCheck(alg, n, env, nil)
+}
+
+// EvalCheck is Eval with a cancellation check polled every evalGas
+// translated nodes. Symbolic translation itself can dominate an analysis
+// (Tseitin encoding builds the whole CNF here), so cancellation must
+// reach it, not only the solve call that follows. A nil check costs one
+// comparison per node.
+func EvalCheck[B comparable](alg Algebra[B], n *core.Node, env Env[B], chk cancel.Check) *Val[B] {
+	e := &evaluator[B]{alg: alg, env: env, memo: make(map[*core.Node]*Val[B]), chk: chk, gas: evalGas}
 	return e.eval(n)
 }
+
+// evalGas is the number of uncached node translations between
+// cancellation polls.
+const evalGas = 1 << 8
 
 type evaluator[B comparable] struct {
 	alg  Algebra[B]
 	env  Env[B]
 	memo map[*core.Node]*Val[B]
+	chk  cancel.Check
+	gas  int
 }
 
 func (e *evaluator[B]) eval(n *core.Node) *Val[B] {
 	if v, ok := e.memo[n]; ok {
 		return v
+	}
+	if e.chk != nil {
+		if e.gas--; e.gas <= 0 {
+			e.gas = evalGas
+			e.chk.Point()
+		}
 	}
 	v := e.evalUncached(n)
 	e.memo[n] = v
@@ -185,6 +207,8 @@ func (e *evaluator[B]) evalListCase(n *core.Node) *Val[B] {
 				alg:  alg,
 				env:  extend(e.env, n.Bound[0].VarID, opt.Elems[0], n.Bound[1].VarID, tail),
 				memo: make(map[*core.Node]*Val[B]),
+				chk:  e.chk,
+				gas:  evalGas,
 			}
 			v = child.eval(n.Kids[2])
 		}

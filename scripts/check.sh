@@ -27,8 +27,14 @@ go run ./cmd/zenlint
 echo "== zenvet (host-language model code checks)"
 go run ./cmd/zenvet
 
+# The full suite runs under the race detector; the service and
+# cancellation layers (internal/serve, internal/cancel, zen ctx tests)
+# are concurrency-heavy, so -race coverage there is load-bearing.
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== zend serve smoke (models, cached repeat, deadline, batch, drain)"
+sh scripts/serve_smoke.sh
 
 echo "== zenfuzz smoke (deterministic differential campaign)"
 go run ./cmd/zenfuzz -n 2000 -seed 1 -progress 0

@@ -1,0 +1,14 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke check of the zend verification
+# service: build it, start it on a random port, exercise the model
+# listing, a cached repeat query, a deadline-expired query, and a batch,
+# then assert a clean SIGTERM drain. `make serve-smoke` is an alias.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/zend" ./cmd/zend
+go run ./scripts/smoke -zend "$tmp/zend"

@@ -1,0 +1,147 @@
+// Command smoke is the zend end-to-end smoke check behind
+// scripts/serve_smoke.sh (and `make serve-smoke`): it starts a zend
+// binary on a random port, exercises the service surface — model
+// listing, a cold query, a cached repeat, a deadline-expired query, a
+// batch — and asserts a clean SIGTERM drain.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	zend := flag.String("zend", "", "path to the zend binary")
+	flag.Parse()
+	if *zend == "" {
+		fatal("usage: smoke -zend /path/to/zend")
+	}
+
+	cmd := exec.Command(*zend, "-addr", "localhost:0", "-drain", "10s", "-default-timeout", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal("stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatal("start zend: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// zend prints "zend: serving on http://ADDR (...)" once bound.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		fatal("zend never reported its address")
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			fatal("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			fatal("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	expect := func(what string, code int, body, want string) {
+		if code != http.StatusOK || !strings.Contains(body, want) {
+			fatal("%s: HTTP %d, want 200 with %q:\n%s", what, code, want, body)
+		}
+		fmt.Printf("ok: %s\n", what)
+	}
+
+	code, body := get("/v1/models")
+	expect("/v1/models lists demo models", code, body, `"demo/add8"`)
+
+	find := `{"model":"demo/add8","kind":"find","predicate":{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":7}}}}`
+	code, body = post("/v1/query", find)
+	expect("cold find is sat", code, body, `"status": "sat"`)
+	if strings.Contains(body, `"cached": true`) {
+		fatal("cold query claims to be cached:\n%s", body)
+	}
+	code, body = post("/v1/query", find)
+	expect("repeat find hits the cache", code, body, `"cached": true`)
+
+	slow := `{"model":"demo/square32","kind":"find","timeout_ms":100,"predicate":{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":3037000493}}}}`
+	start := time.Now()
+	code, body = post("/v1/query", slow)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		fatal("deadline query took %v", elapsed)
+	}
+	expect("expensive find is cancelled at its deadline", code, body, `"status": "cancelled"`)
+
+	batch := `{"queries":[
+		{"model":"demo/add8","kind":"evaluate","args":[41]},
+		{"model":"demo/add8","kind":"verify","predicate":{"cmp":{"lhs":{"ref":"out"},"op":"ne","rhs":{"ref":"in"}}}}
+	]}`
+	code, body = post("/v1/batch", batch)
+	expect("batch evaluate", code, body, `"value": 42`)
+	expect("batch verify", code, body, `"status": "valid"`)
+
+	code, body = get("/v1/stats")
+	expect("stats endpoint", code, body, `"cache_hits": 1`)
+	var stats struct {
+		Queries   int64 `json:"queries"`
+		Cancelled int64 `json:"cancelled"`
+	}
+	if err := json.NewDecoder(bytes.NewReader([]byte(body))).Decode(&stats); err != nil {
+		fatal("stats decode: %v", err)
+	}
+	if stats.Queries < 5 || stats.Cancelled != 1 {
+		fatal("stats counters off: %+v", stats)
+	}
+
+	code, body = get("/debug/zenstats")
+	expect("debug telemetry includes serve counters", code, body, `"serve"`)
+
+	// Clean shutdown: SIGTERM must drain and exit 0 within the drain
+	// budget.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatal("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal("zend exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		fatal("zend did not exit within 15s of SIGTERM")
+	}
+	fmt.Println("ok: clean shutdown on SIGTERM")
+	fmt.Println("serve smoke passed")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve smoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,213 @@
+package zen_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"zen-go/zen"
+)
+
+// expensiveFn returns a model whose BDD analysis takes far longer than
+// the deadlines used in these tests: squaring a 32-bit value symbolically
+// needs a shift-add multiplier whose BDD blows up.
+func expensiveFn() *zen.Fn[uint32, uint32] {
+	return zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+		return zen.Mul(x, x)
+	})
+}
+
+func squarePred(in zen.Value[uint32], out zen.Value[uint32]) zen.Value[bool] {
+	return zen.EqC(out, uint32(3037000493))
+}
+
+func TestFindCtxDeadline(t *testing.T) {
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		t.Run(be.String(), func(t *testing.T) {
+			const deadline = 50 * time.Millisecond
+			ctx, cancelFn := context.WithTimeout(context.Background(), deadline)
+			defer cancelFn()
+			start := time.Now()
+			_, found, err := expensiveFn().FindCtx(ctx, squarePred, zen.WithBackend(be))
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Skipf("query finished in %v on this machine; cannot exercise the deadline", elapsed)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want DeadlineExceeded", err)
+			}
+			if found {
+				t.Fatalf("cancelled Find must not report a witness")
+			}
+			// The acceptance bar is ~2x the deadline; allow wide slack for
+			// loaded CI machines while still catching an unbounded solve.
+			if elapsed > 20*deadline {
+				t.Fatalf("FindCtx returned after %v, deadline was %v", elapsed, deadline)
+			}
+		})
+	}
+}
+
+func TestFindCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	_, found, err := expensiveFn().FindCtx(ctx, squarePred)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if found {
+		t.Fatalf("cancelled Find must not report a witness")
+	}
+}
+
+func TestFindPanicsOnAttachedCancelledContext(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	fn := expensiveFn().Use(zen.WithContext(ctx))
+	defer func() {
+		ce, ok := recover().(*zen.CancelledError)
+		if !ok {
+			t.Fatalf("want *CancelledError panic, got %v", ce)
+		}
+		if !errors.Is(ce, context.Canceled) {
+			t.Fatalf("CancelledError must unwrap to the context error, got %v", ce.Err)
+		}
+	}()
+	fn.Find(squarePred)
+	t.Fatalf("Find must panic when the attached context is cancelled")
+}
+
+func TestFindCtxStillFinds(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		w, found, err := fn.FindCtx(context.Background(),
+			func(in zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+				return zen.EqC(out, uint8(7))
+			}, zen.WithBackend(be))
+		if err != nil || !found || w != 6 {
+			t.Fatalf("%v: FindCtx = (%d, %v, %v), want (6, true, nil)", be, w, found, err)
+		}
+	}
+}
+
+func TestVerifyCtxCancelledIsNotValid(t *testing.T) {
+	// A cancelled Verify must not report validity: that would be a
+	// vacuous soundness hole.
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	valid, _, err := expensiveFn().VerifyCtx(ctx,
+		func(in zen.Value[uint32], out zen.Value[uint32]) zen.Value[bool] {
+			return zen.Not(squarePred(in, out))
+		}, zen.WithBackend(zen.SAT))
+	if err == nil {
+		t.Fatalf("VerifyCtx on a dead context must error")
+	}
+	if valid {
+		t.Fatalf("cancelled VerifyCtx must not claim validity")
+	}
+}
+
+func TestFindAllCtxPartialResults(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] { return x })
+	ws, err := fn.FindAllCtx(context.Background(),
+		func(in zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+			return zen.LtC(in, uint8(5))
+		}, 10)
+	if err != nil || len(ws) != 5 {
+		t.Fatalf("FindAllCtx = (%d witnesses, %v), want (5, nil)", len(ws), err)
+	}
+}
+
+func TestProblemSolveCtx(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	p := zen.NewProblem()
+	x := zen.ProblemVar[uint16](p, "x")
+	p.Require(zen.EqC(zen.Mul(x, x), uint16(49)))
+	if _, err := p.SolveCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx on dead context: err = %v, want Canceled", err)
+	}
+	// The same problem still solves under a live context.
+	ok, err := p.SolveCtx(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("SolveCtx = (%v, %v), want (true, nil)", ok, err)
+	}
+	if v := zen.Get(p, x); v*v != 49 {
+		t.Fatalf("model x = %d does not satisfy x*x = 49", v)
+	}
+	if _, err := p.NextModelCtx(context.Background()); err != nil {
+		t.Fatalf("NextModelCtx: %v", err)
+	}
+}
+
+func TestEvaluateCtx(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 3)
+	})
+	out, err := fn.EvaluateCtx(context.Background(), 4)
+	if err != nil || out != 7 {
+		t.Fatalf("EvaluateCtx = (%d, %v), want (7, nil)", out, err)
+	}
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	if _, err := fn.EvaluateCtx(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateCtx on dead context: err = %v, want Canceled", err)
+	}
+}
+
+func TestTransformerForwardCtx(t *testing.T) {
+	w := zen.NewWorld()
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+	tr := zen.NewTransformer(w, fn)
+	s := zen.SetOf(w, func(x zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(x, uint8(10))
+	})
+	img, err := tr.ForwardCtx(context.Background(), s)
+	if err != nil {
+		t.Fatalf("ForwardCtx: %v", err)
+	}
+	if !img.Contains(10) || img.Contains(0) {
+		t.Fatalf("forward image wrong: contains(10)=%v contains(0)=%v", img.Contains(10), img.Contains(0))
+	}
+	pre, err := tr.ReverseCtx(context.Background(), img)
+	if err != nil {
+		t.Fatalf("ReverseCtx: %v", err)
+	}
+	if !pre.Contains(3) {
+		t.Fatalf("reverse image must contain 3")
+	}
+}
+
+func TestFindRawRoundtrip(t *testing.T) {
+	fn := zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+	var q zen.Queryable = fn
+	args := q.QueryArgs()
+	if len(args) != 1 {
+		t.Fatalf("QueryArgs: %d args, want 1", len(args))
+	}
+	b := zen.Builder()
+	cond := b.Eq(q.QueryOut(), b.BVConst(q.QueryOut().Type, 9))
+	m, found, err := zen.FindRaw(context.Background(), cond, args)
+	if err != nil || !found {
+		t.Fatalf("FindRaw = (%v, %v)", found, err)
+	}
+	in := m[args[0].VarID]
+	if in.U != 8 {
+		t.Fatalf("witness = %d, want 8", in.U)
+	}
+	outV, err := zen.EvaluateRaw(context.Background(), q.QueryOut(), m)
+	if err != nil || outV.U != 9 {
+		t.Fatalf("EvaluateRaw = (%v, %v), want 9", outV, err)
+	}
+	ms, err := zen.FindAllRaw(context.Background(), cond, args, 5)
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("FindAllRaw: %d models, %v; want exactly 1", len(ms), err)
+	}
+}

@@ -1,9 +1,11 @@
 package zen
 
 import (
+	"context"
 	"reflect"
 
 	"zen-go/internal/backends"
+	"zen-go/internal/cancel"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
 	"zen-go/internal/obs"
@@ -42,6 +44,10 @@ type Options struct {
 	// Tracer, when non-nil, receives one span per analysis with one event
 	// per phase.
 	Tracer Tracer
+	// Ctx, when non-nil, bounds the analysis: its deadline and
+	// cancellation are polled periodically inside the solver loops. See
+	// WithContext for how cancellation surfaces on each API.
+	Ctx context.Context
 }
 
 // Option mutates analysis options.
@@ -60,6 +66,50 @@ func WithStats(st *Stats) Option { return func(o *Options) { o.Stats = st } }
 
 // WithTracer attaches a tracing hook to the analysis.
 func WithTracer(tr Tracer) Option { return func(o *Options) { o.Tracer = tr } }
+
+// WithContext bounds the analysis by a context: solver loops poll its
+// cancellation periodically, so an expired deadline or a cancelled
+// request stops the work within a bounded amount of solver progress
+// instead of running to completion.
+//
+// Error-returning variants (FindCtx, VerifyCtx, SolveCtx, ...) take the
+// context as an argument and return its error on cancellation. The plain
+// variants keep their witness-only signatures, so when a function carries
+// WithContext (typically via Use) and the context dies mid-analysis they
+// panic with *CancelledError — a cancelled search has no sound boolean
+// answer. Prefer the Ctx variants wherever a context is in play.
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
+
+// check derives the solver-poll hook from the options' context; nil (the
+// zero-cost default) when no cancellable context is attached.
+func (o *Options) check() cancel.Check { return cancel.FromContext(o.Ctx) }
+
+// CancelledError is the panic value of a witness-only analysis (Find,
+// Verify, Solve, Forward, ...) whose attached context was cancelled
+// mid-solve. Err is the context's error (context.Canceled or
+// context.DeadlineExceeded).
+type CancelledError struct{ Err error }
+
+func (e *CancelledError) Error() string { return "zen: analysis cancelled: " + e.Err.Error() }
+
+// Unwrap exposes the context error to errors.Is.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// mustNotCancel converts an error from a *Err analysis core into the
+// panic contract of the witness-only API surface.
+func mustNotCancel(err error) {
+	if err != nil {
+		panic(&CancelledError{Err: err})
+	}
+}
+
+// armInterrupt arms a cancellation check on backends that support it
+// (both solver backends do).
+func armInterrupt(alg any, chk cancel.Check) {
+	if i, ok := alg.(backends.Interruptible); ok {
+		i.SetInterrupt(chk)
+	}
+}
 
 func buildOptions(opts []Option) Options {
 	o := Options{Backend: BDD, ListBound: 3}
@@ -165,12 +215,44 @@ func (fn *Fn[I, O]) evaluate(x I) O {
 	return toGo(v, rt).Interface().(O)
 }
 
+// EvaluateCtx is Evaluate bounded by a context: the interpreter polls the
+// context periodically, so evaluation of a pathologically large DAG (or a
+// batch driver looping over inputs) can be cut off. On cancellation it
+// returns the zero value and the context's error.
+func (fn *Fn[I, O]) EvaluateCtx(ctx context.Context, x I) (out O, err error) {
+	defer cancel.Trap(&err)
+	chk := cancel.FromContext(ctx)
+	chk.Point()
+	env := interp.Env{fn.arg.n.VarID: liftValue(reflectValue(x))}
+	v := interp.EvalCheck(fn.out.n, env, chk)
+	rt := reflect.TypeOf((*O)(nil)).Elem()
+	return toGo(v, rt).Interface().(O), nil
+}
+
 // Find searches for an input such that pred(input, output) holds,
 // mirroring the paper's f.Find((in, out) => ...). It returns the witness
 // and true, or the zero value and false if no input exists (within list
-// bounds).
+// bounds). If the function carries a context (WithContext) that dies
+// mid-solve, Find panics with *CancelledError; use FindCtx to get the
+// error as a value.
 func (fn *Fn[I, O]) Find(pred func(Value[I], Value[O]) Value[bool], opts ...Option) (I, bool) {
+	w, ok, err := fn.findErr(pred, fn.options(opts))
+	mustNotCancel(err)
+	return w, ok
+}
+
+// FindCtx is Find bounded by a context: on cancellation or deadline
+// expiry it stops the solver and returns the context's error.
+func (fn *Fn[I, O]) FindCtx(ctx context.Context, pred func(Value[I], Value[O]) Value[bool], opts ...Option) (I, bool, error) {
 	o := fn.options(opts)
+	o.Ctx = ctx
+	return fn.findErr(pred, o)
+}
+
+func (fn *Fn[I, O]) findErr(pred func(Value[I], Value[O]) Value[bool], o Options) (w I, found bool, err error) {
+	defer cancel.Trap(&err)
+	chk := o.check()
+	chk.Point()
 	rec := o.begin("find")
 	defer rec.End()
 	stop := rec.Phase("build")
@@ -178,13 +260,17 @@ func (fn *Fn[I, O]) Find(pred func(Value[I], Value[O]) Value[bool], opts ...Opti
 	stop()
 	o.measureDAG(rec, cond.n)
 	if o.Backend == SAT {
-		return findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, rec)
+		w, found = findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, chk, rec)
+	} else {
+		w, found = findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, chk, rec)
 	}
-	return findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, rec)
+	return w, found, nil
 }
 
 // Verify checks that property(input, output) holds for every input. It
 // returns true when the property is valid, or false plus a counterexample.
+// Like Find, it panics with *CancelledError if an attached context dies
+// mid-solve; use VerifyCtx to get the error as a value.
 func (fn *Fn[I, O]) Verify(property func(Value[I], Value[O]) Value[bool], opts ...Option) (bool, I) {
 	cex, found := fn.Find(func(i Value[I], o Value[O]) Value[bool] {
 		return Not(property(i, o))
@@ -192,11 +278,22 @@ func (fn *Fn[I, O]) Verify(property func(Value[I], Value[O]) Value[bool], opts .
 	return !found, cex
 }
 
-func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound int, rec *obs.Rec) (I, bool) {
+// VerifyCtx is Verify bounded by a context. On cancellation the returned
+// validity is meaningless and the error is non-nil; callers must check
+// the error first.
+func (fn *Fn[I, O]) VerifyCtx(ctx context.Context, property func(Value[I], Value[O]) Value[bool], opts ...Option) (bool, I, error) {
+	cex, found, err := fn.FindCtx(ctx, func(i Value[I], o Value[O]) Value[bool] {
+		return Not(property(i, o))
+	}, opts...)
+	return !found && err == nil, cex, err
+}
+
+func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound int, chk cancel.Check, rec *obs.Rec) (I, bool) {
 	var zero I
+	armInterrupt(alg, chk)
 	stop := rec.Phase("symeval")
 	in := sym.Fresh(alg, TypeOf[I](), bound, "in")
-	out := sym.Eval(alg, cond, sym.Env[B]{varID: in.Val})
+	out := sym.EvalCheck(alg, cond, sym.Env[B]{varID: in.Val}, chk)
 	stop()
 	stop = rec.Phase("solve")
 	ok := alg.Solve(out.Bit)
@@ -215,30 +312,52 @@ func findWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int
 
 // FindAll invokes yield for successive distinct witnesses of pred, up to
 // max (or until exhausted). It re-solves with blocking constraints, like
-// repeated Find calls in the paper's API.
+// repeated Find calls in the paper's API. Like Find, it panics with
+// *CancelledError if an attached context dies mid-solve; use FindAllCtx
+// to get the error as a value.
 func (fn *Fn[I, O]) FindAll(pred func(Value[I], Value[O]) Value[bool], max int, opts ...Option) []I {
+	ws, err := fn.findAllErr(pred, max, fn.options(opts))
+	mustNotCancel(err)
+	return ws
+}
+
+// FindAllCtx is FindAll bounded by a context. On cancellation it returns
+// the witnesses found before the cut together with the context's error.
+func (fn *Fn[I, O]) FindAllCtx(ctx context.Context, pred func(Value[I], Value[O]) Value[bool], max int, opts ...Option) ([]I, error) {
 	o := fn.options(opts)
+	o.Ctx = ctx
+	return fn.findAllErr(pred, max, o)
+}
+
+func (fn *Fn[I, O]) findAllErr(pred func(Value[I], Value[O]) Value[bool], max int, o Options) (ws []I, err error) {
+	defer cancel.Trap(&err)
+	chk := o.check()
+	chk.Point()
 	rec := o.begin("findall")
 	defer rec.End()
 	stop := rec.Phase("build")
 	cond := pred(fn.arg, fn.out)
 	stop()
 	o.measureDAG(rec, cond.n)
+	// The partial result survives cancellation: findAllWith appends into
+	// *ws, so witnesses found before the abort are returned with the error.
 	if o.Backend == SAT {
-		return findAllWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max, rec)
+		findAllWith(backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
+	} else {
+		findAllWith(backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
 	}
-	return findAllWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max, rec)
+	return ws, nil
 }
 
-func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound, max int, rec *obs.Rec) []I {
+func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound, max int, chk cancel.Check, rec *obs.Rec, results *[]I) {
+	armInterrupt(alg, chk)
 	stop := rec.Phase("symeval")
 	in := sym.Fresh(alg, TypeOf[I](), bound, "in")
-	out := sym.Eval(alg, cond, sym.Env[B]{varID: in.Val})
+	out := sym.EvalCheck(alg, cond, sym.Env[B]{varID: in.Val}, chk)
 	stop()
 	rt := reflect.TypeOf((*I)(nil)).Elem()
-	var results []I
 	constraint := out.Bit
-	for len(results) < max {
+	for len(*results) < max {
 		stop = rec.Phase("solve")
 		ok := alg.Solve(constraint)
 		stop()
@@ -248,15 +367,14 @@ func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID 
 		}
 		stop = rec.Phase("decode")
 		iv := in.Decode(alg.BitValue)
-		results = append(results, toGo(iv, rt).Interface().(I))
+		*results = append(*results, toGo(iv, rt).Interface().(I))
 		// Block this model: the input must differ somewhere.
 		blocked := blockModel(alg, in.Val, iv)
 		constraint = alg.And(constraint, blocked)
 		stop()
 	}
 	rec.ReportBackend(alg)
-	rec.Event("models", len(results))
-	return results
+	rec.Event("models", len(*results))
 }
 
 // blockModel returns the constraint "input != model".

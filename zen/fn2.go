@@ -1,9 +1,11 @@
 package zen
 
 import (
+	"context"
 	"reflect"
 
 	"zen-go/internal/backends"
+	"zen-go/internal/cancel"
 	"zen-go/internal/interp"
 	"zen-go/internal/obs"
 	"zen-go/internal/sym"
@@ -40,9 +42,27 @@ func (fn *Fn2[A, B, O]) Evaluate(a A, b B) O {
 	return toGo(v, rt).Interface().(O)
 }
 
-// Find searches for an input pair satisfying pred(a, b, output).
+// Find searches for an input pair satisfying pred(a, b, output). Like
+// Fn.Find, it panics with *CancelledError if a context attached via
+// WithContext dies mid-solve; use FindCtx to get the error as a value.
 func (fn *Fn2[A, B, O]) Find(pred func(Value[A], Value[B], Value[O]) Value[bool], opts ...Option) (A, B, bool) {
+	a, b, found, err := fn.findErr(pred, buildOptions(opts))
+	mustNotCancel(err)
+	return a, b, found
+}
+
+// FindCtx is Find bounded by a context: on cancellation or deadline
+// expiry it stops the solver and returns the context's error.
+func (fn *Fn2[A, B, O]) FindCtx(ctx context.Context, pred func(Value[A], Value[B], Value[O]) Value[bool], opts ...Option) (A, B, bool, error) {
 	o := buildOptions(opts)
+	o.Ctx = ctx
+	return fn.findErr(pred, o)
+}
+
+func (fn *Fn2[A, B, O]) findErr(pred func(Value[A], Value[B], Value[O]) Value[bool], o Options) (a A, b B, found bool, err error) {
+	defer cancel.Trap(&err)
+	chk := o.check()
+	chk.Point()
 	rec := o.begin("find2")
 	defer rec.End()
 	stop := rec.Phase("build")
@@ -50,9 +70,11 @@ func (fn *Fn2[A, B, O]) Find(pred func(Value[A], Value[B], Value[O]) Value[bool]
 	stop()
 	o.measureDAG(rec, cond.n)
 	if o.Backend == SAT {
-		return find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, rec)
+		a, b, found = find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
+	} else {
+		a, b, found = find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
 	}
-	return find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, rec)
+	return a, b, found, nil
 }
 
 // Verify checks a property over all input pairs.
@@ -63,13 +85,24 @@ func (fn *Fn2[A, B, O]) Verify(property func(Value[A], Value[B], Value[O]) Value
 	return !found, a, b
 }
 
-func find2With[A, B any, Bit comparable](alg sym.Solver[Bit], cond *coreNode, idA, idB int32, bound int, rec *obs.Rec) (A, B, bool) {
+// VerifyCtx is Verify bounded by a context. On cancellation the returned
+// validity is meaningless and the error is non-nil; callers must check
+// the error first.
+func (fn *Fn2[A, B, O]) VerifyCtx(ctx context.Context, property func(Value[A], Value[B], Value[O]) Value[bool], opts ...Option) (bool, A, B, error) {
+	a, b, found, err := fn.FindCtx(ctx, func(x Value[A], y Value[B], o Value[O]) Value[bool] {
+		return Not(property(x, y, o))
+	}, opts...)
+	return !found && err == nil, a, b, err
+}
+
+func find2With[A, B any, Bit comparable](alg sym.Solver[Bit], cond *coreNode, idA, idB int32, bound int, chk cancel.Check, rec *obs.Rec) (A, B, bool) {
 	var zeroA A
 	var zeroB B
+	armInterrupt(alg, chk)
 	stop := rec.Phase("symeval")
 	inA := sym.Fresh(alg, TypeOf[A](), bound, "a")
 	inB := sym.Fresh(alg, TypeOf[B](), bound, "b")
-	out := sym.Eval(alg, cond, sym.Env[Bit]{idA: inA.Val, idB: inB.Val})
+	out := sym.EvalCheck(alg, cond, sym.Env[Bit]{idA: inA.Val, idB: inB.Val}, chk)
 	stop()
 	stop = rec.Phase("solve")
 	ok := alg.Solve(out.Bit)

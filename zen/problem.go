@@ -1,9 +1,11 @@
 package zen
 
 import (
+	"context"
 	"reflect"
 
 	"zen-go/internal/backends"
+	"zen-go/internal/cancel"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
 	"zen-go/internal/sym"
@@ -20,7 +22,10 @@ type Problem struct {
 	vars  []*core.Node
 	cond  Value[bool]
 	model map[int32]*interp.Value
-	next  func() bool // re-solve with a blocking constraint (NextModel)
+	// next re-solves with a blocking constraint (NextModel) under the
+	// given cancellation check (the check of the NextModel call, not the
+	// one Solve ran under).
+	next func(chk cancel.Check) bool
 }
 
 // NewProblem returns an empty problem.
@@ -39,26 +44,60 @@ func ProblemVar[T any](p *Problem, name string) Value[T] {
 func (p *Problem) Require(c Value[bool]) { p.cond = And(p.cond, c) }
 
 // Solve searches for an assignment to every declared variable satisfying
-// all constraints.
+// all constraints. If the problem carries a context (WithContext) that
+// dies mid-solve, Solve panics with *CancelledError; use SolveCtx to get
+// the error as a value.
 func (p *Problem) Solve() bool {
+	ok, err := p.solveErr(p.opts.check())
+	mustNotCancel(err)
+	return ok
+}
+
+// SolveCtx is Solve bounded by a context: on cancellation or deadline
+// expiry it stops the solver and returns the context's error.
+func (p *Problem) SolveCtx(ctx context.Context) (bool, error) {
+	return p.solveErr(cancel.FromContext(ctx))
+}
+
+func (p *Problem) solveErr(chk cancel.Check) (found bool, err error) {
+	defer cancel.Trap(&err)
+	chk.Point()
 	if p.opts.Backend == SAT {
-		return solveProblem(p, backends.NewSAT())
+		found = solveProblem(p, backends.NewSAT(), chk)
+	} else {
+		found = solveProblem(p, backends.NewBDD(), chk)
 	}
-	return solveProblem(p, backends.NewBDD())
+	return found, nil
 }
 
 // NextModel searches for a model distinct from the current one (differing
 // in at least one declared variable), replacing the model read by Get. It
 // returns false when no further model exists; the previous model then
-// remains readable. NextModel panics if Solve has not succeeded.
+// remains readable. NextModel panics if Solve has not succeeded, and
+// panics with *CancelledError when a context attached to the problem dies
+// mid-solve.
 func (p *Problem) NextModel() bool {
+	ok, err := p.nextErr(p.opts.check())
+	mustNotCancel(err)
+	return ok
+}
+
+// NextModelCtx is NextModel bounded by a context.
+func (p *Problem) NextModelCtx(ctx context.Context) (bool, error) {
+	return p.nextErr(cancel.FromContext(ctx))
+}
+
+func (p *Problem) nextErr(chk cancel.Check) (found bool, err error) {
 	if p.next == nil {
 		panic("zen: NextModel before a successful Solve")
 	}
-	return p.next()
+	defer cancel.Trap(&err)
+	chk.Point()
+	return p.next(chk), nil
 }
 
-func solveProblem[B comparable](p *Problem, alg sym.Solver[B]) bool {
+func solveProblem[B comparable](p *Problem, alg sym.Solver[B], chk cancel.Check) bool {
+	armInterrupt(alg, chk)
 	rec := p.opts.begin("problem")
 	defer rec.End()
 	p.opts.measureDAG(rec, p.cond.n)
@@ -70,7 +109,7 @@ func solveProblem[B comparable](p *Problem, alg sym.Solver[B]) bool {
 		env[v.VarID] = in.Val
 		inputs[v.VarID] = in
 	}
-	out := sym.Eval(alg, p.cond.n, env)
+	out := sym.EvalCheck(alg, p.cond.n, env, chk)
 	stop()
 	constraint := out.Bit
 	stop = rec.Phase("solve")
@@ -86,8 +125,9 @@ func solveProblem[B comparable](p *Problem, alg sym.Solver[B]) bool {
 	stop()
 	// Arm NextModel: each call conjoins "some variable differs from the
 	// current model" (reusing blockModel) and re-solves incrementally on
-	// the same solver.
-	p.next = func() bool {
+	// the same solver, under the check of that NextModel call.
+	p.next = func(chk cancel.Check) bool {
+		armInterrupt(alg, chk)
 		rec := p.opts.begin("nextmodel")
 		defer rec.End()
 		stop := rec.Phase("symeval")

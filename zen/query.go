@@ -1,0 +1,160 @@
+package zen
+
+import (
+	"context"
+
+	"zen-go/internal/backends"
+	"zen-go/internal/cancel"
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+	"zen-go/internal/obs"
+	"zen-go/internal/sym"
+)
+
+// Queryable is the type-erased analysis surface of a model: its argument
+// variables and result DAG as raw nodes. Every *Fn and *Fn2 implements
+// it; it is what lets a service layer (internal/serve) run Find, Verify,
+// FindAll, and Evaluate against a registry model whose Go types it never
+// sees — predicates are compiled straight to DAG nodes and witnesses
+// are decoded as interp values.
+type Queryable interface {
+	Lintable
+	// QueryArgs returns the symbolic argument variables, in parameter
+	// order. Each is an OpVar node carrying its type and VarID.
+	QueryArgs() []*core.Node
+	// QueryOut returns the result DAG of the model applied to QueryArgs.
+	QueryOut() *core.Node
+}
+
+// QueryArgs implements Queryable.
+func (fn *Fn[I, O]) QueryArgs() []*core.Node { return []*core.Node{fn.arg.n} }
+
+// QueryOut implements Queryable.
+func (fn *Fn[I, O]) QueryOut() *core.Node { return fn.out.n }
+
+// QueryArgs implements Queryable.
+func (fn *Fn2[A, B, O]) QueryArgs() []*core.Node { return []*core.Node{fn.argA.n, fn.argB.n} }
+
+// QueryOut implements Queryable.
+func (fn *Fn2[A, B, O]) QueryOut() *core.Node { return fn.out.n }
+
+var (
+	_ Queryable = (*Fn[bool, bool])(nil)
+	_ Queryable = (*Fn2[bool, bool, bool])(nil)
+)
+
+// RawModel is a solver model for a raw query: one concrete value per
+// argument variable ID.
+type RawModel = map[int32]*interp.Value
+
+// FindRaw searches for an assignment of the given argument variables
+// satisfying cond, a boolean DAG over them (typically a predicate applied
+// to a Queryable's args and out). It is the untyped engine behind the
+// service layer; the typed Fn.Find remains the API for Go callers.
+func FindRaw(ctx context.Context, cond *core.Node, args []*core.Node, opts ...Option) (RawModel, bool, error) {
+	ms, err := findRaw(ctx, cond, args, 1, buildOptions(opts), "find")
+	if len(ms) == 0 {
+		return nil, false, err
+	}
+	return ms[0], true, err
+}
+
+// FindAllRaw enumerates up to max distinct satisfying assignments,
+// re-solving with blocking constraints. On cancellation it returns the
+// models found before the cut together with the context's error.
+func FindAllRaw(ctx context.Context, cond *core.Node, args []*core.Node, max int, opts ...Option) ([]RawModel, error) {
+	return findRaw(ctx, cond, args, max, buildOptions(opts), "findall")
+}
+
+func findRaw(ctx context.Context, cond *core.Node, args []*core.Node, max int, o Options, analysis string) (ms []RawModel, err error) {
+	o.Ctx = ctx
+	defer cancel.Trap(&err)
+	chk := o.check()
+	chk.Point()
+	rec := o.begin(analysis)
+	defer rec.End()
+	o.measureDAG(rec, cond)
+	if o.Backend == SAT {
+		findRawWith(backends.NewSAT(), cond, args, max, o.ListBound, chk, rec, &ms)
+	} else {
+		findRawWith(backends.NewBDD(), cond, args, max, o.ListBound, chk, rec, &ms)
+	}
+	return ms, nil
+}
+
+func findRawWith[B comparable](alg sym.Solver[B], cond *core.Node, args []*core.Node, max, bound int, chk cancel.Check, rec *obs.Rec, results *[]RawModel) {
+	armInterrupt(alg, chk)
+	stop := rec.Phase("symeval")
+	env := sym.Env[B]{}
+	inputs := make(map[int32]*sym.Input[B], len(args))
+	for _, a := range args {
+		in := sym.Fresh(alg, a.Type, bound, a.Name)
+		env[a.VarID] = in.Val
+		inputs[a.VarID] = in
+	}
+	out := sym.EvalCheck(alg, cond, env, chk)
+	stop()
+	constraint := out.Bit
+	for len(*results) < max {
+		stop = rec.Phase("solve")
+		ok := alg.Solve(constraint)
+		stop()
+		rec.CountSolve(ok)
+		if !ok {
+			break
+		}
+		stop = rec.Phase("decode")
+		m := decodeModel(inputs, alg.BitValue)
+		*results = append(*results, m)
+		// Block this model: some argument must differ.
+		differs := alg.False()
+		for id, in := range inputs {
+			differs = alg.Or(differs, blockModel(alg, in.Val, m[id]))
+		}
+		constraint = alg.And(constraint, differs)
+		stop()
+	}
+	rec.ReportBackend(alg)
+	rec.Event("models", len(*results))
+}
+
+// EvaluateRaw evaluates a DAG under concrete values for its variables —
+// the untyped engine behind the service layer's evaluate queries. The
+// interpreter polls the context periodically.
+func EvaluateRaw(ctx context.Context, root *core.Node, env RawModel) (v *interp.Value, err error) {
+	defer cancel.Trap(&err)
+	chk := cancel.FromContext(ctx)
+	chk.Point()
+	ienv := make(interp.Env, len(env))
+	for id, val := range env {
+		ienv[id] = val
+	}
+	return interp.EvalCheck(root, ienv, chk), nil
+}
+
+// LiftRaw builds a constant DAG node from a concrete value, in the global
+// builder. The service layer uses it to embed JSON literals into
+// predicate DAGs; because the builder hash-conses, equal literals share
+// one node.
+func LiftRaw(v *interp.Value) *core.Node {
+	b := build
+	switch v.Type.Kind {
+	case core.KindBool:
+		return b.BoolConst(v.B)
+	case core.KindBV:
+		return b.BVConst(v.Type, v.U)
+	case core.KindObject:
+		kids := make([]*core.Node, len(v.Fields))
+		for i, f := range v.Fields {
+			kids[i] = LiftRaw(f)
+		}
+		return b.Create(v.Type, kids...)
+	case core.KindList:
+		n := b.ListNil(v.Type)
+		for i := len(v.Elems) - 1; i >= 0; i-- {
+			n = b.ListCons(LiftRaw(v.Elems[i]), n)
+		}
+		return n
+	}
+	panic("zen: LiftRaw: unknown kind")
+}

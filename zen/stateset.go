@@ -1,9 +1,11 @@
 package zen
 
 import (
+	"context"
 	"math/big"
 	"reflect"
 
+	"zen-go/internal/cancel"
 	"zen-go/internal/stateset"
 )
 
@@ -15,12 +17,26 @@ type World struct {
 
 // NewWorld returns a fresh state-set world. Options WithStats and
 // WithTracer attach telemetry to every set and transformer operation of
-// the world (other options are ignored: worlds are BDD-only and list-free).
+// the world; WithContext bounds every operation of the world by the
+// context — when it dies, the operation in flight panics with
+// *CancelledError (set algebra has no error returns). Other options are
+// ignored: worlds are BDD-only and list-free.
 func NewWorld(opts ...Option) *World {
 	o := buildOptions(opts)
 	w := stateset.NewWorld()
 	w.Obs = o.Stats
 	w.Tracer = o.Tracer
+	if chk := o.check(); chk != nil {
+		// Convert directly to the public panic at the poll site: world
+		// operations have no single boundary where an internal abort
+		// could be trapped and returned as an error.
+		w.Manager().SetInterrupt(func() error {
+			if err := chk(); err != nil {
+				panic(&CancelledError{Err: err})
+			}
+			return nil
+		})
+	}
 	return &World{w: w}
 }
 
@@ -117,12 +133,13 @@ func (s StateSet[T]) Internal() stateset.Set { return s.s }
 // preimages are exact.
 type Transformer[I, O any] struct {
 	t *stateset.Transformer
+	w *World
 }
 
 // NewTransformer builds the transformer of fn in world w.
 func NewTransformer[I, O any](w *World, fn *Fn[I, O]) Transformer[I, O] {
 	t := w.w.Transformer(fn.out.n, fn.arg.n.VarID, TypeOf[I](), TypeOf[O]())
-	return Transformer[I, O]{t: t}
+	return Transformer[I, O]{t: t, w: w}
 }
 
 // Forward computes TransformForward: the image {f(x) | x ∈ s}.
@@ -130,9 +147,40 @@ func (t Transformer[I, O]) Forward(s StateSet[I]) StateSet[O] {
 	return StateSet[O]{s: t.t.Forward(s.s)}
 }
 
+// ForwardCtx is Forward bounded by a context: the relational product
+// polls the context and the call returns its error on cancellation. The
+// context is armed on the world's shared manager for the duration of the
+// call, temporarily displacing any check installed by NewWorld's
+// WithContext.
+func (t Transformer[I, O]) ForwardCtx(ctx context.Context, s StateSet[I]) (out StateSet[O], err error) {
+	chk := cancel.FromContext(ctx)
+	if chk == nil {
+		return t.Forward(s), nil
+	}
+	man := t.w.w.Manager()
+	man.SetInterrupt(chk)
+	defer man.SetInterrupt(nil)
+	defer cancel.Trap(&err)
+	return t.Forward(s), nil
+}
+
 // Reverse computes TransformReverse: the preimage {x | f(x) ∈ s}.
 func (t Transformer[I, O]) Reverse(s StateSet[O]) StateSet[I] {
 	return StateSet[I]{s: t.t.Reverse(s.s)}
+}
+
+// ReverseCtx is Reverse bounded by a context, with the same contract as
+// ForwardCtx.
+func (t Transformer[I, O]) ReverseCtx(ctx context.Context, s StateSet[O]) (out StateSet[I], err error) {
+	chk := cancel.FromContext(ctx)
+	if chk == nil {
+		return t.Reverse(s), nil
+	}
+	man := t.w.w.Manager()
+	man.SetInterrupt(chk)
+	defer man.SetInterrupt(nil)
+	defer cancel.Trap(&err)
+	return t.Reverse(s), nil
 }
 
 // UsesFreshSpace reports whether the variable-ordering heuristic gave this
