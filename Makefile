@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench fuzz serve-smoke
+.PHONY: all build test race vet fmt lint check bench bench-suite fuzz serve-smoke
 
 all: build
 
@@ -38,6 +38,13 @@ serve-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-suite runs the pinned zenbench suite with the full budget and
+# writes the next bench/BENCH_<n>.json, diffing against the prior file
+# and failing on regressions past the threshold. CI runs the cheap
+# `zenbench -smoke` variant via scripts/check.sh instead.
+bench-suite:
+	$(GO) run ./cmd/zenbench
 
 # fuzz runs long native differential-fuzzing campaigns (see internal/fuzz).
 # Override FUZZTIME for longer hunts: make fuzz FUZZTIME=10m

@@ -1,0 +1,140 @@
+// Command zenbench runs the pinned benchmark suite and maintains the
+// repo's performance trajectory:
+//
+//	zenbench                  # run suite, write bench/BENCH_<next>.json,
+//	                          # diff against the latest prior file
+//	zenbench -smoke           # fast suite sanity run, nothing written
+//	zenbench -threshold 0.25  # fail (exit 1) when a case slows >25%
+//	zenbench -run 'serve/'    # only cases matching the regexp
+//
+// Each PR commits the BENCH file its run produced; the sequence of files
+// is the performance history, and the diff against the previous file is
+// the regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"zen-go/internal/benchsuite"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "bench", "directory holding BENCH_<n>.json files")
+		budget    = flag.Duration("budget", time.Second, "time budget per case")
+		threshold = flag.Float64("threshold", 0.25, "regression gate: fail when a case slows by more than this ratio")
+		runRE     = flag.String("run", "", "only run cases matching this regexp")
+		num       = flag.Int("n", 0, "sequence number for the output file (0 = latest+1)")
+		smoke     = flag.Bool("smoke", false, "sanity mode: tiny budget, no file written, no gate")
+		handicap  = flag.Duration("handicap", 0, "artificial per-op delay added to every case (gate self-test)")
+	)
+	flag.Parse()
+	if *smoke {
+		*budget = 10 * time.Millisecond
+	}
+
+	cases := benchsuite.Cases()
+	if *runRE != "" {
+		re, err := regexp.Compile(*runRE)
+		if err != nil {
+			fatal("bad -run regexp: %v", err)
+		}
+		var kept []benchsuite.Case
+		for _, c := range cases {
+			if re.MatchString(c.Name) {
+				kept = append(kept, c)
+			}
+		}
+		cases = kept
+	}
+	if len(cases) == 0 {
+		fatal("no cases selected")
+	}
+	if *handicap > 0 {
+		cases = handicapped(cases, *handicap)
+	}
+
+	result, err := benchsuite.RunSuite(cases, *budget, func(r benchsuite.Result) {
+		fmt.Printf("%-32s %10d ops %12.0f ns/op", r.Name, r.N, r.NsPerOp)
+		for k, v := range r.Metrics {
+			fmt.Printf("  %s=%.1f", k, v)
+		}
+		fmt.Println()
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *smoke {
+		fmt.Printf("zenbench: smoke ok (%d cases)\n", len(result.Results))
+		return
+	}
+
+	prevPath, prevNum, prev, havePrev, err := latest(*dir)
+	if err != nil {
+		fatal("%v", err)
+	}
+	outNum := prevNum + 1
+	if *num > 0 {
+		outNum = *num
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	outPath := benchsuite.PathFor(*dir, outNum)
+	if err := benchsuite.WriteFile(outPath, result); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("zenbench: wrote %s\n", outPath)
+
+	if !havePrev {
+		fmt.Println("zenbench: no prior BENCH file, nothing to diff")
+		return
+	}
+	fmt.Printf("zenbench: diff against %s\n", prevPath)
+	deltas := benchsuite.Diff(prev, result)
+	for _, d := range deltas {
+		fmt.Println("  " + benchsuite.FormatDelta(d))
+	}
+	regs := benchsuite.Regressions(deltas, *threshold)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "zenbench: %d case(s) regressed beyond %.0f%%:\n", len(regs), *threshold*100)
+		for _, d := range regs {
+			fmt.Fprintln(os.Stderr, "  "+benchsuite.FormatDelta(d))
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("zenbench: gate clean (threshold %.0f%%)\n", *threshold*100)
+}
+
+// handicapped wraps every case with an artificial per-op delay — the
+// self-test proving the regression gate actually trips.
+func handicapped(cases []benchsuite.Case, d time.Duration) []benchsuite.Case {
+	out := make([]benchsuite.Case, len(cases))
+	for i, c := range cases {
+		mk := c.Make
+		out[i] = benchsuite.Case{Name: c.Name, Make: func() (*benchsuite.Instance, error) {
+			inst, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			iter := inst.Iter
+			inst.Iter = func() { iter(); time.Sleep(d) }
+			return inst, nil
+		}}
+	}
+	return out
+}
+
+func latest(dir string) (string, int, *benchsuite.File, bool, error) {
+	return benchsuite.Latest(dir)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zenbench: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -22,9 +23,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"zen-go/internal/obs"
 	"zen-go/internal/serve"
 	"zen-go/zen"
 )
@@ -39,16 +42,41 @@ func main() {
 		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on per-query timeout_ms (0 = no cap)")
 		drain          = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
 		stats          = flag.Bool("stats", false, "print solver telemetry on exit")
+		slowLog        = flag.String("slowlog", "", "append slow-query JSONL records to this file (- for stderr)")
+		slowThreshold  = flag.Duration("slow-threshold", 100*time.Millisecond, "latency above which a query is logged as slow")
+		slowSample     = flag.Int("slow-sample-every", 0, "also log 1-in-N fast queries for baseline context (0 = off)")
+		checkMetrics   = flag.Bool("check-metrics", false, "render and lint the /metrics exposition, then exit (CI gate)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-	})
+	cfg := serve.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheSize:       *cacheSize,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		SlowThreshold:   *slowThreshold,
+		SlowSampleEvery: *slowSample,
+	}
+	var slowFile *os.File
+	switch *slowLog {
+	case "":
+	case "-":
+		cfg.SlowLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zend: slowlog: %v\n", err)
+			os.Exit(2)
+		}
+		slowFile, cfg.SlowLog = f, f
+	}
+
+	srv := serve.New(cfg)
+
+	if *checkMetrics {
+		os.Exit(runMetricsCheck(srv))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -93,6 +121,53 @@ func main() {
 	if *stats {
 		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
 	}
+	if slowFile != nil {
+		_ = slowFile.Close()
+	}
 	fmt.Fprintln(os.Stderr, "zend: bye")
 	os.Exit(code)
+}
+
+// metricsMustHave are the stable family names dashboards key on; the
+// -check-metrics gate fails if a refactor drops or renames one.
+var metricsMustHave = []string{
+	"zen_analyses_total",
+	"zen_solves_total",
+	"zen_serve_queries_total",
+	"zen_serve_cache_hits_total",
+	"zen_serve_request_seconds",
+	"zen_serve_model_request_seconds",
+}
+
+// runMetricsCheck exercises the server once, renders the /metrics
+// exposition in-process, and lints it: the format itself (via
+// obs.LintMetrics) plus the presence of the stable family names. It is
+// what scripts/check.sh runs as the metrics gate.
+func runMetricsCheck(srv *serve.Server) int {
+	// One real query so the histograms have observations to expose.
+	res := srv.Do(context.Background(), &serve.Request{
+		Model: "demo/add8", Kind: "find",
+		Predicate: []byte(`{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":7}}}`),
+	})
+	if res.Status != "sat" {
+		fmt.Fprintf(os.Stderr, "zend: check-metrics: probe query failed: %s (%s)\n", res.Status, res.Error)
+		return 1
+	}
+	var buf bytes.Buffer
+	if err := srv.WriteMetrics(&buf); err != nil {
+		fmt.Fprintf(os.Stderr, "zend: check-metrics: render: %v\n", err)
+		return 1
+	}
+	if err := obs.LintMetrics(bytes.NewReader(buf.Bytes())); err != nil {
+		fmt.Fprintf(os.Stderr, "zend: check-metrics: exposition lint: %v\n", err)
+		return 1
+	}
+	for _, name := range metricsMustHave {
+		if !strings.Contains(buf.String(), "# TYPE "+name+" ") {
+			fmt.Fprintf(os.Stderr, "zend: check-metrics: family %q missing\n", name)
+			return 1
+		}
+	}
+	fmt.Printf("zend: check-metrics ok (%d bytes, %d families checked)\n", buf.Len(), len(metricsMustHave))
+	return 0
 }

@@ -34,6 +34,36 @@ const exitCancelled = 3
 // deadline on it.
 var sweepCtx = context.Background()
 
+// traceTracer captures every solve of the sweep as a span tree when
+// -trace-out is set.
+var traceTracer *obs.TreeTracer
+
+// sweepOpts appends the sweep-wide options (context, tracer) to an
+// analysis's own.
+func sweepOpts(opts ...zen.Option) []zen.Option {
+	opts = append(opts, zen.WithContext(sweepCtx))
+	if traceTracer != nil {
+		opts = append(opts, zen.WithTracer(traceTracer))
+	}
+	return opts
+}
+
+// writeTrace dumps the captured span trees as Chrome trace-event JSON.
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = traceTracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zenfig10: trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "zenfig10: trace written to %s (load in Perfetto or chrome://tracing)\n", path)
+}
+
 func main() {
 	aclSizes := flag.String("acl-sizes", "1000,2000,4000,8000,15000", "ACL line counts")
 	rmSizes := flag.String("rm-sizes", "20,40,60,80,100", "route map clause counts")
@@ -42,7 +72,11 @@ func main() {
 	stats := flag.Bool("stats", false, "print solver telemetry after the sweep")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/zenstats, expvar and pprof on this address during the sweep")
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (exit code 3)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every solve (open in Perfetto)")
 	flag.Parse()
+	if *traceOut != "" {
+		traceTracer = obs.NewTreeTracer()
+	}
 	var debugShutdown func(time.Duration)
 	if *debugAddr != "" {
 		addr, shutdown, err := obs.StartDebugServer(*debugAddr)
@@ -72,6 +106,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "zenfig10: %v (partial results above)\n", ce)
 		if *stats {
 			fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+		}
+		if traceTracer != nil {
+			writeTrace(*traceOut)
 		}
 		if debugShutdown != nil {
 			debugShutdown(2 * time.Second)
@@ -104,6 +141,9 @@ func main() {
 
 	if *stats {
 		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+	}
+	if traceTracer != nil {
+		writeTrace(*traceOut)
 	}
 	if debugShutdown != nil {
 		debugShutdown(2 * time.Second)
@@ -146,7 +186,7 @@ func aclFind(rng *rand.Rand, n int, be zen.Backend) {
 	fn := zen.Func(a.MatchLine)
 	if _, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
 		return zen.EqC(l, last)
-	}, zen.WithBackend(be), zen.WithContext(sweepCtx)); !ok {
+	}, sweepOpts(zen.WithBackend(be))...); !ok {
 		panic("catch-all last line must be reachable")
 	}
 }
@@ -164,7 +204,7 @@ func rmFind(rng *rand.Rand, n int, be zen.Backend) {
 	fn := zen.Func(rm.MatchClause)
 	if _, ok := fn.Find(func(_ zen.Value[routemap.Route], l zen.Value[uint16]) zen.Value[bool] {
 		return zen.EqC(l, last)
-	}, zen.WithBackend(be), zen.WithListBound(routemap.Depth), zen.WithContext(sweepCtx)); !ok {
+	}, sweepOpts(zen.WithBackend(be), zen.WithListBound(routemap.Depth))...); !ok {
 		panic("catch-all last clause must be reachable")
 	}
 }

@@ -59,12 +59,33 @@ const exitCancelled = 3
 // via zen.WithContext.
 var rootCtx = context.Background()
 
+// traceTracer captures every analysis as a span tree when -trace-out is
+// set; finish writes the Chrome trace-event file on any exit path.
+var (
+	traceTracer *obs.TreeTracer
+	traceOut    string
+)
+
+// analysisOpts appends the process-wide options — the root context and,
+// with -trace-out, the span tracer — to an analysis's own.
+func analysisOpts(opts ...zen.Option) []zen.Option {
+	opts = append(opts, zen.WithContext(rootCtx))
+	if traceTracer != nil {
+		opts = append(opts, zen.WithTracer(traceTracer))
+	}
+	return opts
+}
+
 func main() {
 	cfgPath := flag.String("config", "", "network JSON file")
 	flag.BoolVar(&showStats, "stats", false, "print solver telemetry after the analysis")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/zenstats, expvar and pprof on this address (e.g. localhost:6060)")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this long (exit code 3)")
+	flag.StringVar(&traceOut, "trace-out", "", "write a Chrome trace-event JSON of all analyses (open in Perfetto)")
 	flag.Parse()
+	if traceOut != "" {
+		traceTracer = obs.NewTreeTracer()
+	}
 	if *cfgPath == "" || flag.NArg() < 1 {
 		fail("usage: zennet -config net.json <reach|isolated|hsa|acl-lines> [args]")
 	}
@@ -137,16 +158,39 @@ func main() {
 	finish(0)
 }
 
-// finish prints the telemetry report when -stats is set and drains the
-// debug server, then exits.
+// finish prints the telemetry report when -stats is set, writes the
+// -trace-out file, and drains the debug server, then exits.
 func finish(code int) {
 	if showStats {
 		fmt.Fprint(os.Stderr, zen.GlobalStats().String())
+	}
+	if traceTracer != nil {
+		if err := writeTraceFile(traceOut, traceTracer); err != nil {
+			fmt.Fprintf(os.Stderr, "zennet: trace: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "zennet: trace written to %s (load in Perfetto or chrome://tracing)\n", traceOut)
+		}
 	}
 	if debugShutdown != nil {
 		debugShutdown(drainTimeout)
 	}
 	os.Exit(code)
+}
+
+// writeTraceFile dumps a tracer's span trees as Chrome trace-event JSON.
+func writeTraceFile(path string, tr *obs.TreeTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdReach(net *Network, args []string, wantIsolated bool) {
@@ -178,7 +222,7 @@ func cmdReach(net *Network, args []string, wantIsolated bool) {
 	// Reachable defaults to the SAT backend when no options are given;
 	// keep that choice explicit now that the context option is threaded.
 	w, found := anteater.Reachable(in, d, *hops, pred,
-		zen.WithBackend(zen.SAT), zen.WithContext(rootCtx))
+		analysisOpts(zen.WithBackend(zen.SAT))...)
 	if wantIsolated {
 		if found {
 			fmt.Printf("NOT ISOLATED: %s reaches %s\n", *from, *to)
@@ -218,7 +262,7 @@ func cmdHSA(net *Network, args []string) {
 	if err != nil {
 		fail("zennet: %v", err)
 	}
-	w := zen.NewWorld(zen.WithContext(rootCtx))
+	w := zen.NewWorld(analysisOpts()...)
 	a := hsa.New(w, devicesOf(net)...)
 	set := zen.SetOf(w, func(p zen.Value[pkt.Packet]) zen.Value[bool] {
 		return zen.Eq(pkt.Underlay(p), zen.None[pkt.Header]())
@@ -306,7 +350,7 @@ func cmdBGP(cfgPath, cmd string, args []string) {
 		// keep that choice explicit now that the context option is threaded.
 		res := minesweeper.Check(n, minesweeper.Query{
 			MaxFailures: *k, Property: minesweeper.Reachable(r),
-		}, zen.WithBackend(zen.SAT), zen.WithContext(rootCtx))
+		}, analysisOpts(zen.WithBackend(zen.SAT))...)
 		if !res.Found {
 			fmt.Printf("%s stays reachable under any %d session failures\n", r.Name, *k)
 			return

@@ -1,0 +1,263 @@
+// Package benchsuite is the perf-trajectory harness behind cmd/zenbench:
+// a pinned suite of solver and service-path benchmarks, a calibrating
+// runner (testing.B-style: grow the iteration count until a time budget
+// is filled), JSON result files numbered BENCH_0001.json, BENCH_0002.json,
+// ... committed to the repo, and a differ that compares a fresh run
+// against the latest prior file and flags regressions past a threshold.
+// Each PR appends one file, so the repo's history carries the performance
+// trajectory alongside the code.
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Case is one pinned benchmark of the suite.
+type Case struct {
+	// Name identifies the case across runs ("acl-find/bdd/4000"); renaming
+	// a case breaks its trajectory, so names are append-only.
+	Name string
+	// Make builds the benchmark instance. Workload construction (random
+	// ACL generation, server startup) happens here, untimed.
+	Make func() (*Instance, error)
+}
+
+// Instance is a built benchmark ready to iterate.
+type Instance struct {
+	// Iter runs one timed operation.
+	Iter func()
+	// Metrics reports custom per-run metrics after n iterations (bdd
+	// nodes per op, cache hit rate, ...); nil for none.
+	Metrics func(n int) map[string]float64
+	// Close releases resources; nil for none.
+	Close func()
+}
+
+// Result is one case's measurement.
+type Result struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is one suite run, serialized as BENCH_<n>.json.
+type File struct {
+	Schema      int      `json:"schema"`
+	CreatedUnix int64    `json:"created_unix"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	BudgetMS    int64    `json:"budget_ms"`
+	Results     []Result `json:"results"`
+}
+
+// Schema is the current File schema version.
+const Schema = 1
+
+// RunCase measures one case: a warmup iteration, then rounds of
+// iterations growing until the time budget is spent. The growth predicts
+// the remaining-iteration count from the observed per-op time (bounded
+// to 10x per round), so cheap cases converge in a few rounds and
+// expensive cases never overshoot the budget by more than one op.
+func RunCase(c Case, budget time.Duration) (Result, error) {
+	inst, err := c.Make()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: make: %w", c.Name, err)
+	}
+	if inst.Close != nil {
+		defer inst.Close()
+	}
+	// Collect garbage left by construction and by earlier cases, so a
+	// cheap case measured after a heap-heavy one isn't taxed with its
+	// predecessor's GC debt (testing.B does the same before timing).
+	runtime.GC()
+	inst.Iter() // warmup, untimed
+
+	n := 0
+	var elapsed time.Duration
+	round := 1
+	for {
+		start := time.Now()
+		for i := 0; i < round; i++ {
+			inst.Iter()
+		}
+		elapsed += time.Since(start)
+		n += round
+		if elapsed >= budget {
+			break
+		}
+		perOp := elapsed / time.Duration(n)
+		if perOp <= 0 {
+			perOp = time.Nanosecond
+		}
+		next := int((budget-elapsed)/perOp) + 1
+		if next > 10*round {
+			next = 10 * round
+		}
+		round = next
+	}
+	r := Result{Name: c.Name, N: n, NsPerOp: float64(elapsed.Nanoseconds()) / float64(n)}
+	if inst.Metrics != nil {
+		r.Metrics = inst.Metrics(n)
+	}
+	return r, nil
+}
+
+// RunSuite measures every case and assembles the File.
+func RunSuite(cases []Case, budget time.Duration, progress func(Result)) (*File, error) {
+	f := &File{
+		Schema:      Schema,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BudgetMS:    budget.Milliseconds(),
+	}
+	for _, c := range cases {
+		r, err := RunCase(c, budget)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(r)
+		}
+		f.Results = append(f.Results, r)
+	}
+	return f, nil
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Latest returns the highest-numbered BENCH_<n>.json in dir, its number,
+// and its parsed contents. ok is false when dir holds none.
+func Latest(dir string) (path string, num int, f *File, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", 0, nil, false, nil
+		}
+		return "", 0, nil, false, err
+	}
+	best := -1
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n > best {
+			best, path = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if best < 0 {
+		return "", 0, nil, false, nil
+	}
+	f, err = ReadFile(path)
+	if err != nil {
+		return "", 0, nil, false, err
+	}
+	return path, best, f, true, nil
+}
+
+// PathFor returns dir/BENCH_<n>.json with zero-padded numbering.
+func PathFor(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", n))
+}
+
+// ReadFile parses one result file.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// WriteFile serializes a result file (indented: these are committed and
+// diffed by humans).
+func WriteFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta compares one case between two runs.
+type Delta struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	Pct     float64 // (new-old)/old, in percent; regression when positive
+	OldOnly bool    // case vanished from the suite
+	NewOnly bool    // case added to the suite
+}
+
+// Diff aligns two runs by case name, sorted by name. New and vanished
+// cases appear with the corresponding flag (informational; they cannot
+// regress).
+func Diff(old, cur *File) []Delta {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	var out []Delta
+	seen := make(map[string]bool)
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		o, ok := oldBy[r.Name]
+		if !ok {
+			out = append(out, Delta{Name: r.Name, NewNs: r.NsPerOp, NewOnly: true})
+			continue
+		}
+		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Pct = 100 * (r.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		out = append(out, d)
+	}
+	for _, r := range old.Results {
+		if !seen[r.Name] {
+			out = append(out, Delta{Name: r.Name, OldNs: r.NsPerOp, OldOnly: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Regressions filters deltas slower than threshold (a ratio: 0.25 allows
+// up to +25% before tripping). Benchmarks on shared machines jitter, so
+// the threshold is deliberately generous; sustained drift still
+// accumulates visibly in the committed trajectory.
+func Regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if !d.OldOnly && !d.NewOnly && d.Pct > 100*threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDelta renders one diff line.
+func FormatDelta(d Delta) string {
+	switch {
+	case d.NewOnly:
+		return fmt.Sprintf("%-32s %12s -> %10.0f ns/op  (new case)", d.Name, "-", d.NewNs)
+	case d.OldOnly:
+		return fmt.Sprintf("%-32s %12.0f -> %10s ns/op  (case removed)", d.Name, d.OldNs, "-")
+	default:
+		return fmt.Sprintf("%-32s %12.0f -> %10.0f ns/op  %+7.1f%%", d.Name, d.OldNs, d.NewNs, d.Pct)
+	}
+}

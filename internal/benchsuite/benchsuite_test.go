@@ -1,0 +1,130 @@
+package benchsuite
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeCase counts iterations and simulates a fixed per-op cost.
+func fakeCase(name string, perOp time.Duration, iters *int) Case {
+	return Case{Name: name, Make: func() (*Instance, error) {
+		return &Instance{
+			Iter:    func() { *iters++; time.Sleep(perOp) },
+			Metrics: func(n int) map[string]float64 { return map[string]float64{"iters": float64(n)} },
+		}, nil
+	}}
+}
+
+func TestRunCaseCalibrates(t *testing.T) {
+	var iters int
+	r, err := RunCase(fakeCase("fake", 100*time.Microsecond, &iters), 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget fits ~200 ops; calibration must land well past one round
+	// of 1 but not wildly overshoot.
+	if r.N < 10 || r.N > 2000 {
+		t.Fatalf("N = %d, want calibrated into [10, 2000]", r.N)
+	}
+	if iters != r.N+1 {
+		t.Fatalf("iters = %d, want N+1 warmup (%d)", iters, r.N+1)
+	}
+	if r.NsPerOp < float64(50*time.Microsecond) {
+		t.Fatalf("ns/op = %g, implausibly below the simulated cost", r.NsPerOp)
+	}
+	if r.Metrics["iters"] != float64(r.N) {
+		t.Fatalf("metrics hook got n=%g, want %d", r.Metrics["iters"], r.N)
+	}
+}
+
+func TestFileRoundTripAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, ok, err := Latest(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	f1 := &File{Schema: Schema, Results: []Result{{Name: "a", N: 10, NsPerOp: 100}}}
+	f9 := &File{Schema: Schema, Results: []Result{{Name: "a", N: 10, NsPerOp: 120}}}
+	if err := WriteFile(PathFor(dir, 1), f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(PathFor(dir, 9), f9); err != nil {
+		t.Fatal(err)
+	}
+	path, num, got, ok, err := Latest(dir)
+	if err != nil || !ok {
+		t.Fatalf("Latest: ok=%v err=%v", ok, err)
+	}
+	if num != 9 || path != PathFor(dir, 9) {
+		t.Fatalf("latest = %s (#%d), want #9", path, num)
+	}
+	if got.Results[0].NsPerOp != 120 {
+		t.Fatalf("parsed ns/op = %g", got.Results[0].NsPerOp)
+	}
+}
+
+func TestDiffAndRegressions(t *testing.T) {
+	old := &File{Results: []Result{
+		{Name: "stable", NsPerOp: 1000},
+		{Name: "slower", NsPerOp: 1000},
+		{Name: "faster", NsPerOp: 1000},
+		{Name: "removed", NsPerOp: 1000},
+	}}
+	cur := &File{Results: []Result{
+		{Name: "stable", NsPerOp: 1050},
+		{Name: "slower", NsPerOp: 1600},
+		{Name: "faster", NsPerOp: 500},
+		{Name: "added", NsPerOp: 42},
+	}}
+	deltas := Diff(old, cur)
+	if len(deltas) != 5 {
+		t.Fatalf("deltas = %d, want 5", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if !byName["added"].NewOnly || !byName["removed"].OldOnly {
+		t.Fatalf("added/removed flags wrong: %+v %+v", byName["added"], byName["removed"])
+	}
+	if p := byName["slower"].Pct; p < 59 || p > 61 {
+		t.Fatalf("slower pct = %g, want ~60", p)
+	}
+
+	regs := Regressions(deltas, 0.25)
+	if len(regs) != 1 || regs[0].Name != "slower" {
+		t.Fatalf("regressions = %+v, want only slower", regs)
+	}
+	// A 10% threshold still must not flag improvements or new cases.
+	regs = Regressions(deltas, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("tight-threshold regressions = %+v", regs)
+	}
+	// At exactly 5%, "stable" (+5.0%) sits on the boundary: the gate is
+	// strict (>), so it stays clean.
+	regs = Regressions(deltas, 0.05)
+	if len(regs) != 1 {
+		t.Fatalf("boundary regressions = %+v, want only slower", regs)
+	}
+	// Just below the boundary it trips.
+	regs = Regressions(deltas, 0.04)
+	if len(regs) != 2 {
+		t.Fatalf("4%% regressions = %+v, want stable+slower", regs)
+	}
+}
+
+func TestRunSuiteCollects(t *testing.T) {
+	var a, b int
+	f, err := RunSuite([]Case{
+		fakeCase("a", time.Microsecond, &a),
+		fakeCase("b", time.Microsecond, &b),
+	}, 2*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 2 || f.Results[0].Name != "a" || f.Results[1].Name != "b" {
+		t.Fatalf("results = %+v", f.Results)
+	}
+	if f.Schema != Schema || f.GoVersion == "" || f.GOMAXPROCS == 0 {
+		t.Fatalf("file header = %+v", f)
+	}
+}

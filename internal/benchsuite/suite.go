@@ -1,0 +1,216 @@
+package benchsuite
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"zen-go/internal/figgen"
+	"zen-go/internal/serve"
+	"zen-go/nets/pkt"
+	"zen-go/nets/routemap"
+	"zen-go/zen"
+)
+
+// Cases returns the pinned suite. It mirrors the repo's evaluation
+// benchmarks (Figure 10 solver paths, the §8 execution ablation, and the
+// service path from bench_test.go) at fixed sizes, so the committed
+// BENCH files track one stable workload across PRs.
+//
+// Order is part of the pin: the service-path cases run first, before
+// the big Figure 10 workloads intern millions of nodes into the
+// process-global hash-cons table (zen's builder is global by design —
+// serve fingerprints key on that pointer identity). Running them on a
+// clean heap keeps serve/query-cold comparable to the standalone
+// BenchmarkServeQueryCold; reordering the suite would shift its numbers
+// without any code changing.
+func Cases() []Case {
+	return []Case{
+		{Name: "serve/query-cold", Make: serveColdCase},
+		{Name: "serve/query-cached", Make: serveCachedCase},
+		{Name: "serve/parallel-clients", Make: serveParallelCase},
+		{Name: "evaluate/interp/100", Make: func() (*Instance, error) { return evalCase(false) }},
+		{Name: "evaluate/compiled/100", Make: func() (*Instance, error) { return evalCase(true) }},
+		{Name: "routemap-find/bdd/60", Make: func() (*Instance, error) { return rmFindCase(zen.BDD, 60) }},
+		{Name: "routemap-find/sat/60", Make: func() (*Instance, error) { return rmFindCase(zen.SAT, 60) }},
+		{Name: "acl-find/bdd/4000", Make: func() (*Instance, error) { return aclFindCase(zen.BDD, 4000) }},
+		{Name: "acl-find/sat/4000", Make: func() (*Instance, error) { return aclFindCase(zen.SAT, 4000) }},
+	}
+}
+
+// backendMetrics converts harvested solver telemetry into per-op custom
+// metrics, matching the names bench_test.go reports.
+func backendMetrics(st *zen.Stats) func(n int) map[string]float64 {
+	return func(n int) map[string]float64 {
+		s := st.Snapshot()
+		out := map[string]float64{}
+		if s.BDD.Nodes > 0 {
+			out["bdd-nodes/op"] = float64(s.BDD.Nodes) / float64(n)
+			out["bdd-cache-hit-%"] = 100 * s.BDD.CacheHitRate()
+		}
+		if s.SAT.Clauses > 0 {
+			out["sat-clauses/op"] = float64(s.SAT.Clauses) / float64(n)
+			out["sat-conflicts/op"] = float64(s.SAT.Conflicts) / float64(n)
+			out["sat-props/op"] = float64(s.SAT.Propagations) / float64(n)
+		}
+		return out
+	}
+}
+
+// aclFindCase is Figure 10 (left) at one pinned size: find a packet
+// matching the last line of a random 4000-line ACL.
+func aclFindCase(be zen.Backend, lines int) (*Instance, error) {
+	rng := rand.New(rand.NewSource(42))
+	a := figgen.ACL(rng, lines)
+	last := uint16(len(a.Rules) - 1)
+	st := &zen.Stats{}
+	return &Instance{
+		Iter: func() {
+			fn := zen.Func(a.MatchLine)
+			if _, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
+				return zen.EqC(l, last)
+			}, zen.WithBackend(be), zen.WithStats(st)); !ok {
+				panic("catch-all line unreachable")
+			}
+		},
+		Metrics: backendMetrics(st),
+	}, nil
+}
+
+// rmFindCase is Figure 10 (right) at one pinned size.
+func rmFindCase(be zen.Backend, clauses int) (*Instance, error) {
+	rng := rand.New(rand.NewSource(42))
+	rm := figgen.RouteMap(rng, clauses)
+	last := uint16(len(rm.Clauses) - 1)
+	st := &zen.Stats{}
+	return &Instance{
+		Iter: func() {
+			fn := zen.Func(rm.MatchClause)
+			if _, ok := fn.Find(func(_ zen.Value[routemap.Route], l zen.Value[uint16]) zen.Value[bool] {
+				return zen.EqC(l, last)
+			}, zen.WithBackend(be), zen.WithListBound(routemap.Depth), zen.WithStats(st)); !ok {
+				panic("catch-all clause unreachable")
+			}
+		},
+		Metrics: backendMetrics(st),
+	}, nil
+}
+
+// evalCase is the §8 execution ablation: run a 100-line ACL model on
+// concrete packets, interpreted vs compiled.
+func evalCase(compiled bool) (*Instance, error) {
+	rng := rand.New(rand.NewSource(7))
+	a := figgen.ACL(rng, 100)
+	fn := zen.Func(a.MatchLine)
+	pkts := make([]pkt.Header, 256)
+	for i := range pkts {
+		pkts[i] = pkt.Header{
+			DstIP:    rng.Uint32(),
+			SrcIP:    rng.Uint32(),
+			DstPort:  uint16(rng.Intn(65536)),
+			SrcPort:  uint16(rng.Intn(65536)),
+			Protocol: uint8(rng.Intn(256)),
+		}
+	}
+	i := 0
+	if compiled {
+		run := fn.Compile()
+		return &Instance{Iter: func() { run(pkts[i%len(pkts)]); i++ }}, nil
+	}
+	return &Instance{Iter: func() { fn.Evaluate(pkts[i%len(pkts)]); i++ }}, nil
+}
+
+func serveFindReq(v uint64) *serve.Request {
+	return &serve.Request{
+		Model: "demo/add8",
+		Kind:  "find",
+		Predicate: json.RawMessage(fmt.Sprintf(
+			`{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":%d}}}`, v)),
+	}
+}
+
+// serveMetrics surfaces the service's cache effectiveness.
+func serveMetrics(s *serve.Server) func(n int) map[string]float64 {
+	return func(n int) map[string]float64 {
+		st := s.Stats()
+		return map[string]float64{"cache-hit-%": 100 * st.CacheHitRate}
+	}
+}
+
+// serveColdCase measures the full service path with caching disabled:
+// predicate compile, fingerprint, pool dispatch, solve, decode. This is
+// also the "tracing is free when unobserved" sentinel: the request is
+// untraced, so its ns/op must not move when observability code changes.
+func serveColdCase() (*Instance, error) {
+	s := serve.New(serve.Config{Workers: 1, Queue: 1 << 16, CacheSize: -1})
+	ctx := context.Background()
+	req := serveFindReq(7)
+	return &Instance{
+		Iter: func() {
+			if res := s.Do(ctx, req); res.Status != "sat" || res.Cached {
+				panic(fmt.Sprintf("cold query: %q cached=%v (%s)", res.Status, res.Cached, res.Error))
+			}
+		},
+		Metrics: serveMetrics(s),
+		Close:   func() { s.Shutdown(context.Background()) },
+	}, nil
+}
+
+// serveCachedCase measures a repeated identical query: an LRU hit with
+// zero solver work.
+func serveCachedCase() (*Instance, error) {
+	s := serve.New(serve.Config{Workers: 1, Queue: 1 << 16})
+	ctx := context.Background()
+	req := serveFindReq(7)
+	if res := s.Do(ctx, req); res.Status != "sat" {
+		return nil, fmt.Errorf("prime query: %q (%s)", res.Status, res.Error)
+	}
+	return &Instance{
+		Iter: func() {
+			if res := s.Do(ctx, req); !res.Cached {
+				panic("expected a cache hit")
+			}
+		},
+		Metrics: serveMetrics(s),
+		Close:   func() { s.Shutdown(context.Background()) },
+	}, nil
+}
+
+// serveParallelCase measures a warm working set under client
+// concurrency: one op is 64 queries issued by 8 goroutines, so it
+// exercises cache lookup, histogram, and counter contention rather than
+// the solver.
+func serveParallelCase() (*Instance, error) {
+	s := serve.New(serve.Config{Workers: 4, Queue: 1 << 16})
+	ctx := context.Background()
+	reqs := make([]*serve.Request, 16)
+	for i := range reqs {
+		reqs[i] = serveFindReq(uint64(i))
+		if res := s.Do(ctx, reqs[i]); res.Status != "sat" {
+			return nil, fmt.Errorf("warmup %d: %q (%s)", i, res.Status, res.Error)
+		}
+	}
+	const clients = 8
+	const perClient = 8
+	return &Instance{
+		Iter: func() {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						if res := s.Do(ctx, reqs[(c*perClient+i)%len(reqs)]); res.Status != "sat" {
+							panic(fmt.Sprintf("parallel query: %q (%s)", res.Status, res.Error))
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		},
+		Metrics: serveMetrics(s),
+		Close:   func() { s.Shutdown(context.Background()) },
+	}, nil
+}

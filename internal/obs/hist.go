@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-boundary latency histogram with lock-free
+// observation: one atomic counter per bucket plus an atomic sum/count
+// pair. It replaces the sampled p50/p99 latency ring of the service
+// layer — histograms merge across goroutines and processes, export
+// directly as Prometheus bucket series, and answer any quantile (with
+// bucket-interpolation accuracy) instead of two fixed ones.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending; +Inf implicit
+	counts []atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+// DefaultLatencyBounds spans 100µs to 30s exponentially — wide enough
+// for a cache hit on the left and a deadline-bounded solve on the right.
+func DefaultLatencyBounds() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). A final +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	// Linear scan: the bounds list is short and the early buckets are the
+	// hot ones; a binary search costs more in branch misses than it saves.
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Merge adds another histogram's counts into h. The two must share
+// boundaries (merging histograms with different buckets is a modeling
+// error, so it panics). Safe under concurrent Observe on either side.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic("obs: Histogram.Merge: boundary mismatch")
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sumNS.Add(o.sumNS.Load())
+	h.count.Add(o.count.Load())
+}
+
+// HistogramSnapshot is a plain copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds (no +Inf entry).
+	Bounds []float64
+	// Counts are per-bucket (non-cumulative) counts; len(Bounds)+1, the
+	// last being the +Inf bucket.
+	Counts []int64
+	// SumSeconds and Count aggregate all observations.
+	SumSeconds float64
+	Count      int64
+}
+
+// Snapshot copies the histogram's counters. Concurrent observations may
+// land between bucket reads; each bucket is individually exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.SumSeconds = float64(h.sumNS.Load()) / 1e9
+	s.Count = h.count.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation within the bucket holding the target rank; observations
+// in the +Inf bucket clamp to the largest finite bound. Returns 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile is the snapshot form of Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// HistogramVec is a set of histograms keyed by label values (e.g. model,
+// backend, verdict), sharing one boundary layout — the Prometheus
+// histogram-vector shape. Lookups take a read lock; observation on the
+// returned histogram is lock-free.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+
+	mu sync.RWMutex
+	m  map[string]*vecEntry
+}
+
+type vecEntry struct {
+	values []string
+	h      *Histogram
+}
+
+// NewHistogramVec builds a histogram vector with the given label names
+// and bucket bounds.
+func NewHistogramVec(bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{
+		labels: append([]string(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		m:      make(map[string]*vecEntry),
+	}
+}
+
+// Labels returns the label names.
+func (v *HistogramVec) Labels() []string { return v.labels }
+
+// With returns the histogram for the given label values, creating it on
+// first use. len(values) must equal len(labels).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic("obs: HistogramVec.With: label arity mismatch")
+	}
+	key := strings.Join(values, "\x1f")
+	v.mu.RLock()
+	e, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return e.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e, ok := v.m[key]; ok {
+		return e.h
+	}
+	e = &vecEntry{values: append([]string(nil), values...), h: NewHistogram(v.bounds)}
+	v.m[key] = e
+	return e.h
+}
+
+// VecSeries is one labeled histogram snapshot of a HistogramVec.
+type VecSeries struct {
+	Values []string
+	Hist   HistogramSnapshot
+}
+
+// Snapshot copies every labeled histogram, sorted by label values for
+// stable exposition output.
+func (v *HistogramVec) Snapshot() []VecSeries {
+	v.mu.RLock()
+	entries := make([]*vecEntry, 0, len(v.m))
+	for _, e := range v.m {
+		entries = append(entries, e)
+	}
+	v.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		return strings.Join(entries[i].values, "\x1f") < strings.Join(entries[j].values, "\x1f")
+	})
+	out := make([]VecSeries, len(entries))
+	for i, e := range entries {
+		out[i] = VecSeries{Values: e.values, Hist: e.h.Snapshot()}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // <= 0.001
+	h.Observe(1 * time.Millisecond)   // boundary lands in its bucket (le semantics)
+	h.Observe(5 * time.Millisecond)   // <= 0.01
+	h.Observe(50 * time.Millisecond)  // <= 0.1
+	h.Observe(2 * time.Second)        // +Inf
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 0.05 + 2
+	if math.Abs(s.SumSeconds-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.SumSeconds, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	// p50 interpolates within the first bucket [0, 0.001].
+	if q := h.Quantile(0.5); q <= 0 || q > 0.001 {
+		t.Fatalf("p50 = %g, want in (0, 0.001]", q)
+	}
+	// p99 lands in the (0.01, 0.1] bucket.
+	if q := h.Quantile(0.99); q <= 0.01 || q > 0.1 {
+		t.Fatalf("p99 = %g, want in (0.01, 0.1]", q)
+	}
+	// Empty histogram answers 0.
+	if q := NewHistogram(DefaultLatencyBounds()).Quantile(0.5); q != 0 {
+		t.Fatalf("empty p50 = %g, want 0", q)
+	}
+	// Observations beyond the last bound clamp to it.
+	over := NewHistogram([]float64{0.001})
+	over.Observe(time.Minute)
+	if q := over.Quantile(0.99); q != 0.001 {
+		t.Fatalf("overflow p99 = %g, want clamp to 0.001", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{0.001, 0.01})
+	b := NewHistogram([]float64{0.001, 0.01})
+	a.Observe(500 * time.Microsecond)
+	b.Observe(5 * time.Millisecond)
+	b.Observe(time.Second)
+	a.Merge(b)
+	s := a.Snapshot()
+	if s.Count != 3 || s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("merged = %+v", s)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("boundary-mismatch merge did not panic")
+		}
+	}()
+	a.Merge(NewHistogram([]float64{1, 2, 3}))
+}
+
+// TestHistogramMergeUnderContention merges while both sides observe from
+// many goroutines — the satellite race test. Totals must be exact: no
+// observation is lost or double-counted by a concurrent merge.
+func TestHistogramMergeUnderContention(t *testing.T) {
+	bounds := DefaultLatencyBounds()
+	dst := NewHistogram(bounds)
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := NewHistogram(bounds)
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					dst.Observe(time.Duration(i%7+1) * time.Millisecond)
+				} else {
+					src.Observe(time.Duration(i%5+1) * 100 * time.Microsecond)
+				}
+			}
+			dst.Merge(src)
+		}(w)
+	}
+	// Concurrent readers exercise Snapshot/Quantile against the races.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = dst.Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := dst.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != workers*per {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec(DefaultLatencyBounds(), "model", "backend", "verdict")
+	v.With("acl", "bdd", "sat").Observe(time.Millisecond)
+	v.With("acl", "bdd", "sat").Observe(2 * time.Millisecond)
+	v.With("acl", "sat", "unsat").Observe(time.Millisecond)
+	v.With("rm", "bdd", "sat").Observe(time.Millisecond)
+
+	series := v.Snapshot()
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	// Sorted by label values: acl/bdd/sat, acl/sat/unsat, rm/bdd/sat.
+	if series[0].Values[0] != "acl" || series[0].Values[1] != "bdd" {
+		t.Fatalf("series order: %+v", series)
+	}
+	if series[0].Hist.Count != 2 || series[1].Hist.Count != 1 || series[2].Hist.Count != 1 {
+		t.Fatalf("series counts: %d %d %d", series[0].Hist.Count, series[1].Hist.Count, series[2].Hist.Count)
+	}
+}
+
+// TestHistogramVecConcurrentWith races find-or-create against itself: all
+// goroutines must land on the same histogram per label set.
+func TestHistogramVecConcurrentWith(t *testing.T) {
+	v := NewHistogramVec(DefaultLatencyBounds(), "model")
+	const workers = 16
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < per; i++ {
+				v.With(model).Observe(time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range v.Snapshot() {
+		total += s.Hist.Count
+	}
+	if total != workers*per {
+		t.Fatalf("total = %d, want %d", total, workers*per)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a zero-dependency Prometheus text-exposition writer: the
+// Global telemetry aggregate (and the service layer's histograms and
+// gauges) render as `# HELP`/`# TYPE`-annotated families that any
+// Prometheus scraper ingests directly. promlint.go holds the matching
+// validator used by tests and the check.sh metrics-lint gate.
+
+// MetricsWriter accumulates Prometheus text-format families. Families
+// must be written one at a time (Family then its Samples); the writer
+// guards against duplicate family names.
+type MetricsWriter struct {
+	w      io.Writer
+	err    error
+	opened map[string]bool
+	cur    string
+}
+
+// NewMetricsWriter wraps w.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	return &MetricsWriter{w: w, opened: make(map[string]bool)}
+}
+
+// Err returns the first write error.
+func (m *MetricsWriter) Err() error { return m.err }
+
+// Family begins a metric family: one HELP and one TYPE line. typ is
+// "counter", "gauge", or "histogram".
+func (m *MetricsWriter) Family(name, typ, help string) {
+	if m.err != nil {
+		return
+	}
+	if m.opened[name] {
+		m.err = fmt.Errorf("obs: duplicate metric family %q", name)
+		return
+	}
+	m.opened[name] = true
+	m.cur = name
+	m.printf("# HELP %s %s\n", name, help)
+	m.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one sample of the current family. labels are
+// name/value pairs; suffix extends the family name (histograms use
+// "_bucket", "_sum", "_count").
+func (m *MetricsWriter) Sample(suffix string, labels [][2]string, v float64) {
+	if m.err != nil {
+		return
+	}
+	name := m.cur + suffix
+	if len(labels) == 0 {
+		m.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = kv[0] + `="` + escapeLabel(kv[1]) + `"`
+	}
+	m.printf("%s{%s} %s\n", name, strings.Join(parts, ","), formatValue(v))
+}
+
+// Histogram writes a full histogram exposition (cumulative buckets with
+// le labels, _sum, _count) for one label set of the current family.
+func (m *MetricsWriter) Histogram(labels [][2]string, s HistogramSnapshot) {
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		m.Sample("_bucket", append(append([][2]string(nil), labels...), [2]string{"le", le}), float64(cum))
+	}
+	m.Sample("_sum", labels, s.SumSeconds)
+	m.Sample("_count", labels, float64(cum))
+}
+
+func (m *MetricsWriter) printf(format string, args ...any) {
+	if m.err == nil {
+		_, m.err = fmt.Fprintf(m.w, format, args...)
+	}
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteSnapshotMetrics renders a telemetry snapshot (typically the
+// Global aggregate) as Prometheus families under the zen_ prefix. The
+// serve section is omitted: the live server exposes its own counters
+// and histograms (internal/serve), and double-reporting the same totals
+// under two names would make every dashboard ambiguous.
+func WriteSnapshotMetrics(m *MetricsWriter, s Snapshot) {
+	m.Family("zen_analyses_total", "counter", "Completed analyses (Find, Verify, FindAll, Evaluate, ...).")
+	m.Sample("", nil, float64(s.Analyses))
+
+	m.Family("zen_analyses_by_backend_total", "counter", "Completed analyses by solver backend.")
+	backends := make([]string, 0, len(s.AnalysesBy))
+	for k := range s.AnalysesBy {
+		backends = append(backends, k)
+	}
+	sort.Strings(backends)
+	for _, k := range backends {
+		m.Sample("", [][2]string{{"backend", k}}, float64(s.AnalysesBy[k]))
+	}
+
+	m.Family("zen_solves_total", "counter", "Solver invocations (FindAll re-solves count individually).")
+	m.Sample("", nil, float64(s.Solves))
+	m.Family("zen_solves_sat_total", "counter", "Solver invocations that returned a model.")
+	m.Sample("", nil, float64(s.Sat))
+
+	m.Family("zen_phase_seconds_total", "counter", "Accumulated wall time per analysis phase.")
+	for _, p := range sortedPhases(s.Phases) {
+		m.Sample("", [][2]string{{"phase", p.Name}}, p.Total.Seconds())
+	}
+	m.Family("zen_phase_count_total", "counter", "Occurrences per analysis phase.")
+	for _, p := range sortedPhases(s.Phases) {
+		m.Sample("", [][2]string{{"phase", p.Name}}, float64(p.Count))
+	}
+
+	m.Family("zen_dag_nodes_max", "gauge", "Expression-DAG nodes of the largest analyzed model.")
+	m.Sample("", nil, float64(s.DAG.Nodes))
+
+	m.Family("zen_bdd_nodes_total", "counter", "Allocated nonterminal BDD nodes.")
+	m.Sample("", nil, float64(s.BDD.Nodes))
+	m.Family("zen_bdd_cache_hits_total", "counter", "BDD operation-cache hits.")
+	m.Sample("", nil, float64(s.BDD.CacheHits))
+	m.Family("zen_bdd_cache_misses_total", "counter", "BDD operation-cache misses.")
+	m.Sample("", nil, float64(s.BDD.CacheMisses))
+	m.Family("zen_bdd_unique_hits_total", "counter", "BDD unique-table hits.")
+	m.Sample("", nil, float64(s.BDD.UniqueHits))
+
+	m.Family("zen_sat_clauses_total", "counter", "CNF clauses added across SAT solves.")
+	m.Sample("", nil, float64(s.SAT.Clauses))
+	m.Family("zen_sat_learned_total", "counter", "Learned clauses across SAT solves.")
+	m.Sample("", nil, float64(s.SAT.Learned))
+	m.Family("zen_sat_decisions_total", "counter", "CDCL decisions across SAT solves.")
+	m.Sample("", nil, float64(s.SAT.Decisions))
+	m.Family("zen_sat_propagations_total", "counter", "Unit propagations across SAT solves.")
+	m.Sample("", nil, float64(s.SAT.Propagations))
+	m.Family("zen_sat_conflicts_total", "counter", "Conflicts across SAT solves.")
+	m.Sample("", nil, float64(s.SAT.Conflicts))
+	m.Family("zen_sat_restarts_total", "counter", "Restarts across SAT solves.")
+	m.Sample("", nil, float64(s.SAT.Restarts))
+
+	m.Family("zen_compiles_total", "counter", "Model compilations.")
+	m.Sample("", nil, float64(s.Compile.Compiles))
+	m.Family("zen_compile_instructions_total", "counter", "Instructions emitted by model compilation.")
+	m.Sample("", nil, float64(s.Compile.Instructions))
+
+	m.Family("zen_stateset_transformers_total", "counter", "State-set transformers built.")
+	m.Sample("", nil, float64(s.StateSet.Transformers))
+	m.Family("zen_stateset_forwards_total", "counter", "State-set forward applications.")
+	m.Sample("", nil, float64(s.StateSet.Forwards))
+	m.Family("zen_stateset_reverses_total", "counter", "State-set reverse applications.")
+	m.Sample("", nil, float64(s.StateSet.Reverses))
+
+	m.Family("zen_fuzz_execs_total", "counter", "Differential-fuzzing oracle executions.")
+	m.Sample("", nil, float64(s.Fuzz.Execs))
+	m.Family("zen_fuzz_divergences_total", "counter", "Differential-fuzzing divergences.")
+	m.Sample("", nil, float64(s.Fuzz.Divergences))
+
+	m.Family("zen_lint_models_total", "counter", "Models analyzed by zenlint.")
+	m.Sample("", nil, float64(s.Lint.Models))
+	m.Family("zen_lint_findings_total", "counter", "zenlint findings after suppression.")
+	m.Sample("", nil, float64(s.Lint.Findings))
+}
+
+func sortedPhases(ps []PhaseTiming) []PhaseTiming {
+	out := append([]PhaseTiming(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintMetrics validates a Prometheus text-exposition document: metric
+// and label names, HELP/TYPE placement, duplicate series, and histogram
+// shape (le-sorted cumulative buckets, a +Inf bucket, matching _sum and
+// _count). It is the gate behind `zend -check-metrics` and the metrics
+// tests — a scrape endpoint that drifts out of the format silently
+// breaks every dashboard downstream, so the format is enforced in CI.
+func LintMetrics(r io.Reader) error {
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	)
+	types := make(map[string]string) // family -> TYPE
+	helped := make(map[string]bool)  // family -> HELP seen
+	seen := make(map[string]bool)    // exact series -> dup check
+	sampled := make(map[string]bool) // family -> sample seen (TYPE must precede)
+	buckets := make(map[string][]bucketSample)
+	sums := make(map[string]float64)
+	counts := make(map[string]float64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricName.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if helped[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				typ := ""
+				if len(fields) >= 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: bad TYPE %q for %q", lineNo, typ, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !metricName.MatchString(name) {
+			return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		for _, kv := range labels {
+			if !labelName.MatchString(kv[0]) {
+				return fmt.Errorf("line %d: bad label name %q", lineNo, kv[0])
+			}
+		}
+		series := name + "|" + canonicalLabels(labels)
+		if seen[series] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+
+		family := familyOf(name, types)
+		sampled[family] = true
+		if types[family] == "" {
+			return fmt.Errorf("line %d: sample %q without a TYPE line", lineNo, name)
+		}
+		if types[family] == "histogram" {
+			rest, le := splitLabel(labels, "le")
+			key := family + "|" + canonicalLabels(rest)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				f, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				buckets[key] = append(buckets[key], bucketSample{le: f, cum: value})
+			case strings.HasSuffix(name, "_sum"):
+				sums[key] = value
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Histogram shape checks per label set.
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, +1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].cum < bs[i-1].cum {
+				return fmt.Errorf("histogram %s: buckets not cumulative at le=%g", key, bs[i].le)
+			}
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			return fmt.Errorf("histogram %s: missing _count", key)
+		}
+		if _, ok := sums[key]; !ok {
+			return fmt.Errorf("histogram %s: missing _sum", key)
+		}
+		if cnt != last.cum {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", key, cnt, last.cum)
+		}
+	}
+	return nil
+}
+
+type bucketSample struct {
+	le  float64
+	cum float64
+}
+
+// familyOf strips histogram sample suffixes when the base family has a
+// TYPE line.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexAny(rest, " \t")
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t,")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("bad label syntax in %q", line)
+			}
+			lname := rest[:eq]
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, tail, perr := parseQuoted(rest)
+			if perr != nil {
+				return "", nil, 0, perr
+			}
+			labels = append(labels, [2]string{lname, val})
+			rest = tail
+		}
+	} else {
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("bad sample line %q", line)
+	}
+	value, err = parseLE(fields[0]) // same float syntax, +Inf/NaN allowed
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseQuoted(s string) (val, rest string, err error) {
+	// s starts with the opening quote.
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("unterminated escape in %q", s)
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value in %q", s)
+}
+
+func parseLE(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func splitLabel(labels [][2]string, name string) (rest [][2]string, value string) {
+	for _, kv := range labels {
+		if kv[0] == name {
+			value = kv[1]
+			continue
+		}
+		rest = append(rest, kv)
+	}
+	return rest, value
+}
+
+func canonicalLabels(labels [][2]string) string {
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = kv[0] + "=" + kv[1]
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -38,18 +38,32 @@ var noop = func() {}
 
 // Phase starts timing the named phase and returns the function that stops
 // it. Phases may recur within one analysis (e.g. one solve per model in
-// FindAll); their durations and counts accumulate.
+// FindAll); their durations and counts accumulate. With a tracer attached
+// each phase occurrence is a child span of the analysis span, so a
+// TreeTracer sees the real nesting (find/bdd > symeval, solve, decode).
 func (r *Rec) Phase(name string) func() {
 	if r == nil {
 		return noop
+	}
+	var child Span
+	if r.span != nil {
+		child = r.span.Child(name)
 	}
 	start := time.Now()
 	return func() {
 		d := time.Since(start)
 		r.s.addPhase(name, d, 1)
-		if r.span != nil {
-			r.span.Event(name, d)
+		if child != nil {
+			child.End()
 		}
+	}
+}
+
+// SetAttr attaches an attribute to the analysis span (a no-op without a
+// tracer).
+func (r *Rec) SetAttr(key string, value any) {
+	if r != nil && r.span != nil {
+		r.span.SetAttr(key, value)
 	}
 }
 
@@ -144,12 +158,29 @@ func (r *Rec) AddLint(d LintStats) {
 }
 
 // End closes the span and merges the record into the attached Stats and
-// the Global aggregate. End must be called exactly once.
+// the Global aggregate. End must be called exactly once. Before closing,
+// the harvested solver counters are attached to the span as attributes,
+// so a trace viewer shows what each analysis cost without a Stats.
 func (r *Rec) End() {
 	if r == nil {
 		return
 	}
 	if r.span != nil {
+		r.span.SetAttr("backend", r.backend)
+		if r.s.Solves > 0 {
+			r.span.SetAttr("solves", r.s.Solves)
+			r.span.SetAttr("sat", r.s.Sat)
+		}
+		if r.s.BDD.Nodes > 0 {
+			r.span.SetAttr("bdd_nodes", r.s.BDD.Nodes)
+		}
+		if r.s.SAT.Clauses > 0 {
+			r.span.SetAttr("sat_clauses", r.s.SAT.Clauses)
+			r.span.SetAttr("sat_conflicts", r.s.SAT.Conflicts)
+		}
+		if r.s.DAG.Nodes > 0 {
+			r.span.SetAttr("dag_nodes", r.s.DAG.Nodes)
+		}
 		r.span.End()
 		r.span = nil
 	}

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the span-tree tracer: the structured sibling of the flat
+// WriterTracer/CollectTracer sinks. A TreeTracer captures every analysis
+// as a real tree of timed spans — the request at the root, the analysis
+// ("find/bdd") below it, and the solver phases (symeval, solve, decode)
+// as leaves — each carrying attributes (model, backend, DAG fingerprint,
+// verdict, solver counters). Trees export to Chrome trace-event JSON
+// (chrome://tracing, Perfetto) via WriteChromeTrace, and serialize inline
+// as SpanNode for the service's "trace": true responses.
+//
+// Concurrency: spans are safe for concurrent use. Parallel queries open
+// parallel roots; concurrent children under one parent append under the
+// parent's lock, so a child can never land in the wrong parent. Snapshots
+// deep-copy under each span's lock, so a tree can be exported while late
+// spans (e.g. a coalesced execution outliving its cancelled leader) are
+// still completing.
+
+// SpanNode is the plain, copyable form of one span in a captured trace
+// tree: a name, a wall-clock interval, attributes, and child spans. It is
+// what the verification service inlines in traced query responses.
+type SpanNode struct {
+	// Name identifies the span ("query", "find/bdd", "solve", ...).
+	Name string `json:"name"`
+	// StartUnixNS is the span's start in Unix nanoseconds.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// DurNS is the span's duration in nanoseconds (0 for instant events
+	// and for spans still open when the tree was snapshotted).
+	DurNS int64 `json:"dur_ns"`
+	// Attrs carries span attributes (model, backend, verdict, counters).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Children are nested spans, in start order.
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// leafDurNS sums the durations of the node's leaf spans.
+func (n *SpanNode) leafDurNS() int64 {
+	if len(n.Children) == 0 {
+		return n.DurNS
+	}
+	var sum int64
+	for _, c := range n.Children {
+		sum += c.leafDurNS()
+	}
+	return sum
+}
+
+// Find returns the first span named name in a pre-order walk of the
+// subtree, or nil.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// TreeSpan is one live span of a TreeTracer tree. It implements Span;
+// Child opens a nested span, SetAttr attaches an attribute, and End
+// closes the interval. All methods are safe for concurrent use.
+type TreeSpan struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration // 0 until End
+	ended    bool
+	attrs    map[string]any
+	children []*TreeSpan
+}
+
+// Child opens a nested span under s. Children may be opened concurrently
+// (and even after s has ended — a late execution still records truthfully;
+// it is simply absent from snapshots taken earlier).
+func (s *TreeSpan) Child(name string) Span { return s.child(name) }
+
+func (s *TreeSpan) child(name string) *TreeSpan {
+	c := &TreeSpan{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches an attribute to the span.
+func (s *TreeSpan) SetAttr(key string, value any) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Event records an instant event as a zero-duration child span; args, if
+// given, land in the child's "args" attribute.
+func (s *TreeSpan) Event(name string, args ...any) {
+	c := &TreeSpan{name: name, start: time.Now(), ended: true}
+	if len(args) == 1 {
+		c.attrs = map[string]any{"args": args[0]}
+	} else if len(args) > 1 {
+		c.attrs = map[string]any{"args": args}
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End closes the span's interval. Safe to call once; later children and
+// attributes are still accepted (see Child).
+func (s *TreeSpan) End() {
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot deep-copies the span subtree into plain SpanNodes. It locks
+// each span only while copying it, so it is safe concurrently with
+// ongoing recording.
+func (s *TreeSpan) Snapshot() *SpanNode {
+	s.mu.Lock()
+	n := &SpanNode{
+		Name:        s.name,
+		StartUnixNS: s.start.UnixNano(),
+		DurNS:       int64(s.dur),
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	kids := append([]*TreeSpan(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		n.Children = append(n.Children, c.Snapshot())
+	}
+	return n
+}
+
+// TreeTracer captures analyses as nested span trees. It implements
+// Tracer, so it can be attached anywhere a flat tracer could (zen
+// WithTracer, fuzz campaigns, state-set worlds); each analysis becomes
+// one root. For request-scoped tracing, open an explicit root with
+// StartRoot and parent analysis spans under it with ChildTracer.
+type TreeTracer struct {
+	mu    sync.Mutex
+	roots []*TreeSpan
+}
+
+// NewTreeTracer returns an empty tree tracer.
+func NewTreeTracer() *TreeTracer { return &TreeTracer{} }
+
+// StartSpan implements Tracer: each analysis opens a new root span.
+func (t *TreeTracer) StartSpan(name string) Span { return t.StartRoot(name) }
+
+// StartRoot opens a new root span and returns its concrete type, for
+// callers that need SetAttr/Snapshot beyond the Span interface.
+func (t *TreeTracer) StartRoot(name string) *TreeSpan {
+	s := &TreeSpan{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots snapshots every root span tree captured so far, in start order.
+func (t *TreeTracer) Roots() []*SpanNode {
+	t.mu.Lock()
+	roots := append([]*TreeSpan(nil), t.roots...)
+	t.mu.Unlock()
+	out := make([]*SpanNode, len(roots))
+	for i, r := range roots {
+		out[i] = r.Snapshot()
+	}
+	return out
+}
+
+// ChildTracer adapts a live span into a Tracer whose spans become
+// children of it. The verification service uses it to parent each
+// query's solver-analysis span under the request's root span.
+func ChildTracer(parent Span) Tracer { return childTracer{parent} }
+
+type childTracer struct{ parent Span }
+
+func (t childTracer) StartSpan(name string) Span { return t.parent.Child(name) }
+
+// chromeEvent is one Chrome trace-event record. Complete events ("X")
+// carry ts+dur; instant events ("i") mark zero-duration spans.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders span trees as Chrome trace-event JSON, the
+// format chrome://tracing and Perfetto open directly. Each root tree is
+// placed on its own track (tid), so parallel queries render side by
+// side; nesting inside a track follows timestamp containment.
+func WriteChromeTrace(w io.Writer, roots []*SpanNode) error {
+	if len(roots) == 0 {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	epoch := roots[0].StartUnixNS
+	for _, r := range roots {
+		if r.StartUnixNS < epoch {
+			epoch = r.StartUnixNS
+		}
+	}
+	var events []chromeEvent
+	var walk func(n *SpanNode, tid int)
+	walk = func(n *SpanNode, tid int) {
+		ev := chromeEvent{
+			Name:  n.Name,
+			Cat:   "zen",
+			Phase: "X",
+			TS:    float64(n.StartUnixNS-epoch) / 1e3,
+			Dur:   float64(n.DurNS) / 1e3,
+			PID:   1,
+			TID:   tid,
+			Args:  n.Attrs,
+		}
+		if n.DurNS == 0 && len(n.Children) == 0 {
+			ev.Phase, ev.Dur, ev.Scope = "i", 0, "t"
+		}
+		events = append(events, ev)
+		for _, c := range n.Children {
+			walk(c, tid)
+		}
+	}
+	for i, r := range roots {
+		walk(r, i+1)
+	}
+	// Stable output: events sorted by (tid, ts, -dur) so parents precede
+	// their children even at equal timestamps.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		return events[i].Dur > events[j].Dur
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteChromeTraceFile is WriteChromeTrace against the given tracer's
+// current roots, for the CLIs' -trace-out flag.
+func (t *TreeTracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Roots())
+}
+
+// SumLeafDurNS sums leaf-span durations of a tree — a consistency probe
+// used by tests: leaves partition the instrumented portion of the root,
+// so their sum never exceeds the root duration (within scheduling skew).
+func SumLeafDurNS(n *SpanNode) int64 { return n.leafDurNS() }
+
+var _ Tracer = (*TreeTracer)(nil)
+var _ Span = (*TreeSpan)(nil)
+
+// String renders a compact one-line-per-span view, for debugging.
+func (n *SpanNode) String() string {
+	var b []byte
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		b = append(b, fmt.Sprintf("%s (%v)", n.Name, time.Duration(n.DurNS).Round(time.Microsecond))...)
+		b = append(b, '\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return string(b)
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTreeTracerNesting checks the basic span-tree shape: a root with
+// sequential phase children, attributes, and duration accounting.
+func TestTreeTracerNesting(t *testing.T) {
+	tr := NewTreeTracer()
+	root := tr.StartRoot("query")
+	root.SetAttr("model", "demo/add8")
+	find := root.child("find/bdd")
+	for _, phase := range []string{"symeval", "solve", "decode"} {
+		c := find.Child(phase)
+		time.Sleep(time.Millisecond)
+		c.End()
+	}
+	find.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	n := roots[0]
+	if n.Name != "query" || n.Attrs["model"] != "demo/add8" {
+		t.Fatalf("root = %+v", n)
+	}
+	if len(n.Children) != 1 || len(n.Children[0].Children) != 3 {
+		t.Fatalf("tree shape wrong: %s", n)
+	}
+	if n.DurNS <= 0 {
+		t.Fatalf("root duration not recorded")
+	}
+	// Leaf durations sum into the root: the three phases are the only
+	// instrumented work, so their sum is positive and bounded by the root.
+	leaf := SumLeafDurNS(n)
+	if leaf < 3*int64(time.Millisecond) || leaf > n.DurNS {
+		t.Fatalf("leaf sum %d out of range (root %d)", leaf, n.DurNS)
+	}
+	for _, c := range n.Children[0].Children {
+		if c.DurNS < int64(time.Millisecond) {
+			t.Fatalf("phase %s duration %d too small", c.Name, c.DurNS)
+		}
+	}
+}
+
+// TestTreeTracerConcurrentRoots runs parallel analyses on one tracer and
+// checks no child ever lands in the wrong parent — the satellite
+// requirement for parallel queries.
+func TestTreeTracerConcurrentRoots(t *testing.T) {
+	tr := NewTreeTracer()
+	const workers = 16
+	const childrenPer = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			root := tr.StartRoot(fmt.Sprintf("root-%d", w))
+			for i := 0; i < childrenPer; i++ {
+				c := root.Child(fmt.Sprintf("child-%d-%d", w, i))
+				c.(*TreeSpan).SetAttr("w", w)
+				c.End()
+			}
+			root.End()
+		}(w)
+	}
+	wg.Wait()
+	roots := tr.Roots()
+	if len(roots) != workers {
+		t.Fatalf("roots = %d, want %d", len(roots), workers)
+	}
+	for _, r := range roots {
+		var w int
+		if _, err := fmt.Sscanf(r.Name, "root-%d", &w); err != nil {
+			t.Fatalf("bad root name %q", r.Name)
+		}
+		if len(r.Children) != childrenPer {
+			t.Fatalf("%s has %d children, want %d", r.Name, len(r.Children), childrenPer)
+		}
+		for _, c := range r.Children {
+			var cw, ci int
+			if _, err := fmt.Sscanf(c.Name, "child-%d-%d", &cw, &ci); err != nil || cw != w {
+				t.Fatalf("child %q interleaved into %q", c.Name, r.Name)
+			}
+		}
+	}
+}
+
+// TestTreeSpanConcurrentChildren hammers one parent from many
+// goroutines; every child must be present exactly once.
+func TestTreeSpanConcurrentChildren(t *testing.T) {
+	tr := NewTreeTracer()
+	root := tr.StartRoot("batch")
+	const workers = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c := root.Child(fmt.Sprintf("q-%d-%d", w, i))
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	n := root.Snapshot()
+	if len(n.Children) != workers*per {
+		t.Fatalf("children = %d, want %d", len(n.Children), workers*per)
+	}
+	seen := make(map[string]bool, workers*per)
+	for _, c := range n.Children {
+		if seen[c.Name] {
+			t.Fatalf("duplicate child %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+// TestTreeTracerAsZenTracer drives the tracer through the Rec plumbing
+// (the path every analysis uses) and checks phases arrive as children
+// with counter attributes on the analysis span.
+func TestTreeTracerAsZenTracer(t *testing.T) {
+	tr := NewTreeTracer()
+	r := Begin(nil, tr, "bdd", "find")
+	r.Phase("symeval")()
+	r.Phase("solve")()
+	r.CountSolve(true)
+	r.End()
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	n := roots[0]
+	if n.Name != "find/bdd" {
+		t.Fatalf("root = %q", n.Name)
+	}
+	var names []string
+	for _, c := range n.Children {
+		names = append(names, c.Name)
+	}
+	if len(names) != 2 || names[0] != "symeval" || names[1] != "solve" {
+		t.Fatalf("children = %v", names)
+	}
+	if n.Attrs["backend"] != "bdd" || n.Attrs["solves"] != int64(1) {
+		t.Fatalf("attrs = %v", n.Attrs)
+	}
+}
+
+// TestChildTracerParents checks the adapter: analyses started through a
+// ChildTracer nest under the given parent span.
+func TestChildTracerParents(t *testing.T) {
+	tr := NewTreeTracer()
+	root := tr.StartRoot("query")
+	sub := ChildTracer(root)
+	r := Begin(nil, sub, "sat", "find")
+	r.Phase("solve")()
+	r.End()
+	root.End()
+	n := tr.Roots()[0]
+	find := n.Find("find/sat")
+	if find == nil {
+		t.Fatalf("find/sat not nested under root:\n%s", n)
+	}
+	if find.Find("solve") == nil {
+		t.Fatalf("solve not nested under find/sat:\n%s", n)
+	}
+}
+
+// TestWriteChromeTrace checks the export loads as JSON with the
+// complete-event shape Perfetto expects: X events with ts/dur, children
+// contained within their parents, one tid per root.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTreeTracer()
+	for i := 0; i < 2; i++ {
+		root := tr.StartRoot(fmt.Sprintf("query-%d", i))
+		c := root.child("find/bdd")
+		c.Child("solve").End()
+		c.End()
+		root.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(doc.TraceEvents))
+	}
+	tids := make(map[int]bool)
+	byName := make(map[string]int)
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" && e.Phase != "i" {
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+		if e.TS < 0 || e.PID != 1 || e.TID < 1 {
+			t.Fatalf("bad event %+v", e)
+		}
+		tids[e.TID] = true
+		byName[e.Name] = e.TID
+	}
+	if len(tids) != 2 {
+		t.Fatalf("tids = %v, want one per root", tids)
+	}
+	if byName["query-0"] == byName["query-1"] {
+		t.Fatalf("roots share a tid")
+	}
+}
+
+// TestChromeTraceEmpty keeps the zero-trace export valid.
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+}
+
+// TestSpanSnapshotDuringRecording snapshots a tree while another
+// goroutine is still appending — the coalesced-execution-outlives-leader
+// case. Run under -race this is the memory-safety check.
+func TestSpanSnapshotDuringRecording(t *testing.T) {
+	tr := NewTreeTracer()
+	root := tr.StartRoot("query")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c := root.Child("late")
+			c.SetAttr("i", i)
+			c.End()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_ = root.Snapshot()
+	}
+	<-done
+	root.End()
+	if n := len(root.Snapshot().Children); n != 500 {
+		t.Fatalf("children = %d, want 500", n)
+	}
+}

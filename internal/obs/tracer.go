@@ -3,21 +3,29 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Tracer is the pluggable tracing hook: each analysis opens one span named
-// "<analysis>/<backend>" (e.g. "find/bdd") and emits one event per phase
-// with its duration. Implementations must be safe for concurrent use.
+// "<analysis>/<backend>" (e.g. "find/bdd") and nests one child span per
+// phase. Implementations must be safe for concurrent use. TreeTracer
+// (trace.go) captures full span trees; WriterTracer and CollectTracer are
+// flat sinks that render the same calls as a line/event stream.
 type Tracer interface {
 	StartSpan(name string) Span
 }
 
-// Span is one traced analysis. Event is called once per phase (and for
-// ad-hoc markers like path counts); End closes the span.
+// Span is one traced analysis. Child opens a nested span (solver phases
+// nest under their analysis), SetAttr attaches an attribute (model,
+// backend, verdict, counters), Event records an ad-hoc instant marker,
+// and End closes the span. Implementations must be safe for concurrent
+// use: parallel children of one span must never interleave into another.
 type Span interface {
 	Event(name string, args ...any)
+	Child(name string) Span
+	SetAttr(key string, value any)
 	End()
 }
 
@@ -41,26 +49,51 @@ type writerSpan struct {
 	t     *WriterTracer
 	name  string
 	start time.Time
+	depth int
+}
+
+func (s *writerSpan) indent() string {
+	return strings.Repeat("  ", s.depth+1)
 }
 
 func (s *writerSpan) Event(name string, args ...any) {
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
 	if len(args) == 0 {
-		fmt.Fprintf(s.t.W, "  %s\n", name)
+		fmt.Fprintf(s.t.W, "%s%s\n", s.indent(), name)
 		return
 	}
-	fmt.Fprintf(s.t.W, "  %s: %v\n", name, args)
+	fmt.Fprintf(s.t.W, "%s%s: %v\n", s.indent(), name, args)
+}
+
+// Child opens a nested span, rendered as an indented "name (dur)" line
+// when it ends (phases log on completion, when their duration is known).
+func (s *writerSpan) Child(name string) Span {
+	return &writerSpan{t: s.t, name: name, start: time.Now(), depth: s.depth + 1}
+}
+
+// SetAttr logs the attribute as an indented "key = value" line.
+func (s *writerSpan) SetAttr(key string, value any) {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	fmt.Fprintf(s.t.W, "%s%s = %v\n", s.indent(), key, value)
 }
 
 func (s *writerSpan) End() {
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
-	fmt.Fprintf(s.t.W, "end %s (%v)\n", s.name, time.Since(s.start).Round(time.Microsecond))
+	d := time.Since(s.start).Round(time.Microsecond)
+	if s.depth > 0 {
+		fmt.Fprintf(s.t.W, "%s%s (%v)\n", strings.Repeat("  ", s.depth), s.name, d)
+		return
+	}
+	fmt.Fprintf(s.t.W, "end %s (%v)\n", s.name, d)
 }
 
 // TraceEvent is one record captured by CollectTracer. Span start and end
-// are recorded as events named "start" and "end".
+// are recorded as events named "start" and "end"; a child span records
+// one event named after it (on the parent's span name) when it ends, so
+// a flat event list still shows the phase sequence in completion order.
 type TraceEvent struct {
 	Span string
 	Name string
@@ -96,12 +129,34 @@ func (t *CollectTracer) record(e TraceEvent) {
 type collectSpan struct {
 	t    *CollectTracer
 	name string
+	// child marks a nested phase span: it records a single event named
+	// after it, on the parent's span name, when it ends.
+	child string
 }
 
 func (s *collectSpan) Event(name string, args ...any) {
-	s.t.record(TraceEvent{Span: s.name, Name: name, Args: args})
+	s.t.record(TraceEvent{Span: s.spanName(), Name: name, Args: args})
+}
+
+func (s *collectSpan) Child(name string) Span {
+	return &collectSpan{t: s.t, name: s.spanName(), child: name}
+}
+
+func (s *collectSpan) SetAttr(key string, value any) {
+	s.t.record(TraceEvent{Span: s.spanName(), Name: "attr:" + key, Args: []any{value}})
+}
+
+func (s *collectSpan) spanName() string {
+	if s.child != "" {
+		return s.name + "/" + s.child
+	}
+	return s.name
 }
 
 func (s *collectSpan) End() {
+	if s.child != "" {
+		s.t.record(TraceEvent{Span: s.name, Name: s.child})
+		return
+	}
 	s.t.record(TraceEvent{Span: s.name, Name: "end"})
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"zen-go/internal/obs"
@@ -17,17 +18,34 @@ const maxBatch = 64
 //	POST /v1/query    one Request -> one Response
 //	POST /v1/batch    {"queries": [Request...]} -> {"results": [Response...]}
 //	GET  /v1/stats    service counters and latency quantiles
+//	GET  /metrics     Prometheus text-format exposition
 //	GET  /healthz     200 while serving, 503 while draining
 //	     /debug/...   the standard obs debug surface (zenstats, expvar, pprof)
+//
+// Every /v1/query and /v1/batch response carries an X-Zen-Request-Id
+// header — the client's own if it sent one, a generated id otherwise.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/debug/", obs.DebugMux())
 	return mux
+}
+
+// requestID resolves the request's id (honoring a client-sent
+// X-Zen-Request-Id), echoes it on the response, and threads it through
+// the context for Do.
+func requestID(w http.ResponseWriter, r *http.Request) (context.Context, string) {
+	id := r.Header.Get("X-Zen-Request-Id")
+	if id == "" {
+		id = NewRequestID()
+	}
+	w.Header().Set("X-Zen-Request-Id", id)
+	return WithRequestID(r.Context(), id), id
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -72,13 +90,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	ctx, id := requestID(w, r)
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "bad request: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "bad request: " + err.Error(), RequestID: id})
 		return
 	}
-	res := s.Do(r.Context(), &req)
+	res := s.Do(ctx, &req)
 	writeJSON(w, res.HTTPStatus(), res)
 }
 
@@ -96,29 +115,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	ctx, id := requestID(w, r)
 	var batch BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
 		s.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "bad request: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "bad request: " + err.Error(), RequestID: id})
 		return
 	}
 	if len(batch.Queries) > maxBatch {
 		s.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "batch too large"})
+		writeJSON(w, http.StatusBadRequest, &Response{Status: "error", Error: "batch too large", RequestID: id})
 		return
 	}
-	res := s.DoBatch(r.Context(), batch.Queries)
+	res := s.DoBatch(ctx, batch.Queries)
 	writeJSON(w, http.StatusOK, &BatchResponse{Results: res})
 }
 
 // DoBatch runs the queries concurrently (each contends for the worker
-// pool like any other request) and returns the responses in order.
+// pool like any other request) and returns the responses in order. With
+// a request id on the context, each sub-query gets "<id>/<index>" so
+// slow-log lines and traces stay attributable within the batch.
 func (s *Server) DoBatch(ctx context.Context, reqs []Request) []*Response {
+	batchID := RequestIDFrom(ctx)
 	out := make([]*Response, len(reqs))
 	done := make(chan int)
 	for i := range reqs {
 		go func(i int) {
-			out[i] = s.Do(ctx, &reqs[i])
+			qctx := ctx
+			if batchID != "" {
+				qctx = WithRequestID(ctx, fmt.Sprintf("%s/%d", batchID, i))
+			}
+			out[i] = s.Do(qctx, &reqs[i])
 			done <- i
 		}(i)
 	}

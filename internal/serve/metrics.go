@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+
+	"zen-go/internal/obs"
+)
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format: the process-wide solver aggregate plus the service's own
+// counters, gauges, and latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WriteMetrics(w)
+}
+
+// WriteMetrics renders the full scrape document. Exposed apart from the
+// handler so `zend -check-metrics` and tests can lint the output without
+// a listener.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	m := obs.NewMetricsWriter(w)
+	obs.WriteSnapshotMetrics(m, obs.Global().Snapshot())
+
+	st := s.Stats()
+	counter := func(name, help string, v int64) {
+		m.Family(name, "counter", help)
+		m.Sample("", nil, float64(v))
+	}
+	gauge := func(name, help string, v float64) {
+		m.Family(name, "gauge", help)
+		m.Sample("", nil, v)
+	}
+	counter("zen_serve_queries_total", "Queries accepted (including cancelled and failed).", st.Queries)
+	counter("zen_serve_cache_hits_total", "Result-cache hits.", st.CacheHits)
+	counter("zen_serve_cache_misses_total", "Result-cache misses.", st.CacheMisses)
+	counter("zen_serve_coalesced_total", "Queries answered by another request's in-flight execution.", st.Coalesced)
+	counter("zen_serve_shed_total", "Queries shed by queue overflow or drain.", st.Shed)
+	counter("zen_serve_cancelled_total", "Queries cancelled by deadline or disconnect.", st.Cancelled)
+	counter("zen_serve_errors_total", "Queries that failed.", st.Errors)
+	gauge("zen_serve_cache_entries", "Result-cache occupancy.", float64(st.CacheLen))
+	gauge("zen_serve_queue_depth", "Executions waiting for a worker.", float64(st.QueueDepth))
+	gauge("zen_serve_workers", "Configured worker count.", float64(st.Workers))
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	gauge("zen_serve_draining", "1 while the server drains for shutdown.", draining)
+
+	m.Family("zen_serve_request_seconds", "histogram", "Request wall time, all queries.")
+	m.Histogram(nil, s.latAll.Snapshot())
+
+	m.Family("zen_serve_model_request_seconds", "histogram", "Request wall time by model, backend, and verdict.")
+	for _, series := range s.latVec.Snapshot() {
+		m.Histogram([][2]string{
+			{"model", series.Values[0]},
+			{"backend", series.Values[1]},
+			{"verdict", series.Values[2]},
+		}, series.Hist)
+	}
+	return m.Err()
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request ids correlate a query across its surfaces: the X-Zen-Request-Id
+// response header, the request_id field of the JSON response, the root
+// span of an inline trace, and the slow-query log. The HTTP layer honors
+// a client-sent header (so ids can span services) and generates one
+// otherwise; Do reads it from the context.
+
+type reqIDKey struct{}
+
+// WithRequestID attaches a request id to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request id, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+var reqIDFallback atomic.Int64
+
+// NewRequestID returns a fresh 16-hex-char request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable, but ids must stay
+		// unique within the process even then.
+		return fmt.Sprintf("fallback-%d", reqIDFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

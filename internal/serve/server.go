@@ -6,6 +6,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -32,6 +33,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps per-query timeout_ms requests; zero means no cap.
 	MaxTimeout time.Duration
+	// SlowLog, when set, receives one JSON line (a SlowQueryRecord) per
+	// query slower than SlowThreshold.
+	SlowLog io.Writer
+	// SlowThreshold is the slow-query latency cutoff (default 100ms when
+	// SlowLog is set).
+	SlowThreshold time.Duration
+	// SlowSampleEvery additionally logs one in every N fast queries
+	// (marked "sampled": true), so the log shows the baseline the slow
+	// tail deviates from; 0 disables sampling.
+	SlowSampleEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +76,9 @@ type Request struct {
 	ListBound int `json:"list_bound,omitempty"`
 	// TimeoutMS bounds this query's solve time.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace requests an inline span tree of this query's execution in
+	// Response.Trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Response is the outcome of one query.
@@ -87,10 +101,21 @@ type Response struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// ElapsedMS is this request's wall time.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// RequestID echoes the X-Zen-Request-Id header (generated when the
+	// client sent none).
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the query's span tree, present when Request.Trace was set.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 	// Error carries the failure detail for cancelled/error statuses.
 	Error string `json:"error,omitempty"`
 
 	httpStatus int
+
+	// fingerprint identifies the hash-consed predicate DAG ("" for
+	// evaluate); stats holds the executing solver's telemetry. Both feed
+	// the slow-query log; cached answers repeat the original's stats.
+	fingerprint string
+	stats       *obs.Snapshot
 }
 
 // HTTPStatus returns the HTTP status code the response is served with.
@@ -128,7 +153,9 @@ type Server struct {
 	pool   *workerPool
 	cache  *lruCache
 	flight *flightGroup
-	lat    *latencyRing
+	latAll *obs.Histogram    // every request, for aggregate quantiles
+	latVec *obs.HistogramVec // by model, backend, verdict
+	slow   *slowLogger       // nil when no slow log is configured
 
 	draining atomic.Bool
 
@@ -154,7 +181,9 @@ func New(cfg Config) *Server {
 		pool:   newWorkerPool(cfg.Workers, cfg.Queue),
 		cache:  newLRU(cfg.CacheSize),
 		flight: newFlightGroup(),
-		lat:    newLatencyRing(1024),
+		latAll: obs.NewHistogram(obs.DefaultLatencyBounds()),
+		latVec: obs.NewHistogramVec(obs.DefaultLatencyBounds(), "model", "backend", "verdict"),
+		slow:   newSlowLogger(cfg.SlowLog, cfg.SlowThreshold, cfg.SlowSampleEvery),
 	}
 	for _, m := range zen.RegisteredModels() {
 		s.models[m.Name] = &modelEntry{name: m.Name, build: m.Build}
@@ -185,16 +214,75 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Do executes one query. It is the direct (non-HTTP) entry point; the
-// HTTP handlers decode into a Request and call it.
+// HTTP handlers decode into a Request and call it. The request id (if
+// any) rides in on the context — see WithRequestID.
 func (s *Server) Do(ctx context.Context, req *Request) *Response {
 	start := time.Now()
-	res := s.do(ctx, req)
-	res.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	id := RequestIDFrom(ctx)
+	var root *obs.TreeSpan
+	if req.Trace {
+		// The trace is request-scoped: a private root span that nests the
+		// solver's analysis spans (via ChildTracer in execute) and returns
+		// inline with the response. Untraced requests never touch any of
+		// this — tracing stays strictly pay-for-use.
+		root = obs.NewTreeTracer().StartRoot("query")
+		root.SetAttr("model", req.Model)
+		root.SetAttr("kind", req.Kind)
+		root.SetAttr("backend", normBackend(req.Backend))
+		if id != "" {
+			root.SetAttr("request_id", id)
+		}
+	}
+	res := s.do(ctx, req, root)
+	elapsed := time.Since(start)
+	res.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	res.RequestID = id
+	if root != nil {
+		root.SetAttr("status", res.Status)
+		if res.Cached {
+			root.SetAttr("cached", true)
+		}
+		if res.Coalesced {
+			root.SetAttr("coalesced", true)
+		}
+		if res.fingerprint != "" {
+			root.SetAttr("dag", res.fingerprint)
+		}
+		root.End()
+		res.Trace = root.Snapshot()
+	}
+	s.observeLatency(req, res, elapsed)
+	s.slow.maybeLog(id, req, res, elapsed)
 	s.publish(res)
 	return res
 }
 
-func (s *Server) do(ctx context.Context, req *Request) *Response {
+// normBackend maps a request's backend field to its histogram/trace
+// label: the default is bdd, and anything unknown collapses to one
+// bounded label value (never client-controlled cardinality).
+func normBackend(b string) string {
+	switch b {
+	case "", "bdd":
+		return "bdd"
+	case "sat":
+		return "sat"
+	default:
+		return "invalid"
+	}
+}
+
+// observeLatency records the request's wall time in the aggregate and
+// the labeled latency histograms.
+func (s *Server) observeLatency(req *Request, res *Response, d time.Duration) {
+	s.latAll.Observe(d)
+	model := req.Model
+	if _, ok := s.models[model]; !ok {
+		model = "unknown" // bound label cardinality against probe traffic
+	}
+	s.latVec.With(model, normBackend(req.Backend), res.Status).Observe(d)
+}
+
+func (s *Server) do(ctx context.Context, req *Request, span *obs.TreeSpan) *Response {
 	if s.draining.Load() {
 		return &Response{Status: "draining", Error: "server is shutting down", httpStatus: http.StatusServiceUnavailable}
 	}
@@ -202,6 +290,7 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 	if resErr != nil {
 		return resErr
 	}
+	q.span = span
 	ctx, cancelFn := q.bound(ctx, s.cfg)
 	defer cancelFn()
 
@@ -215,6 +304,7 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 		s.cacheHits.Add(1)
 		hit := *res
 		hit.Cached = true
+		hit.fingerprint = q.fp
 		return &hit
 	}
 	s.cacheMiss.Add(1)
@@ -237,6 +327,7 @@ func (s *Server) do(ctx context.Context, req *Request) *Response {
 	}
 	out := *res
 	out.Coalesced = coalesced
+	out.fingerprint = q.fp
 	return &out
 }
 
@@ -247,6 +338,8 @@ type query struct {
 	cond    *core.Node // find/findall/verify condition (pre-negated for verify)
 	env     zen.RawModel
 	timeout time.Duration
+	fp      string        // predicate-DAG fingerprint ("" for evaluate)
+	span    *obs.TreeSpan // request root span, nil when untraced
 }
 
 func (q *query) bound(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
@@ -318,6 +411,10 @@ func (s *Server) prepare(req *Request) (*query, *Response) {
 		}
 		q.cond = cond
 		q.key.cond = cond
+		// Hash-consing makes structurally identical predicates pointer-equal,
+		// so the node address doubles as a process-local DAG fingerprint —
+		// the same identity the result cache keys on.
+		q.fp = fmt.Sprintf("%p", cond)
 	case "evaluate":
 		q.key.kind = kindEvaluate
 		env, err := decodeArgs(m.QueryArgs(), req.Args)
@@ -355,9 +452,14 @@ func (s *Server) execute(ctx context.Context, q *query) *Response {
 	if s.onExec != nil {
 		s.onExec(q.key)
 	}
-	start := time.Now()
 	st := &zen.Stats{}
 	opts := []zen.Option{zen.WithBackend(q.key.backend), zen.WithStats(st)}
+	if q.span != nil {
+		// Parent the solver's analysis span (find/bdd > symeval, solve,
+		// decode) under the request root, so the inline trace shows the
+		// whole request as one tree.
+		opts = append(opts, zen.WithTracer(obs.ChildTracer(q.span)))
+	}
 	if q.key.bound > 0 {
 		opts = append(opts, zen.WithListBound(q.key.bound))
 	}
@@ -410,8 +512,10 @@ func (s *Server) execute(ctx context.Context, q *query) *Response {
 		}
 		return &Response{Status: "error", Error: err.Error(), httpStatus: http.StatusInternalServerError}
 	}
-	res.Solves = st.Snapshot().Solves
-	s.lat.record(time.Since(start))
+	snap := st.Snapshot()
+	res.Solves = snap.Solves
+	res.stats = &snap
+	res.fingerprint = q.fp
 	return res
 }
 
@@ -485,9 +589,12 @@ type Stats struct {
 	Draining     bool    `json:"draining"`
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters. The latency quantiles are
+// estimated from the aggregate request histogram (the same one /metrics
+// exposes), interpolated within buckets.
 func (s *Server) Stats() Stats {
-	p50, p99 := s.lat.quantiles()
+	p50 := s.latAll.Quantile(0.50) * 1000
+	p99 := s.latAll.Quantile(0.99) * 1000
 	hits, misses := s.cacheHits.Load(), s.cacheMiss.Load()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -509,42 +616,6 @@ func (s *Server) Stats() Stats {
 		P99MS:        p99,
 		Draining:     s.draining.Load(),
 	}
-}
-
-// latencyRing keeps the last N solve latencies for quantile estimates
-// (latencies are not additive, so they live here rather than in obs).
-type latencyRing struct {
-	mu   sync.Mutex
-	buf  []time.Duration
-	next int
-	n    int
-}
-
-func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]time.Duration, n)} }
-
-func (r *latencyRing) record(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.next] = d
-	r.next = (r.next + 1) % len(r.buf)
-	if r.n < len(r.buf) {
-		r.n++
-	}
-	r.mu.Unlock()
-}
-
-func (r *latencyRing) quantiles() (p50, p99 float64) {
-	r.mu.Lock()
-	sample := append([]time.Duration(nil), r.buf[:r.n]...)
-	r.mu.Unlock()
-	if len(sample) == 0 {
-		return 0, 0
-	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	at := func(q float64) float64 {
-		i := int(q * float64(len(sample)-1))
-		return float64(sample[i].Microseconds()) / 1000
-	}
-	return at(0.50), at(0.99)
 }
 
 // expvarServer holds the server published as the "zenserve" expvar;

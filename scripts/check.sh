@@ -36,6 +36,12 @@ go test -race ./...
 echo "== zend serve smoke (models, cached repeat, deadline, batch, drain)"
 sh scripts/serve_smoke.sh
 
+echo "== zend metrics lint (/metrics exposition format + stable families)"
+go run ./cmd/zend -check-metrics
+
+echo "== zenbench smoke (pinned suite sanity, nothing written)"
+go run ./cmd/zenbench -smoke
+
 echo "== zenfuzz smoke (deterministic differential campaign)"
 go run ./cmd/zenfuzz -n 2000 -seed 1 -progress 0
 
