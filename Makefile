@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-suite fuzz serve-smoke
+.PHONY: all build test race vet fmt lint check bench bench-suite bench-portfolio fuzz serve-smoke
 
 all: build
 
@@ -45,6 +45,15 @@ bench:
 # `zenbench -smoke` variant via scripts/check.sh instead.
 bench-suite:
 	$(GO) run ./cmd/zenbench
+
+# bench-portfolio runs only the portfolio and minesweeper sweep cases —
+# the quick check that the racing backend's trajectory (win rates, shared
+# clauses, ns/op vs the single backends) hasn't drifted. Nothing is
+# written; diff against a pinned file with e.g.
+#   go run ./cmd/zenbench -run 'portfolio|minesweeper' -baseline 6
+bench-portfolio:
+	$(GO) run ./cmd/zenbench -smoke -run 'portfolio|minesweeper'
+	$(GO) test ./internal/portfolio/ -count=1
 
 # fuzz runs long native differential-fuzzing campaigns (see internal/fuzz).
 # Override FUZZTIME for longer hunts: make fuzz FUZZTIME=10m

@@ -29,6 +29,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.25, "regression gate: fail when a case slows by more than this ratio")
 		runRE     = flag.String("run", "", "only run cases matching this regexp")
 		num       = flag.Int("n", 0, "sequence number for the output file (0 = latest+1)")
+		baseline  = flag.String("baseline", "", "diff against this BENCH file (path or sequence number) instead of the latest")
 		smoke     = flag.Bool("smoke", false, "sanity mode: tiny budget, no file written, no gate")
 		handicap  = flag.Duration("handicap", 0, "artificial per-op delay added to every case (gate self-test)")
 	)
@@ -77,6 +78,15 @@ func main() {
 	prevPath, prevNum, prev, havePrev, err := latest(*dir)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *baseline != "" {
+		// Numbering still follows the latest file; only the diff target
+		// is re-pinned.
+		prevPath, prev, err = benchsuite.Baseline(*dir, *baseline)
+		if err != nil {
+			fatal("baseline: %v", err)
+		}
+		havePrev = true
 	}
 	outNum := prevNum + 1
 	if *num > 0 {

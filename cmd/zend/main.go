@@ -38,6 +38,7 @@ func main() {
 		workers        = flag.Int("workers", 4, "concurrent solver executions")
 		queue          = flag.Int("queue", 16, "queued executions before shedding with 429")
 		cacheSize      = flag.Int("cache", 256, "result cache entries (0 disables)")
+		pfWorkers      = flag.Int("portfolio-workers", 0, "SAT workers raced by portfolio-backend queries (0 = auto)")
 		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "deadline for queries that set no timeout_ms (0 = none)")
 		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on per-query timeout_ms (0 = no cap)")
 		drain          = flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on shutdown")
@@ -50,13 +51,14 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{
-		Workers:         *workers,
-		Queue:           *queue,
-		CacheSize:       *cacheSize,
-		DefaultTimeout:  *defaultTimeout,
-		MaxTimeout:      *maxTimeout,
-		SlowThreshold:   *slowThreshold,
-		SlowSampleEvery: *slowSample,
+		Workers:          *workers,
+		Queue:            *queue,
+		CacheSize:        *cacheSize,
+		PortfolioWorkers: *pfWorkers,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		SlowThreshold:    *slowThreshold,
+		SlowSampleEvery:  *slowSample,
 	}
 	var slowFile *os.File
 	switch *slowLog {
@@ -137,6 +139,7 @@ var metricsMustHave = []string{
 	"zen_serve_cache_hits_total",
 	"zen_serve_request_seconds",
 	"zen_serve_model_request_seconds",
+	"zen_portfolio_races_total",
 }
 
 // runMetricsCheck exercises the server once, renders the /metrics

@@ -1,0 +1,110 @@
+package zenrepro
+
+// FindAll's incremental path: enumerating k models in one session must be
+// strictly cheaper than re-solving from scratch k times, because the
+// session keeps the solver's learned clauses across the blocking
+// constraints. The comparison is over the SAT backend's conflict counter
+// (deterministic: one solver, fixed seeds), never wall clock — this repo's
+// CI runs on a single core where timing comparisons lie.
+
+import (
+	"context"
+	"testing"
+
+	"zen-go/zen"
+)
+
+// squareRoots is x*x == 1 over uint32: exactly four models (1, 2^31-1,
+// 2^31+1, 2^32-1 — the square roots of unity mod 2^32), each found only
+// after real conflict-driven search through the 32-bit multiplier.
+func squareFn() *zen.Fn[uint32, uint32] {
+	return zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+		return zen.Mul(x, x)
+	})
+}
+
+func squarePred(_ zen.Value[uint32], out zen.Value[uint32]) zen.Value[bool] {
+	return zen.EqC(out, 1)
+}
+
+var squareRootsOfUnity = map[uint32]bool{
+	1:           true,
+	1<<31 - 1:   true,
+	1<<31 + 1:   true,
+	0xFFFF_FFFF: true,
+}
+
+func TestFindAllIncrementalCheaperThanRestarts(t *testing.T) {
+	ctx := context.Background()
+
+	// One session, four models: the blocking clauses land in a solver that
+	// already holds everything it learned finding the previous roots.
+	incr := &zen.Stats{}
+	all, err := squareFn().FindAllCtx(ctx, squarePred, 4, zen.WithBackend(zen.SAT), zen.WithStats(incr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("FindAll found %d models, want 4: %v", len(all), all)
+	}
+	for _, x := range all {
+		if !squareRootsOfUnity[x] {
+			t.Fatalf("FindAll produced %d, not a square root of unity mod 2^32", x)
+		}
+	}
+
+	// Four independent solves reproducing the same enumeration: each call
+	// starts a cold solver and re-pays the full search, plus the blocking
+	// predicates for the roots already found.
+	restart := &zen.Stats{}
+	found := map[uint32]bool{}
+	for i := 0; i < 4; i++ {
+		fn := squareFn()
+		prior := make([]uint32, 0, len(found))
+		for x := range found {
+			prior = append(prior, x)
+		}
+		x, ok, err := fn.FindCtx(ctx, func(in zen.Value[uint32], out zen.Value[uint32]) zen.Value[bool] {
+			cond := squarePred(in, out)
+			for _, p := range prior {
+				cond = zen.And(cond, zen.Not(zen.EqC(in, p)))
+			}
+			return cond
+		}, zen.WithBackend(zen.SAT), zen.WithStats(restart))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("restart solve %d found nothing", i)
+		}
+		if found[x] {
+			t.Fatalf("restart solve %d repeated model %d despite blocking", i, x)
+		}
+		found[x] = true
+	}
+
+	ic := incr.Snapshot().SAT.Conflicts
+	rc := restart.Snapshot().SAT.Conflicts
+	if rc == 0 {
+		t.Fatal("restart runs hit zero conflicts; workload too easy to measure the incremental path")
+	}
+	if ic >= rc {
+		t.Fatalf("incremental enumeration cost %d conflicts, restarts cost %d — clause reuse is not paying", ic, rc)
+	}
+	t.Logf("conflicts: incremental=%d restarts=%d", ic, rc)
+
+	// The portfolio's FindAll rides the same incremental path on whichever
+	// strategy wins the race; it must surface the identical model set.
+	pf, err := squareFn().FindAllCtx(ctx, squarePred, 4, zen.WithBackend(zen.Portfolio))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf) != 4 {
+		t.Fatalf("portfolio FindAll found %d models, want 4: %v", len(pf), pf)
+	}
+	for _, x := range pf {
+		if !squareRootsOfUnity[x] {
+			t.Fatalf("portfolio FindAll produced %d, not a square root of unity", x)
+		}
+	}
+}

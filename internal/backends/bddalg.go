@@ -151,6 +151,16 @@ func NewSAT() *SAT {
 	return s
 }
 
+// WithSolver returns a SAT algebra bound to w, sharing the receiver's
+// Tseitin gate cache. w must use the receiver's variable numbering — in
+// practice a Clone of its solver. The portfolio uses this to race cloned
+// workers over one encoding and to keep enumerating on the winner; the
+// shared gate cache must not be used from two goroutines at once (during
+// a race the workers only Solve, which never touches it).
+func (s *SAT) WithSolver(w *sat.Solver) *SAT {
+	return &SAT{S: w, lTrue: s.lTrue, gates: s.gates, isFresh: s.isFresh}
+}
+
 // True etc. implement sym.Algebra[sat.Lit].
 func (s *SAT) True() sat.Lit          { return s.lTrue }
 func (s *SAT) False() sat.Lit         { return s.lTrue.Not() }
@@ -298,6 +308,8 @@ func (s *SAT) ReportInto(snap *obs.Snapshot) {
 	snap.SAT.Propagations += st.Propagations
 	snap.SAT.Conflicts += st.Conflicts
 	snap.SAT.Restarts += st.Restarts
+	snap.SAT.Imported += st.Imported
+	snap.SAT.Exported += st.Exported
 }
 
 var (

@@ -16,6 +16,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -169,6 +170,22 @@ func Latest(dir string) (path string, num int, f *File, ok bool, err error) {
 // PathFor returns dir/BENCH_<n>.json with zero-padded numbering.
 func PathFor(dir string, n int) string {
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", n))
+}
+
+// Baseline resolves a pinned comparison file: a bare sequence number
+// ("3") maps to dir/BENCH_0003.json, anything else is read as a file
+// path. It lets zenbench -baseline diff a fresh run against any point of
+// the committed trajectory, not just the latest file.
+func Baseline(dir, spec string) (string, *File, error) {
+	path := spec
+	if n, err := strconv.Atoi(spec); err == nil && n > 0 {
+		path = PathFor(dir, n)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	return path, f, nil
 }
 
 // ReadFile parses one result file.

@@ -62,6 +62,59 @@ func TestFileRoundTripAndLatest(t *testing.T) {
 	}
 }
 
+func TestBaselineAcrossTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	// A three-file trajectory: the case drifts slower over time. Diffing
+	// adjacent files stays under a 25% gate, but pinning file 1 as the
+	// baseline exposes the accumulated drift.
+	for i, ns := range []float64{1000, 1150, 1300} {
+		f := &File{Schema: Schema, Results: []Result{{Name: "drift", N: 10, NsPerOp: ns}}}
+		if err := WriteFile(PathFor(dir, i+1), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, num, latest, ok, err := Latest(dir)
+	if err != nil || !ok || num != 3 {
+		t.Fatalf("Latest: num=%d ok=%v err=%v", num, ok, err)
+	}
+
+	// Both spec forms resolve the same pinned file.
+	byNum, fNum, err := Baseline(dir, "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath, fPath, err := Baseline(dir, PathFor(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byNum != PathFor(dir, 1) || byPath != byNum {
+		t.Fatalf("baseline paths: byNum=%s byPath=%s", byNum, byPath)
+	}
+	if fNum.Results[0].NsPerOp != 1000 || fPath.Results[0].NsPerOp != 1000 {
+		t.Fatalf("baseline contents: %g / %g, want 1000", fNum.Results[0].NsPerOp, fPath.Results[0].NsPerOp)
+	}
+	if _, _, err := Baseline(dir, "7"); err == nil {
+		t.Fatal("missing sequence number resolved without error")
+	}
+
+	// Adjacent diff (2 -> 3) is ~+13%: clean under a 25% gate.
+	prev, err := ReadFile(PathFor(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(Diff(prev, latest), 0.25); len(regs) != 0 {
+		t.Fatalf("adjacent diff regressed: %+v", regs)
+	}
+	// Pinned baseline diff (1 -> 3) is +30%: the same gate trips.
+	regs := Regressions(Diff(fNum, latest), 0.25)
+	if len(regs) != 1 || regs[0].Name != "drift" {
+		t.Fatalf("pinned diff regressions = %+v, want drift", regs)
+	}
+	if p := regs[0].Pct; p < 29 || p > 31 {
+		t.Fatalf("pinned drift pct = %g, want ~30", p)
+	}
+}
+
 func TestDiffAndRegressions(t *testing.T) {
 	old := &File{Results: []Result{
 		{Name: "stable", NsPerOp: 1000},

@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"sync"
 
+	"zen-go/analyses/minesweeper"
 	"zen-go/internal/figgen"
 	"zen-go/internal/serve"
+	"zen-go/nets/bgp"
 	"zen-go/nets/pkt"
 	"zen-go/nets/routemap"
 	"zen-go/zen"
@@ -37,6 +39,17 @@ func Cases() []Case {
 		{Name: "routemap-find/sat/60", Make: func() (*Instance, error) { return rmFindCase(zen.SAT, 60) }},
 		{Name: "acl-find/bdd/4000", Make: func() (*Instance, error) { return aclFindCase(zen.BDD, 4000) }},
 		{Name: "acl-find/sat/4000", Make: func() (*Instance, error) { return aclFindCase(zen.SAT, 4000) }},
+		// Portfolio cases are appended after the originals (order is part
+		// of the pin; see above): the same Figure 10 workloads racing all
+		// strategies, and a Minesweeper k-failure sweep. The sweep has no
+		// bdd variant — its stable-path constraint system is intractable
+		// for BDDs (tens of GB, no answer in minutes), which is precisely
+		// why the portfolio variant completes: the SAT worker wins while
+		// the BDD strategy flounders.
+		{Name: "routemap-find/portfolio/60", Make: func() (*Instance, error) { return rmFindCase(zen.Portfolio, 60) }},
+		{Name: "acl-find/portfolio/4000", Make: func() (*Instance, error) { return aclFindCase(zen.Portfolio, 4000) }},
+		{Name: "minesweeper-1fail/sat", Make: func() (*Instance, error) { return msSweepCase(zen.SAT) }},
+		{Name: "minesweeper-1fail/portfolio", Make: func() (*Instance, error) { return msSweepCase(zen.Portfolio) }},
 	}
 }
 
@@ -54,6 +67,13 @@ func backendMetrics(st *zen.Stats) func(n int) map[string]float64 {
 			out["sat-clauses/op"] = float64(s.SAT.Clauses) / float64(n)
 			out["sat-conflicts/op"] = float64(s.SAT.Conflicts) / float64(n)
 			out["sat-props/op"] = float64(s.SAT.Propagations) / float64(n)
+		}
+		if s.Portfolio.Races > 0 {
+			for k, v := range s.Portfolio.WinsBy {
+				out["portfolio-wins-"+k+"-%"] = 100 * float64(v) / float64(s.Portfolio.Races)
+			}
+			out["portfolio-clauses-shared/op"] = float64(s.Portfolio.ClausesShared) / float64(n)
+			out["portfolio-clauses-imported/op"] = float64(s.Portfolio.ClausesImported) / float64(n)
 		}
 		return out
 	}
@@ -92,6 +112,37 @@ func rmFindCase(be zen.Backend, clauses int) (*Instance, error) {
 				return zen.EqC(l, last)
 			}, zen.WithBackend(be), zen.WithListBound(routemap.Depth), zen.WithStats(st)); !ok {
 				panic("catch-all clause unreachable")
+			}
+		},
+		Metrics: backendMetrics(st),
+	}, nil
+}
+
+// msSweepCase is a Minesweeper k-failure sweep on the 2-connected square
+// topology: with a budget of one failed session the property holds, so
+// the constraint system is unsat — the adversarial shape where clause
+// reuse matters (the paper's stable-path analysis, §5).
+func msSweepCase(be zen.Backend) (*Instance, error) {
+	st := &zen.Stats{}
+	return &Instance{
+		Iter: func() {
+			n := &bgp.Network{}
+			a := n.AddRouter("A", 1)
+			b := n.AddRouter("B", 2)
+			c := n.AddRouter("C", 3)
+			d := n.AddRouter("D", 4)
+			a.Originates = true
+			a.Origin = bgp.Route{Prefix: pkt.IP(203, 0, 113, 0), PrefixLen: 24, LocalPref: 100}
+			n.ConnectBoth(a, b)
+			n.ConnectBoth(a, c)
+			n.ConnectBoth(b, d)
+			n.ConnectBoth(c, d)
+			res := minesweeper.Check(n, minesweeper.Query{
+				MaxFailures: 1,
+				Property:    minesweeper.Reachable(d),
+			}, zen.WithBackend(be), zen.WithStats(st))
+			if res.Found {
+				panic("square is 2-connected; one failure cannot disconnect D")
 			}
 		},
 		Metrics: backendMetrics(st),

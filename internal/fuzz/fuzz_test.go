@@ -232,3 +232,25 @@ func containsOp(n *core.Node, op core.Op) bool {
 	}
 	return walk(n)
 }
+
+// TestPortfolioEngineEnumerates exercises the sixth oracle engine alone:
+// the portfolio adapter must enumerate the exact model set of a simple
+// predicate through its race-then-Next protocol.
+func TestPortfolioEngineEnumerates(t *testing.T) {
+	b := core.NewBuilder()
+	ty := core.BV(8, false)
+	in := b.Var(ty, "in")
+	expr := b.Lt(in, b.BVConst(ty, 3))
+	prog, div := compileChecked(expr, in)
+	if div != nil {
+		t.Fatalf("compile: %v", div)
+	}
+	res := enumerate(newPortfolioSolver, expr, in, prog, CheckConfig{ListBound: 2, MaxModels: 10})
+	if res.div != nil {
+		t.Fatalf("portfolio enumeration diverged: %v", res.div)
+	}
+	if !res.sat || !res.exhausted || len(res.models) != 3 {
+		t.Fatalf("portfolio enumeration: sat=%v exhausted=%v models=%d, want sat, exhausted, 3",
+			res.sat, res.exhausted, len(res.models))
+	}
+}

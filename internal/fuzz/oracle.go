@@ -8,23 +8,26 @@ import (
 	"zen-go/internal/compilejit"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
+	"zen-go/internal/obs"
+	"zen-go/internal/portfolio"
 	"zen-go/internal/stateset"
 	"zen-go/internal/sym"
 )
 
 // Divergence kinds reported by the oracle.
 const (
-	KindSatDisagree    = "sat-disagree"    // BDD and SAT disagree on satisfiability
-	KindCountDisagree  = "count-disagree"  // backends enumerate different model counts
-	KindUnsoundModel   = "unsound-model"   // a returned model does not satisfy the predicate
-	KindDuplicateModel = "duplicate-model" // model enumeration returned the same input twice
-	KindCompileDiverge = "compile-diverge" // compiled output differs from interpreted output
-	KindStateSetEmpty  = "stateset-empty"  // set emptiness contradicts the solvers
-	KindStateSetModel  = "stateset-model"  // a solver model is missing from the predicate's set
-	KindStateSetCount  = "stateset-count"  // exact set count contradicts exhausted enumeration
-	KindReverseDiverge = "reverse-diverge" // TransformReverse({true}) differs from the solution set
-	KindForwardDiverge = "forward-diverge" // TransformForward of a singleton is not {f(x)}
-	KindBackendPanic   = "backend-panic"   // a backend crashed on a well-typed expression
+	KindSatDisagree      = "sat-disagree"      // BDD and SAT disagree on satisfiability
+	KindCountDisagree    = "count-disagree"    // backends enumerate different model counts
+	KindUnsoundModel     = "unsound-model"     // a returned model does not satisfy the predicate
+	KindDuplicateModel   = "duplicate-model"   // model enumeration returned the same input twice
+	KindCompileDiverge   = "compile-diverge"   // compiled output differs from interpreted output
+	KindStateSetEmpty    = "stateset-empty"    // set emptiness contradicts the solvers
+	KindStateSetModel    = "stateset-model"    // a solver model is missing from the predicate's set
+	KindStateSetCount    = "stateset-count"    // exact set count contradicts exhausted enumeration
+	KindReverseDiverge   = "reverse-diverge"   // TransformReverse({true}) differs from the solution set
+	KindForwardDiverge   = "forward-diverge"   // TransformForward of a singleton is not {f(x)}
+	KindBackendPanic     = "backend-panic"     // a backend crashed on a well-typed expression
+	KindPortfolioDiverge = "portfolio-diverge" // the racing portfolio disagrees with the single backends
 )
 
 // CheckConfig configures one differential check.
@@ -118,6 +121,25 @@ func Check(expr, in *core.Node, cfg CheckConfig, rng *rand.Rand) *Divergence {
 		return fail(KindCountDisagree, "sat exhausted at %d models, bdd found %d", len(satRes.models), len(bddRes.models))
 	}
 
+	// Path 4b: the racing portfolio (sixth engine) must agree with the
+	// single backends on satisfiability and enumeration counts. Its
+	// witness values are timing-dependent (the winner varies), but
+	// enumerate checks every model for concrete soundness, so parity is
+	// over verdicts and counts, never over witness identity.
+	pfRes := enumerate(newPortfolioSolver, expr, in, prog, cfg)
+	if pfRes.div != nil {
+		return pfRes.div.fill(expr, in)
+	}
+	if pfRes.sat != satRes.sat {
+		return fail(KindPortfolioDiverge, "portfolio sat=%v, single backends sat=%v (bound %d)", pfRes.sat, satRes.sat, cfg.ListBound)
+	}
+	if pfRes.exhausted && len(satRes.models) > len(pfRes.models) {
+		return fail(KindPortfolioDiverge, "portfolio exhausted at %d models, sat found %d", len(pfRes.models), len(satRes.models))
+	}
+	if satRes.exhausted && len(pfRes.models) > len(satRes.models) {
+		return fail(KindPortfolioDiverge, "sat exhausted at %d models, portfolio found %d", len(satRes.models), len(pfRes.models))
+	}
+
 	// Path 5: state-set transformers (exact over the whole space).
 	if cfg.StateSet && listFree(expr) && listFreeType(in.Type) &&
 		(cfg.MaxStateSetBits == 0 || in.Type.NumBits(cfg.ListBound) <= cfg.MaxStateSetBits) {
@@ -189,9 +211,43 @@ func (s *erasedSolver[B]) eval(expr, in *core.Node, bound int) {
 func (s *erasedSolver[B]) solve() bool           { return s.alg.Solve(s.constraint) }
 func (s *erasedSolver[B]) decode() *interp.Value { return s.input.Decode(s.alg.BitValue) }
 func (s *erasedSolver[B]) block(m *interp.Value) {
-	blocked := s.alg.Not(sym.Eq(s.alg, s.input.Val, constVal(s.alg, m)))
-	s.constraint = s.alg.And(s.constraint, blocked)
+	s.constraint = s.alg.And(s.constraint, sym.BlockModel(s.alg, s.input.Val, m))
 }
+
+// portfolioSolver adapts a portfolio race to the enumeration driver. The
+// first solve runs the race; later solves enumerate incrementally on the
+// winner, which blocks the previous model itself — block is a no-op.
+type portfolioSolver struct {
+	expr, in *core.Node
+	bound    int
+	sess     *portfolio.Session
+}
+
+func newPortfolioSolver() anySolver { return &portfolioSolver{} }
+
+func (s *portfolioSolver) eval(expr, in *core.Node, bound int) {
+	s.expr, s.in, s.bound = expr, in, bound
+}
+
+func (s *portfolioSolver) solve() bool {
+	rec := obs.Begin(nil, nil, "portfolio", "fuzz")
+	defer rec.End()
+	if s.sess == nil {
+		sess, err := portfolio.Run(portfolio.Query{
+			Cond: s.expr,
+			Vars: []portfolio.VarSpec{{ID: s.in.VarID, Type: s.in.Type, Bound: s.bound, Name: "in"}},
+		}, portfolio.Config{SATWorkers: 2}, rec)
+		if err != nil {
+			panic(err) // enumerate's recover reports it as a backend panic
+		}
+		s.sess = sess
+		return sess.Found()
+	}
+	return s.sess.Next(nil, rec)
+}
+
+func (s *portfolioSolver) decode() *interp.Value { return s.sess.Model(s.in.VarID) }
+func (s *portfolioSolver) block(m *interp.Value) {}
 
 type enumResult struct {
 	sat       bool
@@ -236,33 +292,6 @@ func enumerate(mk func() anySolver, expr, in *core.Node, prog *compilejit.Progra
 		s.block(m)
 	}
 	return res
-}
-
-// constVal lifts a concrete interpreter value into a constant symbolic
-// value (for model blocking).
-func constVal[B comparable](alg sym.Algebra[B], v *interp.Value) *sym.Val[B] {
-	switch v.Type.Kind {
-	case core.KindBool:
-		if v.B {
-			return sym.BoolVal(alg.True())
-		}
-		return sym.BoolVal(alg.False())
-	case core.KindBV:
-		return sym.ConstBV(alg, v.Type, v.U)
-	case core.KindObject:
-		fields := make([]*sym.Val[B], len(v.Fields))
-		for i, f := range v.Fields {
-			fields[i] = constVal(alg, f)
-		}
-		return sym.ObjectVal(v.Type, fields...)
-	case core.KindList:
-		l := sym.NilList(alg, v.Type)
-		for i := len(v.Elems) - 1; i >= 0; i-- {
-			l = sym.Cons(constVal(alg, v.Elems[i]), l)
-		}
-		return l
-	}
-	panic("fuzz: unknown kind")
 }
 
 // --- state sets ---

@@ -85,6 +85,29 @@ type SATStats struct {
 	Propagations int64 `json:"propagations"`
 	Conflicts    int64 `json:"conflicts"`
 	Restarts     int64 `json:"restarts"`
+	// Imported and Exported count clauses moved through the portfolio's
+	// clause exchange (zero outside portfolio runs).
+	Imported int64 `json:"imported,omitempty"`
+	Exported int64 `json:"exported,omitempty"`
+}
+
+// PortfolioStats count solver-portfolio activity (internal/portfolio):
+// strategy races, their winners, clause sharing between SAT workers, and
+// how quickly race losers acknowledged cancellation.
+type PortfolioStats struct {
+	// Races counts portfolio queries (each races >= 2 strategies).
+	Races int64 `json:"races"`
+	// WinsBy breaks Races down by winning strategy ("bdd", "sat").
+	WinsBy map[string]int64 `json:"wins_by,omitempty"`
+	// ClausesShared and ClausesImported count clauses exported to and
+	// accepted from the shared exchange across all SAT workers.
+	ClausesShared   int64 `json:"clauses_shared"`
+	ClausesImported int64 `json:"clauses_imported"`
+	// LoserAborts counts losing strategies torn down; LoserAbortNs is the
+	// accumulated wall time between the winner's answer and the last
+	// loser's exit (cancellation latency).
+	LoserAborts  int64 `json:"loser_aborts"`
+	LoserAbortNs int64 `json:"loser_abort_ns"`
 }
 
 // CompileStats count model compilations (§8).
@@ -178,15 +201,16 @@ type Snapshot struct {
 	Solves int64 `json:"solves"`
 	Sat    int64 `json:"sat"`
 
-	Phases   []PhaseTiming `json:"phases,omitempty"`
-	DAG      DAGStats      `json:"dag"`
-	BDD      BDDStats      `json:"bdd"`
-	SAT      SATStats      `json:"sat_solver"`
-	Compile  CompileStats  `json:"compile"`
-	StateSet StateSetStats `json:"stateset"`
-	Fuzz     FuzzStats     `json:"fuzz"`
-	Lint     LintStats     `json:"lint"`
-	Serve    ServeStats    `json:"serve"`
+	Phases    []PhaseTiming  `json:"phases,omitempty"`
+	DAG       DAGStats       `json:"dag"`
+	BDD       BDDStats       `json:"bdd"`
+	SAT       SATStats       `json:"sat_solver"`
+	Compile   CompileStats   `json:"compile"`
+	StateSet  StateSetStats  `json:"stateset"`
+	Fuzz      FuzzStats      `json:"fuzz"`
+	Lint      LintStats      `json:"lint"`
+	Serve     ServeStats     `json:"serve"`
+	Portfolio PortfolioStats `json:"portfolio"`
 }
 
 // Phase returns the accumulated timing of the named phase.
@@ -237,6 +261,8 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.SAT.Propagations += o.SAT.Propagations
 	s.SAT.Conflicts += o.SAT.Conflicts
 	s.SAT.Restarts += o.SAT.Restarts
+	s.SAT.Imported += o.SAT.Imported
+	s.SAT.Exported += o.SAT.Exported
 	s.Compile.Compiles += o.Compile.Compiles
 	s.Compile.Instructions += o.Compile.Instructions
 	s.Compile.Registers += o.Compile.Registers
@@ -257,6 +283,17 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.Serve.Shed += o.Serve.Shed
 	s.Serve.Cancelled += o.Serve.Cancelled
 	s.Serve.Errors += o.Serve.Errors
+	s.Portfolio.Races += o.Portfolio.Races
+	for k, v := range o.Portfolio.WinsBy {
+		if s.Portfolio.WinsBy == nil {
+			s.Portfolio.WinsBy = make(map[string]int64)
+		}
+		s.Portfolio.WinsBy[k] += v
+	}
+	s.Portfolio.ClausesShared += o.Portfolio.ClausesShared
+	s.Portfolio.ClausesImported += o.Portfolio.ClausesImported
+	s.Portfolio.LoserAborts += o.Portfolio.LoserAborts
+	s.Portfolio.LoserAbortNs += o.Portfolio.LoserAbortNs
 }
 
 func (s *Snapshot) clone() Snapshot {
@@ -265,6 +302,12 @@ func (s *Snapshot) clone() Snapshot {
 		c.AnalysesBy = make(map[string]int64, len(s.AnalysesBy))
 		for k, v := range s.AnalysesBy {
 			c.AnalysesBy[k] = v
+		}
+	}
+	if s.Portfolio.WinsBy != nil {
+		c.Portfolio.WinsBy = make(map[string]int64, len(s.Portfolio.WinsBy))
+		for k, v := range s.Portfolio.WinsBy {
+			c.Portfolio.WinsBy[k] = v
 		}
 	}
 	c.Phases = append([]PhaseTiming(nil), s.Phases...)
@@ -309,6 +352,24 @@ func (s *Snapshot) String() string {
 		fmt.Fprintf(&b, "  sat:      %d vars, %d clauses (+%d learned), %d decisions, %d propagations, %d conflicts, %d restarts\n",
 			s.SAT.Vars, s.SAT.Clauses, s.SAT.Learned, s.SAT.Decisions,
 			s.SAT.Propagations, s.SAT.Conflicts, s.SAT.Restarts)
+	}
+	if s.Portfolio.Races > 0 {
+		fmt.Fprintf(&b, "  portfolio: %d races", s.Portfolio.Races)
+		if len(s.Portfolio.WinsBy) > 0 {
+			names := make([]string, 0, len(s.Portfolio.WinsBy))
+			for k := range s.Portfolio.WinsBy {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			parts := make([]string, len(names))
+			for i, k := range names {
+				parts[i] = fmt.Sprintf("%s %d", k, s.Portfolio.WinsBy[k])
+			}
+			fmt.Fprintf(&b, " (wins: %s)", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(&b, ", %d clauses shared / %d imported, %d losers aborted in %v total\n",
+			s.Portfolio.ClausesShared, s.Portfolio.ClausesImported,
+			s.Portfolio.LoserAborts, time.Duration(s.Portfolio.LoserAbortNs).Round(time.Microsecond))
 	}
 	if s.Compile.Compiles > 0 {
 		fmt.Fprintf(&b, "  compile:  %d programs, %d instructions, %d registers\n",

@@ -157,6 +157,26 @@ func WriteSnapshotMetrics(m *MetricsWriter, s Snapshot) {
 	m.Family("zen_sat_restarts_total", "counter", "Restarts across SAT solves.")
 	m.Sample("", nil, float64(s.SAT.Restarts))
 
+	m.Family("zen_portfolio_races_total", "counter", "Solver-portfolio races run.")
+	m.Sample("", nil, float64(s.Portfolio.Races))
+	m.Family("zen_portfolio_wins_total", "counter", "Solver-portfolio races by winning strategy.")
+	strategies := make([]string, 0, len(s.Portfolio.WinsBy))
+	for k := range s.Portfolio.WinsBy {
+		strategies = append(strategies, k)
+	}
+	sort.Strings(strategies)
+	for _, k := range strategies {
+		m.Sample("", [][2]string{{"strategy", k}}, float64(s.Portfolio.WinsBy[k]))
+	}
+	m.Family("zen_portfolio_clauses_shared_total", "counter", "Clauses exported to the portfolio clause exchange.")
+	m.Sample("", nil, float64(s.Portfolio.ClausesShared))
+	m.Family("zen_portfolio_clauses_imported_total", "counter", "Clauses accepted from the portfolio clause exchange.")
+	m.Sample("", nil, float64(s.Portfolio.ClausesImported))
+	m.Family("zen_portfolio_loser_aborts_total", "counter", "Losing portfolio strategies torn down after a race.")
+	m.Sample("", nil, float64(s.Portfolio.LoserAborts))
+	m.Family("zen_portfolio_loser_abort_seconds_total", "counter", "Wall time between a race winner's answer and loser teardown.")
+	m.Sample("", nil, float64(s.Portfolio.LoserAbortNs)/1e9)
+
 	m.Family("zen_compiles_total", "counter", "Model compilations.")
 	m.Sample("", nil, float64(s.Compile.Compiles))
 	m.Family("zen_compile_instructions_total", "counter", "Instructions emitted by model compilation.")

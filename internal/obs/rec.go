@@ -147,6 +147,24 @@ func (r *Rec) AddFuzz(d FuzzStats) {
 	r.s.Fuzz.Shrinks += d.Shrinks
 }
 
+// AddPortfolio accumulates solver-portfolio race counters.
+func (r *Rec) AddPortfolio(d PortfolioStats) {
+	if r == nil {
+		return
+	}
+	r.s.Portfolio.Races += d.Races
+	for k, v := range d.WinsBy {
+		if r.s.Portfolio.WinsBy == nil {
+			r.s.Portfolio.WinsBy = make(map[string]int64)
+		}
+		r.s.Portfolio.WinsBy[k] += v
+	}
+	r.s.Portfolio.ClausesShared += d.ClausesShared
+	r.s.Portfolio.ClausesImported += d.ClausesImported
+	r.s.Portfolio.LoserAborts += d.LoserAborts
+	r.s.Portfolio.LoserAbortNs += d.LoserAbortNs
+}
+
 // AddLint accumulates static-analyzer counters.
 func (r *Rec) AddLint(d LintStats) {
 	if r == nil {
@@ -180,6 +198,16 @@ func (r *Rec) End() {
 		}
 		if r.s.DAG.Nodes > 0 {
 			r.span.SetAttr("dag_nodes", r.s.DAG.Nodes)
+		}
+		if r.s.Portfolio.Races > 0 {
+			for k, v := range r.s.Portfolio.WinsBy {
+				if v > 0 {
+					r.span.SetAttr("portfolio_winner", k)
+				}
+			}
+			r.span.SetAttr("portfolio_loser_abort_ns", r.s.Portfolio.LoserAbortNs)
+			r.span.SetAttr("portfolio_clauses_shared", r.s.Portfolio.ClausesShared)
+			r.span.SetAttr("portfolio_clauses_imported", r.s.Portfolio.ClausesImported)
 		}
 		r.span.End()
 		r.span = nil

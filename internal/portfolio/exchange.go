@@ -1,0 +1,54 @@
+package portfolio
+
+import (
+	"sync"
+
+	"zen-go/internal/sat"
+)
+
+// maxPoolClauses bounds the exchange: a pathological solve exporting
+// millions of short clauses must not hold them all live. Beyond the cap
+// new publications are dropped; the per-solver Exported counters still
+// record the attempt, so telemetry shows the pressure.
+const maxPoolClauses = 1 << 14
+
+// exchange is the clause-sharing pool between SAT workers: an
+// append-only log of published clauses with a read cursor per worker.
+// A worker taking from the pool receives every clause published since
+// its last take, minus its own publications.
+type exchange struct {
+	mu      sync.Mutex
+	clauses [][]sat.Lit
+	owner   []int
+	cursor  []int
+}
+
+func newExchange(workers int) *exchange {
+	return &exchange{cursor: make([]int, workers)}
+}
+
+// publish appends one clause. The slice is retained; callers must pass
+// a private copy (sat.Solver's LearnHook already does).
+func (e *exchange) publish(w int, lits []sat.Lit) {
+	e.mu.Lock()
+	if len(e.clauses) < maxPoolClauses {
+		e.clauses = append(e.clauses, lits)
+		e.owner = append(e.owner, w)
+	}
+	e.mu.Unlock()
+}
+
+// take returns the clauses worker w has not seen and did not publish,
+// advancing its cursor.
+func (e *exchange) take(w int) [][]sat.Lit {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out [][]sat.Lit
+	for i := e.cursor[w]; i < len(e.clauses); i++ {
+		if e.owner[i] != w {
+			out = append(out, e.clauses[i])
+		}
+	}
+	e.cursor[w] = len(e.clauses)
+	return out
+}

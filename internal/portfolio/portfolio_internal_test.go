@@ -1,0 +1,188 @@
+package portfolio
+
+import (
+	"errors"
+	"testing"
+
+	"zen-go/internal/core"
+	"zen-go/internal/obs"
+	"zen-go/internal/sat"
+)
+
+func testRec() *obs.Rec { return obs.Begin(nil, nil, "portfolio", "test") }
+
+func lits(vs ...int) []sat.Lit {
+	ls := make([]sat.Lit, len(vs))
+	for i, v := range vs {
+		ls[i] = sat.MkLit(v, false)
+	}
+	return ls
+}
+
+func TestExchangeExcludesOwnClauses(t *testing.T) {
+	ex := newExchange(2)
+	ex.publish(0, lits(0))
+	ex.publish(1, lits(1))
+	got := ex.take(0)
+	if len(got) != 1 || got[0][0] != sat.MkLit(1, false) {
+		t.Fatalf("worker 0 take = %v, want only worker 1's clause", got)
+	}
+	if again := ex.take(0); again != nil {
+		t.Fatalf("second take must be empty (cursor advanced), got %v", again)
+	}
+	// Worker 1 sees worker 0's clause but not its own.
+	got = ex.take(1)
+	if len(got) != 1 || got[0][0] != sat.MkLit(0, false) {
+		t.Fatalf("worker 1 take = %v, want only worker 0's clause", got)
+	}
+}
+
+func TestExchangeCap(t *testing.T) {
+	ex := newExchange(2)
+	for i := 0; i < maxPoolClauses+100; i++ {
+		ex.publish(0, lits(i%7))
+	}
+	if n := len(ex.clauses); n != maxPoolClauses {
+		t.Fatalf("pool holds %d clauses, cap is %d", n, maxPoolClauses)
+	}
+}
+
+// TestImportGateAfterStop is the clause-routing soundness check of the
+// ISSUE: a shared clause must never land in a worker whose race has been
+// cancelled. The import hook is gated on the race's stop flag.
+func TestImportGateAfterStop(t *testing.T) {
+	st := &state{}
+	st.winner.Store(-1)
+	ex := newExchange(2)
+	s := sat.New()
+	s.NewVar()
+	wireExchange(s, ex, 0, st)
+
+	ex.publish(1, lits(0))
+	if got := s.ImportHook(); len(got) != 1 {
+		t.Fatalf("before stop: import = %v, want 1 clause", got)
+	}
+	ex.publish(1, lits(0))
+	st.stop.Trigger(nil)
+	if got := s.ImportHook(); got != nil {
+		t.Fatalf("after stop: import = %v, want nil (stopped workers import nothing)", got)
+	}
+}
+
+func bv8Query(build func(b *core.Builder, x *core.Node, ty *core.Type) *core.Node) (Query, int32) {
+	b := core.NewBuilder()
+	ty := core.BV(8, false)
+	x := b.Var(ty, "x")
+	cond := build(b, x, ty)
+	return Query{Cond: cond, Vars: []VarSpec{{ID: x.VarID, Type: ty, Bound: 4, Name: "x"}}}, x.VarID
+}
+
+func TestRunSat(t *testing.T) {
+	q, id := bv8Query(func(b *core.Builder, x *core.Node, ty *core.Type) *core.Node {
+		return b.Eq(x, b.BVConst(ty, 42))
+	})
+	rec := testRec()
+	defer rec.End()
+	sess, err := Run(q, Config{SATWorkers: 2}, rec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sess.Found() {
+		t.Fatalf("x == 42 must be satisfiable")
+	}
+	if got := sess.Model(id).U; got != 42 {
+		t.Fatalf("model x = %d, want 42", got)
+	}
+	if w := sess.Winner(); w != "bdd" && w != "sat" {
+		t.Fatalf("winner = %q, want bdd or sat", w)
+	}
+	out := sess.Outcome()
+	if out.Races != 1 {
+		t.Fatalf("outcome races = %d, want 1", out.Races)
+	}
+	var wins int64
+	for _, n := range out.WinsBy {
+		wins += n
+	}
+	if wins != 1 {
+		t.Fatalf("outcome wins = %d, want exactly 1", wins)
+	}
+	if out.LoserAborts < 0 || out.LoserAbortNs < 0 {
+		t.Fatalf("negative loser telemetry: %+v", out)
+	}
+}
+
+func TestRunUnsat(t *testing.T) {
+	q, _ := bv8Query(func(b *core.Builder, x *core.Node, ty *core.Type) *core.Node {
+		return b.And(b.Eq(x, b.BVConst(ty, 1)), b.Eq(x, b.BVConst(ty, 2)))
+	})
+	rec := testRec()
+	defer rec.End()
+	sess, err := Run(q, Config{SATWorkers: 2}, rec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sess.Found() {
+		t.Fatalf("x == 1 && x == 2 must be unsat")
+	}
+	if sess.Next(nil, testRec()) {
+		t.Fatalf("Next on an unsat session must report false")
+	}
+}
+
+func TestRunNextEnumerates(t *testing.T) {
+	q, id := bv8Query(func(b *core.Builder, x *core.Node, ty *core.Type) *core.Node {
+		return b.Lt(x, b.BVConst(ty, 3))
+	})
+	rec := testRec()
+	defer rec.End()
+	sess, err := Run(q, Config{SATWorkers: 2}, rec)
+	if err != nil || !sess.Found() {
+		t.Fatalf("Run = (%v, %v), want sat", sess, err)
+	}
+	seen := map[uint64]bool{}
+	for ok := true; ok; ok = sess.Next(nil, rec) {
+		v := sess.Model(id).U
+		if v >= 3 {
+			t.Fatalf("model x = %d violates x < 3", v)
+		}
+		if seen[v] {
+			t.Fatalf("model x = %d repeated; blocking constraint failed", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("enumerated %d models, want 3", len(seen))
+	}
+}
+
+func TestRunCancelledReturnsError(t *testing.T) {
+	// The query must be hard enough that no strategy finishes before its
+	// first poll point: a trivial race may legitimately complete with a
+	// sound verdict even under a dead check. A 32-bit symbolic square is
+	// far past every backend's polling interval.
+	boom := errors.New("boom")
+	b := core.NewBuilder()
+	ty := core.BV(32, false)
+	x := b.Var(ty, "x")
+	cond := b.Eq(b.Mul(x, x), b.BVConst(ty, 3037000493))
+	q := Query{Cond: cond, Vars: []VarSpec{{ID: x.VarID, Type: ty, Bound: 4, Name: "x"}}}
+	rec := testRec()
+	defer rec.End()
+	sess, err := Run(q, Config{SATWorkers: 2, Check: func() error { return boom }}, rec)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run under a dead check: err = %v, want %v", err, boom)
+	}
+	if sess != nil {
+		t.Fatalf("Run must not return a session alongside an error")
+	}
+}
+
+func TestConfigWorkersDefault(t *testing.T) {
+	if n := (Config{}).workers(); n < 1 || n > 4 {
+		t.Fatalf("default workers = %d, want 1..4", n)
+	}
+	if n := (Config{SATWorkers: 7}).workers(); n != 7 {
+		t.Fatalf("explicit workers = %d, want 7", n)
+	}
+}

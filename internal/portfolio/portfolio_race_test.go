@@ -1,0 +1,247 @@
+// Race and leak stress tests for the portfolio backend, driven through
+// the public zen API (an external test package, so no import cycle).
+// scripts/check.sh runs this package under -race.
+package portfolio_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"zen-go/zen"
+)
+
+func incFn() *zen.Fn[uint8, uint8] {
+	return zen.Func(func(x zen.Value[uint8]) zen.Value[uint8] {
+		return zen.AddC(x, 1)
+	})
+}
+
+// hardFn is expensive enough on every strategy that a short deadline
+// reliably expires mid-race: a 32-bit symbolic square.
+func hardFn() *zen.Fn[uint32, uint32] {
+	return zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+		return zen.Mul(x, x)
+	})
+}
+
+func TestPortfolioFindAgreesWithBackends(t *testing.T) {
+	fn := incFn()
+	pred := func(in zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.EqC(out, uint8(7))
+	}
+	w, found := fn.Find(pred, zen.WithPortfolio(), zen.WithPortfolioWorkers(3))
+	if !found || w != 6 {
+		t.Fatalf("portfolio Find = (%d, %v), want (6, true)", w, found)
+	}
+	for _, be := range []zen.Backend{zen.BDD, zen.SAT} {
+		bw, bfound := fn.Find(pred, zen.WithBackend(be))
+		if bfound != found || bw != w {
+			t.Fatalf("%v disagrees with portfolio: (%d, %v) vs (%d, %v)", be, bw, bfound, w, found)
+		}
+	}
+}
+
+func TestPortfolioUnsatVerdict(t *testing.T) {
+	valid, cex := incFn().Verify(func(in zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.Eq(out, zen.AddC(in, 1))
+	}, zen.WithPortfolio())
+	if !valid {
+		t.Fatalf("tautology reported invalid, cex = %d", cex)
+	}
+}
+
+func TestPortfolioFindAllDistinct(t *testing.T) {
+	ws := incFn().FindAll(func(in zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.LtC(in, uint8(5))
+	}, 10, zen.WithPortfolio(), zen.WithPortfolioWorkers(2))
+	if len(ws) != 5 {
+		t.Fatalf("FindAll found %d witnesses, want 5", len(ws))
+	}
+	seen := map[uint8]bool{}
+	for _, w := range ws {
+		if w >= 5 {
+			t.Fatalf("witness %d violates the predicate", w)
+		}
+		if seen[w] {
+			t.Fatalf("witness %d repeated", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestPortfolioFn2Find(t *testing.T) {
+	fn := zen.Func2(func(a, b zen.Value[uint8]) zen.Value[uint8] {
+		return zen.Add(a, b)
+	})
+	a, b, found := fn.Find(func(x, y zen.Value[uint8], out zen.Value[uint8]) zen.Value[bool] {
+		return zen.And(zen.EqC(out, uint8(10)), zen.EqC(x, uint8(3)))
+	}, zen.WithPortfolio())
+	if !found || a != 3 || a+b != 10 {
+		t.Fatalf("Fn2 portfolio Find = (%d, %d, %v), want a=3, a+b=10", a, b, found)
+	}
+}
+
+func TestPortfolioProblemNextModel(t *testing.T) {
+	p := zen.NewProblem(zen.WithPortfolio(), zen.WithPortfolioWorkers(2))
+	x := zen.ProblemVar[uint8](p, "x")
+	y := zen.ProblemVar[uint8](p, "y")
+	p.Require(zen.EqC(zen.Add(x, y), uint8(4)))
+	p.Require(zen.LtC(x, uint8(2)))
+	if !p.Solve() {
+		t.Fatalf("x + y == 4 && x < 2 must be satisfiable")
+	}
+	type model struct{ x, y uint8 }
+	seen := map[model]bool{}
+	for ok := true; ok; ok = p.NextModel() {
+		m := model{zen.Get(p, x), zen.Get(p, y)}
+		if m.x+m.y != 4 || m.x >= 2 {
+			t.Fatalf("model %+v violates the constraints", m)
+		}
+		if seen[m] {
+			t.Fatalf("model %+v repeated; NextModel blocking failed", m)
+		}
+		seen[m] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("enumerated %d models, want 2 (x in {0,1})", len(seen))
+	}
+}
+
+func TestPortfolioFindRaw(t *testing.T) {
+	fn := incFn()
+	var q zen.Queryable = fn
+	args := q.QueryArgs()
+	b := zen.Builder()
+	cond := b.Eq(q.QueryOut(), b.BVConst(q.QueryOut().Type, 9))
+	ms, err := zen.FindAllRaw(context.Background(), cond, args, 5, zen.WithPortfolio())
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("FindAllRaw = (%d models, %v), want exactly 1", len(ms), err)
+	}
+	if in := ms[0][args[0].VarID]; in.U != 8 {
+		t.Fatalf("witness = %d, want 8", in.U)
+	}
+}
+
+// TestPortfolioDeadlineMidRaceNeverVacuous: a deadline expiring mid-race
+// must surface as an error — never as "no witness" (which Verify would
+// read as vacuous validity).
+func TestPortfolioDeadlineMidRaceNeverVacuous(t *testing.T) {
+	const deadline = 50 * time.Millisecond
+	ctx, cancelFn := context.WithTimeout(context.Background(), deadline)
+	defer cancelFn()
+	start := time.Now()
+	_, found, err := hardFn().FindCtx(ctx, func(in, out zen.Value[uint32]) zen.Value[bool] {
+		return zen.EqC(out, uint32(3037000493))
+	}, zen.WithPortfolio(), zen.WithPortfolioWorkers(2))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skipf("query finished in %v on this machine; cannot exercise the deadline", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if found {
+		t.Fatalf("cancelled portfolio Find must not report a witness")
+	}
+	if elapsed > 20*deadline {
+		t.Fatalf("FindCtx returned after %v, deadline was %v", elapsed, deadline)
+	}
+}
+
+func TestPortfolioAlreadyCancelled(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	_, found, err := hardFn().FindCtx(ctx, func(in, out zen.Value[uint32]) zen.Value[bool] {
+		return zen.EqC(out, uint32(3037000493))
+	}, zen.WithPortfolio())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if found {
+		t.Fatalf("cancelled portfolio Find must not report a witness")
+	}
+}
+
+// TestPortfolioConcurrentNoGoroutineLeak runs many portfolio queries in
+// parallel and checks that every strategy goroutine exits: Run promises
+// not to return before its losers are torn down.
+func TestPortfolioConcurrentNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fn := incFn()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			target := uint8(i)
+			w, found := fn.Find(func(in, out zen.Value[uint8]) zen.Value[bool] {
+				return zen.EqC(out, target)
+			}, zen.WithPortfolio(), zen.WithPortfolioWorkers(3))
+			if !found || w != target-1 {
+				t.Errorf("query %d: Find = (%d, %v), want (%d, true)", i, w, found, target-1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Allow the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after portfolio queries; losers leaked",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPortfolioDeadlineLeavesNoGoroutines: the loser-teardown promise
+// holds on the failure path too — a race that dies to a deadline must
+// still unwind every strategy before FindCtx returns.
+func TestPortfolioDeadlineLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancelFn := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancelFn()
+	_, _, err := hardFn().FindCtx(ctx, func(in, out zen.Value[uint32]) zen.Value[bool] {
+		return zen.EqC(out, uint32(3037000493))
+	}, zen.WithPortfolio(), zen.WithPortfolioWorkers(3))
+	if err == nil {
+		t.Skip("query finished before the deadline; cannot exercise teardown")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancelled race", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPortfolioStatsFlow(t *testing.T) {
+	var stats zen.Stats
+	fn := incFn()
+	_, found := fn.Find(func(in, out zen.Value[uint8]) zen.Value[bool] {
+		return zen.EqC(out, uint8(9))
+	}, zen.WithPortfolio(), zen.WithStats(&stats))
+	if !found {
+		t.Fatalf("satisfiable query reported unsat")
+	}
+	snap := stats.Snapshot()
+	if snap.Portfolio.Races != 1 {
+		t.Fatalf("stats races = %d, want 1", snap.Portfolio.Races)
+	}
+	var wins int64
+	for _, n := range snap.Portfolio.WinsBy {
+		wins += n
+	}
+	if wins != 1 {
+		t.Fatalf("stats wins = %d, want 1", wins)
+	}
+}

@@ -117,6 +117,38 @@ type Solver struct {
 	Interrupt func() error
 
 	interruptErr error
+
+	// VarDecay is the EVSIDS activity decay factor in (0,1); 0 selects the
+	// default 0.95. Portfolio workers diversify by running slightly
+	// different decays, which changes branching order without affecting
+	// soundness.
+	VarDecay float64
+
+	// RandFreq is the probability that a branching decision picks a
+	// uniformly random unassigned variable instead of the activity-heap
+	// maximum; 0 disables random decisions. Seed drives the PRNG and is
+	// mutated as its state; two workers with distinct seeds explore
+	// distinct search trees.
+	RandFreq float64
+	Seed     uint64
+
+	// LearnHook, when non-nil, receives a copy of every learned clause of
+	// length at most ShareLimit (0 selects the default 8). Learned clauses
+	// are consequences of the problem clauses alone — assumptions enter
+	// search as pseudo-decisions above level 0, so they never contaminate
+	// the level-0 facts that conflict analysis elides — which makes them
+	// sound to share with any solver holding the same problem clauses.
+	LearnHook  func([]Lit)
+	ShareLimit int
+
+	// ImportHook, when non-nil, is drained at Solve entry and at every
+	// restart (after backtracking to level 0): each returned clause is
+	// attached as a learned clause. Clauses must be consequences of the
+	// problem clauses (e.g. exported by another worker's LearnHook).
+	ImportHook func() [][]Lit
+
+	imported int64
+	exported int64
 }
 
 // interruptGas is the number of quiet search-loop iterations (no
@@ -168,6 +200,8 @@ type Stats struct {
 	Propagations int64
 	Conflicts    int64
 	Restarts     int64
+	Imported     int64 // clauses accepted from ImportHook
+	Exported     int64 // clauses handed to LearnHook
 }
 
 // Stats returns a snapshot of the solver's counters.
@@ -180,6 +214,8 @@ func (s *Solver) Stats() Stats {
 		Propagations: s.propagations,
 		Conflicts:    s.conflicts,
 		Restarts:     s.restarts,
+		Imported:     s.imported,
+		Exported:     s.exported,
 	}
 }
 
@@ -461,6 +497,16 @@ func (s *Solver) cancelUntil(lvl int32) {
 }
 
 func (s *Solver) pickBranch() Lit {
+	if s.RandFreq > 0 && s.numVars > 0 {
+		if float64(s.nextRand()>>11)/(1<<53) < s.RandFreq {
+			v := int(s.nextRand() % uint64(s.numVars))
+			if s.assign[v] == lUndef {
+				// Leave v in the heap: pop skips assigned variables, so a
+				// stale entry is harmless.
+				return MkLit(v, s.polarity[v])
+			}
+		}
+	}
 	for {
 		v, ok := s.order.pop()
 		if !ok {
@@ -494,6 +540,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.cancelUntil(0)
 	if s.propagate() != nilClause {
 		s.unsat = true
+		return Unsat
+	}
+	if !s.drainImports() {
 		return Unsat
 	}
 
@@ -531,6 +580,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				return Unsat
 			}
 			learned, bt := s.analyze(confl)
+			if s.LearnHook != nil && len(learned) <= s.shareLimit() {
+				s.LearnHook(append([]Lit(nil), learned...))
+				s.exported++
+			}
 			s.cancelUntil(bt)
 			if len(learned) == 1 {
 				s.enqueue(learned[0], nilClause)
@@ -539,7 +592,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				s.numLearned++
 				s.enqueue(learned[0], cr)
 			}
-			s.varInc /= 0.95
+			decay := s.VarDecay
+			if decay == 0 {
+				decay = 0.95
+			}
+			s.varInc /= decay
 			if s.numLearned > s.reduceAt {
 				s.reduceDB()
 				s.reduceAt += s.reduceAt / 2
@@ -551,7 +608,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				restart++
 				s.restarts++
 				budget += 100 * luby(restart)
-				s.cancelUntil(s.baseLevel(len(assumptions)))
+				if s.ImportHook != nil {
+					// Foreign clauses attach at level 0, so a restart that
+					// imports backtracks all the way; the search loop
+					// re-places the assumptions afterwards.
+					s.cancelUntil(0)
+					if !s.drainImports() {
+						return Unsat
+					}
+				} else {
+					s.cancelUntil(s.baseLevel(len(assumptions)))
+				}
 			}
 			continue
 		}

@@ -1,0 +1,159 @@
+package sat
+
+// This file holds the portfolio-facing surface of the solver: worker
+// cloning, clause import, and the diversification PRNG. A parallel SAT
+// portfolio (internal/portfolio) clones one encoded solver per worker,
+// perturbs each clone's search (seed, decay, phases), and wires
+// LearnHook/ImportHook into a shared clause exchange. Sharing is sound
+// because learned clauses are consequences of the problem clauses alone:
+// assumptions enter search as pseudo-decisions above level 0 and appear
+// (negated) inside learned clauses rather than being silently assumed.
+
+// Clone returns a deep copy of the solver, valid for independent use
+// from another goroutine. Any in-progress search is undone first
+// (backtrack to decision level 0); level-0 facts, problem clauses, and
+// learned clauses carry over, as do activities and saved phases, so a
+// clone resumes from the same logical state. Search counters reset so a
+// worker's Stats report only its own effort. Hooks (Interrupt,
+// LearnHook, ImportHook) do not carry over: they close over the parent.
+func (s *Solver) Clone() *Solver {
+	s.cancelUntil(0)
+	c := &Solver{
+		clauses:      make([]clause, len(s.clauses)),
+		watches:      make([][]watcher, len(s.watches)),
+		assign:       append([]lbool(nil), s.assign...),
+		level:        append([]int32(nil), s.level...),
+		reason:       append([]clauseRef(nil), s.reason...),
+		trail:        append([]Lit(nil), s.trail...),
+		trailLk:      append([]int32(nil), s.trailLk...),
+		qhead:        s.qhead,
+		activity:     append([]float64(nil), s.activity...),
+		varInc:       s.varInc,
+		polarity:     append([]bool(nil), s.polarity...),
+		seen:         make([]bool, len(s.seen)),
+		numVars:      s.numVars,
+		added:        s.added,
+		unsat:        s.unsat,
+		numLearned:   s.numLearned,
+		reduceAt:     s.reduceAt,
+		MaxConflicts: s.MaxConflicts,
+		VarDecay:     s.VarDecay,
+		RandFreq:     s.RandFreq,
+		Seed:         s.Seed,
+		ShareLimit:   s.ShareLimit,
+	}
+	for i := range s.clauses {
+		cl := &s.clauses[i]
+		c.clauses[i] = clause{
+			lits:    append([]Lit(nil), cl.lits...),
+			learned: cl.learned,
+			deleted: cl.deleted,
+			act:     cl.act,
+		}
+	}
+	for i, ws := range s.watches {
+		c.watches[i] = append([]watcher(nil), ws...)
+	}
+	c.order = &varHeap{
+		solver: c,
+		heap:   append([]int(nil), s.order.heap...),
+		pos:    append([]int(nil), s.order.pos...),
+	}
+	return c
+}
+
+// ScramblePolarity pseudo-randomly flips the saved phase of every
+// variable, diversifying which half of the search space a cloned worker
+// explores first. It must be called between Solve calls (it backtracks
+// to level 0).
+func (s *Solver) ScramblePolarity(seed uint64) {
+	s.cancelUntil(0)
+	state := seed
+	for v := range s.polarity {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		if (z^(z>>31))&1 == 1 {
+			s.polarity[v] = !s.polarity[v]
+		}
+	}
+}
+
+// nextRand advances the splitmix64 diversification PRNG seeded by Seed.
+func (s *Solver) nextRand() uint64 {
+	s.Seed += 0x9e3779b97f4a7c15
+	z := s.Seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *Solver) shareLimit() int {
+	if s.ShareLimit > 0 {
+		return s.ShareLimit
+	}
+	return 8
+}
+
+// drainImports pulls foreign learned clauses from ImportHook and attaches
+// them at decision level 0. It reports false when an import exposed a
+// top-level contradiction (the formula is unsatisfiable). Callers must be
+// at decision level 0.
+func (s *Solver) drainImports() bool {
+	if s.ImportHook == nil {
+		return true
+	}
+	for _, lits := range s.ImportHook() {
+		if !s.importClause(lits) {
+			s.unsat = true
+			return false
+		}
+	}
+	return true
+}
+
+// importClause attaches one foreign learned clause, normalizing against
+// level-0 facts exactly like AddClause but marking the result learned so
+// reduceDB can age it out. It reports false on a top-level contradiction.
+func (s *Solver) importClause(lits []Lit) bool {
+	norm := make([]Lit, 0, len(lits))
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l.Var() >= s.numVars {
+			// A clause can mention variables the importing worker has not
+			// allocated only if the workers diverged; drop it defensively.
+			return true
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at top level
+		case lFalse:
+			continue
+		}
+		if seen[l.Not()] {
+			return true // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			norm = append(norm, l)
+		}
+	}
+	switch len(norm) {
+	case 0:
+		return false
+	case 1:
+		if !s.enqueue(norm[0], nilClause) {
+			return false
+		}
+		if s.propagate() != nilClause {
+			return false
+		}
+		s.imported++
+		return true
+	}
+	s.attach(norm, true)
+	s.numLearned++
+	s.imported++
+	return true
+}

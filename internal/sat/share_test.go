@@ -1,0 +1,267 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomCNF builds a small random CNF and returns it with its brute-force
+// satisfiability, for verdict-parity checks on diversified solvers.
+func randomCNF(rng *rand.Rand) (nVars int, cnf [][]Lit, wantSat bool) {
+	nVars = 3 + rng.Intn(10)
+	nClauses := 1 + rng.Intn(5*nVars)
+	cnf = make([][]Lit, nClauses)
+	for i := range cnf {
+		width := 1 + rng.Intn(3)
+		cl := make([]Lit, width)
+		for j := range cl {
+			cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 1)
+		}
+		cnf[i] = cl
+	}
+	wantSat, _ = bruteForce(nVars, cnf)
+	return nVars, cnf, wantSat
+}
+
+func loadCNF(nVars int, cnf [][]Lit) (*Solver, bool) {
+	s := New()
+	for v := 0; v < nVars; v++ {
+		s.NewVar()
+	}
+	for _, cl := range cnf {
+		if !s.AddClause(cl...) {
+			return s, false
+		}
+	}
+	return s, true
+}
+
+func TestCloneMatchesParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nVars, cnf, wantSat := randomCNF(rng)
+		s, ok := loadCNF(nVars, cnf)
+		if !ok {
+			continue
+		}
+		c := s.Clone()
+		if got := c.Solve(); (got == Sat) != wantSat {
+			t.Fatalf("trial %d: clone=%v brute=%v", trial, got, wantSat)
+		}
+		if got := s.Solve(); (got == Sat) != wantSat {
+			t.Fatalf("trial %d: parent=%v brute=%v", trial, got, wantSat)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	c := s.Clone()
+	// Make the clone unsatisfiable; the parent must be unaffected.
+	c.AddClause(MkLit(a, true))
+	c.AddClause(MkLit(b, true))
+	if c.Solve() != Unsat {
+		t.Fatal("clone with extra clauses should be unsat")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("parent should remain sat")
+	}
+}
+
+func TestCloneAfterSolveKeepsLearned(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(6,5) should be unsat")
+	}
+	c := s.Clone()
+	if !c.unsat {
+		t.Fatal("clone should inherit the top-level unsat flag")
+	}
+	if c.Solve() != Unsat {
+		t.Fatal("clone of an unsat solver should stay unsat")
+	}
+}
+
+func TestDiversifiedWorkersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		nVars, cnf, wantSat := randomCNF(rng)
+		base, ok := loadCNF(nVars, cnf)
+		if !ok {
+			continue
+		}
+		for w := 0; w < 4; w++ {
+			c := base.Clone()
+			c.Seed = uint64(w)*0x9e37 + 1
+			c.RandFreq = 0.1 * float64(w)
+			c.VarDecay = 0.90 + 0.02*float64(w)
+			if w > 0 {
+				c.ScramblePolarity(uint64(trial)<<8 | uint64(w))
+			}
+			got := c.Solve()
+			if (got == Sat) != wantSat {
+				t.Fatalf("trial %d worker %d: got %v, brute=%v", trial, w, got, wantSat)
+			}
+			if got == Sat {
+				for _, cl := range cnf {
+					sat := false
+					for _, l := range cl {
+						val := c.Model(l.Var())
+						if l.Neg() {
+							val = !val
+						}
+						if val {
+							sat = true
+							break
+						}
+					}
+					if !sat {
+						t.Fatalf("trial %d worker %d: model violates clause %v", trial, w, cl)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExportImportRoundTrip wires two clones of one formula into a tiny
+// clause exchange and checks that clauses flow, counters move, and the
+// verdict is unchanged.
+func TestExportImportRoundTrip(t *testing.T) {
+	base := New()
+	pigeonhole(base, 7, 6)
+
+	var mu sync.Mutex
+	var pool [][]Lit
+	exporter := base.Clone()
+	exporter.ShareLimit = 32
+	exporter.LearnHook = func(lits []Lit) {
+		mu.Lock()
+		pool = append(pool, lits)
+		mu.Unlock()
+	}
+	if exporter.Solve() != Unsat {
+		t.Fatal("PHP(7,6) should be unsat")
+	}
+	if exporter.Stats().Exported == 0 {
+		t.Fatal("exporter produced no shared clauses")
+	}
+	mu.Lock()
+	n := len(pool)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("pool is empty")
+	}
+
+	importer := base.Clone()
+	importer.ImportHook = func() [][]Lit {
+		mu.Lock()
+		defer mu.Unlock()
+		out := pool
+		pool = nil
+		return out
+	}
+	if importer.Solve() != Unsat {
+		t.Fatal("importer should also prove unsat")
+	}
+	if importer.Stats().Imported == 0 {
+		t.Fatal("importer accepted no clauses")
+	}
+}
+
+func TestImportUnitPropagates(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	// a -> b
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	fed := false
+	s.ImportHook = func() [][]Lit {
+		if fed {
+			return nil
+		}
+		fed = true
+		return [][]Lit{{MkLit(a, false)}}
+	}
+	if s.Solve() != Sat {
+		t.Fatal("should be sat")
+	}
+	if !s.Model(a) || !s.Model(b) {
+		t.Fatal("imported unit a should force b via a -> b")
+	}
+}
+
+func TestImportContradictionIsUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	fed := false
+	s.ImportHook = func() [][]Lit {
+		if fed {
+			return nil
+		}
+		fed = true
+		return [][]Lit{{MkLit(a, false)}, {MkLit(a, true)}}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("contradictory imports should yield Unsat")
+	}
+}
+
+// TestImportUnderAssumptions checks the restart-time import path: the
+// solver backtracks to level 0 to attach foreign clauses and then
+// re-places its assumptions, so verdicts under assumptions stay correct.
+func TestImportUnderAssumptions(t *testing.T) {
+	base := New()
+	pigeonhole(base, 7, 6)
+	sel := base.NewVar()
+
+	var mu sync.Mutex
+	var pool [][]Lit
+	exporter := base.Clone()
+	exporter.LearnHook = func(lits []Lit) {
+		mu.Lock()
+		pool = append(pool, lits)
+		mu.Unlock()
+	}
+	if exporter.Solve(MkLit(sel, false)) != Unsat {
+		t.Fatal("PHP(7,6) under an irrelevant assumption should be unsat")
+	}
+
+	importer := base.Clone()
+	importer.ImportHook = func() [][]Lit {
+		mu.Lock()
+		defer mu.Unlock()
+		out := pool
+		pool = nil
+		return out
+	}
+	if importer.Solve(MkLit(sel, false)) != Unsat {
+		t.Fatal("importer under assumption should be unsat")
+	}
+	// The selector is pure decoration: without assuming it the formula is
+	// still unsat, and the solver must remain reusable.
+	if importer.Solve() != Unsat {
+		t.Fatal("importer without assumption should be unsat")
+	}
+}
+
+// TestLearnedClausesSpeedUpSecondSolve pins the incremental premise the
+// portfolio's FindAll path relies on: a second Solve on the same solver
+// reuses learned clauses, while a fresh solver re-derives them.
+func TestLearnedClausesSpeedUpSecondSolve(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if s.Solve() != Sat {
+		t.Fatal("PHP(5,5) should be sat")
+	}
+	first := s.Stats().Conflicts
+	if s.Solve() != Sat {
+		t.Fatal("second solve should be sat")
+	}
+	if again := s.Stats().Conflicts - first; again > first {
+		t.Fatalf("second solve cost %d conflicts, first cost %d; learned clauses not reused", again, first)
+	}
+}

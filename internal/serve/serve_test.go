@@ -410,3 +410,72 @@ func TestCodecRoundtrip(t *testing.T) {
 		t.Fatalf("bad ref path: %q / %s", res.Status, res.Error)
 	}
 }
+
+// TestPortfolioBackend routes a query kind of each shape through the
+// portfolio backend and checks the verdicts match the default backend's.
+func TestPortfolioBackend(t *testing.T) {
+	s := newTestServer(t, Config{PortfolioWorkers: 2})
+
+	res := s.Do(context.Background(), &Request{
+		Model: "demo/add8", Kind: "find", Backend: "portfolio",
+		Predicate: findEq("demo/add8", 7).Predicate,
+	})
+	if res.Status != "sat" || res.Model["in"].(uint64) != 6 {
+		t.Fatalf("portfolio find = %q %v (%s), want sat in=6", res.Status, res.Model, res.Error)
+	}
+
+	res = s.Do(context.Background(), &Request{
+		Model: "demo/add8", Kind: "findall", Backend: "portfolio", Max: 3,
+		Predicate: json.RawMessage(`{"cmp":{"lhs":{"ref":"in"},"op":"lt","rhs":{"lit":5}}}`),
+	})
+	if res.Status != "sat" || len(res.Models) != 3 {
+		t.Fatalf("portfolio findall = %q with %d models (%s), want sat with 3", res.Status, len(res.Models), res.Error)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range res.Models {
+		v := m["in"].(uint64)
+		if v >= 5 || seen[v] {
+			t.Fatalf("findall models %v: out of range or repeated", res.Models)
+		}
+		seen[v] = true
+	}
+
+	res = s.Do(context.Background(), &Request{
+		Model: "demo/add8", Kind: "verify", Backend: "portfolio",
+		Predicate: json.RawMessage(`{"cmp":{"lhs":{"ref":"out"},"op":"ne","rhs":{"ref":"in"}}}`),
+	})
+	if res.Status != "valid" {
+		t.Fatalf("portfolio verify = %q (%s), want valid (in+1 != in over uint8)", res.Status, res.Error)
+	}
+
+	res = s.Do(context.Background(), &Request{
+		Model: "demo/add8", Kind: "find", Backend: "dpll",
+		Predicate: findEq("demo/add8", 7).Predicate,
+	})
+	if res.Status != "error" || res.HTTPStatus() != http.StatusBadRequest {
+		t.Fatalf("unknown backend: %q http %d, want error 400", res.Status, res.HTTPStatus())
+	}
+}
+
+// TestPortfolioBackendCacheKey: portfolio and bdd answers for one
+// predicate must occupy distinct cache entries.
+func TestPortfolioBackendCacheKey(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var execs atomic.Int64
+	s.onExec = func(queryKey) { execs.Add(1) }
+	req := findEq("demo/add8", 11)
+	if res := s.Do(context.Background(), req); res.Cached {
+		t.Fatalf("cold bdd query must not hit the cache")
+	}
+	preq := findEq("demo/add8", 11)
+	preq.Backend = "portfolio"
+	if res := s.Do(context.Background(), preq); res.Cached {
+		t.Fatalf("portfolio query must not share the bdd cache entry")
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (one per backend)", got)
+	}
+	if res := s.Do(context.Background(), preq); !res.Cached {
+		t.Fatalf("repeated portfolio query must hit its own cache entry")
+	}
+}

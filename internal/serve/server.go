@@ -28,6 +28,9 @@ type Config struct {
 	// CacheSize bounds the LRU result cache in entries; 0 disables
 	// caching (default 256).
 	CacheSize int
+	// PortfolioWorkers is the SAT worker count for portfolio-backend
+	// queries; 0 lets the portfolio pick its own default.
+	PortfolioWorkers int
 	// DefaultTimeout applies to queries that do not set timeout_ms;
 	// zero means no deadline.
 	DefaultTimeout time.Duration
@@ -64,7 +67,8 @@ type Request struct {
 	Model string `json:"model"`
 	// Kind is "find", "findall", "verify", or "evaluate".
 	Kind string `json:"kind"`
-	// Backend is "bdd" (default) or "sat".
+	// Backend is "bdd" (default), "sat", or "portfolio" (race both,
+	// first verdict wins; see docs/portfolio.md).
 	Backend string `json:"backend,omitempty"`
 	// Predicate is the condition for find/findall/verify; see predJSON.
 	Predicate json.RawMessage `json:"predicate,omitempty"`
@@ -266,6 +270,8 @@ func normBackend(b string) string {
 		return "bdd"
 	case "sat":
 		return "sat"
+	case "portfolio":
+		return "portfolio"
 	default:
 		return "invalid"
 	}
@@ -377,8 +383,10 @@ func (s *Server) prepare(req *Request) (*query, *Response) {
 		backend = zen.BDD
 	case "sat":
 		backend = zen.SAT
+	case "portfolio":
+		backend = zen.Portfolio
 	default:
-		return fail(http.StatusBadRequest, "unknown backend %q (want bdd or sat)", req.Backend)
+		return fail(http.StatusBadRequest, "unknown backend %q (want bdd, sat, or portfolio)", req.Backend)
 	}
 	q := &query{
 		entry:   entry,
@@ -454,6 +462,9 @@ func (s *Server) execute(ctx context.Context, q *query) *Response {
 	}
 	st := &zen.Stats{}
 	opts := []zen.Option{zen.WithBackend(q.key.backend), zen.WithStats(st)}
+	if q.key.backend == zen.Portfolio && s.cfg.PortfolioWorkers > 0 {
+		opts = append(opts, zen.WithPortfolioWorkers(s.cfg.PortfolioWorkers))
+	}
 	if q.span != nil {
 		// Parent the solver's analysis span (find/bdd > symeval, solve,
 		// decode) under the request root, so the inline trace shows the

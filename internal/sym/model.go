@@ -1,0 +1,50 @@
+package sym
+
+import (
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+)
+
+// ConstVal lifts a concrete interpreter value into a constant symbolic
+// value in the algebra. It is the bridge from a decoded model back into
+// the symbolic world, used to build blocking constraints for model
+// enumeration (FindAll, NextModel, the portfolio's winner sessions).
+func ConstVal[B comparable](alg Algebra[B], v *interp.Value) *Val[B] {
+	switch v.Type.Kind {
+	case core.KindBool:
+		if v.B {
+			return BoolVal(alg.True())
+		}
+		return BoolVal(alg.False())
+	case core.KindBV:
+		return ConstBV(alg, v.Type, v.U)
+	case core.KindObject:
+		fields := make([]*Val[B], len(v.Fields))
+		for i, f := range v.Fields {
+			fields[i] = ConstVal(alg, f)
+		}
+		return ObjectVal(v.Type, fields...)
+	case core.KindList:
+		l := NilList(alg, v.Type)
+		for i := len(v.Elems) - 1; i >= 0; i-- {
+			l = Cons(ConstVal(alg, v.Elems[i]), l)
+		}
+		return l
+	}
+	panic("sym: unsupported kind")
+}
+
+// BlockModel returns the constraint "v != model", the clause that forces
+// the next solver call to produce a distinct witness.
+func BlockModel[B comparable](alg Algebra[B], v *Val[B], model *interp.Value) B {
+	return alg.Not(Eq(alg, v, ConstVal(alg, model)))
+}
+
+// DecodeModel reads every input back from a satisfying assignment.
+func DecodeModel[B comparable](inputs map[int32]*Input[B], bit func(B) bool) map[int32]*interp.Value {
+	m := make(map[int32]*interp.Value, len(inputs))
+	for id, in := range inputs {
+		m[id] = in.Decode(bit)
+	}
+	return m
+}

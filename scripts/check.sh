@@ -27,9 +27,13 @@ go run ./cmd/zenlint
 echo "== zenvet (host-language model code checks)"
 go run ./cmd/zenvet
 
-# The full suite runs under the race detector; the service and
-# cancellation layers (internal/serve, internal/cancel, zen ctx tests)
-# are concurrency-heavy, so -race coverage there is load-bearing.
+# The full suite runs under the race detector; the service,
+# cancellation, and portfolio layers (internal/serve, internal/cancel,
+# internal/portfolio, zen ctx tests) are concurrency-heavy, so -race
+# coverage there is load-bearing: the portfolio races a BDD goroutine
+# against a pool of clause-sharing SAT workers, and its stress tests
+# (concurrent queries, deadline mid-race, goroutine-leak checks) only
+# mean something under -race.
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -42,7 +46,10 @@ go run ./cmd/zend -check-metrics
 echo "== zenbench smoke (pinned suite sanity, nothing written)"
 go run ./cmd/zenbench -smoke
 
-echo "== zenfuzz smoke (deterministic differential campaign)"
+# The fixed-seed campaign is also the portfolio verdict-parity gate:
+# every query runs on all six engines (interp, compiled, bdd, sat,
+# erased, portfolio) and any verdict or model-count divergence fails.
+echo "== zenfuzz smoke (deterministic 2k-query six-engine parity campaign)"
 go run ./cmd/zenfuzz -n 2000 -seed 1 -progress 0
 
 echo "== go test -fuzz (10s per target)"

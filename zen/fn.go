@@ -9,6 +9,7 @@ import (
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
 	"zen-go/internal/obs"
+	"zen-go/internal/portfolio"
 	"zen-go/internal/sym"
 )
 
@@ -22,13 +23,21 @@ const (
 	// SAT solves by bit-blasting to CNF and running CDCL search — the
 	// analogue of the paper's SMT(bitvector) backend.
 	SAT
+	// Portfolio races the BDD backend against a pool of diversified,
+	// clause-sharing SAT workers and answers with the first definitive
+	// verdict; the losers are cancelled. See internal/portfolio and
+	// docs/portfolio.md.
+	Portfolio
 )
 
 func (b Backend) String() string {
-	if b == BDD {
+	switch b {
+	case BDD:
 		return "bdd"
+	case SAT:
+		return "sat"
 	}
-	return "sat"
+	return "portfolio"
 }
 
 // Options configures symbolic analyses.
@@ -48,6 +57,10 @@ type Options struct {
 	// cancellation are polled periodically inside the solver loops. See
 	// WithContext for how cancellation surfaces on each API.
 	Ctx context.Context
+	// PortfolioWorkers is the number of diversified SAT workers the
+	// Portfolio backend races alongside the BDD strategy; 0 picks a
+	// default from GOMAXPROCS. Ignored by the single backends.
+	PortfolioWorkers int
 }
 
 // Option mutates analysis options.
@@ -58,6 +71,16 @@ func WithBackend(b Backend) Option { return func(o *Options) { o.Backend = b } }
 
 // WithListBound bounds symbolic list lengths.
 func WithListBound(k int) Option { return func(o *Options) { o.ListBound = k } }
+
+// WithPortfolio selects the Portfolio backend: the analysis races BDD
+// against a clause-sharing pool of diversified SAT workers, answers with
+// the first definitive verdict, and cancels the losers. Equivalent to
+// WithBackend(Portfolio).
+func WithPortfolio() Option { return func(o *Options) { o.Backend = Portfolio } }
+
+// WithPortfolioWorkers sets the Portfolio backend's SAT worker count
+// (0 picks a default from GOMAXPROCS).
+func WithPortfolioWorkers(n int) Option { return func(o *Options) { o.PortfolioWorkers = n } }
 
 // WithStats attaches a telemetry accumulator to the analysis. The same
 // Stats may be shared across analyses (and backends); read it back with
@@ -259,12 +282,35 @@ func (fn *Fn[I, O]) findErr(pred func(Value[I], Value[O]) Value[bool], o Options
 	cond := pred(fn.arg, fn.out)
 	stop()
 	o.measureDAG(rec, cond.n)
-	if o.Backend == SAT {
+	switch o.Backend {
+	case Portfolio:
+		sess, perr := portfolio.Run(portfolio.Query{Cond: cond.n, Vars: portfolioVar[I](fn.arg.n.VarID, o.ListBound)}, o.portfolioCfg(chk), rec)
+		if perr != nil {
+			return w, false, perr
+		}
+		sess.Report(rec)
+		if !sess.Found() {
+			return w, false, nil
+		}
+		rt := reflect.TypeOf((*I)(nil)).Elem()
+		return toGo(sess.Model(fn.arg.n.VarID), rt).Interface().(I), true, nil
+	case SAT:
 		w, found = findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, chk, rec)
-	} else {
+	default:
 		w, found = findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, chk, rec)
 	}
 	return w, found, nil
+}
+
+// portfolioCfg builds the portfolio configuration for these options.
+func (o *Options) portfolioCfg(chk cancel.Check) portfolio.Config {
+	return portfolio.Config{SATWorkers: o.PortfolioWorkers, Check: chk}
+}
+
+// portfolioVar describes a function's single symbolic input for the
+// portfolio layer.
+func portfolioVar[I any](varID int32, bound int) []portfolio.VarSpec {
+	return []portfolio.VarSpec{{ID: varID, Type: TypeOf[I](), Bound: bound, Name: "in"}}
 }
 
 // Verify checks that property(input, output) holds for every input. It
@@ -341,12 +387,38 @@ func (fn *Fn[I, O]) findAllErr(pred func(Value[I], Value[O]) Value[bool], max in
 	o.measureDAG(rec, cond.n)
 	// The partial result survives cancellation: findAllWith appends into
 	// *ws, so witnesses found before the abort are returned with the error.
-	if o.Backend == SAT {
+	switch o.Backend {
+	case Portfolio:
+		if perr := findAllPortfolio[I](cond.n, fn.arg.n.VarID, o, max, chk, rec, &ws); perr != nil {
+			return ws, perr
+		}
+	case SAT:
 		findAllWith(backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
-	} else {
+	default:
 		findAllWith(backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
 	}
 	return ws, nil
+}
+
+// findAllPortfolio enumerates witnesses on a portfolio session: one race
+// decides the first model, then enumeration continues incrementally on
+// the winning strategy (the SAT winner keeps its learned clauses, so k
+// models cost strictly less than k independent races).
+func findAllPortfolio[I any](cond *core.Node, varID int32, o Options, max int, chk cancel.Check, rec *obs.Rec, results *[]I) error {
+	if max <= 0 {
+		return nil
+	}
+	sess, err := portfolio.Run(portfolio.Query{Cond: cond, Vars: portfolioVar[I](varID, o.ListBound)}, o.portfolioCfg(chk), rec)
+	if err != nil {
+		return err
+	}
+	rt := reflect.TypeOf((*I)(nil)).Elem()
+	for ok := sess.Found(); ok && len(*results) < max; ok = sess.Next(chk, rec) {
+		*results = append(*results, toGo(sess.Model(varID), rt).Interface().(I))
+	}
+	sess.Report(rec)
+	rec.Event("models", len(*results))
+	return nil
 }
 
 func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID int32, bound, max int, chk cancel.Check, rec *obs.Rec, results *[]I) {
@@ -379,33 +451,5 @@ func findAllWith[I any, B comparable](alg sym.Solver[B], cond *core.Node, varID 
 
 // blockModel returns the constraint "input != model".
 func blockModel[B comparable](alg sym.Algebra[B], v *sym.Val[B], model *interp.Value) B {
-	lifted := constSym(alg, model)
-	return alg.Not(sym.Eq(alg, v, lifted))
-}
-
-// constSym lifts a concrete interpreter value into a constant symbolic
-// value in the algebra.
-func constSym[B comparable](alg sym.Algebra[B], v *interp.Value) *sym.Val[B] {
-	switch v.Type.Kind {
-	case core.KindBool:
-		if v.B {
-			return sym.BoolVal(alg.True())
-		}
-		return sym.BoolVal(alg.False())
-	case core.KindBV:
-		return sym.ConstBV(alg, v.Type, v.U)
-	case core.KindObject:
-		fields := make([]*sym.Val[B], len(v.Fields))
-		for i, f := range v.Fields {
-			fields[i] = constSym(alg, f)
-		}
-		return sym.ObjectVal(v.Type, fields...)
-	case core.KindList:
-		l := sym.NilList(alg, v.Type)
-		for i := len(v.Elems) - 1; i >= 0; i-- {
-			l = sym.Cons(constSym(alg, v.Elems[i]), l)
-		}
-		return l
-	}
-	panic("zen: unsupported kind")
+	return sym.BlockModel(alg, v, model)
 }

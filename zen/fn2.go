@@ -8,6 +8,7 @@ import (
 	"zen-go/internal/cancel"
 	"zen-go/internal/interp"
 	"zen-go/internal/obs"
+	"zen-go/internal/portfolio"
 	"zen-go/internal/sym"
 )
 
@@ -69,9 +70,27 @@ func (fn *Fn2[A, B, O]) findErr(pred func(Value[A], Value[B], Value[O]) Value[bo
 	cond := pred(fn.argA, fn.argB, fn.out)
 	stop()
 	o.measureDAG(rec, cond.n)
-	if o.Backend == SAT {
+	switch o.Backend {
+	case Portfolio:
+		vars := []portfolio.VarSpec{
+			{ID: fn.argA.n.VarID, Type: TypeOf[A](), Bound: o.ListBound, Name: "a"},
+			{ID: fn.argB.n.VarID, Type: TypeOf[B](), Bound: o.ListBound, Name: "b"},
+		}
+		sess, perr := portfolio.Run(portfolio.Query{Cond: cond.n, Vars: vars}, o.portfolioCfg(chk), rec)
+		if perr != nil {
+			return a, b, false, perr
+		}
+		sess.Report(rec)
+		if !sess.Found() {
+			return a, b, false, nil
+		}
+		rta := reflect.TypeOf((*A)(nil)).Elem()
+		rtb := reflect.TypeOf((*B)(nil)).Elem()
+		return toGo(sess.Model(fn.argA.n.VarID), rta).Interface().(A),
+			toGo(sess.Model(fn.argB.n.VarID), rtb).Interface().(B), true, nil
+	case SAT:
 		a, b, found = find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
-	} else {
+	default:
 		a, b, found = find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
 	}
 	return a, b, found, nil

@@ -8,6 +8,7 @@ import (
 	"zen-go/internal/cancel"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
+	"zen-go/internal/portfolio"
 	"zen-go/internal/sym"
 )
 
@@ -62,12 +63,47 @@ func (p *Problem) SolveCtx(ctx context.Context) (bool, error) {
 func (p *Problem) solveErr(chk cancel.Check) (found bool, err error) {
 	defer cancel.Trap(&err)
 	chk.Point()
-	if p.opts.Backend == SAT {
+	switch p.opts.Backend {
+	case Portfolio:
+		return p.solvePortfolio(chk)
+	case SAT:
 		found = solveProblem(p, backends.NewSAT(), chk)
-	} else {
+	default:
 		found = solveProblem(p, backends.NewBDD(), chk)
 	}
 	return found, nil
+}
+
+// solvePortfolio races the backends on the problem and keeps the winning
+// session alive for NextModel enumeration.
+func (p *Problem) solvePortfolio(chk cancel.Check) (bool, error) {
+	rec := p.opts.begin("problem")
+	defer rec.End()
+	p.opts.measureDAG(rec, p.cond.n)
+	vars := make([]portfolio.VarSpec, len(p.vars))
+	for i, v := range p.vars {
+		vars[i] = portfolio.VarSpec{ID: v.VarID, Type: v.Type, Bound: p.opts.ListBound, Name: v.Name}
+	}
+	sess, err := portfolio.Run(portfolio.Query{Cond: p.cond.n, Vars: vars}, p.opts.portfolioCfg(chk), rec)
+	if err != nil {
+		return false, err
+	}
+	sess.Report(rec)
+	if !sess.Found() {
+		return false, nil
+	}
+	p.model = sess.Models()
+	p.next = func(chk cancel.Check) bool {
+		rec := p.opts.begin("nextmodel")
+		defer rec.End()
+		ok := sess.Next(chk, rec)
+		sess.Report(rec)
+		if ok {
+			p.model = sess.Models()
+		}
+		return ok
+	}
+	return true, nil
 }
 
 // NextModel searches for a model distinct from the current one (differing
@@ -154,11 +190,7 @@ func solveProblem[B comparable](p *Problem, alg sym.Solver[B], chk cancel.Check)
 }
 
 func decodeModel[B comparable](inputs map[int32]*sym.Input[B], bit func(B) bool) map[int32]*interp.Value {
-	m := make(map[int32]*interp.Value, len(inputs))
-	for id, in := range inputs {
-		m[id] = in.Decode(bit)
-	}
-	return m
+	return sym.DecodeModel(inputs, bit)
 }
 
 // Get reads a variable's value from the last model. It panics if Solve has

@@ -8,6 +8,7 @@ import (
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
 	"zen-go/internal/obs"
+	"zen-go/internal/portfolio"
 	"zen-go/internal/sym"
 )
 
@@ -74,12 +75,39 @@ func findRaw(ctx context.Context, cond *core.Node, args []*core.Node, max int, o
 	rec := o.begin(analysis)
 	defer rec.End()
 	o.measureDAG(rec, cond)
-	if o.Backend == SAT {
+	switch o.Backend {
+	case Portfolio:
+		if perr := findRawPortfolio(cond, args, max, o, chk, rec, &ms); perr != nil {
+			return ms, perr
+		}
+	case SAT:
 		findRawWith(backends.NewSAT(), cond, args, max, o.ListBound, chk, rec, &ms)
-	} else {
+	default:
 		findRawWith(backends.NewBDD(), cond, args, max, o.ListBound, chk, rec, &ms)
 	}
 	return ms, nil
+}
+
+// findRawPortfolio is the untyped portfolio path: one race decides the
+// first model, then enumeration continues on the winning strategy.
+func findRawPortfolio(cond *core.Node, args []*core.Node, max int, o Options, chk cancel.Check, rec *obs.Rec, results *[]RawModel) error {
+	if max <= 0 {
+		return nil
+	}
+	vars := make([]portfolio.VarSpec, len(args))
+	for i, a := range args {
+		vars[i] = portfolio.VarSpec{ID: a.VarID, Type: a.Type, Bound: o.ListBound, Name: a.Name}
+	}
+	sess, err := portfolio.Run(portfolio.Query{Cond: cond, Vars: vars}, o.portfolioCfg(chk), rec)
+	if err != nil {
+		return err
+	}
+	for ok := sess.Found(); ok && len(*results) < max; ok = sess.Next(chk, rec) {
+		*results = append(*results, sess.Models())
+	}
+	sess.Report(rec)
+	rec.Event("models", len(*results))
+	return nil
 }
 
 func findRawWith[B comparable](alg sym.Solver[B], cond *core.Node, args []*core.Node, max, bound int, chk cancel.Check, rec *obs.Rec, results *[]RawModel) {
