@@ -104,6 +104,19 @@ func (a *Atoms[T]) Union(x, y []int) []int {
 	return out
 }
 
+// Touching returns the indices of atoms that intersect s. When s is the
+// change set of an update, these are the dirty equivalence classes —
+// the only blocks whose members can have a different verdict afterward.
+func (a *Atoms[T]) Touching(s zen.StateSet[T]) []int {
+	var out []int
+	for i, b := range a.Blocks {
+		if !b.Intersect(s).IsEmpty() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Count returns the number of values covered by an atom set.
 func (a *Atoms[T]) Count(atoms []int) *big.Int {
 	total := new(big.Int)

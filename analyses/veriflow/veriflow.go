@@ -69,15 +69,11 @@ func (m *Monitor) Holds() (bool, pkt.Header) {
 // forwarding decision changed — Veriflow's equivalence-class trick
 // realized with exact set subtraction.
 func (m *Monitor) Update(newTable *fwd.Table) {
-	old := m.table
-	changed := zen.SetOf(m.w, func(h zen.Value[pkt.Header]) zen.Value[bool] {
-		return zen.Ne(old.Forward(h), newTable.Forward(h))
-	})
+	changed := Changed(m.w, m.table.Forward, newTable.Forward)
 	// Outside the change set, previous verdicts stand; inside it, they
-	// are recomputed.
-	kept := m.violating.Minus(changed)
-	recheck := m.violationsWithin(changed, newTable)
-	m.violating = kept.Union(recheck)
+	// are recomputed (the generic kernel in incremental.go).
+	recheck := m.violationsWithin(zen.FullSet[pkt.Header](m.w), newTable)
+	m.violating = Reverify(m.violating, changed, recheck)
 	m.table = newTable
 	m.updates++
 	m.headersChecked.Add(m.headersChecked, changed.Count())

@@ -263,8 +263,8 @@ func BenchmarkServeQueryCold(b *testing.B) {
 	req := serveFindReq(7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := s.Do(ctx, req); res.Status != "sat" || res.Cached {
-			b.Fatalf("cold query: %q cached=%v (%s)", res.Status, res.Cached, res.Error)
+		if res := s.Do(ctx, req); res.Status != "sat" || res.Cached() {
+			b.Fatalf("cold query: %q cached=%v (%s)", res.Status, res.Cached(), res.ErrText())
 		}
 	}
 	b.StopTimer()
@@ -279,11 +279,11 @@ func BenchmarkServeQueryCached(b *testing.B) {
 	ctx := context.Background()
 	req := serveFindReq(7)
 	if res := s.Do(ctx, req); res.Status != "sat" {
-		b.Fatalf("prime query: %q (%s)", res.Status, res.Error)
+		b.Fatalf("prime query: %q (%s)", res.Status, res.ErrText())
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if res := s.Do(ctx, req); !res.Cached {
+		if res := s.Do(ctx, req); !res.Cached() {
 			b.Fatalf("expected a cache hit")
 		}
 	}
@@ -303,7 +303,7 @@ func BenchmarkServeParallelClients(b *testing.B) {
 	for i := range reqs {
 		reqs[i] = serveFindReq(uint64(i))
 		if res := s.Do(ctx, reqs[i]); res.Status != "sat" {
-			b.Fatalf("warmup %d: %q (%s)", i, res.Status, res.Error)
+			b.Fatalf("warmup %d: %q (%s)", i, res.Status, res.ErrText())
 		}
 	}
 	b.ResetTimer()
@@ -312,7 +312,7 @@ func BenchmarkServeParallelClients(b *testing.B) {
 		for pb.Next() {
 			res := s.Do(ctx, reqs[i%len(reqs)])
 			if res.Status != "sat" {
-				b.Fatalf("parallel query: %q (%s)", res.Status, res.Error)
+				b.Fatalf("parallel query: %q (%s)", res.Status, res.ErrText())
 			}
 			i++
 		}

@@ -46,6 +46,7 @@ func main() {
 		slowLog        = flag.String("slowlog", "", "append slow-query JSONL records to this file (- for stderr)")
 		slowThreshold  = flag.Duration("slow-threshold", 100*time.Millisecond, "latency above which a query is logged as slow")
 		slowSample     = flag.Int("slow-sample-every", 0, "also log 1-in-N fast queries for baseline context (0 = off)")
+		snapshotDir    = flag.String("snapshot-dir", "", "persist per-model BDD answer snapshots here; loaded on start, written on drain")
 		checkMetrics   = flag.Bool("check-metrics", false, "render and lint the /metrics exposition, then exit (CI gate)")
 	)
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		SlowThreshold:    *slowThreshold,
 		SlowSampleEvery:  *slowSample,
+		SnapshotDir:      *snapshotDir,
 	}
 	var slowFile *os.File
 	switch *slowLog {
@@ -88,12 +90,13 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	// The signal handler must be installed before the address line goes
+	// out: scripts treat that line as "ready" and may SIGTERM right away.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	// The bound address goes to stdout on its own line so scripts starting
 	// zend with -addr :0 can read the port.
 	fmt.Printf("zend: serving on http://%s (models: /v1/models, queries: /v1/query)\n", ln.Addr())
-
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "zend: %v\n", err)
@@ -137,6 +140,11 @@ var metricsMustHave = []string{
 	"zen_solves_total",
 	"zen_serve_queries_total",
 	"zen_serve_cache_hits_total",
+	"zen_serve_cache_subsumed_total",
+	"zen_serve_cache_snapshot_hits_total",
+	"zen_serve_updates_total",
+	"zen_serve_delta_reused_total",
+	"zen_serve_delta_reverified_total",
 	"zen_serve_request_seconds",
 	"zen_serve_model_request_seconds",
 	"zen_portfolio_races_total",
@@ -153,7 +161,7 @@ func runMetricsCheck(srv *serve.Server) int {
 		Predicate: []byte(`{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":7}}}`),
 	})
 	if res.Status != "sat" {
-		fmt.Fprintf(os.Stderr, "zend: check-metrics: probe query failed: %s (%s)\n", res.Status, res.Error)
+		fmt.Fprintf(os.Stderr, "zend: check-metrics: probe query failed: %s (%s)\n", res.Status, res.ErrText())
 		return 1
 	}
 	var buf bytes.Buffer

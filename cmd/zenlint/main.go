@@ -7,6 +7,11 @@
 //
 //	zenlint [-json] [-stats] [-suppressed] [-model glob]
 //
+// -json emits {"findings": [...]} using the same symbol-addressed
+// finding schema zend serves at GET /v1/lint (model, rule, severity,
+// message, expr snippet, registration file/line), so one consumer works
+// against either the offline tool or the running service.
+//
 // The exit status is 1 when any unsuppressed finding is reported, so the
 // command can gate CI (scripts/check.sh runs it). Findings a model has
 // deliberately accepted are suppressed at registration time
@@ -20,6 +25,8 @@ import (
 	"os"
 	"path"
 
+	"zen-go/internal/lint"
+	"zen-go/internal/obs"
 	"zen-go/zen"
 
 	// Every package that registers models with zen.RegisterModel.
@@ -58,41 +65,54 @@ func main() {
 	flag.Parse()
 
 	var st zen.Stats
-	reports := zen.LintRegistered(zen.WithStats(&st))
+	opts := []zen.Option{zen.WithStats(&st)}
 
 	findings, suppressed, linted := 0, 0, 0
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	for _, r := range reports {
+	wire := []lint.Finding{}
+	for _, m := range zen.RegisteredModels() {
 		if *modelGlob != "" {
-			if ok, _ := path.Match(*modelGlob, r.Name); !ok {
+			if ok, _ := path.Match(*modelGlob, m.Name); !ok {
 				continue
 			}
 		}
 		linted++
-		findings += len(r.Findings)
-		suppressed += len(r.Suppressed)
+		kept, filtered := lint.Filter(m.Build().Lint(opts...), m.Allow)
+		findings += len(kept)
+		suppressed += len(filtered)
+		if len(filtered) > 0 {
+			snap := obs.Snapshot{Lint: obs.LintStats{Suppressed: int64(len(filtered))}}
+			obs.Global().Merge(&snap)
+			st.Merge(&snap)
+		}
 		if *jsonOut {
-			if !*showSuppressed {
-				r.Suppressed = nil
+			for _, d := range kept {
+				wire = append(wire, lint.ToFinding(m.Name, m.File, m.Line, d, false))
 			}
-			if err := enc.Encode(r); err != nil {
-				fmt.Fprintln(os.Stderr, "zenlint:", err)
-				os.Exit(2)
+			if *showSuppressed {
+				for _, d := range filtered {
+					wire = append(wire, lint.ToFinding(m.Name, m.File, m.Line, d, true))
+				}
 			}
 			continue
 		}
-		for _, d := range r.Findings {
-			fmt.Printf("%s: %s\n", r.Name, d)
+		for _, d := range kept {
+			fmt.Printf("%s: %s\n", m.Name, d)
 		}
 		if *showSuppressed {
-			for _, d := range r.Suppressed {
-				fmt.Printf("%s: [suppressed] %s\n", r.Name, d)
+			for _, d := range filtered {
+				fmt.Printf("%s: [suppressed] %s\n", m.Name, d)
 			}
 		}
 	}
 
-	if !*jsonOut {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"findings": wire}); err != nil {
+			fmt.Fprintln(os.Stderr, "zenlint:", err)
+			os.Exit(2)
+		}
+	} else {
 		fmt.Printf("zenlint: %d models, %d findings, %d suppressed\n",
 			linted, findings, suppressed)
 	}

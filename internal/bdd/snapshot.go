@@ -1,0 +1,101 @@
+package bdd
+
+import "fmt"
+
+// Snapshot is a serializable slice of a manager's node table: the nodes
+// reachable from a set of roots, in bottom-up order. Refs inside a
+// snapshot are encoded as 0 (False), 1 (True), or i+2 for the i-th node
+// of the table, so the encoding is independent of the source manager's
+// ref values and a snapshot can be imported into any manager whose
+// variable numbering matches the exporter's.
+type Snapshot struct {
+	Levels []int32 `json:"levels"`
+	Lows   []int32 `json:"lows"`
+	Highs  []int32 `json:"highs"`
+	Roots  []int32 `json:"roots"`
+}
+
+// Export serializes the nodes reachable from roots. The table is emitted
+// in post-order, so every node's children precede it — Import can rebuild
+// with a single forward pass.
+func (m *Manager) Export(roots []Ref) *Snapshot {
+	s := &Snapshot{}
+	idx := map[Ref]int32{False: 0, True: 1}
+	var walk func(r Ref) int32
+	walk = func(r Ref) int32 {
+		if enc, ok := idx[r]; ok {
+			return enc
+		}
+		lo := walk(m.low[r])
+		hi := walk(m.high[r])
+		enc := int32(len(s.Levels)) + 2
+		s.Levels = append(s.Levels, m.level[r])
+		s.Lows = append(s.Lows, lo)
+		s.Highs = append(s.Highs, hi)
+		idx[r] = enc
+		return enc
+	}
+	for _, r := range roots {
+		s.Roots = append(s.Roots, walk(r))
+	}
+	return s
+}
+
+// Import rebuilds a snapshot's nodes in this manager through the unique
+// table (so imported structure unifies with existing nodes) and returns
+// the refs of the snapshot's roots, in order.
+func (m *Manager) Import(s *Snapshot) ([]Ref, error) {
+	if len(s.Lows) != len(s.Levels) || len(s.Highs) != len(s.Levels) {
+		return nil, fmt.Errorf("bdd: snapshot table arrays disagree: %d/%d/%d",
+			len(s.Levels), len(s.Lows), len(s.Highs))
+	}
+	refs := make([]Ref, len(s.Levels))
+	dec := func(enc int32) (Ref, error) {
+		switch {
+		case enc == 0:
+			return False, nil
+		case enc == 1:
+			return True, nil
+		case enc >= 2 && int(enc-2) < len(refs):
+			return refs[enc-2], nil
+		default:
+			return False, fmt.Errorf("bdd: snapshot ref %d out of range", enc)
+		}
+	}
+	for i := range s.Levels {
+		lo, err := dec(s.Lows[i])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := dec(s.Highs[i])
+		if err != nil {
+			return nil, err
+		}
+		if s.Lows[i] >= int32(i)+2 || s.Highs[i] >= int32(i)+2 {
+			return nil, fmt.Errorf("bdd: snapshot node %d references a later node", i)
+		}
+		if lo == hi {
+			return nil, fmt.Errorf("bdd: snapshot node %d is redundant (low == high)", i)
+		}
+		lvl := s.Levels[i]
+		if lvl < 0 {
+			return nil, fmt.Errorf("bdd: snapshot node %d has negative level", i)
+		}
+		if lvl >= m.level[lo] || lvl >= m.level[hi] {
+			return nil, fmt.Errorf("bdd: snapshot node %d violates variable ordering", i)
+		}
+		if int(lvl) >= m.numVars {
+			m.numVars = int(lvl) + 1
+		}
+		refs[i] = m.mk(lvl, lo, hi)
+	}
+	roots := make([]Ref, len(s.Roots))
+	for i, enc := range s.Roots {
+		r, err := dec(enc)
+		if err != nil {
+			return nil, err
+		}
+		roots[i] = r
+	}
+	return roots, nil
+}

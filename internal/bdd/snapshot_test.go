@@ -1,0 +1,117 @@
+package bdd
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSnapshotRoundTrip exports a function from one manager and imports
+// it into a fresh one: the rebuilt roots must be semantically identical
+// (checked by truth-table enumeration) and unify with natively-built
+// structure through the unique table.
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New(4)
+	a, b, c, d := src.Var(0), src.Var(1), src.Var(2), src.Var(3)
+	f := src.Or(src.And(a, b), src.And(src.Not(c), d))
+	g := src.Xor(a, src.And(b, c))
+	snap := src.Export([]Ref{f, g, True, False})
+
+	// The snapshot must survive the JSON round trip it takes on disk.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(4)
+	roots, err := dst.Import(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 4 {
+		t.Fatalf("roots = %d, want 4", len(roots))
+	}
+	if roots[2] != True || roots[3] != False {
+		t.Fatalf("terminal roots = %v, %v", roots[2], roots[3])
+	}
+
+	eval := func(m *Manager, r Ref, bits [4]bool) bool {
+		for !m.IsTerminal(r) {
+			if bits[m.Level(r)] {
+				r = m.High(r)
+			} else {
+				r = m.Low(r)
+			}
+		}
+		return r == True
+	}
+	for i := 0; i < 16; i++ {
+		bits := [4]bool{i&1 != 0, i&2 != 0, i&4 != 0, i&8 != 0}
+		if eval(src, f, bits) != eval(dst, roots[0], bits) {
+			t.Fatalf("f disagrees at %v", bits)
+		}
+		if eval(src, g, bits) != eval(dst, roots[1], bits) {
+			t.Fatalf("g disagrees at %v", bits)
+		}
+	}
+
+	// Unification: building f natively in dst must yield the imported ref.
+	na, nb, nc, nd := dst.Var(0), dst.Var(1), dst.Var(2), dst.Var(3)
+	if nf := dst.Or(dst.And(na, nb), dst.And(dst.Not(nc), nd)); nf != roots[0] {
+		t.Fatalf("native rebuild %v != imported %v", nf, roots[0])
+	}
+}
+
+// TestSnapshotImportGrowsVars: importing into a smaller manager extends
+// its variable space instead of corrupting the ordering.
+func TestSnapshotImportGrowsVars(t *testing.T) {
+	src := New(6)
+	f := src.And(src.Var(2), src.Var(5))
+	snap := src.Export([]Ref{f})
+	dst := New(1)
+	roots, err := dst.Import(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumVars() < 6 {
+		t.Fatalf("NumVars = %d, want >= 6", dst.NumVars())
+	}
+	if want := dst.And(dst.Var(2), dst.Var(5)); roots[0] != want {
+		t.Fatalf("imported %v != rebuilt %v", roots[0], want)
+	}
+}
+
+// TestSnapshotImportRejectsMalformed: corrupted tables are errors, never
+// silently accepted (a snapshot is untrusted input on start).
+func TestSnapshotImportRejectsMalformed(t *testing.T) {
+	cases := map[string]*Snapshot{
+		"length mismatch": {Levels: []int32{0, 1}, Lows: []int32{0}, Highs: []int32{1, 1}},
+		"forward ref":     {Levels: []int32{0}, Lows: []int32{3}, Highs: []int32{1}, Roots: []int32{2}},
+		"redundant node":  {Levels: []int32{0}, Lows: []int32{1}, Highs: []int32{1}, Roots: []int32{2}},
+		"negative level":  {Levels: []int32{-1}, Lows: []int32{0}, Highs: []int32{1}, Roots: []int32{2}},
+		"order violation": {Levels: []int32{0, 1}, Lows: []int32{0, 0}, Highs: []int32{1, 2}, Roots: []int32{3}},
+		"bad root":        {Levels: []int32{0}, Lows: []int32{0}, Highs: []int32{1}, Roots: []int32{9}},
+	}
+	for name, snap := range cases {
+		if _, err := New(2).Import(snap); err == nil {
+			t.Errorf("%s: import accepted a malformed snapshot", name)
+		}
+	}
+}
+
+// TestSnapshotOrderViolationAcrossNodes: a parent at a deeper level than
+// its imported child is rejected.
+func TestSnapshotOrderViolationAcrossNodes(t *testing.T) {
+	snap := &Snapshot{
+		Levels: []int32{1, 1},
+		Lows:   []int32{0, 0},
+		Highs:  []int32{1, 2}, // node 1 at level 1 points to node 0 at level 1
+		Roots:  []int32{3},
+	}
+	if _, err := New(2).Import(snap); err == nil {
+		t.Fatal("import accepted equal-level parent/child")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"zen-go/analyses/minesweeper"
 	"zen-go/internal/figgen"
@@ -50,6 +51,13 @@ func Cases() []Case {
 		{Name: "acl-find/portfolio/4000", Make: func() (*Instance, error) { return aclFindCase(zen.Portfolio, 4000) }},
 		{Name: "minesweeper-1fail/sat", Make: func() (*Instance, error) { return msSweepCase(zen.SAT) }},
 		{Name: "minesweeper-1fail/portfolio", Make: func() (*Instance, error) { return msSweepCase(zen.Portfolio) }},
+		// The churn case is appended after the originals (order is part of
+		// the pin; see above): one op is a full /v1/update round — apply a
+		// rule delta to a live ACL instance and re-answer every tracked
+		// query. Its cold-resolve-ns metric records what re-solving the same
+		// tracked queries from scratch cost at setup, so the committed file
+		// documents the delta path's advantage.
+		{Name: "serve/update-churn", Make: serveChurnCase},
 	}
 }
 
@@ -200,8 +208,8 @@ func serveColdCase() (*Instance, error) {
 	req := serveFindReq(7)
 	return &Instance{
 		Iter: func() {
-			if res := s.Do(ctx, req); res.Status != "sat" || res.Cached {
-				panic(fmt.Sprintf("cold query: %q cached=%v (%s)", res.Status, res.Cached, res.Error))
+			if res := s.Do(ctx, req); res.Status != "sat" || res.Cached() {
+				panic(fmt.Sprintf("cold query: %q cached=%v (%s)", res.Status, res.Cached(), res.ErrText()))
 			}
 		},
 		Metrics: serveMetrics(s),
@@ -216,16 +224,88 @@ func serveCachedCase() (*Instance, error) {
 	ctx := context.Background()
 	req := serveFindReq(7)
 	if res := s.Do(ctx, req); res.Status != "sat" {
-		return nil, fmt.Errorf("prime query: %q (%s)", res.Status, res.Error)
+		return nil, fmt.Errorf("prime query: %q (%s)", res.Status, res.ErrText())
 	}
 	return &Instance{
 		Iter: func() {
-			if res := s.Do(ctx, req); !res.Cached {
+			if res := s.Do(ctx, req); !res.Cached() {
 				panic("expected a cache hit")
 			}
 		},
 		Metrics: serveMetrics(s),
 		Close:   func() { s.Shutdown(context.Background()) },
+	}, nil
+}
+
+// serveChurnCase measures incremental re-verification under rule churn:
+// an ACL instance with 48 rules and 16 tracked queries takes one modify
+// delta per op, toggling rule 0's permit bit. The delta's footprint
+// intersects one query's atom classes, so each update re-verifies one
+// query on the exact-set path (no solver) and reuses the other fifteen.
+// cold-resolve-ns is the one-time cost of answering all sixteen queries
+// cold, measured at setup — the number an update would pay without the
+// delta path.
+func serveChurnCase() (*Instance, error) {
+	s := serve.New(serve.Config{Workers: 1, Queue: 1 << 16})
+	ctx := context.Background()
+	const nRules, nQueries = 48, 16
+	rules := make([]json.RawMessage, 0, nRules)
+	for i := 0; i < nRules; i++ {
+		p := 1000 + i
+		rules = append(rules, json.RawMessage(fmt.Sprintf(
+			`{"Permit": true, "DstLow": %d, "DstHigh": %d}`, p, p)))
+	}
+	if res := s.CreateInstance(ctx, &serve.InstanceRequest{
+		Name: "bench/acl", Family: "acl", Rules: rules,
+	}); res.Status != "created" {
+		return nil, fmt.Errorf("create instance: %q", res.Status)
+	}
+	reqs := make([]*serve.Request, nQueries)
+	for i := range reqs {
+		reqs[i] = &serve.Request{
+			Model: "bench/acl",
+			Kind:  "find",
+			Predicate: json.RawMessage(fmt.Sprintf(
+				`{"all":[{"ref":"out"},{"cmp":{"lhs":{"ref":"in.DstPort"},"op":"eq","rhs":{"lit":%d}}}]}`, 1000+i)),
+		}
+	}
+	start := time.Now()
+	for i, req := range reqs {
+		if res := s.Do(ctx, req); res.Status != "sat" {
+			return nil, fmt.Errorf("track query %d: %q (%s)", i, res.Status, res.ErrText())
+		}
+	}
+	coldNS := float64(time.Since(start).Nanoseconds())
+	baseSolves := zen.GlobalStats().Snapshot().Solves
+	permit := true
+	return &Instance{
+		Iter: func() {
+			permit = !permit
+			rule := fmt.Sprintf(`{"Permit": %v, "DstLow": 1000, "DstHigh": 1000}`, permit)
+			res := s.DoUpdate(ctx, &serve.UpdateRequest{
+				Instance: "bench/acl",
+				Deltas:   []serve.Delta{{Op: "modify", Index: 0, Rule: json.RawMessage(rule)}},
+			})
+			if res.Status != "updated" {
+				panic(fmt.Sprintf("update: %q", res.Status))
+			}
+			if res.Reused+res.Reverified != nQueries {
+				panic(fmt.Sprintf("update touched %d+%d of %d tracked queries",
+					res.Reused, res.Reverified, nQueries))
+			}
+		},
+		Metrics: func(n int) map[string]float64 {
+			st := s.Stats()
+			return map[string]float64{
+				"delta-reused/op":     float64(st.DeltaReused) / float64(n),
+				"delta-reverified/op": float64(st.DeltaReverified) / float64(n),
+				// Solver invocations across every update: the acl set path
+				// re-verifies without solving, so this stays at zero.
+				"solver-solves/op": float64(zen.GlobalStats().Snapshot().Solves-baseSolves) / float64(n),
+				"cold-resolve-ns":  coldNS,
+			}
+		},
+		Close: func() { s.Shutdown(context.Background()) },
 	}, nil
 }
 
@@ -240,7 +320,7 @@ func serveParallelCase() (*Instance, error) {
 	for i := range reqs {
 		reqs[i] = serveFindReq(uint64(i))
 		if res := s.Do(ctx, reqs[i]); res.Status != "sat" {
-			return nil, fmt.Errorf("warmup %d: %q (%s)", i, res.Status, res.Error)
+			return nil, fmt.Errorf("warmup %d: %q (%s)", i, res.Status, res.ErrText())
 		}
 	}
 	const clients = 8
@@ -254,7 +334,7 @@ func serveParallelCase() (*Instance, error) {
 					defer wg.Done()
 					for i := 0; i < perClient; i++ {
 						if res := s.Do(ctx, reqs[(c*perClient+i)%len(reqs)]); res.Status != "sat" {
-							panic(fmt.Sprintf("parallel query: %q (%s)", res.Status, res.Error))
+							panic(fmt.Sprintf("parallel query: %q (%s)", res.Status, res.ErrText()))
 						}
 					}
 				}(c)

@@ -1,0 +1,56 @@
+package lint
+
+// Finding is the symbol-addressed wire form of a Diagnostic: one lint
+// result tied to the registered model it was found in, with the model's
+// registration site for source context. It is the single JSON schema
+// shared by `zenlint -json` and zend's GET /v1/lint, so agents consume
+// one format whether they lint offline or against a running service.
+type Finding struct {
+	// Model is the registry name the finding belongs to ("acl/allows").
+	Model string `json:"model"`
+	// Rule is the stable diagnostic code ("ZL201"); suppressions and
+	// baselines key on (Model, Rule, Expr).
+	Rule string `json:"rule"`
+	// Analyzer names the producing analysis.
+	Analyzer string `json:"analyzer"`
+	// Severity is "info", "warn", or "error".
+	Severity string `json:"severity"`
+	// PerBackend grades the finding per solver backend when cost
+	// depends on it.
+	PerBackend map[string]string `json:"per_backend,omitempty"`
+	// Message states the problem; Hint suggests a fix.
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+	// Expr locates the finding in the model DAG: the offending node
+	// rendered as Go source over the Builder API.
+	Expr string `json:"expr"`
+	// File and Line locate the model's RegisterModel call site.
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	// Suppressed marks findings filtered by the model's allow-list
+	// (included only when the producer opts in).
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// ToFinding converts a Diagnostic into its wire form for a model.
+func ToFinding(model, file string, line int, d Diagnostic, suppressed bool) Finding {
+	f := Finding{
+		Model:      model,
+		Rule:       d.Code,
+		Analyzer:   d.Analyzer,
+		Severity:   d.Severity.String(),
+		Message:    d.Msg,
+		Hint:       d.Hint,
+		Expr:       d.Expr,
+		File:       file,
+		Line:       line,
+		Suppressed: suppressed,
+	}
+	if d.PerBackend != nil {
+		f.PerBackend = make(map[string]string, len(d.PerBackend))
+		for k, v := range d.PerBackend {
+			f.PerBackend[k] = v.String()
+		}
+	}
+	return f
+}

@@ -148,6 +148,12 @@ type ServeStats struct {
 	// queries.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// Subsumed counts queries answered by implication from a cached
+	// result (the subsumption index), without a solve.
+	Subsumed int64 `json:"subsumed"`
+	// SnapshotHits counts cache hits served from a persisted snapshot
+	// written by a previous process.
+	SnapshotHits int64 `json:"snapshot_hits"`
 	// Coalesced counts queries that waited on an identical in-flight
 	// query instead of executing (singleflight followers).
 	Coalesced int64 `json:"coalesced"`
@@ -158,6 +164,12 @@ type ServeStats struct {
 	Cancelled int64 `json:"cancelled"`
 	// Errors counts queries that failed to parse or execute.
 	Errors int64 `json:"errors"`
+	// Updates counts /v1/update delta applications against model
+	// instances; DeltaReused and DeltaReverified count the tracked
+	// queries each update answered from cache versus re-verified.
+	Updates         int64 `json:"updates"`
+	DeltaReused     int64 `json:"delta_reused"`
+	DeltaReverified int64 `json:"delta_reverified"`
 }
 
 // CacheHitRate returns the fraction of result-cache lookups that hit, or
@@ -279,10 +291,15 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.Serve.Queries += o.Serve.Queries
 	s.Serve.CacheHits += o.Serve.CacheHits
 	s.Serve.CacheMisses += o.Serve.CacheMisses
+	s.Serve.Subsumed += o.Serve.Subsumed
+	s.Serve.SnapshotHits += o.Serve.SnapshotHits
 	s.Serve.Coalesced += o.Serve.Coalesced
 	s.Serve.Shed += o.Serve.Shed
 	s.Serve.Cancelled += o.Serve.Cancelled
 	s.Serve.Errors += o.Serve.Errors
+	s.Serve.Updates += o.Serve.Updates
+	s.Serve.DeltaReused += o.Serve.DeltaReused
+	s.Serve.DeltaReverified += o.Serve.DeltaReverified
 	s.Portfolio.Races += o.Portfolio.Races
 	for k, v := range o.Portfolio.WinsBy {
 		if s.Portfolio.WinsBy == nil {

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"net/http"
+
+	"zen-go/internal/lint"
+)
+
+// LintResponse is the GET /v1/lint envelope. Findings use the same
+// symbol-addressed schema `zenlint -json` emits, so one consumer works
+// against either the offline tool or the running service.
+type LintResponse struct {
+	APIVersion string         `json:"api_version"`
+	RequestID  string         `json:"request_id,omitempty"`
+	Findings   []lint.Finding `json:"findings"`
+	Err        *ErrorInfo     `json:"error,omitempty"`
+}
+
+// LintModels lints registry models, all of them when name is "". The
+// per-model allow-list is applied; suppressed findings are included
+// (marked) only when withSuppressed is set.
+func (s *Server) LintModels(name string, withSuppressed bool) (*LintResponse, int) {
+	res := &LintResponse{APIVersion: APIVersion, Findings: []lint.Finding{}}
+	names := s.names
+	if name != "" {
+		if _, ok := s.models[name]; !ok {
+			res.Err = &ErrorInfo{Code: ErrUnknownModel, Message: "unknown model " + name}
+			return res, http.StatusNotFound
+		}
+		names = []string{name}
+	}
+	for _, n := range names {
+		entry := s.models[n]
+		diags := entry.built().Lint()
+		kept, suppressed := lint.Filter(diags, entry.allow)
+		for _, d := range kept {
+			res.Findings = append(res.Findings, lint.ToFinding(n, entry.file, entry.line, d, false))
+		}
+		if withSuppressed {
+			for _, d := range suppressed {
+				res.Findings = append(res.Findings, lint.ToFinding(n, entry.file, entry.line, d, true))
+			}
+		}
+	}
+	return res, http.StatusOK
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	_, id := requestID(w, r)
+	res, status := s.LintModels(r.URL.Query().Get("model"), r.URL.Query().Get("suppressed") == "1")
+	res.RequestID = id
+	writeJSON(w, status, res)
+}

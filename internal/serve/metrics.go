@@ -38,10 +38,15 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	counter("zen_serve_queries_total", "Queries accepted (including cancelled and failed).", st.Queries)
 	counter("zen_serve_cache_hits_total", "Result-cache hits.", st.CacheHits)
 	counter("zen_serve_cache_misses_total", "Result-cache misses.", st.CacheMisses)
+	counter("zen_serve_cache_subsumed_total", "Queries answered by implication from a cached result.", st.Subsumed)
+	counter("zen_serve_cache_snapshot_hits_total", "Cache hits served from a persisted snapshot.", st.SnapshotHits)
 	counter("zen_serve_coalesced_total", "Queries answered by another request's in-flight execution.", st.Coalesced)
 	counter("zen_serve_shed_total", "Queries shed by queue overflow or drain.", st.Shed)
 	counter("zen_serve_cancelled_total", "Queries cancelled by deadline or disconnect.", st.Cancelled)
 	counter("zen_serve_errors_total", "Queries that failed.", st.Errors)
+	counter("zen_serve_updates_total", "Delta updates applied to model instances.", st.Updates)
+	counter("zen_serve_delta_reused_total", "Tracked queries answered from cache across an update.", st.DeltaReused)
+	counter("zen_serve_delta_reverified_total", "Tracked queries re-verified after an update.", st.DeltaReverified)
 	gauge("zen_serve_cache_entries", "Result-cache occupancy.", float64(st.CacheLen))
 	gauge("zen_serve_queue_depth", "Executions waiting for a worker.", float64(st.QueueDepth))
 	gauge("zen_serve_workers", "Configured worker count.", float64(st.Workers))

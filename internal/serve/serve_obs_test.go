@@ -78,7 +78,7 @@ func TestInlineTrace(t *testing.T) {
 	ctx := WithRequestID(context.Background(), "trace-test")
 	res := s.Do(ctx, req)
 	if res.Status != "sat" {
-		t.Fatalf("status = %q (%s)", res.Status, res.Error)
+		t.Fatalf("status = %q (%s)", res.Status, res.ErrText())
 	}
 	tr := res.Trace
 	if tr == nil || tr.Name != "query" {
@@ -126,10 +126,10 @@ func TestInlineTraceCached(t *testing.T) {
 	req := findEq("demo/add8", 23)
 	req.Trace = true
 	res := s.Do(context.Background(), req)
-	if !res.Cached {
+	if !res.Cached() {
 		t.Fatalf("repeat not cached")
 	}
-	if res.Trace == nil || res.Trace.Attrs["cached"] != true {
+	if res.Trace == nil || res.Trace.Attrs["provenance"] != ProvCached {
 		t.Fatalf("cached trace = %+v", res.Trace)
 	}
 	if res.Trace.Find("find/bdd") != nil {
@@ -156,7 +156,7 @@ func TestTraceParallelQueries(t *testing.T) {
 			id := fmt.Sprintf("par-%d", i)
 			res := s.Do(WithRequestID(context.Background(), id), req)
 			if res.Status != "sat" {
-				errs <- fmt.Errorf("query %d: status %q (%s)", i, res.Status, res.Error)
+				errs <- fmt.Errorf("query %d: status %q (%s)", i, res.Status, res.ErrText())
 				return
 			}
 			tr := res.Trace
@@ -174,7 +174,7 @@ func TestTraceParallelQueries(t *testing.T) {
 					analyses++
 				}
 			}
-			if !res.Cached && !res.Coalesced && analyses != 1 {
+			if !res.Cached() && !res.Coalesced() && analyses != 1 {
 				errs <- fmt.Errorf("query %d: %d analysis spans in tree:\n%s", i, analyses, tr)
 			}
 		}(i)
@@ -194,7 +194,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if res := s.Do(context.Background(), findEq("demo/add8", 5)); res.Status != "sat" {
 		t.Fatalf("seed query: %q", res.Status)
 	}
-	if res := s.Do(context.Background(), findEq("demo/add8", 5)); !res.Cached {
+	if res := s.Do(context.Background(), findEq("demo/add8", 5)); !res.Cached() {
 		t.Fatalf("seed repeat not cached")
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -243,7 +243,7 @@ func TestSlowQueryLog(t *testing.T) {
 	if res := s.Do(ctx, findEq("demo/add8", 17)); res.Status != "sat" {
 		t.Fatalf("query: %q", res.Status)
 	}
-	if res := s.Do(ctx, findEq("demo/add8", 17)); !res.Cached {
+	if res := s.Do(ctx, findEq("demo/add8", 17)); !res.Cached() {
 		t.Fatalf("repeat not cached")
 	}
 
@@ -271,7 +271,7 @@ func TestSlowQueryLog(t *testing.T) {
 		t.Fatalf("cold record has no solve phase: %+v", cold.PhasesMS)
 	}
 	warm := recs[1]
-	if !warm.Cached || warm.Fingerprint != cold.Fingerprint {
+	if warm.Provenance != ProvCached || warm.Fingerprint != cold.Fingerprint {
 		t.Fatalf("warm record: %+v", warm)
 	}
 }

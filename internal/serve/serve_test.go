@@ -40,13 +40,13 @@ func TestFindQueryRoundtrip(t *testing.T) {
 	s := newTestServer(t, Config{})
 	res := s.Do(context.Background(), findEq("demo/add8", 7))
 	if res.Status != "sat" {
-		t.Fatalf("status = %q (%s), want sat", res.Status, res.Error)
+		t.Fatalf("status = %q (%s), want sat", res.Status, res.ErrText())
 	}
 	in, ok := res.Model["in"].(uint64)
 	if !ok || in != 6 {
 		t.Fatalf("witness = %v, want in=6", res.Model)
 	}
-	if res.Solves == 0 {
+	if res.SolveCount() == 0 {
 		t.Fatalf("a cold find must report solver work")
 	}
 }
@@ -57,7 +57,7 @@ func TestEvaluateAndVerify(t *testing.T) {
 		Model: "demo/add8", Kind: "evaluate", Args: []json.RawMessage{json.RawMessage("41")},
 	})
 	if res.Status != "ok" || res.Value.(uint64) != 42 {
-		t.Fatalf("evaluate = %q %v (%s), want ok 42", res.Status, res.Value, res.Error)
+		t.Fatalf("evaluate = %q %v (%s), want ok 42", res.Status, res.Value, res.ErrText())
 	}
 	// out == in+1 can never be 0... except on wraparound: in=255. So
 	// "out != 0" is invalid with counterexample in=255.
@@ -85,8 +85,8 @@ func TestCachedRepeatIsFree(t *testing.T) {
 	s.onExec = func(queryKey) { execs.Add(1) }
 
 	cold := s.Do(context.Background(), findEq("demo/add8", 9))
-	if cold.Status != "sat" || cold.Cached {
-		t.Fatalf("cold query: status %q cached %v", cold.Status, cold.Cached)
+	if cold.Status != "sat" || cold.Cached() {
+		t.Fatalf("cold query: status %q cached %v", cold.Status, cold.Cached())
 	}
 	// The repeat arrives as different JSON spelling (whitespace, key
 	// order) but compiles to the same DAG node, so it must hit.
@@ -95,8 +95,8 @@ func TestCachedRepeatIsFree(t *testing.T) {
 		Predicate: json.RawMessage(`{ "cmp": { "rhs": {"lit": 9}, "op": "eq", "lhs": {"ref": "out"} } }`),
 	}
 	warm := s.Do(context.Background(), repeat)
-	if warm.Status != "sat" || !warm.Cached {
-		t.Fatalf("repeat query: status %q cached %v, want a cache hit", warm.Status, warm.Cached)
+	if warm.Status != "sat" || !warm.Cached() {
+		t.Fatalf("repeat query: status %q cached %v, want a cache hit", warm.Status, warm.Cached())
 	}
 	if got := execs.Load(); got != 1 {
 		t.Fatalf("solver executions = %d, want 1 (repeat must do zero new solver work)", got)
@@ -124,10 +124,10 @@ func TestDeadlineCancelsSolver(t *testing.T) {
 	})
 	elapsed := time.Since(start)
 	if res.Status != "cancelled" {
-		t.Fatalf("status = %q (%s) after %v, want cancelled", res.Status, res.Error, elapsed)
+		t.Fatalf("status = %q (%s) after %v, want cancelled", res.Status, res.ErrText(), elapsed)
 	}
-	if !strings.Contains(res.Error, "deadline") {
-		t.Fatalf("error = %q, want a deadline error", res.Error)
+	if !strings.Contains(res.ErrText(), "deadline") {
+		t.Fatalf("error = %q, want a deadline error", res.ErrText())
 	}
 	// Acceptance bar is ~2x; allow wide slack for loaded CI machines
 	// while still catching an unbounded solve.
@@ -143,7 +143,7 @@ func TestDeadlineCancelsSolver(t *testing.T) {
 	ctx, cancelFn := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelFn()
 	if res := s.Do(ctx, findEq("demo/add8", 7)); res.Status != "sat" {
-		t.Fatalf("query after cancellation: %q (%s) — the worker never freed up", res.Status, res.Error)
+		t.Fatalf("query after cancellation: %q (%s) — the worker never freed up", res.Status, res.ErrText())
 	}
 	// And nothing may leak: goroutine count returns to the baseline.
 	deadlineAt := time.Now().Add(5 * time.Second)
@@ -192,9 +192,9 @@ func TestSingleflightCoalesces(t *testing.T) {
 	coalesced := 0
 	for i, r := range results {
 		if r.Status != "sat" {
-			t.Fatalf("query %d: status %q (%s)", i, r.Status, r.Error)
+			t.Fatalf("query %d: status %q (%s)", i, r.Status, r.ErrText())
 		}
-		if r.Coalesced {
+		if r.Coalesced() {
 			coalesced++
 		}
 	}
@@ -246,47 +246,49 @@ func TestLRUEvictionAndCollisionSafety(t *testing.T) {
 	// the still-resident third hits.
 	for _, v := range []uint64{1, 2, 3} {
 		if res := s.Do(context.Background(), findEq("demo/add8", v)); res.Status != "sat" {
-			t.Fatalf("find %d: %q (%s)", v, res.Status, res.Error)
+			t.Fatalf("find %d: %q (%s)", v, res.Status, res.ErrText())
 		}
 	}
 	if s.cache.len() != 2 {
 		t.Fatalf("cache len = %d, want 2", s.cache.len())
 	}
 	res := s.Do(context.Background(), findEq("demo/add8", 3))
-	if !res.Cached || res.Model["in"].(uint64) != 2 {
-		t.Fatalf("resident query: cached=%v model=%v, want hit with in=2", res.Cached, res.Model)
+	if !res.Cached() || res.Model["in"].(uint64) != 2 {
+		t.Fatalf("resident query: cached=%v model=%v, want hit with in=2", res.Cached(), res.Model)
 	}
+	// The evicted predicate is gone from the LRU, but the subsumption
+	// index deliberately outlives eviction: the identical predicate is a
+	// trivial implication, so the answer (witness included) transfers
+	// without re-executing.
 	res = s.Do(context.Background(), findEq("demo/add8", 1))
-	if res.Cached {
-		t.Fatalf("evicted query must not hit the cache")
+	if res.Cached() || res.Provenance != ProvSubsumed {
+		t.Fatalf("evicted query: provenance %q, want subsumed", res.Provenance)
 	}
 	if res.Model["in"].(uint64) != 0 {
-		t.Fatalf("re-executed query: model = %v, want in=0", res.Model)
+		t.Fatalf("subsumed query: model = %v, want in=0 witness transfer", res.Model)
 	}
-	if got := execs.Load(); got != 4 {
-		t.Fatalf("executions = %d, want 4 (three cold + one after eviction)", got)
+	if got := execs.Load(); got != 3 {
+		t.Fatalf("executions = %d, want 3 (eviction answered by subsumption)", got)
 	}
 
-	// Collision safety across every key dimension: same predicate but a
-	// different kind, backend, or model must never share an entry.
+	// Collision safety across key dimensions: a different kind or model
+	// must never share an LRU entry. findall never consults the
+	// subsumption index either, so it must re-execute; a find on another
+	// backend is answered by implication (satisfiability is
+	// backend-independent) with explicit subsumed provenance.
 	base := execs.Load()
-	variants := []*Request{
-		{Model: "demo/add8", Kind: "findall", Max: 3,
-			Predicate: findEq("demo/add8", 3).Predicate},
-		{Model: "demo/add8", Kind: "find", Backend: "sat",
-			Predicate: findEq("demo/add8", 3).Predicate},
+	res = s.Do(context.Background(), &Request{Model: "demo/add8", Kind: "findall", Max: 3,
+		Predicate: findEq("demo/add8", 3).Predicate})
+	if res.Cached() || res.Provenance != ProvCold || res.Status != "sat" {
+		t.Fatalf("findall variant: provenance %q status %q, want a cold sat", res.Provenance, res.Status)
 	}
-	for i, req := range variants {
-		res := s.Do(context.Background(), req)
-		if res.Cached {
-			t.Fatalf("variant %d: false cache hit across key dimensions", i)
-		}
-		if res.Status != "sat" {
-			t.Fatalf("variant %d: %q (%s)", i, res.Status, res.Error)
-		}
+	res = s.Do(context.Background(), &Request{Model: "demo/add8", Kind: "find", Backend: "sat",
+		Predicate: findEq("demo/add8", 3).Predicate})
+	if res.Cached() || res.Provenance != ProvSubsumed || res.Status != "sat" {
+		t.Fatalf("sat-backend variant: provenance %q status %q, want a subsumed sat", res.Provenance, res.Status)
 	}
-	if got := execs.Load() - base; got != 2 {
-		t.Fatalf("variant executions = %d, want 2", got)
+	if got := execs.Load() - base; got != 1 {
+		t.Fatalf("variant executions = %d, want 1 (findall only)", got)
 	}
 }
 
@@ -328,7 +330,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	}
 	res := <-resc
 	if res.Status != "sat" {
-		t.Fatalf("in-flight query during drain: %q (%s), want sat", res.Status, res.Error)
+		t.Fatalf("in-flight query during drain: %q (%s), want sat", res.Status, res.ErrText())
 	}
 }
 
@@ -364,7 +366,7 @@ func TestHTTPSurface(t *testing.T) {
 
 	code, qbody := post("/v1/query",
 		`{"model":"demo/add8","kind":"find","predicate":{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":5}}}}`)
-	if code != http.StatusOK || !strings.Contains(qbody, `"status": "sat"`) {
+	if code != http.StatusOK || !strings.Contains(qbody, `"verdict": "sat"`) {
 		t.Fatalf("/v1/query: %d %s", code, qbody)
 	}
 	code, qbody = post("/v1/query", `{"model":"nope","kind":"find","predicate":{"ref":"out"}}`)
@@ -376,7 +378,7 @@ func TestHTTPSurface(t *testing.T) {
 		{"model":"demo/add8","kind":"evaluate","args":[1]},
 		{"model":"demo/add8","kind":"find","predicate":{"cmp":{"lhs":{"ref":"out"},"op":"eq","rhs":{"lit":5}}}}
 	]}`)
-	if code != http.StatusOK || !strings.Contains(bbody, `"cached": true`) {
+	if code != http.StatusOK || !strings.Contains(bbody, `"provenance": "cached"`) {
 		t.Fatalf("/v1/batch (second query should hit the cache): %d %s", code, bbody)
 	}
 
@@ -406,8 +408,8 @@ func TestCodecRoundtrip(t *testing.T) {
 	}
 	res := s.Do(context.Background(), &Request{Model: "demo/add8", Kind: "find",
 		Predicate: json.RawMessage(`{"cmp":{"lhs":{"ref":"out.nope"},"op":"eq","rhs":{"lit":1}}}`)})
-	if res.Status != "error" || !strings.Contains(res.Error, "not an object") {
-		t.Fatalf("bad ref path: %q / %s", res.Status, res.Error)
+	if res.Status != "error" || !strings.Contains(res.ErrText(), "not an object") {
+		t.Fatalf("bad ref path: %q / %s", res.Status, res.ErrText())
 	}
 }
 
@@ -421,7 +423,7 @@ func TestPortfolioBackend(t *testing.T) {
 		Predicate: findEq("demo/add8", 7).Predicate,
 	})
 	if res.Status != "sat" || res.Model["in"].(uint64) != 6 {
-		t.Fatalf("portfolio find = %q %v (%s), want sat in=6", res.Status, res.Model, res.Error)
+		t.Fatalf("portfolio find = %q %v (%s), want sat in=6", res.Status, res.Model, res.ErrText())
 	}
 
 	res = s.Do(context.Background(), &Request{
@@ -429,7 +431,7 @@ func TestPortfolioBackend(t *testing.T) {
 		Predicate: json.RawMessage(`{"cmp":{"lhs":{"ref":"in"},"op":"lt","rhs":{"lit":5}}}`),
 	})
 	if res.Status != "sat" || len(res.Models) != 3 {
-		t.Fatalf("portfolio findall = %q with %d models (%s), want sat with 3", res.Status, len(res.Models), res.Error)
+		t.Fatalf("portfolio findall = %q with %d models (%s), want sat with 3", res.Status, len(res.Models), res.ErrText())
 	}
 	seen := map[uint64]bool{}
 	for _, m := range res.Models {
@@ -445,7 +447,7 @@ func TestPortfolioBackend(t *testing.T) {
 		Predicate: json.RawMessage(`{"cmp":{"lhs":{"ref":"out"},"op":"ne","rhs":{"ref":"in"}}}`),
 	})
 	if res.Status != "valid" {
-		t.Fatalf("portfolio verify = %q (%s), want valid (in+1 != in over uint8)", res.Status, res.Error)
+		t.Fatalf("portfolio verify = %q (%s), want valid (in+1 != in over uint8)", res.Status, res.ErrText())
 	}
 
 	res = s.Do(context.Background(), &Request{
@@ -458,24 +460,28 @@ func TestPortfolioBackend(t *testing.T) {
 }
 
 // TestPortfolioBackendCacheKey: portfolio and bdd answers for one
-// predicate must occupy distinct cache entries.
+// predicate occupy distinct LRU entries — the portfolio request never
+// reads the bdd entry as a plain cache hit. Its verdict does transfer
+// through the subsumption index (satisfiability is backend-independent),
+// with explicit provenance; the transferred answer then becomes the
+// portfolio key's own LRU entry.
 func TestPortfolioBackendCacheKey(t *testing.T) {
 	s := newTestServer(t, Config{})
 	var execs atomic.Int64
 	s.onExec = func(queryKey) { execs.Add(1) }
 	req := findEq("demo/add8", 11)
-	if res := s.Do(context.Background(), req); res.Cached {
+	if res := s.Do(context.Background(), req); res.Cached() {
 		t.Fatalf("cold bdd query must not hit the cache")
 	}
 	preq := findEq("demo/add8", 11)
 	preq.Backend = "portfolio"
-	if res := s.Do(context.Background(), preq); res.Cached {
-		t.Fatalf("portfolio query must not share the bdd cache entry")
+	if res := s.Do(context.Background(), preq); res.Cached() || res.Provenance != ProvSubsumed {
+		t.Fatalf("portfolio query: provenance %q, want subsumed (not a shared LRU entry)", res.Provenance)
 	}
-	if got := execs.Load(); got != 2 {
-		t.Fatalf("executions = %d, want 2 (one per backend)", got)
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (portfolio answered by implication)", got)
 	}
-	if res := s.Do(context.Background(), preq); !res.Cached {
+	if res := s.Do(context.Background(), preq); !res.Cached() {
 		t.Fatalf("repeated portfolio query must hit its own cache entry")
 	}
 }

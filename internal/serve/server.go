@@ -46,6 +46,10 @@ type Config struct {
 	// (marked "sampled": true), so the log shows the baseline the slow
 	// tail deviates from; 0 disables sampling.
 	SlowSampleEvery int
+	// SnapshotDir, when set, persists per-model warm state (exact
+	// results plus the subsumption index's BDD tables) on drain and
+	// loads it on start; see snapshot.go.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,66 +89,31 @@ type Request struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
-// Response is the outcome of one query.
-type Response struct {
-	// Status is "sat", "unsat", "valid", "invalid", "ok", "cancelled",
-	// "shed", "draining", or "error".
-	Status string `json:"status"`
-	// Model is the witness of a sat find (or the counterexample of an
-	// invalid verify), keyed "in" (one argument) or "in0", "in1", ....
-	Model map[string]any `json:"model,omitempty"`
-	// Models are the findall witnesses.
-	Models []map[string]any `json:"models,omitempty"`
-	// Value is the evaluate result.
-	Value any `json:"value,omitempty"`
-	// Solves counts solver invocations this answer cost when it was
-	// computed; a cached answer repeats the original count.
-	Solves int64 `json:"solves"`
-	// Cached and Coalesced report how the answer was obtained.
-	Cached    bool `json:"cached,omitempty"`
-	Coalesced bool `json:"coalesced,omitempty"`
-	// ElapsedMS is this request's wall time.
-	ElapsedMS float64 `json:"elapsed_ms"`
-	// RequestID echoes the X-Zen-Request-Id header (generated when the
-	// client sent none).
-	RequestID string `json:"request_id,omitempty"`
-	// Trace is the query's span tree, present when Request.Trace was set.
-	Trace *obs.SpanNode `json:"trace,omitempty"`
-	// Error carries the failure detail for cancelled/error statuses.
-	Error string `json:"error,omitempty"`
-
-	httpStatus int
-
-	// fingerprint identifies the hash-consed predicate DAG ("" for
-	// evaluate); stats holds the executing solver's telemetry. Both feed
-	// the slow-query log; cached answers repeat the original's stats.
-	fingerprint string
-	stats       *obs.Snapshot
-}
-
-// HTTPStatus returns the HTTP status code the response is served with.
-func (r *Response) HTTPStatus() int {
-	if r.httpStatus == 0 {
-		return http.StatusOK
-	}
-	return r.httpStatus
-}
-
 // modelEntry lazily builds a registered model: DAG construction can be
 // expensive, so it happens on first use and is shared afterwards.
 type modelEntry struct {
 	name  string
 	build func() zen.Lintable
+	allow []string // registration allow-list (for /v1/lint)
+	file  string   // registration site (for /v1/lint findings)
+	line  int
 	once  sync.Once
+	l     zen.Lintable
 	q     zen.Queryable // nil when the model is not queryable
 }
 
-func (e *modelEntry) queryable() zen.Queryable {
+func (e *modelEntry) built() zen.Lintable {
 	e.once.Do(func() {
-		if q, ok := e.build().(zen.Queryable); ok {
+		e.l = e.build()
+		if q, ok := e.l.(zen.Queryable); ok {
 			e.q = q
 		}
 	})
+	return e.l
+}
+
+func (e *modelEntry) queryable() zen.Queryable {
+	e.built()
 	return e.q
 }
 
@@ -161,15 +130,28 @@ type Server struct {
 	latVec *obs.HistogramVec // by model, backend, verdict
 	slow   *slowLogger       // nil when no slow log is configured
 
+	subsume   *subsumeStore
+	snapshots *snapshotStore
+
+	// instances holds mutable model instances created via /v1/instances;
+	// see instance.go.
+	instMu    sync.RWMutex
+	instances map[string]*instance
+
 	draining atomic.Bool
 
-	queries   atomic.Int64
-	cacheHits atomic.Int64
-	cacheMiss atomic.Int64
-	coalesced atomic.Int64
-	shed      atomic.Int64
-	cancelled atomic.Int64
-	errors    atomic.Int64
+	queries    atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	subsumed   atomic.Int64
+	snapHits   atomic.Int64
+	coalesced  atomic.Int64
+	shed       atomic.Int64
+	cancelled  atomic.Int64
+	errors     atomic.Int64
+	updates    atomic.Int64
+	deltaReuse atomic.Int64
+	deltaRerun atomic.Int64
 
 	// onExec, when non-nil, observes every solver execution actually
 	// started (cache hits and coalesced waits bypass it). Test hook.
@@ -180,20 +162,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		models: make(map[string]*modelEntry),
-		pool:   newWorkerPool(cfg.Workers, cfg.Queue),
-		cache:  newLRU(cfg.CacheSize),
-		flight: newFlightGroup(),
-		latAll: obs.NewHistogram(obs.DefaultLatencyBounds()),
-		latVec: obs.NewHistogramVec(obs.DefaultLatencyBounds(), "model", "backend", "verdict"),
-		slow:   newSlowLogger(cfg.SlowLog, cfg.SlowThreshold, cfg.SlowSampleEvery),
+		cfg:       cfg,
+		models:    make(map[string]*modelEntry),
+		pool:      newWorkerPool(cfg.Workers, cfg.Queue),
+		cache:     newLRU(cfg.CacheSize),
+		flight:    newFlightGroup(),
+		latAll:    obs.NewHistogram(obs.DefaultLatencyBounds()),
+		latVec:    obs.NewHistogramVec(obs.DefaultLatencyBounds(), "model", "backend", "verdict"),
+		slow:      newSlowLogger(cfg.SlowLog, cfg.SlowThreshold, cfg.SlowSampleEvery),
+		subsume:   newSubsumeStore(),
+		snapshots: newSnapshotStore(cfg.SnapshotDir),
+		instances: make(map[string]*instance),
 	}
 	for _, m := range zen.RegisteredModels() {
-		s.models[m.Name] = &modelEntry{name: m.Name, build: m.Build}
+		s.models[m.Name] = &modelEntry{name: m.Name, build: m.Build, allow: m.Allow, file: m.File, line: m.Line}
 		s.names = append(s.names, m.Name)
 	}
 	sort.Strings(s.names)
+	s.loadSnapshots()
 	publishExpvar(s)
 	return s
 }
@@ -211,7 +197,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.writeSnapshots()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -239,15 +225,13 @@ func (s *Server) Do(ctx context.Context, req *Request) *Response {
 	}
 	res := s.do(ctx, req, root)
 	elapsed := time.Since(start)
+	res.APIVersion = APIVersion
 	res.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	res.RequestID = id
 	if root != nil {
 		root.SetAttr("status", res.Status)
-		if res.Cached {
-			root.SetAttr("cached", true)
-		}
-		if res.Coalesced {
-			root.SetAttr("coalesced", true)
+		if res.Provenance != "" {
+			root.SetAttr("provenance", res.Provenance)
 		}
 		if res.fingerprint != "" {
 			root.SetAttr("dag", res.fingerprint)
@@ -290,7 +274,7 @@ func (s *Server) observeLatency(req *Request, res *Response, d time.Duration) {
 
 func (s *Server) do(ctx context.Context, req *Request, span *obs.TreeSpan) *Response {
 	if s.draining.Load() {
-		return &Response{Status: "draining", Error: "server is shutting down", httpStatus: http.StatusServiceUnavailable}
+		return failResponse(http.StatusServiceUnavailable, ErrDraining, "server is shutting down")
 	}
 	q, resErr := s.prepare(req)
 	if resErr != nil {
@@ -309,30 +293,60 @@ func (s *Server) do(ctx context.Context, req *Request, span *obs.TreeSpan) *Resp
 	if res, ok := s.cache.get(q.key); ok {
 		s.cacheHits.Add(1)
 		hit := *res
-		hit.Cached = true
+		if hit.Provenance != ProvDelta {
+			// Delta-stamped entries keep their provenance (and Reused
+			// flag): the interesting fact is that /v1/update vouched for
+			// them, not that they sat in the LRU.
+			hit.Provenance = ProvCached
+		}
 		hit.fingerprint = q.fp
 		return &hit
 	}
 	s.cacheMiss.Add(1)
+	// The LRU missed; before paying for a solve, try the two cheaper
+	// tiers — the persisted snapshot (exact fingerprint match from a
+	// previous process) and the subsumption index (an implied answer).
+	if hit := s.snapshots.hit(q.key.model, q.fp, q.key); hit != nil {
+		s.snapHits.Add(1)
+		hit.fingerprint = q.fp
+		s.cache.put(q.key, hit)
+		return hit
+	}
+	if s.cfg.CacheSize > 0 {
+		if hit, ok := s.subsume.lookup(q.subKey(), q.args, q.cond, q.key.kind); ok {
+			s.subsumed.Add(1)
+			hit.fingerprint = q.fp
+			s.cache.put(q.key, hit)
+			return hit
+		}
+	}
 	res, coalesced, shedded, err := s.flight.do(ctx, q.key, func(execCtx context.Context, deliver func(*Response)) bool {
 		return s.pool.submit(func() {
 			r := s.execute(execCtx, q)
 			if r.Status != "cancelled" && r.Status != "error" {
 				s.cache.put(q.key, r)
+				if s.cfg.CacheSize > 0 {
+					s.subsume.insert(q.subKey(), q.args, q.cond, r)
+				}
+				if q.inst != nil {
+					q.inst.track(req, q, r)
+				}
 			}
 			deliver(r)
 		})
 	})
 	if shedded {
-		return &Response{Status: "shed", Error: "queue full", httpStatus: http.StatusTooManyRequests}
+		return failResponse(http.StatusTooManyRequests, ErrQueueFull, "queue full")
 	}
 	if err != nil {
 		// This request stopped waiting; the execution may still finish for
 		// other waiters (or was cancelled if this was the last one).
-		return &Response{Status: "cancelled", Error: err.Error()}
+		return failResponse(0, ErrCancelled, "%v", err)
 	}
 	out := *res
-	out.Coalesced = coalesced
+	if coalesced {
+		out.Provenance = ProvCoalesced
+	}
 	out.fingerprint = q.fp
 	return &out
 }
@@ -340,12 +354,20 @@ func (s *Server) do(ctx context.Context, req *Request, span *obs.TreeSpan) *Resp
 // query is a parsed, compiled request.
 type query struct {
 	key     queryKey
-	entry   *modelEntry
-	cond    *core.Node // find/findall/verify condition (pre-negated for verify)
+	m       zen.Queryable // resolved model or instance view (immutable)
+	inst    *instance     // nil for registry models
+	args    []*core.Node  // m.QueryArgs(), cached
+	gen     uint64        // instance generation; 0 for registry models
+	cond    *core.Node    // find/findall/verify condition (pre-negated for verify)
 	env     zen.RawModel
 	timeout time.Duration
 	fp      string        // predicate-DAG fingerprint ("" for evaluate)
 	span    *obs.TreeSpan // request root span, nil when untraced
+}
+
+// subKey is the subsumption world this query compiles into.
+func (q *query) subKey() subWorldKey {
+	return subWorldKey{model: q.key.model, gen: q.gen, bound: q.key.bound}
 }
 
 func (q *query) bound(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
@@ -365,17 +387,22 @@ func (q *query) bound(ctx context.Context, cfg Config) (context.Context, context
 // prepare resolves the model and compiles the request into its canonical
 // query; the second return is a ready error response when it is invalid.
 func (s *Server) prepare(req *Request) (*query, *Response) {
-	fail := func(status int, format string, args ...any) (*query, *Response) {
+	fail := func(status int, code, format string, args ...any) (*query, *Response) {
 		s.errors.Add(1)
-		return nil, &Response{Status: "error", Error: fmt.Sprintf(format, args...), httpStatus: status}
+		return nil, failResponse(status, code, format, args...)
 	}
-	entry, ok := s.models[req.Model]
-	if !ok {
-		return fail(http.StatusNotFound, "unknown model %q", req.Model)
-	}
-	m := entry.queryable()
-	if m == nil {
-		return fail(http.StatusBadRequest, "model %q is not queryable", req.Model)
+	var m zen.Queryable
+	var gen uint64
+	var inst *instance
+	if entry, ok := s.models[req.Model]; ok {
+		m = entry.queryable()
+		if m == nil {
+			return fail(http.StatusBadRequest, ErrNotQueryable, "model %q is not queryable", req.Model)
+		}
+	} else if inst = s.instance(req.Model); inst != nil {
+		m, gen = inst.view()
+	} else {
+		return fail(http.StatusNotFound, ErrUnknownModel, "unknown model %q", req.Model)
 	}
 	var backend zen.Backend
 	switch req.Backend {
@@ -386,13 +413,16 @@ func (s *Server) prepare(req *Request) (*query, *Response) {
 	case "portfolio":
 		backend = zen.Portfolio
 	default:
-		return fail(http.StatusBadRequest, "unknown backend %q (want bdd, sat, or portfolio)", req.Backend)
+		return fail(http.StatusBadRequest, ErrUnknownBackend, "unknown backend %q (want bdd, sat, or portfolio)", req.Backend)
 	}
 	q := &query{
-		entry:   entry,
+		m:       m,
+		inst:    inst,
+		args:    m.QueryArgs(),
+		gen:     gen,
 		timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	}
-	q.key = queryKey{model: req.Model, backend: backend, max: req.Max, bound: req.ListBound}
+	q.key = queryKey{model: req.Model, backend: backend, max: req.Max, bound: req.ListBound, gen: gen}
 	switch req.Kind {
 	case "find", "findall", "verify":
 		if req.Kind == "find" {
@@ -406,12 +436,12 @@ func (s *Server) prepare(req *Request) (*query, *Response) {
 			q.key.kind, q.key.max = kindVerify, 1
 		}
 		if len(req.Predicate) == 0 {
-			return fail(http.StatusBadRequest, "%s query needs a predicate", req.Kind)
+			return fail(http.StatusBadRequest, ErrBadPredicate, "%s query needs a predicate", req.Kind)
 		}
-		r := &resolver{args: m.QueryArgs(), out: m.QueryOut()}
+		r := &resolver{args: q.args, out: m.QueryOut()}
 		cond, err := compilePredicate(req.Predicate, r)
 		if err != nil {
-			return fail(http.StatusBadRequest, "%v", err)
+			return fail(http.StatusBadRequest, ErrBadPredicate, "%v", err)
 		}
 		if q.key.kind == kindVerify {
 			// A verify searches for a counterexample; valid means none exists.
@@ -420,18 +450,18 @@ func (s *Server) prepare(req *Request) (*query, *Response) {
 		q.cond = cond
 		q.key.cond = cond
 		// Hash-consing makes structurally identical predicates pointer-equal,
-		// so the node address doubles as a process-local DAG fingerprint —
-		// the same identity the result cache keys on.
-		q.fp = fmt.Sprintf("%p", cond)
+		// so the result cache keys on the node address; the fingerprint is
+		// the structural hash that also survives process restarts.
+		q.fp = fingerprint(cond)
 	case "evaluate":
 		q.key.kind = kindEvaluate
-		env, err := decodeArgs(m.QueryArgs(), req.Args)
+		env, err := decodeArgs(q.args, req.Args)
 		if err != nil {
-			return fail(http.StatusBadRequest, "%v", err)
+			return fail(http.StatusBadRequest, ErrBadArgs, "%v", err)
 		}
 		q.env = env
 	default:
-		return fail(http.StatusBadRequest, "unknown kind %q (want find/findall/verify/evaluate)", req.Kind)
+		return fail(http.StatusBadRequest, ErrUnknownKind, "unknown kind %q (want find/findall/verify/evaluate)", req.Kind)
 	}
 	return q, nil
 }
@@ -442,7 +472,7 @@ func (s *Server) runPooled(ctx context.Context, q *query) *Response {
 	done := make(chan *Response, 1)
 	ok := s.pool.submit(func() { done <- s.execute(ctx, q) })
 	if !ok {
-		return &Response{Status: "shed", Error: "queue full", httpStatus: http.StatusTooManyRequests}
+		return failResponse(http.StatusTooManyRequests, ErrQueueFull, "queue full")
 	}
 	select {
 	case res := <-done:
@@ -450,7 +480,7 @@ func (s *Server) runPooled(ctx context.Context, q *query) *Response {
 	case <-ctx.Done():
 		// The worker still runs to its own ctx check; nobody reads done
 		// (buffered), so it exits cleanly.
-		return &Response{Status: "cancelled", Error: ctx.Err().Error()}
+		return failResponse(0, ErrCancelled, "%v", ctx.Err())
 	}
 }
 
@@ -474,9 +504,9 @@ func (s *Server) execute(ctx context.Context, q *query) *Response {
 	if q.key.bound > 0 {
 		opts = append(opts, zen.WithListBound(q.key.bound))
 	}
-	m := q.entry.queryable()
-	args := m.QueryArgs()
-	res := &Response{}
+	m := q.m
+	args := q.args
+	res := &Response{Provenance: ProvCold}
 	var err error
 	switch q.key.kind {
 	case kindFind:
@@ -519,12 +549,16 @@ func (s *Server) execute(ctx context.Context, q *query) *Response {
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return &Response{Status: "cancelled", Error: err.Error()}
+			return failResponse(0, ErrCancelled, "%v", err)
 		}
-		return &Response{Status: "error", Error: err.Error(), httpStatus: http.StatusInternalServerError}
+		return failResponse(http.StatusInternalServerError, ErrInternal, "%v", err)
 	}
 	snap := st.Snapshot()
-	res.Solves = snap.Solves
+	res.Counters = &Counters{
+		Solves:       snap.Solves,
+		SATConflicts: snap.SAT.Conflicts,
+		BDDNodes:     snap.BDD.Nodes,
+	}
 	res.stats = &snap
 	res.fingerprint = q.fp
 	return res
@@ -567,14 +601,22 @@ func (s *Server) publish(res *Response) {
 		s.queries.Add(1)
 		d.Queries = 1
 	}
-	if res.Cached {
+	switch res.Provenance {
+	case ProvCached:
 		d.CacheHits = 1
-	} else if res.Status != "shed" && res.Status != "draining" && res.Status != "error" {
-		// The miss counter tracked at lookup time covers flight followers
-		// too; here we only mirror into the global aggregate.
-		d.CacheMisses = 1
+		if res.FromSnapshot {
+			d.SnapshotHits = 1
+		}
+	case ProvSubsumed:
+		d.Subsumed = 1
+	default:
+		if res.Status != "shed" && res.Status != "draining" && res.Status != "error" {
+			// The miss counter tracked at lookup time covers flight followers
+			// too; here we only mirror into the global aggregate.
+			d.CacheMisses = 1
+		}
 	}
-	if res.Coalesced {
+	if res.Coalesced() {
 		s.coalesced.Add(1)
 		d.Coalesced = 1
 	}
@@ -584,20 +626,25 @@ func (s *Server) publish(res *Response) {
 // Stats is the service's self-reported state, served on /v1/stats and
 // published as the expvar "zenserve".
 type Stats struct {
-	Queries      int64   `json:"queries"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheLen     int     `json:"cache_len"`
-	Coalesced    int64   `json:"coalesced"`
-	Shed         int64   `json:"shed"`
-	Cancelled    int64   `json:"cancelled"`
-	Errors       int64   `json:"errors"`
-	QueueDepth   int     `json:"queue_depth"`
-	Workers      int     `json:"workers"`
-	P50MS        float64 `json:"p50_ms"`
-	P99MS        float64 `json:"p99_ms"`
-	Draining     bool    `json:"draining"`
+	Queries         int64   `json:"queries"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheLen        int     `json:"cache_len"`
+	Subsumed        int64   `json:"subsumed"`
+	SnapshotHits    int64   `json:"snapshot_hits"`
+	Coalesced       int64   `json:"coalesced"`
+	Shed            int64   `json:"shed"`
+	Cancelled       int64   `json:"cancelled"`
+	Errors          int64   `json:"errors"`
+	Updates         int64   `json:"updates"`
+	DeltaReused     int64   `json:"delta_reused"`
+	DeltaReverified int64   `json:"delta_reverified"`
+	QueueDepth      int     `json:"queue_depth"`
+	Workers         int     `json:"workers"`
+	P50MS           float64 `json:"p50_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	Draining        bool    `json:"draining"`
 }
 
 // Stats snapshots the service counters. The latency quantiles are
@@ -612,20 +659,25 @@ func (s *Server) Stats() Stats {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	return Stats{
-		Queries:      s.queries.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheHitRate: rate,
-		CacheLen:     s.cache.len(),
-		Coalesced:    s.coalesced.Load(),
-		Shed:         s.shed.Load(),
-		Cancelled:    s.cancelled.Load(),
-		Errors:       s.errors.Load(),
-		QueueDepth:   s.pool.queued(),
-		Workers:      s.cfg.Workers,
-		P50MS:        p50,
-		P99MS:        p99,
-		Draining:     s.draining.Load(),
+		Queries:         s.queries.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheHitRate:    rate,
+		CacheLen:        s.cache.len(),
+		Subsumed:        s.subsumed.Load(),
+		SnapshotHits:    s.snapHits.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Shed:            s.shed.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Errors:          s.errors.Load(),
+		Updates:         s.updates.Load(),
+		DeltaReused:     s.deltaReuse.Load(),
+		DeltaReverified: s.deltaRerun.Load(),
+		QueueDepth:      s.pool.queued(),
+		Workers:         s.cfg.Workers,
+		P50MS:           p50,
+		P99MS:           p99,
+		Draining:        s.draining.Load(),
 	}
 }
 

@@ -25,8 +25,7 @@ type SlowQueryRecord struct {
 	Status      string  `json:"status"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
 	Fingerprint string  `json:"dag_fingerprint,omitempty"`
-	Cached      bool    `json:"cached,omitempty"`
-	Coalesced   bool    `json:"coalesced,omitempty"`
+	Provenance  string  `json:"provenance,omitempty"`
 	// Sampled marks a fast query included by 1-in-N sampling rather than
 	// by crossing the threshold.
 	Sampled bool  `json:"sampled,omitempty"`
@@ -82,10 +81,9 @@ func (l *slowLogger) maybeLog(id string, req *Request, res *Response, elapsed ti
 		Status:      res.Status,
 		ElapsedMS:   res.ElapsedMS,
 		Fingerprint: res.fingerprint,
-		Cached:      res.Cached,
-		Coalesced:   res.Coalesced,
+		Provenance:  res.Provenance,
 		Sampled:     !slow,
-		Solves:      res.Solves,
+		Solves:      res.SolveCount(),
 	}
 	if s := res.stats; s != nil {
 		if len(s.Phases) > 0 {

@@ -37,7 +37,7 @@ go run ./cmd/zenvet
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== zend serve smoke (models, cached repeat, deadline, batch, drain)"
+echo "== zend serve smoke (models, cache, deadline, batch, update, drain, restart)"
 sh scripts/serve_smoke.sh
 
 echo "== zend metrics lint (/metrics exposition format + stable families)"

@@ -1,8 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke check of the zend verification
 # service: build it, start it on a random port, exercise the model
-# listing, a cached repeat query, a deadline-expired query, and a batch,
-# then assert a clean SIGTERM drain. `make serve-smoke` is an alias.
+# listing, a cached repeat query, a deadline-expired query, a batch with
+# a malformed item, the instance/update delta path, and the lint
+# endpoint, then assert a clean SIGTERM drain and a snapshot-warm
+# restart. `make serve-smoke` is an alias.
 set -eu
 
 cd "$(dirname "$0")/.."

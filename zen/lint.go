@@ -1,6 +1,7 @@
 package zen
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -80,6 +81,10 @@ type RegisteredModel struct {
 	Name  string
 	Build func() Lintable
 	Allow []string
+	// File and Line locate the RegisterModel call site, so lint findings
+	// can be addressed back to the defining source (wildcat-style).
+	File string
+	Line int
 }
 
 var (
@@ -101,6 +106,7 @@ var (
 // this model. RegisterModel panics on a duplicate name: registry names
 // must be stable, they are how zenlint findings are addressed.
 func RegisterModel(name string, build func() Lintable, allow ...string) {
+	_, file, line, _ := runtime.Caller(1)
 	modelsMu.Lock()
 	defer modelsMu.Unlock()
 	for _, m := range models {
@@ -108,7 +114,7 @@ func RegisterModel(name string, build func() Lintable, allow ...string) {
 			panic("zen: model registered twice: " + name)
 		}
 	}
-	models = append(models, RegisteredModel{Name: name, Build: build, Allow: allow})
+	models = append(models, RegisteredModel{Name: name, Build: build, Allow: allow, File: file, Line: line})
 }
 
 // RegisteredModels returns the registry sorted by name.
