@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-suite bench-portfolio fuzz serve-smoke
+.PHONY: all build test race race-tier vet fmt lint check bench bench-suite bench-portfolio fuzz serve-smoke
 
 all: build
 
@@ -12,6 +12,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-tier is the named concurrency gate: go vet plus race-enabled tests
+# over the packages where data races are a live hazard — the query
+# service, the racing portfolio backend, the metrics recorder they both
+# write to, and the presolve engine they all call. Much faster than
+# `make race`; check.sh runs this tier first so a race in the hot layers
+# fails before the full suite spins up.
+RACE_TIER = ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/...
+race-tier:
+	$(GO) vet $(RACE_TIER)
+	$(GO) test -race -count=1 $(RACE_TIER)
 
 vet:
 	$(GO) vet ./...

@@ -31,5 +31,7 @@ func init() {
 		// ZL201: ForwardPath's Opt extractions are guarded (see
 		// nets/device); ZL401: like Plain, the condition only constrains
 		// the underlay header, leaving overlay fields free for Find.
-		"ZL201", "ZL401")
+		// ZL602/ZL603: both devices forward on /0 default routes, whose
+		// zero-mask matches are statically true by construction.
+		"ZL201", "ZL401", "ZL602", "ZL603")
 }

@@ -47,6 +47,7 @@ func main() {
 		slowThreshold  = flag.Duration("slow-threshold", 100*time.Millisecond, "latency above which a query is logged as slow")
 		slowSample     = flag.Int("slow-sample-every", 0, "also log 1-in-N fast queries for baseline context (0 = off)")
 		snapshotDir    = flag.String("snapshot-dir", "", "persist per-model BDD answer snapshots here; loaded on start, written on drain")
+		presolve       = flag.Bool("presolve", true, "run the abstract-interpretation presolve pass on every solver query")
 		checkMetrics   = flag.Bool("check-metrics", false, "render and lint the /metrics exposition, then exit (CI gate)")
 	)
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 		SlowThreshold:    *slowThreshold,
 		SlowSampleEvery:  *slowSample,
 		SnapshotDir:      *snapshotDir,
+		Presolve:         *presolve,
 	}
 	var slowFile *os.File
 	switch *slowLog {
@@ -138,6 +140,8 @@ func main() {
 var metricsMustHave = []string{
 	"zen_analyses_total",
 	"zen_solves_total",
+	"zen_presolve_runs_total",
+	"zen_auto_backend_picks_total",
 	"zen_serve_queries_total",
 	"zen_serve_cache_hits_total",
 	"zen_serve_cache_subsumed_total",

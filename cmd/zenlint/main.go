@@ -12,7 +12,8 @@
 // message, expr snippet, registration file/line), so one consumer works
 // against either the offline tool or the running service.
 //
-// The exit status is 1 when any unsuppressed finding is reported, so the
+// The exit status is 1 when any unsuppressed finding is reported — or
+// when a registry allow-list entry is stale (suppresses nothing) — so the
 // command can gate CI (scripts/check.sh runs it). Findings a model has
 // deliberately accepted are suppressed at registration time
 // (zen.RegisterModel allow-list) and shown only with -suppressed.
@@ -67,7 +68,7 @@ func main() {
 	var st zen.Stats
 	opts := []zen.Option{zen.WithStats(&st)}
 
-	findings, suppressed, linted := 0, 0, 0
+	findings, suppressed, stale, linted := 0, 0, 0, 0
 	wire := []lint.Finding{}
 	for _, m := range zen.RegisteredModels() {
 		if *modelGlob != "" {
@@ -79,6 +80,27 @@ func main() {
 		kept, filtered := lint.Filter(m.Build().Lint(opts...), m.Allow)
 		findings += len(kept)
 		suppressed += len(filtered)
+		// A registry allow entry that suppresses nothing is stale: the
+		// model stopped triggering the code, so the entry only hides
+		// future findings. Reported like any other finding (and fails
+		// the run) so suppression hygiene is CI-enforced.
+		for _, code := range lint.Stale(m.Allow, filtered) {
+			stale++
+			if *jsonOut {
+				wire = append(wire, lint.Finding{
+					Model:    m.Name,
+					Rule:     code,
+					Analyzer: "registry",
+					Severity: "warn",
+					Message:  fmt.Sprintf("stale allow-list entry: %s suppresses nothing; remove it from the RegisterModel call", code),
+					File:     m.File,
+					Line:     m.Line,
+				})
+				continue
+			}
+			fmt.Printf("%s: stale allow %q suppresses nothing — remove it from the RegisterModel call (%s:%d)\n",
+				m.Name, code, m.File, m.Line)
+		}
 		if len(filtered) > 0 {
 			snap := obs.Snapshot{Lint: obs.LintStats{Suppressed: int64(len(filtered))}}
 			obs.Global().Merge(&snap)
@@ -113,14 +135,14 @@ func main() {
 			os.Exit(2)
 		}
 	} else {
-		fmt.Printf("zenlint: %d models, %d findings, %d suppressed\n",
-			linted, findings, suppressed)
+		fmt.Printf("zenlint: %d models, %d findings, %d suppressed, %d stale allows\n",
+			linted, findings, suppressed, stale)
 	}
 	if *stats {
 		snap := st.Snapshot()
 		fmt.Fprint(os.Stderr, snap.String())
 	}
-	if findings > 0 {
+	if findings > 0 || stale > 0 {
 		os.Exit(1)
 	}
 }

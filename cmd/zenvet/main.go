@@ -2,9 +2,10 @@
 // Zen models. It catches the mistakes the embedding cannot prevent —
 // native == / != on zen.Value operands (ZV001), host control flow over
 // symbolic comparisons in model functions (ZV002), discarded symbolic
-// results (ZV003), and solver extraction inside model functions (ZV004).
-// Suppress a finding with `//lint:allow ZV00x` on the same line or the
-// line above.
+// results (ZV003), solver extraction inside model functions (ZV004), and
+// stale suppressions (ZV005). Suppress a finding with `//lint:allow
+// ZV00x` on the same line or the line above; a directive that silences
+// nothing is itself reported as ZV005.
 //
 // Usage:
 //

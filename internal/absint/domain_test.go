@@ -1,0 +1,145 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+
+	"zen-go/internal/core"
+)
+
+// randBits returns a random known-bits element consistent with the
+// concrete value v: each bit is independently declared known or not.
+func randBits(rng *rand.Rand, v, m uint64) Bits {
+	known := rng.Uint64() & m
+	return Bits{Zeros: ^v & known & m, Ones: v & known}
+}
+
+// randInterval returns a random interval containing v. The modulus
+// guards dodge overflow at the 64-bit extremes.
+func randInterval(rng *rand.Rand, v, m uint64) Interval {
+	lo, hi := rng.Uint64(), rng.Uint64()
+	if v != ^uint64(0) {
+		lo %= v + 1
+	}
+	if span := m - v; span != ^uint64(0) {
+		hi = v + hi%(span+1)
+	} else if hi < v {
+		hi = v
+	}
+	return Interval{lo, hi}
+}
+
+func admits(t *testing.T, v Value, c uint64, ctx string) {
+	t.Helper()
+	if v.Empty {
+		t.Fatalf("%s: abstract value empty but %d is a concrete result", ctx, c)
+	}
+	if v.Bits.Zeros&c != 0 || v.Bits.Ones&^c != 0 {
+		t.Fatalf("%s: known bits {zeros %#x ones %#x} exclude %#x", ctx, v.Bits.Zeros, v.Bits.Ones, c)
+	}
+	if c < v.Rng.Lo || c > v.Rng.Hi {
+		t.Fatalf("%s: interval [%d,%d] excludes %d", ctx, v.Rng.Lo, v.Rng.Hi, c)
+	}
+}
+
+// TestTransferSoundness drives every bitvector transfer function with
+// random abstract values built around known concrete operands and checks
+// the concrete result is always admitted.
+func TestTransferSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []int{1, 4, 8, 16, 33, 64} {
+		m := maskOf(width)
+		for trial := 0; trial < 4000; trial++ {
+			x := rng.Uint64() & m
+			y := rng.Uint64() & m
+			a := bv(width, randBits(rng, x, m), randInterval(rng, x, m))
+			b := bv(width, randBits(rng, y, m), randInterval(rng, y, m))
+			admits(t, a, x, "norm(a)")
+			admits(t, b, y, "norm(b)")
+
+			admits(t, bv(width, bitsAddCarry(a.Bits, b.Bits, m, false), rngAdd(a.Rng, b.Rng, m)), (x+y)&m, "add")
+			admits(t, bv(width, bitsAddCarry(a.Bits, bitsNot(b.Bits, m), m, true), rngSub(a.Rng, b.Rng, m)), (x-y)&m, "sub")
+			admits(t, bv(width, bitsMul(a.Bits, b.Bits, m), rngMul(a.Rng, b.Rng, m)), (x*y)&m, "mul")
+			admits(t, bv(width, bitsAnd(a.Bits, b.Bits, m), rngAnd(a.Rng, b.Rng)), x&y, "band")
+			admits(t, bv(width, bitsOr(a.Bits, b.Bits, m), rngOr(a.Rng, b.Rng, m)), x|y, "bor")
+			admits(t, bv(width, bitsXor(a.Bits, b.Bits, m), rngXor(a.Rng, b.Rng, m)), x^y, "bxor")
+			admits(t, bv(width, bitsNot(a.Bits, m), rngNot(a.Rng, m)), ^x&m, "bnot")
+
+			sh := rng.Intn(width + 2)
+			shl := x << uint(sh) & m
+			shr := x >> uint(sh)
+			if sh >= 64 {
+				shl, shr = 0, 0
+			}
+			admits(t, bv(width, bitsShl(a.Bits, sh, width), rngShl(a.Rng, sh, m)), shl, "shl")
+			admits(t, bv(width, bitsShr(a.Bits, sh, width), rngShr(a.Rng, sh)), shr, "shr")
+
+			// Comparison decisions must agree with the concrete outcome.
+			if d := absEq(a, b); d != TritBoth {
+				if want := x == y; (d == TritTrue) != want {
+					t.Fatalf("eq: decided %v for %d==%d (width %d)", d, x, y, width)
+				}
+			}
+			if d := absLt(a, b, false); d != TritBoth {
+				if want := x < y; (d == TritTrue) != want {
+					t.Fatalf("ult: decided %v for %d<%d", d, x, y)
+				}
+			}
+			if width > 1 {
+				ty := core.BV(width, true)
+				if d := absLt(a, b, true); d != TritBoth {
+					if want := ty.ToSigned(x) < ty.ToSigned(y); (d == TritTrue) != want {
+						t.Fatalf("slt: decided %v for %d<%d (width %d)", d, x, y, width)
+					}
+				}
+			}
+
+			// join must admit both sides, meet must admit shared values.
+			admits(t, join(a, b), x, "join/x")
+			admits(t, join(a, b), y, "join/y")
+			if mt := meet(a, a); true {
+				admits(t, mt, x, "meet")
+			}
+		}
+	}
+}
+
+func TestCastSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := New()
+	widths := []int{4, 8, 16, 32, 64}
+	for trial := 0; trial < 4000; trial++ {
+		fw := widths[rng.Intn(len(widths))]
+		tw := widths[rng.Intn(len(widths))]
+		from := core.BV(fw, rng.Intn(2) == 0)
+		to := core.BV(tw, rng.Intn(2) == 0)
+		m := maskOf(fw)
+		x := rng.Uint64() & m
+		v := bv(fw, randBits(rng, x, m), randInterval(rng, x, m))
+		raw := x
+		if from.Signed {
+			raw = uint64(from.ToSigned(x))
+		}
+		admits(t, a.castValue(v, from, to), to.Mask(raw), "cast")
+	}
+}
+
+func TestNormDetectsContradiction(t *testing.T) {
+	// Known bit 0 set, yet the interval tops out below 1<<0? Impossible
+	// combinations must collapse to Empty.
+	v := bv(8, Bits{Ones: 0x80}, Interval{0, 0x40})
+	if !v.Empty {
+		t.Fatalf("norm kept impossible value %+v", v)
+	}
+	if _, ok := v.AsConst(); ok {
+		t.Fatalf("empty value claims a constant")
+	}
+}
+
+func TestNormSharedHighBits(t *testing.T) {
+	// [0x50, 0x57] pins the top five bits of a byte.
+	v := bv(8, Bits{}, Interval{0x50, 0x57})
+	if v.Bits.Ones != 0x50 || v.Bits.Zeros != 0xa8 {
+		t.Fatalf("shared high bits not derived: %+v", v.Bits)
+	}
+}

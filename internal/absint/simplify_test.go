@@ -1,0 +1,237 @@
+package absint
+
+import (
+	"math/rand"
+	"testing"
+
+	"zen-go/internal/core"
+	"zen-go/internal/interp"
+)
+
+// exprGen builds random well-typed expressions over a fixed set of
+// input variables, recording them for concrete evaluation.
+type exprGen struct {
+	rng  *rand.Rand
+	b    *core.Builder
+	vars []*core.Node
+}
+
+func (g *exprGen) bv(t *core.Type, depth int) *core.Node {
+	if depth <= 0 || g.rng.Intn(6) == 0 {
+		if g.rng.Intn(2) == 0 {
+			for _, v := range g.vars {
+				if v.Type.Same(t) {
+					return v
+				}
+			}
+		}
+		return g.b.BVConst(t, g.rng.Uint64())
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return g.b.Add(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 1:
+		return g.b.Sub(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 2:
+		return g.b.Mul(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 3:
+		return g.b.BAnd(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 4:
+		return g.b.BOr(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 5:
+		return g.b.BXor(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 6:
+		return g.b.BNot(g.bv(t, depth-1))
+	case 7:
+		return g.b.Shl(g.bv(t, depth-1), g.rng.Intn(t.Width+2))
+	case 8:
+		return g.b.Shr(g.bv(t, depth-1), g.rng.Intn(t.Width+2))
+	default:
+		return g.b.If(g.boolean(depth-1), g.bv(t, depth-1), g.bv(t, depth-1))
+	}
+}
+
+func (g *exprGen) boolean(depth int) *core.Node {
+	if depth <= 0 || g.rng.Intn(6) == 0 {
+		return g.b.BoolConst(g.rng.Intn(2) == 0)
+	}
+	t := core.BV(
+		[]int{4, 8, 16}[g.rng.Intn(3)],
+		g.rng.Intn(4) == 0)
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.b.Not(g.boolean(depth - 1))
+	case 1:
+		return g.b.And(g.boolean(depth-1), g.boolean(depth-1))
+	case 2:
+		return g.b.Or(g.boolean(depth-1), g.boolean(depth-1))
+	case 3:
+		return g.b.Eq(g.bv(t, depth-1), g.bv(t, depth-1))
+	case 4:
+		return g.b.Lt(g.bv(t, depth-1), g.bv(t, depth-1))
+	default:
+		return g.b.If(g.boolean(depth-1), g.boolean(depth-1), g.boolean(depth-1))
+	}
+}
+
+func randEnv(rng *rand.Rand, vars []*core.Node) interp.Env {
+	env := interp.Env{}
+	for _, v := range vars {
+		env[v.VarID] = interp.BV(v.Type, rng.Uint64())
+	}
+	return env
+}
+
+// TestSimplifySoundnessRandom compares interp results on the original
+// and simplified DAGs over random inputs, for both the private-builder
+// and shared-builder paths, and checks idempotence each time.
+func TestSimplifySoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		b := core.NewBuilder()
+		g := &exprGen{rng: rng, b: b, vars: []*core.Node{
+			b.Var(core.BV(4, false), "a"),
+			b.Var(core.BV(8, false), "x"),
+			b.Var(core.BV(8, false), "y"),
+			b.Var(core.BV(16, true), "s"),
+		}}
+		g.vars = g.vars[:1+rng.Intn(4)]
+		expr := g.boolean(5)
+
+		var res Result
+		if trial%2 == 0 {
+			res = Simplify(nil, expr) // private builder, as the fuzz oracle uses it
+		} else {
+			res = Simplify(b, expr) // in-place, as zen presolve uses it
+		}
+		for i := 0; i < 24; i++ {
+			env := randEnv(rng, g.vars)
+			want := interp.Eval(expr, env).B
+			got := interp.Eval(res.Root, env).B
+			if got != want {
+				t.Fatalf("trial %d: simplified DAG diverges: want %v got %v\noriginal: %s\nsimplified: %s",
+					trial, want, got, expr.String(), res.Root.String())
+			}
+		}
+		again := Simplify(res.Builder, res.Root)
+		if again.Root != res.Root {
+			t.Fatalf("trial %d: not idempotent:\nonce:  %s\ntwice: %s",
+				trial, res.Root.String(), again.Root.String())
+		}
+	}
+}
+
+// TestSimplifyRewrites pins the headline rewrites: known-bits branch
+// pruning, interval comparison elimination, and input slicing.
+func TestSimplifyRewrites(t *testing.T) {
+	b := core.NewBuilder()
+	u8 := core.BV(8, false)
+	x := b.Var(u8, "x")
+	decoy := b.Var(u8, "decoy")
+
+	// (x | 1) == 0 is impossible by known bits; the decoy branch dies and
+	// the decoy input leaves the cone of influence.
+	imp := b.Eq(b.BOr(x, b.BVConst(u8, 1)), b.BVConst(u8, 0))
+	root := b.Eq(b.If(imp, decoy, x), b.BVConst(u8, 7))
+	res := Simplify(b, root)
+	if want := b.Eq(x, b.BVConst(u8, 7)); res.Root != want {
+		t.Fatalf("impossible guard not pruned: %s", res.Root.String())
+	}
+	if res.Stats.SlicedInputs != 1 {
+		t.Fatalf("decoy input not sliced: %+v", res.Stats)
+	}
+	if res.Stats.ComparesDecided == 0 {
+		t.Fatalf("guard comparison not counted: %+v", res.Stats)
+	}
+
+	// Nested guards: under x < 5, both x < 10 (nested true) and 9 < x
+	// (contradiction) are decided by the interval refinement.
+	t1 := b.If(b.Lt(x, b.BVConst(u8, 10)), b.BVConst(u8, 1), b.BVConst(u8, 2))
+	t2 := b.If(b.Lt(b.BVConst(u8, 9), x), b.BVConst(u8, 3), t1)
+	root2 := b.Eq(b.If(b.Lt(x, b.BVConst(u8, 5)), t2, b.BVConst(u8, 4)), b.BVConst(u8, 1))
+	res2 := Simplify(b, root2)
+	if want := b.Lt(x, b.BVConst(u8, 5)); res2.Root != want {
+		t.Fatalf("interval refinement missed: %s", res2.Root.String())
+	}
+
+	// Disjoint intervals decide equality outright: (x >> 4) never
+	// reaches 0x40.
+	root3 := b.Eq(b.Shr(x, 4), b.BVConst(u8, 0x40))
+	res3 := Simplify(b, root3)
+	if want := b.BoolConst(false); res3.Root != want {
+		t.Fatalf("disjoint comparison kept: %s", res3.Root.String())
+	}
+}
+
+// TestSimplifyPreservesVars guards the decoding contract: variable nodes
+// survive rewriting with their identities intact.
+func TestSimplifyPreservesVars(t *testing.T) {
+	b := core.NewBuilder()
+	u8 := core.BV(8, false)
+	x := b.Var(u8, "x")
+	root := b.Eq(b.Add(x, b.BVConst(u8, 0)), b.BVConst(u8, 3))
+	res := Simplify(nil, root)
+	found := false
+	var walk func(n *core.Node)
+	seen := map[*core.Node]bool{}
+	walk = func(n *core.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Op == core.OpVar {
+			if n != x {
+				t.Fatalf("variable rewritten: %v (id %d)", n.Name, n.VarID)
+			}
+			found = true
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(res.Root)
+	if !found {
+		t.Fatalf("live input vanished: %s", res.Root.String())
+	}
+}
+
+// TestSimplifyListCase exercises case reduction and binder rebuilding
+// across builders (fresh binder ids must not collide with inputs).
+func TestSimplifyListCase(t *testing.T) {
+	b := core.NewBuilder()
+	u8 := core.BV(8, false)
+	lt := core.List(u8)
+	xs := b.Var(lt, "xs")
+	x := b.Var(u8, "x")
+
+	head := b.ListCase(xs, b.BVConst(u8, 0), func(h, tl *core.Node) *core.Node {
+		return b.If(b.Eq(b.BOr(h, b.BVConst(u8, 2)), b.BVConst(u8, 0)), x, h)
+	})
+	root := b.Eq(head, b.BVConst(u8, 9))
+	res := Simplify(nil, root)
+
+	for i := 0; i < 32; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		list := interp.List(lt)
+		if i%2 == 0 {
+			list = interp.List(lt, interp.BV(u8, rng.Uint64()), interp.BV(u8, rng.Uint64()))
+		}
+		env := interp.Env{xs.VarID: list, x.VarID: interp.BV(u8, rng.Uint64())}
+		if want, got := interp.Eval(root, env).B, interp.Eval(res.Root, env).B; want != got {
+			t.Fatalf("list case diverged (iter %d): want %v got %v", i, want, got)
+		}
+	}
+	if again := Simplify(res.Builder, res.Root); again.Root != res.Root {
+		t.Fatalf("list case not idempotent")
+	}
+
+	// A literal cons scrutinee must reduce away the case entirely.
+	lit := b.ListCons(b.BVConst(u8, 1), b.ListNil(lt))
+	root2 := b.Eq(b.ListCase(lit, b.BVConst(u8, 0), func(h, tl *core.Node) *core.Node {
+		return b.BOr(h, b.BVConst(u8, 4))
+	}), b.BVConst(u8, 5))
+	res2 := Simplify(b, root2)
+	if want := b.BoolConst(true); res2.Root != want {
+		t.Fatalf("literal cons not reduced: %s", res2.Root.String())
+	}
+}

@@ -58,6 +58,19 @@ func Cases() []Case {
 		// tracked queries from scratch cost at setup, so the committed file
 		// documents the delta path's advantage.
 		{Name: "serve/update-churn", Make: serveChurnCase},
+		// The presolve ablation is appended after the originals (order is
+		// part of the pin; see above): the same ACL find query carrying a
+		// dead decoy cone — a known-bits-impossible guard over a
+		// multiplication — solved with and without the
+		// abstract-interpretation presolve. The committed file documents
+		// the delta: with presolve on, the decoy never reaches the solver
+		// (fewer BDD nodes per op) at the cost of presolve-ns.
+		{Name: "presolve/acl-decoy/off", Make: func() (*Instance, error) { return presolveCase(false) }},
+		{Name: "presolve/acl-decoy/on", Make: func() (*Instance, error) { return presolveCase(true) }},
+		// The Figure 10 ACL workload with the backend chosen by the static
+		// cost predictor instead of pinned; auto-picks-*-% records what it
+		// chose (the 4000-line DAG should route to SAT).
+		{Name: "acl-find/auto/4000", Make: autoFindCase},
 	}
 }
 
@@ -104,6 +117,83 @@ func aclFindCase(be zen.Backend, lines int) (*Instance, error) {
 			}
 		},
 		Metrics: backendMetrics(st),
+	}, nil
+}
+
+// presolveCase is the presolve ablation: a 400-line ACL find whose
+// predicate drags in a decoy cone — a 10-bit masked port multiplication
+// conjoined with (proto | 1) == 0, impossible by known bits. The
+// multiplication sits on the left, so the BDD backend builds its full
+// variable-interleaved BDD before the impossible right conjunct can
+// collapse the conjunction; with presolve on, the simplifier folds the
+// guard first and the solver never sees the multiplication. The ~13x
+// bdd-nodes/op gap between off and on is the number this case pins.
+func presolveCase(on bool) (*Instance, error) {
+	rng := rand.New(rand.NewSource(42))
+	a := figgen.ACL(rng, 400)
+	last := uint16(len(a.Rules) - 1)
+	st := &zen.Stats{}
+	opts := []zen.Option{zen.WithBackend(zen.BDD), zen.WithStats(st)}
+	if on {
+		opts = append(opts, zen.WithPresolve())
+	}
+	return &Instance{
+		Iter: func() {
+			fn := zen.Func(a.MatchLine)
+			if _, ok := fn.Find(func(h zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
+				dp := zen.BitAnd(pkt.DstPort(h), zen.Lift(uint16(0x3ff)))
+				sp := zen.BitAnd(pkt.SrcPort(h), zen.Lift(uint16(0x3ff)))
+				poison := zen.EqC(zen.Mul(dp, sp), 999)
+				decoy := zen.EqC(zen.BitOr(pkt.Protocol(h), zen.Lift(uint8(1))), 0)
+				return zen.Or(zen.And(poison, decoy), zen.EqC(l, last))
+			}, opts...); !ok {
+				panic("catch-all line unreachable")
+			}
+		},
+		Metrics: func(n int) map[string]float64 {
+			out := backendMetrics(st)(n)
+			s := st.Snapshot()
+			if s.Absint.Presolves > 0 {
+				out["sliced-inputs/op"] = float64(s.Absint.SlicedInputs) / float64(n)
+				out["presolve-nodes-removed/op"] =
+					float64(s.Absint.NodesBefore-s.Absint.NodesAfter) / float64(n)
+				if p, ok := s.Phase("presolve"); ok && p.Count > 0 {
+					out["presolve-ns"] = float64(p.Total.Nanoseconds()) / float64(p.Count)
+				}
+			}
+			return out
+		},
+	}, nil
+}
+
+// autoFindCase is aclFindCase with the backend left to the static cost
+// predictor ("auto"): the pick lands in the auto-picks metrics.
+func autoFindCase() (*Instance, error) {
+	rng := rand.New(rand.NewSource(42))
+	a := figgen.ACL(rng, 4000)
+	last := uint16(len(a.Rules) - 1)
+	st := &zen.Stats{}
+	return &Instance{
+		Iter: func() {
+			fn := zen.Func(a.MatchLine)
+			if _, ok := fn.Find(func(_ zen.Value[pkt.Header], l zen.Value[uint16]) zen.Value[bool] {
+				return zen.EqC(l, last)
+			}, zen.WithAutoBackend(), zen.WithStats(st)); !ok {
+				panic("catch-all line unreachable")
+			}
+		},
+		Metrics: func(n int) map[string]float64 {
+			out := backendMetrics(st)(n)
+			s := st.Snapshot()
+			var picks int64
+			for _, v := range s.Absint.AutoPicks {
+				picks += v
+			}
+			for k, v := range s.Absint.AutoPicks {
+				out["auto-picks-"+k+"-%"] = 100 * float64(v) / float64(picks)
+			}
+			return out
+		},
 	}, nil
 }
 

@@ -156,6 +156,17 @@ func (b *Builder) fresh(n *Node) *Node {
 	return n
 }
 
+// ReserveVars advances the builder's variable counter past id, so
+// binders allocated while rebuilding a DAG from another builder cannot
+// collide with variable ids minted elsewhere.
+func (b *Builder) ReserveVars(id int32) {
+	b.mu.Lock()
+	if b.nextVar < id {
+		b.nextVar = id
+	}
+	b.mu.Unlock()
+}
+
 // NumNodes returns the number of distinct interned nodes, a rough measure
 // of model size.
 func (b *Builder) NumNodes() int64 {

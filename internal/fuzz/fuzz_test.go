@@ -209,7 +209,7 @@ func (c corrupting) decode() *interp.Value {
 
 func enumerateCorrupted(expr, in *core.Node, cfg CheckConfig) enumResult {
 	prog, _ := compileChecked(expr, in)
-	return enumerate(func() anySolver { return corrupting{wrapSolver(backends.NewBDD())} }, expr, in, prog, cfg)
+	return enumerate(func() anySolver { return corrupting{wrapSolver(backends.NewBDD())} }, expr, expr, in, prog, cfg)
 }
 
 func containsOp(n *core.Node, op core.Op) bool {
@@ -245,7 +245,7 @@ func TestPortfolioEngineEnumerates(t *testing.T) {
 	if div != nil {
 		t.Fatalf("compile: %v", div)
 	}
-	res := enumerate(newPortfolioSolver, expr, in, prog, CheckConfig{ListBound: 2, MaxModels: 10})
+	res := enumerate(newPortfolioSolver, expr, expr, in, prog, CheckConfig{ListBound: 2, MaxModels: 10})
 	if res.div != nil {
 		t.Fatalf("portfolio enumeration diverged: %v", res.div)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"zen-go/internal/absint"
 	"zen-go/internal/backends"
 	"zen-go/internal/compilejit"
 	"zen-go/internal/core"
@@ -28,6 +29,7 @@ const (
 	KindForwardDiverge   = "forward-diverge"   // TransformForward of a singleton is not {f(x)}
 	KindBackendPanic     = "backend-panic"     // a backend crashed on a well-typed expression
 	KindPortfolioDiverge = "portfolio-diverge" // the racing portfolio disagrees with the single backends
+	KindPresolveDiverge  = "presolve-diverge"  // the presolve-simplified DAG disagrees with the original
 )
 
 // CheckConfig configures one differential check.
@@ -102,12 +104,29 @@ func Check(expr, in *core.Node, cfg CheckConfig, rng *rand.Rand) *Divergence {
 		}
 	}
 
+	// Path 2b: abstract-interpretation presolve parity. The simplified
+	// DAG must agree with the original on every concrete input, be a
+	// fixpoint of Simplify, and lead the solvers to the same verdict —
+	// with each of its models checked against the ORIGINAL predicate, so
+	// an unsound rewrite cannot hide behind a matching sat bit.
+	simp, div := simplifyChecked(expr)
+	if div != nil {
+		return div.fill(expr, in)
+	}
+	for _, x := range concrete {
+		want := interp.Eval(expr, interp.Env{in.VarID: x}).B
+		got := interp.Eval(simp, interp.Env{in.VarID: x}).B
+		if got != want {
+			return fail(KindPresolveDiverge, "input %s: original=%v simplified=%v\n  simplified: %s", x, want, got, simp)
+		}
+	}
+
 	// Path 3+4: BDD and SAT find/findall with model-soundness checking.
-	bddRes := enumerate(func() anySolver { return wrapSolver(backends.NewBDD()) }, expr, in, prog, cfg)
+	bddRes := enumerate(func() anySolver { return wrapSolver(backends.NewBDD()) }, expr, expr, in, prog, cfg)
 	if bddRes.div != nil {
 		return bddRes.div.fill(expr, in)
 	}
-	satRes := enumerate(func() anySolver { return wrapSolver(backends.NewSAT()) }, expr, in, prog, cfg)
+	satRes := enumerate(func() anySolver { return wrapSolver(backends.NewSAT()) }, expr, expr, in, prog, cfg)
 	if satRes.div != nil {
 		return satRes.div.fill(expr, in)
 	}
@@ -126,7 +145,7 @@ func Check(expr, in *core.Node, cfg CheckConfig, rng *rand.Rand) *Divergence {
 	// witness values are timing-dependent (the winner varies), but
 	// enumerate checks every model for concrete soundness, so parity is
 	// over verdicts and counts, never over witness identity.
-	pfRes := enumerate(newPortfolioSolver, expr, in, prog, cfg)
+	pfRes := enumerate(newPortfolioSolver, expr, expr, in, prog, cfg)
 	if pfRes.div != nil {
 		return pfRes.div.fill(expr, in)
 	}
@@ -138,6 +157,21 @@ func Check(expr, in *core.Node, cfg CheckConfig, rng *rand.Rand) *Divergence {
 	}
 	if satRes.exhausted && len(pfRes.models) > len(satRes.models) {
 		return fail(KindPortfolioDiverge, "sat exhausted at %d models, portfolio found %d", len(satRes.models), len(pfRes.models))
+	}
+
+	// Path 4c: solve the simplified DAG and require verdict and model-count
+	// parity with the original; enumerate validates each simplified-DAG
+	// model against the original expr (and its compiled program).
+	psRes := enumerate(func() anySolver { return wrapSolver(backends.NewBDD()) }, simp, expr, in, prog, cfg)
+	if psRes.div != nil {
+		return psRes.div.fill(expr, in)
+	}
+	if psRes.sat != bddRes.sat {
+		return fail(KindPresolveDiverge, "simplified sat=%v, original sat=%v (bound %d)\n  simplified: %s", psRes.sat, bddRes.sat, cfg.ListBound, simp)
+	}
+	if psRes.exhausted != bddRes.exhausted || len(psRes.models) != len(bddRes.models) {
+		return fail(KindPresolveDiverge, "simplified enumerated %d models (exhausted=%v), original %d (exhausted=%v)",
+			len(psRes.models), psRes.exhausted, len(bddRes.models), bddRes.exhausted)
 	}
 
 	// Path 5: state-set transformers (exact over the whole space).
@@ -181,6 +215,25 @@ func checkCompiled(expr, in *core.Node, prog *compilejit.Program, x *interp.Valu
 			Detail: fmt.Sprintf("input %s: interpreted=%v compiled=%v", x, want, got)}
 	}
 	return nil
+}
+
+// --- presolve parity ---
+
+// simplifyChecked runs the abstract-interpretation simplifier on its own
+// builder and checks idempotence (Simplify must be a no-op on its own
+// output); panics surface as backend-panic divergences.
+func simplifyChecked(expr *core.Node) (root *core.Node, div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("presolve panicked: %v", r)}
+		}
+	}()
+	res := absint.Simplify(nil, expr)
+	if again := absint.Simplify(res.Builder, res.Root); again.Root != res.Root {
+		return nil, &Divergence{Kind: KindPresolveDiverge,
+			Detail: fmt.Sprintf("not idempotent:\n  once:  %s\n  twice: %s", res.Root, again.Root)}
+	}
+	return res.Root, nil
 }
 
 // --- solver enumeration ---
@@ -256,16 +309,19 @@ type enumResult struct {
 	div       *Divergence
 }
 
-// enumerate finds up to cfg.MaxModels distinct models, checking each for
-// soundness under interpretation and compiled execution.
-func enumerate(mk func() anySolver, expr, in *core.Node, prog *compilejit.Program, cfg CheckConfig) (res enumResult) {
+// enumerate finds up to cfg.MaxModels distinct models of solveExpr,
+// checking each for soundness under interpretation and compiled execution
+// of checkExpr. The two differ only on the presolve-parity path, where
+// the solver runs on the simplified DAG but every model must satisfy the
+// original predicate.
+func enumerate(mk func() anySolver, solveExpr, checkExpr, in *core.Node, prog *compilejit.Program, cfg CheckConfig) (res enumResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("solver panicked: %v", r)}
 		}
 	}()
 	s := mk()
-	s.eval(expr, in, cfg.ListBound)
+	s.eval(solveExpr, in, cfg.ListBound)
 	for len(res.models) < cfg.MaxModels {
 		if !s.solve() {
 			res.exhausted = true
@@ -274,7 +330,7 @@ func enumerate(mk func() anySolver, expr, in *core.Node, prog *compilejit.Progra
 		res.sat = true
 		m := s.decode()
 		// Oracle (b): the model must concretely satisfy the predicate.
-		if !interp.Eval(expr, interp.Env{in.VarID: m}).B {
+		if !interp.Eval(checkExpr, interp.Env{in.VarID: m}).B {
 			res.div = &Divergence{Kind: KindUnsoundModel, Detail: fmt.Sprintf("model %s evaluates to false", m)}
 			return res
 		}

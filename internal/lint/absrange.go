@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"zen-go/internal/absint"
+	"zen-go/internal/core"
+)
+
+// AbsRange lifts the abstract-interpretation presolve domains — known
+// bits and unsigned intervals (internal/absint) — into the linter:
+// comparisons decided by value ranges, conditions that contradict their
+// enclosing guards, and non-constant expressions whose bits are all
+// forced. These are findings the ternary dead-branch pass (ZL201)
+// provably cannot see: it treats every bitvector comparison as an opaque
+// unknown, while this analyzer reasons about the values flowing into it.
+// To keep the two disjoint, the walker refines contexts with boolFacts
+// off — no node-level truth facts are recorded, so every decision here
+// comes from value reasoning alone.
+//
+// Hash-consing means one node can sit in many path contexts, so (like
+// ZL201) a finding is reported only when every reachable context agrees:
+// a comparison decided true on one path and open on another is working
+// exactly as intended.
+var AbsRange = &Analyzer{
+	Name:  "absrange",
+	Doc:   "comparisons and values decided by known-bits + interval analysis",
+	Codes: []string{"ZL601", "ZL602", "ZL603"},
+	Run:   runAbsRange,
+}
+
+// absRangeEnvs caps refined contexts per model; past the cap branches
+// are walked under the parent context (fewer findings, never wrong ones,
+// since an undecided sight suppresses the report).
+const absRangeEnvs = 256
+
+// absRangeBudget bounds the context-sensitive walk; a truncated walk
+// stays silent, as an unvisited context could have left a node open.
+const absRangeBudget = 1 << 20
+
+func runAbsRange(p *Pass) {
+	w := &rangeWalker{
+		p:       p,
+		a:       absint.New(),
+		dec:     make(map[*core.Node]*rangeDecision),
+		sing:    make(map[*core.Node]*rangeSingleton),
+		visited: make(map[*core.Node]bool),
+		budget:  absRangeBudget,
+	}
+	w.walk(p.Root, nil)
+	if w.budget <= 0 {
+		return
+	}
+	var nodes []*core.Node
+	for n := range w.dec {
+		nodes = append(nodes, n)
+	}
+	sortNodesByID(nodes)
+	for _, n := range nodes {
+		d := w.dec[n]
+		switch {
+		case d.open || (d.t && d.f):
+			// undecided somewhere, or context-dependent: working as intended
+		case d.f:
+			w.p.Reportf("ZL601", SevWarn, n,
+				"the comparison (or an enclosing guard) is wrong, or the branch is dead code",
+				"comparison can never hold: the operand ranges are disjoint in every context")
+		case d.t:
+			w.p.Reportf("ZL602", SevWarn, n,
+				"drop the comparison, or tighten it to the case it was meant to exclude",
+				"comparison always holds: the operand ranges decide it in every context")
+		}
+	}
+	nodes = nodes[:0]
+	for n := range w.sing {
+		nodes = append(nodes, n)
+	}
+	sortNodesByID(nodes)
+	for _, n := range nodes {
+		s := w.sing[n]
+		if s.same && !s.open {
+			w.p.Reportf("ZL603", SevInfo, n,
+				"replace the expression with the constant (or fix the mask/shift forcing it)",
+				"every bit of this %d-bit expression is forced: it always evaluates to %d",
+				n.Type.Width, s.c)
+		}
+	}
+}
+
+// rangeDecision accumulates how a comparison evaluated across contexts.
+type rangeDecision struct{ t, f, open bool }
+
+// rangeSingleton accumulates whether a bitvector node was pinned to the
+// same constant in every context.
+type rangeSingleton struct {
+	c          uint64
+	seen, same bool
+	open       bool
+}
+
+type rangeWalker struct {
+	p       *Pass
+	a       *absint.Analysis
+	dec     map[*core.Node]*rangeDecision
+	sing    map[*core.Node]*rangeSingleton
+	visited map[*core.Node]bool // context-free visit memo
+	envs    int
+	budget  int
+}
+
+func (w *rangeWalker) walk(n *core.Node, e *absint.Env) {
+	if w.budget <= 0 {
+		return
+	}
+	w.budget--
+	// Context-free visits need to happen only once; refined contexts can
+	// decide nodes differently, so they re-descend.
+	if e == nil {
+		if w.visited[n] {
+			return
+		}
+		w.visited[n] = true
+	}
+	w.observe(n, e)
+	switch n.Op {
+	case core.OpIf:
+		cond := n.Kids[0]
+		w.walk(cond, e)
+		if et, ok := w.extend(e, cond, true); ok {
+			w.walk(n.Kids[1], et)
+		}
+		if ef, ok := w.extend(e, cond, false); ok {
+			w.walk(n.Kids[2], ef)
+		}
+	case core.OpAnd, core.OpOr:
+		// The right operand only matters when the left does not decide
+		// the connective, so it lives under the left's non-deciding
+		// truth value; a contradiction means it is never evaluated.
+		w.walk(n.Kids[0], e)
+		if er, ok := w.extend(e, n.Kids[0], n.Op == core.OpAnd); ok {
+			w.walk(n.Kids[1], er)
+		}
+	default:
+		for _, k := range n.Kids {
+			w.walk(k, e)
+		}
+	}
+}
+
+// observe records how n evaluates under the current context.
+func (w *rangeWalker) observe(n *core.Node, e *absint.Env) {
+	switch {
+	case (n.Op == core.OpEq || n.Op == core.OpLt) && n.Kids[0].Type.Kind == core.KindBV:
+		d := w.dec[n]
+		if d == nil {
+			d = &rangeDecision{}
+			w.dec[n] = d
+		}
+		if b, ok := w.a.Eval(n, e).AsBool(); !ok {
+			d.open = true
+		} else if b {
+			d.t = true
+		} else {
+			d.f = true
+		}
+	case n.Type.Kind == core.KindBV && n.Op != core.OpConst && n.Op != core.OpVar:
+		s := w.sing[n]
+		if s == nil {
+			s = &rangeSingleton{}
+			w.sing[n] = s
+		}
+		if c, ok := w.a.Eval(n, e).AsConst(); !ok {
+			s.open = true
+		} else if !s.seen {
+			s.seen, s.same, s.c = true, true, c
+		} else if s.c != c {
+			s.same = false
+		}
+	}
+}
+
+// extend refines the context with cond=truth, under the env cap. The
+// second result is false when the assumption contradicts the path — the
+// guarded code is unreachable, so nothing below it is observed.
+func (w *rangeWalker) extend(e *absint.Env, cond *core.Node, truth bool) (*absint.Env, bool) {
+	if w.envs >= absRangeEnvs {
+		return e, true
+	}
+	w.envs++
+	return w.a.Assume(e, cond, truth, false)
+}

@@ -73,6 +73,23 @@ func TestDiagnosticsGolden(t *testing.T) {
 			}
 			return descend(l, DeepCaseDepth+1), nil
 		}},
+		{"default-route mask forces the match", func(b *core.Builder) (*core.Node, *core.Node) {
+			dst := b.Var(u32, "dst")
+			// The /0-mask LPM idiom: BAnd(dst, 0) == 0 always holds and the
+			// masked address is forced to zero.
+			return b.Eq(b.BAnd(dst, b.BVConst(u32, 0)), b.BVConst(u32, 0)), nil
+		}},
+		{"advertisement can never beat the seed", func(b *core.Builder) (*core.Node, *core.Node) {
+			adv := b.Var(u8, "adv")
+			// Lt(0xff, x|1) is statically false: nothing exceeds the
+			// saturated seed.
+			return b.Lt(b.BVConst(u8, 0xff), b.BOr(adv, b.BVConst(u8, 1))), nil
+		}},
+		{"guard narrows the nested comparison", func(b *core.Builder) (*core.Node, *core.Node) {
+			x, y, z, w := b.Var(u8, "x"), b.Var(u8, "y"), b.Var(u8, "z"), b.Var(u8, "w")
+			inner := b.If(b.Lt(x, b.BVConst(u8, 10)), y, z)
+			return b.If(b.Lt(x, b.BVConst(u8, 5)), inner, w), nil
+		}},
 		{"hand-grafted operand with the wrong type", func(b *core.Builder) (*core.Node, *core.Node) {
 			x := b.Var(u8, "x")
 			bad := b.Add(x, b.BVConst(u8, 1))

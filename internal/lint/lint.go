@@ -220,6 +220,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WellFormed,
 		DeadBranch,
+		AbsRange,
 		DupSubtree,
 		UnusedInput,
 		CostAdvisor,
@@ -276,4 +277,27 @@ func Filter(diags []Diagnostic, allow []string) (kept, suppressed []Diagnostic) 
 		}
 	}
 	return kept, suppressed
+}
+
+// Stale returns the allow-list codes that suppressed nothing: the model
+// no longer triggers them, so each entry only hides future findings. It
+// is the registry-level counterpart of zenvet's ZV005 source check.
+// Order follows the allow list; duplicates are reported once.
+func Stale(allow []string, suppressed []Diagnostic) []string {
+	if len(allow) == 0 {
+		return nil
+	}
+	hit := make(map[string]bool, len(suppressed))
+	for _, d := range suppressed {
+		hit[d.Code] = true
+	}
+	var stale []string
+	seen := make(map[string]bool, len(allow))
+	for _, c := range allow {
+		if !hit[c] && !seen[c] {
+			seen[c] = true
+			stale = append(stale, c)
+		}
+	}
+	return stale
 }

@@ -288,6 +288,24 @@ func TestFilterSuppression(t *testing.T) {
 	}
 }
 
+func TestStaleAllow(t *testing.T) {
+	b := core.NewBuilder()
+	u32 := core.BV(32, false)
+	root := b.Eq(b.Mul(b.Var(u32, "x"), b.Var(u32, "y")), b.BVConst(u32, 6))
+	diags := Run(root, nil, CostAdvisor)
+	allow := []string{"ZL501", "ZL999", "ZL999"}
+	_, suppressed := Filter(diags, allow)
+	// ZL501 earns its keep; ZL999 suppresses nothing and is reported
+	// once despite the duplicate entry.
+	stale := Stale(allow, suppressed)
+	if len(stale) != 1 || stale[0] != "ZL999" {
+		t.Fatalf("want stale [ZL999], got %v", stale)
+	}
+	if Stale(nil, suppressed) != nil {
+		t.Fatalf("empty allow-list reported stale entries")
+	}
+}
+
 func TestSeverityOrdering(t *testing.T) {
 	b := core.NewBuilder()
 	u32 := core.BV(32, false)

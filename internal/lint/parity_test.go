@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"testing"
+
+	"zen-go/internal/absint"
+)
+
+// TestCostThresholdParity pins the absint predictor's mirrored copies of
+// the cost-hazard constants to the canonical ones here. The predictor
+// cannot import this package (lint imports absint), so the constants
+// exist twice; drifting silently would make "auto" disagree with what
+// ZL5xx warns about.
+func TestCostThresholdParity(t *testing.T) {
+	mul, shift, depth := absint.Thresholds()
+	if mul != MulFriendlyWidth {
+		t.Errorf("mulFriendlyWidth mirror drifted: absint %d, lint %d", mul, MulFriendlyWidth)
+	}
+	if shift != WideShiftWidth {
+		t.Errorf("wideShiftWidth mirror drifted: absint %d, lint %d", shift, WideShiftWidth)
+	}
+	if depth != DeepCaseDepth {
+		t.Errorf("deepCaseDepth mirror drifted: absint %d, lint %d", depth, DeepCaseDepth)
+	}
+}
+
+// TestMidRangeShiftParity checks the mirrored predicate agrees with the
+// canonical MidRangeShift across the widths and amounts that matter.
+func TestMidRangeShiftParity(t *testing.T) {
+	for width := 1; width <= 128; width++ {
+		for amount := 0; amount <= width+2; amount++ {
+			if got, want := absint.MidRangeShift(width, amount), MidRangeShift(width, amount); got != want {
+				t.Fatalf("MidRangeShift(%d, %d): absint %v, lint %v", width, amount, got, want)
+			}
+		}
+	}
+}

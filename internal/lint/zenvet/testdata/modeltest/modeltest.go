@@ -107,3 +107,17 @@ func AllowedEquality(a, b zen.Value[uint8]) bool {
 func AllowedInline(a, b zen.Value[uint8]) bool {
 	return a != b //lint:allow ZV001 -- allowed ZV001
 }
+
+// StaleAllow carries a directive that silences nothing — the mistake it
+// once excused is gone, so the directive itself is the finding.
+func StaleAllow(a, b zen.Value[uint8]) zen.Value[uint8] {
+	//lint:allow ZV003 // want ZV005
+	return zen.Add(a, b)
+}
+
+// StaleOtherLayer allows a DAG-layer code; not zenvet's to judge, so no
+// ZV005 even though nothing here consumes it.
+func StaleOtherLayer(a, b zen.Value[uint8]) zen.Value[uint8] {
+	//lint:allow ZL201
+	return zen.Add(a, b)
+}

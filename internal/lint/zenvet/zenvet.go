@@ -18,10 +18,16 @@
 //	       GenerateInputs / Compile / CompileRaw) inside a model
 //	       function. Running the solver while the model is being built
 //	       bakes one concrete answer into the DAG.
+//	ZV005  stale suppression: a `//lint:allow ZV00x` directive that
+//	       silenced nothing. The mistake it excused has been fixed (or
+//	       moved), so the directive now only hides future findings.
 //
 // Findings are suppressed by a `//lint:allow ZV00x` comment on the same
 // line or the line above — the same directive zenlint's DAG-level layer
-// honors in model registrations.
+// honors in model registrations. Text after `--` or a second `//` in the
+// directive is commentary, not codes. Stale detection only considers
+// ZV-prefixed codes: allow directives for other layers' codes are not
+// zenvet's to judge.
 //
 // The checker is built on go/parser + go/types only: dependencies are
 // resolved from compiler export data located via `go list -export`, so it
@@ -165,9 +171,21 @@ var extractors = map[string]bool{
 // findings and the ones silenced by //lint:allow directives, both sorted
 // by position.
 func Check(p *Package) (kept, suppressed []Finding) {
-	c := &checker{p: p, allow: allowDirectives(p)}
+	allow, dirs := allowDirectives(p)
+	c := &checker{p: p, allow: allow, used: make(map[allowKey]bool)}
 	for _, f := range p.Files {
 		c.file(f)
+	}
+	// A directive that silenced nothing is itself a finding (ZV005). Only
+	// ZV codes are judged: ZL directives in registrations belong to the
+	// DAG-level layer.
+	for _, d := range dirs {
+		if !strings.HasPrefix(d.key.code, "ZV") || d.key.code == "ZV005" || c.used[d.key] {
+			continue
+		}
+		c.report(d.pos, "ZV005",
+			"stale //lint:allow %s: it suppresses nothing on this line or the next; delete it so it cannot hide a future finding",
+			d.key.code)
 	}
 	sortFindings(c.kept)
 	sortFindings(c.suppressed)
@@ -184,6 +202,9 @@ type checker struct {
 	// walk does not double-report them.
 	claimed map[ast.Node]bool
 	allow   map[allowKey]bool
+	// used marks the allow directives that suppressed at least one
+	// finding; the rest are stale (ZV005).
+	used map[allowKey]bool
 }
 
 type allowKey struct {
@@ -192,11 +213,20 @@ type allowKey struct {
 	code string
 }
 
+// directive is one parsed //lint:allow code with its source position,
+// kept in file order for deterministic stale reporting.
+type directive struct {
+	key allowKey
+	pos token.Pos
+}
+
 // allowDirectives scans the comments of every file for
 // `//lint:allow CODE[ CODE...]` and records the codes against the
-// directive's line.
-func allowDirectives(p *Package) map[allowKey]bool {
+// directive's line. Anything after `--` or an embedded `//` is
+// commentary, not codes.
+func allowDirectives(p *Package) (map[allowKey]bool, []directive) {
 	m := make(map[allowKey]bool)
+	var dirs []directive
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -206,25 +236,33 @@ func allowDirectives(p *Package) map[allowKey]bool {
 				if !ok {
 					continue
 				}
+				rest, _, _ = strings.Cut(rest, "--")
+				rest, _, _ = strings.Cut(rest, "//")
 				pos := p.Fset.Position(c.Pos())
 				for _, code := range strings.FieldsFunc(rest, func(r rune) bool {
 					return r == ' ' || r == ',' || r == '\t'
 				}) {
-					m[allowKey{pos.Filename, pos.Line, code}] = true
+					key := allowKey{pos.Filename, pos.Line, code}
+					if !m[key] {
+						m[key] = true
+						dirs = append(dirs, directive{key: key, pos: c.Pos()})
+					}
 				}
 			}
 		}
 	}
-	return m
+	return m, dirs
 }
 
 func (c *checker) report(pos token.Pos, code, format string, args ...any) {
 	position := c.p.Fset.Position(pos)
 	f := Finding{Pos: position, Code: code, Msg: fmt.Sprintf(format, args...)}
-	if c.allow[allowKey{position.Filename, position.Line, code}] ||
-		c.allow[allowKey{position.Filename, position.Line - 1, code}] {
-		c.suppressed = append(c.suppressed, f)
-		return
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if key := (allowKey{position.Filename, line, code}); c.allow[key] {
+			c.used[key] = true
+			c.suppressed = append(c.suppressed, f)
+			return
+		}
 	}
 	c.kept = append(c.kept, f)
 }

@@ -182,6 +182,26 @@ func (s ServeStats) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// AbsintStats count abstract-interpretation presolve activity
+// (internal/absint): how much the simplifier removed before a solver ran,
+// and what the static auto-backend predictor picked.
+type AbsintStats struct {
+	// Presolves counts Simplify runs on query DAGs.
+	Presolves int64 `json:"presolves"`
+	// NodesBefore and NodesAfter accumulate DAG sizes across presolves;
+	// their ratio is the average shrink factor.
+	NodesBefore int64 `json:"nodes_before"`
+	NodesAfter  int64 `json:"nodes_after"`
+	// Folds, ComparesDecided and BranchesPruned count rewrites by kind.
+	Folds           int64 `json:"folds"`
+	ComparesDecided int64 `json:"compares_decided"`
+	BranchesPruned  int64 `json:"branches_pruned"`
+	// SlicedInputs counts input variables removed from cones of influence.
+	SlicedInputs int64 `json:"sliced_inputs"`
+	// AutoPicks breaks backend:auto resolutions down by chosen backend.
+	AutoPicks map[string]int64 `json:"auto_picks,omitempty"`
+}
+
 // LintStats count static-analyzer activity (internal/lint).
 type LintStats struct {
 	// Models counts models analyzed.
@@ -223,6 +243,7 @@ type Snapshot struct {
 	Lint      LintStats      `json:"lint"`
 	Serve     ServeStats     `json:"serve"`
 	Portfolio PortfolioStats `json:"portfolio"`
+	Absint    AbsintStats    `json:"absint"`
 }
 
 // Phase returns the accumulated timing of the named phase.
@@ -311,6 +332,19 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.Portfolio.ClausesImported += o.Portfolio.ClausesImported
 	s.Portfolio.LoserAborts += o.Portfolio.LoserAborts
 	s.Portfolio.LoserAbortNs += o.Portfolio.LoserAbortNs
+	s.Absint.Presolves += o.Absint.Presolves
+	s.Absint.NodesBefore += o.Absint.NodesBefore
+	s.Absint.NodesAfter += o.Absint.NodesAfter
+	s.Absint.Folds += o.Absint.Folds
+	s.Absint.ComparesDecided += o.Absint.ComparesDecided
+	s.Absint.BranchesPruned += o.Absint.BranchesPruned
+	s.Absint.SlicedInputs += o.Absint.SlicedInputs
+	for k, v := range o.Absint.AutoPicks {
+		if s.Absint.AutoPicks == nil {
+			s.Absint.AutoPicks = make(map[string]int64)
+		}
+		s.Absint.AutoPicks[k] += v
+	}
 }
 
 func (s *Snapshot) clone() Snapshot {
@@ -325,6 +359,12 @@ func (s *Snapshot) clone() Snapshot {
 		c.Portfolio.WinsBy = make(map[string]int64, len(s.Portfolio.WinsBy))
 		for k, v := range s.Portfolio.WinsBy {
 			c.Portfolio.WinsBy[k] = v
+		}
+	}
+	if s.Absint.AutoPicks != nil {
+		c.Absint.AutoPicks = make(map[string]int64, len(s.Absint.AutoPicks))
+		for k, v := range s.Absint.AutoPicks {
+			c.Absint.AutoPicks[k] = v
 		}
 	}
 	c.Phases = append([]PhaseTiming(nil), s.Phases...)
@@ -387,6 +427,25 @@ func (s *Snapshot) String() string {
 		fmt.Fprintf(&b, ", %d clauses shared / %d imported, %d losers aborted in %v total\n",
 			s.Portfolio.ClausesShared, s.Portfolio.ClausesImported,
 			s.Portfolio.LoserAborts, time.Duration(s.Portfolio.LoserAbortNs).Round(time.Microsecond))
+	}
+	if s.Absint.Presolves > 0 || len(s.Absint.AutoPicks) > 0 {
+		fmt.Fprintf(&b, "  presolve: %d runs, %d→%d nodes, %d folds (%d compares), %d branches pruned, %d inputs sliced",
+			s.Absint.Presolves, s.Absint.NodesBefore, s.Absint.NodesAfter,
+			s.Absint.Folds, s.Absint.ComparesDecided, s.Absint.BranchesPruned,
+			s.Absint.SlicedInputs)
+		if len(s.Absint.AutoPicks) > 0 {
+			names := make([]string, 0, len(s.Absint.AutoPicks))
+			for k := range s.Absint.AutoPicks {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			parts := make([]string, len(names))
+			for i, k := range names {
+				parts[i] = fmt.Sprintf("%s %d", k, s.Absint.AutoPicks[k])
+			}
+			fmt.Fprintf(&b, " (auto picks: %s)", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
 	}
 	if s.Compile.Compiles > 0 {
 		fmt.Fprintf(&b, "  compile:  %d programs, %d instructions, %d registers\n",

@@ -194,6 +194,30 @@ func WriteSnapshotMetrics(m *MetricsWriter, s Snapshot) {
 	m.Family("zen_fuzz_divergences_total", "counter", "Differential-fuzzing divergences.")
 	m.Sample("", nil, float64(s.Fuzz.Divergences))
 
+	m.Family("zen_presolve_runs_total", "counter", "Abstract-interpretation presolve passes over query DAGs.")
+	m.Sample("", nil, float64(s.Absint.Presolves))
+	m.Family("zen_presolve_nodes_before_total", "counter", "DAG nodes entering presolve.")
+	m.Sample("", nil, float64(s.Absint.NodesBefore))
+	m.Family("zen_presolve_nodes_after_total", "counter", "DAG nodes surviving presolve.")
+	m.Sample("", nil, float64(s.Absint.NodesAfter))
+	m.Family("zen_presolve_folds_total", "counter", "Nodes constant-folded by presolve.")
+	m.Sample("", nil, float64(s.Absint.Folds))
+	m.Family("zen_presolve_compares_decided_total", "counter", "Comparisons decided statically by presolve.")
+	m.Sample("", nil, float64(s.Absint.ComparesDecided))
+	m.Family("zen_presolve_branches_pruned_total", "counter", "Conditional branches pruned by presolve.")
+	m.Sample("", nil, float64(s.Absint.BranchesPruned))
+	m.Family("zen_presolve_sliced_inputs_total", "counter", "Input variables sliced from cones of influence by presolve.")
+	m.Sample("", nil, float64(s.Absint.SlicedInputs))
+	m.Family("zen_auto_backend_picks_total", "counter", "backend:auto resolutions by statically chosen backend.")
+	picks := make([]string, 0, len(s.Absint.AutoPicks))
+	for k := range s.Absint.AutoPicks {
+		picks = append(picks, k)
+	}
+	sort.Strings(picks)
+	for _, k := range picks {
+		m.Sample("", [][2]string{{"backend", k}}, float64(s.Absint.AutoPicks[k]))
+	}
+
 	m.Family("zen_lint_models_total", "counter", "Models analyzed by zenlint.")
 	m.Sample("", nil, float64(s.Lint.Models))
 	m.Family("zen_lint_findings_total", "counter", "zenlint findings after suppression.")

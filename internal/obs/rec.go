@@ -165,6 +165,26 @@ func (r *Rec) AddPortfolio(d PortfolioStats) {
 	r.s.Portfolio.LoserAbortNs += d.LoserAbortNs
 }
 
+// AddAbsint accumulates abstract-interpretation presolve counters.
+func (r *Rec) AddAbsint(d AbsintStats) {
+	if r == nil {
+		return
+	}
+	r.s.Absint.Presolves += d.Presolves
+	r.s.Absint.NodesBefore += d.NodesBefore
+	r.s.Absint.NodesAfter += d.NodesAfter
+	r.s.Absint.Folds += d.Folds
+	r.s.Absint.ComparesDecided += d.ComparesDecided
+	r.s.Absint.BranchesPruned += d.BranchesPruned
+	r.s.Absint.SlicedInputs += d.SlicedInputs
+	for k, v := range d.AutoPicks {
+		if r.s.Absint.AutoPicks == nil {
+			r.s.Absint.AutoPicks = make(map[string]int64)
+		}
+		r.s.Absint.AutoPicks[k] += v
+	}
+}
+
 // AddLint accumulates static-analyzer counters.
 func (r *Rec) AddLint(d LintStats) {
 	if r == nil {

@@ -50,6 +50,9 @@ type Config struct {
 	// results plus the subsumption index's BDD tables) on drain and
 	// loads it on start; see snapshot.go.
 	SnapshotDir string
+	// Presolve runs the abstract-interpretation presolve pass on every
+	// solver query (zen.WithPresolve); zend enables it by default.
+	Presolve bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,8 +74,9 @@ type Request struct {
 	Model string `json:"model"`
 	// Kind is "find", "findall", "verify", or "evaluate".
 	Kind string `json:"kind"`
-	// Backend is "bdd" (default), "sat", or "portfolio" (race both,
-	// first verdict wins; see docs/portfolio.md).
+	// Backend is "bdd" (default), "sat", "portfolio" (race both, first
+	// verdict wins; see docs/portfolio.md), or "auto" (pick statically
+	// per query from DAG features; see docs/absint.md).
 	Backend string `json:"backend,omitempty"`
 	// Predicate is the condition for find/findall/verify; see predJSON.
 	Predicate json.RawMessage `json:"predicate,omitempty"`
@@ -256,6 +260,8 @@ func normBackend(b string) string {
 		return "sat"
 	case "portfolio":
 		return "portfolio"
+	case "auto":
+		return "auto"
 	default:
 		return "invalid"
 	}
@@ -412,8 +418,10 @@ func (s *Server) prepare(req *Request) (*query, *Response) {
 		backend = zen.SAT
 	case "portfolio":
 		backend = zen.Portfolio
+	case "auto":
+		backend = zen.Auto
 	default:
-		return fail(http.StatusBadRequest, ErrUnknownBackend, "unknown backend %q (want bdd, sat, or portfolio)", req.Backend)
+		return fail(http.StatusBadRequest, ErrUnknownBackend, "unknown backend %q (want bdd, sat, portfolio, or auto)", req.Backend)
 	}
 	q := &query{
 		m:       m,
@@ -492,6 +500,9 @@ func (s *Server) execute(ctx context.Context, q *query) *Response {
 	}
 	st := &zen.Stats{}
 	opts := []zen.Option{zen.WithBackend(q.key.backend), zen.WithStats(st)}
+	if s.cfg.Presolve {
+		opts = append(opts, zen.WithPresolve())
+	}
 	if q.key.backend == zen.Portfolio && s.cfg.PortfolioWorkers > 0 {
 		opts = append(opts, zen.WithPortfolioWorkers(s.cfg.PortfolioWorkers))
 	}

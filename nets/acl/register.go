@@ -21,10 +21,13 @@ func registered() *ACL {
 }
 
 func init() {
+	// ZL602/ZL603: the final allow-all rule uses the /0 prefix, whose
+	// mask is zero — BAnd(ip, 0) == 0 always holds by construction of a
+	// catch-all ACL line; presolve folds it away before any solver runs.
 	zen.RegisterModel("nets/acl.allow", func() zen.Lintable {
 		return zen.Func(registered().Allow)
-	})
+	}, "ZL602", "ZL603")
 	zen.RegisterModel("nets/acl.match-line", func() zen.Lintable {
 		return zen.Func(registered().MatchLine)
-	})
+	}, "ZL602", "ZL603")
 }

@@ -32,5 +32,7 @@ func init() {
 		// IsSome guard, so the Opt defaults are intentionally unreachable;
 		// with default routes everywhere the per-hop match checks are also
 		// decided by the first hop's.
-		"ZL201")
+		// ZL602/ZL603: every hop's table is a lone default route, so each
+		// /0 match (BAnd(dst, 0) == 0) is statically true by construction.
+		"ZL201", "ZL602", "ZL603")
 }

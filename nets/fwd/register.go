@@ -17,5 +17,8 @@ func init() {
 	},
 		// ZL401: longest-prefix matching reads only DstIP; the other
 		// header fields are wildcards by definition of an LPM table.
-		"ZL401")
+		// ZL602/ZL603: the default route's /0 mask makes its match
+		// BAnd(dst, 0) == 0 statically true — that is what a default
+		// route is; presolve folds the check away.
+		"ZL401", "ZL602", "ZL603")
 }

@@ -19,5 +19,10 @@ func init() {
 		return zen.Func2(func(da, db zen.Value[uint16]) zen.Value[uint16] {
 			return Best(d, []zen.Value[uint16]{da, db}, []zen.Value[bool]{zen.False(), zen.False()})
 		})
-	})
+	},
+		// ZL601: Best folds Min over the neighbors starting from
+		// Infinity (0xFFFF), so the first comparison Lt(0xFFFF, adv) can
+		// never hold — the seed is meant to lose to any advertisement;
+		// presolve eliminates it before the solvers see it.
+		"ZL601")
 }

@@ -27,13 +27,20 @@ go run ./cmd/zenlint
 echo "== zenvet (host-language model code checks)"
 go run ./cmd/zenvet
 
-# The full suite runs under the race detector; the service,
-# cancellation, and portfolio layers (internal/serve, internal/cancel,
-# internal/portfolio, zen ctx tests) are concurrency-heavy, so -race
-# coverage there is load-bearing: the portfolio races a BDD goroutine
-# against a pool of clause-sharing SAT workers, and its stress tests
-# (concurrent queries, deadline mid-race, goroutine-leak checks) only
-# mean something under -race.
+# race-tier is the named concurrency gate (also `make race-tier`): vet
+# plus race-enabled tests over the packages where data races are a live
+# hazard — the query service, the racing portfolio backend, the metrics
+# recorder both write to, and the presolve engine every query path
+# calls. It runs first so a race in the hot layers fails fast.
+echo "== race-tier (go vet + go test -race: serve, portfolio, obs, absint)"
+go vet ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/...
+go test -race -count=1 ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/...
+
+# The rest of the suite still runs under the race detector — the tier
+# above fails fast, it does not replace full coverage: internal/cancel
+# and the zen ctx tests are concurrency-heavy too, and the portfolio
+# stress tests (concurrent queries, deadline mid-race, goroutine-leak
+# checks) only mean something under -race.
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -46,10 +53,12 @@ go run ./cmd/zend -check-metrics
 echo "== zenbench smoke (pinned suite sanity, nothing written)"
 go run ./cmd/zenbench -smoke
 
-# The fixed-seed campaign is also the portfolio verdict-parity gate:
-# every query runs on all six engines (interp, compiled, bdd, sat,
-# erased, portfolio) and any verdict or model-count divergence fails.
-echo "== zenfuzz smoke (deterministic 2k-query six-engine parity campaign)"
+# The fixed-seed campaign is also the portfolio verdict-parity gate and
+# the presolve-parity gate: every query runs on all six engines (interp,
+# compiled, bdd, sat, erased, portfolio) and additionally solves the
+# presolve-simplified DAG, failing on any verdict, witness, model-count,
+# or simplified-vs-original divergence.
+echo "== zenfuzz smoke (deterministic 2k-query six-engine + presolve parity campaign)"
 go run ./cmd/zenfuzz -n 2000 -seed 1 -progress 0
 
 echo "== go test -fuzz (10s per target)"

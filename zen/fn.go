@@ -28,6 +28,11 @@ const (
 	// verdict; the losers are cancelled. See internal/portfolio and
 	// docs/portfolio.md.
 	Portfolio
+	// Auto picks one of the above statically, per query: a one-pass
+	// feature extraction over the query DAG feeds a cost model and the
+	// analysis runs on the predicted-cheapest backend. See
+	// WithAutoBackend and internal/absint.
+	Auto
 )
 
 func (b Backend) String() string {
@@ -36,6 +41,8 @@ func (b Backend) String() string {
 		return "bdd"
 	case SAT:
 		return "sat"
+	case Auto:
+		return "auto"
 	}
 	return "portfolio"
 }
@@ -61,6 +68,9 @@ type Options struct {
 	// Portfolio backend races alongside the BDD strategy; 0 picks a
 	// default from GOMAXPROCS. Ignored by the single backends.
 	PortfolioWorkers int
+	// Presolve enables the abstract-interpretation presolve pass before
+	// the solver runs (see WithPresolve).
+	Presolve bool
 }
 
 // Option mutates analysis options.
@@ -282,9 +292,10 @@ func (fn *Fn[I, O]) findErr(pred func(Value[I], Value[O]) Value[bool], o Options
 	cond := pred(fn.arg, fn.out)
 	stop()
 	o.measureDAG(rec, cond.n)
+	cn := o.presolve(cond.n, rec)
 	switch o.Backend {
 	case Portfolio:
-		sess, perr := portfolio.Run(portfolio.Query{Cond: cond.n, Vars: portfolioVar[I](fn.arg.n.VarID, o.ListBound)}, o.portfolioCfg(chk), rec)
+		sess, perr := portfolio.Run(portfolio.Query{Cond: cn, Vars: portfolioVar[I](fn.arg.n.VarID, o.ListBound)}, o.portfolioCfg(chk), rec)
 		if perr != nil {
 			return w, false, perr
 		}
@@ -295,9 +306,9 @@ func (fn *Fn[I, O]) findErr(pred func(Value[I], Value[O]) Value[bool], o Options
 		rt := reflect.TypeOf((*I)(nil)).Elem()
 		return toGo(sess.Model(fn.arg.n.VarID), rt).Interface().(I), true, nil
 	case SAT:
-		w, found = findWith[I](backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, chk, rec)
+		w, found = findWith[I](backends.NewSAT(), cn, fn.arg.n.VarID, o.ListBound, chk, rec)
 	default:
-		w, found = findWith[I](backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, chk, rec)
+		w, found = findWith[I](backends.NewBDD(), cn, fn.arg.n.VarID, o.ListBound, chk, rec)
 	}
 	return w, found, nil
 }
@@ -385,17 +396,18 @@ func (fn *Fn[I, O]) findAllErr(pred func(Value[I], Value[O]) Value[bool], max in
 	cond := pred(fn.arg, fn.out)
 	stop()
 	o.measureDAG(rec, cond.n)
+	cn := o.presolve(cond.n, rec)
 	// The partial result survives cancellation: findAllWith appends into
 	// *ws, so witnesses found before the abort are returned with the error.
 	switch o.Backend {
 	case Portfolio:
-		if perr := findAllPortfolio[I](cond.n, fn.arg.n.VarID, o, max, chk, rec, &ws); perr != nil {
+		if perr := findAllPortfolio[I](cn, fn.arg.n.VarID, o, max, chk, rec, &ws); perr != nil {
 			return ws, perr
 		}
 	case SAT:
-		findAllWith(backends.NewSAT(), cond.n, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
+		findAllWith(backends.NewSAT(), cn, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
 	default:
-		findAllWith(backends.NewBDD(), cond.n, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
+		findAllWith(backends.NewBDD(), cn, fn.arg.n.VarID, o.ListBound, max, chk, rec, &ws)
 	}
 	return ws, nil
 }

@@ -70,13 +70,14 @@ func (fn *Fn2[A, B, O]) findErr(pred func(Value[A], Value[B], Value[O]) Value[bo
 	cond := pred(fn.argA, fn.argB, fn.out)
 	stop()
 	o.measureDAG(rec, cond.n)
+	cn := o.presolve(cond.n, rec)
 	switch o.Backend {
 	case Portfolio:
 		vars := []portfolio.VarSpec{
 			{ID: fn.argA.n.VarID, Type: TypeOf[A](), Bound: o.ListBound, Name: "a"},
 			{ID: fn.argB.n.VarID, Type: TypeOf[B](), Bound: o.ListBound, Name: "b"},
 		}
-		sess, perr := portfolio.Run(portfolio.Query{Cond: cond.n, Vars: vars}, o.portfolioCfg(chk), rec)
+		sess, perr := portfolio.Run(portfolio.Query{Cond: cn, Vars: vars}, o.portfolioCfg(chk), rec)
 		if perr != nil {
 			return a, b, false, perr
 		}
@@ -89,9 +90,9 @@ func (fn *Fn2[A, B, O]) findErr(pred func(Value[A], Value[B], Value[O]) Value[bo
 		return toGo(sess.Model(fn.argA.n.VarID), rta).Interface().(A),
 			toGo(sess.Model(fn.argB.n.VarID), rtb).Interface().(B), true, nil
 	case SAT:
-		a, b, found = find2With[A, B](backends.NewSAT(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
+		a, b, found = find2With[A, B](backends.NewSAT(), cn, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
 	default:
-		a, b, found = find2With[A, B](backends.NewBDD(), cond.n, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
+		a, b, found = find2With[A, B](backends.NewBDD(), cn, fn.argA.n.VarID, fn.argB.n.VarID, o.ListBound, chk, rec)
 	}
 	return a, b, found, nil
 }

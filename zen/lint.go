@@ -133,6 +133,10 @@ type ModelReport struct {
 	Findings []Diagnostic `json:"findings,omitempty"`
 	// Suppressed are the diagnostics filtered by the allow-list.
 	Suppressed []Diagnostic `json:"suppressed,omitempty"`
+	// StaleAllows are allow-list codes that suppressed nothing: the
+	// model no longer triggers them, so each entry only hides future
+	// findings. The registry-level counterpart of zenvet's ZV005.
+	StaleAllows []string `json:"stale_allows,omitempty"`
 }
 
 // LintRegistered builds and lints every registered model, applying each
@@ -149,7 +153,12 @@ func LintRegistered(opts ...Option) []ModelReport {
 				o.Stats.Merge(&snap)
 			}
 		}
-		reports = append(reports, ModelReport{Name: m.Name, Findings: kept, Suppressed: suppressed})
+		reports = append(reports, ModelReport{
+			Name:        m.Name,
+			Findings:    kept,
+			Suppressed:  suppressed,
+			StaleAllows: lint.Stale(m.Allow, suppressed),
+		})
 	}
 	return reports
 }

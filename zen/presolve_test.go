@@ -1,0 +1,91 @@
+package zen_test
+
+import (
+	"testing"
+
+	"zen-go/zen"
+)
+
+type presolvePkt struct {
+	Dst  uint16
+	Flag uint8
+}
+
+// presolveModel hides the real comparison behind a guard that known-bits
+// analysis proves impossible: (Flag | 1) == 0 never holds.
+func presolveModel(p zen.Value[presolvePkt]) zen.Value[bool] {
+	flag := zen.GetField[presolvePkt, uint8](p, "Flag")
+	dst := zen.GetField[presolvePkt, uint16](p, "Dst")
+	dead := zen.EqC(zen.BitOr(flag, zen.Lift(uint8(1))), 0)
+	return zen.If(dead, zen.LtC(dst, 3), zen.EqC(dst, 443))
+}
+
+func TestPresolveFindParity(t *testing.T) {
+	fn := zen.Func(presolveModel)
+	pred := func(in zen.Value[presolvePkt], out zen.Value[bool]) zen.Value[bool] { return out }
+
+	plain, okPlain := fn.Find(pred)
+	if !okPlain || plain.Dst != 443 {
+		t.Fatalf("baseline find broken: %+v %v", plain, okPlain)
+	}
+
+	var st zen.Stats
+	w, ok := fn.Find(pred, zen.WithPresolve(), zen.WithStats(&st))
+	if !ok || w.Dst != 443 {
+		t.Fatalf("presolved find diverged: %+v %v", w, ok)
+	}
+	snap := st.Snapshot()
+	if snap.Absint.Presolves != 1 {
+		t.Fatalf("presolve not recorded: %+v", snap.Absint)
+	}
+	if snap.Absint.BranchesPruned+snap.Absint.ComparesDecided == 0 {
+		t.Fatalf("impossible guard survived presolve: %+v", snap.Absint)
+	}
+	if snap.Absint.NodesAfter >= snap.Absint.NodesBefore {
+		t.Fatalf("presolve did not shrink the DAG: %+v", snap.Absint)
+	}
+
+	// Verify sees the same rewrite path.
+	valid, cex := fn.Verify(func(in zen.Value[presolvePkt], out zen.Value[bool]) zen.Value[bool] {
+		return zen.Or(zen.Not(out), zen.EqC(zen.GetField[presolvePkt, uint16](in, "Dst"), 443))
+	}, zen.WithPresolve())
+	if !valid {
+		t.Fatalf("presolved verify returned spurious counterexample %+v", cex)
+	}
+}
+
+func TestAutoBackend(t *testing.T) {
+	var st zen.Stats
+	fn := zen.Func(presolveModel)
+	w, ok := fn.Find(func(in zen.Value[presolvePkt], out zen.Value[bool]) zen.Value[bool] { return out },
+		zen.WithAutoBackend(), zen.WithPresolve(), zen.WithStats(&st))
+	if !ok || w.Dst != 443 {
+		t.Fatalf("auto-backend find diverged: %+v %v", w, ok)
+	}
+	snap := st.Snapshot()
+	var picks int64
+	for _, v := range snap.Absint.AutoPicks {
+		picks += v
+	}
+	if picks != 1 {
+		t.Fatalf("auto pick not recorded: %+v", snap.Absint.AutoPicks)
+	}
+	if snap.AnalysesBy["auto"] != 1 {
+		t.Fatalf("analysis label lost the auto origin: %+v", snap.AnalysesBy)
+	}
+
+	// A wide multiplication must resolve to SAT (the pattern ZL501 flags
+	// as BDD-hostile).
+	var st2 zen.Stats
+	mul := zen.Func(func(x zen.Value[uint32]) zen.Value[uint32] {
+		return zen.Mul(x, x)
+	})
+	if _, ok := mul.Find(func(in zen.Value[uint32], out zen.Value[uint32]) zen.Value[bool] {
+		return zen.EqC(out, 1)
+	}, zen.WithAutoBackend(), zen.WithStats(&st2)); !ok {
+		t.Fatalf("auto-backend mul find failed")
+	}
+	if st2.Snapshot().Absint.AutoPicks["sat"] != 1 {
+		t.Fatalf("wide mul not routed to sat: %+v", st2.Snapshot().Absint.AutoPicks)
+	}
+}

@@ -63,6 +63,10 @@ func (p *Problem) SolveCtx(ctx context.Context) (bool, error) {
 func (p *Problem) solveErr(chk cancel.Check) (found bool, err error) {
 	defer cancel.Trap(&err)
 	chk.Point()
+	// Problems open their telemetry record per backend below, so the
+	// presolve pass runs unrecorded here; its effect still shows in the
+	// solver counters.
+	p.cond.n = p.opts.presolve(p.cond.n, nil)
 	switch p.opts.Backend {
 	case Portfolio:
 		return p.solvePortfolio(chk)

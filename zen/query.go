@@ -75,6 +75,7 @@ func findRaw(ctx context.Context, cond *core.Node, args []*core.Node, max int, o
 	rec := o.begin(analysis)
 	defer rec.End()
 	o.measureDAG(rec, cond)
+	cond = o.presolve(cond, rec)
 	switch o.Backend {
 	case Portfolio:
 		if perr := findRawPortfolio(cond, args, max, o, chk, rec, &ms); perr != nil {
