@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-tier vet fmt lint check bench bench-suite bench-portfolio fuzz serve-smoke
+.PHONY: all build test race race-tier vet fmt lint check bench bench-suite bench-portfolio bench-bitslice fuzz serve-smoke
 
 all: build
 
@@ -16,10 +16,11 @@ race:
 # race-tier is the named concurrency gate: go vet plus race-enabled tests
 # over the packages where data races are a live hazard — the query
 # service, the racing portfolio backend, the metrics recorder they both
-# write to, and the presolve engine they all call. Much faster than
-# `make race`; check.sh runs this tier first so a race in the hot layers
-# fails before the full suite spins up.
-RACE_TIER = ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/...
+# write to, the presolve engine they all call, and the bitsliced batch
+# evaluator whose plans are shared across concurrent streams. Much faster
+# than `make race`; check.sh runs this tier first so a race in the hot
+# layers fails before the full suite spins up.
+RACE_TIER = ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/... ./internal/bitslice/...
 race-tier:
 	$(GO) vet $(RACE_TIER)
 	$(GO) test -race -count=1 $(RACE_TIER)
@@ -65,6 +66,14 @@ bench-suite:
 bench-portfolio:
 	$(GO) run ./cmd/zenbench -smoke -run 'portfolio|minesweeper'
 	$(GO) test ./internal/portfolio/ -count=1
+
+# bench-bitslice runs only the batch-evaluation cases — the quick check
+# that the bitsliced engine's throughput edge over the scalar interpreter
+# (packets/sec, speedup-x) and the streaming endpoint haven't drifted.
+# Nothing is written.
+bench-bitslice:
+	$(GO) run ./cmd/zenbench -smoke -run 'bitslice|evaluate-stream'
+	$(GO) test ./internal/bitslice/ -count=1
 
 # fuzz runs long native differential-fuzzing campaigns (see internal/fuzz).
 # Override FUZZTIME for longer hunts: make fuzz FUZZTIME=10m

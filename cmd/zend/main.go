@@ -152,6 +152,8 @@ var metricsMustHave = []string{
 	"zen_serve_request_seconds",
 	"zen_serve_model_request_seconds",
 	"zen_portfolio_races_total",
+	"zen_bitslice_packets_total",
+	"zen_serve_stream_items_total",
 }
 
 // runMetricsCheck exercises the server once, renders the /metrics

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,6 +73,16 @@ func Cases() []Case {
 		// cost predictor instead of pinned; auto-picks-*-% records what it
 		// chose (the 4000-line DAG should route to SAT).
 		{Name: "acl-find/auto/4000", Make: autoFindCase},
+		// The bitslice cases are appended after the originals (order is
+		// part of the pin; see above). bitslice-vs-scalar runs the same
+		// 100-line ACL as the §8 execution ablation through the bitsliced
+		// batch engine, 256 packets per op; its speedup-x metric pins the
+		// engine's throughput edge over the scalar interpreter.
+		// evaluate-stream measures the full /v1/evaluate NDJSON round
+		// trip — header parse, chunked batch evaluation on the worker
+		// pool, per-item encode — for the same 256 packets.
+		{Name: "evaluate/bitslice-vs-scalar", Make: bitsliceCase},
+		{Name: "serve/evaluate-stream", Make: serveStreamCase},
 	}
 }
 
@@ -269,6 +281,96 @@ func evalCase(compiled bool) (*Instance, error) {
 		return &Instance{Iter: func() { run(pkts[i%len(pkts)]); i++ }}, nil
 	}
 	return &Instance{Iter: func() { fn.Evaluate(pkts[i%len(pkts)]); i++ }}, nil
+}
+
+// bitsliceCase pits the bitsliced batch engine against the scalar
+// interpreter on the §8 ACL workload: one op pushes 256 packets through
+// EvaluateBatch (four 64-lane steps). The scalar reference time is
+// measured once at setup over the same packets, so speedup-x compares
+// like for like; packets/sec is the headline dataplane number.
+func bitsliceCase() (*Instance, error) {
+	rng := rand.New(rand.NewSource(7))
+	a := figgen.ACL(rng, 100)
+	fn := zen.Func(a.MatchLine)
+	pkts := make([]pkt.Header, 256)
+	for i := range pkts {
+		pkts[i] = pkt.Header{
+			DstIP:    rng.Uint32(),
+			SrcIP:    rng.Uint32(),
+			DstPort:  uint16(rng.Intn(65536)),
+			SrcPort:  uint16(rng.Intn(65536)),
+			Protocol: uint8(rng.Intn(256)),
+		}
+	}
+	want := make([]uint16, len(pkts))
+	for i, p := range pkts {
+		want[i] = fn.Evaluate(p)
+	}
+	const scalarRounds = 20
+	start := time.Now()
+	for r := 0; r < scalarRounds; r++ {
+		for _, p := range pkts {
+			fn.Evaluate(p)
+		}
+	}
+	scalarNS := float64(time.Since(start).Nanoseconds()) / float64(scalarRounds*len(pkts))
+	var batchNS int64
+	return &Instance{
+		Iter: func() {
+			t0 := time.Now()
+			out := fn.EvaluateBatch(pkts)
+			batchNS += time.Since(t0).Nanoseconds()
+			for i := range out {
+				if out[i] != want[i] {
+					panic(fmt.Sprintf("packet %d: batch=%d scalar=%d", i, out[i], want[i]))
+				}
+			}
+		},
+		Metrics: func(n int) map[string]float64 {
+			per := float64(batchNS) / float64(n*len(pkts))
+			return map[string]float64{
+				"packets/sec":      1e9 / per,
+				"batch-ns/packet":  per,
+				"scalar-ns/packet": scalarNS,
+				"speedup-x":        scalarNS / per,
+			}
+		},
+	}, nil
+}
+
+// serveStreamCase measures the streaming evaluate endpoint end to end
+// through the real handler: one op POSTs a 258-line NDJSON stream (header
+// + 256 items) and reads back start, results, and trailer.
+func serveStreamCase() (*Instance, error) {
+	s := serve.New(serve.Config{Workers: 2, Queue: 1 << 16})
+	h := s.Handler()
+	const items = 256
+	var b strings.Builder
+	b.WriteString(`{"model": "demo/add8"}` + "\n")
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&b, `{"args": [%d]}`+"\n", i%256)
+	}
+	body := b.String()
+	wantLines := items + 2 // start + results + trailer
+	return &Instance{
+		Iter: func() {
+			req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != 200 || strings.Count(w.Body.String(), "\n") != wantLines {
+				panic(fmt.Sprintf("stream: status %d, %d lines (want %d)",
+					w.Code, strings.Count(w.Body.String(), "\n"), wantLines))
+			}
+		},
+		Metrics: func(n int) map[string]float64 {
+			st := s.Stats()
+			return map[string]float64{
+				"stream-items/op": float64(st.StreamItems) / float64(n),
+				"stream-errors":   float64(st.StreamErrors),
+			}
+		},
+		Close: func() { s.Shutdown(context.Background()) },
+	}, nil
 }
 
 func serveFindReq(v uint64) *serve.Request {

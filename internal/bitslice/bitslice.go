@@ -1,0 +1,743 @@
+// Package bitslice is Zen's batch evaluation backend: it compiles a
+// hash-consed expression DAG into a flat plan of machine-word bitwise
+// instructions that evaluates a model on 64 inputs at once.
+//
+// The representation is transposed ("bitsliced"): where the scalar
+// evaluators hold one packet per value, a plan register holds one *bit
+// position* across 64 packets — bit i of the register belongs to lane i.
+// A 32-bit header field therefore occupies 32 registers, and a single
+// `AND` instruction advances all 64 lanes one gate at a time. The ternary
+// backend's two-words-per-value encoding already proved out this per-bit
+// layout; bitslice turns it from an abstract domain into an execution
+// strategy.
+//
+// Compilation maps every DAG node to a slice of register indices (one per
+// bit of its type, LSB first; objects concatenate their fields in type
+// order). Structural operators — GetField, Create, WithField, Shl/Shr by
+// a constant, Cast, Adapt — compile to pure index bookkeeping and cost
+// zero instructions. Logic compiles to single word ops, arithmetic to
+// ripple-carry/borrow chains, and If to select-masks: out = (then & m) |
+// (else &^ m), where m is the condition's lane mask. Because evaluation
+// is total (no side effects, no partiality), computing both branches of
+// every If is semantics-preserving.
+//
+// Lists are the one unsupported corner: a ListCase per lane would need
+// per-lane control flow, which is exactly what bitslicing removes.
+// Compile reports such models with an *UnsupportedError* so callers can
+// fall back to the scalar path.
+package bitslice
+
+import (
+	"fmt"
+	"sync"
+
+	"zen-go/internal/core"
+)
+
+// Lanes is the batch width: one plan execution evaluates this many
+// independent inputs, one per bit of a machine word.
+const Lanes = 64
+
+// Reserved registers: every plan keeps register 0 all-zeros and register
+// 1 all-ones. Constants and shift fill compile to references to these,
+// costing no instructions.
+const (
+	regZero int32 = 0
+	regOnes int32 = 1
+)
+
+// opcode is a plan instruction operator over whole 64-lane words.
+type opcode uint8
+
+const (
+	opNot    opcode = iota // dst = ^a
+	opAnd                  // dst = a & b
+	opOr                   // dst = a | b
+	opXor                  // dst = a ^ b
+	opAndNot               // dst = a &^ b
+	opXnor                 // dst = ^(a ^ b)           (single-word equality)
+	opEqAnd                // dst = c &^ (a ^ b)       (equality-chain step)
+	opXor3                 // dst = a ^ b ^ c          (sum/difference bit)
+	opMaj                  // dst = (a&b) | (c&(a^b))  (carry out of a+b+c)
+	opBrw                  // dst = (^a&(b|c)) | (b&c) (borrow out of a-b-c)
+	opSelect               // dst = (a&c) | (b&^c)     (If: then=a, else=b, mask=c)
+)
+
+// inst is one plan instruction. Unused operands are regZero.
+type inst struct {
+	op           opcode
+	dst, a, b, c int32
+}
+
+// VarInfo describes one input variable of a plan, in Compile argument
+// order.
+type VarInfo struct {
+	ID   int32
+	Name string
+	Type *core.Type
+}
+
+// Plan is a compiled bitsliced program: bind inputs lane by lane with
+// Bind, execute with Run, read results back with Lane. A Plan is
+// immutable and safe for concurrent use; each concurrent evaluation needs
+// its own register file (NewRegs or AcquireRegs).
+type Plan struct {
+	insts   []inst
+	numRegs int32
+	vars    map[int32][]int32 // variable id -> input bit registers
+	varInfo []VarInfo
+	out     []int32
+	outType *core.Type
+
+	regPool sync.Pool
+}
+
+// UnsupportedError reports a DAG the bitslice engine cannot compile
+// (list-typed values or list operators). Callers should treat it as a
+// signal to fall back to scalar evaluation, not as a model bug.
+type UnsupportedError struct {
+	Reason string
+}
+
+func (e *UnsupportedError) Error() string { return "bitslice: unsupported: " + e.Reason }
+
+// IsUnsupported reports whether err marks a model outside the bitslice
+// fragment (as opposed to a caller error such as an unbound variable).
+func IsUnsupported(err error) bool {
+	_, ok := err.(*UnsupportedError)
+	return ok
+}
+
+func unsupported(format string, args ...any) {
+	panic(&UnsupportedError{Reason: fmt.Sprintf(format, args...)})
+}
+
+// numWords returns how many bit registers a value of type t occupies.
+func numWords(t *core.Type) int {
+	switch t.Kind {
+	case core.KindBool:
+		return 1
+	case core.KindBV:
+		return t.Width
+	case core.KindObject:
+		n := 0
+		for _, f := range t.Fields {
+			n += numWords(f.Type)
+		}
+		return n
+	}
+	unsupported("list-typed value (%s)", t)
+	return 0
+}
+
+// compiler lowers a DAG into a plan, memoizing per node (hash-consing
+// makes pointer identity structural identity, so shared sub-DAGs compile
+// once) and value-numbering emitted instructions so identical word ops
+// are issued once.
+type compiler struct {
+	insts []inst
+	next  int32
+	memo  map[*core.Node][]int32
+	vars  map[int32][]int32
+	cse   map[inst]int32
+	inv   map[int32]int32 // register -> its bitwise complement, both ways
+}
+
+// Compile lowers root into a plan. Every variable root references must
+// appear in vars; extra variables are allowed (their input registers are
+// simply never read). Models using lists compile to an
+// *UnsupportedError*.
+func Compile(root *core.Node, vars ...*core.Node) (p *Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ue, ok := r.(*UnsupportedError); ok {
+				p, err = nil, ue
+				return
+			}
+			panic(r)
+		}
+	}()
+	c := &compiler{
+		next: 2, // regZero, regOnes
+		memo: make(map[*core.Node][]int32),
+		vars: make(map[int32][]int32),
+		cse:  make(map[inst]int32),
+		inv:  make(map[int32]int32),
+	}
+	plan := &Plan{vars: c.vars}
+	for _, v := range vars {
+		if v.Op != core.OpVar {
+			return nil, fmt.Errorf("bitslice: Compile argument is not a variable (op %s)", v.Op)
+		}
+		if _, dup := c.vars[v.VarID]; dup {
+			continue
+		}
+		n := numWords(v.Type)
+		words := make([]int32, n)
+		for i := range words {
+			words[i] = c.alloc()
+		}
+		c.vars[v.VarID] = words
+		c.memo[v] = words
+		plan.varInfo = append(plan.varInfo, VarInfo{ID: v.VarID, Name: v.Name, Type: v.Type})
+	}
+	plan.out = c.compile(root)
+	plan.outType = root.Type
+	plan.insts = c.insts
+	plan.numRegs = c.next
+	plan.regPool.New = func() any { return make([]uint64, plan.numRegs) }
+	return plan, nil
+}
+
+func (c *compiler) alloc() int32 {
+	r := c.next
+	c.next++
+	return r
+}
+
+// emit value-numbers and appends one instruction, returning its
+// destination register.
+func (c *compiler) emit(op opcode, a, b, cc int32) int32 {
+	key := inst{op: op, a: a, b: b, c: cc}
+	if dst, ok := c.cse[key]; ok {
+		return dst
+	}
+	dst := c.alloc()
+	c.insts = append(c.insts, inst{op: op, dst: dst, a: a, b: b, c: cc})
+	c.cse[key] = dst
+	return dst
+}
+
+// sort2/sort3 canonicalize commutative operands so value numbering hits.
+func sort2(a, b int32) (int32, int32) {
+	if b < a {
+		return b, a
+	}
+	return a, b
+}
+
+func sort3(a, b, c int32) (int32, int32, int32) {
+	a, b = sort2(a, b)
+	b, c = sort2(b, c)
+	a, b = sort2(a, b)
+	return a, b, c
+}
+
+// --- peephole-simplifying emit helpers ---
+//
+// The builder already constant-folds at the DAG level; these fold at the
+// register level, where comparisons against constants turn xnor chains
+// into plain complements and mask selects collapse. regZero/regOnes are
+// the only registers with statically known contents.
+
+func (c *compiler) not(a int32) int32 {
+	switch a {
+	case regZero:
+		return regOnes
+	case regOnes:
+		return regZero
+	}
+	if v, ok := c.inv[a]; ok {
+		return v
+	}
+	dst := c.emit(opNot, a, regZero, regZero)
+	c.inv[a] = dst
+	c.inv[dst] = a
+	return dst
+}
+
+func (c *compiler) and(a, b int32) int32 {
+	a, b = sort2(a, b)
+	switch {
+	case a == regZero:
+		return regZero
+	case a == regOnes:
+		return b
+	case a == b:
+		return a
+	}
+	return c.emit(opAnd, a, b, regZero)
+}
+
+func (c *compiler) or(a, b int32) int32 {
+	a, b = sort2(a, b)
+	switch {
+	case a == regZero:
+		return b
+	case a == regOnes || b == regOnes:
+		return regOnes
+	case a == b:
+		return a
+	}
+	return c.emit(opOr, a, b, regZero)
+}
+
+func (c *compiler) xor(a, b int32) int32 {
+	a, b = sort2(a, b)
+	switch {
+	case a == b:
+		return regZero
+	case a == regZero:
+		return b
+	case a == regOnes:
+		return c.not(b)
+	case b == regOnes:
+		return c.not(a)
+	}
+	return c.emit(opXor, a, b, regZero)
+}
+
+func (c *compiler) andnot(a, b int32) int32 { // a &^ b
+	switch {
+	case a == regZero || b == regOnes || a == b:
+		return regZero
+	case b == regZero:
+		return a
+	case a == regOnes:
+		return c.not(b)
+	}
+	return c.emit(opAndNot, a, b, regZero)
+}
+
+func (c *compiler) xnor(a, b int32) int32 {
+	a, b = sort2(a, b)
+	switch {
+	case a == b:
+		return regOnes
+	case a == regZero:
+		return c.not(b)
+	case a == regOnes:
+		return b
+	case b == regOnes:
+		return a
+	}
+	return c.emit(opXnor, a, b, regZero)
+}
+
+// eqand is one equality-chain step: acc & (a == b), bit-parallel.
+func (c *compiler) eqand(a, b, acc int32) int32 {
+	a, b = sort2(a, b)
+	switch {
+	case acc == regZero:
+		return regZero
+	case a == b:
+		return acc
+	case acc == regOnes:
+		return c.xnor(a, b)
+	case a == regZero:
+		return c.andnot(acc, b)
+	case b == regZero:
+		return c.andnot(acc, a)
+	case a == regOnes:
+		return c.and(acc, b)
+	case b == regOnes:
+		return c.and(acc, a)
+	}
+	return c.emit(opEqAnd, a, b, acc)
+}
+
+func (c *compiler) xor3(a, b, cc int32) int32 {
+	switch {
+	case a == regZero:
+		return c.xor(b, cc)
+	case b == regZero:
+		return c.xor(a, cc)
+	case cc == regZero:
+		return c.xor(a, b)
+	}
+	a, b, cc = sort3(a, b, cc)
+	return c.emit(opXor3, a, b, cc)
+}
+
+// maj is the carry out of a+b+c: the majority function.
+func (c *compiler) maj(a, b, cc int32) int32 {
+	switch {
+	case a == b || a == cc:
+		return a
+	case b == cc:
+		return b
+	case a == regZero:
+		return c.and(b, cc)
+	case b == regZero:
+		return c.and(a, cc)
+	case cc == regZero:
+		return c.and(a, b)
+	case a == regOnes:
+		return c.or(b, cc)
+	case b == regOnes:
+		return c.or(a, cc)
+	case cc == regOnes:
+		return c.or(a, b)
+	}
+	a, b, cc = sort3(a, b, cc)
+	return c.emit(opMaj, a, b, cc)
+}
+
+// brw is the borrow out of a-b-c (b and c symmetric).
+func (c *compiler) brw(a, b, cc int32) int32 {
+	b, cc = sort2(b, cc)
+	switch {
+	case b == cc:
+		return b
+	case b == regZero && cc == regZero:
+		return regZero
+	case a == regZero:
+		return c.or(b, cc)
+	case a == regOnes:
+		return c.and(b, cc)
+	case b == regZero:
+		return c.andnot(cc, a)
+	case cc == regZero:
+		return c.andnot(b, a)
+	}
+	return c.emit(opBrw, a, b, cc)
+}
+
+// sel is the lane-masked If: (t & m) | (f &^ m).
+func (c *compiler) sel(t, f, m int32) int32 {
+	switch {
+	case t == f:
+		return t
+	case m == regOnes:
+		return t
+	case m == regZero:
+		return f
+	case t == regOnes && f == regZero:
+		return m
+	case t == regZero && f == regOnes:
+		return c.not(m)
+	case t == regZero:
+		return c.andnot(f, m)
+	case f == regZero:
+		return c.and(t, m)
+	}
+	return c.emit(opSelect, t, f, m)
+}
+
+// --- DAG lowering ---
+
+func (c *compiler) compile(n *core.Node) []int32 {
+	if words, ok := c.memo[n]; ok {
+		return words
+	}
+	words := c.lower(n)
+	if len(words) != numWords(n.Type) {
+		panic(fmt.Sprintf("bitslice: internal: %s lowered to %d words, want %d",
+			n.Op, len(words), numWords(n.Type)))
+	}
+	c.memo[n] = words
+	return words
+}
+
+func (c *compiler) lower(n *core.Node) []int32 {
+	switch n.Op {
+	case core.OpConst:
+		return c.constWords(n)
+
+	case core.OpVar:
+		// Input variables were registered up front; any other variable is
+		// a ListCase binder, which only occurs under an (unsupported)
+		// OpListCase, or a caller omission.
+		panic(fmt.Errorf("bitslice: unbound variable %q (id %d)", n.Name, n.VarID))
+
+	case core.OpNot:
+		return []int32{c.not(c.compile(n.Kids[0])[0])}
+
+	case core.OpAnd:
+		return []int32{c.and(c.compile(n.Kids[0])[0], c.compile(n.Kids[1])[0])}
+
+	case core.OpOr:
+		return []int32{c.or(c.compile(n.Kids[0])[0], c.compile(n.Kids[1])[0])}
+
+	case core.OpEq:
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		if len(a) == 0 { // fieldless objects are always equal
+			return []int32{regOnes}
+		}
+		acc := c.xnor(a[0], b[0])
+		for i := 1; i < len(a); i++ {
+			acc = c.eqand(a[i], b[i], acc)
+		}
+		return []int32{acc}
+
+	case core.OpLt:
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		t := n.Kids[0].Type
+		bor := regZero
+		for i := 0; i < t.Width; i++ {
+			ai, bi := a[i], b[i]
+			if t.Signed && i == t.Width-1 {
+				// Signed order is unsigned order with the sign bit
+				// flipped on both operands.
+				ai, bi = c.not(ai), c.not(bi)
+			}
+			bor = c.brw(ai, bi, bor)
+		}
+		return []int32{bor}
+
+	case core.OpAdd:
+		return c.addWords(c.compile(n.Kids[0]), c.compile(n.Kids[1]))
+
+	case core.OpSub:
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		out := make([]int32, len(a))
+		bor := regZero
+		for i := range a {
+			out[i] = c.xor3(a[i], b[i], bor)
+			if i+1 < len(a) {
+				bor = c.brw(a[i], b[i], bor)
+			}
+		}
+		return out
+
+	case core.OpMul:
+		// Shift-and-add: O(w^2) word instructions. zenlint's cost advisor
+		// flags wide multiplies for exactly this reason.
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		w := len(a)
+		res := make([]int32, w)
+		for i := range res {
+			res[i] = regZero
+		}
+		pp := make([]int32, w)
+		for j := 0; j < w; j++ {
+			if b[j] == regZero {
+				continue
+			}
+			for i := 0; i < w; i++ {
+				if i < j {
+					pp[i] = regZero
+				} else {
+					pp[i] = c.and(a[i-j], b[j])
+				}
+			}
+			res = c.addWords(res, pp)
+		}
+		return res
+
+	case core.OpBAnd:
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		out := make([]int32, len(a))
+		for i := range a {
+			out[i] = c.and(a[i], b[i])
+		}
+		return out
+
+	case core.OpBOr:
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		out := make([]int32, len(a))
+		for i := range a {
+			out[i] = c.or(a[i], b[i])
+		}
+		return out
+
+	case core.OpBXor:
+		a, b := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		out := make([]int32, len(a))
+		for i := range a {
+			out[i] = c.xor(a[i], b[i])
+		}
+		return out
+
+	case core.OpBNot:
+		a := c.compile(n.Kids[0])
+		out := make([]int32, len(a))
+		for i := range a {
+			out[i] = c.not(a[i])
+		}
+		return out
+
+	case core.OpShl:
+		// Shifts by a constant are register renumbering, zero instructions.
+		a := c.compile(n.Kids[0])
+		w, k := len(a), n.Index
+		out := make([]int32, w)
+		for i := range out {
+			if i < k {
+				out[i] = regZero
+			} else {
+				out[i] = a[i-k]
+			}
+		}
+		return out
+
+	case core.OpShr:
+		a := c.compile(n.Kids[0])
+		w, k := len(a), n.Index
+		out := make([]int32, w)
+		for i := range out {
+			if i+k < w {
+				out[i] = a[i+k]
+			} else {
+				out[i] = regZero
+			}
+		}
+		return out
+
+	case core.OpIf:
+		m := c.compile(n.Kids[0])[0]
+		t, f := c.compile(n.Kids[1]), c.compile(n.Kids[2])
+		out := make([]int32, len(t))
+		for i := range t {
+			out[i] = c.sel(t[i], f[i], m)
+		}
+		return out
+
+	case core.OpCreate:
+		var out []int32
+		for _, k := range n.Kids {
+			out = append(out, c.compile(k)...)
+		}
+		if out == nil {
+			out = []int32{}
+		}
+		return out
+
+	case core.OpGetField:
+		o := c.compile(n.Kids[0])
+		off := c.fieldOffset(n.Kids[0].Type, n.Index)
+		return o[off : off+numWords(n.Type)]
+
+	case core.OpWithField:
+		o, v := c.compile(n.Kids[0]), c.compile(n.Kids[1])
+		off := c.fieldOffset(n.Kids[0].Type, n.Index)
+		out := append([]int32(nil), o...)
+		copy(out[off:], v)
+		return out
+
+	case core.OpCast:
+		a := c.compile(n.Kids[0])
+		from := n.Kids[0].Type
+		to := n.Type.Width
+		if to <= len(a) {
+			return a[:to]
+		}
+		out := append([]int32(nil), a...)
+		ext := regZero
+		if from.Signed {
+			// Sign extension replicates the top bit: the same register
+			// serves every extended position.
+			ext = a[len(a)-1]
+		}
+		for len(out) < to {
+			out = append(out, ext)
+		}
+		return out
+
+	case core.OpAdapt:
+		a := c.compile(n.Kids[0])
+		if len(a) != numWords(n.Type) {
+			unsupported("adapt between types of different bit widths (%s -> %s)",
+				n.Kids[0].Type, n.Type)
+		}
+		return a
+
+	case core.OpListNil, core.OpListCons, core.OpListCase:
+		unsupported("list operator %s", n.Op)
+	}
+	panic(fmt.Sprintf("bitslice: unknown op %v", n.Op))
+}
+
+func (c *compiler) constWords(n *core.Node) []int32 {
+	if n.Type.Kind == core.KindBool {
+		if n.BVal {
+			return []int32{regOnes}
+		}
+		return []int32{regZero}
+	}
+	out := make([]int32, n.Type.Width)
+	for i := range out {
+		if n.UVal>>uint(i)&1 == 1 {
+			out[i] = regOnes
+		} else {
+			out[i] = regZero
+		}
+	}
+	return out
+}
+
+func (c *compiler) fieldOffset(t *core.Type, index int) int {
+	off := 0
+	for i := 0; i < index; i++ {
+		off += numWords(t.Fields[i].Type)
+	}
+	return off
+}
+
+// addWords emits a ripple-carry adder over parallel bit slices.
+func (c *compiler) addWords(a, b []int32) []int32 {
+	out := make([]int32, len(a))
+	carry := regZero
+	for i := range a {
+		out[i] = c.xor3(a[i], b[i], carry)
+		if i+1 < len(a) {
+			carry = c.maj(a[i], b[i], carry)
+		}
+	}
+	return out
+}
+
+// --- Plan accessors ---
+
+// NumOps returns the number of word instructions in the plan — the cost
+// of evaluating 64 lanes.
+func (p *Plan) NumOps() int { return len(p.insts) }
+
+// NumRegs returns the size of the register file.
+func (p *Plan) NumRegs() int { return int(p.numRegs) }
+
+// Vars lists the plan's input variables in Compile argument order.
+func (p *Plan) Vars() []VarInfo { return p.varInfo }
+
+// OutType returns the type of the plan's result.
+func (p *Plan) OutType() *core.Type { return p.outType }
+
+// NewRegs allocates a fresh register file for this plan.
+func (p *Plan) NewRegs() []uint64 { return make([]uint64, p.numRegs) }
+
+// AcquireRegs returns a register file from an internal pool; pair with
+// ReleaseRegs on the hot path to avoid per-batch allocation. Lanes not
+// re-bound keep stale bits from the previous batch, which is harmless:
+// plans are total functions and callers only read back the lanes they
+// bound.
+func (p *Plan) AcquireRegs() []uint64 { return p.regPool.Get().([]uint64) }
+
+// ReleaseRegs returns a register file to the pool.
+func (p *Plan) ReleaseRegs(regs []uint64) { p.regPool.Put(regs) } //nolint:staticcheck // slice header copy is fine here
+
+// Run executes the plan over the register file, evaluating all 64 lanes.
+// Inputs must have been bound with Bind; results are read with Lane.
+func (p *Plan) Run(regs []uint64) {
+	regs[regZero] = 0
+	regs[regOnes] = ^uint64(0)
+	for i := range p.insts {
+		t := &p.insts[i]
+		a, b, c := regs[t.a], regs[t.b], regs[t.c]
+		var v uint64
+		switch t.op {
+		case opNot:
+			v = ^a
+		case opAnd:
+			v = a & b
+		case opOr:
+			v = a | b
+		case opXor:
+			v = a ^ b
+		case opAndNot:
+			v = a &^ b
+		case opXnor:
+			v = ^(a ^ b)
+		case opEqAnd:
+			v = c &^ (a ^ b)
+		case opXor3:
+			v = a ^ b ^ c
+		case opMaj:
+			v = (a & b) | (c & (a ^ b))
+		case opBrw:
+			v = (^a & (b | c)) | (b & c)
+		case opSelect:
+			v = (a & c) | (b &^ c)
+		}
+		regs[t.dst] = v
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"zen-go/internal/absint"
 	"zen-go/internal/backends"
+	"zen-go/internal/bitslice"
 	"zen-go/internal/compilejit"
 	"zen-go/internal/core"
 	"zen-go/internal/interp"
@@ -30,6 +31,7 @@ const (
 	KindBackendPanic     = "backend-panic"     // a backend crashed on a well-typed expression
 	KindPortfolioDiverge = "portfolio-diverge" // the racing portfolio disagrees with the single backends
 	KindPresolveDiverge  = "presolve-diverge"  // the presolve-simplified DAG disagrees with the original
+	KindBitsliceDiverge  = "bitslice-diverge"  // the bitsliced batch evaluator disagrees with the interpreter
 )
 
 // CheckConfig configures one differential check.
@@ -73,6 +75,7 @@ func (d *Divergence) Error() string {
 // through every execution path and cross-validates them:
 //
 //   - interpreted vs compiled output on random concrete inputs,
+//   - interpreted vs bitsliced batch output on a full 64-lane step,
 //   - BDD vs SAT satisfiability and (capped) model counts,
 //   - every returned model concretely satisfies expr under interpretation
 //     and compiled execution,
@@ -104,7 +107,14 @@ func Check(expr, in *core.Node, cfg CheckConfig, rng *rand.Rand) *Divergence {
 		}
 	}
 
-	// Path 2b: abstract-interpretation presolve parity. The simplified
+	// Path 2b: bitsliced batch evaluation. All 64 lanes of one transposed
+	// step must agree with the scalar interpreter; list-bearing
+	// expressions sit outside the bitslice fragment and are skipped.
+	if d := checkBitslice(expr, in, concrete, cfg, rng); d != nil {
+		return d.fill(expr, in)
+	}
+
+	// Path 2c: abstract-interpretation presolve parity. The simplified
 	// DAG must agree with the original on every concrete input, be a
 	// fixpoint of Simplify, and lead the solvers to the same verdict —
 	// with each of its models checked against the ORIGINAL predicate, so
@@ -213,6 +223,47 @@ func checkCompiled(expr, in *core.Node, prog *compilejit.Program, x *interp.Valu
 	if got != want {
 		return &Divergence{Kind: KindCompileDiverge,
 			Detail: fmt.Sprintf("input %s: interpreted=%v compiled=%v", x, want, got)}
+	}
+	return nil
+}
+
+// --- bitsliced batch parity ---
+
+// checkBitslice runs one full transposed step of the bitsliced batch
+// evaluator — the ConcreteTrials inputs padded out to all 64 lanes with
+// fresh random values — and requires every lane to agree with the
+// scalar interpreter. Expressions outside the bitslice fragment
+// (lists) are skipped; any other compile failure or panic is a
+// divergence in its own right.
+func checkBitslice(expr, in *core.Node, concrete []*interp.Value, cfg CheckConfig, rng *rand.Rand) (div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Kind: KindBackendPanic, Detail: fmt.Sprintf("bitslice panicked: %v", r)}
+		}
+	}()
+	plan, err := bitslice.Compile(expr, in)
+	if err != nil {
+		if bitslice.IsUnsupported(err) {
+			return nil
+		}
+		return &Divergence{Kind: KindBitsliceDiverge, Detail: fmt.Sprintf("compile failed on a list-free expression: %v", err)}
+	}
+	lanes := make([]*interp.Value, 0, bitslice.Lanes)
+	lanes = append(lanes, concrete...)
+	for len(lanes) < bitslice.Lanes {
+		lanes = append(lanes, RandValue(rng, in.Type, cfg.ListBound))
+	}
+	regs := plan.NewRegs()
+	if err := plan.BindLanes(regs, in.VarID, lanes); err != nil {
+		return &Divergence{Kind: KindBitsliceDiverge, Detail: fmt.Sprintf("bind failed: %v", err)}
+	}
+	plan.Run(regs)
+	for i, x := range lanes {
+		want := interp.Eval(expr, interp.Env{in.VarID: x}).B
+		if got := plan.Lane(regs, i).B; got != want {
+			return &Divergence{Kind: KindBitsliceDiverge,
+				Detail: fmt.Sprintf("lane %d input %s: interpreted=%v bitsliced=%v", i, x, want, got)}
+		}
 	}
 	return nil
 }

@@ -82,8 +82,11 @@ type CostPattern struct {
 	Why string
 	// Hint suggests a rewrite.
 	Hint string
-	// BDD and SAT grade the hazard per backend.
-	BDD, SAT Severity
+	// BDD and SAT grade the hazard per solver backend; Bitslice grades it
+	// for the concrete bitsliced batch evaluator, where solver blowup
+	// shapes are usually harmless (evaluation is concrete) but falling
+	// out of the bitslice fragment costs the engine entirely.
+	BDD, SAT, Bitslice Severity
 }
 
 // CostPatterns is the hazard table. Indexed by CostClass.
@@ -99,6 +102,9 @@ var CostPatterns = [...]CostPattern{
 			"or run this model on the SAT backend only",
 		BDD: SevError,
 		SAT: SevWarn,
+		// Concrete batch evaluation has no ordering to blow up; a wide mul
+		// is a shift-add ladder, quadratic in width but still cheap.
+		Bitslice: SevInfo,
 	},
 	CostMidShift: {
 		Class: CostMidShift,
@@ -111,6 +117,9 @@ var CostPatterns = [...]CostPattern{
 			"keep the shifted value out of arithmetic",
 		BDD: SevWarn,
 		SAT: SevInfo,
+		// A constant shift in the transposed form is pure register
+		// renumbering — free at any amount.
+		Bitslice: SevNone,
 	},
 	CostDeepLists: {
 		Class: CostDeepLists,
@@ -122,6 +131,10 @@ var CostPatterns = [...]CostPattern{
 			"restructure the traversal to one pass",
 		BDD: SevWarn,
 		SAT: SevWarn,
+		// Lists sit outside the bitslice fragment altogether: a model this
+		// shape loses the batch engine and falls back to the scalar
+		// interpreter per lane.
+		Bitslice: SevWarn,
 	},
 }
 

@@ -131,11 +131,14 @@ func (p *Pass) ReportCost(pat CostPattern, n *core.Node, format string, args ...
 	if pat.SAT > sev {
 		sev = pat.SAT
 	}
+	if pat.Bitslice > sev {
+		sev = pat.Bitslice
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Code:       pat.Code,
 		Analyzer:   p.an.Name,
 		Severity:   sev,
-		PerBackend: map[string]Severity{"bdd": pat.BDD, "sat": pat.SAT},
+		PerBackend: map[string]Severity{"bdd": pat.BDD, "sat": pat.SAT, "bitslice": pat.Bitslice},
 		Msg:        fmt.Sprintf(format, args...) + " — " + pat.Why,
 		Hint:       pat.Hint,
 		Expr:       p.ExprString(n),

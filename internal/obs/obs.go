@@ -117,6 +117,24 @@ type CompileStats struct {
 	Registers    int64 `json:"registers"`
 }
 
+// BitsliceStats count batch-evaluation activity (internal/bitslice):
+// plans compiled, batches executed, packets pushed through them, and
+// scalar fallbacks for models outside the bitslice fragment.
+type BitsliceStats struct {
+	// Plans counts bitslice plan compilations; PlanOps and PlanRegs
+	// accumulate their instruction and register counts.
+	Plans    int64 `json:"plans"`
+	PlanOps  int64 `json:"plan_ops"`
+	PlanRegs int64 `json:"plan_regs"`
+	// Batches counts 64-lane plan executions; Packets counts the inputs
+	// evaluated through them (the last batch of a call may be partial).
+	Batches int64 `json:"batches"`
+	Packets int64 `json:"packets"`
+	// Fallbacks counts batch calls served by the scalar path because the
+	// model uses lists.
+	Fallbacks int64 `json:"fallbacks"`
+}
+
 // StateSetStats count state-set transformer activity (§4/§6).
 type StateSetStats struct {
 	Transformers int64 `json:"transformers"`
@@ -238,6 +256,7 @@ type Snapshot struct {
 	BDD       BDDStats       `json:"bdd"`
 	SAT       SATStats       `json:"sat_solver"`
 	Compile   CompileStats   `json:"compile"`
+	Bitslice  BitsliceStats  `json:"bitslice"`
 	StateSet  StateSetStats  `json:"stateset"`
 	Fuzz      FuzzStats      `json:"fuzz"`
 	Lint      LintStats      `json:"lint"`
@@ -299,6 +318,12 @@ func (s *Snapshot) merge(o *Snapshot) {
 	s.Compile.Compiles += o.Compile.Compiles
 	s.Compile.Instructions += o.Compile.Instructions
 	s.Compile.Registers += o.Compile.Registers
+	s.Bitslice.Plans += o.Bitslice.Plans
+	s.Bitslice.PlanOps += o.Bitslice.PlanOps
+	s.Bitslice.PlanRegs += o.Bitslice.PlanRegs
+	s.Bitslice.Batches += o.Bitslice.Batches
+	s.Bitslice.Packets += o.Bitslice.Packets
+	s.Bitslice.Fallbacks += o.Bitslice.Fallbacks
 	s.StateSet.Transformers += o.StateSet.Transformers
 	s.StateSet.FreshSpaces += o.StateSet.FreshSpaces
 	s.StateSet.Forwards += o.StateSet.Forwards
@@ -450,6 +475,11 @@ func (s *Snapshot) String() string {
 	if s.Compile.Compiles > 0 {
 		fmt.Fprintf(&b, "  compile:  %d programs, %d instructions, %d registers\n",
 			s.Compile.Compiles, s.Compile.Instructions, s.Compile.Registers)
+	}
+	if s.Bitslice.Batches > 0 || s.Bitslice.Plans > 0 {
+		fmt.Fprintf(&b, "  bitslice: %d plans (%d ops, %d regs), %d batches, %d packets, %d fallbacks\n",
+			s.Bitslice.Plans, s.Bitslice.PlanOps, s.Bitslice.PlanRegs,
+			s.Bitslice.Batches, s.Bitslice.Packets, s.Bitslice.Fallbacks)
 	}
 	if s.StateSet.Transformers > 0 || s.StateSet.Forwards > 0 || s.StateSet.Reverses > 0 {
 		fmt.Fprintf(&b, "  stateset: %d transformers (%d fresh-space), %d forward, %d reverse\n",

@@ -182,6 +182,19 @@ func WriteSnapshotMetrics(m *MetricsWriter, s Snapshot) {
 	m.Family("zen_compile_instructions_total", "counter", "Instructions emitted by model compilation.")
 	m.Sample("", nil, float64(s.Compile.Instructions))
 
+	m.Family("zen_bitslice_plans_total", "counter", "Bitslice plan compilations.")
+	m.Sample("", nil, float64(s.Bitslice.Plans))
+	m.Family("zen_bitslice_plan_ops_total", "counter", "Word instructions emitted by bitslice plan compilation.")
+	m.Sample("", nil, float64(s.Bitslice.PlanOps))
+	m.Family("zen_bitslice_batches_total", "counter", "Bitslice 64-lane batch executions.")
+	m.Sample("", nil, float64(s.Bitslice.Batches))
+	m.Family("zen_bitslice_packets_total", "counter", "Inputs evaluated through the bitslice batch engine.")
+	m.Sample("", nil, float64(s.Bitslice.Packets))
+	m.Family("zen_bitslice_fallbacks_total", "counter", "Batch evaluations served by the scalar path (model outside the bitslice fragment).")
+	m.Sample("", nil, float64(s.Bitslice.Fallbacks))
+	m.Family("zen_bitslice_lanes", "gauge", "Batch width of the bitslice engine (packets per plan execution).")
+	m.Sample("", nil, 64)
+
 	m.Family("zen_stateset_transformers_total", "counter", "State-set transformers built.")
 	m.Sample("", nil, float64(s.StateSet.Transformers))
 	m.Family("zen_stateset_forwards_total", "counter", "State-set forward applications.")

@@ -126,6 +126,19 @@ func (r *Rec) AddCompile(d CompileStats) {
 	r.s.Compile.Registers += d.Registers
 }
 
+// AddBitslice accumulates batch-evaluation counters.
+func (r *Rec) AddBitslice(d BitsliceStats) {
+	if r == nil {
+		return
+	}
+	r.s.Bitslice.Plans += d.Plans
+	r.s.Bitslice.PlanOps += d.PlanOps
+	r.s.Bitslice.PlanRegs += d.PlanRegs
+	r.s.Bitslice.Batches += d.Batches
+	r.s.Bitslice.Packets += d.Packets
+	r.s.Bitslice.Fallbacks += d.Fallbacks
+}
+
 // AddStateSet accumulates state-set transformer counters.
 func (r *Rec) AddStateSet(d StateSetStats) {
 	if r == nil {

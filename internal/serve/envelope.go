@@ -30,6 +30,12 @@ const (
 	// ProvDelta: re-verified incrementally by /v1/update, touching only
 	// the changed equivalence classes.
 	ProvDelta = "delta"
+	// ProvBitslice: evaluated by the bitsliced batch engine, 64 inputs
+	// per machine-word step (streaming /v1/evaluate).
+	ProvBitslice = "bitslice"
+	// ProvInterp: evaluated by the scalar interpreter — the streaming
+	// endpoint's fallback for models outside the bitslice fragment.
+	ProvInterp = "interp"
 )
 
 // Stable machine-readable error codes. The message is free-form prose;
@@ -52,6 +58,8 @@ const (
 	ErrUnknownFamily   = "unknown_family"
 	ErrBadRule         = "bad_rule"
 	ErrBadDelta        = "bad_delta"
+	ErrStreamHeader    = "bad_stream_header"
+	ErrStreamItem      = "bad_stream_item"
 )
 
 // ErrorInfo is the failure half of the envelope: a stable code plus a

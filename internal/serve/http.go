@@ -17,6 +17,7 @@ const maxBatch = 64
 //	GET  /v1/models     model registry listing with argument/result types
 //	POST /v1/query      one Request -> one Response
 //	POST /v1/batch      {"queries": [Request...]} -> {"results": [Response...]}
+//	POST /v1/evaluate   NDJSON stream: header + input lines -> result lines (see stream.go)
 //	POST /v1/instances  create a mutable model instance from a rule list
 //	GET  /v1/instances  list instances with family/generation/rule counts
 //	POST /v1/update     apply rule deltas; delta re-verify tracked queries
@@ -33,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluateStream)
 	mux.HandleFunc("/v1/instances", s.handleInstances)
 	mux.HandleFunc("/v1/update", s.handleUpdate)
 	mux.HandleFunc("/v1/lint", s.handleLint)

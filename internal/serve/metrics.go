@@ -45,6 +45,9 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	counter("zen_serve_cancelled_total", "Queries cancelled by deadline or disconnect.", st.Cancelled)
 	counter("zen_serve_errors_total", "Queries that failed.", st.Errors)
 	counter("zen_serve_updates_total", "Delta updates applied to model instances.", st.Updates)
+	counter("zen_serve_streams_total", "Streaming /v1/evaluate requests accepted.", st.Streams)
+	counter("zen_serve_stream_items_total", "Inputs consumed by streaming /v1/evaluate.", st.StreamItems)
+	counter("zen_serve_stream_errors_total", "Streaming inputs answered with an in-slot error.", st.StreamErrors)
 	counter("zen_serve_delta_reused_total", "Tracked queries answered from cache across an update.", st.DeltaReused)
 	counter("zen_serve_delta_reverified_total", "Tracked queries re-verified after an update.", st.DeltaReverified)
 	gauge("zen_serve_cache_entries", "Result-cache occupancy.", float64(st.CacheLen))

@@ -157,6 +157,11 @@ type Server struct {
 	deltaReuse atomic.Int64
 	deltaRerun atomic.Int64
 
+	// Streaming-evaluate traffic (see stream.go).
+	streams      atomic.Int64
+	streamItems  atomic.Int64
+	streamErrors atomic.Int64
+
 	// onExec, when non-nil, observes every solver execution actually
 	// started (cache hits and coalesced waits bypass it). Test hook.
 	onExec func(queryKey)
@@ -651,6 +656,9 @@ type Stats struct {
 	Updates         int64   `json:"updates"`
 	DeltaReused     int64   `json:"delta_reused"`
 	DeltaReverified int64   `json:"delta_reverified"`
+	Streams         int64   `json:"streams"`
+	StreamItems     int64   `json:"stream_items"`
+	StreamErrors    int64   `json:"stream_errors"`
 	QueueDepth      int     `json:"queue_depth"`
 	Workers         int     `json:"workers"`
 	P50MS           float64 `json:"p50_ms"`
@@ -684,6 +692,9 @@ func (s *Server) Stats() Stats {
 		Updates:         s.updates.Load(),
 		DeltaReused:     s.deltaReuse.Load(),
 		DeltaReverified: s.deltaRerun.Load(),
+		Streams:         s.streams.Load(),
+		StreamItems:     s.streamItems.Load(),
+		StreamErrors:    s.streamErrors.Load(),
 		QueueDepth:      s.pool.queued(),
 		Workers:         s.cfg.Workers,
 		P50MS:           p50,

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// streamPost drives POST /v1/evaluate through the full handler and
+// splits the NDJSON response into start, results, and trailer.
+func streamPost(t *testing.T, s *Server, body string) (int, *StreamStart, []*StreamResult, *StreamTrailer) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		return w.Code, nil, nil, nil
+	}
+	lines := strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want at least start + trailer:\n%s", len(lines), w.Body.String())
+	}
+	var start StreamStart
+	if err := json.Unmarshal([]byte(lines[0]), &start); err != nil {
+		t.Fatalf("bad start line %q: %v", lines[0], err)
+	}
+	var trailer StreamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("bad trailer line %q: %v", lines[len(lines)-1], err)
+	}
+	var results []*StreamResult
+	for _, line := range lines[1 : len(lines)-1] {
+		var res StreamResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("bad result line %q: %v", line, err)
+		}
+		results = append(results, &res)
+	}
+	return w.Code, &start, results, &trailer
+}
+
+// TestEvaluateStream pushes enough inputs through /v1/evaluate to span
+// several bitsliced batches (including a partial final one) and checks
+// every result against the scalar model.
+func TestEvaluateStream(t *testing.T) {
+	s := newTestServer(t, Config{})
+	const n = 150 // 3 batches of 64, 64, 22
+	var b strings.Builder
+	b.WriteString(`{"model": "demo/add8"}` + "\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `{"id": "pkt-%d", "args": [%d]}`+"\n", i, i%256)
+	}
+	code, start, results, trailer := streamPost(t, s, b.String())
+	if code != 200 {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if start.APIVersion != APIVersion || start.Model != "demo/add8" || start.Lanes != streamChunk {
+		t.Fatalf("start envelope = %+v", start)
+	}
+	if start.Provenance != ProvBitslice {
+		t.Fatalf("provenance = %q, want %q (demo/add8 is list-free)", start.Provenance, ProvBitslice)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, res := range results {
+		if res.Index != int64(i) || res.ID != fmt.Sprintf("pkt-%d", i) {
+			t.Fatalf("result %d out of order: %+v", i, res)
+		}
+		want := float64((i%256 + 1) % 256)
+		if res.Status != "ok" || res.Value.(float64) != want {
+			t.Fatalf("result %d = %q %v, want ok %v", i, res.Status, res.Value, want)
+		}
+	}
+	if !trailer.Done || trailer.Items != n || trailer.Errors != 0 || trailer.Err != nil {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	if want := int64((n + streamChunk - 1) / streamChunk); trailer.Batches != want {
+		t.Fatalf("trailer batches = %d, want %d", trailer.Batches, want)
+	}
+
+	st := s.Stats()
+	if st.Streams != 1 || st.StreamItems != n || st.StreamErrors != 0 {
+		t.Fatalf("stats = streams %d items %d errors %d", st.Streams, st.StreamItems, st.StreamErrors)
+	}
+	var m strings.Builder
+	if err := s.WriteMetrics(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"zen_serve_stream_items_total", "zen_serve_streams_total", "zen_bitslice_packets_total"} {
+		if !strings.Contains(m.String(), fam) {
+			t.Errorf("metrics output lacks %s", fam)
+		}
+	}
+}
+
+// TestEvaluateStreamItemErrors: malformed lines and type mismatches fail
+// in their slot while the rest of the stream answers normally.
+func TestEvaluateStreamItemErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"model": "demo/add8"}
+{"args": [1]}
+this is not json
+{"args": [true]}
+{"args": [2]}
+`
+	code, _, results, trailer := streamPost(t, s, body)
+	if code != 200 {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	if results[0].Status != "ok" || results[0].Value.(float64) != 2 {
+		t.Fatalf("result 0 = %+v", results[0])
+	}
+	if results[1].Status != "error" || results[1].Err == nil || results[1].Err.Code != ErrStreamItem {
+		t.Fatalf("result 1 = %+v", results[1])
+	}
+	if results[2].Status != "error" || results[2].Err == nil || results[2].Err.Code != ErrBadArgs {
+		t.Fatalf("result 2 = %+v", results[2])
+	}
+	if results[3].Status != "ok" || results[3].Value.(float64) != 3 {
+		t.Fatalf("result 3 = %+v", results[3])
+	}
+	if trailer.Errors != 2 || trailer.Items != 4 || trailer.Err != nil {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+}
+
+func TestEvaluateStreamBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if code, _, _, _ := streamPost(t, s, ""); code != 400 {
+		t.Errorf("empty stream: status = %d, want 400", code)
+	}
+	if code, _, _, _ := streamPost(t, s, "not json\n"); code != 400 {
+		t.Errorf("bad header: status = %d, want 400", code)
+	}
+	if code, _, _, _ := streamPost(t, s, `{"model": "nope"}`+"\n"); code != 404 {
+		t.Errorf("unknown model: status = %d, want 404", code)
+	}
+}
+
+// TestEvaluateStreamMatchesQuery: the streaming path and the classic
+// evaluate query must answer identically for the same inputs.
+func TestEvaluateStreamMatchesQuery(t *testing.T) {
+	s := newTestServer(t, Config{})
+	var b strings.Builder
+	b.WriteString(`{"model": "demo/square32"}` + "\n")
+	inputs := []uint64{0, 1, 7, 1000, 65535, 4294967295}
+	for _, v := range inputs {
+		fmt.Fprintf(&b, `{"args": [%d]}`+"\n", v)
+	}
+	code, _, results, _ := streamPost(t, s, b.String())
+	if code != 200 {
+		t.Fatalf("status = %d, want 200", code)
+	}
+	for i, v := range inputs {
+		req := &Request{Model: "demo/square32", Kind: "evaluate",
+			Args: []json.RawMessage{json.RawMessage(fmt.Sprint(v))}}
+		want := s.Do(context.Background(), req)
+		if want.Status != "ok" {
+			t.Fatalf("query evaluate failed: %+v", want)
+		}
+		if results[i].Status != "ok" || results[i].Value.(float64) != float64(want.Value.(uint64)) {
+			t.Fatalf("input %d: stream %v, query %v", v, results[i].Value, want.Value)
+		}
+	}
+}
+
+// TestEvaluateStreamEmptyBody: a header with no items is a valid,
+// empty stream.
+func TestEvaluateStreamEmpty(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, start, results, trailer := streamPost(t, s, `{"model": "demo/add8"}`+"\n")
+	if code != 200 || len(results) != 0 || !trailer.Done || trailer.Items != 0 {
+		t.Fatalf("code %d start %+v results %d trailer %+v", code, start, len(results), trailer)
+	}
+}

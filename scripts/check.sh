@@ -30,11 +30,13 @@ go run ./cmd/zenvet
 # race-tier is the named concurrency gate (also `make race-tier`): vet
 # plus race-enabled tests over the packages where data races are a live
 # hazard — the query service, the racing portfolio backend, the metrics
-# recorder both write to, and the presolve engine every query path
-# calls. It runs first so a race in the hot layers fails fast.
-echo "== race-tier (go vet + go test -race: serve, portfolio, obs, absint)"
-go vet ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/...
-go test -race -count=1 ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/...
+# recorder both write to, the presolve engine every query path calls,
+# and the bitsliced batch evaluator whose compiled plans are shared
+# across concurrent streams. It runs first so a race in the hot layers
+# fails fast.
+echo "== race-tier (go vet + go test -race: serve, portfolio, obs, absint, bitslice)"
+go vet ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/... ./internal/bitslice/...
+go test -race -count=1 ./internal/serve/... ./internal/portfolio/... ./internal/obs/... ./internal/absint/... ./internal/bitslice/...
 
 # The rest of the suite still runs under the race detector — the tier
 # above fails fast, it does not replace full coverage: internal/cancel
@@ -53,12 +55,24 @@ go run ./cmd/zend -check-metrics
 echo "== zenbench smoke (pinned suite sanity, nothing written)"
 go run ./cmd/zenbench -smoke
 
+# The codegen smoke proves the dataplane export path end to end: emit a
+# standalone Go package for a registry model, then vet and compile it in
+# a scratch module with no zen-go dependency. Agreement with the
+# interpreter is covered by zen's codegen tests; this step gates the
+# emitted-source-still-compiles property.
+echo "== zencodegen smoke (emit nets/acl.allow, vet + build standalone)"
+cgdir=$(mktemp -d)
+trap 'rm -rf "$cgdir"' EXIT
+go run ./cmd/zencodegen -model nets/acl.allow -dir "$cgdir"
+(cd "$cgdir" && GOWORK=off go vet ./... && GOWORK=off go build ./...)
+
 # The fixed-seed campaign is also the portfolio verdict-parity gate and
-# the presolve-parity gate: every query runs on all six engines (interp,
-# compiled, bdd, sat, erased, portfolio) and additionally solves the
-# presolve-simplified DAG, failing on any verdict, witness, model-count,
-# or simplified-vs-original divergence.
-echo "== zenfuzz smoke (deterministic 2k-query six-engine + presolve parity campaign)"
+# the presolve-parity gate: every query runs on all seven engines
+# (interp, compiled, bitslice, bdd, sat, erased, portfolio) and
+# additionally solves the presolve-simplified DAG, failing on any
+# verdict, witness, model-count, lane, or simplified-vs-original
+# divergence.
+echo "== zenfuzz smoke (deterministic 2k-query seven-engine + presolve parity campaign)"
 go run ./cmd/zenfuzz -n 2000 -seed 1 -progress 0
 
 echo "== go test -fuzz (10s per target)"
